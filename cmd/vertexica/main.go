@@ -1,0 +1,375 @@
+// Command vertexica is the interactive console standing in for the
+// demo's GUI (Figure 3): load graphs, run SQL, run vertex-centric and
+// SQL graph algorithms, compose them, and compare against the Giraph
+// baseline — the demonstration scenarios of §4, driven from a REPL.
+//
+// Usage:
+//
+//	vertexica                 # in-memory
+//	vertexica -data ./vxdata  # persistent (snapshot + WAL)
+//
+// Console commands (\help lists them):
+//
+//	\load twitter 0.01            load a paper-shaped dataset
+//	\loadfile g edges.txt         load a SNAP edge list
+//	\pagerank twitter 10          vertex-centric PageRank
+//	\pagerank-sql twitter 10      SQL PageRank
+//	\sssp twitter 0               shortest paths from vertex 0
+//	\triangles twitter            SQL triangle count
+//	\overlap twitter 3            strong overlap pairs
+//	\weakties twitter 3           weak ties
+//	\compare twitter 10           PageRank: Vertexica vs Giraph runtimes
+//	SELECT ...                    any SQL against the graph tables
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/giraph"
+
+	vertexica "repro"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
+	flag.Parse()
+
+	var vx *vertexica.Engine
+	var err error
+	if *dataDir != "" {
+		vx, err = vertexica.Open(*dataDir)
+	} else {
+		vx = vertexica.New()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vertexica:", err)
+		os.Exit(1)
+	}
+	defer vx.Close()
+
+	fmt.Println("Vertexica console — \\help for commands, \\quit to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for {
+		fmt.Print("vertexica> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if quit := command(vx, line); quit {
+				return
+			}
+			continue
+		}
+		runSQL(vx, line)
+	}
+}
+
+func runSQL(vx *vertexica.Engine, stmt string) {
+	start := time.Now()
+	rows, n, err := vx.SQL(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if rows == nil {
+		fmt.Printf("OK, %d rows affected (%v)\n", n, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	cols := rows.Columns()
+	fmt.Println(strings.Join(cols, " | "))
+	limit := rows.Len()
+	if limit > 25 {
+		limit = 25
+	}
+	for i := 0; i < limit; i++ {
+		parts := make([]string, len(cols))
+		for j := range cols {
+			parts[j] = rows.Value(i, j).String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if rows.Len() > limit {
+		fmt.Printf("... (%d rows total)\n", rows.Len())
+	}
+	fmt.Printf("%d rows (%v)\n", rows.Len(), time.Since(start).Round(time.Microsecond))
+}
+
+func command(vx *vertexica.Engine, line string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	arg := func(i int, def string) string {
+		if len(fields) > i {
+			return fields[i]
+		}
+		return def
+	}
+	argInt := func(i int, def int64) int64 {
+		if len(fields) > i {
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	ctx := context.Background()
+
+	switch cmd {
+	case "\\quit", "\\q":
+		return true
+	case "\\help":
+		fmt.Println(`commands:
+  \load <twitter|gplus|livejournal> <scale>   generate + load a paper-shaped graph
+  \loadfile <name> <path>                     load a SNAP edge list
+  \graphs                                     list loaded graphs
+  \pagerank <graph> [iters]                   vertex-centric PageRank (top 10)
+  \pagerank-sql <graph> [iters]               SQL PageRank (top 10)
+  \sssp <graph> <source>                      vertex-centric shortest paths
+  \sssp-sql <graph> <source>                  SQL shortest paths
+  \components <graph>                         connected components
+  \triangles <graph>                          SQL triangle count
+  \overlap <graph> [minCommon]                strong overlap pairs
+  \weakties <graph> [minPairs]                weak ties (bridges)
+  \compare <graph> [iters]                    Vertexica vs Giraph PageRank runtime
+  \checkpoint                                 persist (when -data is set)
+  <any SQL statement>                         run against the engine`)
+	case "\\graphs":
+		for _, n := range vx.DB().Catalog().Names() {
+			if strings.HasSuffix(n, "_vertex") {
+				fmt.Println("  " + strings.TrimSuffix(n, "_vertex"))
+			}
+		}
+	case "\\load":
+		kind := arg(1, "twitter")
+		scale, _ := strconv.ParseFloat(arg(2, "0.01"), 64)
+		var ds *vertexica.Dataset
+		switch kind {
+		case "twitter":
+			ds = vertexica.TwitterScale(scale)
+		case "gplus":
+			ds = vertexica.GPlusScale(scale)
+		case "livejournal":
+			ds = vertexica.LiveJournalScale(scale)
+		default:
+			fmt.Println("unknown dataset kind:", kind)
+			return
+		}
+		g, err := vx.LoadDatasetWithMetadata(ds, 42)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("loaded", g)
+	case "\\loadfile":
+		name, path := arg(1, "g"), arg(2, "")
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		ds, err := dataset.ReadEdgeList(name, f, 42)
+		f.Close()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		g, err := vx.LoadDataset(ds)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("loaded", g)
+	case "\\pagerank", "\\pagerank-sql":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		iters := int(argInt(2, 10))
+		start := time.Now()
+		var ranks map[int64]float64
+		if cmd == "\\pagerank" {
+			ranks, _, err = g.PageRank(ctx, iters)
+		} else {
+			ranks, err = g.PageRankSQL(iters)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printTop(ranks, 10)
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+	case "\\sssp", "\\sssp-sql":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		src := argInt(2, 0)
+		start := time.Now()
+		var dists map[int64]float64
+		if cmd == "\\sssp" {
+			dists, _, err = g.ShortestPaths(ctx, src, false)
+		} else {
+			dists, err = g.ShortestPathsSQL(src, false)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		reach := 0
+		for _, d := range dists {
+			if d < 1e17 {
+				reach++
+			}
+		}
+		fmt.Printf("%d vertices reachable from %d (%v)\n", reach, src, time.Since(start).Round(time.Millisecond))
+	case "\\components":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		labels, _, err := g.ConnectedComponents(ctx)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		sizes := map[int64]int{}
+		for _, l := range labels {
+			sizes[l]++
+		}
+		fmt.Printf("%d components\n", len(sizes))
+	case "\\triangles":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		start := time.Now()
+		n, err := g.TriangleCount()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%d triangles (%v)\n", n, time.Since(start).Round(time.Millisecond))
+	case "\\overlap":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		pairs, err := g.StrongOverlap(argInt(2, 3))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i, p := range pairs {
+			if i >= 10 {
+				fmt.Printf("... (%d pairs total)\n", len(pairs))
+				break
+			}
+			fmt.Printf("  (%d, %d): %d common neighbors\n", p.A, p.B, p.Common)
+		}
+	case "\\weakties":
+		g, err := vx.OpenGraph(arg(1, ""))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		ties, err := g.WeakTies(argInt(2, 3))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i, t := range ties {
+			if i >= 10 {
+				fmt.Printf("... (%d ties total)\n", len(ties))
+				break
+			}
+			fmt.Printf("  vertex %d bridges %d open pairs\n", t.ID, t.Pairs)
+		}
+	case "\\compare":
+		compare(vx, arg(1, ""), int(argInt(2, 10)))
+	case "\\checkpoint":
+		if err := vx.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("checkpointed")
+	default:
+		fmt.Println("unknown command; \\help lists commands")
+	}
+	return false
+}
+
+// compare reruns PageRank on Vertexica and the Giraph baseline — the
+// GUI's "Compare With Giraph" checkbox.
+func compare(vx *vertexica.Engine, name string, iters int) {
+	g, err := vx.OpenGraph(name)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	start := time.Now()
+	if _, _, err := g.PageRank(context.Background(), iters); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	vxTime := time.Since(start)
+
+	rows, _, err := vx.SQL(fmt.Sprintf("SELECT src, dst, weight FROM %s_edge", name))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ge := giraph.New(giraph.Config{})
+	for i := 0; i < rows.Len(); i++ {
+		ge.AddEdge(rows.Value(i, 0).I, rows.Value(i, 1).I, rows.Value(i, 2).F)
+	}
+	start = time.Now()
+	if _, _, err := giraph.PageRank(ge, iters); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("Vertexica: %v   Giraph (modeled cluster): %v\n",
+		vxTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+}
+
+func printTop(scores map[int64]float64, k int) {
+	type kv struct {
+		id int64
+		v  float64
+	}
+	all := make([]kv, 0, len(scores))
+	for id, v := range scores {
+		all = append(all, kv{id, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].id < all[j].id
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	for _, e := range all {
+		fmt.Printf("  %8d  %.6f\n", e.id, e.v)
+	}
+}

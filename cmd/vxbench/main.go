@@ -1,0 +1,116 @@
+// Command vxbench reproduces the paper's evaluation: Figure 2(a)
+// PageRank and Figure 2(b) Shortest Paths across the four systems
+// (graph database, Giraph, Vertexica vertex-centric, Vertexica SQL) and
+// the three paper-shaped datasets, plus the §2.3 optimization
+// ablations. It prints paper-style tables and verifies the qualitative
+// shape of Figure 2.
+//
+// Usage:
+//
+//	vxbench -fig all -scale 0.01
+//	vxbench -fig 2a -scale 0.02 -iters 10
+//	vxbench -ablations -scale 0.01
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to reproduce: 2a, 2b, or all")
+	scale := flag.Float64("scale", 0.01, "dataset scale relative to the paper's sizes (1.0 = full)")
+	iters := flag.Int("iters", 10, "PageRank iterations (paper: 10)")
+	gdbLimit := flag.Int("gdb-limit", 60000, "edge count above which the graph-database baseline is skipped (0 = never skip)")
+	ablations := flag.Bool("ablations", false, "also run the §2.3 optimization ablations")
+	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
+	flag.Parse()
+
+	cfg := bench.Fig2Config{
+		Scale:            *scale,
+		PageRankIters:    *iters,
+		GraphDBEdgeLimit: *gdbLimit,
+		GiraphOverhead:   *giraphOverhead,
+	}
+	ctx := context.Background()
+
+	fmt.Printf("vxbench: scale=%.4f iters=%d (paper sizes ×%.4f)\n", *scale, *iters, *scale)
+	for _, ds := range bench.Fig2Datasets(*scale) {
+		fmt.Println("  " + ds.Stats())
+	}
+
+	var allRows []bench.Row
+	if *fig == "2a" || *fig == "all" {
+		start := time.Now()
+		rows, err := bench.RunFig2(ctx, "pagerank", cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintRows(os.Stdout, fmt.Sprintf("Figure 2(a): PageRank (%d iterations) — took %v", *iters, time.Since(start).Round(time.Millisecond)), rows)
+		allRows = append(allRows, rows...)
+	}
+	if *fig == "2b" || *fig == "all" {
+		start := time.Now()
+		rows, err := bench.RunFig2(ctx, "sssp", cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintRows(os.Stdout, fmt.Sprintf("Figure 2(b): Single-Source Shortest Paths — took %v", time.Since(start).Round(time.Millisecond)), rows)
+		allRows = append(allRows, rows...)
+	}
+
+	if len(allRows) > 0 {
+		violations := bench.CheckFig2Shape(allRows)
+		if len(violations) == 0 {
+			fmt.Println("\nshape check: PASS — graph DB slowest, Vertexica(SQL) fastest, Vertexica beats Giraph on the small graph")
+		} else {
+			fmt.Println("\nshape check: FAIL")
+			for _, v := range violations {
+				fmt.Println("  " + v)
+			}
+		}
+	}
+
+	if *ablations {
+		runAblations(*scale)
+	}
+}
+
+func runAblations(scale float64) {
+	fmt.Println("\n=== §2.3 optimization ablations (PageRank on twitter-s unless noted) ===")
+	if rows, err := bench.AblationUnionVsJoin(scale, 5); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
+	if rows, err := bench.AblationBatching(scale, 5, []int{1, 4, 16, 64, 256}); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
+	if rows, err := bench.AblationWorkers(scale, 5, []int{1, 2, 4, 8}); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
+	if rows, err := bench.AblationUpdateVsReplace(scale, 5); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
+	if rows, err := bench.AblationCombiner(scale, 5); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxbench:", err)
+	os.Exit(1)
+}

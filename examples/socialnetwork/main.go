@@ -1,0 +1,114 @@
+// Social-network analysis: the paper's §3.2 hybrid queries and §3.4
+// relational pre-/post-processing on a metadata-rich graph — select a
+// subgraph by edge type, count triangles, find strong overlaps and weak
+// ties, combine weak ties with PageRank ("important bridges"), and
+// aggregate results with SQL — the end-to-end pipeline of Figure 3.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	vertexica "repro"
+
+	"repro/internal/algorithms"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	vx := vertexica.New()
+	ctx := context.Background()
+
+	// A symmetrized social graph with §4 metadata (edge types
+	// family/friend/classmate, weights, timestamps; 60 vertex attrs).
+	ds := vertexica.MakeUndirected(vertexica.ErdosRenyi("soc", 300, 1800, 7))
+	g, err := vx.LoadDatasetWithMetadata(ds, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded", g)
+
+	// --- 1-hop SQL analyses (§3.2) ---
+	tri, err := g.TriangleCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcc, err := g.GlobalClusteringCoefficient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles: %d   global clustering coefficient: %.4f\n", tri, gcc)
+
+	overlaps, err := g.StrongOverlap(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strong-overlap pairs (>=4 common neighbors): %d", len(overlaps))
+	if len(overlaps) > 0 {
+		fmt.Printf("   strongest: (%d,%d) share %d", overlaps[0].A, overlaps[0].B, overlaps[0].Common)
+	}
+	fmt.Println()
+
+	// --- hybrid: weak ties that are also important (§3.2) ---
+	bridges, err := g.ImportantBridges(ctx, 10, 1.0/300, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("important bridges (>=10 open pairs, rank >= mean): %d\n", len(bridges))
+
+	// --- hybrid: SSSP from the most clustered vertex (§3.2) ---
+	src, dists, err := g.ShortestPathsFromMostClustered(ctx, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach := 0
+	for _, d := range dists {
+		if d < 1e17 {
+			reach++
+		}
+	}
+	fmt.Printf("SSSP from most-clustered vertex %d reaches %d vertices\n", src, reach)
+
+	// --- relational pre-processing + pipeline (Figure 3's dataflow) ---
+	// Scope the analysis to "family" edges, run PageRank on the
+	// subgraph, and post-process with a histogram — selection →
+	// algorithm → aggregation.
+	p := pipeline.New(
+		&pipeline.Subgraph{Target: "family_net", EdgeWhere: "etype = 'family'"},
+		&pipeline.VertexProgramStage{
+			Label:   "pagerank",
+			Program: algorithms.NewPageRank(10),
+			Init:    func(int64) string { return "" },
+			Key:     "ranks",
+		},
+		&pipeline.TopK{InputKey: "ranks", K: 3, Key: "top"},
+		&pipeline.Histogram{InputKey: "ranks", Buckets: 5, Key: "hist"},
+	)
+	pc, err := p.Run(ctx, vx.DB(), g.Core())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfamily-only subgraph pipeline:", pc.Trace)
+	for _, s := range pc.Values["top"].([]pipeline.Scored) {
+		fmt.Printf("  top vertex %4d rank %.5f\n", s.ID, s.Score)
+	}
+	fmt.Println("  rank distribution:")
+	for _, b := range pc.Values["hist"].([]pipeline.Bucket) {
+		fmt.Printf("    [%.5f, %.5f): %d\n", b.Lo, b.Hi, b.Count)
+	}
+
+	// --- ad-hoc relational post-processing over metadata (§3.4) ---
+	rows, _, err := vx.SQL(`
+		SELECT m.u0, COUNT(*) AS members, AVG(m.f0) AS avg_f0
+		FROM soc_vertex_meta AS m
+		GROUP BY m.u0 ORDER BY members DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmetadata aggregation (group by binary attribute u0):")
+	for i := 0; i < rows.Len(); i++ {
+		fmt.Printf("  u0=%s: %s members, avg f0 %.3f\n",
+			rows.Value(i, 0), rows.Value(i, 1), rows.Value(i, 2).AsFloat())
+	}
+}

@@ -1,0 +1,87 @@
+// Time-series and continuous analysis (§3.3 / §4.2.3): snapshot a
+// graph at several points of its edge-creation history, watch PageRank
+// evolve across snapshots, then mutate the live graph and observe the
+// analysis change — graph analytics as a continuous process, not a
+// one-time activity.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	vertexica "repro"
+)
+
+func main() {
+	vx := vertexica.New()
+	ctx := context.Background()
+
+	// Edge creation timestamps in the generated datasets span ~5 years
+	// starting 2009-01-01 (see internal/dataset).
+	ds := vertexica.PreferentialAttachment("net", 400, 6, 2024)
+	g, err := vx.LoadDataset(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded", g)
+
+	// Yearly snapshot timestamps across the dataset's range.
+	years := []int64{
+		1262304000, // 2010-01-01
+		1293840000, // 2011-01-01
+		1325376000, // 2012-01-01
+		1356998400, // 2013-01-01
+	}
+
+	// "How has the PageRank of a node changed over the last years?"
+	series, err := g.PageRankTimeSeries(ctx, years, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := int64(0) // the oldest node accumulates edges over time
+	fmt.Printf("PageRank of vertex %d across snapshots:\n", probe)
+	for i, ts := range series.Times {
+		fmt.Printf("  t=%d  rank=%.6f\n", ts, series.Scores[i][probe])
+	}
+
+	// "Which nodes changed the most between the last two years?"
+	deltas := vertexica.DiffScores(series.Scores[len(series.Scores)-2], series.Scores[len(series.Scores)-1])
+	fmt.Println("largest rank movers in the final year:")
+	for i, d := range deltas {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  vertex %4d: %.6f -> %.6f\n", d.ID, d.Old, d.New)
+	}
+
+	// "Which nodes have come closer?" — SSSP time series.
+	spSeries, err := g.ShortestPathTimeSeries(ctx, []int64{years[0], years[3]}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closer := vertexica.CloserPairs(spSeries.Scores[0], spSeries.Scores[1], 1)
+	fmt.Printf("%d vertices moved >=1 hop closer to vertex 0 between 2010 and 2013\n", len(closer))
+
+	// Continuous mode: monitor PageRank while mutating the live graph.
+	mon := g.NewPageRankMonitor(10)
+	if _, err := mon.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncontinuous mode: attaching a new celebrity vertex 9999 to the hubs...")
+	deltas, err = mon.ApplyAndRerun(ctx,
+		"INSERT INTO net_vertex VALUES (9999, '', FALSE)",
+		"INSERT INTO net_edge VALUES (9999, 0, 1.0, 'friend', 1400000000), (0, 9999, 1.0, 'friend', 1400000000)",
+		"INSERT INTO net_edge VALUES (9999, 1, 1.0, 'friend', 1400000000), (1, 9999, 1.0, 'friend', 1400000000)",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rank changes caused by the mutation (top 5):")
+	for i, d := range deltas {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  vertex %4d: %.6f -> %.6f\n", d.ID, d.Old, d.New)
+	}
+}

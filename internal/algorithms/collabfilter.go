@@ -1,0 +1,168 @@
+package algorithms
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// CollabFilter is vertex-centric collaborative filtering on a bipartite
+// user–item graph (§3.1 of the paper): every vertex holds a latent
+// factor vector; each superstep it broadcasts the vector to its
+// neighbors and applies one stochastic-gradient step per observed
+// rating (the edge weight) using the vectors it received. After
+// Iterations rounds of updates every vertex halts; predicted ratings
+// are dot products of the final vectors.
+type CollabFilter struct {
+	// Dim is the latent dimension (default 8).
+	Dim int
+	// Iterations is the number of gradient rounds (default 10).
+	Iterations int
+	// LearningRate is the SGD step size (default 0.05).
+	LearningRate float64
+	// Lambda is the L2 regularization weight (default 0.05).
+	Lambda float64
+}
+
+// NewCollabFilter returns a program with standard hyperparameters.
+func NewCollabFilter(dim, iterations int) *CollabFilter {
+	return &CollabFilter{Dim: dim, Iterations: iterations, LearningRate: 0.05, Lambda: 0.05}
+}
+
+func (c *CollabFilter) dims() int {
+	if c.Dim <= 0 {
+		return 8
+	}
+	return c.Dim
+}
+
+// initVector deterministically seeds a vertex's latent vector.
+func (c *CollabFilter) initVector(id int64) []float64 {
+	v := make([]float64, c.dims())
+	for i := range v {
+		v[i] = pseudoRand(id*31 + int64(i))
+	}
+	return v
+}
+
+// InitialValue renders the deterministic starting vector for a vertex
+// (exported so other systems can start from identical state).
+func (c *CollabFilter) InitialValue(id int64) string { return encodeVec(c.initVector(id)) }
+
+// Compute implements core.VertexProgram. Message format: "src|vec".
+func (c *CollabFilter) Compute(ctx *core.VertexContext, msgs []core.Message) error {
+	dim := c.dims()
+	var vec []float64
+	if ctx.Superstep() == 0 {
+		if cur := ctx.GetVertexValue(); cur != "" {
+			v, err := decodeVec(cur, dim)
+			if err != nil {
+				return err
+			}
+			vec = v
+		} else {
+			vec = c.initVector(ctx.Id())
+		}
+	} else {
+		v, err := decodeVec(ctx.GetVertexValue(), dim)
+		if err != nil {
+			return err
+		}
+		vec = v
+		// Ratings on out-edges, keyed by neighbor.
+		rating := make(map[int64]float64, ctx.OutDegree())
+		for _, e := range ctx.GetOutEdges() {
+			rating[e.Dst] = e.Weight
+		}
+		lr, lam := c.LearningRate, c.Lambda
+		if lr == 0 {
+			lr = 0.05
+		}
+		for _, m := range msgs {
+			src, other, err := decodeCFMessage(m.Value, dim)
+			if err != nil {
+				return err
+			}
+			r, ok := rating[src]
+			if !ok {
+				continue // no observed rating for this neighbor
+			}
+			e := r - dot(vec, other)
+			for i := range vec {
+				vec[i] += lr * (e*other[i] - lam*vec[i])
+			}
+		}
+		ctx.ModifyVertexValue(encodeVec(vec))
+	}
+	if ctx.Superstep() == 0 {
+		ctx.ModifyVertexValue(encodeVec(vec))
+	}
+	if ctx.Superstep() >= c.iterations() {
+		ctx.VoteToHalt()
+		return nil
+	}
+	msg := strconv.FormatInt(ctx.Id(), 10) + "|" + encodeVec(vec)
+	ctx.SendMessageToAllNeighbors(msg)
+	return nil
+}
+
+func (c *CollabFilter) iterations() int {
+	if c.Iterations <= 0 {
+		return 10
+	}
+	return c.Iterations
+}
+
+func decodeCFMessage(s string, dim int) (int64, []float64, error) {
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return 0, nil, fmt.Errorf("algorithms: bad CF message %q", s)
+	}
+	src, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("algorithms: bad CF message source %q", s[:i])
+	}
+	vec, err := decodeVec(s[i+1:], dim)
+	if err != nil {
+		return 0, nil, err
+	}
+	return src, vec, nil
+}
+
+// RunCollabFilter resets the graph, trains the latent vectors, and
+// returns them per vertex.
+func RunCollabFilter(ctx context.Context, g *core.Graph, prog *CollabFilter, opts core.Options) (map[int64][]float64, *core.RunStats, error) {
+	if err := g.ResetForRun(func(id int64) string { return prog.InitialValue(id) }); err != nil {
+		return nil, nil, err
+	}
+	stats, err := core.Run(ctx, g, prog, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := g.VertexValues()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[int64][]float64, len(vals))
+	for id, s := range vals {
+		v, err := decodeVec(s, prog.dims())
+		if err != nil {
+			return nil, nil, fmt.Errorf("algorithms: vertex %d: %w", id, err)
+		}
+		out[id] = v
+	}
+	return out, stats, nil
+}
+
+// Predict returns the model's predicted rating for a (user, item) pair.
+func Predict(vectors map[int64][]float64, user, item int64) (float64, bool) {
+	u, ok1 := vectors[user]
+	v, ok2 := vectors[item]
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return dot(u, v), true
+}

@@ -1,0 +1,101 @@
+package algorithms
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// twoCliques builds two dense 4-cliques joined by a single bridge edge
+// — the canonical community-detection fixture.
+func twoCliques(t *testing.T) *core.Graph {
+	t.Helper()
+	db := engine.New()
+	g, err := core.CreateGraph(db, "lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []core.Edge
+	clique := func(ids []int64) {
+		for i := 0; i < len(ids); i++ {
+			for j := 0; j < len(ids); j++ {
+				if i != j {
+					edges = append(edges, core.Edge{Src: ids[i], Dst: ids[j], Weight: 1})
+				}
+			}
+		}
+	}
+	clique([]int64{0, 1, 2, 3})
+	clique([]int64{10, 11, 12, 13})
+	edges = append(edges,
+		core.Edge{Src: 3, Dst: 10, Weight: 1},
+		core.Edge{Src: 10, Dst: 3, Weight: 1})
+	if err := g.BulkLoad(nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLabelPropagationFindsCommunities(t *testing.T) {
+	g := twoCliques(t)
+	labels, stats, err := RunLabelPropagation(context.Background(), g, 15, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps == 0 {
+		t.Fatal("did not run")
+	}
+	// Clique A converges to one label, clique B to another.
+	for _, id := range []int64{1, 2, 3} {
+		if labels[id] != labels[0] {
+			t.Errorf("vertex %d label %d, want clique label %d", id, labels[id], labels[0])
+		}
+	}
+	for _, id := range []int64{11, 12, 13} {
+		if labels[id] != labels[10] {
+			t.Errorf("vertex %d label %d, want clique label %d", id, labels[id], labels[10])
+		}
+	}
+	if labels[0] == labels[10] {
+		t.Error("two cliques should not merge across one bridge")
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	var runs [2]map[int64]int64
+	for i := range runs {
+		g := twoCliques(t)
+		labels, _, err := RunLabelPropagation(context.Background(), g, 15, core.Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = labels
+	}
+	for id, l := range runs[0] {
+		if runs[1][id] != l {
+			t.Errorf("nondeterministic label at %d: %d vs %d", id, l, runs[1][id])
+		}
+	}
+}
+
+func TestMostFrequentLabel(t *testing.T) {
+	msgs := func(vals ...string) []core.Message {
+		out := make([]core.Message, len(vals))
+		for i, v := range vals {
+			out[i] = core.Message{Value: v}
+		}
+		return out
+	}
+	if got := mostFrequentLabel(msgs("5", "5", "9"), "1"); got != "5" {
+		t.Errorf("mode = %s, want 5", got)
+	}
+	// Tie breaks to the numerically smallest label.
+	if got := mostFrequentLabel(msgs("9", "5"), "1"); got != "5" {
+		t.Errorf("tie-break = %s, want 5", got)
+	}
+	if got := mostFrequentLabel(nil, "7"); got != "7" {
+		t.Errorf("empty inbox should keep current, got %s", got)
+	}
+}

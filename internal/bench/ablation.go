@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Ablation studies for the §2.3 optimizations. Each returns rows
+// suitable for PrintAblation; each maps to one design choice called out
+// in DESIGN.md.
+
+// AblationRow is one ablation measurement.
+type AblationRow struct {
+	Study   string
+	Variant string
+	Seconds float64
+	Extra   string
+}
+
+// freshGraph loads the ablation dataset (Twitter-shaped by default).
+func freshGraph(scale float64) (*core.Graph, error) {
+	return loadVertexica(dataset.TwitterScale(scale))
+}
+
+func timedRun(g *core.Graph, iters int, opts core.Options) (float64, *core.RunStats, error) {
+	start := time.Now()
+	_, stats, err := algorithms.RunPageRank(context.Background(), g, iters, opts)
+	return time.Since(start).Seconds(), stats, err
+}
+
+// AblationUnionVsJoin compares the paper's Table-Unions input assembly
+// against the naive 3-way join (§2.3 "Table Unions").
+func AblationUnionVsJoin(scale float64, iters int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, join := range []bool{false, true} {
+		g, err := freshGraph(scale)
+		if err != nil {
+			return nil, err
+		}
+		secs, stats, err := timedRun(g, iters, core.Options{UseJoinInput: join})
+		if err != nil {
+			return nil, err
+		}
+		variant := "union (paper)"
+		if join {
+			variant = "3-way join"
+		}
+		inputRows := 0
+		for _, s := range stats.Steps {
+			inputRows += s.InputRows
+		}
+		rows = append(rows, AblationRow{
+			Study: "U: table unions", Variant: variant, Seconds: secs,
+			Extra: fmt.Sprintf("%d input rows total", inputRows),
+		})
+	}
+	return rows, nil
+}
+
+// AblationBatching sweeps the number of hash partitions (§2.3 "Vertex
+// Batching"): 1 partition = one serial batch; many = finer batches.
+func AblationBatching(scale float64, iters int, partitions []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, p := range partitions {
+		g, err := freshGraph(scale)
+		if err != nil {
+			return nil, err
+		}
+		secs, _, err := timedRun(g, iters, core.Options{Partitions: p})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "B: vertex batching", Variant: fmt.Sprintf("%d partitions", p), Seconds: secs,
+		})
+	}
+	return rows, nil
+}
+
+// AblationWorkers sweeps worker parallelism (§2.3 "Parallel Workers").
+// It uses collaborative filtering rather than PageRank: CF's per-vertex
+// compute (latent-vector SGD) is heavy enough that worker scaling is
+// visible, whereas PageRank's compute is dwarfed by input assembly at
+// laptop scale (see EXPERIMENTS.md).
+func AblationWorkers(scale float64, iters int, workers []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	ds := dataset.MakeUndirected(dataset.TwitterScale(scale))
+	for _, w := range workers {
+		g, err := loadVertexica(ds)
+		if err != nil {
+			return nil, err
+		}
+		prog := algorithms.NewCollabFilter(16, iters)
+		start := time.Now()
+		if _, _, err := algorithms.RunCollabFilter(context.Background(), g, prog,
+			core.Options{Workers: w}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study:   "W: parallel workers (collaborative filtering, compute-bound)",
+			Variant: fmt.Sprintf("%d workers", w), Seconds: time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationUpdateVsReplace compares forced-update against forced-replace
+// write-back on both a dense-update workload (PageRank: every vertex
+// changes every superstep) and a sparse one (SSSP: few vertices change
+// per superstep) — §2.3 "Update Vs Replace".
+func AblationUpdateVsReplace(scale float64, iters int) ([]AblationRow, error) {
+	var rows []AblationRow
+	type variant struct {
+		name      string
+		threshold float64
+	}
+	variants := []variant{
+		{"always update", 2},   // threshold above 100%: update in place
+		{"always replace", -1}, // negative: rebuild + swap
+		{"paper policy (10%)", 0.10},
+	}
+	for _, v := range variants {
+		g, err := freshGraph(scale)
+		if err != nil {
+			return nil, err
+		}
+		secs, _, err := timedRun(g, iters, core.Options{UpdateThreshold: v.threshold})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "R: update-vs-replace (PageRank, dense)", Variant: v.name, Seconds: secs,
+		})
+	}
+	for _, v := range variants {
+		g, err := freshGraph(scale)
+		if err != nil {
+			return nil, err
+		}
+		source := int64(0)
+		start := time.Now()
+		_, _, err = algorithms.RunSSSP(context.Background(), g, source, true,
+			core.Options{UpdateThreshold: v.threshold})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study: "R: update-vs-replace (SSSP, sparse)", Variant: v.name,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCombiner compares runs with the message combiner enabled and
+// disabled (Pregel combiners; an extension beyond the paper's four
+// optimizations).
+func AblationCombiner(scale float64, iters int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, disabled := range []bool{false, true} {
+		g, err := freshGraph(scale)
+		if err != nil {
+			return nil, err
+		}
+		secs, stats, err := timedRun(g, iters, core.Options{DisableCombiner: disabled})
+		if err != nil {
+			return nil, err
+		}
+		variant := "combiner on"
+		if disabled {
+			variant = "combiner off"
+		}
+		rows = append(rows, AblationRow{
+			Study: "C: message combiner", Variant: variant, Seconds: secs,
+			Extra: fmt.Sprintf("%d messages total", stats.TotalMessages),
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblation renders ablation rows.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	study := ""
+	for _, r := range rows {
+		if r.Study != study {
+			study = r.Study
+			fmt.Fprintf(w, "\n%s\n", study)
+		}
+		fmt.Fprintf(w, "  %-24s %10.3fs  %s\n", r.Variant, r.Seconds, r.Extra)
+	}
+}

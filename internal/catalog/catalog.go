@@ -1,0 +1,92 @@
+// Package catalog maintains the database's table namespace. It is
+// deliberately small: named tables with schemas, case-insensitive
+// lookup, and listing — the engine layers transactions and persistence
+// on top.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Catalog is a concurrency-safe table namespace.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*storage.Table)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Create adds a new table. It fails if the name is taken.
+func (c *Catalog) Create(name string, schema storage.Schema) (*storage.Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := storage.NewTable(name, schema)
+	c.tables[k] = t
+	return t, nil
+}
+
+// Get looks up a table by name.
+func (c *Catalog) Get(name string) (*storage.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether the table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Put installs (or replaces) a table object under its name. Used by the
+// transaction layer to restore undo images and by the vertex runtime's
+// replace optimization.
+func (c *Catalog) Put(t *storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[key(t.Name())] = t
+}
+
+// Names lists table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,90 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func schema() storage.Schema {
+	return storage.NewSchema(storage.Col("id", storage.TypeInt64))
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New()
+	if _, err := c.Create("t", schema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("T", schema()); err == nil {
+		t.Error("names are case-insensitive; duplicate should fail")
+	}
+	tb, err := c.Get("T")
+	if err != nil || tb.Name() != "t" {
+		t.Errorf("case-insensitive get failed: %v", err)
+	}
+	if !c.Has("t") {
+		t.Error("Has should see the table")
+	}
+	if err := c.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Has("t") {
+		t.Error("dropped table still visible")
+	}
+	if err := c.Drop("t"); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+	if _, err := c.Get("t"); err == nil {
+		t.Error("getting missing table should fail")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New()
+	t1 := storage.NewTable("x", schema())
+	_ = t1.AppendRow(storage.Int64(1))
+	c.Put(t1)
+	t2 := storage.NewTable("x", schema())
+	c.Put(t2)
+	got, _ := c.Get("x")
+	if got.NumRows() != 0 {
+		t.Error("Put should replace the table object")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, schema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if _, err := c.Create(name, schema()); err != nil {
+				t.Error(err)
+			}
+			for j := 0; j < 100; j++ {
+				c.Has(name)
+				c.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(c.Names()) != 8 {
+		t.Errorf("tables = %v", c.Names())
+	}
+}

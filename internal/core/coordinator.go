@@ -1,0 +1,497 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Options configures a vertex-centric run. The zero value selects the
+// paper's defaults (union input, one worker per core, batching on,
+// update-vs-replace threshold 10%).
+type Options struct {
+	// Workers is the number of parallel worker "UDF instances"
+	// (§2.3 Parallel Workers). 0 means runtime.NumCPU().
+	Workers int
+	// Partitions is the number of hash partitions of the table union
+	// (§2.3 Vertex Batching). 0 means 4× workers. 1 disables batching
+	// parallelism (a single serial batch).
+	Partitions int
+	// MaxSupersteps bounds the run. 0 means 500.
+	MaxSupersteps int
+	// UseJoinInput switches input assembly from the paper's table
+	// union to the naive 3-way join (the ablation baseline).
+	UseJoinInput bool
+	// UpdateThreshold is the changed-tuple fraction below which vertex
+	// values are updated in place instead of rebuilding the table
+	// (§2.3 Update Vs Replace). Negative forces replace always;
+	// >=1 forces update always. 0 means the paper's default 0.10.
+	UpdateThreshold float64
+	// DisableCombiner ignores the program's message combiner (ablation).
+	DisableCombiner bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = o.Workers * 4
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 500
+	}
+	if o.UpdateThreshold == 0 {
+		o.UpdateThreshold = 0.10
+	}
+	return o
+}
+
+// SuperstepStats records one superstep's execution.
+type SuperstepStats struct {
+	Superstep   int
+	Computed    int  // vertices whose Compute ran
+	MessagesOut int  // messages emitted (after combining)
+	Updated     int  // vertex tuples changed
+	UsedReplace bool // replace (true) vs in-place update
+	InputRows   int  // rows fed to workers (union or join product)
+	Duration    time.Duration
+}
+
+// RunStats summarizes a full run of a vertex program.
+type RunStats struct {
+	Supersteps       int
+	TotalComputed    int64
+	TotalMessages    int64
+	DanglingMessages int64
+	Steps            []SuperstepStats
+	Duration         time.Duration
+}
+
+// Coordinator drives supersteps over a graph — the stored procedure of
+// Figure 1. It owns no state between runs; everything lives in the
+// graph's relational tables.
+type Coordinator struct {
+	Graph   *Graph
+	Program VertexProgram
+	Opts    Options
+}
+
+// Run executes the program until every vertex has halted and no
+// messages remain, or MaxSupersteps is reached.
+func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
+	opts := c.Opts.withDefaults()
+	start := time.Now()
+	stats := &RunStats{}
+
+	g := c.Graph
+	numVerts, err := g.NumVertices()
+	if err != nil {
+		return nil, err
+	}
+	if numVerts == 0 {
+		return stats, nil
+	}
+
+	// Row index of each vertex id; stays valid because both write-back
+	// paths preserve row order.
+	vt, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return nil, err
+	}
+	rowOf := make(map[int64]int, numVerts)
+	{
+		ids := vt.Data().Cols[0].(*storage.Int64Column).Int64s()
+		for i, id := range ids {
+			rowOf[id] = i
+		}
+	}
+
+	var combiner Combiner
+	if hc, ok := c.Program.(HasCombiner); ok && !opts.DisableCombiner {
+		combiner = hc.Combiner()
+	}
+	aggKinds := make(map[string]AggregatorKind)
+	if ha, ok := c.Program.(HasAggregators); ok {
+		for _, spec := range ha.Aggregators() {
+			aggKinds[spec.Name] = spec.Kind
+		}
+	}
+	aggPrev := make(map[string]float64)
+
+	for step := 0; step < opts.MaxSupersteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		stepStart := time.Now()
+
+		// 1. Assemble the superstep input (union or join ablation).
+		var parts []*storage.Batch
+		if opts.UseJoinInput {
+			parts, err = buildJoinInput(g, opts.Partitions, opts.Workers)
+		} else {
+			parts, err = buildUnionInput(g, opts.Partitions, opts.Workers)
+		}
+		if err != nil {
+			return stats, err
+		}
+		inputRows := 0
+		for _, p := range parts {
+			inputRows += p.Len()
+		}
+
+		// 2. Run workers in parallel over the partitions.
+		res, err := c.runWorkers(parts, step, numVerts, opts, aggPrev, aggKinds)
+		if err != nil {
+			return stats, err
+		}
+		stats.DanglingMessages += int64(res.dangling)
+
+		// 3. Combine messages across workers.
+		outMsgs := res.msgs
+		if combiner != nil {
+			outMsgs = combineMessages(outMsgs, combiner)
+		}
+
+		// 4. Write back vertex state via Update-vs-Replace.
+		updated, usedReplace, err := c.writeVertices(vt, rowOf, res.updates, opts.UpdateThreshold)
+		if err != nil {
+			return stats, err
+		}
+
+		// 5. Replace the message table with the new superstep's messages.
+		if err := c.writeMessages(outMsgs); err != nil {
+			return stats, err
+		}
+
+		// 6. Merge global aggregators for the next superstep.
+		aggPrev = mergeAggregates(res.aggs, aggKinds)
+
+		ss := SuperstepStats{
+			Superstep:   step,
+			Computed:    res.computed,
+			MessagesOut: len(outMsgs),
+			Updated:     updated,
+			UsedReplace: usedReplace,
+			InputRows:   inputRows,
+			Duration:    time.Since(stepStart),
+		}
+		stats.Steps = append(stats.Steps, ss)
+		stats.Supersteps = step + 1
+		stats.TotalComputed += int64(res.computed)
+		stats.TotalMessages += int64(len(outMsgs))
+
+		// 7. Halt when no messages remain and every vertex voted halt.
+		if len(outMsgs) == 0 && res.allHalted {
+			break
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// vertexUpdate is one vertex's post-compute state.
+type vertexUpdate struct {
+	id      int64
+	value   string
+	halted  bool
+	changed bool // value or halted differs from the pre-superstep state
+}
+
+// workerResult accumulates one worker's outputs.
+type workerResult struct {
+	updates  []vertexUpdate
+	msgs     []Message
+	aggs     map[string]float64
+	computed int
+	dangling int
+	halted   int
+	seen     int
+}
+
+// mergedResult is the barrier-merged output of all workers.
+type mergedResult struct {
+	updates   []vertexUpdate
+	msgs      []Message
+	aggs      []map[string]float64
+	computed  int
+	dangling  int
+	allHalted bool
+}
+
+// runWorkers fans the partitions out to opts.Workers goroutines and
+// merges their results at the synchronization barrier. A panic inside a
+// vertex program is recovered and surfaced as an error.
+func (c *Coordinator) runWorkers(parts []*storage.Batch, step int, numVerts int64,
+	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind) (*mergedResult, error) {
+
+	partCh := make(chan *storage.Batch, len(parts))
+	for _, p := range parts {
+		partCh <- p
+	}
+	close(partCh)
+
+	results := make([]*workerResult, opts.Workers)
+	errs := make([]error, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("core: worker %d: vertex program panicked: %v", w, r)
+				}
+			}()
+			res := &workerResult{aggs: make(map[string]float64)}
+			results[w] = res
+			for part := range partCh {
+				if err := c.runPartition(part, step, numVerts, opts, aggPrev, aggKinds, res); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := &mergedResult{}
+	haltedSeen := 0
+	totalSeen := 0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		merged.updates = append(merged.updates, r.updates...)
+		merged.msgs = append(merged.msgs, r.msgs...)
+		merged.aggs = append(merged.aggs, r.aggs)
+		merged.computed += r.computed
+		merged.dangling += r.dangling
+		haltedSeen += r.halted
+		totalSeen += r.seen
+	}
+	merged.allHalted = haltedSeen == totalSeen
+	return merged, nil
+}
+
+// runPartition executes the vertex program serially over one partition
+// — the worker "UDF" of Figure 1.
+func (c *Coordinator) runPartition(part *storage.Batch, step int, numVerts int64,
+	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind, res *workerResult) error {
+
+	var units []workUnit
+	var dangling int
+	if opts.UseJoinInput {
+		units, dangling = parseJoinPartition(part)
+	} else {
+		units, dangling = parseUnionPartition(part)
+	}
+	res.dangling += dangling
+
+	for i := range units {
+		u := &units[i]
+		res.seen++
+		active := step == 0 || len(u.msgs) > 0 || !u.halted
+		if !active {
+			res.halted++
+			continue
+		}
+		sortEdges(u.edges)
+		vc := &VertexContext{
+			id:        u.id,
+			superstep: step,
+			value:     u.value,
+			halted:    u.halted,
+			outEdges:  u.edges,
+			numVerts:  numVerts,
+			aggPrev:   aggPrev,
+			aggCur:    make(map[string]float64),
+			aggSeen:   make(map[string]bool),
+			aggKind:   aggKinds,
+		}
+		if err := c.Program.Compute(vc, u.msgs); err != nil {
+			return fmt.Errorf("core: vertex %d superstep %d: %w", u.id, step, err)
+		}
+		res.computed++
+		newHalted := vc.votedHalt
+		if newHalted {
+			res.halted++
+		}
+		res.updates = append(res.updates, vertexUpdate{
+			id:      u.id,
+			value:   vc.value,
+			halted:  newHalted,
+			changed: vc.valueChanged || newHalted != u.halted,
+		})
+		res.msgs = append(res.msgs, vc.outbox...)
+		for name, v := range vc.aggCur {
+			if cur, ok := res.aggs[name]; ok {
+				res.aggs[name] = foldAggregate(aggKinds[name], cur, v)
+			} else {
+				res.aggs[name] = v
+			}
+		}
+	}
+	return nil
+}
+
+func foldAggregate(kind AggregatorKind, a, b float64) float64 {
+	switch kind {
+	case AggregateSum:
+		return a + b
+	case AggregateMin:
+		if b < a {
+			return b
+		}
+		return a
+	case AggregateMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	return a
+}
+
+func mergeAggregates(parts []map[string]float64, kinds map[string]AggregatorKind) map[string]float64 {
+	out := make(map[string]float64)
+	seen := make(map[string]bool)
+	for _, m := range parts {
+		for name, v := range m {
+			if !seen[name] {
+				seen[name] = true
+				out[name] = v
+				continue
+			}
+			out[name] = foldAggregate(kinds[name], out[name], v)
+		}
+	}
+	return out
+}
+
+// combineMessages merges messages per destination with the program's
+// combiner (Pregel message combining).
+func combineMessages(msgs []Message, combine Combiner) []Message {
+	byDst := make(map[int64]int, len(msgs))
+	out := make([]Message, 0, len(msgs))
+	for _, m := range msgs {
+		if i, ok := byDst[m.Dst]; ok {
+			if merged, mok := combine(m.Dst, out[i].Value, m.Value); mok {
+				out[i].Value = merged
+				out[i].Src = -1 // combined messages lose their single source
+				continue
+			}
+		}
+		byDst[m.Dst] = len(out)
+		out = append(out, m)
+	}
+	return out
+}
+
+// writeVertices applies the superstep's vertex updates using the
+// Update-vs-Replace policy: below the threshold fraction of changed
+// tuples the table is updated in place; above it a fresh column set is
+// built (the "left join with the new values" of §2.3) and swapped in.
+func (c *Coordinator) writeVertices(vt *storage.Table, rowOf map[int64]int,
+	updates []vertexUpdate, threshold float64) (changedCount int, usedReplace bool, err error) {
+
+	changed := updates[:0:0]
+	for _, u := range updates {
+		if u.changed {
+			changed = append(changed, u)
+		}
+	}
+	if len(changed) == 0 {
+		return 0, false, nil
+	}
+	n := vt.NumRows()
+	useReplace := float64(len(changed)) > threshold*float64(n)
+
+	if !useReplace {
+		idx := make([]int, len(changed))
+		vals := make([]storage.Value, len(changed))
+		halts := make([]storage.Value, len(changed))
+		for i, u := range changed {
+			row, ok := rowOf[u.id]
+			if !ok {
+				return 0, false, fmt.Errorf("core: update for unknown vertex %d", u.id)
+			}
+			idx[i] = row
+			vals[i] = storage.Str(u.value)
+			halts[i] = storage.Bool(u.halted)
+		}
+		if err := vt.UpdateInPlace(idx, 1, vals); err != nil {
+			return 0, false, err
+		}
+		if err := vt.UpdateInPlace(idx, 2, halts); err != nil {
+			return 0, false, err
+		}
+		return len(changed), false, nil
+	}
+
+	// Replace: rebuild the vertex table by "left joining" the old rows
+	// with the new values, preserving row order.
+	byID := make(map[int64]*vertexUpdate, len(changed))
+	for i := range changed {
+		byID[changed[i].id] = &changed[i]
+	}
+	old := vt.Data()
+	ids := old.Cols[0].(*storage.Int64Column).Int64s()
+	newBatch := storage.NewBatch(VertexSchema())
+	for i, id := range ids {
+		if u, ok := byID[id]; ok {
+			if err := newBatch.AppendRow(storage.Int64(id), storage.Str(u.value), storage.Bool(u.halted)); err != nil {
+				return 0, false, err
+			}
+		} else {
+			if err := newBatch.AppendRow(old.Row(i)...); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	if err := vt.Replace(newBatch); err != nil {
+		return 0, false, err
+	}
+	return len(changed), true, nil
+}
+
+// writeMessages replaces the message table contents with the new
+// superstep's messages (sorted for determinism).
+func (c *Coordinator) writeMessages(msgs []Message) error {
+	mt, err := c.Graph.DB.Catalog().Get(c.Graph.MessageTable())
+	if err != nil {
+		return err
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Dst != msgs[j].Dst {
+			return msgs[i].Dst < msgs[j].Dst
+		}
+		if msgs[i].Src != msgs[j].Src {
+			return msgs[i].Src < msgs[j].Src
+		}
+		return msgs[i].Value < msgs[j].Value
+	})
+	b := storage.NewBatch(MessageSchema())
+	for _, m := range msgs {
+		if err := b.AppendRow(storage.Int64(m.Src), storage.Int64(m.Dst), storage.Str(m.Value)); err != nil {
+			return err
+		}
+	}
+	return mt.Replace(b)
+}
+
+// Run is the package-level convenience: build a coordinator and run.
+func Run(ctx context.Context, g *Graph, prog VertexProgram, opts Options) (*RunStats, error) {
+	c := &Coordinator{Graph: g, Program: prog, Opts: opts}
+	return c.Run(ctx)
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Graph binds a named graph to its three relational tables in the
+// engine — exactly the physical design from §2.2 of the paper:
+//
+//	<name>_vertex(id, value, halted)
+//	<name>_edge(src, dst, weight, etype, created)
+//	<name>_message(src, dst, value)
+//
+// The edge table carries the three metadata attributes the paper adds
+// to every edge (weight, creation timestamp, type).
+type Graph struct {
+	DB   *engine.DB
+	Name string
+}
+
+// Table names for the graph.
+func (g *Graph) VertexTable() string  { return g.Name + "_vertex" }
+func (g *Graph) EdgeTable() string    { return g.Name + "_edge" }
+func (g *Graph) MessageTable() string { return g.Name + "_message" }
+
+// VertexSchema is the schema of every graph's vertex table.
+func VertexSchema() storage.Schema {
+	return storage.NewSchema(
+		storage.NotNullCol("id", storage.TypeInt64),
+		storage.Col("value", storage.TypeString),
+		storage.NotNullCol("halted", storage.TypeBool),
+	)
+}
+
+// EdgeSchema is the schema of every graph's edge table.
+func EdgeSchema() storage.Schema {
+	return storage.NewSchema(
+		storage.NotNullCol("src", storage.TypeInt64),
+		storage.NotNullCol("dst", storage.TypeInt64),
+		storage.Col("weight", storage.TypeFloat64),
+		storage.Col("etype", storage.TypeString),
+		storage.Col("created", storage.TypeInt64),
+	)
+}
+
+// MessageSchema is the schema of every graph's message table.
+func MessageSchema() storage.Schema {
+	return storage.NewSchema(
+		storage.Col("src", storage.TypeInt64),
+		storage.NotNullCol("dst", storage.TypeInt64),
+		storage.Col("value", storage.TypeString),
+	)
+}
+
+// validName reports whether a graph name is a safe SQL identifier:
+// the coordinator embeds graph table names in generated SQL, so names
+// must be letter-or-underscore followed by letters, digits or
+// underscores.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z'):
+		case '0' <= c && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CreateGraph creates the three tables for a new graph.
+func CreateGraph(db *engine.DB, name string) (*Graph, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("core: graph name %q is not a valid SQL identifier (letters, digits, underscores)", name)
+	}
+	g := &Graph{DB: db, Name: name}
+	cat := db.Catalog()
+	if cat.Has(g.VertexTable()) {
+		return nil, fmt.Errorf("core: graph %q already exists", name)
+	}
+	if _, err := cat.Create(g.VertexTable(), VertexSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := cat.Create(g.EdgeTable(), EdgeSchema()); err != nil {
+		return nil, err
+	}
+	if _, err := cat.Create(g.MessageTable(), MessageSchema()); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OpenGraph binds to an existing graph's tables.
+func OpenGraph(db *engine.DB, name string) (*Graph, error) {
+	g := &Graph{DB: db, Name: name}
+	cat := db.Catalog()
+	for _, tn := range []string{g.VertexTable(), g.EdgeTable(), g.MessageTable()} {
+		if !cat.Has(tn) {
+			return nil, fmt.Errorf("core: graph %q: missing table %s", name, tn)
+		}
+	}
+	return g, nil
+}
+
+// DropGraph removes the graph's tables.
+func DropGraph(db *engine.DB, name string) error {
+	g := &Graph{DB: db, Name: name}
+	cat := db.Catalog()
+	var first error
+	for _, tn := range []string{g.VertexTable(), g.EdgeTable(), g.MessageTable()} {
+		if err := cat.Drop(tn); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AddVertex inserts one vertex with an initial value.
+func (g *Graph) AddVertex(id int64, value string) error {
+	t, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return err
+	}
+	return t.AppendRow(storage.Int64(id), storage.Str(value), storage.Bool(false))
+}
+
+// AddEdge inserts one edge with metadata.
+func (g *Graph) AddEdge(src, dst int64, weight float64, etype string, created int64) error {
+	t, err := g.DB.Catalog().Get(g.EdgeTable())
+	if err != nil {
+		return err
+	}
+	return t.AppendRow(storage.Int64(src), storage.Int64(dst),
+		storage.Float64(weight), storage.Str(etype), storage.Int64(created))
+}
+
+// BulkLoad loads vertices (id → initial value) and edges in one pass.
+// Vertices referenced by edges but absent from values are created with
+// the empty value.
+func (g *Graph) BulkLoad(values map[int64]string, edges []Edge) error {
+	seen := make(map[int64]bool, len(values))
+	vt, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return err
+	}
+	vb := storage.NewBatch(VertexSchema())
+	add := func(id int64, val string) error {
+		if seen[id] {
+			return nil
+		}
+		seen[id] = true
+		return vb.AppendRow(storage.Int64(id), storage.Str(val), storage.Bool(false))
+	}
+	for id, val := range values {
+		if err := add(id, val); err != nil {
+			return err
+		}
+	}
+	for _, e := range edges {
+		if err := add(e.Src, ""); err != nil {
+			return err
+		}
+		if err := add(e.Dst, ""); err != nil {
+			return err
+		}
+	}
+	if err := vt.AppendBatch(vb); err != nil {
+		return err
+	}
+
+	et, err := g.DB.Catalog().Get(g.EdgeTable())
+	if err != nil {
+		return err
+	}
+	eb := storage.NewBatch(EdgeSchema())
+	for _, e := range edges {
+		if err := eb.AppendRow(storage.Int64(e.Src), storage.Int64(e.Dst),
+			storage.Float64(e.Weight), storage.Str(e.Type), storage.Int64(e.Created)); err != nil {
+			return err
+		}
+	}
+	return et.AppendBatch(eb)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() (int64, error) {
+	t, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.NumRows()), nil
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() (int64, error) {
+	t, err := g.DB.Catalog().Get(g.EdgeTable())
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.NumRows()), nil
+}
+
+// VertexValues returns every vertex's current value.
+func (g *Graph) VertexValues() (map[int64]string, error) {
+	t, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return nil, err
+	}
+	data := t.Data()
+	ids := data.Cols[0].(*storage.Int64Column).Int64s()
+	out := make(map[int64]string, len(ids))
+	for i, id := range ids {
+		out[id] = data.Cols[1].Value(i).S
+	}
+	return out, nil
+}
+
+// FloatValues decodes every vertex value as float64 (the common case:
+// PageRank ranks, SSSP distances). Vertices whose value does not parse
+// are skipped.
+func (g *Graph) FloatValues() (map[int64]float64, error) {
+	vals, err := g.VertexValues()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]float64, len(vals))
+	for id, s := range vals {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			out[id] = f
+		}
+	}
+	return out, nil
+}
+
+// SetVertexValues overwrites the value of the given vertices (used by
+// algorithms to set per-source initial state).
+func (g *Graph) SetVertexValues(vals map[int64]string) error {
+	t, err := g.DB.Catalog().Get(g.VertexTable())
+	if err != nil {
+		return err
+	}
+	data := t.Data()
+	ids := data.Cols[0].(*storage.Int64Column).Int64s()
+	var idx []int
+	var newVals []storage.Value
+	for i, id := range ids {
+		if v, ok := vals[id]; ok {
+			idx = append(idx, i)
+			newVals = append(newVals, storage.Str(v))
+		}
+	}
+	return t.UpdateInPlace(idx, 1, newVals)
+}
+
+// ResetForRun resets halted flags, clears the message table, and sets
+// every vertex value to initial (if non-nil returns a value for the id).
+func (g *Graph) ResetForRun(initial func(id int64) string) error {
+	cat := g.DB.Catalog()
+	vt, err := cat.Get(g.VertexTable())
+	if err != nil {
+		return err
+	}
+	data := vt.Data()
+	ids := data.Cols[0].(*storage.Int64Column).Int64s()
+	n := len(ids)
+	idx := make([]int, n)
+	halts := make([]storage.Value, n)
+	for i := range idx {
+		idx[i] = i
+		halts[i] = storage.Bool(false)
+	}
+	if err := vt.UpdateInPlace(idx, 2, halts); err != nil {
+		return err
+	}
+	if initial != nil {
+		vals := make([]storage.Value, n)
+		for i, id := range ids {
+			vals[i] = storage.Str(initial(id))
+		}
+		if err := vt.UpdateInPlace(idx, 1, vals); err != nil {
+			return err
+		}
+	}
+	mt, err := cat.Get(g.MessageTable())
+	if err != nil {
+		return err
+	}
+	mt.Truncate()
+	return nil
+}
+
+// OutEdges returns all out-edges grouped by source (a helper for the
+// baselines and tests; the runtime itself reads edges through the
+// table-union input path).
+func (g *Graph) OutEdges() (map[int64][]Edge, error) {
+	t, err := g.DB.Catalog().Get(g.EdgeTable())
+	if err != nil {
+		return nil, err
+	}
+	data := t.Data()
+	srcs := data.Cols[0].(*storage.Int64Column).Int64s()
+	dsts := data.Cols[1].(*storage.Int64Column).Int64s()
+	out := make(map[int64][]Edge)
+	for i := range srcs {
+		e := Edge{
+			Src:     srcs[i],
+			Dst:     dsts[i],
+			Weight:  data.Cols[2].Value(i).F,
+			Type:    data.Cols[3].Value(i).S,
+			Created: data.Cols[4].Value(i).I,
+		}
+		out[e.Src] = append(out[e.Src], e)
+	}
+	return out, nil
+}

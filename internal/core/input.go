@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Input assembly for one superstep, implementing both sides of the
+// paper's Table-Unions optimization (§2.3):
+//
+//   - Union path (the paper's choice): the vertex, edge and message
+//     tables are renamed to a common schema, concatenated with
+//     UNION ALL, hash partitioned on the vertex id, and each partition
+//     is sorted on (id, kind). Workers parse the tuple kinds apart.
+//
+//   - Join path (the ablation baseline): vertex LEFT JOIN message LEFT
+//     JOIN edge. For a vertex with m messages and e out-edges the join
+//     product holds m×e rows — the blowup the paper's optimization
+//     avoids. Workers deduplicate via ordinal columns.
+
+// Tuple kinds inside the union's common schema.
+const (
+	kindVertex  int64 = 0
+	kindEdge    int64 = 1
+	kindMessage int64 = 2
+)
+
+// workUnit is one vertex's reassembled state for a superstep.
+type workUnit struct {
+	id     int64
+	value  string
+	halted bool
+	msgs   []Message
+	edges  []Edge
+}
+
+// unionInputSQL renders the common-schema UNION ALL over the three
+// graph tables — the coordinator literally drives standard SQL, as in
+// the paper.
+func unionInputSQL(g *Graph) string {
+	return fmt.Sprintf(`SELECT id AS id, 0 AS kind, CASE WHEN halted THEN 1 ELSE 0 END AS i1, 0.0 AS f1, value AS s1, 0 AS i2 FROM %s
+UNION ALL SELECT src, 1, dst, weight, etype, created FROM %s
+UNION ALL SELECT dst, 2, COALESCE(src, -1), 0.0, value, 0 FROM %s`,
+		g.VertexTable(), g.EdgeTable(), g.MessageTable())
+}
+
+// buildUnionInput assembles, partitions and sorts the superstep input
+// via the union path. It returns one sorted batch per partition.
+func buildUnionInput(g *Graph, partitions, workers int) ([]*storage.Batch, error) {
+	rows, err := g.DB.Query(unionInputSQL(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: union input: %w", err)
+	}
+	return partitionAndSort(rows.Data, 0, partitions, workers, []storage.SortKey{{Col: 0}, {Col: 1}}), nil
+}
+
+// buildJoinInput assembles the superstep input via the 3-way-join path.
+func buildJoinInput(g *Graph, partitions, workers int) ([]*storage.Batch, error) {
+	cat := g.DB.Catalog()
+	vt, err := cat.Get(g.VertexTable())
+	if err != nil {
+		return nil, err
+	}
+	mt, err := cat.Get(g.MessageTable())
+	if err != nil {
+		return nil, err
+	}
+	et, err := cat.Get(g.EdgeTable())
+	if err != nil {
+		return nil, err
+	}
+	// vertex(id,value,halted) ⟕ message+mid ON id=dst  → 3+4 cols
+	// ... ⟕ edge+eid ON id=src                         → 7+6 cols
+	j1 := &exec.HashJoin{
+		Left:     exec.NewTableScan(vt),
+		Right:    &exec.Ordinal{Input: exec.NewTableScan(mt), Name: "mid"},
+		LeftKeys: []int{0}, RightKeys: []int{1},
+		Type: exec.LeftJoin,
+	}
+	j2 := &exec.HashJoin{
+		Left:     j1,
+		Right:    &exec.Ordinal{Input: exec.NewTableScan(et), Name: "eid"},
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		Type: exec.LeftJoin,
+	}
+	data, err := exec.Drain(j2)
+	if err != nil {
+		return nil, fmt.Errorf("core: join input: %w", err)
+	}
+	return partitionAndSort(data, 0, partitions, workers, []storage.SortKey{{Col: 0}}), nil
+}
+
+// partitionAndSort hash-partitions the batch on the given int64 column
+// and sorts each partition — the paper's Vertex Batching optimization.
+// Partition-local gather+sort runs on the worker pool, since in
+// Vertexica that work happens inside each worker UDF's input feed.
+func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, keys []storage.SortKey) []*storage.Batch {
+	ids := data.Cols[idCol].(*storage.Int64Column).Int64s()
+	parts := storage.PartitionInt64(ids, partitions)
+	nonEmpty := make([][]int, 0, len(parts))
+	for _, idx := range parts {
+		if len(idx) > 0 {
+			nonEmpty = append(nonEmpty, idx)
+		}
+	}
+	out := make([]*storage.Batch, len(nonEmpty))
+	if workers <= 1 || len(nonEmpty) <= 1 {
+		for i, idx := range nonEmpty {
+			out[i] = storage.SortBatch(data.Gather(idx), keys)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int, len(nonEmpty))
+	for i := range nonEmpty {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = storage.SortBatch(data.Gather(nonEmpty[i]), keys)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// parseUnionPartition walks a sorted union partition and reassembles
+// one workUnit per vertex that appears in it. Tuples whose vertex row
+// is missing (dangling messages) are counted, not processed.
+func parseUnionPartition(b *storage.Batch) (units []workUnit, dangling int) {
+	n := b.Len()
+	ids := b.Cols[0].(*storage.Int64Column).Int64s()
+	kinds := b.Cols[1].(*storage.Int64Column).Int64s()
+	i1 := b.Cols[2].(*storage.Int64Column).Int64s()
+	f1 := b.Cols[3].(*storage.Float64Column).Float64s()
+	s1 := b.Cols[4].(*storage.StringColumn).Strings()
+	i2 := b.Cols[5].(*storage.Int64Column).Int64s()
+
+	for i := 0; i < n; {
+		j := i
+		id := ids[i]
+		for j < n && ids[j] == id {
+			j++
+		}
+		u := workUnit{id: id}
+		sawVertex := false
+		for k := i; k < j; k++ {
+			switch kinds[k] {
+			case kindVertex:
+				sawVertex = true
+				u.halted = i1[k] != 0
+				u.value = s1[k]
+			case kindEdge:
+				u.edges = append(u.edges, Edge{
+					Src: id, Dst: i1[k], Weight: f1[k], Type: s1[k], Created: i2[k],
+				})
+			case kindMessage:
+				u.msgs = append(u.msgs, Message{Src: i1[k], Dst: id, Value: s1[k]})
+			}
+		}
+		if sawVertex {
+			units = append(units, u)
+		} else {
+			dangling += len(u.msgs)
+		}
+		i = j
+	}
+	return units, dangling
+}
+
+// parseJoinPartition reassembles workUnits from the 3-way-join product,
+// deduplicating messages and edges via their ordinal columns.
+// Join-output layout:
+//
+//	0:id 1:value 2:halted | 3:msrc 4:mdst 5:mval 6:mid | 7:esrc 8:edst 9:weight 10:etype 11:created 12:eid
+func parseJoinPartition(b *storage.Batch) (units []workUnit, dangling int) {
+	n := b.Len()
+	ids := b.Cols[0].(*storage.Int64Column).Int64s()
+	for i := 0; i < n; {
+		j := i
+		id := ids[i]
+		for j < n && ids[j] == id {
+			j++
+		}
+		u := workUnit{id: id}
+		u.value = b.Cols[1].Value(i).S
+		u.halted = b.Cols[2].Value(i).Bool()
+		seenM := make(map[int64]bool)
+		seenE := make(map[int64]bool)
+		for k := i; k < j; k++ {
+			if mid := b.Cols[6].Value(k); !mid.Null && !seenM[mid.I] {
+				seenM[mid.I] = true
+				src := b.Cols[3].Value(k)
+				srcID := int64(-1)
+				if !src.Null {
+					srcID = src.I
+				}
+				u.msgs = append(u.msgs, Message{Src: srcID, Dst: id, Value: b.Cols[5].Value(k).S})
+			}
+			if eid := b.Cols[12].Value(k); !eid.Null && !seenE[eid.I] {
+				seenE[eid.I] = true
+				u.edges = append(u.edges, Edge{
+					Src:     id,
+					Dst:     b.Cols[8].Value(k).I,
+					Weight:  b.Cols[9].Value(k).F,
+					Type:    b.Cols[10].Value(k).S,
+					Created: b.Cols[11].Value(k).I,
+				})
+			}
+		}
+		units = append(units, u)
+		i = j
+	}
+	return units, 0
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := ErdosRenyi("er", 100, 500, 7)
+	if len(g.Edges) != 500 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	seen := map[[2]int64]bool{}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop generated")
+		}
+		if e.Src < 0 || e.Src >= 100 || e.Dst < 0 || e.Dst >= 100 {
+			t.Fatal("node id out of range")
+		}
+		k := [2]int64{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatal("duplicate edge")
+		}
+		seen[k] = true
+		if e.Weight <= 0 || e.Type == "" || e.Created < timeOrigin {
+			t.Fatal("metadata missing")
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := ErdosRenyi("a", 50, 100, 42)
+	b := ErdosRenyi("b", 50, 100, 42)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i].Src != b.Edges[i].Src || a.Edges[i].Dst != b.Edges[i].Dst ||
+			a.Edges[i].Weight != b.Edges[i].Weight {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment("pa", 2000, 5, 11)
+	deg := make(map[int64]int)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	// Power-law graphs have a hub: max degree far above average.
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("no skew: max degree %d vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT("rmat", 8, 300, 0.57, 0.19, 0.19, 5)
+	if g.Nodes != 256 || len(g.Edges) != 300 {
+		t.Fatalf("rmat shape: %d nodes %d edges", g.Nodes, len(g.Edges))
+	}
+}
+
+func TestMakeUndirected(t *testing.T) {
+	g := &Graph{Name: "u", Nodes: 3, Edges: []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 1, Dst: 2}}}
+	u := MakeUndirected(g)
+	if len(u.Edges) != 4 {
+		t.Fatalf("undirected edges = %d, want 4", len(u.Edges))
+	}
+	seen := map[[2]int64]bool{}
+	for _, e := range u.Edges {
+		k := [2]int64{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatal("duplicate after symmetrize")
+		}
+		seen[k] = true
+	}
+	if !seen[[2]int64{2, 1}] {
+		t.Error("reverse edge missing")
+	}
+}
+
+func TestMaxOutDegreeNode(t *testing.T) {
+	g := &Graph{Edges: []Edge{{Src: 5, Dst: 1}, {Src: 5, Dst: 2}, {Src: 3, Dst: 5}}}
+	if got := g.MaxOutDegreeNode(); got != 5 {
+		t.Errorf("max out-degree node = %d, want 5", got)
+	}
+}
+
+func TestPresetsShapes(t *testing.T) {
+	tw := TwitterScale(0.01)
+	gp := GPlusScale(0.01)
+	lj := LiveJournalScale(0.001)
+	avg := func(g *Graph) float64 { return float64(len(g.Edges)) / float64(g.Nodes) }
+	// GPlus is much denser than Twitter, which is denser than LiveJournal.
+	if !(avg(gp) > 2*avg(tw)) {
+		t.Errorf("gplus density %.1f should far exceed twitter %.1f", avg(gp), avg(tw))
+	}
+	if !(avg(tw) > avg(lj)) {
+		t.Errorf("twitter density %.1f should exceed livejournal %.1f", avg(tw), avg(lj))
+	}
+}
+
+func TestSnapRoundTrip(t *testing.T) {
+	g := ErdosRenyi("rt", 30, 60, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList("rt", &buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Edges) != len(g.Edges) {
+		t.Fatalf("round trip %d edges, want %d", len(back.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if back.Edges[i].Src != g.Edges[i].Src || back.Edges[i].Dst != g.Edges[i].Dst {
+			t.Fatal("edges reordered or corrupted")
+		}
+	}
+}
+
+func TestSnapParsing(t *testing.T) {
+	in := "# comment\n\n1 2\n3\t4\n"
+	g, err := ReadEdgeList("t", strings.NewReader(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 2 || g.Nodes != 5 {
+		t.Errorf("parsed %d edges, %d nodes", len(g.Edges), g.Nodes)
+	}
+	if _, err := ReadEdgeList("bad", strings.NewReader("1\n"), 1); err == nil {
+		t.Error("short line should fail")
+	}
+	if _, err := ReadEdgeList("bad", strings.NewReader("x y\n"), 1); err == nil {
+		t.Error("non-numeric should fail")
+	}
+}
+
+func TestApplyMetadata(t *testing.T) {
+	db := engine.New()
+	ids := []int64{1, 2, 3}
+	if err := ApplyMetadata(db, "g", ids, 42); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT COUNT(*) FROM g_vertex_meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Value(0, 0).I != 3 {
+		t.Errorf("meta rows = %v", rows.Value(0, 0))
+	}
+	// Schema: id + 24 + 8 + 18 + 10 = 61 columns.
+	all, err := db.Query("SELECT * FROM g_vertex_meta LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Columns()) != 61 {
+		t.Errorf("meta columns = %d, want 61", len(all.Columns()))
+	}
+	// Metadata is queryable relationally (the paper's §3.4 story).
+	v, err := db.QueryScalar("SELECT COUNT(*) FROM g_vertex_meta WHERE u0 IN (0, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 { // u0 has cardinality 2
+		t.Errorf("u0 cardinality breach: matched %v of 3", v)
+	}
+	// Re-applying replaces, not duplicates.
+	if err := ApplyMetadata(db, "g", ids, 43); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db.QueryScalar("SELECT COUNT(*) FROM g_vertex_meta")
+	if v.I != 3 {
+		t.Error("re-apply duplicated rows")
+	}
+}
+
+func TestUniformCardProgression(t *testing.T) {
+	if uniformCard(0) != 2 {
+		t.Error("first cardinality should be 2")
+	}
+	if uniformCard(23) != 1_000_000_000 {
+		t.Error("last cardinality should cap at 1e9")
+	}
+}

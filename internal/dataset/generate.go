@@ -1,0 +1,235 @@
+// Package dataset generates and loads the workloads of the paper's
+// evaluation: synthetic social graphs with the degree structure of the
+// SNAP datasets (Twitter, GPlus, LiveJournal), SNAP edge-list I/O for
+// the real files when available, and the §4 metadata generator (24
+// uniform integer attributes, 8 zipfian integers, 18 floats, 10 strings
+// per node; weight, timestamp and type per edge).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Edge is one directed edge with the paper's metadata attributes.
+type Edge struct {
+	Src, Dst int64
+	Weight   float64
+	Type     string
+	Created  int64
+}
+
+// Graph is a generated or loaded dataset.
+type Graph struct {
+	Name  string
+	Nodes int64 // node ids are 0..Nodes-1 for generated graphs
+	Edges []Edge
+}
+
+// EdgeTypes are the §4 edge types, chosen uniformly at random.
+var EdgeTypes = []string{"family", "friend", "classmate"}
+
+// timeOrigin is an arbitrary fixed epoch (2009-01-01) for generated
+// creation timestamps; tests rely on determinism, so no wall clock.
+const timeOrigin int64 = 1230768000
+
+// attachMeta fills in weight/type/created deterministically from rng.
+func attachMeta(rng *rand.Rand, e *Edge) {
+	e.Weight = 0.1 + rng.Float64()*9.9
+	e.Type = EdgeTypes[rng.Intn(len(EdgeTypes))]
+	// Timestamps spread over ~5 years, supporting the paper's
+	// "how did PageRank change over the last year" scenario.
+	e.Created = timeOrigin + int64(rng.Intn(5*365*24*3600))
+}
+
+// ErdosRenyi generates a uniform random directed graph with n nodes
+// and m distinct edges (no self-loops).
+func ErdosRenyi(name string, n int64, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Name: name, Nodes: n}
+	seen := make(map[[2]int64]bool, m)
+	for len(g.Edges) < m {
+		a, b := rng.Int63n(n), rng.Int63n(n)
+		if a == b || seen[[2]int64{a, b}] {
+			continue
+		}
+		seen[[2]int64{a, b}] = true
+		e := Edge{Src: a, Dst: b}
+		attachMeta(rng, &e)
+		g.Edges = append(g.Edges, e)
+	}
+	return g
+}
+
+// PreferentialAttachment generates a power-law (Barabási–Albert-style)
+// directed graph: nodes arrive one at a time and attach k edges to
+// endpoints sampled proportionally to degree — the degree skew of real
+// social networks, which drives the hot-vertex behaviour of Figure 2.
+func PreferentialAttachment(name string, n int64, k int, seed int64) *Graph {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Name: name, Nodes: n}
+	// endpointPool holds one entry per edge endpoint; sampling from it
+	// is sampling proportional to degree.
+	pool := make([]int64, 0, 2*int(n)*k)
+	pool = append(pool, 0, 1)
+	g.Edges = append(g.Edges, withMeta(rng, 0, 1))
+	seen := map[[2]int64]bool{{0, 1}: true}
+	for v := int64(2); v < n; v++ {
+		attached := 0
+		attempts := 0
+		for attached < k && attempts < 20*k {
+			attempts++
+			t := pool[rng.Intn(len(pool))]
+			if t == v {
+				continue
+			}
+			// Randomize edge orientation: real social graphs have both
+			// follow directions, which keeps forward reachability high
+			// (the SSSP experiments depend on the source reaching a
+			// large region, as in the paper's datasets).
+			src, dst := v, t
+			if rng.Intn(2) == 0 {
+				src, dst = t, v
+			}
+			key := [2]int64{src, dst}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.Edges = append(g.Edges, withMeta(rng, src, dst))
+			pool = append(pool, v, t)
+			attached++
+		}
+		if attached == 0 {
+			// Fall back to a uniform target so every node connects.
+			t := rng.Int63n(v)
+			key := [2]int64{v, t}
+			if !seen[key] {
+				seen[key] = true
+				g.Edges = append(g.Edges, withMeta(rng, v, t))
+				pool = append(pool, v, t)
+			}
+		}
+	}
+	return g
+}
+
+func withMeta(rng *rand.Rand, src, dst int64) Edge {
+	e := Edge{Src: src, Dst: dst}
+	attachMeta(rng, &e)
+	return e
+}
+
+// RMAT generates a Kronecker-style graph (R-MAT) with 2^scale nodes
+// and m edges using the standard (a,b,c,d) quadrant probabilities;
+// duplicate edges and self-loops are rejected.
+func RMAT(name string, scale uint, m int, a, b, c float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := int64(1) << scale
+	g := &Graph{Name: name, Nodes: n}
+	seen := make(map[[2]int64]bool, m)
+	for len(g.Edges) < m {
+		var src, dst int64
+		for bit := uint(0); bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b:
+				dst |= 1 << bit
+			case r < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src == dst || seen[[2]int64{src, dst}] {
+			continue
+		}
+		seen[[2]int64{src, dst}] = true
+		g.Edges = append(g.Edges, withMeta(rng, src, dst))
+	}
+	return g
+}
+
+// MakeUndirected returns a graph with every edge also stored in the
+// reverse direction (deduplicated) — how the paper's undirected SNAP
+// graphs load, and what the 1-hop SQL algorithms expect.
+func MakeUndirected(g *Graph) *Graph {
+	out := &Graph{Name: g.Name, Nodes: g.Nodes}
+	seen := make(map[[2]int64]bool, 2*len(g.Edges))
+	for _, e := range g.Edges {
+		if !seen[[2]int64{e.Src, e.Dst}] {
+			seen[[2]int64{e.Src, e.Dst}] = true
+			out.Edges = append(out.Edges, e)
+		}
+		rev := e
+		rev.Src, rev.Dst = e.Dst, e.Src
+		if !seen[[2]int64{rev.Src, rev.Dst}] {
+			seen[[2]int64{rev.Src, rev.Dst}] = true
+			out.Edges = append(out.Edges, rev)
+		}
+	}
+	return out
+}
+
+// MaxOutDegreeNode returns the node with the most out-edges — the
+// paper-style SSSP source (a well-connected seed).
+func (g *Graph) MaxOutDegreeNode() int64 {
+	deg := make(map[int64]int)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+	}
+	best, bestDeg := int64(0), -1
+	for id, d := range deg {
+		if d > bestDeg || (d == bestDeg && id < best) {
+			best, bestDeg = id, d
+		}
+	}
+	return best
+}
+
+// Paper-shaped presets. The SNAP graphs in Figure 2 are Twitter
+// (81K nodes / 1.7M edges), GPlus (107K / 13.6M) and LiveJournal
+// (4.8M / 68M). scale linearly shrinks node counts while preserving
+// each dataset's average degree and skew so single-machine runs keep
+// the relative shape. scale=1 reproduces full paper sizes.
+//
+// The three presets differ in average degree (Twitter ≈21, GPlus ≈127,
+// LiveJournal ≈14), which is what separates their curves in Figure 2.
+
+// TwitterScale generates the Twitter-shaped dataset at the given scale.
+func TwitterScale(scale float64) *Graph {
+	n := int64(81306 * scale)
+	if n < 64 {
+		n = 64
+	}
+	return PreferentialAttachment("twitter_s", n, 10, 1001) // ~21 avg total degree
+}
+
+// GPlusScale generates the GPlus-shaped dataset at the given scale.
+func GPlusScale(scale float64) *Graph {
+	n := int64(107614 * scale)
+	if n < 64 {
+		n = 64
+	}
+	return PreferentialAttachment("gplus_s", n, 63, 2002) // ~127 avg total degree
+}
+
+// LiveJournalScale generates the LiveJournal-shaped dataset at the
+// given scale.
+func LiveJournalScale(scale float64) *Graph {
+	n := int64(4847571 * scale)
+	if n < 64 {
+		n = 64
+	}
+	return PreferentialAttachment("livejournal_s", n, 7, 3003) // ~14 avg total degree
+}
+
+// Stats summarizes a dataset for logging.
+func (g *Graph) Stats() string {
+	return fmt.Sprintf("%s: %d nodes, %d edges", g.Name, g.Nodes, len(g.Edges))
+}

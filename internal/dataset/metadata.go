@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Metadata generation per §4 of the paper: every node gets 24 uniform
+// integer attributes (cardinality 2 … 10^9), 8 zipfian integer
+// attributes with varying skew, 18 floating-point attributes with
+// varying ranges, and 10 string attributes with varying size and
+// cardinality. Edges already carry weight/type/created (attachMeta).
+
+// MetaTableName returns the vertex-metadata table for a graph.
+func MetaTableName(graphName string) string { return graphName + "_vertex_meta" }
+
+// uniformCard spreads attribute cardinalities from 2 to 1e9 over the
+// 24 uniform columns (geometric progression, matching the paper's
+// "cardinality varying from 2 to 10^9").
+func uniformCard(i int) int64 {
+	card := int64(2 * math.Pow(5e8, float64(i)/23.0))
+	if card < 2 {
+		card = 2
+	}
+	if card > 1_000_000_000 {
+		card = 1_000_000_000
+	}
+	return card
+}
+
+// MetadataSchema builds the §4 vertex-metadata schema.
+func MetadataSchema() storage.Schema {
+	cols := []storage.ColumnDef{storage.NotNullCol("id", storage.TypeInt64)}
+	for i := 0; i < 24; i++ {
+		cols = append(cols, storage.Col(fmt.Sprintf("u%d", i), storage.TypeInt64))
+	}
+	for i := 0; i < 8; i++ {
+		cols = append(cols, storage.Col(fmt.Sprintf("z%d", i), storage.TypeInt64))
+	}
+	for i := 0; i < 18; i++ {
+		cols = append(cols, storage.Col(fmt.Sprintf("f%d", i), storage.TypeFloat64))
+	}
+	for i := 0; i < 10; i++ {
+		cols = append(cols, storage.Col(fmt.Sprintf("s%d", i), storage.TypeString))
+	}
+	return storage.NewSchema(cols...)
+}
+
+// ApplyMetadata creates and fills <graph>_vertex_meta for the given
+// node ids, deterministically from seed.
+func ApplyMetadata(db *engine.DB, graphName string, nodeIDs []int64, seed int64) error {
+	name := MetaTableName(graphName)
+	if db.Catalog().Has(name) {
+		if err := db.Catalog().Drop(name); err != nil {
+			return err
+		}
+	}
+	t, err := db.Catalog().Create(name, MetadataSchema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipfs := make([]*rand.Zipf, 8)
+	for i := range zipfs {
+		s := 1.1 + 0.2*float64(i) // varying skewness 1.1 … 2.5
+		zipfs[i] = rand.NewZipf(rng, s, 1, 1_000_000)
+	}
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+		"eta", "theta", "iota", "kappa", "lambda", "mu"}
+
+	batch := storage.NewBatch(MetadataSchema())
+	for _, id := range nodeIDs {
+		row := make([]storage.Value, 0, 61)
+		row = append(row, storage.Int64(id))
+		for i := 0; i < 24; i++ {
+			row = append(row, storage.Int64(rng.Int63n(uniformCard(i))))
+		}
+		for i := 0; i < 8; i++ {
+			row = append(row, storage.Int64(int64(zipfs[i].Uint64())))
+		}
+		for i := 0; i < 18; i++ {
+			lo := -float64(int64(1) << uint(i%10))
+			hi := float64(int64(1) << uint(i%16))
+			row = append(row, storage.Float64(lo+rng.Float64()*(hi-lo)))
+		}
+		for i := 0; i < 10; i++ {
+			// Varying size (1..i+1 words) and cardinality.
+			nWords := 1 + i%4
+			s := ""
+			for w := 0; w < nWords; w++ {
+				if w > 0 {
+					s += "-"
+				}
+				s += words[rng.Intn(2+i)]
+			}
+			row = append(row, storage.Str(s))
+		}
+		if err := batch.AppendRow(row...); err != nil {
+			return err
+		}
+	}
+	return t.AppendBatch(batch)
+}

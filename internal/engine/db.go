@@ -1,0 +1,397 @@
+// Package engine is the embedded relational database Vertexica runs
+// on: a catalog of columnar tables, a SQL interface (parser → planner →
+// vectorized executor), scalar UDF registration, statement-level
+// transactions with rollback, and snapshot + write-ahead-log
+// persistence. It plays the role Vertica plays in the paper.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// DB is an embedded relational database instance.
+type DB struct {
+	mu      sync.Mutex // serializes statements (statement-level isolation)
+	cat     *catalog.Catalog
+	funcs   *expr.Registry
+	planner *plan.Planner
+
+	txn *txnState // non-nil while a transaction is open
+
+	dir string // persistence directory; "" = in-memory only
+	wal *walWriter
+}
+
+// New returns an in-memory database.
+func New() *DB {
+	cat := catalog.New()
+	funcs := expr.NewRegistry()
+	return &DB{cat: cat, funcs: funcs, planner: plan.New(cat, funcs)}
+}
+
+// Catalog exposes the table namespace (used by the vertex runtime).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Funcs exposes the scalar-function registry (the UDF hook).
+func (db *DB) Funcs() *expr.Registry { return db.funcs }
+
+// RegisterUDF registers a scalar user-defined function usable from SQL.
+func (db *DB) RegisterUDF(f *expr.ScalarFunc) error { return db.funcs.Register(f) }
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	// Data holds the result batch; Schema gives column names and types.
+	Data *storage.Batch
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.Data.Schema.Names() }
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return r.Data.Len() }
+
+// Row materializes row i.
+func (r *Rows) Row(i int) []storage.Value { return r.Data.Row(i) }
+
+// Value returns the value at (row, col).
+func (r *Rows) Value(row, col int) storage.Value { return r.Data.Cols[col].Value(row) }
+
+// Result reports the effect of a DML/DDL statement.
+type Result struct {
+	RowsAffected int
+}
+
+// Query parses, plans and executes a SELECT, returning materialized
+// rows.
+func (db *DB) Query(text string) (*Rows, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires a SELECT; use Exec for %T", st)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.querySelectLocked(sel)
+}
+
+func (db *DB) querySelectLocked(sel *sql.SelectStmt) (*Rows, error) {
+	op, err := db.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	data, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Data: data}, nil
+}
+
+// QueryScalar runs a query expected to produce exactly one value.
+func (db *DB) QueryScalar(text string) (storage.Value, error) {
+	rows, err := db.Query(text)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if rows.Len() != 1 || len(rows.Data.Cols) != 1 {
+		return storage.Value{}, fmt.Errorf("engine: scalar query returned %dx%d result", rows.Len(), len(rows.Data.Cols))
+	}
+	return rows.Value(0, 0), nil
+}
+
+// Exec parses and executes a DML or DDL statement.
+func (db *DB) Exec(text string) (Result, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return Result{}, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.execLocked(st)
+	if err != nil {
+		return Result{}, err
+	}
+	db.logStatement(text)
+	return res, nil
+}
+
+func (db *DB) execLocked(st sql.Statement) (Result, error) {
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		rows, err := db.querySelectLocked(s)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: rows.Len()}, nil
+	case *sql.CreateTableStmt:
+		return db.execCreate(s)
+	case *sql.DropTableStmt:
+		return db.execDrop(s)
+	case *sql.TruncateStmt:
+		return db.execTruncate(s)
+	case *sql.InsertStmt:
+		return db.execInsert(s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(s)
+	case *sql.DeleteStmt:
+		return db.execDelete(s)
+	default:
+		return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execCreate(s *sql.CreateTableStmt) (Result, error) {
+	if db.cat.Has(s.Name) {
+		if s.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("engine: table %q already exists", s.Name)
+	}
+	cols := make([]storage.ColumnDef, len(s.Cols))
+	for i, c := range s.Cols {
+		t, err := typeFromName(c.TypeName)
+		if err != nil {
+			return Result{}, err
+		}
+		cols[i] = storage.ColumnDef{Name: c.Name, Type: t, NotNull: c.NotNull}
+	}
+	if _, err := db.cat.Create(s.Name, storage.NewSchema(cols...)); err != nil {
+		return Result{}, err
+	}
+	db.noteCreate(s.Name)
+	return Result{}, nil
+}
+
+func typeFromName(name string) (storage.Type, error) {
+	switch strings.ToUpper(name) {
+	case "INTEGER":
+		return storage.TypeInt64, nil
+	case "DOUBLE":
+		return storage.TypeFloat64, nil
+	case "VARCHAR":
+		return storage.TypeString, nil
+	case "BOOLEAN":
+		return storage.TypeBool, nil
+	}
+	return 0, fmt.Errorf("engine: unknown type %q", name)
+}
+
+func (db *DB) execDrop(s *sql.DropTableStmt) (Result, error) {
+	t, err := db.cat.Get(s.Name)
+	if err != nil {
+		if s.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, err
+	}
+	db.noteDrop(t)
+	return Result{}, db.cat.Drop(s.Name)
+}
+
+func (db *DB) execTruncate(s *sql.TruncateStmt) (Result, error) {
+	t, err := db.cat.Get(s.Name)
+	if err != nil {
+		return Result{}, err
+	}
+	n := t.NumRows()
+	db.noteWrite(t)
+	t.Truncate()
+	return Result{RowsAffected: n}, nil
+}
+
+func (db *DB) execInsert(s *sql.InsertStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := t.Schema()
+	// Map statement columns to table positions.
+	var colIdx []int
+	if len(s.Columns) == 0 {
+		colIdx = make([]int, schema.Len())
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		colIdx = make([]int, len(s.Columns))
+		for i, name := range s.Columns {
+			j := schema.IndexOf(name)
+			if j < 0 {
+				return Result{}, fmt.Errorf("engine: table %s has no column %q", s.Table, name)
+			}
+			colIdx[i] = j
+		}
+	}
+
+	var input *storage.Batch
+	if s.Select != nil {
+		rows, err := db.querySelectLocked(s.Select)
+		if err != nil {
+			return Result{}, err
+		}
+		input = rows.Data
+	} else {
+		defs := make([]storage.ColumnDef, len(colIdx))
+		for i, j := range colIdx {
+			defs[i] = storage.Col(fmt.Sprintf("c%d", i), schema.Cols[j].Type)
+		}
+		input = storage.NewBatch(storage.NewSchema(defs...))
+		// VALUES rows are evaluated against an empty scope.
+		emptyScope := &plan.Scope{}
+		for _, astRow := range s.Rows {
+			if len(astRow) != len(colIdx) {
+				return Result{}, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(astRow), len(colIdx))
+			}
+			vals := make([]storage.Value, len(astRow))
+			for i, e := range astRow {
+				bound, err := plan.BindExpr(e, emptyScope, db.funcs)
+				if err != nil {
+					return Result{}, err
+				}
+				v, err := bound.Eval(expr.Row{})
+				if err != nil {
+					return Result{}, err
+				}
+				vals[i] = v
+			}
+			if err := input.AppendRow(vals...); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	if len(input.Cols) != len(colIdx) {
+		return Result{}, fmt.Errorf("engine: INSERT source has %d columns, expected %d", len(input.Cols), len(colIdx))
+	}
+	db.noteWrite(t)
+	n := input.Len()
+	for i := 0; i < n; i++ {
+		row := make([]storage.Value, schema.Len())
+		for j := range row {
+			row[j] = storage.Null(schema.Cols[j].Type)
+		}
+		for k, j := range colIdx {
+			row[j] = input.Cols[k].Value(i)
+		}
+		if err := t.AppendRow(row...); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+// matchRows returns the indexes of rows matching the WHERE clause (all
+// rows when where is nil).
+func (db *DB) matchRows(t *storage.Table, where sql.Expr) ([]int, error) {
+	data := t.Data()
+	n := data.Len()
+	if where == nil {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	sc := plan.NewScope(t.Name(), t.Schema())
+	pred, err := plan.BindExpr(where, sc, db.funcs)
+	if err != nil {
+		return nil, err
+	}
+	if pred.Type() != storage.TypeBool {
+		return nil, fmt.Errorf("engine: WHERE must be boolean, got %s", pred.Type())
+	}
+	var idx []int
+	for i := 0; i < n; i++ {
+		ok, err := expr.EvalBool(pred, expr.Row{Batch: data, Idx: i})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
+}
+
+func (db *DB) execUpdate(s *sql.UpdateStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := t.Schema()
+	idx, err := db.matchRows(t, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(idx) == 0 {
+		return Result{}, nil
+	}
+	sc := plan.NewScope(t.Name(), schema)
+	data := t.Data()
+	type colUpdate struct {
+		col  int
+		vals []storage.Value
+	}
+	updates := make([]colUpdate, 0, len(s.Set))
+	for _, as := range s.Set {
+		j := schema.IndexOf(as.Column)
+		if j < 0 {
+			return Result{}, fmt.Errorf("engine: table %s has no column %q", s.Table, as.Column)
+		}
+		bound, err := plan.BindExpr(as.E, sc, db.funcs)
+		if err != nil {
+			return Result{}, err
+		}
+		vals := make([]storage.Value, len(idx))
+		for k, i := range idx {
+			v, err := bound.Eval(expr.Row{Batch: data, Idx: i})
+			if err != nil {
+				return Result{}, err
+			}
+			if v.Null && schema.Cols[j].NotNull {
+				return Result{}, fmt.Errorf("engine: NOT NULL constraint violated on %s.%s", s.Table, as.Column)
+			}
+			cv, err := storage.Coerce(v, schema.Cols[j].Type)
+			if err != nil {
+				return Result{}, err
+			}
+			vals[k] = cv
+		}
+		updates = append(updates, colUpdate{col: j, vals: vals})
+	}
+	db.noteWrite(t)
+	for _, u := range updates {
+		if err := t.UpdateInPlace(idx, u.col, u.vals); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: len(idx)}, nil
+}
+
+func (db *DB) execDelete(s *sql.DeleteStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	idx, err := db.matchRows(t, s.Where)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(idx) == 0 {
+		return Result{}, nil
+	}
+	db.noteWrite(t)
+	t.DeleteWhere(idx)
+	return Result{RowsAffected: len(idx)}, nil
+}

@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+)
+
+// Persistence: a full-database snapshot file (columnar, using the
+// storage encodings — delta/RLE for integers, dictionary for strings)
+// plus a statement-granularity write-ahead log. Open loads the snapshot
+// and replays the WAL; Checkpoint rewrites the snapshot and truncates
+// the WAL. This is the engine-level durability story the paper cites as
+// a reason to keep graphs in the RDBMS.
+
+const (
+	snapshotFile  = "snapshot.vxc"
+	walFile       = "wal.sql"
+	snapshotMagic = uint32(0x56585831) // "VXX1"
+)
+
+// Open returns a database persisted under dir, creating it if empty and
+// recovering (snapshot + WAL replay) if files exist.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	db := New()
+	db.dir = dir
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		if err := db.loadSnapshot(snapPath); err != nil {
+			return nil, fmt.Errorf("engine: recover snapshot: %w", err)
+		}
+	}
+	walPath := filepath.Join(dir, walFile)
+	if _, err := os.Stat(walPath); err == nil {
+		if err := db.replayWAL(walPath); err != nil {
+			return nil, fmt.Errorf("engine: replay wal: %w", err)
+		}
+	}
+	w, err := newWALWriter(walPath)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+// Close flushes and closes the WAL (no-op for in-memory databases).
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// Checkpoint writes a full snapshot and truncates the WAL. The vertex
+// runtime calls this after a graph-algorithm run so direct (non-SQL)
+// table mutations become durable.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return fmt.Errorf("engine: checkpoint requires a persistent database (use Open)")
+	}
+	if db.txn != nil {
+		return fmt.Errorf("engine: cannot checkpoint during a transaction")
+	}
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	if err := db.writeSnapshot(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		return err
+	}
+	return db.wal.truncate()
+}
+
+func (db *DB) writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := db.encodeSnapshot(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := writeUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func writeString(w io.Writer, s string) error { return writeBytes(w, []byte(s)) }
+
+func (db *DB) encodeSnapshot(w io.Writer) error {
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], snapshotMagic)
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	names := db.cat.Names()
+	if err := writeUvarint(w, uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t, err := db.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		if err := encodeTable(w, t); err != nil {
+			return fmt.Errorf("table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func encodeTable(w io.Writer, t *storage.Table) error {
+	if err := writeString(w, t.Name()); err != nil {
+		return err
+	}
+	schema := t.Schema()
+	if err := writeUvarint(w, uint64(schema.Len())); err != nil {
+		return err
+	}
+	for _, c := range schema.Cols {
+		if err := writeString(w, c.Name); err != nil {
+			return err
+		}
+		flags := uint64(c.Type) << 1
+		if c.NotNull {
+			flags |= 1
+		}
+		if err := writeUvarint(w, flags); err != nil {
+			return err
+		}
+	}
+	data := t.Data()
+	n := data.Len()
+	if err := writeUvarint(w, uint64(n)); err != nil {
+		return err
+	}
+	for _, col := range data.Cols {
+		if err := encodeColumn(w, col, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeColumn(w io.Writer, col storage.Column, n int) error {
+	// Null bitmap first.
+	nulls := storage.NullsOf(col)
+	words := nulls.Words()
+	if err := writeUvarint(w, uint64(len(words))); err != nil {
+		return err
+	}
+	var wb [8]byte
+	for _, word := range words {
+		binary.LittleEndian.PutUint64(wb[:], word)
+		if _, err := w.Write(wb[:]); err != nil {
+			return err
+		}
+	}
+	switch c := col.(type) {
+	case *storage.Int64Column:
+		enc, _ := storage.CompressedSize(c.Int64s())
+		var payload []byte
+		if enc == storage.EncRLE {
+			payload = storage.EncodeInt64RLE(c.Int64s())
+		} else {
+			payload = storage.EncodeInt64Delta(c.Int64s())
+		}
+		return writeBytes(w, payload)
+	case *storage.Float64Column:
+		return writeBytes(w, storage.EncodeFloat64Plain(c.Float64s()))
+	case *storage.StringColumn:
+		return writeBytes(w, storage.EncodeStringDict(c.Strings()))
+	case *storage.BoolColumn:
+		ints := make([]int64, n)
+		for i, b := range c.Bools() {
+			if b {
+				ints[i] = 1
+			}
+		}
+		return writeBytes(w, storage.EncodeInt64RLE(ints))
+	default:
+		return fmt.Errorf("engine: cannot encode column type %T", col)
+	}
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) { return binary.ReadUvarint(r) }
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	b, err := readBytes(r)
+	return string(b), err
+}
+
+func (db *DB) loadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(magic[:]) != snapshotMagic {
+		return fmt.Errorf("bad snapshot magic")
+	}
+	nt, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nt; i++ {
+		if err := db.decodeTable(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) decodeTable(r *bufio.Reader) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	nc, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	cols := make([]storage.ColumnDef, nc)
+	for i := range cols {
+		cname, err := readString(r)
+		if err != nil {
+			return err
+		}
+		flags, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		cols[i] = storage.ColumnDef{Name: cname, Type: storage.Type(flags >> 1), NotNull: flags&1 != 0}
+	}
+	n, err := readUvarint(r)
+	if err != nil {
+		return err
+	}
+	schema := storage.NewSchema(cols...)
+	batch := &storage.Batch{Schema: schema, Cols: make([]storage.Column, nc)}
+	for i := range batch.Cols {
+		col, err := decodeColumn(r, cols[i].Type, int(n))
+		if err != nil {
+			return fmt.Errorf("table %s column %s: %w", name, cols[i].Name, err)
+		}
+		batch.Cols[i] = col
+	}
+	t := storage.NewTable(name, schema)
+	if err := t.Replace(batch); err != nil {
+		return err
+	}
+	db.cat.Put(t)
+	return nil
+}
+
+func decodeColumn(r *bufio.Reader, typ storage.Type, n int) (storage.Column, error) {
+	nw, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	var nulls *storage.Bitmap
+	if nw > 0 {
+		words := make([]uint64, nw)
+		var wb [8]byte
+		for i := range words {
+			if _, err := io.ReadFull(r, wb[:]); err != nil {
+				return nil, err
+			}
+			words[i] = binary.LittleEndian.Uint64(wb[:])
+		}
+		nulls = storage.BitmapFromWords(words, n)
+	}
+	payload, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	var col storage.Column
+	switch typ {
+	case storage.TypeInt64:
+		var vals []int64
+		if len(payload) > 0 && storage.Encoding(payload[0]) == storage.EncRLE {
+			vals, err = storage.DecodeInt64RLE(payload)
+		} else {
+			vals, err = storage.DecodeInt64Delta(payload)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if vals == nil {
+			vals = []int64{}
+		}
+		col = storage.NewInt64Column(vals)
+	case storage.TypeFloat64:
+		vals, err := storage.DecodeFloat64Plain(payload)
+		if err != nil {
+			return nil, err
+		}
+		col = storage.NewFloat64Column(vals)
+	case storage.TypeString:
+		vals, err := storage.DecodeStringDict(payload)
+		if err != nil {
+			return nil, err
+		}
+		col = storage.NewStringColumn(vals)
+	case storage.TypeBool:
+		ints, err := storage.DecodeInt64RLE(payload)
+		if err != nil {
+			return nil, err
+		}
+		bools := make([]bool, len(ints))
+		for i, v := range ints {
+			bools[i] = v != 0
+		}
+		col = storage.NewBoolColumn(bools)
+	default:
+		return nil, fmt.Errorf("unknown column type %d", typ)
+	}
+	if col.Len() != n {
+		return nil, fmt.Errorf("column has %d rows, expected %d", col.Len(), n)
+	}
+	if nulls != nil {
+		storage.SetNulls(col, nulls)
+	}
+	return col, nil
+}
+
+// --- WAL ---
+
+// walWriter appends length-prefixed SQL statements to the log.
+type walWriter struct {
+	path string
+	f    *os.File
+}
+
+func newWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{path: path, f: f}, nil
+}
+
+func (w *walWriter) append(stmt string) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(stmt)))
+	if _, err := w.f.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write([]byte(stmt)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) truncate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(w.path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+func (w *walWriter) close() error { return w.f.Close() }
+
+// replayWAL re-executes logged statements against the recovered
+// snapshot. A truncated trailing record (torn write) ends replay
+// cleanly.
+func (db *DB) replayWAL(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		n, err := binary.ReadUvarint(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return nil // torn length prefix: stop replay
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil // torn record: stop replay
+		}
+		if _, err := db.Exec(string(buf)); err != nil {
+			return fmt.Errorf("replaying %q: %w", string(buf), err)
+		}
+	}
+}

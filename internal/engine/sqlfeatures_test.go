@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"testing"
+)
+
+// End-to-end SQL feature coverage: every construct the SQL graph
+// algorithms and the §3.4 metadata queries rely on, run through parse →
+// plan → execute.
+
+func featureDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db,
+		"CREATE TABLE people (id INTEGER NOT NULL, name VARCHAR, age INTEGER, score DOUBLE, vip BOOLEAN)",
+		`INSERT INTO people VALUES
+			(1, 'ada', 36, 9.5, TRUE),
+			(2, 'bob', 25, 4.5, FALSE),
+			(3, 'cyd', NULL, 7.25, FALSE),
+			(4, 'dee', 25, NULL, TRUE)`,
+	)
+	return db
+}
+
+func TestSQLCaseExpression(t *testing.T) {
+	db := featureDB(t)
+	rows, err := db.Query(`SELECT name, CASE WHEN age IS NULL THEN 'unknown'
+		WHEN age < 30 THEN 'young' ELSE 'adult' END AS bucket FROM people ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"adult", "young", "unknown", "young"}
+	for i, w := range want {
+		if rows.Value(i, 1).S != w {
+			t.Errorf("bucket[%d] = %q, want %q", i, rows.Value(i, 1).S, w)
+		}
+	}
+}
+
+func TestSQLLikeAndIn(t *testing.T) {
+	db := featureDB(t)
+	v, err := db.QueryScalar("SELECT COUNT(*) FROM people WHERE name LIKE '%d%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 { // ada, cyd, dee
+		t.Errorf("LIKE matched %v, want 3", v)
+	}
+	v, err = db.QueryScalar("SELECT COUNT(*) FROM people WHERE age IN (25, 36)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 {
+		t.Errorf("IN matched %v, want 3", v)
+	}
+	v, err = db.QueryScalar("SELECT COUNT(*) FROM people WHERE age NOT IN (25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 1 { // NULL age is neither in nor not-in
+		t.Errorf("NOT IN matched %v, want 1", v)
+	}
+}
+
+func TestSQLBetweenAndBooleans(t *testing.T) {
+	db := featureDB(t)
+	v, err := db.QueryScalar("SELECT COUNT(*) FROM people WHERE score BETWEEN 5.0 AND 10.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 2 {
+		t.Errorf("BETWEEN matched %v, want 2", v)
+	}
+	v, err = db.QueryScalar("SELECT COUNT(*) FROM people WHERE vip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 2 {
+		t.Errorf("bare boolean matched %v, want 2", v)
+	}
+	v, err = db.QueryScalar("SELECT COUNT(*) FROM people WHERE NOT vip AND score > 5.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 1 {
+		t.Errorf("NOT + AND matched %v, want 1", v)
+	}
+}
+
+func TestSQLCastAndArithmetic(t *testing.T) {
+	db := featureDB(t)
+	v, err := db.QueryScalar("SELECT CAST(score AS INTEGER) FROM people WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 7 {
+		t.Errorf("cast = %v", v)
+	}
+	v, err = db.QueryScalar("SELECT age % 10 FROM people WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 6 {
+		t.Errorf("modulo = %v", v)
+	}
+	v, err = db.QueryScalar("SELECT name || '!' FROM people WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "bob!" {
+		t.Errorf("concat = %v", v)
+	}
+}
+
+func TestSQLNullAggregation(t *testing.T) {
+	db := featureDB(t)
+	rows, err := db.Query("SELECT COUNT(*), COUNT(age), AVG(age), MIN(score), MAX(score) FROM people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Row(0)
+	if r[0].I != 4 || r[1].I != 3 {
+		t.Errorf("counts = %v, %v", r[0], r[1])
+	}
+	if r[2].F != (36.0+25+25)/3 {
+		t.Errorf("avg skips NULLs: %v", r[2])
+	}
+	if r[3].F != 4.5 || r[4].F != 9.5 {
+		t.Errorf("min/max = %v, %v", r[3], r[4])
+	}
+}
+
+func TestSQLGroupByMultipleKeys(t *testing.T) {
+	db := featureDB(t)
+	rows, err := db.Query(`SELECT vip, age, COUNT(*) AS c FROM people
+		GROUP BY vip, age ORDER BY 3 DESC, 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("groups = %d", rows.Len())
+	}
+	if rows.Value(0, 2).I != 1 {
+		t.Errorf("every (vip,age) group is unique here: %v", rows.Row(0))
+	}
+}
+
+func TestSQLOrderByMultipleKeysAndNulls(t *testing.T) {
+	db := featureDB(t)
+	rows, err := db.Query("SELECT id, age FROM people ORDER BY age, id DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULL sorts first, then 25 (ids 4,2 desc), then 36.
+	wantIDs := []int64{3, 4, 2, 1}
+	for i, w := range wantIDs {
+		if rows.Value(i, 0).I != w {
+			t.Errorf("row %d id = %v, want %d", i, rows.Value(i, 0), w)
+		}
+	}
+}
+
+func TestSQLScalarFunctionsInQueries(t *testing.T) {
+	db := featureDB(t)
+	v, err := db.QueryScalar("SELECT UPPER(SUBSTR(name, 1, 2)) FROM people WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.S != "AD" {
+		t.Errorf("nested funcs = %v", v)
+	}
+	v, err = db.QueryScalar("SELECT COALESCE(age, 0) + LENGTH(name) FROM people WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 3 {
+		t.Errorf("coalesce+length = %v", v)
+	}
+}
+
+func TestSQLSelfJoinWithInequality(t *testing.T) {
+	db := featureDB(t)
+	// Pairs of distinct people with the same age (the strong-overlap
+	// join shape: equi key + inequality residual).
+	rows, err := db.Query(`SELECT a.name, b.name FROM people a
+		JOIN people b ON a.age = b.age AND a.id < b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Value(0, 0).S != "bob" || rows.Value(0, 1).S != "dee" {
+		t.Errorf("self join = %d rows", rows.Len())
+	}
+}
+
+func TestSQLInsertCoercion(t *testing.T) {
+	db := featureDB(t)
+	// Integer literal into DOUBLE column, string into VARCHAR.
+	mustExec(t, db, "INSERT INTO people VALUES (5, 'eve', 30, 8, FALSE)")
+	v, err := db.QueryScalar("SELECT score FROM people WHERE id = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Type.String() != "DOUBLE" || v.F != 8 {
+		t.Errorf("coerced insert = %v (%s)", v, v.Type)
+	}
+}
+
+func TestSQLUnionAllTypeCoercionRejected(t *testing.T) {
+	db := featureDB(t)
+	if _, err := db.Query("SELECT name FROM people UNION ALL SELECT age FROM people"); err == nil {
+		t.Error("VARCHAR / INTEGER union must be rejected")
+	}
+}
+
+func TestSQLDivisionSemantics(t *testing.T) {
+	db := featureDB(t)
+	v, err := db.QueryScalar("SELECT 1 / 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 0.25 {
+		t.Errorf("integer division must not truncate (rank/outdeg!): %v", v)
+	}
+	v, err = db.QueryScalar("SELECT 1.0 / 0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Null {
+		t.Errorf("division by zero = %v, want NULL", v)
+	}
+}

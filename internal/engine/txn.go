@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// txnState tracks undo information for an open transaction. The engine
+// uses table-level undo images: the first write to a table inside the
+// transaction clones it; rollback restores the clones, drops tables
+// created by the transaction, and re-registers tables it dropped.
+type txnState struct {
+	undo    map[string]*storage.Table // pre-image clones, keyed by name
+	created []string                  // tables created in this txn
+	dropped []*storage.Table          // table objects dropped in this txn
+	log     []string                  // statements to WAL on commit
+}
+
+// Begin starts a transaction. Nested transactions are not supported.
+func (db *DB) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn != nil {
+		return fmt.Errorf("engine: transaction already open")
+	}
+	db.txn = &txnState{undo: make(map[string]*storage.Table)}
+	return nil
+}
+
+// InTransaction reports whether a transaction is open.
+func (db *DB) InTransaction() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.txn != nil
+}
+
+// Commit makes the transaction's changes durable (appending its
+// statements to the WAL when persistence is enabled).
+func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn == nil {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	if db.wal != nil {
+		for _, stmt := range db.txn.log {
+			if err := db.wal.append(stmt); err != nil {
+				return fmt.Errorf("engine: commit: %w", err)
+			}
+		}
+	}
+	db.txn = nil
+	return nil
+}
+
+// Rollback undoes every change made since Begin.
+func (db *DB) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn == nil {
+		return fmt.Errorf("engine: no open transaction")
+	}
+	t := db.txn
+	db.txn = nil
+	// Undo writes.
+	for name, pre := range t.undo {
+		cur, err := db.cat.Get(name)
+		if err == nil {
+			cur.RestoreFrom(pre)
+		} else {
+			// Table was dropped after being written; restore the clone.
+			db.cat.Put(pre)
+		}
+	}
+	// Drop tables created inside the transaction.
+	for _, name := range t.created {
+		_ = db.cat.Drop(name)
+	}
+	// Restore tables dropped inside the transaction (unless a write
+	// clone already restored them).
+	for _, tb := range t.dropped {
+		if !db.cat.Has(tb.Name()) {
+			db.cat.Put(tb)
+		}
+	}
+	return nil
+}
+
+// noteWrite records an undo image for a table about to be mutated.
+// Callers must hold db.mu.
+func (db *DB) noteWrite(t *storage.Table) {
+	if db.txn == nil {
+		return
+	}
+	key := t.Name()
+	if _, ok := db.txn.undo[key]; !ok {
+		db.txn.undo[key] = t.Clone()
+	}
+}
+
+// noteCreate records a table created during the transaction.
+func (db *DB) noteCreate(name string) {
+	if db.txn == nil {
+		return
+	}
+	db.txn.created = append(db.txn.created, name)
+}
+
+// noteDrop records a dropped table for potential restore.
+func (db *DB) noteDrop(t *storage.Table) {
+	if db.txn == nil {
+		return
+	}
+	db.txn.dropped = append(db.txn.dropped, t)
+}
+
+// logStatement routes a successfully executed statement either into the
+// transaction's pending log or straight to the WAL. Callers must hold
+// db.mu.
+func (db *DB) logStatement(text string) {
+	if db.txn != nil {
+		db.txn.log = append(db.txn.log, text)
+		return
+	}
+	if db.wal != nil {
+		_ = db.wal.append(text)
+	}
+}

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// HashAggregate groups its input by the GroupBy expressions and
+// evaluates the aggregates per group. Its output schema is the group
+// columns followed by one column per aggregate. With no GroupBy
+// expressions it produces exactly one row (the SQL scalar-aggregate
+// case), even for empty input.
+type HashAggregate struct {
+	Input   Operator
+	GroupBy []expr.Expr
+	Aggs    []*expr.Aggregate
+	// Names provides output column names: len(GroupBy)+len(Aggs).
+	Names []string
+
+	out    storage.Schema
+	result *storage.Batch
+	sent   bool
+}
+
+// Schema implements Operator.
+func (a *HashAggregate) Schema() storage.Schema {
+	if a.out.Len() == 0 {
+		cols := make([]storage.ColumnDef, 0, len(a.GroupBy)+len(a.Aggs))
+		for i, g := range a.GroupBy {
+			cols = append(cols, storage.Col(a.Names[i], g.Type()))
+		}
+		for i, ag := range a.Aggs {
+			t, err := ag.ResultType()
+			if err != nil {
+				t = storage.TypeFloat64
+			}
+			cols = append(cols, storage.Col(a.Names[len(a.GroupBy)+i], t))
+		}
+		a.out = storage.NewSchema(cols...)
+	}
+	return a.out
+}
+
+type aggGroup struct {
+	keys []storage.Value
+	accs []*expr.Accumulator
+}
+
+// fastKeyable reports whether the vectorized single-int64-key path
+// applies: one INTEGER group key, no DISTINCT aggregates.
+func (a *HashAggregate) fastKeyable() bool {
+	if len(a.GroupBy) != 1 || a.GroupBy[0].Type() != storage.TypeInt64 {
+		return false
+	}
+	for _, ag := range a.Aggs {
+		if ag.Distinct {
+			return false
+		}
+	}
+	return true
+}
+
+// openFast consumes the input with the vectorized path: the group key
+// and every aggregate input are evaluated as whole columns per batch,
+// and groups live in an int64-keyed map.
+func (a *HashAggregate) openFast() error {
+	type group struct {
+		key  int64
+		accs []*expr.Accumulator
+	}
+	groups := make(map[int64]*group)
+	var order []*group
+	for {
+		b, err := a.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keyCol, err := expr.EvalVector(a.GroupBy[0], b)
+		if err != nil {
+			return err
+		}
+		keys, ok := keyCol.(*storage.Int64Column)
+		if !ok || storage.NullsOf(keys).Any() {
+			return a.openSlowFrom(b, keyCol)
+		}
+		inputs := make([]storage.Column, len(a.Aggs))
+		for k, ag := range a.Aggs {
+			if ag.Kind == expr.AggCountStar {
+				continue
+			}
+			col, err := expr.EvalVector(ag.Input, b)
+			if err != nil {
+				return err
+			}
+			inputs[k] = col
+		}
+		kv := keys.Int64s()
+		for i := range kv {
+			g := groups[kv[i]]
+			if g == nil {
+				g = &group{key: kv[i], accs: make([]*expr.Accumulator, len(a.Aggs))}
+				for k, ag := range a.Aggs {
+					g.accs[k] = ag.NewAccumulator()
+				}
+				groups[kv[i]] = g
+				order = append(order, g)
+			}
+			for k, ag := range a.Aggs {
+				if ag.Kind == expr.AggCountStar {
+					g.accs[k].Add(storage.Int64(1))
+					continue
+				}
+				g.accs[k].Add(inputs[k].Value(i))
+			}
+		}
+	}
+	a.result = storage.NewBatch(a.out)
+	for _, g := range order {
+		row := make([]storage.Value, 0, a.out.Len())
+		row = append(row, storage.Int64(g.key))
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		if err := a.result.AppendRow(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSlowFrom exists for the rare case where the fast path discovers
+// NULL group keys mid-stream; it restarts with the generic path.
+func (a *HashAggregate) openSlowFrom(*storage.Batch, storage.Column) error {
+	return fmt.Errorf("exec: aggregate fast path hit NULL group keys; re-run without fast path")
+}
+
+// Open implements Operator: it consumes the whole input and builds the
+// grouped result.
+func (a *HashAggregate) Open() error {
+	a.Schema()
+	a.sent = false
+	if err := a.Input.Open(); err != nil {
+		return err
+	}
+	defer a.Input.Close()
+
+	if a.fastKeyable() {
+		// Probe the key type on the first batch inside openFast; NULL
+		// keys abort to the generic path below via error.
+		if err := a.openFast(); err == nil {
+			return nil
+		}
+		// Restart the input for the generic path.
+		if err := a.Input.Close(); err != nil {
+			return err
+		}
+		if err := a.Input.Open(); err != nil {
+			return err
+		}
+	}
+
+	groups := make(map[uint64][]*aggGroup)
+	var order []*aggGroup // deterministic output order: first appearance
+
+	newGroup := func(keys []storage.Value) *aggGroup {
+		g := &aggGroup{keys: keys, accs: make([]*expr.Accumulator, len(a.Aggs))}
+		for i, ag := range a.Aggs {
+			g.accs[i] = ag.NewAccumulator()
+		}
+		order = append(order, g)
+		return g
+	}
+
+	if len(a.GroupBy) == 0 {
+		newGroup(nil)
+	}
+
+	for {
+		b, err := a.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := expr.Row{Batch: b, Idx: i}
+			var g *aggGroup
+			if len(a.GroupBy) == 0 {
+				g = order[0]
+			} else {
+				keys := make([]storage.Value, len(a.GroupBy))
+				for k, ge := range a.GroupBy {
+					v, err := ge.Eval(row)
+					if err != nil {
+						return err
+					}
+					keys[k] = v
+				}
+				h := storage.HashRow(keys)
+				for _, cand := range groups[h] {
+					if rowsEqual(cand.keys, keys) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = newGroup(keys)
+					groups[h] = append(groups[h], g)
+				}
+			}
+			for k, ag := range a.Aggs {
+				var v storage.Value
+				if ag.Kind == expr.AggCountStar {
+					v = storage.Int64(1)
+				} else {
+					var err error
+					v, err = ag.Input.Eval(row)
+					if err != nil {
+						return err
+					}
+				}
+				g.accs[k].Add(v)
+			}
+		}
+	}
+
+	a.result = storage.NewBatch(a.out)
+	for _, g := range order {
+		row := make([]storage.Value, 0, a.out.Len())
+		row = append(row, g.keys...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		if err := a.result.AppendRow(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (a *HashAggregate) Next() (*storage.Batch, error) {
+	if a.sent || a.result == nil || a.result.Len() == 0 {
+		return nil, nil
+	}
+	a.sent = true
+	return a.result, nil
+}
+
+// Close implements Operator.
+func (a *HashAggregate) Close() error {
+	a.result = nil
+	return nil
+}

@@ -1,0 +1,344 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+func intCol(name string) storage.ColumnDef { return storage.Col(name, storage.TypeInt64) }
+
+func makeTable(t *testing.T, name string, cols []storage.ColumnDef, rows [][]storage.Value) *storage.Table {
+	t.Helper()
+	tb := storage.NewTable(name, storage.NewSchema(cols...))
+	for _, r := range rows {
+		if err := tb.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func iv(v int64) storage.Value  { return storage.Int64(v) }
+func sv(s string) storage.Value { return storage.Str(s) }
+
+func colRef(b storage.Schema, name string) *expr.ColumnRef {
+	i := b.IndexOf(name)
+	return &expr.ColumnRef{Name: name, Index: i, Typ: b.Cols[i].Type}
+}
+
+func TestTableScanBatches(t *testing.T) {
+	tb := storage.NewTable("t", storage.NewSchema(intCol("x")))
+	for i := int64(0); i < int64(storage.BatchSize)+10; i++ {
+		_ = tb.AppendRow(iv(i))
+	}
+	scan := NewTableScan(tb)
+	out, err := Drain(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != storage.BatchSize+10 {
+		t.Fatalf("drained %d rows", out.Len())
+	}
+	if out.Row(storage.BatchSize + 9)[0].I != int64(storage.BatchSize)+9 {
+		t.Error("row order lost across batches")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tb := makeTable(t, "t", []storage.ColumnDef{intCol("x")},
+		[][]storage.Value{{iv(1)}, {iv(5)}, {iv(10)}, {iv(3)}})
+	scan := NewTableScan(tb)
+	pred, err := expr.NewBinary(expr.OpGt, colRef(tb.Schema(), "x"), &expr.Literal{Val: iv(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain(&Filter{Input: scan, Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Row(0)[0].I != 5 || out.Row(1)[0].I != 10 {
+		t.Errorf("filter result wrong: %d rows", out.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	tb := makeTable(t, "t", []storage.ColumnDef{intCol("x")}, [][]storage.Value{{iv(2)}, {iv(3)}})
+	double, err := expr.NewBinary(expr.OpMul, colRef(tb.Schema(), "x"), &expr.Literal{Val: iv(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProject(NewTableScan(tb), []expr.Expr{double}, []string{"d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Cols[0].Name != "d" || out.Row(0)[0].I != 4 || out.Row(1)[0].I != 6 {
+		t.Error("project wrong")
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	tb := storage.NewTable("t", storage.NewSchema(intCol("x")))
+	for i := int64(0); i < 10; i++ {
+		_ = tb.AppendRow(iv(i))
+	}
+	out, err := Drain(&Limit{Input: NewTableScan(tb), N: 3, Offset: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 || out.Row(0)[0].I != 4 || out.Row(2)[0].I != 6 {
+		t.Errorf("limit/offset wrong: len=%d", out.Len())
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	a := makeTable(t, "a", []storage.ColumnDef{intCol("x")}, [][]storage.Value{{iv(1)}})
+	b := makeTable(t, "b", []storage.ColumnDef{intCol("y")}, [][]storage.Value{{iv(2)}, {iv(3)}})
+	out, err := Drain(&UnionAll{Inputs: []Operator{NewTableScan(a), NewTableScan(b)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("union len = %d", out.Len())
+	}
+	if out.Schema.Cols[0].Name != "x" {
+		t.Error("union should take first input's names")
+	}
+}
+
+func TestUnionAllTypeMismatch(t *testing.T) {
+	a := makeTable(t, "a", []storage.ColumnDef{intCol("x")}, nil)
+	b := makeTable(t, "b", []storage.ColumnDef{storage.Col("y", storage.TypeString)}, nil)
+	u := &UnionAll{Inputs: []Operator{NewTableScan(a), NewTableScan(b)}}
+	if err := u.Open(); err == nil {
+		t.Error("type mismatch should fail Open")
+	}
+}
+
+func TestSortOperator(t *testing.T) {
+	tb := makeTable(t, "t", []storage.ColumnDef{intCol("x")},
+		[][]storage.Value{{iv(3)}, {iv(1)}, {iv(2)}})
+	out, err := Drain(&Sort{Input: NewTableScan(tb), Keys: []storage.SortKey{{Col: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []int64{1, 2, 3} {
+		if out.Row(i)[0].I != w {
+			t.Errorf("sorted[%d] = %d, want %d", i, out.Row(i)[0].I, w)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tb := makeTable(t, "t", []storage.ColumnDef{intCol("x"), storage.Col("s", storage.TypeString)},
+		[][]storage.Value{{iv(1), sv("a")}, {iv(1), sv("a")}, {iv(1), sv("b")}, {iv(2), sv("a")}})
+	out, err := Drain(&Distinct{Input: NewTableScan(tb)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("distinct len = %d, want 3", out.Len())
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	edges := makeTable(t, "e", []storage.ColumnDef{intCol("src"), intCol("dst")},
+		[][]storage.Value{{iv(1), iv(2)}, {iv(2), iv(3)}, {iv(9), iv(9)}})
+	verts := makeTable(t, "v", []storage.ColumnDef{intCol("id"), storage.Col("val", storage.TypeString)},
+		[][]storage.Value{{iv(2), sv("b")}, {iv(3), sv("c")}})
+	j := &HashJoin{
+		Left: NewTableScan(edges), Right: NewTableScan(verts),
+		LeftKeys: []int{1}, RightKeys: []int{0}, Type: InnerJoin,
+	}
+	out, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("join len = %d, want 2", out.Len())
+	}
+	if out.Row(0)[3].S != "b" || out.Row(1)[3].S != "c" {
+		t.Error("join payload wrong")
+	}
+}
+
+func TestHashJoinLeft(t *testing.T) {
+	l := makeTable(t, "l", []storage.ColumnDef{intCol("k")},
+		[][]storage.Value{{iv(1)}, {iv(2)}})
+	r := makeTable(t, "r", []storage.ColumnDef{intCol("k"), intCol("v")},
+		[][]storage.Value{{iv(1), iv(100)}})
+	j := &HashJoin{Left: NewTableScan(l), Right: NewTableScan(r),
+		LeftKeys: []int{0}, RightKeys: []int{0}, Type: LeftJoin}
+	out, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("left join len = %d", out.Len())
+	}
+	if out.Row(0)[2].I != 100 {
+		t.Error("matched row payload wrong")
+	}
+	if !out.Row(1)[2].Null {
+		t.Error("unmatched left row should pad NULLs")
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	l := storage.NewTable("l", storage.NewSchema(intCol("k")))
+	_ = l.AppendRow(storage.Null(storage.TypeInt64))
+	r := storage.NewTable("r", storage.NewSchema(intCol("k")))
+	_ = r.AppendRow(storage.Null(storage.TypeInt64))
+	j := &HashJoin{Left: NewTableScan(l), Right: NewTableScan(r),
+		LeftKeys: []int{0}, RightKeys: []int{0}, Type: InnerJoin}
+	out, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("NULL = NULL must not join")
+	}
+}
+
+// TestHashJoinMatchesNestedLoop is the oracle property test: on random
+// data, HashJoin and NestedLoopJoin must agree (up to row order).
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		l := storage.NewTable("l", storage.NewSchema(intCol("a"), intCol("b")))
+		r := storage.NewTable("r", storage.NewSchema(intCol("c"), intCol("d")))
+		for i := 0; i < 30; i++ {
+			_ = l.AppendRow(iv(int64(rng.Intn(8))), iv(int64(rng.Intn(100))))
+		}
+		for i := 0; i < 25; i++ {
+			_ = r.AppendRow(iv(int64(rng.Intn(8))), iv(int64(rng.Intn(100))))
+		}
+		for _, typ := range []JoinType{InnerJoin, LeftJoin} {
+			hj := &HashJoin{Left: NewTableScan(l), Right: NewTableScan(r),
+				LeftKeys: []int{0}, RightKeys: []int{0}, Type: typ}
+			schema := hj.Schema()
+			onExpr, err := expr.NewBinary(expr.OpEq,
+				&expr.ColumnRef{Name: "a", Index: 0, Typ: storage.TypeInt64},
+				&expr.ColumnRef{Name: "c", Index: 2, Typ: storage.TypeInt64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nl := &NestedLoopJoin{Left: NewTableScan(l), Right: NewTableScan(r), Type: typ, On: onExpr}
+			hout, err := Drain(hj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nout, err := Drain(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !batchesEqualUnordered(hout, nout) {
+				t.Fatalf("trial %d type %d: hash join (%d rows) != nested loop (%d rows) on schema %v",
+					trial, typ, hout.Len(), nout.Len(), schema.Names())
+			}
+		}
+	}
+}
+
+func batchesEqualUnordered(a, b *storage.Batch) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	keys := make([]storage.SortKey, len(a.Cols))
+	for i := range keys {
+		keys[i] = storage.SortKey{Col: i}
+	}
+	as := storage.SortBatch(a, keys)
+	bs := storage.SortBatch(b, keys)
+	for i := 0; i < as.Len(); i++ {
+		if !rowsEqual(as.Row(i), bs.Row(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCrossJoin(t *testing.T) {
+	a := makeTable(t, "a", []storage.ColumnDef{intCol("x")}, [][]storage.Value{{iv(1)}, {iv(2)}})
+	b := makeTable(t, "b", []storage.ColumnDef{intCol("y")}, [][]storage.Value{{iv(10)}, {iv(20)}, {iv(30)}})
+	out, err := Drain(&NestedLoopJoin{Left: NewTableScan(a), Right: NewTableScan(b), Type: CrossJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Errorf("cross join len = %d, want 6", out.Len())
+	}
+}
+
+func TestHashAggregateGroups(t *testing.T) {
+	tb := makeTable(t, "e", []storage.ColumnDef{intCol("src"), intCol("w")},
+		[][]storage.Value{{iv(1), iv(10)}, {iv(1), iv(20)}, {iv(2), iv(5)}})
+	src := colRef(tb.Schema(), "src")
+	w := colRef(tb.Schema(), "w")
+	agg := &HashAggregate{
+		Input:   NewTableScan(tb),
+		GroupBy: []expr.Expr{src},
+		Aggs: []*expr.Aggregate{
+			{Kind: expr.AggCountStar},
+			{Kind: expr.AggSum, Input: w},
+			{Kind: expr.AggMin, Input: w},
+		},
+		Names: []string{"src", "cnt", "total", "lo"},
+	}
+	out, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d, want 2", out.Len())
+	}
+	// First-appearance order: group 1 first.
+	if out.Row(0)[0].I != 1 || out.Row(0)[1].I != 2 || out.Row(0)[2].I != 30 || out.Row(0)[3].I != 10 {
+		t.Errorf("group 1 wrong: %v", out.Row(0))
+	}
+	if out.Row(1)[0].I != 2 || out.Row(1)[1].I != 1 {
+		t.Errorf("group 2 wrong: %v", out.Row(1))
+	}
+}
+
+func TestHashAggregateScalarOverEmpty(t *testing.T) {
+	tb := storage.NewTable("t", storage.NewSchema(intCol("x")))
+	agg := &HashAggregate{
+		Input: NewTableScan(tb),
+		Aggs:  []*expr.Aggregate{{Kind: expr.AggCountStar}},
+		Names: []string{"cnt"},
+	}
+	out, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Row(0)[0].I != 0 {
+		t.Error("COUNT(*) over empty table should be one row with 0")
+	}
+}
+
+func TestGroupByNullKeysGroupTogether(t *testing.T) {
+	tb := storage.NewTable("t", storage.NewSchema(intCol("k")))
+	_ = tb.AppendRow(storage.Null(storage.TypeInt64))
+	_ = tb.AppendRow(storage.Null(storage.TypeInt64))
+	_ = tb.AppendRow(iv(1))
+	agg := &HashAggregate{
+		Input:   NewTableScan(tb),
+		GroupBy: []expr.Expr{colRef(tb.Schema(), "k")},
+		Aggs:    []*expr.Aggregate{{Kind: expr.AggCountStar}},
+		Names:   []string{"k", "cnt"},
+	}
+	out, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("NULL keys must form one group; got %d groups", out.Len())
+	}
+}

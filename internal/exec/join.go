@@ -1,0 +1,342 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// JoinType enumerates the join semantics the executor supports.
+type JoinType uint8
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	CrossJoin
+)
+
+// joinSchema concatenates the schemas of the two join sides.
+func joinSchema(l, r storage.Schema) storage.Schema {
+	cols := make([]storage.ColumnDef, 0, l.Len()+r.Len())
+	cols = append(cols, l.Cols...)
+	cols = append(cols, r.Cols...)
+	return storage.NewSchema(cols...)
+}
+
+// HashJoin is an equi-join: it builds a hash table on the right input's
+// key columns and probes with the left input. LeftJoin emits unmatched
+// left rows padded with NULLs. NULL keys never match, per SQL.
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKeys/RightKeys are column indexes into the respective schemas.
+	LeftKeys, RightKeys []int
+	Type                JoinType // InnerJoin or LeftJoin
+	// Residual, if non-nil, is evaluated over the combined row and must
+	// be TRUE for the match to survive (non-equi conjuncts of ON).
+	Residual expr.Expr
+
+	out    storage.Schema
+	built  map[uint64][]int
+	rdata  *storage.Batch
+	ldata  *storage.Batch
+	lpos   int
+	rNulls []storage.Value
+
+	// fast holds the fully materialized result when the vectorized
+	// single-int64-key path applies; fastPos tracks emission.
+	fast    *storage.Batch
+	fastPos int
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() storage.Schema {
+	if j.out.Len() == 0 {
+		j.out = joinSchema(j.Left.Schema(), j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
+		return fmt.Errorf("exec: hash join requires matching non-empty key lists")
+	}
+	j.Schema()
+	j.fast, j.fastPos = nil, 0
+	var err error
+	j.rdata, err = Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	j.ldata, err = Drain(j.Left)
+	if err != nil {
+		return err
+	}
+	j.lpos = 0
+	if j.tryFastPath() {
+		return nil
+	}
+	j.built = make(map[uint64][]int, j.rdata.Len())
+	for i := 0; i < j.rdata.Len(); i++ {
+		key, ok := j.keyOf(j.rdata, i, j.RightKeys)
+		if !ok {
+			continue // NULL key never matches
+		}
+		j.built[key] = append(j.built[key], i)
+	}
+	rs := j.Right.Schema()
+	j.rNulls = make([]storage.Value, rs.Len())
+	for i, c := range rs.Cols {
+		j.rNulls[i] = storage.Null(c.Type)
+	}
+	return nil
+}
+
+// tryFastPath materializes the join result vectorized when both key
+// lists are a single null-free INTEGER column and there is no residual
+// predicate — the shape every graph-table join in this system has. It
+// builds index lists and gathers whole columns instead of assembling
+// rows one value at a time.
+func (j *HashJoin) tryFastPath() bool {
+	if len(j.LeftKeys) != 1 || j.Residual != nil {
+		return false
+	}
+	lk, lok := j.ldata.Cols[j.LeftKeys[0]].(*storage.Int64Column)
+	rk, rok := j.rdata.Cols[j.RightKeys[0]].(*storage.Int64Column)
+	if !lok || !rok {
+		return false
+	}
+	if storage.NullsOf(lk).Any() || storage.NullsOf(rk).Any() {
+		return false
+	}
+	rvals := rk.Int64s()
+	built := make(map[int64][]int32, len(rvals))
+	for i, v := range rvals {
+		built[v] = append(built[v], int32(i))
+	}
+	lvals := lk.Int64s()
+	leftIdx := make([]int, 0, len(lvals))
+	rightIdx := make([]int, 0, len(lvals))
+	for i, v := range lvals {
+		matches := built[v]
+		if len(matches) == 0 {
+			if j.Type == LeftJoin {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		for _, ri := range matches {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, int(ri))
+		}
+	}
+	cols := make([]storage.Column, 0, j.out.Len())
+	for _, c := range j.ldata.Cols {
+		cols = append(cols, c.Gather(leftIdx))
+	}
+	for _, c := range j.rdata.Cols {
+		cols = append(cols, storage.GatherPad(c, rightIdx))
+	}
+	j.fast = &storage.Batch{Schema: j.out, Cols: cols}
+	j.ldata, j.rdata = nil, nil
+	return true
+}
+
+func (j *HashJoin) keyOf(b *storage.Batch, row int, keys []int) (uint64, bool) {
+	vals := make([]storage.Value, len(keys))
+	for k, c := range keys {
+		v := b.Cols[c].Value(row)
+		if v.Null {
+			return 0, false
+		}
+		vals[k] = v
+	}
+	return storage.HashRow(vals), true
+}
+
+func (j *HashJoin) keysEqual(lrow, rrow int) bool {
+	for k := range j.LeftKeys {
+		lv := j.ldata.Cols[j.LeftKeys[k]].Value(lrow)
+		rv := j.rdata.Cols[j.RightKeys[k]].Value(rrow)
+		if lv.Null || rv.Null || storage.Compare(lv, rv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*storage.Batch, error) {
+	if j.fast != nil {
+		if j.fastPos >= j.fast.Len() {
+			return nil, nil
+		}
+		end := j.fastPos + storage.BatchSize
+		if end > j.fast.Len() {
+			end = j.fast.Len()
+		}
+		// Slice-free emission: share the materialized columns once.
+		if j.fastPos == 0 && end == j.fast.Len() {
+			j.fastPos = end
+			return j.fast, nil
+		}
+		b := j.fast.Slice(j.fastPos, end)
+		j.fastPos = end
+		return b, nil
+	}
+	if j.ldata == nil {
+		return nil, nil
+	}
+	out := storage.NewBatch(j.out)
+	for out.Len() < storage.BatchSize && j.lpos < j.ldata.Len() {
+		i := j.lpos
+		j.lpos++
+		lrow := j.ldata.Row(i)
+		matched := false
+		if key, ok := j.keyOf(j.ldata, i, j.LeftKeys); ok {
+			for _, ri := range j.built[key] {
+				if !j.keysEqual(i, ri) {
+					continue // hash collision
+				}
+				combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
+				if j.Residual != nil {
+					keep, err := j.evalResidual(combined)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				}
+				matched = true
+				if err := out.AppendRow(combined...); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !matched && j.Type == LeftJoin {
+			combined := append(append([]storage.Value{}, lrow...), j.rNulls...)
+			if err := out.AppendRow(combined...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (j *HashJoin) evalResidual(row []storage.Value) (bool, error) {
+	return evalPredOnRow(j.out, j.Residual, row)
+}
+
+// evalPredOnRow evaluates a predicate over one materialized row.
+func evalPredOnRow(schema storage.Schema, pred expr.Expr, row []storage.Value) (bool, error) {
+	b := storage.NewBatch(schema)
+	if err := b.AppendRow(row...); err != nil {
+		return false, err
+	}
+	return expr.EvalBool(pred, expr.Row{Batch: b, Idx: 0})
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.built = nil
+	j.rdata = nil
+	j.ldata = nil
+	j.fast = nil
+	return nil
+}
+
+// NestedLoopJoin handles cross joins and joins with arbitrary (non-equi)
+// predicates. It is also the oracle the property tests compare HashJoin
+// against.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Type        JoinType
+	On          expr.Expr // nil means always-true (cross join)
+
+	out   storage.Schema
+	rdata *storage.Batch
+	ldata *storage.Batch
+	lpos  int
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() storage.Schema {
+	if j.out.Len() == 0 {
+		j.out = joinSchema(j.Left.Schema(), j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	j.Schema()
+	var err error
+	j.rdata, err = Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	j.ldata, err = Drain(j.Left)
+	if err != nil {
+		return err
+	}
+	j.lpos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
+	if j.ldata == nil {
+		return nil, nil
+	}
+	out := storage.NewBatch(j.out)
+	for out.Len() < storage.BatchSize && j.lpos < j.ldata.Len() {
+		i := j.lpos
+		j.lpos++
+		lrow := j.ldata.Row(i)
+		matched := false
+		for ri := 0; ri < j.rdata.Len(); ri++ {
+			combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
+			if j.On != nil {
+				ok, err := evalPredOnRow(j.out, j.On, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			if err := out.AppendRow(combined...); err != nil {
+				return nil, err
+			}
+		}
+		if !matched && j.Type == LeftJoin {
+			rs := j.Right.Schema()
+			combined := lrow
+			for _, c := range rs.Cols {
+				combined = append(combined, storage.Null(c.Type))
+			}
+			if err := out.AppendRow(combined...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.rdata = nil
+	j.ldata = nil
+	return nil
+}

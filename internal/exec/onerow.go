@@ -1,0 +1,37 @@
+package exec
+
+import "repro/internal/storage"
+
+// OneRow emits exactly one row with a single hidden column. The planner
+// projects literal select items over it for FROM-less queries
+// (SELECT 1+1).
+type OneRow struct {
+	sent bool
+}
+
+var oneRowSchema = storage.NewSchema(storage.Col("$one", storage.TypeInt64))
+
+// Schema implements Operator.
+func (o *OneRow) Schema() storage.Schema { return oneRowSchema }
+
+// Open implements Operator.
+func (o *OneRow) Open() error {
+	o.sent = false
+	return nil
+}
+
+// Next implements Operator.
+func (o *OneRow) Next() (*storage.Batch, error) {
+	if o.sent {
+		return nil, nil
+	}
+	o.sent = true
+	b := storage.NewBatch(oneRowSchema)
+	if err := b.AppendRow(storage.Int64(1)); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close implements Operator.
+func (o *OneRow) Close() error { return nil }

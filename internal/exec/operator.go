@@ -1,0 +1,449 @@
+// Package exec implements the vectorized volcano executor: physical
+// operators that pull record batches from their children. The SQL
+// planner assembles these; the vertex-centric runtime also uses them
+// directly to build its table-union input (the paper's §2.3 "Table
+// Unions" optimization runs on UnionAll + Sort rather than a 3-way
+// join).
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// Operator is a pull-based physical operator producing record batches.
+// Next returns a nil batch at end of stream. Operators are single-use:
+// Open, Next until nil, Close.
+type Operator interface {
+	// Schema describes the batches the operator produces.
+	Schema() storage.Schema
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next batch, or nil at end of stream.
+	Next() (*storage.Batch, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Drain pulls every batch from op into one concatenated batch. The
+// operator is opened and closed by Drain.
+func Drain(op Operator) (*storage.Batch, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := storage.NewBatch(op.Schema())
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if err := storage.Concat(out, b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// TableScan reads a table's current contents in batches.
+type TableScan struct {
+	Table *storage.Table
+	// OutSchema optionally renames the scan's output columns (the
+	// planner uses this to apply alias qualifiers).
+	OutSchema storage.Schema
+
+	data *storage.Batch
+	pos  int
+}
+
+// NewTableScan returns a scan over the table with its own schema.
+func NewTableScan(t *storage.Table) *TableScan {
+	return &TableScan{Table: t, OutSchema: t.Schema()}
+}
+
+// Schema implements Operator.
+func (s *TableScan) Schema() storage.Schema { return s.OutSchema }
+
+// Open implements Operator.
+func (s *TableScan) Open() error {
+	s.data = s.Table.Data()
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (*storage.Batch, error) {
+	n := s.data.Len()
+	if s.pos >= n {
+		return nil, nil
+	}
+	end := s.pos + storage.BatchSize
+	if end > n {
+		end = n
+	}
+	out := &storage.Batch{Schema: s.OutSchema, Cols: make([]storage.Column, len(s.data.Cols))}
+	for i, c := range s.data.Cols {
+		out.Cols[i] = c.Slice(s.pos, end)
+	}
+	s.pos = end
+	return out, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close() error {
+	s.data = nil
+	return nil
+}
+
+// BatchSource serves a pre-materialized batch (used for VALUES, CTE
+// results and tests).
+type BatchSource struct {
+	Data *storage.Batch
+	pos  int
+	done bool
+}
+
+// Schema implements Operator.
+func (s *BatchSource) Schema() storage.Schema { return s.Data.Schema }
+
+// Open implements Operator.
+func (s *BatchSource) Open() error {
+	s.pos = 0
+	s.done = false
+	return nil
+}
+
+// Next implements Operator.
+func (s *BatchSource) Next() (*storage.Batch, error) {
+	n := s.Data.Len()
+	if s.pos >= n {
+		return nil, nil
+	}
+	end := s.pos + storage.BatchSize
+	if end > n {
+		end = n
+	}
+	b := s.Data.Slice(s.pos, end)
+	s.pos = end
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *BatchSource) Close() error { return nil }
+
+// Filter passes through rows for which Pred evaluates to TRUE.
+type Filter struct {
+	Input Operator
+	Pred  expr.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() storage.Schema { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next implements Operator. The predicate is evaluated vectorized over
+// the whole batch; rows where it is non-null TRUE survive.
+func (f *Filter) Next() (*storage.Batch, error) {
+	for {
+		b, err := f.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.Len()
+		pred, err := expr.EvalVector(f.Pred, b)
+		if err != nil {
+			return nil, err
+		}
+		keep := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !pred.IsNull(i) && pred.Value(i).IsTrue() {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		if len(keep) == n {
+			return b, nil
+		}
+		return b.Gather(keep), nil
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project evaluates expressions per row, producing a new schema.
+type Project struct {
+	Input Operator
+	Exprs []expr.Expr
+	Out   storage.Schema
+}
+
+// NewProject builds a projection with output column names.
+func NewProject(in Operator, exprs []expr.Expr, names []string) (*Project, error) {
+	if len(exprs) != len(names) {
+		return nil, fmt.Errorf("exec: project arity mismatch")
+	}
+	cols := make([]storage.ColumnDef, len(exprs))
+	for i, e := range exprs {
+		cols[i] = storage.Col(names[i], e.Type())
+	}
+	return &Project{Input: in, Exprs: exprs, Out: storage.NewSchema(cols...)}, nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() storage.Schema { return p.Out }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next implements Operator. Each output expression is evaluated
+// vectorized over the whole input batch; plain column references are
+// passed through without copying.
+func (p *Project) Next() (*storage.Batch, error) {
+	b, err := p.Input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := &storage.Batch{Schema: p.Out, Cols: make([]storage.Column, len(p.Exprs))}
+	for j, e := range p.Exprs {
+		col, err := expr.EvalVector(e, b)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols[j] = col
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit returns at most N rows after skipping Offset rows.
+type Limit struct {
+	Input   Operator
+	N       int64
+	Offset  int64
+	skipped int64
+	sent    int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() storage.Schema { return l.Input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.skipped, l.sent = 0, 0
+	return l.Input.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (*storage.Batch, error) {
+	for {
+		if l.sent >= l.N {
+			return nil, nil
+		}
+		b, err := l.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := int64(b.Len())
+		// Skip offset rows.
+		if l.skipped < l.Offset {
+			if l.Offset-l.skipped >= n {
+				l.skipped += n
+				continue
+			}
+			b = b.Slice(int(l.Offset-l.skipped), int(n))
+			l.skipped = l.Offset
+			n = int64(b.Len())
+		}
+		if l.sent+n > l.N {
+			b = b.Slice(0, int(l.N-l.sent))
+		}
+		l.sent += int64(b.Len())
+		if b.Len() == 0 {
+			continue
+		}
+		return b, nil
+	}
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// UnionAll concatenates the outputs of its inputs. All inputs must have
+// compatible schemas (same arity and types); the output uses the first
+// input's column names. This operator is the heart of the paper's
+// Table-Unions optimization.
+type UnionAll struct {
+	Inputs []Operator
+	cur    int
+}
+
+// Schema implements Operator.
+func (u *UnionAll) Schema() storage.Schema { return u.Inputs[0].Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open() error {
+	u.cur = 0
+	first := u.Inputs[0].Schema()
+	for _, in := range u.Inputs[1:] {
+		s := in.Schema()
+		if s.Len() != first.Len() {
+			return fmt.Errorf("exec: UNION ALL arity mismatch: %d vs %d", first.Len(), s.Len())
+		}
+		for i := range s.Cols {
+			if s.Cols[i].Type != first.Cols[i].Type {
+				return fmt.Errorf("exec: UNION ALL type mismatch in column %d: %s vs %s",
+					i, first.Cols[i].Type, s.Cols[i].Type)
+			}
+		}
+	}
+	for _, in := range u.Inputs {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() (*storage.Batch, error) {
+	for u.cur < len(u.Inputs) {
+		b, err := u.Inputs[u.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			if u.cur > 0 {
+				b = &storage.Batch{Schema: u.Schema(), Cols: b.Cols}
+			}
+			return b, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	var first error
+	for _, in := range u.Inputs {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sort fully materializes its input and emits it ordered by Keys.
+type Sort struct {
+	Input Operator
+	Keys  []storage.SortKey
+
+	out  *storage.Batch
+	sent bool
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() storage.Schema { return s.Input.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	s.sent = false
+	all, err := Drain(s.Input)
+	if err != nil {
+		return err
+	}
+	s.out = storage.SortBatch(all, s.Keys)
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*storage.Batch, error) {
+	if s.sent || s.out.Len() == 0 {
+		return nil, nil
+	}
+	s.sent = true
+	return s.out, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.out = nil
+	return nil
+}
+
+// Distinct removes duplicate rows (full-row comparison).
+type Distinct struct {
+	Input Operator
+	seen  map[uint64][][]storage.Value
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() storage.Schema { return d.Input.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = make(map[uint64][][]storage.Value)
+	return d.Input.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (*storage.Batch, error) {
+	for {
+		b, err := d.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		keep := make([]int, 0, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			h := storage.HashRow(row)
+			dup := false
+			for _, prev := range d.seen[h] {
+				if rowsEqual(prev, row) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.seen[h] = append(d.seen[h], row)
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		return b.Gather(keep), nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}
+
+func rowsEqual(a, b []storage.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Null != b[i].Null {
+			return false
+		}
+		if !a[i].Null && storage.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package exec
+
+import "repro/internal/storage"
+
+// Ordinal appends a monotonically increasing INTEGER column to its
+// input. The vertex runtime's 3-way-join input path (the ablation
+// baseline for the paper's Table-Unions optimization) uses it to give
+// message and edge tuples stable identities so workers can deduplicate
+// the join product.
+type Ordinal struct {
+	Input Operator
+	Name  string
+
+	out  storage.Schema
+	next int64
+}
+
+// Schema implements Operator.
+func (o *Ordinal) Schema() storage.Schema {
+	if o.out.Len() == 0 {
+		in := o.Input.Schema()
+		cols := make([]storage.ColumnDef, 0, in.Len()+1)
+		cols = append(cols, in.Cols...)
+		cols = append(cols, storage.Col(o.Name, storage.TypeInt64))
+		o.out = storage.NewSchema(cols...)
+	}
+	return o.out
+}
+
+// Open implements Operator.
+func (o *Ordinal) Open() error {
+	o.Schema()
+	o.next = 0
+	return o.Input.Open()
+}
+
+// Next implements Operator.
+func (o *Ordinal) Next() (*storage.Batch, error) {
+	b, err := o.Input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	ord := storage.NewInt64Column(nil)
+	for i := 0; i < b.Len(); i++ {
+		ord.AppendInt64(o.next)
+		o.next++
+	}
+	cols := make([]storage.Column, 0, len(b.Cols)+1)
+	cols = append(cols, b.Cols...)
+	cols = append(cols, ord)
+	return &storage.Batch{Schema: o.out, Cols: cols}, nil
+}
+
+// Close implements Operator.
+func (o *Ordinal) Close() error { return o.Input.Close() }

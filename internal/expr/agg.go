@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// AggKind identifies an aggregate function.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota // COUNT(expr) — non-null rows
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate name.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount, AggCountStar:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggKindByName resolves an aggregate by SQL name.
+func AggKindByName(name string) (AggKind, bool) {
+	switch {
+	case equalFold(name, "count"):
+		return AggCount, true
+	case equalFold(name, "sum"):
+		return AggSum, true
+	case equalFold(name, "avg"):
+		return AggAvg, true
+	case equalFold(name, "min"):
+		return AggMin, true
+	case equalFold(name, "max"):
+		return AggMax, true
+	}
+	return 0, false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Aggregate is a bound aggregate over an input expression (nil for
+// COUNT(*)). Distinct applies COUNT(DISTINCT x) semantics.
+type Aggregate struct {
+	Kind     AggKind
+	Input    Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+// ResultType returns the output type of the aggregate.
+func (a *Aggregate) ResultType() (storage.Type, error) {
+	switch a.Kind {
+	case AggCount, AggCountStar:
+		return storage.TypeInt64, nil
+	case AggAvg:
+		return storage.TypeFloat64, nil
+	case AggSum:
+		if a.Input == nil {
+			return 0, fmt.Errorf("expr: SUM requires an argument")
+		}
+		if !a.Input.Type().Numeric() {
+			return 0, fmt.Errorf("expr: SUM over non-numeric %s", a.Input.Type())
+		}
+		return a.Input.Type(), nil
+	case AggMin, AggMax:
+		if a.Input == nil {
+			return 0, fmt.Errorf("expr: %s requires an argument", a.Kind)
+		}
+		return a.Input.Type(), nil
+	}
+	return 0, fmt.Errorf("expr: unknown aggregate")
+}
+
+// String renders the aggregate as SQL.
+func (a *Aggregate) String() string {
+	if a.Kind == AggCountStar {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Kind, d, a.Input)
+}
+
+// Accumulator is the running state of one aggregate for one group.
+type Accumulator struct {
+	kind     AggKind
+	typ      storage.Type
+	count    int64
+	sumI     int64
+	sumF     float64
+	best     storage.Value
+	hasBest  bool
+	distinct map[string]struct{} // nil unless DISTINCT
+}
+
+// NewAccumulator returns a fresh accumulator for the aggregate.
+func (a *Aggregate) NewAccumulator() *Accumulator {
+	t := storage.TypeInt64
+	if a.Input != nil {
+		t = a.Input.Type()
+	}
+	acc := &Accumulator{kind: a.Kind, typ: t}
+	if a.Distinct {
+		acc.distinct = make(map[string]struct{})
+	}
+	return acc
+}
+
+// Add folds one row's value into the accumulator. For COUNT(*) pass any
+// value; it is ignored.
+func (c *Accumulator) Add(v storage.Value) {
+	if c.kind == AggCountStar {
+		c.count++
+		return
+	}
+	if v.Null {
+		return // SQL aggregates skip NULLs
+	}
+	if c.distinct != nil {
+		key := v.Type.String() + ":" + v.String()
+		if _, dup := c.distinct[key]; dup {
+			return
+		}
+		c.distinct[key] = struct{}{}
+	}
+	switch c.kind {
+	case AggCount:
+		c.count++
+	case AggSum, AggAvg:
+		c.count++
+		if v.Type == storage.TypeFloat64 {
+			c.sumF += v.F
+		} else {
+			c.sumI += v.I
+			c.sumF += float64(v.I)
+		}
+	case AggMin:
+		if !c.hasBest || storage.Compare(v, c.best) < 0 {
+			c.best, c.hasBest = v, true
+		}
+	case AggMax:
+		if !c.hasBest || storage.Compare(v, c.best) > 0 {
+			c.best, c.hasBest = v, true
+		}
+	}
+}
+
+// Result returns the final aggregate value. Empty groups yield NULL for
+// SUM/AVG/MIN/MAX and 0 for COUNT, per SQL.
+func (c *Accumulator) Result() storage.Value {
+	switch c.kind {
+	case AggCount, AggCountStar:
+		return storage.Int64(c.count)
+	case AggSum:
+		if c.count == 0 {
+			return storage.Null(c.typ)
+		}
+		if c.typ == storage.TypeFloat64 {
+			return storage.Float64(c.sumF)
+		}
+		return storage.Int64(c.sumI)
+	case AggAvg:
+		if c.count == 0 {
+			return storage.Null(storage.TypeFloat64)
+		}
+		return storage.Float64(c.sumF / float64(c.count))
+	case AggMin, AggMax:
+		if !c.hasBest {
+			return storage.Null(c.typ)
+		}
+		return c.best
+	}
+	return storage.Value{}
+}

@@ -1,0 +1,295 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// BinOp identifies a binary operator.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// String renders the operator as SQL.
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpConcat:
+		return "||"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(o))
+	}
+}
+
+// Comparison reports whether the operator yields a boolean comparison.
+func (o BinOp) Comparison() bool { return o >= OpEq && o <= OpGe }
+
+// Binary is a bound binary-operator expression.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	Typ  storage.Type
+}
+
+// NewBinary builds a Binary with the inferred result type, validating
+// operand types. Division always yields DOUBLE (the SQL graph
+// algorithms divide ranks by out-degrees and must not truncate).
+func NewBinary(op BinOp, l, r Expr) (*Binary, error) {
+	lt, rt := l.Type(), r.Type()
+	var typ storage.Type
+	switch {
+	case op.Comparison():
+		if lt != rt && !(lt.Numeric() && rt.Numeric()) {
+			return nil, fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+		}
+		typ = storage.TypeBool
+	case op == OpAnd || op == OpOr:
+		if lt != storage.TypeBool || rt != storage.TypeBool {
+			return nil, fmt.Errorf("expr: %s requires booleans, got %s and %s", op, lt, rt)
+		}
+		typ = storage.TypeBool
+	case op == OpConcat:
+		typ = storage.TypeString
+	case op == OpDiv:
+		if !lt.Numeric() || !rt.Numeric() {
+			return nil, fmt.Errorf("expr: %s requires numeric operands, got %s and %s", op, lt, rt)
+		}
+		typ = storage.TypeFloat64
+	case op == OpMod:
+		if lt != storage.TypeInt64 || rt != storage.TypeInt64 {
+			return nil, fmt.Errorf("expr: %% requires integers, got %s and %s", lt, rt)
+		}
+		typ = storage.TypeInt64
+	default: // + - *
+		if !lt.Numeric() || !rt.Numeric() {
+			return nil, fmt.Errorf("expr: %s requires numeric operands, got %s and %s", op, lt, rt)
+		}
+		if lt == storage.TypeFloat64 || rt == storage.TypeFloat64 {
+			typ = storage.TypeFloat64
+		} else {
+			typ = storage.TypeInt64
+		}
+	}
+	return &Binary{Op: op, L: l, R: r, Typ: typ}, nil
+}
+
+// Eval implements Expr with SQL NULL semantics: any NULL operand makes
+// an arithmetic or comparison result NULL; AND/OR use Kleene logic.
+func (b *Binary) Eval(r Row) (storage.Value, error) {
+	// Kleene logic needs special casing before generic NULL handling.
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogic(r)
+	}
+	lv, err := b.L.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	rv, err := b.R.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if lv.Null || rv.Null {
+		return storage.Null(b.Typ), nil
+	}
+	if b.Op.Comparison() {
+		c := storage.Compare(lv, rv)
+		var res bool
+		switch b.Op {
+		case OpEq:
+			res = c == 0
+		case OpNe:
+			res = c != 0
+		case OpLt:
+			res = c < 0
+		case OpLe:
+			res = c <= 0
+		case OpGt:
+			res = c > 0
+		case OpGe:
+			res = c >= 0
+		}
+		return storage.Bool(res), nil
+	}
+	switch b.Op {
+	case OpConcat:
+		ls, _ := storage.Coerce(lv, storage.TypeString)
+		rs, _ := storage.Coerce(rv, storage.TypeString)
+		return storage.Str(ls.S + rs.S), nil
+	case OpDiv:
+		den := rv.AsFloat()
+		if den == 0 {
+			return storage.Null(storage.TypeFloat64), nil
+		}
+		return storage.Float64(lv.AsFloat() / den), nil
+	case OpMod:
+		if rv.I == 0 {
+			return storage.Null(storage.TypeInt64), nil
+		}
+		return storage.Int64(lv.I % rv.I), nil
+	}
+	if b.Typ == storage.TypeFloat64 {
+		lf, rf := lv.AsFloat(), rv.AsFloat()
+		switch b.Op {
+		case OpAdd:
+			return storage.Float64(lf + rf), nil
+		case OpSub:
+			return storage.Float64(lf - rf), nil
+		case OpMul:
+			return storage.Float64(lf * rf), nil
+		}
+	}
+	switch b.Op {
+	case OpAdd:
+		return storage.Int64(lv.I + rv.I), nil
+	case OpSub:
+		return storage.Int64(lv.I - rv.I), nil
+	case OpMul:
+		return storage.Int64(lv.I * rv.I), nil
+	}
+	return storage.Value{}, fmt.Errorf("expr: unhandled operator %s", b.Op)
+}
+
+func (b *Binary) evalLogic(r Row) (storage.Value, error) {
+	lv, err := b.L.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	// Short-circuit where Kleene logic allows.
+	if b.Op == OpAnd && !lv.Null && lv.I == 0 {
+		return storage.Bool(false), nil
+	}
+	if b.Op == OpOr && !lv.Null && lv.I != 0 {
+		return storage.Bool(true), nil
+	}
+	rv, err := b.R.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if b.Op == OpAnd {
+		switch {
+		case !rv.Null && rv.I == 0:
+			return storage.Bool(false), nil
+		case lv.Null || rv.Null:
+			return storage.Null(storage.TypeBool), nil
+		default:
+			return storage.Bool(true), nil
+		}
+	}
+	switch {
+	case !rv.Null && rv.I != 0:
+		return storage.Bool(true), nil
+	case lv.Null || rv.Null:
+		return storage.Null(storage.TypeBool), nil
+	default:
+		return storage.Bool(false), nil
+	}
+}
+
+// Type implements Expr.
+func (b *Binary) Type() storage.Type { return b.Typ }
+
+// String implements Expr.
+func (b *Binary) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// Unary implements NOT and numeric negation.
+type Unary struct {
+	Not   bool // true for NOT, false for unary minus
+	Input Expr
+}
+
+// NewNot returns a logical negation of a boolean expression.
+func NewNot(e Expr) (*Unary, error) {
+	if e.Type() != storage.TypeBool {
+		return nil, fmt.Errorf("expr: NOT requires a boolean, got %s", e.Type())
+	}
+	return &Unary{Not: true, Input: e}, nil
+}
+
+// NewNeg returns an arithmetic negation of a numeric expression.
+func NewNeg(e Expr) (*Unary, error) {
+	if !e.Type().Numeric() {
+		return nil, fmt.Errorf("expr: unary - requires a number, got %s", e.Type())
+	}
+	return &Unary{Not: false, Input: e}, nil
+}
+
+// Eval implements Expr.
+func (u *Unary) Eval(r Row) (storage.Value, error) {
+	v, err := u.Input.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if v.Null {
+		return storage.Null(u.Type()), nil
+	}
+	if u.Not {
+		return storage.Bool(v.I == 0), nil
+	}
+	if v.Type == storage.TypeFloat64 {
+		return storage.Float64(-v.F), nil
+	}
+	return storage.Int64(-v.I), nil
+}
+
+// Type implements Expr.
+func (u *Unary) Type() storage.Type {
+	if u.Not {
+		return storage.TypeBool
+	}
+	return u.Input.Type()
+}
+
+// String implements Expr.
+func (u *Unary) String() string {
+	if u.Not {
+		return fmt.Sprintf("(NOT %s)", u.Input)
+	}
+	return fmt.Sprintf("(-%s)", u.Input)
+}
+
+// Float guards against overflow-to-NaN in benchmark arithmetic; kept
+// here so the executor does not import math directly.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

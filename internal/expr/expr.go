@@ -1,0 +1,299 @@
+// Package expr implements bound (schema-resolved) expression trees with
+// SQL three-valued-logic evaluation, plus the scalar-function registry
+// that backs Vertexica's user-defined functions (UDFs).
+//
+// Expressions are bound to column indexes at plan time and evaluated
+// row-at-a-time against record batches at execution time.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Row is a cursor over one row of a batch, the evaluation context for
+// bound expressions.
+type Row struct {
+	Batch *storage.Batch
+	Idx   int
+}
+
+// Col returns the value of column i in the current row.
+func (r Row) Col(i int) storage.Value { return r.Batch.Cols[i].Value(r.Idx) }
+
+// Expr is a bound, type-checked expression.
+type Expr interface {
+	// Eval evaluates the expression for the given row.
+	Eval(r Row) (storage.Value, error)
+	// Type returns the static result type.
+	Type() storage.Type
+	// String renders the expression roughly as SQL (for EXPLAIN and
+	// error messages).
+	String() string
+}
+
+// ColumnRef reads column Index of the input row.
+type ColumnRef struct {
+	Name  string
+	Index int
+	Typ   storage.Type
+}
+
+// Eval implements Expr.
+func (c *ColumnRef) Eval(r Row) (storage.Value, error) { return r.Col(c.Index), nil }
+
+// Type implements Expr.
+func (c *ColumnRef) Type() storage.Type { return c.Typ }
+
+// String implements Expr.
+func (c *ColumnRef) String() string { return c.Name }
+
+// Literal is a constant value.
+type Literal struct {
+	Val storage.Value
+}
+
+// Eval implements Expr.
+func (l *Literal) Eval(Row) (storage.Value, error) { return l.Val, nil }
+
+// Type implements Expr.
+func (l *Literal) Type() storage.Type { return l.Val.Type }
+
+// String implements Expr.
+func (l *Literal) String() string {
+	if l.Val.Type == storage.TypeString && !l.Val.Null {
+		return "'" + l.Val.S + "'"
+	}
+	return l.Val.String()
+}
+
+// Cast converts its input to a target type with SQL CAST semantics.
+type Cast struct {
+	Input Expr
+	To    storage.Type
+}
+
+// Eval implements Expr.
+func (c *Cast) Eval(r Row) (storage.Value, error) {
+	v, err := c.Input.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return storage.Coerce(v, c.To)
+}
+
+// Type implements Expr.
+func (c *Cast) Type() storage.Type { return c.To }
+
+// String implements Expr.
+func (c *Cast) String() string {
+	return fmt.Sprintf("CAST(%s AS %s)", c.Input, c.To)
+}
+
+// IsNull implements `x IS NULL` and `x IS NOT NULL`.
+type IsNull struct {
+	Input  Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (n *IsNull) Eval(r Row) (storage.Value, error) {
+	v, err := n.Input.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return storage.Bool(v.Null != n.Negate), nil
+}
+
+// Type implements Expr.
+func (n *IsNull) Type() storage.Type { return storage.TypeBool }
+
+// String implements Expr.
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.Input)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.Input)
+}
+
+// InList implements `x IN (a, b, ...)` and its negation.
+type InList struct {
+	Input  Expr
+	List   []Expr
+	Negate bool
+}
+
+// Eval implements Expr. NULL input yields NULL, per SQL.
+func (in *InList) Eval(r Row) (storage.Value, error) {
+	v, err := in.Input.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if v.Null {
+		return storage.Null(storage.TypeBool), nil
+	}
+	sawNull := false
+	for _, e := range in.List {
+		ev, err := e.Eval(r)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if ev.Null {
+			sawNull = true
+			continue
+		}
+		if storage.Compare(v, ev) == 0 {
+			return storage.Bool(!in.Negate), nil
+		}
+	}
+	if sawNull {
+		return storage.Null(storage.TypeBool), nil
+	}
+	return storage.Bool(in.Negate), nil
+}
+
+// Type implements Expr.
+func (in *InList) Type() storage.Type { return storage.TypeBool }
+
+// String implements Expr.
+func (in *InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.Input, op, strings.Join(parts, ", "))
+}
+
+// Like implements `x LIKE pattern` with % and _ wildcards.
+type Like struct {
+	Input   Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(r Row) (storage.Value, error) {
+	v, err := l.Input.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	p, err := l.Pattern.Eval(r)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	if v.Null || p.Null {
+		return storage.Null(storage.TypeBool), nil
+	}
+	m := likeMatch(v.S, p.S)
+	return storage.Bool(m != l.Negate), nil
+}
+
+// Type implements Expr.
+func (l *Like) Type() storage.Type { return storage.TypeBool }
+
+// String implements Expr.
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.Input, op, l.Pattern)
+}
+
+// likeMatch matches s against a SQL LIKE pattern (% = any run,
+// _ = any single byte) with an iterative two-pointer algorithm.
+func likeMatch(s, pat string) bool {
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, match = pi, si
+			pi++
+		case star != -1:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// When is one WHEN/THEN arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case implements searched CASE WHEN ... THEN ... ELSE ... END.
+type Case struct {
+	Whens []When
+	Else  Expr // may be nil, meaning ELSE NULL
+	Typ   storage.Type
+}
+
+// Eval implements Expr.
+func (c *Case) Eval(r Row) (storage.Value, error) {
+	for _, w := range c.Whens {
+		cond, err := w.Cond.Eval(r)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if cond.IsTrue() {
+			v, err := w.Then.Eval(r)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return storage.Coerce(v, c.Typ)
+		}
+	}
+	if c.Else != nil {
+		v, err := c.Else.Eval(r)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.Coerce(v, c.Typ)
+	}
+	return storage.Null(c.Typ), nil
+}
+
+// Type implements Expr.
+func (c *Case) Type() storage.Type { return c.Typ }
+
+// String implements Expr.
+func (c *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// EvalBool evaluates e and reports whether the result is a non-null
+// TRUE — the predicate semantics used by WHERE and HAVING.
+func EvalBool(e Expr, r Row) (bool, error) {
+	v, err := e.Eval(r)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}

@@ -1,0 +1,259 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func testRow(vals ...storage.Value) Row {
+	cols := make([]storage.ColumnDef, len(vals))
+	for i, v := range vals {
+		cols[i] = storage.Col("c", v.Type)
+	}
+	b := storage.NewBatch(storage.NewSchema(cols...))
+	if err := b.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+	return Row{Batch: b, Idx: 0}
+}
+
+func lit(v storage.Value) Expr { return &Literal{Val: v} }
+
+func mustBinary(t *testing.T, op BinOp, l, r Expr) Expr {
+	t.Helper()
+	b, err := NewBinary(op, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func evalOne(t *testing.T, e Expr) storage.Value {
+	t.Helper()
+	v, err := e.Eval(testRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r storage.Value
+		want storage.Value
+	}{
+		{OpAdd, storage.Int64(2), storage.Int64(3), storage.Int64(5)},
+		{OpSub, storage.Int64(2), storage.Int64(3), storage.Int64(-1)},
+		{OpMul, storage.Int64(4), storage.Int64(3), storage.Int64(12)},
+		{OpAdd, storage.Float64(1.5), storage.Int64(1), storage.Float64(2.5)},
+		{OpDiv, storage.Int64(1), storage.Int64(2), storage.Float64(0.5)},
+		{OpMod, storage.Int64(7), storage.Int64(3), storage.Int64(1)},
+		{OpConcat, storage.Str("a"), storage.Str("b"), storage.Str("ab")},
+	}
+	for _, c := range cases {
+		got := evalOne(t, mustBinary(t, c.op, lit(c.l), lit(c.r)))
+		if !storage.Equal(got, c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	got := evalOne(t, mustBinary(t, OpDiv, lit(storage.Int64(1)), lit(storage.Int64(0))))
+	if !got.Null {
+		t.Errorf("1/0 = %v, want NULL", got)
+	}
+	got = evalOne(t, mustBinary(t, OpMod, lit(storage.Int64(1)), lit(storage.Int64(0))))
+	if !got.Null {
+		t.Errorf("1%%0 = %v, want NULL", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	lt := evalOne(t, mustBinary(t, OpLt, lit(storage.Int64(1)), lit(storage.Int64(2))))
+	if !lt.IsTrue() {
+		t.Error("1 < 2 should be true")
+	}
+	eq := evalOne(t, mustBinary(t, OpEq, lit(storage.Str("x")), lit(storage.Str("x"))))
+	if !eq.IsTrue() {
+		t.Error("'x' = 'x' should be true")
+	}
+	mixed := evalOne(t, mustBinary(t, OpGe, lit(storage.Float64(2.0)), lit(storage.Int64(2))))
+	if !mixed.IsTrue() {
+		t.Error("2.0 >= 2 should be true")
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	n := lit(storage.Null(storage.TypeInt64))
+	add := evalOne(t, mustBinary(t, OpAdd, n, lit(storage.Int64(1))))
+	if !add.Null {
+		t.Error("NULL + 1 should be NULL")
+	}
+	cmp := evalOne(t, mustBinary(t, OpEq, n, n))
+	if !cmp.Null {
+		t.Error("NULL = NULL should be NULL (not true)")
+	}
+}
+
+func TestKleeneLogic(t *testing.T) {
+	tr := lit(storage.Bool(true))
+	fa := lit(storage.Bool(false))
+	nu := lit(storage.Null(storage.TypeBool))
+	cases := []struct {
+		op       BinOp
+		l, r     Expr
+		wantNull bool
+		want     bool
+	}{
+		{OpAnd, fa, nu, false, false}, // FALSE AND NULL = FALSE
+		{OpAnd, nu, fa, false, false},
+		{OpAnd, tr, nu, true, false}, // TRUE AND NULL = NULL
+		{OpOr, tr, nu, false, true},  // TRUE OR NULL = TRUE
+		{OpOr, nu, tr, false, true},
+		{OpOr, fa, nu, true, false}, // FALSE OR NULL = NULL
+		{OpAnd, tr, tr, false, true},
+		{OpOr, fa, fa, false, false},
+	}
+	for _, c := range cases {
+		got := evalOne(t, mustBinary(t, c.op, c.l, c.r))
+		if got.Null != c.wantNull || (!got.Null && got.Bool() != c.want) {
+			t.Errorf("%v %v %v = %v", c.l, c.op, c.r, got)
+		}
+	}
+}
+
+func TestBinaryTypeErrors(t *testing.T) {
+	if _, err := NewBinary(OpAdd, lit(storage.Str("a")), lit(storage.Int64(1))); err == nil {
+		t.Error("string + int should fail to bind")
+	}
+	if _, err := NewBinary(OpAnd, lit(storage.Int64(1)), lit(storage.Bool(true))); err == nil {
+		t.Error("int AND bool should fail to bind")
+	}
+	if _, err := NewBinary(OpEq, lit(storage.Str("a")), lit(storage.Int64(1))); err == nil {
+		t.Error("string = int should fail to bind")
+	}
+}
+
+func TestColumnRefAndCast(t *testing.T) {
+	r := testRow(storage.Int64(41), storage.Str("7"))
+	cr := &ColumnRef{Name: "a", Index: 0, Typ: storage.TypeInt64}
+	v, err := cr.Eval(r)
+	if err != nil || v.I != 41 {
+		t.Fatalf("colref = %v, %v", v, err)
+	}
+	cast := &Cast{Input: &ColumnRef{Name: "b", Index: 1, Typ: storage.TypeString}, To: storage.TypeInt64}
+	v, err = cast.Eval(r)
+	if err != nil || v.I != 7 {
+		t.Fatalf("cast = %v, %v", v, err)
+	}
+}
+
+func TestIsNullAndInList(t *testing.T) {
+	n := lit(storage.Null(storage.TypeInt64))
+	if !evalOne(t, &IsNull{Input: n}).IsTrue() {
+		t.Error("NULL IS NULL should be true")
+	}
+	if evalOne(t, &IsNull{Input: lit(storage.Int64(1))}).IsTrue() {
+		t.Error("1 IS NULL should be false")
+	}
+	if !evalOne(t, &IsNull{Input: lit(storage.Int64(1)), Negate: true}).IsTrue() {
+		t.Error("1 IS NOT NULL should be true")
+	}
+	in := &InList{Input: lit(storage.Int64(2)), List: []Expr{lit(storage.Int64(1)), lit(storage.Int64(2))}}
+	if !evalOne(t, in).IsTrue() {
+		t.Error("2 IN (1,2) should be true")
+	}
+	notIn := &InList{Input: lit(storage.Int64(9)), List: []Expr{lit(storage.Int64(1)), n}}
+	if v := evalOne(t, notIn); !v.Null {
+		t.Errorf("9 IN (1, NULL) = %v, want NULL", v)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"family", "fam%", true},
+		{"family", "%ily", true},
+		{"family", "f_mily", true},
+		{"family", "friend", false},
+		{"", "%", true},
+		{"abc", "%b%", true},
+		{"abc", "a%c%", true},
+		{"abc", "_", false},
+		{"a", "_", true},
+	}
+	for _, c := range cases {
+		got := evalOne(t, &Like{Input: lit(storage.Str(c.s)), Pattern: lit(storage.Str(c.p))})
+		if got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.p, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	c := &Case{
+		Whens: []When{
+			{Cond: lit(storage.Bool(false)), Then: lit(storage.Int64(1))},
+			{Cond: lit(storage.Bool(true)), Then: lit(storage.Int64(2))},
+		},
+		Else: lit(storage.Int64(3)),
+		Typ:  storage.TypeInt64,
+	}
+	if v := evalOne(t, c); v.I != 2 {
+		t.Errorf("case = %v, want 2", v)
+	}
+	noMatch := &Case{Whens: []When{{Cond: lit(storage.Bool(false)), Then: lit(storage.Int64(1))}}, Typ: storage.TypeInt64}
+	if v := evalOne(t, noMatch); !v.Null {
+		t.Errorf("case without else = %v, want NULL", v)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	neg, err := NewNeg(lit(storage.Int64(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := evalOne(t, neg); v.I != -5 {
+		t.Errorf("-5 = %v", v)
+	}
+	not, err := NewNot(lit(storage.Bool(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := evalOne(t, not); v.Bool() {
+		t.Error("NOT true should be false")
+	}
+	if _, err := NewNot(lit(storage.Int64(1))); err == nil {
+		t.Error("NOT int should fail")
+	}
+	if _, err := NewNeg(lit(storage.Str("x"))); err == nil {
+		t.Error("-string should fail")
+	}
+}
+
+func TestAdditionCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		l := mustBinaryQuick(OpAdd, lit(storage.Int64(int64(a))), lit(storage.Int64(int64(b))))
+		r := mustBinaryQuick(OpAdd, lit(storage.Int64(int64(b))), lit(storage.Int64(int64(a))))
+		lv, _ := l.Eval(Row{})
+		rv, _ := r.Eval(Row{})
+		return lv.I == rv.I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustBinaryQuick(op BinOp, l, r Expr) Expr {
+	b, err := NewBinary(op, l, r)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

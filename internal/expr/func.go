@@ -1,0 +1,368 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// ScalarFunc describes a scalar function (built-in or user-defined).
+// This is the engine's UDF extension point: Vertexica registers its
+// helper functions here and users can add their own.
+type ScalarFunc struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 means variadic
+	// ReturnType infers the result type from argument types.
+	ReturnType func(args []storage.Type) (storage.Type, error)
+	// Eval computes the result. NULL handling is up to the function;
+	// use NullSafe to get the usual any-NULL-in, NULL-out behaviour.
+	Eval func(args []storage.Value) (storage.Value, error)
+}
+
+// Registry maps function names (case-insensitive) to implementations.
+// The zero value is unusable; use NewRegistry, which pre-loads the
+// built-ins.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]*ScalarFunc
+}
+
+// NewRegistry returns a registry populated with the built-in functions.
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]*ScalarFunc)}
+	for _, f := range builtins() {
+		r.funcs[strings.ToLower(f.Name)] = f
+	}
+	return r
+}
+
+// Register adds or replaces a scalar function (the UDF hook).
+func (r *Registry) Register(f *ScalarFunc) error {
+	if f == nil || f.Name == "" || f.Eval == nil || f.ReturnType == nil {
+		return fmt.Errorf("expr: invalid scalar function registration")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[strings.ToLower(f.Name)] = f
+	return nil
+}
+
+// Lookup finds a function by name.
+func (r *Registry) Lookup(name string) (*ScalarFunc, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names lists registered function names, sorted (for the console's
+// \functions command).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call is a bound invocation of a scalar function.
+type Call struct {
+	Fn   *ScalarFunc
+	Args []Expr
+	Typ  storage.Type
+}
+
+// NewCall binds a function invocation, checking arity and inferring the
+// result type.
+func NewCall(fn *ScalarFunc, args []Expr) (*Call, error) {
+	n := len(args)
+	if n < fn.MinArgs || (fn.MaxArgs >= 0 && n > fn.MaxArgs) {
+		return nil, fmt.Errorf("expr: %s expects %d..%d args, got %d", fn.Name, fn.MinArgs, fn.MaxArgs, n)
+	}
+	ats := make([]storage.Type, n)
+	for i, a := range args {
+		ats[i] = a.Type()
+	}
+	rt, err := fn.ReturnType(ats)
+	if err != nil {
+		return nil, fmt.Errorf("expr: %s: %w", fn.Name, err)
+	}
+	return &Call{Fn: fn, Args: args, Typ: rt}, nil
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(r Row) (storage.Value, error) {
+	vals := make([]storage.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(r)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		vals[i] = v
+	}
+	out, err := c.Fn.Eval(vals)
+	if err != nil {
+		return storage.Value{}, fmt.Errorf("expr: %s: %w", c.Fn.Name, err)
+	}
+	return out, nil
+}
+
+// Type implements Expr.
+func (c *Call) Type() storage.Type { return c.Typ }
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn.Name, strings.Join(parts, ", "))
+}
+
+// NullSafe wraps an eval func with any-NULL-in, NULL-out semantics.
+func NullSafe(t storage.Type, f func(args []storage.Value) (storage.Value, error)) func([]storage.Value) (storage.Value, error) {
+	return func(args []storage.Value) (storage.Value, error) {
+		for _, a := range args {
+			if a.Null {
+				return storage.Null(t), nil
+			}
+		}
+		return f(args)
+	}
+}
+
+func fixedType(t storage.Type) func([]storage.Type) (storage.Type, error) {
+	return func([]storage.Type) (storage.Type, error) { return t, nil }
+}
+
+func numericPassThrough(args []storage.Type) (storage.Type, error) {
+	if len(args) == 0 {
+		return storage.TypeFloat64, nil
+	}
+	out := storage.TypeInt64
+	for _, a := range args {
+		if !a.Numeric() {
+			return 0, fmt.Errorf("numeric argument required, got %s", a)
+		}
+		if a == storage.TypeFloat64 {
+			out = storage.TypeFloat64
+		}
+	}
+	return out, nil
+}
+
+func sameAsFirst(args []storage.Type) (storage.Type, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("at least one argument required")
+	}
+	return args[0], nil
+}
+
+func builtins() []*ScalarFunc {
+	return []*ScalarFunc{
+		{
+			Name: "abs", MinArgs: 1, MaxArgs: 1,
+			ReturnType: numericPassThrough,
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				if a[0].Type == storage.TypeInt64 {
+					v := a[0].I
+					if v < 0 {
+						v = -v
+					}
+					return storage.Int64(v), nil
+				}
+				return storage.Float64(math.Abs(a[0].F)), nil
+			}),
+		},
+		{
+			Name: "sqrt", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				v := math.Sqrt(a[0].AsFloat())
+				if !isFinite(v) {
+					return storage.Null(storage.TypeFloat64), nil
+				}
+				return storage.Float64(v), nil
+			}),
+		},
+		{
+			Name: "pow", MinArgs: 2, MaxArgs: 2,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				v := math.Pow(a[0].AsFloat(), a[1].AsFloat())
+				if !isFinite(v) {
+					return storage.Null(storage.TypeFloat64), nil
+				}
+				return storage.Float64(v), nil
+			}),
+		},
+		{
+			Name: "ln", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				v := math.Log(a[0].AsFloat())
+				if !isFinite(v) {
+					return storage.Null(storage.TypeFloat64), nil
+				}
+				return storage.Float64(v), nil
+			}),
+		},
+		{
+			Name: "floor", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				return storage.Float64(math.Floor(a[0].AsFloat())), nil
+			}),
+		},
+		{
+			Name: "ceil", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				return storage.Float64(math.Ceil(a[0].AsFloat())), nil
+			}),
+		},
+		{
+			Name: "round", MinArgs: 1, MaxArgs: 2,
+			ReturnType: fixedType(storage.TypeFloat64),
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				scale := 0.0
+				if len(a) == 2 {
+					scale = a[1].AsFloat()
+				}
+				m := math.Pow(10, scale)
+				return storage.Float64(math.Round(a[0].AsFloat()*m) / m), nil
+			}),
+		},
+		{
+			Name: "least", MinArgs: 1, MaxArgs: -1,
+			ReturnType: sameAsFirst,
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				best := a[0]
+				for _, v := range a[1:] {
+					if storage.Compare(v, best) < 0 {
+						best = v
+					}
+				}
+				return best, nil
+			}),
+		},
+		{
+			Name: "greatest", MinArgs: 1, MaxArgs: -1,
+			ReturnType: sameAsFirst,
+			Eval: NullSafe(storage.TypeFloat64, func(a []storage.Value) (storage.Value, error) {
+				best := a[0]
+				for _, v := range a[1:] {
+					if storage.Compare(v, best) > 0 {
+						best = v
+					}
+				}
+				return best, nil
+			}),
+		},
+		{
+			Name: "coalesce", MinArgs: 1, MaxArgs: -1,
+			ReturnType: sameAsFirst,
+			Eval: func(a []storage.Value) (storage.Value, error) {
+				for _, v := range a {
+					if !v.Null {
+						return v, nil
+					}
+				}
+				return a[0], nil
+			},
+		},
+		{
+			Name: "nullif", MinArgs: 2, MaxArgs: 2,
+			ReturnType: sameAsFirst,
+			Eval: func(a []storage.Value) (storage.Value, error) {
+				if !a[0].Null && !a[1].Null && storage.Compare(a[0], a[1]) == 0 {
+					return storage.Null(a[0].Type), nil
+				}
+				return a[0], nil
+			},
+		},
+		{
+			Name: "length", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeInt64),
+			Eval: NullSafe(storage.TypeInt64, func(a []storage.Value) (storage.Value, error) {
+				return storage.Int64(int64(len(a[0].S))), nil
+			}),
+		},
+		{
+			Name: "upper", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeString),
+			Eval: NullSafe(storage.TypeString, func(a []storage.Value) (storage.Value, error) {
+				return storage.Str(strings.ToUpper(a[0].S)), nil
+			}),
+		},
+		{
+			Name: "lower", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeString),
+			Eval: NullSafe(storage.TypeString, func(a []storage.Value) (storage.Value, error) {
+				return storage.Str(strings.ToLower(a[0].S)), nil
+			}),
+		},
+		{
+			Name: "substr", MinArgs: 2, MaxArgs: 3,
+			ReturnType: fixedType(storage.TypeString),
+			Eval: NullSafe(storage.TypeString, func(a []storage.Value) (storage.Value, error) {
+				s := a[0].S
+				start := int(a[1].AsInt()) - 1 // SQL is 1-based
+				if start < 0 {
+					start = 0
+				}
+				if start > len(s) {
+					start = len(s)
+				}
+				end := len(s)
+				if len(a) == 3 {
+					end = start + int(a[2].AsInt())
+					if end > len(s) {
+						end = len(s)
+					}
+					if end < start {
+						end = start
+					}
+				}
+				return storage.Str(s[start:end]), nil
+			}),
+		},
+		{
+			Name: "concat", MinArgs: 1, MaxArgs: -1,
+			ReturnType: fixedType(storage.TypeString),
+			Eval: func(a []storage.Value) (storage.Value, error) {
+				var b strings.Builder
+				for _, v := range a {
+					if v.Null {
+						continue
+					}
+					b.WriteString(v.String())
+				}
+				return storage.Str(b.String()), nil
+			},
+		},
+		{
+			Name: "sign", MinArgs: 1, MaxArgs: 1,
+			ReturnType: fixedType(storage.TypeInt64),
+			Eval: NullSafe(storage.TypeInt64, func(a []storage.Value) (storage.Value, error) {
+				f := a[0].AsFloat()
+				switch {
+				case f > 0:
+					return storage.Int64(1), nil
+				case f < 0:
+					return storage.Int64(-1), nil
+				default:
+					return storage.Int64(0), nil
+				}
+			}),
+		},
+	}
+}

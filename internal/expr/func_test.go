@@ -1,0 +1,176 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func callBuiltin(t *testing.T, reg *Registry, name string, args ...storage.Value) storage.Value {
+	t.Helper()
+	fn, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %s not found", name)
+	}
+	exprs := make([]Expr, len(args))
+	for i, a := range args {
+		exprs[i] = lit(a)
+	}
+	c, err := NewCall(fn, exprs)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	v, err := c.Eval(testRow())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestBuiltins(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		name string
+		args []storage.Value
+		want storage.Value
+	}{
+		{"abs", []storage.Value{storage.Int64(-4)}, storage.Int64(4)},
+		{"abs", []storage.Value{storage.Float64(-2.5)}, storage.Float64(2.5)},
+		{"sqrt", []storage.Value{storage.Float64(9)}, storage.Float64(3)},
+		{"pow", []storage.Value{storage.Float64(2), storage.Float64(10)}, storage.Float64(1024)},
+		{"floor", []storage.Value{storage.Float64(2.7)}, storage.Float64(2)},
+		{"ceil", []storage.Value{storage.Float64(2.1)}, storage.Float64(3)},
+		{"round", []storage.Value{storage.Float64(2.46), storage.Int64(1)}, storage.Float64(2.5)},
+		{"least", []storage.Value{storage.Int64(3), storage.Int64(1), storage.Int64(2)}, storage.Int64(1)},
+		{"greatest", []storage.Value{storage.Int64(3), storage.Int64(9), storage.Int64(2)}, storage.Int64(9)},
+		{"coalesce", []storage.Value{storage.Null(storage.TypeInt64), storage.Int64(5)}, storage.Int64(5)},
+		{"nullif", []storage.Value{storage.Int64(5), storage.Int64(6)}, storage.Int64(5)},
+		{"length", []storage.Value{storage.Str("hello")}, storage.Int64(5)},
+		{"upper", []storage.Value{storage.Str("ab")}, storage.Str("AB")},
+		{"lower", []storage.Value{storage.Str("AB")}, storage.Str("ab")},
+		{"substr", []storage.Value{storage.Str("hello"), storage.Int64(2), storage.Int64(3)}, storage.Str("ell")},
+		{"concat", []storage.Value{storage.Str("a"), storage.Int64(1)}, storage.Str("a1")},
+		{"sign", []storage.Value{storage.Float64(-0.5)}, storage.Int64(-1)},
+	}
+	for _, c := range cases {
+		got := callBuiltin(t, reg, c.name, c.args...)
+		if !storage.Equal(got, c.want) {
+			t.Errorf("%s(%v) = %v, want %v", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinNullHandling(t *testing.T) {
+	reg := NewRegistry()
+	if v := callBuiltin(t, reg, "abs", storage.Null(storage.TypeInt64)); !v.Null {
+		t.Error("abs(NULL) should be NULL")
+	}
+	if v := callBuiltin(t, reg, "sqrt", storage.Float64(-1)); !v.Null {
+		t.Error("sqrt(-1) should be NULL")
+	}
+	if v := callBuiltin(t, reg, "nullif", storage.Int64(3), storage.Int64(3)); !v.Null {
+		t.Error("nullif(3,3) should be NULL")
+	}
+}
+
+func TestCallArityCheck(t *testing.T) {
+	reg := NewRegistry()
+	fn, _ := reg.Lookup("abs")
+	if _, err := NewCall(fn, nil); err == nil {
+		t.Error("abs() should fail arity check")
+	}
+	if _, err := NewCall(fn, []Expr{lit(storage.Int64(1)), lit(storage.Int64(2))}); err == nil {
+		t.Error("abs(1,2) should fail arity check")
+	}
+}
+
+func TestUDFRegistration(t *testing.T) {
+	reg := NewRegistry()
+	err := reg.Register(&ScalarFunc{
+		Name: "double_it", MinArgs: 1, MaxArgs: 1,
+		ReturnType: fixedType(storage.TypeInt64),
+		Eval: NullSafe(storage.TypeInt64, func(a []storage.Value) (storage.Value, error) {
+			return storage.Int64(a[0].I * 2), nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := callBuiltin(t, reg, "DOUBLE_IT", storage.Int64(21)); v.I != 42 {
+		t.Errorf("udf = %v, want 42", v)
+	}
+	if err := reg.Register(&ScalarFunc{Name: ""}); err == nil {
+		t.Error("invalid registration should fail")
+	}
+	names := reg.Names()
+	found := false
+	for _, n := range names {
+		if n == "double_it" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Names() should list registered UDFs")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	in := []storage.Value{
+		storage.Int64(3), storage.Int64(1), storage.Null(storage.TypeInt64), storage.Int64(3),
+	}
+	check := func(kind AggKind, distinct bool, want storage.Value) {
+		t.Helper()
+		agg := &Aggregate{Kind: kind, Input: lit(storage.Int64(0)), Distinct: distinct}
+		acc := agg.NewAccumulator()
+		for _, v := range in {
+			acc.Add(v)
+		}
+		got := acc.Result()
+		if !storage.Equal(got, want) || got.Null != want.Null {
+			t.Errorf("%v(distinct=%v) = %v, want %v", kind, distinct, got, want)
+		}
+	}
+	check(AggCount, false, storage.Int64(3))
+	check(AggCountStar, false, storage.Int64(4))
+	check(AggSum, false, storage.Int64(7))
+	check(AggAvg, false, storage.Float64(7.0/3.0))
+	check(AggMin, false, storage.Int64(1))
+	check(AggMax, false, storage.Int64(3))
+	check(AggCount, true, storage.Int64(2))
+	check(AggSum, true, storage.Int64(4))
+}
+
+func TestAggregateEmptyGroups(t *testing.T) {
+	sum := (&Aggregate{Kind: AggSum, Input: lit(storage.Int64(0))}).NewAccumulator()
+	if v := sum.Result(); !v.Null {
+		t.Error("SUM of empty group should be NULL")
+	}
+	cnt := (&Aggregate{Kind: AggCountStar}).NewAccumulator()
+	if v := cnt.Result(); v.I != 0 {
+		t.Error("COUNT(*) of empty group should be 0")
+	}
+}
+
+func TestAggKindByName(t *testing.T) {
+	for name, want := range map[string]AggKind{"count": AggCount, "SUM": AggSum, "Avg": AggAvg, "MIN": AggMin, "max": AggMax} {
+		got, ok := AggKindByName(name)
+		if !ok || got != want {
+			t.Errorf("AggKindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := AggKindByName("median"); ok {
+		t.Error("median should not resolve")
+	}
+}
+
+func TestAggregateResultTypes(t *testing.T) {
+	a := &Aggregate{Kind: AggAvg, Input: lit(storage.Int64(1))}
+	rt, err := a.ResultType()
+	if err != nil || rt != storage.TypeFloat64 {
+		t.Errorf("AVG type = %v, %v", rt, err)
+	}
+	bad := &Aggregate{Kind: AggSum, Input: lit(storage.Str("x"))}
+	if _, err := bad.ResultType(); err == nil {
+		t.Error("SUM over string should fail")
+	}
+}

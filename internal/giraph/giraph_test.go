@@ -1,0 +1,109 @@
+package giraph
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testEngine() *Engine {
+	e := New(Config{Workers: 2, SuperstepOverhead: -1})
+	e.AddEdge(1, 2, 1)
+	e.AddEdge(1, 3, 4)
+	e.AddEdge(2, 3, 1)
+	e.AddEdge(3, 1, 2)
+	e.AddEdge(4, 3, 1)
+	return e
+}
+
+func TestGiraphPageRank(t *testing.T) {
+	e := testEngine()
+	ranks, stats, err := PageRank(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("ranks for %d vertices", len(ranks))
+	}
+	// Vertex 3 receives from 1, 2 and 4: must outrank 2 and 4.
+	if ranks[3] <= ranks[2] || ranks[3] <= ranks[4] {
+		t.Errorf("rank order wrong: %v", ranks)
+	}
+	if stats.Supersteps == 0 || stats.TotalMessages == 0 {
+		t.Error("stats not recorded")
+	}
+}
+
+func TestGiraphSSSP(t *testing.T) {
+	e := testEngine()
+	dist, _, err := SSSP(e, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{1: 0, 2: 1, 3: 2, 4: math.Inf(1)}
+	for id, w := range want {
+		if dist[id] != w && !(math.IsInf(dist[id], 1) && math.IsInf(w, 1)) {
+			t.Errorf("dist(%d) = %v, want %v", id, dist[id], w)
+		}
+	}
+}
+
+func TestGiraphOverheadModel(t *testing.T) {
+	e := New(Config{Workers: 1, SuperstepOverhead: 30 * time.Millisecond, MaxSupersteps: 3})
+	e.AddEdge(1, 2, 1)
+	start := time.Now()
+	if _, _, err := PageRank(e, 10); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("3 supersteps × 30ms overhead should take ≥90ms, took %v", elapsed)
+	}
+}
+
+func TestGiraphDeterministicAcrossWorkerCounts(t *testing.T) {
+	var results [2]map[int64]float64
+	for i, workers := range []int{1, 4} {
+		e := New(Config{Workers: workers, SuperstepOverhead: -1})
+		e.AddEdge(1, 2, 1)
+		e.AddEdge(2, 3, 1)
+		e.AddEdge(3, 1, 1)
+		ranks, _, err := PageRank(e, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = ranks
+	}
+	for id, v := range results[0] {
+		if math.Abs(results[1][id]-v) > 1e-12 {
+			t.Errorf("worker count changes results at %d: %v vs %v", id, v, results[1][id])
+		}
+	}
+}
+
+func TestGiraphAddVertexIdempotent(t *testing.T) {
+	e := New(Config{SuperstepOverhead: -1})
+	e.AddVertex(7)
+	e.AddVertex(7)
+	if e.NumVertices() != 1 {
+		t.Error("AddVertex must be idempotent")
+	}
+}
+
+func TestGiraphDanglingMessageDropped(t *testing.T) {
+	e := New(Config{Workers: 1, SuperstepOverhead: -1, MaxSupersteps: 3})
+	e.AddVertex(1)
+	prog := progFunc(func(v *Vertex, msgs []float64) error {
+		if v.Superstep() == 0 {
+			v.SendMessage(99, 1.0) // nonexistent
+		}
+		v.VoteToHalt()
+		return nil
+	})
+	if _, err := e.Run(prog); err != nil {
+		t.Fatalf("dangling message should be dropped, got %v", err)
+	}
+}
+
+type progFunc func(v *Vertex, msgs []float64) error
+
+func (f progFunc) Compute(v *Vertex, msgs []float64) error { return f(v, msgs) }

@@ -1,0 +1,101 @@
+package giraph
+
+import "math"
+
+// mathFloat64bits/frombits isolate the math import from the wire code.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// pageRank is the Giraph PageRank application, identical in convention
+// to algorithms.PageRank (damping 0.85, no dangling redistribution).
+type pageRank struct {
+	iterations int
+	damping    float64
+}
+
+// Compute implements Program.
+func (p *pageRank) Compute(v *Vertex, msgs []float64) error {
+	n := float64(v.NumVertices())
+	var rank float64
+	if v.Superstep() == 0 {
+		rank = 1.0 / n
+	} else {
+		sum := 0.0
+		for _, m := range msgs {
+			sum += m
+		}
+		rank = (1-p.damping)/n + p.damping*sum
+	}
+	v.Value = rank
+	if v.Superstep() >= p.iterations {
+		v.VoteToHalt()
+		return nil
+	}
+	if len(v.Edges) > 0 {
+		v.SendToAllNeighbors(rank / float64(len(v.Edges)))
+	}
+	return nil
+}
+
+// PageRank runs PageRank on the engine and returns final ranks.
+func PageRank(e *Engine, iterations int) (map[int64]float64, *Stats, error) {
+	e.SetValues(func(int64) float64 { return 0 })
+	stats, err := e.Run(&pageRank{iterations: iterations, damping: 0.85})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Values(), stats, nil
+}
+
+// sssp is the Giraph shortest-paths application.
+type sssp struct {
+	source int64
+	unit   bool
+}
+
+// Compute implements Program.
+func (s *sssp) Compute(v *Vertex, msgs []float64) error {
+	if v.Superstep() == 0 {
+		if v.ID == s.source {
+			v.Value = 0
+			s.relax(v)
+		} else {
+			v.Value = math.Inf(1)
+		}
+		v.VoteToHalt()
+		return nil
+	}
+	best := v.Value
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if best < v.Value {
+		v.Value = best
+		s.relax(v)
+	}
+	v.VoteToHalt()
+	return nil
+}
+
+func (s *sssp) relax(v *Vertex) {
+	for _, e := range v.Edges {
+		w := e.Weight
+		if s.unit || w <= 0 {
+			w = 1
+		}
+		v.SendMessage(e.Dst, v.Value+w)
+	}
+}
+
+// SSSP runs single-source shortest paths and returns distances
+// (+Inf for unreachable vertices).
+func SSSP(e *Engine, source int64, unitWeights bool) (map[int64]float64, *Stats, error) {
+	e.SetValues(func(int64) float64 { return math.Inf(1) })
+	stats, err := e.Run(&sssp{source: source, unit: unitWeights})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Values(), stats, nil
+}

@@ -1,0 +1,126 @@
+package graphdb
+
+import (
+	"math"
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	edges := [][3]float64{
+		{1, 2, 1}, {1, 3, 4}, {2, 3, 1}, {3, 1, 2}, {4, 3, 1},
+	}
+	if err := s.Load(edges); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadAndTraverse(t *testing.T) {
+	s := testStore(t)
+	if s.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", s.NumNodes())
+	}
+	tx := s.Begin()
+	defer tx.Commit()
+	nbrs, err := tx.Out(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 {
+		t.Fatalf("out(1) = %d", len(nbrs))
+	}
+	if nbrs[1].Weight != 4 {
+		t.Errorf("weight property lost: %v", nbrs)
+	}
+}
+
+func TestTransactionSemantics(t *testing.T) {
+	s := New()
+	ro := s.Begin()
+	if err := ro.CreateNode(1, nil); err == nil {
+		t.Error("read-only tx must reject writes")
+	}
+	ro.Commit()
+	w := s.BeginWrite()
+	if err := w.CreateNode(1, map[string]interface{}{"name": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CreateNode(1, nil); err == nil {
+		t.Error("duplicate node must fail")
+	}
+	if err := w.CreateRel(1, 99, "X", nil); err == nil {
+		t.Error("rel to missing node must fail")
+	}
+	w.Commit()
+	w.Commit() // double-commit must be safe
+
+	r := s.Begin()
+	if v, ok := r.Prop(1, "name"); !ok || v.(string) != "a" {
+		t.Error("property lost")
+	}
+	r.Commit()
+}
+
+func TestGraphDBPageRankSensible(t *testing.T) {
+	s := testStore(t)
+	ranks, err := PageRank(s, 10, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[3] <= ranks[2] || ranks[3] <= ranks[4] {
+		t.Errorf("rank order wrong: %v", ranks)
+	}
+	// Final ranks persisted as properties.
+	tx := s.Begin()
+	defer tx.Commit()
+	if v, ok := tx.Prop(3, "pagerank"); !ok || v.(float64) != ranks[3] {
+		t.Error("pagerank property not persisted")
+	}
+}
+
+func TestGraphDBShortestPaths(t *testing.T) {
+	s := testStore(t)
+	dist, err := ShortestPaths(s, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{1: 0, 2: 1, 3: 2, 4: math.Inf(1)}
+	for id, w := range want {
+		if dist[id] != w && !(math.IsInf(dist[id], 1) && math.IsInf(w, 1)) {
+			t.Errorf("dist(%d) = %v, want %v", id, dist[id], w)
+		}
+	}
+	if _, err := ShortestPaths(s, 42, false); err == nil {
+		t.Error("missing source must error")
+	}
+}
+
+func TestDistHeapOrdering(t *testing.T) {
+	h := &distHeap{}
+	for _, d := range []float64{5, 1, 4, 2, 3} {
+		h.push(int64(d), d)
+	}
+	prev := -1.0
+	for h.len() > 0 {
+		_, d := h.pop()
+		if d < prev {
+			t.Fatalf("heap popped out of order: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDegree(t *testing.T) {
+	s := testStore(t)
+	tx := s.Begin()
+	defer tx.Commit()
+	d, err := tx.Degree(1)
+	if err != nil || d != 2 {
+		t.Errorf("degree(1) = %d, %v", d, err)
+	}
+	if _, err := tx.Degree(42); err == nil {
+		t.Error("degree of missing node must error")
+	}
+}

@@ -1,0 +1,293 @@
+// Package pipeline implements the dataflow composition from the demo's
+// GUI (Figure 3): users chain relational operators (selection,
+// projection, aggregation) with graph algorithms (vertex-centric and
+// SQL) into end-to-end analyses — the paper's §3.4 "richer graph
+// analytics" story, where graph analytics is pre-/post-processing plus
+// algorithms, not just a bare algorithm run.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Context carries state through the stages of one pipeline run.
+type Context struct {
+	DB    *engine.DB
+	Graph *core.Graph
+	// Values holds named stage outputs (maps, counts, rows).
+	Values map[string]interface{}
+	// Trace records one line per completed stage.
+	Trace []string
+}
+
+// Stage is one node of the dataflow.
+type Stage interface {
+	// Name identifies the stage in traces and errors.
+	Name() string
+	// Run executes the stage, reading and writing pc.
+	Run(ctx context.Context, pc *Context) error
+}
+
+// Pipeline is an ordered chain of stages.
+type Pipeline struct {
+	stages []Stage
+}
+
+// New builds a pipeline from stages.
+func New(stages ...Stage) *Pipeline { return &Pipeline{stages: stages} }
+
+// Append adds more stages.
+func (p *Pipeline) Append(stages ...Stage) *Pipeline {
+	p.stages = append(p.stages, stages...)
+	return p
+}
+
+// Run executes the stages in order over the graph.
+func (p *Pipeline) Run(ctx context.Context, db *engine.DB, g *core.Graph) (*Context, error) {
+	pc := &Context{DB: db, Graph: g, Values: make(map[string]interface{})}
+	for _, s := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return pc, err
+		}
+		if err := s.Run(ctx, pc); err != nil {
+			return pc, fmt.Errorf("pipeline: stage %s: %w", s.Name(), err)
+		}
+		pc.Trace = append(pc.Trace, s.Name())
+	}
+	return pc, nil
+}
+
+// Subgraph selects a subgraph (the GUI's "scope of analysis"): edges
+// matching EdgeWhere (a SQL predicate over the edge table's columns)
+// are copied into a new graph named Target, vertices are those incident
+// to the kept edges. An empty EdgeWhere keeps everything.
+type Subgraph struct {
+	Target    string
+	EdgeWhere string // e.g. "etype = 'family' AND weight > 2.0"
+}
+
+// Name implements Stage.
+func (s *Subgraph) Name() string { return "subgraph:" + s.Target }
+
+// Run implements Stage: after it, pc.Graph is the new subgraph.
+func (s *Subgraph) Run(_ context.Context, pc *Context) error {
+	g := pc.Graph
+	db := pc.DB
+	if db.Catalog().Has(s.Target + "_vertex") {
+		if err := core.DropGraph(db, s.Target); err != nil {
+			return err
+		}
+	}
+	sub, err := core.CreateGraph(db, s.Target)
+	if err != nil {
+		return err
+	}
+	where := ""
+	if s.EdgeWhere != "" {
+		where = " WHERE " + s.EdgeWhere
+	}
+	if _, err := db.Exec(fmt.Sprintf(
+		"INSERT INTO %s SELECT src, dst, weight, etype, created FROM %s%s",
+		sub.EdgeTable(), g.EdgeTable(), where)); err != nil {
+		return err
+	}
+	// Vertices incident to kept edges keep their current values.
+	if _, err := db.Exec(fmt.Sprintf(
+		`INSERT INTO %[1]s SELECT v.id, v.value, FALSE FROM %[2]s AS v
+		 JOIN (SELECT src AS id FROM %[3]s UNION ALL SELECT dst FROM %[3]s) AS touched
+		 ON v.id = touched.id GROUP BY v.id, v.value`,
+		sub.VertexTable(), g.VertexTable(), sub.EdgeTable())); err != nil {
+		return err
+	}
+	pc.Graph = sub
+	return nil
+}
+
+// VertexProgramStage runs a vertex-centric program on the current graph
+// and stores the graph's float values under Key.
+type VertexProgramStage struct {
+	Label   string
+	Program core.VertexProgram
+	Opts    core.Options
+	Init    func(id int64) string // initial vertex values; nil keeps current
+	Key     string
+}
+
+// Name implements Stage.
+func (s *VertexProgramStage) Name() string { return "vertex:" + s.Label }
+
+// Run implements Stage.
+func (s *VertexProgramStage) Run(ctx context.Context, pc *Context) error {
+	if s.Init != nil {
+		if err := pc.Graph.ResetForRun(s.Init); err != nil {
+			return err
+		}
+	}
+	stats, err := core.Run(ctx, pc.Graph, s.Program, s.Opts)
+	if err != nil {
+		return err
+	}
+	pc.Values[s.Key+".stats"] = stats
+	vals, err := pc.Graph.FloatValues()
+	if err != nil {
+		return err
+	}
+	pc.Values[s.Key] = vals
+	return nil
+}
+
+// SQLStage runs a SQL statement; SELECT results land in Values[Key].
+// Occurrences of {graph} in the query expand to the current graph name
+// so stages compose with Subgraph.
+type SQLStage struct {
+	Label string
+	Query string
+	Key   string
+}
+
+// Name implements Stage.
+func (s *SQLStage) Name() string { return "sql:" + s.Label }
+
+// Run implements Stage.
+func (s *SQLStage) Run(_ context.Context, pc *Context) error {
+	q := expandGraph(s.Query, pc.Graph.Name)
+	rows, err := pc.DB.Query(q)
+	if err != nil {
+		// Not a SELECT? Execute as DML.
+		if _, err2 := pc.DB.Exec(q); err2 != nil {
+			return err
+		}
+		return nil
+	}
+	if s.Key != "" {
+		pc.Values[s.Key] = rows
+	}
+	return nil
+}
+
+func expandGraph(q, name string) string {
+	out := ""
+	for i := 0; i < len(q); {
+		if i+7 <= len(q) && q[i:i+7] == "{graph}" {
+			out += name
+			i += 7
+			continue
+		}
+		out += string(q[i])
+		i++
+	}
+	return out
+}
+
+// Histogram buckets a float map from a previous stage into equal-width
+// bins — the demo's "distribution of PageRank values" post-processing.
+type Histogram struct {
+	InputKey string
+	Buckets  int
+	Key      string
+}
+
+// Name implements Stage.
+func (h *Histogram) Name() string { return "histogram:" + h.InputKey }
+
+// Bucket is one histogram bin.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Run implements Stage.
+func (h *Histogram) Run(_ context.Context, pc *Context) error {
+	raw, ok := pc.Values[h.InputKey]
+	if !ok {
+		return fmt.Errorf("no value %q in pipeline context", h.InputKey)
+	}
+	vals, ok := raw.(map[int64]float64)
+	if !ok {
+		return fmt.Errorf("value %q is %T, want map[int64]float64", h.InputKey, raw)
+	}
+	if h.Buckets <= 0 {
+		h.Buckets = 10
+	}
+	if len(vals) == 0 {
+		pc.Values[h.Key] = []Bucket{}
+		return nil
+	}
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, v := range vals {
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	width := (hi - lo) / float64(h.Buckets)
+	if width == 0 {
+		width = 1
+	}
+	buckets := make([]Bucket, h.Buckets)
+	for i := range buckets {
+		buckets[i] = Bucket{Lo: lo + float64(i)*width, Hi: lo + float64(i+1)*width}
+	}
+	for _, v := range vals {
+		i := int((v - lo) / width)
+		if i >= h.Buckets {
+			i = h.Buckets - 1
+		}
+		buckets[i].Count++
+	}
+	pc.Values[h.Key] = buckets
+	return nil
+}
+
+// TopK extracts the k largest entries of a float map into Values[Key]
+// as a sorted slice of (ID, Score).
+type TopK struct {
+	InputKey string
+	K        int
+	Key      string
+}
+
+// Scored is one (vertex, score) result row.
+type Scored struct {
+	ID    int64
+	Score float64
+}
+
+// Name implements Stage.
+func (t *TopK) Name() string { return fmt.Sprintf("top%d:%s", t.K, t.InputKey) }
+
+// Run implements Stage.
+func (t *TopK) Run(_ context.Context, pc *Context) error {
+	raw, ok := pc.Values[t.InputKey]
+	if !ok {
+		return fmt.Errorf("no value %q in pipeline context", t.InputKey)
+	}
+	vals, ok := raw.(map[int64]float64)
+	if !ok {
+		return fmt.Errorf("value %q is %T, want map[int64]float64", t.InputKey, raw)
+	}
+	out := make([]Scored, 0, len(vals))
+	for id, v := range vals {
+		out = append(out, Scored{ID: id, Score: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if t.K > 0 && len(out) > t.K {
+		out = out[:t.K]
+	}
+	pc.Values[t.Key] = out
+	return nil
+}

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func loadedGraph(t *testing.T) (*engine.DB, *core.Graph) {
+	t.Helper()
+	db := engine.New()
+	g, err := core.CreateGraph(db, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []core.Edge{
+		{Src: 1, Dst: 2, Weight: 1, Type: "family", Created: 100},
+		{Src: 2, Dst: 1, Weight: 1, Type: "family", Created: 100},
+		{Src: 2, Dst: 3, Weight: 5, Type: "friend", Created: 200},
+		{Src: 3, Dst: 2, Weight: 5, Type: "friend", Created: 200},
+		{Src: 3, Dst: 1, Weight: 2, Type: "family", Created: 300},
+		{Src: 1, Dst: 3, Weight: 2, Type: "family", Created: 300},
+	}
+	if err := g.BulkLoad(nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestSubgraphStage(t *testing.T) {
+	db, g := loadedGraph(t)
+	p := New(&Subgraph{Target: "fam", EdgeWhere: "etype = 'family'"})
+	pc, err := p.Run(context.Background(), db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Graph.Name != "fam" {
+		t.Fatalf("pipeline graph = %s", pc.Graph.Name)
+	}
+	ne, _ := pc.Graph.NumEdges()
+	if ne != 4 {
+		t.Errorf("family edges = %d, want 4", ne)
+	}
+	nv, _ := pc.Graph.NumVertices()
+	if nv != 3 {
+		t.Errorf("vertices = %d, want 3 (all touch family edges)", nv)
+	}
+}
+
+func TestFullDataflowSelectionAlgoAggregate(t *testing.T) {
+	// The Figure 3 dataflow: Selection → PageRank → TopK → Histogram.
+	db, g := loadedGraph(t)
+	p := New(
+		&Subgraph{Target: "scope", EdgeWhere: "weight < 10.0"},
+		&VertexProgramStage{
+			Label:   "pagerank",
+			Program: algorithms.NewPageRank(5),
+			Init:    func(int64) string { return "" },
+			Key:     "ranks",
+		},
+		&TopK{InputKey: "ranks", K: 2, Key: "top"},
+		&Histogram{InputKey: "ranks", Buckets: 4, Key: "hist"},
+	)
+	pc, err := p.Run(context.Background(), db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := pc.Values["top"].([]Scored)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	hist := pc.Values["hist"].([]Bucket)
+	total := 0
+	for _, b := range hist {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("histogram covers %d vertices, want 3", total)
+	}
+	if len(pc.Trace) != 4 {
+		t.Errorf("trace = %v", pc.Trace)
+	}
+}
+
+func TestSQLStageWithGraphExpansion(t *testing.T) {
+	db, g := loadedGraph(t)
+	p := New(&SQLStage{
+		Label: "degree",
+		Query: "SELECT src, COUNT(*) FROM {graph}_edge GROUP BY src ORDER BY src",
+		Key:   "deg",
+	})
+	pc, err := p.Run(context.Background(), db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := pc.Values["deg"].(*engine.Rows)
+	if rows.Len() != 3 {
+		t.Errorf("degree rows = %d", rows.Len())
+	}
+}
+
+func TestStageErrorsCarryStageName(t *testing.T) {
+	db, g := loadedGraph(t)
+	p := New(&SQLStage{Label: "broken", Query: "SELECT FROM nothing"})
+	if _, err := p.Run(context.Background(), db, g); err == nil {
+		t.Fatal("broken SQL should fail")
+	}
+	p2 := New(&Histogram{InputKey: "missing", Key: "h"})
+	if _, err := p2.Run(context.Background(), db, g); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	pc := &Context{Values: map[string]interface{}{
+		"v": map[int64]float64{1: 0.5, 2: 0.9, 3: 0.1, 4: 0.9},
+	}}
+	tk := &TopK{InputKey: "v", K: 3, Key: "out"}
+	if err := tk.Run(context.Background(), pc); err != nil {
+		t.Fatal(err)
+	}
+	out := pc.Values["out"].([]Scored)
+	if out[0].ID != 2 || out[1].ID != 4 || out[2].ID != 1 {
+		t.Errorf("order wrong: %v (ties break by id)", out)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	pc := &Context{Values: map[string]interface{}{
+		"same": map[int64]float64{1: 2.0, 2: 2.0},
+	}}
+	h := &Histogram{InputKey: "same", Buckets: 3, Key: "out"}
+	if err := h.Run(context.Background(), pc); err != nil {
+		t.Fatal(err)
+	}
+	out := pc.Values["out"].([]Bucket)
+	total := 0
+	for _, b := range out {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Errorf("constant-value histogram lost rows: %v", out)
+	}
+}

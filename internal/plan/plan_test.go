@@ -1,0 +1,251 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	edge, err := cat.Create("edge", storage.NewSchema(
+		storage.Col("src", storage.TypeInt64),
+		storage.Col("dst", storage.TypeInt64),
+		storage.Col("weight", storage.TypeFloat64),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][3]int64{{1, 2, 10}, {2, 3, 20}, {1, 3, 30}} {
+		if err := edge.AppendRow(storage.Int64(e[0]), storage.Int64(e[1]), storage.Float64(float64(e[2]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vertex, err := cat.Create("vertex", storage.NewSchema(
+		storage.Col("id", storage.TypeInt64),
+		storage.Col("name", storage.TypeString),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := vertex.AppendRow(storage.Int64(i), storage.Str(strings.Repeat("v", int(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func planQuery(t *testing.T, cat *catalog.Catalog, q string) exec.Operator {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat, expr.NewRegistry())
+	op, err := p.PlanSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// findOp walks the operator tree looking for a type.
+func hasHashJoin(op exec.Operator) bool {
+	switch o := op.(type) {
+	case *exec.HashJoin:
+		return true
+	case *exec.NestedLoopJoin:
+		return hasHashJoin(o.Left) || hasHashJoin(o.Right)
+	case *exec.Filter:
+		return hasHashJoin(o.Input)
+	case *exec.Project:
+		return hasHashJoin(o.Input)
+	case *exec.Sort:
+		return hasHashJoin(o.Input)
+	case *exec.Limit:
+		return hasHashJoin(o.Input)
+	case *exec.HashAggregate:
+		return hasHashJoin(o.Input)
+	case *exec.Distinct:
+		return hasHashJoin(o.Input)
+	}
+	return false
+}
+
+func TestEquiJoinBecomesHashJoin(t *testing.T) {
+	cat := testCatalog(t)
+	op := planQuery(t, cat, "SELECT v.name FROM edge e JOIN vertex v ON e.dst = v.id")
+	if !hasHashJoin(op) {
+		t.Error("explicit equi-join should plan as hash join")
+	}
+	// Comma-join with WHERE equality also promotes to hash join.
+	op2 := planQuery(t, cat, "SELECT v.name FROM edge e, vertex v WHERE e.dst = v.id")
+	if !hasHashJoin(op2) {
+		t.Error("comma join with equality predicate should plan as hash join")
+	}
+}
+
+func TestScopeAmbiguity(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := sql.Parse("SELECT src FROM edge e1, edge e2")
+	p := New(cat, expr.NewRegistry())
+	if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil {
+		t.Error("ambiguous column should fail to bind")
+	}
+	st2, _ := sql.Parse("SELECT nothere FROM edge")
+	if _, err := p.PlanSelect(st2.(*sql.SelectStmt)); err == nil {
+		t.Error("unknown column should fail to bind")
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	cat := testCatalog(t)
+	op := planQuery(t, cat, "SELECT * FROM edge e JOIN vertex v ON e.src = v.id")
+	if op.Schema().Len() != 5 {
+		t.Errorf("* over join expands to %d cols, want 5", op.Schema().Len())
+	}
+	op2 := planQuery(t, cat, "SELECT v.* FROM edge e JOIN vertex v ON e.src = v.id")
+	if op2.Schema().Len() != 2 {
+		t.Errorf("v.* expands to %d cols, want 2", op2.Schema().Len())
+	}
+}
+
+func TestHavingWithoutGroupByRejected(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := sql.Parse("SELECT src FROM edge HAVING src > 1")
+	p := New(cat, expr.NewRegistry())
+	if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil {
+		t.Error("HAVING without aggregates should be rejected")
+	}
+}
+
+func TestAggregateBindingErrors(t *testing.T) {
+	cat := testCatalog(t)
+	p := New(cat, expr.NewRegistry())
+	// Non-grouped column in select list.
+	st, _ := sql.Parse("SELECT dst, COUNT(*) FROM edge GROUP BY src")
+	if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil {
+		t.Error("non-grouped column must be rejected")
+	}
+	// Aggregate in WHERE.
+	st2, _ := sql.Parse("SELECT src FROM edge WHERE COUNT(*) > 1")
+	if _, err := p.PlanSelect(st2.(*sql.SelectStmt)); err == nil {
+		t.Error("aggregate in WHERE must be rejected")
+	}
+	// Star inside aggregate other than COUNT.
+	st3, _ := sql.Parse("SELECT SUM(*) FROM edge")
+	if _, err := p.PlanSelect(st3.(*sql.SelectStmt)); err == nil {
+		t.Error("SUM(*) must be rejected")
+	}
+}
+
+func TestOrderByUnprojectedColumn(t *testing.T) {
+	cat := testCatalog(t)
+	// Plain selects may order by any input expression via hidden sort
+	// columns; the extra columns must not leak into the output.
+	op := planQuery(t, cat, "SELECT src FROM edge ORDER BY weight DESC")
+	out, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Len() != 1 {
+		t.Fatalf("hidden sort column leaked: %v", out.Schema.Names())
+	}
+	// weights are 10,20,30 on (1,2),(2,3),(1,3): descending → 1,2,1.
+	want := []int64{1, 2, 1}
+	for i, w := range want {
+		if out.Row(i)[0].I != w {
+			t.Errorf("row %d = %d, want %d", i, out.Row(i)[0].I, w)
+		}
+	}
+	// DISTINCT cannot use hidden sort columns (they would change the
+	// duplicate set) and must still be rejected.
+	st, _ := sql.Parse("SELECT DISTINCT src FROM edge ORDER BY dst + 1")
+	p := New(cat, expr.NewRegistry())
+	if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil {
+		t.Error("DISTINCT with unprojected ORDER BY should be rejected")
+	}
+}
+
+func TestPredicatePushdownProducesFilterUnderJoin(t *testing.T) {
+	cat := testCatalog(t)
+	// weight > 15 binds on the edge side alone and must be pushed below
+	// the join: the join's left input should be a Filter over the scan.
+	op := planQuery(t, cat, "SELECT v.name FROM edge e, vertex v WHERE e.dst = v.id AND e.weight > 15.0")
+	hj, ok := findHashJoin(op)
+	if !ok {
+		t.Fatal("expected hash join in plan")
+	}
+	if _, ok := hj.Left.(*exec.Filter); !ok {
+		t.Errorf("expected filter pushed below join, left input is %T", hj.Left)
+	}
+	// Executing it still gives the right answer.
+	out, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("rows = %d, want 2 (weights 20 and 30)", out.Len())
+	}
+}
+
+func findHashJoin(op exec.Operator) (*exec.HashJoin, bool) {
+	switch o := op.(type) {
+	case *exec.HashJoin:
+		return o, true
+	case *exec.Filter:
+		return findHashJoin(o.Input)
+	case *exec.Project:
+		return findHashJoin(o.Input)
+	case *exec.Sort:
+		return findHashJoin(o.Input)
+	case *exec.Limit:
+		return findHashJoin(o.Input)
+	case *exec.HashAggregate:
+		return findHashJoin(o.Input)
+	}
+	return nil, false
+}
+
+func TestScopeResolve(t *testing.T) {
+	sc := NewScope("e", storage.NewSchema(
+		storage.Col("src", storage.TypeInt64),
+		storage.Col("dst", storage.TypeInt64),
+	))
+	if i, typ, err := sc.Resolve("e", "dst"); err != nil || i != 1 || typ != storage.TypeInt64 {
+		t.Errorf("qualified resolve: %d %v %v", i, typ, err)
+	}
+	if i, _, err := sc.Resolve("", "src"); err != nil || i != 0 {
+		t.Errorf("unqualified resolve: %d %v", i, err)
+	}
+	if _, _, err := sc.Resolve("x", "src"); err == nil {
+		t.Error("wrong qualifier should fail")
+	}
+	both := Concat(sc, NewScope("v", storage.NewSchema(storage.Col("src", storage.TypeInt64))))
+	if _, _, err := both.Resolve("", "src"); err == nil {
+		t.Error("ambiguous unqualified name should fail")
+	}
+	if i, _, err := both.Resolve("v", "src"); err != nil || i != 2 {
+		t.Errorf("qualified disambiguation failed: %d %v", i, err)
+	}
+}
+
+func TestHiddenColumnsInvisible(t *testing.T) {
+	sc := &Scope{Cols: []ScopeCol{
+		{Qualifier: "t", Name: "visible", Type: storage.TypeInt64},
+		{Qualifier: "$system", Name: "secret", Type: storage.TypeInt64, Hidden: true},
+	}}
+	if _, _, err := sc.Resolve("", "secret"); err == nil {
+		t.Error("hidden column must not resolve")
+	}
+	if got := sc.Visible(""); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Visible = %v", got)
+	}
+}

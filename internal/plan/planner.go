@@ -1,0 +1,547 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Planner lowers SQL statements to executor plans.
+type Planner struct {
+	Catalog *catalog.Catalog
+	Funcs   *expr.Registry
+}
+
+// New returns a planner over the given catalog and function registry.
+func New(cat *catalog.Catalog, funcs *expr.Registry) *Planner {
+	return &Planner{Catalog: cat, Funcs: funcs}
+}
+
+// PlanSelect lowers a SELECT statement to an operator tree.
+func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
+	ctx := &planCtx{p: p, ctes: make(map[string]*storage.Batch)}
+	return ctx.planSelect(st)
+}
+
+// planCtx carries per-statement state (materialized CTEs).
+type planCtx struct {
+	p    *Planner
+	ctes map[string]*storage.Batch
+}
+
+func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
+	// Materialize CTEs in order; each sees the previous ones.
+	saved := make(map[string]*storage.Batch, len(c.ctes))
+	for k, v := range c.ctes {
+		saved[k] = v
+	}
+	defer func() { c.ctes = saved }()
+
+	for _, cte := range st.With {
+		op, err := c.planSelect(cte.Select)
+		if err != nil {
+			return nil, fmt.Errorf("plan: CTE %s: %w", cte.Name, err)
+		}
+		data, err := exec.Drain(op)
+		if err != nil {
+			return nil, fmt.Errorf("plan: CTE %s: %w", cte.Name, err)
+		}
+		c.ctes[strings.ToLower(cte.Name)] = data
+	}
+
+	var op exec.Operator
+	var itemStrings []string
+	for i, core := range st.Cores {
+		coreOp, strs, err := c.planCore(core)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			op = coreOp
+			itemStrings = strs
+		} else {
+			if u, ok := op.(*exec.UnionAll); ok {
+				u.Inputs = append(u.Inputs, coreOp)
+			} else {
+				op = &exec.UnionAll{Inputs: []exec.Operator{op, coreOp}}
+			}
+		}
+	}
+
+	if len(st.OrderBy) > 0 {
+		keys, err := bindOrderBy(st.OrderBy, op.Schema(), itemStrings)
+		if err != nil {
+			// ORDER BY may reference input columns that are not
+			// projected (ORDER BY id with SELECT name ...). For a
+			// single non-DISTINCT core, re-plan with hidden sort
+			// columns appended, sort, then project them away.
+			op2, err2 := c.planWithHiddenSortColumns(st)
+			if err2 != nil {
+				return nil, err // report the original binding error
+			}
+			op = op2
+		} else {
+			op = &exec.Sort{Input: op, Keys: keys}
+		}
+	}
+	if st.Limit != nil || st.Offset != nil {
+		lim := int64(1<<62 - 1)
+		if st.Limit != nil {
+			lim = *st.Limit
+		}
+		var off int64
+		if st.Offset != nil {
+			off = *st.Offset
+		}
+		op = &exec.Limit{Input: op, N: lim, Offset: off}
+	}
+	return op, nil
+}
+
+// planWithHiddenSortColumns re-plans a single-core SELECT with the
+// ORDER BY expressions appended as hidden projection columns, sorts on
+// them, and strips them with a final projection.
+func (c *planCtx) planWithHiddenSortColumns(st *sql.SelectStmt) (exec.Operator, error) {
+	if len(st.Cores) != 1 || st.Cores[0].Distinct {
+		return nil, fmt.Errorf("plan: ORDER BY expression not in select list")
+	}
+	core := *st.Cores[0]
+	core.Items = append([]sql.SelectItem(nil), core.Items...)
+	for i, it := range st.OrderBy {
+		core.Items = append(core.Items, sql.SelectItem{E: it.E, Alias: fmt.Sprintf("$sort%d", i)})
+	}
+	op, _, err := c.planCore(&core)
+	if err != nil {
+		return nil, err
+	}
+	schema := op.Schema()
+	// Star items may have expanded to more than `base` columns; the
+	// hidden sort columns are always the last len(OrderBy) ones.
+	visible := schema.Len() - len(st.OrderBy)
+	keys := make([]storage.SortKey, len(st.OrderBy))
+	for i := range st.OrderBy {
+		keys[i] = storage.SortKey{Col: visible + i, Desc: st.OrderBy[i].Desc}
+	}
+	var sorted exec.Operator = &exec.Sort{Input: op, Keys: keys}
+	exprs := make([]expr.Expr, visible)
+	names := make([]string, visible)
+	for i := 0; i < visible; i++ {
+		exprs[i] = &expr.ColumnRef{Name: schema.Cols[i].Name, Index: i, Typ: schema.Cols[i].Type}
+		names[i] = schema.Cols[i].Name
+	}
+	return exec.NewProject(sorted, exprs, names)
+}
+
+// bindOrderBy resolves ORDER BY items against the output schema: by
+// ordinal, by output column name/alias, or by printed-expression match
+// with a select item.
+func bindOrderBy(items []sql.OrderItem, schema storage.Schema, itemStrings []string) ([]storage.SortKey, error) {
+	keys := make([]storage.SortKey, 0, len(items))
+	for _, it := range items {
+		idx := -1
+		switch n := it.E.(type) {
+		case *sql.IntLit:
+			if n.V < 1 || n.V > int64(schema.Len()) {
+				return nil, fmt.Errorf("plan: ORDER BY position %d out of range", n.V)
+			}
+			idx = int(n.V - 1)
+		case *sql.Ident:
+			if n.Qualifier == "" {
+				idx = schema.IndexOf(n.Name)
+			}
+		}
+		if idx < 0 {
+			want := it.E.String()
+			for i, s := range itemStrings {
+				if s == want {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: ORDER BY expression %s must appear in the select list", it.E)
+		}
+		keys = append(keys, storage.SortKey{Col: idx, Desc: it.Desc})
+	}
+	return keys, nil
+}
+
+// splitConjuncts flattens a tree of ANDs into a conjunct list.
+func splitConjuncts(e sql.Expr, into []sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.BinExpr); ok && b.Op == "AND" {
+		return splitConjuncts(b.R, splitConjuncts(b.L, into))
+	}
+	return append(into, e)
+}
+
+func andAll(conjuncts []sql.Expr) sql.Expr {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	out := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		out = &sql.BinExpr{Op: "AND", L: out, R: c}
+	}
+	return out
+}
+
+// bindable reports whether e binds cleanly in the scope.
+func (c *planCtx) bindable(e sql.Expr, sc *Scope) bool {
+	_, err := bindExpr(e, sc, c.p.Funcs, nil)
+	return err == nil
+}
+
+// equiKey recognizes `l.col = r.col` conjuncts across two scopes and
+// returns the key positions (left-side position, right-side position).
+func equiKey(e sql.Expr, ls, rs *Scope) (int, int, bool) {
+	b, ok := e.(*sql.BinExpr)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	li, lok := identIn(b.L, ls)
+	ri, rok := identIn(b.R, rs)
+	if lok && rok {
+		return li, ri, true
+	}
+	li2, lok2 := identIn(b.R, ls)
+	ri2, rok2 := identIn(b.L, rs)
+	if lok2 && rok2 {
+		return li2, ri2, true
+	}
+	return 0, 0, false
+}
+
+func identIn(e sql.Expr, sc *Scope) (int, bool) {
+	id, ok := e.(*sql.Ident)
+	if !ok {
+		return 0, false
+	}
+	i, _, err := sc.Resolve(id.Qualifier, id.Name)
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// planTableRef lowers one FROM item to (operator, scope).
+func (c *planCtx) planTableRef(ref sql.TableRef) (exec.Operator, *Scope, error) {
+	switch t := ref.(type) {
+	case *sql.BaseTable:
+		qual := t.Alias
+		if qual == "" {
+			qual = t.Name
+		}
+		if data, ok := c.ctes[strings.ToLower(t.Name)]; ok {
+			return &exec.BatchSource{Data: data}, NewScope(qual, data.Schema), nil
+		}
+		tb, err := c.p.Catalog.Get(t.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		return exec.NewTableScan(tb), NewScope(qual, tb.Schema()), nil
+	case *sql.DerivedTable:
+		op, err := c.planSelect(t.Select)
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, NewScope(t.Alias, op.Schema()), nil
+	case *sql.JoinTable:
+		return c.planJoin(t)
+	default:
+		return nil, nil, fmt.Errorf("plan: unsupported table reference %T", ref)
+	}
+}
+
+func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
+	lop, ls, err := c.planTableRef(j.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rop, rs, err := c.planTableRef(j.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	combined := Concat(ls, rs)
+	if j.Kind == sql.JoinCross {
+		return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: exec.CrossJoin}, combined, nil
+	}
+	jt := exec.InnerJoin
+	if j.Kind == sql.JoinLeft {
+		jt = exec.LeftJoin
+	}
+	conjuncts := splitConjuncts(j.On, nil)
+	var lkeys, rkeys []int
+	var residual []sql.Expr
+	for _, cj := range conjuncts {
+		if lk, rk, ok := equiKey(cj, ls, rs); ok {
+			lkeys = append(lkeys, lk)
+			rkeys = append(rkeys, rk)
+		} else {
+			residual = append(residual, cj)
+		}
+	}
+	var resExpr expr.Expr
+	if rest := andAll(residual); rest != nil {
+		resExpr, err = bindExpr(rest, combined, c.p.Funcs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(lkeys) > 0 {
+		// equiKey resolves each side against its own scope, so both key
+		// lists are already operator-local positions.
+		return &exec.HashJoin{
+			Left: lop, Right: rop,
+			LeftKeys: lkeys, RightKeys: rkeys,
+			Type: jt, Residual: resExpr,
+		}, combined, nil
+	}
+	return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: jt, On: resExpr}, combined, nil
+}
+
+// planCore lowers one SELECT core; it returns the operator and the
+// printed select-item strings (for ORDER BY matching).
+func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error) {
+	var op exec.Operator
+	var sc *Scope
+
+	pending := []sql.Expr{}
+	if core.Where != nil {
+		pending = splitConjuncts(core.Where, nil)
+	}
+
+	if len(core.From) == 0 {
+		op = &exec.OneRow{}
+		sc = &Scope{Cols: []ScopeCol{{Qualifier: "$system", Name: "$one", Type: storage.TypeInt64, Hidden: true}}}
+	} else {
+		var err error
+		op, sc, err = c.planTableRef(core.From[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		op, pending, err = c.pushDown(op, sc, pending)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, item := range core.From[1:] {
+			rop, rsc, err := c.planTableRef(item)
+			if err != nil {
+				return nil, nil, err
+			}
+			rop, pending, err = c.pushDown(rop, rsc, pending)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Promote cross-scope equality conjuncts to hash-join keys.
+			var lkeys, rkeys []int
+			var rest []sql.Expr
+			for _, cj := range pending {
+				if lk, rk, ok := equiKey(cj, sc, rsc); ok {
+					lkeys = append(lkeys, lk)
+					rkeys = append(rkeys, rk)
+				} else {
+					rest = append(rest, cj)
+				}
+			}
+			pending = rest
+			combined := Concat(sc, rsc)
+			if len(lkeys) > 0 {
+				op = &exec.HashJoin{Left: op, Right: rop,
+					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin}
+			} else {
+				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin}
+			}
+			sc = combined
+			// Apply conjuncts that became bindable after this join.
+			op, pending, err = c.pushDown(op, sc, pending)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Whatever WHERE conjuncts remain must bind on the full scope.
+	if rest := andAll(pending); rest != nil {
+		pred, err := bindExpr(rest, sc, c.p.Funcs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pred.Type() != storage.TypeBool {
+			return nil, nil, fmt.Errorf("plan: WHERE must be boolean, got %s", pred.Type())
+		}
+		op = &exec.Filter{Input: op, Pred: pred}
+	}
+
+	// Aggregate detection.
+	var aggASTs []*sql.FuncExpr
+	seen := make(map[string]bool)
+	for _, it := range core.Items {
+		if !it.Star {
+			collectAggs(it.E, &aggASTs, seen)
+		}
+	}
+	if core.Having != nil {
+		collectAggs(core.Having, &aggASTs, seen)
+	}
+
+	if len(aggASTs) > 0 || len(core.GroupBy) > 0 {
+		return c.planAggregate(op, sc, core, aggASTs)
+	}
+	if core.Having != nil {
+		return nil, nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+	}
+	return c.planProjection(op, sc, core, nil)
+}
+
+// pushDown applies every pending conjunct that binds on the given scope
+// as a filter, returning the filtered operator and the remaining list.
+func (c *planCtx) pushDown(op exec.Operator, sc *Scope, pending []sql.Expr) (exec.Operator, []sql.Expr, error) {
+	var applicable []sql.Expr
+	var rest []sql.Expr
+	for _, cj := range pending {
+		if c.bindable(cj, sc) {
+			applicable = append(applicable, cj)
+		} else {
+			rest = append(rest, cj)
+		}
+	}
+	if pred := andAll(applicable); pred != nil {
+		bound, err := bindExpr(pred, sc, c.p.Funcs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bound.Type() != storage.TypeBool {
+			return nil, nil, fmt.Errorf("plan: WHERE must be boolean, got %s", bound.Type())
+		}
+		op = &exec.Filter{Input: op, Pred: bound}
+	}
+	return op, rest, nil
+}
+
+// planProjection binds the select items over the (possibly post-
+// aggregate) scope and applies DISTINCT.
+func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCore, ag *aggScope) (exec.Operator, []string, error) {
+	var exprs []expr.Expr
+	var names []string
+	var strs []string
+	for _, it := range core.Items {
+		if it.Star {
+			if ag != nil {
+				return nil, nil, fmt.Errorf("plan: SELECT * cannot be combined with GROUP BY")
+			}
+			for _, i := range sc.Visible(it.StarTable) {
+				col := sc.Cols[i]
+				exprs = append(exprs, &expr.ColumnRef{Name: col.Name, Index: i, Typ: col.Type})
+				names = append(names, col.Name)
+				strs = append(strs, col.Name)
+			}
+			continue
+		}
+		bound, err := bindExpr(it.E, sc, c.p.Funcs, ag)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			if id, ok := it.E.(*sql.Ident); ok {
+				name = id.Name
+			} else {
+				name = it.E.String()
+			}
+		}
+		exprs = append(exprs, bound)
+		names = append(names, name)
+		strs = append(strs, it.E.String())
+	}
+	proj, err := exec.NewProject(op, exprs, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	op = proj
+	if core.Distinct {
+		op = &exec.Distinct{Input: op}
+	}
+	return op, strs, nil
+}
+
+// planAggregate lowers the GROUP BY / aggregate path.
+func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCore, aggASTs []*sql.FuncExpr) (exec.Operator, []string, error) {
+	groupExprs := make([]expr.Expr, len(core.GroupBy))
+	names := make([]string, 0, len(core.GroupBy)+len(aggASTs))
+	postCols := make([]ScopeCol, 0, len(core.GroupBy)+len(aggASTs))
+	ag := &aggScope{byString: make(map[string]*expr.ColumnRef)}
+
+	for i, g := range core.GroupBy {
+		bound, err := bindExpr(g, sc, c.p.Funcs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupExprs[i] = bound
+		var col ScopeCol
+		if id, ok := g.(*sql.Ident); ok {
+			pos, typ, err := sc.Resolve(id.Qualifier, id.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			col = sc.Cols[pos]
+			col.Type = typ
+		} else {
+			col = ScopeCol{Name: fmt.Sprintf("g%d", i), Type: bound.Type(), Hidden: true}
+		}
+		postCols = append(postCols, col)
+		names = append(names, col.Name)
+		ag.byString[g.String()] = &expr.ColumnRef{Name: g.String(), Index: i, Typ: bound.Type()}
+	}
+
+	aggs := make([]*expr.Aggregate, len(aggASTs))
+	for j, a := range aggASTs {
+		kind, _ := expr.AggKindByName(a.Name)
+		agg := &expr.Aggregate{Kind: kind, Distinct: a.Distinct}
+		if a.Star {
+			if kind != expr.AggCount {
+				return nil, nil, fmt.Errorf("plan: %s(*) is not valid", strings.ToUpper(a.Name))
+			}
+			agg.Kind = expr.AggCountStar
+		} else {
+			if len(a.Args) != 1 {
+				return nil, nil, fmt.Errorf("plan: %s takes exactly one argument", strings.ToUpper(a.Name))
+			}
+			in, err := bindExpr(a.Args[0], sc, c.p.Funcs, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			agg.Input = in
+		}
+		rt, err := agg.ResultType()
+		if err != nil {
+			return nil, nil, err
+		}
+		aggs[j] = agg
+		idx := len(core.GroupBy) + j
+		name := a.String()
+		names = append(names, name)
+		postCols = append(postCols, ScopeCol{Name: name, Type: rt, Hidden: true})
+		ag.byString[a.String()] = &expr.ColumnRef{Name: name, Index: idx, Typ: rt}
+	}
+
+	op = &exec.HashAggregate{Input: op, GroupBy: groupExprs, Aggs: aggs, Names: names}
+	postScope := &Scope{Cols: postCols}
+
+	if core.Having != nil {
+		pred, err := bindExpr(core.Having, postScope, c.p.Funcs, ag)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pred.Type() != storage.TypeBool {
+			return nil, nil, fmt.Errorf("plan: HAVING must be boolean, got %s", pred.Type())
+		}
+		op = &exec.Filter{Input: op, Pred: pred}
+	}
+	return c.planProjection(op, postScope, core, ag)
+}

@@ -1,0 +1,102 @@
+// Package plan binds SQL ASTs against the catalog and lowers them to
+// executor operator trees. The planner implements the optimizations the
+// paper's SQL path depends on: predicate pushdown into the FROM list,
+// equi-join detection (hash joins for the triangle/overlap self-joins),
+// and projection of only the referenced columns.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// ScopeCol is one visible column during binding.
+type ScopeCol struct {
+	Qualifier string // table alias or name; "" for derived columns
+	Name      string
+	Type      storage.Type
+	Hidden    bool // not expanded by *, not resolvable (planner internals)
+}
+
+// Scope is an ordered list of visible columns; positions correspond to
+// the current operator's output columns.
+type Scope struct {
+	Cols []ScopeCol
+}
+
+// NewScope builds a scope for a base table under the given qualifier.
+func NewScope(qualifier string, schema storage.Schema) *Scope {
+	s := &Scope{Cols: make([]ScopeCol, schema.Len())}
+	for i, c := range schema.Cols {
+		s.Cols[i] = ScopeCol{Qualifier: qualifier, Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+// Concat returns a scope with a's columns followed by b's.
+func Concat(a, b *Scope) *Scope {
+	out := &Scope{Cols: make([]ScopeCol, 0, len(a.Cols)+len(b.Cols))}
+	out.Cols = append(out.Cols, a.Cols...)
+	out.Cols = append(out.Cols, b.Cols...)
+	return out
+}
+
+// Resolve finds the column position for a possibly qualified name. It
+// returns an error for unknown and for ambiguous references.
+func (s *Scope) Resolve(qualifier, name string) (int, storage.Type, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if c.Hidden {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if found >= 0 {
+			full := name
+			if qualifier != "" {
+				full = qualifier + "." + name
+			}
+			return 0, 0, fmt.Errorf("plan: ambiguous column %q", full)
+		}
+		found = i
+	}
+	if found < 0 {
+		full := name
+		if qualifier != "" {
+			full = qualifier + "." + name
+		}
+		return 0, 0, fmt.Errorf("plan: unknown column %q", full)
+	}
+	return found, s.Cols[found].Type, nil
+}
+
+// Schema renders the scope as an output schema (unqualified names).
+func (s *Scope) Schema() storage.Schema {
+	cols := make([]storage.ColumnDef, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = storage.Col(c.Name, c.Type)
+	}
+	return storage.NewSchema(cols...)
+}
+
+// Visible returns the positions of all non-hidden columns, optionally
+// restricted to one qualifier (for `t.*`).
+func (s *Scope) Visible(qualifier string) []int {
+	var out []int
+	for i, c := range s.Cols {
+		if c.Hidden {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the given SQL text.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return fmt.Errorf("sql: unterminated block comment at line %d", l.line)
+			}
+			l.advance(end + 4)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := l.pos, l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: line, Col: col}, nil
+	}
+	c := l.src[l.pos]
+
+	// Identifiers and keywords.
+	if isIdentStart(c) {
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance(1)
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start, Line: line, Col: col}, nil
+	}
+
+	// Quoted identifiers: "name".
+	if c == '"' {
+		l.advance(1)
+		s := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.advance(1)
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at line %d", line)
+		}
+		word := l.src[s:l.pos]
+		l.advance(1)
+		return Token{Kind: TokIdent, Text: word, Pos: start, Line: line, Col: col}, nil
+	}
+
+	// Numbers: integer or decimal, with optional exponent.
+	if isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])) {
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '.' {
+			l.advance(1)
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.advance(1)
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			save := l.pos
+			l.advance(1)
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.advance(1)
+			}
+			if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.advance(1)
+				}
+			} else {
+				// Not an exponent after all (e.g. "1e" then ident); back out.
+				l.pos = save
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
+	}
+
+	// Strings: 'text' with '' as the escape for a single quote.
+	if c == '\'' {
+		l.advance(1)
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string literal at line %d", line)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.advance(1)
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: start, Line: line, Col: col}, nil
+	}
+
+	// Symbols, longest match first.
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.advance(len(s))
+			return Token{Kind: TokSymbol, Text: s, Pos: start, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at line %d col %d", c, line, col)
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BatchSize is the default number of rows in a record batch produced by
+// the vectorized executor.
+const BatchSize = 1024
+
+// Batch is a set of equal-length columns: the unit of data flow between
+// executor operators.
+type Batch struct {
+	Schema Schema
+	Cols   []Column
+}
+
+// NewBatch allocates an empty batch with columns matching the schema.
+func NewBatch(s Schema) *Batch {
+	b := &Batch{Schema: s, Cols: make([]Column, s.Len())}
+	for i, c := range s.Cols {
+		b.Cols[i] = NewColumn(c.Type, BatchSize)
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch (0 for an empty batch).
+func (b *Batch) Len() int {
+	if b == nil || len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// Row materializes row i as a slice of values (mostly for tests, result
+// rendering, and the tuple-at-a-time vertex workers).
+func (b *Batch) Row(i int) []Value {
+	out := make([]Value, len(b.Cols))
+	for j, c := range b.Cols {
+		out[j] = c.Value(i)
+	}
+	return out
+}
+
+// AppendRow appends a row of values, coercing to the schema types.
+func (b *Batch) AppendRow(vals ...Value) error {
+	if len(vals) != len(b.Cols) {
+		return fmt.Errorf("storage: row has %d values, schema has %d columns", len(vals), len(b.Cols))
+	}
+	for j, v := range vals {
+		if err := b.Cols[j].Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather returns a new batch containing the rows at the given indexes.
+func (b *Batch) Gather(idx []int) *Batch {
+	out := &Batch{Schema: b.Schema, Cols: make([]Column, len(b.Cols))}
+	for j, c := range b.Cols {
+		out.Cols[j] = c.Gather(idx)
+	}
+	return out
+}
+
+// Slice returns rows [from, to) as a new batch.
+func (b *Batch) Slice(from, to int) *Batch {
+	out := &Batch{Schema: b.Schema, Cols: make([]Column, len(b.Cols))}
+	for j, c := range b.Cols {
+		out.Cols[j] = c.Slice(from, to)
+	}
+	return out
+}
+
+// SortKey describes one sort criterion for SortBatch.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// SortBatch returns a new batch with rows reordered by the sort keys
+// (stable). NULLs sort first, matching Compare.
+func SortBatch(b *Batch, keys []SortKey) *Batch {
+	n := b.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		for _, k := range keys {
+			c := Compare(b.Cols[k.Col].Value(idx[x]), b.Cols[k.Col].Value(idx[y]))
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return b.Gather(idx)
+}
+
+// Concat appends the rows of src to dst (schemas must be compatible).
+func Concat(dst, src *Batch) error {
+	if len(dst.Cols) != len(src.Cols) {
+		return fmt.Errorf("storage: concat arity mismatch %d vs %d", len(dst.Cols), len(src.Cols))
+	}
+	for j := range dst.Cols {
+		for i := 0; i < src.Cols[j].Len(); i++ {
+			if err := dst.Cols[j].Append(src.Cols[j].Value(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(10)
+	if b.Len() != 10 || b.Count() != 0 || b.Any() {
+		t.Fatal("fresh bitmap should be empty")
+	}
+	b.Set(3)
+	b.Set(9)
+	if !b.Get(3) || !b.Get(9) || b.Get(4) {
+		t.Error("Set/Get mismatch")
+	}
+	if b.Count() != 2 {
+		t.Errorf("Count = %d, want 2", b.Count())
+	}
+	b.Clear(3)
+	if b.Get(3) || b.Count() != 1 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestBitmapGrowth(t *testing.T) {
+	b := &Bitmap{}
+	b.Set(200)
+	if !b.Get(200) || b.Len() != 201 {
+		t.Errorf("growth: Get(200)=%v Len=%d", b.Get(200), b.Len())
+	}
+	b.Append(true)
+	b.Append(false)
+	if !b.Get(201) || b.Get(202) {
+		t.Error("Append semantics wrong")
+	}
+}
+
+func TestBitmapNilReceiver(t *testing.T) {
+	var b *Bitmap
+	if b.Get(5) {
+		t.Error("nil bitmap Get should be false")
+	}
+	if b.Count() != 0 || b.Any() {
+		t.Error("nil bitmap should be empty")
+	}
+	b.Clear(3) // must not panic
+	if c := b.Clone(); c != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestBitmapSlice(t *testing.T) {
+	b := NewBitmap(16)
+	for _, i := range []int{1, 5, 8, 15} {
+		b.Set(i)
+	}
+	s := b.Slice(4, 12)
+	if s.Len() != 8 {
+		t.Fatalf("slice len = %d, want 8", s.Len())
+	}
+	if !s.Get(1) || !s.Get(4) || s.Get(0) || s.Get(7) {
+		t.Error("slice bit positions wrong")
+	}
+}
+
+func TestBitmapResizeShrinkClearsTail(t *testing.T) {
+	b := NewBitmap(128)
+	b.Set(100)
+	b.Resize(50)
+	b.Resize(128)
+	if b.Get(100) {
+		t.Error("shrink then grow must not resurrect bits")
+	}
+}
+
+func TestBitmapCountMatchesSets(t *testing.T) {
+	f := func(idx []uint8) bool {
+		b := &Bitmap{}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			b.Set(int(i))
+			seen[int(i)] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

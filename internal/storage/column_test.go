@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnAppendValue(t *testing.T) {
+	for _, typ := range []Type{TypeInt64, TypeFloat64, TypeString, TypeBool} {
+		c := NewColumn(typ, 4)
+		if c.Type() != typ {
+			t.Errorf("NewColumn(%v).Type() = %v", typ, c.Type())
+		}
+		var v Value
+		switch typ {
+		case TypeInt64:
+			v = Int64(7)
+		case TypeFloat64:
+			v = Float64(1.5)
+		case TypeString:
+			v = Str("x")
+		case TypeBool:
+			v = Bool(true)
+		}
+		if err := c.Append(v); err != nil {
+			t.Fatalf("append %v: %v", typ, err)
+		}
+		c.AppendNull()
+		if c.Len() != 2 {
+			t.Fatalf("%v: len = %d, want 2", typ, c.Len())
+		}
+		if !Equal(c.Value(0), v) {
+			t.Errorf("%v: Value(0) = %v, want %v", typ, c.Value(0), v)
+		}
+		if !c.IsNull(1) || !c.Value(1).Null {
+			t.Errorf("%v: row 1 should be NULL", typ)
+		}
+		if c.IsNull(0) {
+			t.Errorf("%v: row 0 should not be NULL", typ)
+		}
+	}
+}
+
+func TestColumnGather(t *testing.T) {
+	c := NewColumn(TypeInt64, 8)
+	for i := int64(0); i < 8; i++ {
+		if err := c.Append(Int64(i * 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := c.Gather([]int{7, 0, 3, 3})
+	want := []int64{70, 0, 30, 30}
+	for i, w := range want {
+		if g.Value(i).I != w {
+			t.Errorf("gather[%d] = %d, want %d", i, g.Value(i).I, w)
+		}
+	}
+}
+
+func TestColumnGatherPreservesNulls(t *testing.T) {
+	c := NewColumn(TypeString, 4)
+	_ = c.Append(Str("a"))
+	c.AppendNull()
+	_ = c.Append(Str("c"))
+	g := c.Gather([]int{2, 1, 0})
+	if g.IsNull(0) || !g.IsNull(1) || g.IsNull(2) {
+		t.Errorf("null positions after gather wrong: %v %v %v", g.IsNull(0), g.IsNull(1), g.IsNull(2))
+	}
+}
+
+func TestColumnSliceIsCopy(t *testing.T) {
+	c := NewColumn(TypeInt64, 4)
+	for i := int64(0); i < 4; i++ {
+		_ = c.Append(Int64(i))
+	}
+	s := c.Slice(1, 3)
+	if s.Len() != 2 || s.Value(0).I != 1 || s.Value(1).I != 2 {
+		t.Fatalf("slice contents wrong: %v", s)
+	}
+	// Mutating the original must not affect the slice.
+	if err := SetValue(c, 1, Int64(99)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(0).I != 1 {
+		t.Error("Slice must deep-copy")
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	c := NewColumn(TypeFloat64, 2)
+	_ = c.Append(Float64(1))
+	_ = c.Append(Float64(2))
+	if err := SetValue(c, 1, Float64(9.5)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value(1).F != 9.5 {
+		t.Errorf("after set, Value(1) = %v", c.Value(1))
+	}
+	if err := SetValue(c, 0, Null(TypeFloat64)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsNull(0) {
+		t.Error("SetValue NULL did not mark null")
+	}
+	// Overwriting a null clears the bit.
+	if err := SetValue(c, 0, Int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsNull(0) || c.Value(0).F != 3 {
+		t.Error("overwriting null failed")
+	}
+	if err := SetValue(c, 5, Float64(0)); err == nil {
+		t.Error("out-of-range set should error")
+	}
+}
+
+func TestColumnRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		c := NewColumn(TypeInt64, len(vals))
+		for _, v := range vals {
+			if err := c.Append(Int64(v)); err != nil {
+				return false
+			}
+		}
+		if c.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if c.Value(i).I != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypedAppendHelpers(t *testing.T) {
+	ic := &Int64Column{}
+	ic.AppendInt64(4)
+	fc := &Float64Column{}
+	fc.AppendFloat64(2.5)
+	sc := &StringColumn{}
+	sc.AppendString("hi")
+	bc := &BoolColumn{}
+	bc.AppendBool(true)
+	if ic.Value(0).I != 4 || fc.Value(0).F != 2.5 || sc.Value(0).S != "hi" || !bc.Value(0).Bool() {
+		t.Error("typed append helpers broken")
+	}
+	// Typed appends after a null must keep the bitmap in sync.
+	ic.AppendNull()
+	ic.AppendInt64(5)
+	if ic.IsNull(2) || !ic.IsNull(1) {
+		t.Error("null bitmap out of sync after typed append")
+	}
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	in := []int64{5, 5, 5, 1, 1, 9, 9, 9, 9, -3}
+	out, err := DecodeInt64RLE(EncodeInt64RLE(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(in []int64) bool {
+		out, err := DecodeInt64RLE(EncodeInt64RLE(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return len(in) == 0 && len(out) == 0
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRoundTripProperty(t *testing.T) {
+	f := func(in []int64) bool {
+		out, err := DecodeInt64Delta(EncodeInt64Delta(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return len(in) == 0 && len(out) == 0
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictRoundTripProperty(t *testing.T) {
+	f := func(in []string) bool {
+		out, err := DecodeStringDict(EncodeStringDict(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return len(in) == 0 && len(out) == 0
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatPlainRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, -2.25, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1)}
+	out, err := DecodeFloat64Plain(EncodeFloat64Plain(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	run := make([]int64, 10000)
+	enc := EncodeInt64RLE(run)
+	if len(enc) > 16 {
+		t.Errorf("RLE of constant column is %d bytes, want tiny", len(enc))
+	}
+}
+
+func TestDeltaCompressesSorted(t *testing.T) {
+	sorted := make([]int64, 10000)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	enc := EncodeInt64Delta(sorted)
+	if len(enc) > len(sorted)*2 {
+		t.Errorf("delta of sorted ids is %d bytes, want <= ~1/row", len(enc))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeInt64RLE([]byte{0xff, 0x01}); err == nil {
+		t.Error("RLE decode of wrong tag should fail")
+	}
+	if _, err := DecodeStringDict([]byte{byte(EncDict), 0x05}); err == nil {
+		t.Error("dict decode of truncated data should fail")
+	}
+	if _, err := DecodeFloat64Plain([]byte{byte(EncPlain), 1, 2, 3}); err == nil {
+		t.Error("plain float decode of misaligned data should fail")
+	}
+	if _, err := DecodeInt64Delta(nil); err == nil {
+		t.Error("delta decode of empty data should fail")
+	}
+}
+
+func TestCompressedSizePicksBest(t *testing.T) {
+	constant := make([]int64, 1000)
+	if enc, _ := CompressedSize(constant); enc != EncRLE {
+		t.Errorf("constant column should pick RLE, got %v", enc)
+	}
+	seq := make([]int64, 1000)
+	for i := range seq {
+		seq[i] = int64(i) * 3
+	}
+	if enc, _ := CompressedSize(seq); enc != EncDelta {
+		t.Errorf("sequential column should pick DELTA, got %v", enc)
+	}
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnDef describes one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+	// NotNull marks an integrity constraint enforced on insert.
+	NotNull bool
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Cols []ColumnDef
+}
+
+// NewSchema builds a schema from (name, type) pairs.
+func NewSchema(cols ...ColumnDef) Schema { return Schema{Cols: cols} }
+
+// Col is a convenience constructor for a nullable column definition.
+func Col(name string, t Type) ColumnDef { return ColumnDef{Name: name, Type: t} }
+
+// NotNullCol is a convenience constructor for a NOT NULL column.
+func NotNullCol(name string, t Type) ColumnDef {
+	return ColumnDef{Name: name, Type: t, NotNull: true}
+}
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Cols) }
+
+// IndexOf returns the position of the named column or -1. Matching is
+// case-insensitive, like SQL identifiers.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Type returns the type of the named column.
+func (s Schema) Type(name string) (Type, error) {
+	i := s.IndexOf(name)
+	if i < 0 {
+		return 0, fmt.Errorf("storage: no column %q", name)
+	}
+	return s.Cols[i].Type, nil
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as a CREATE TABLE column list.
+func (s Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + " " + c.Type.String()
+		if c.NotNull {
+			parts[i] += " NOT NULL"
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns a copy of the schema that can be mutated independently.
+func (s Schema) Clone() Schema {
+	return Schema{Cols: append([]ColumnDef(nil), s.Cols...)}
+}
+
+// Equal reports whether two schemas have the same column names and types.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if !strings.EqualFold(s.Cols[i].Name, o.Cols[i].Name) || s.Cols[i].Type != o.Cols[i].Type {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is an in-memory columnar table. Appends mutate in place under a
+// write lock; the Update-vs-Replace optimization from the paper is
+// exposed as UpdateInPlace (cheap for few rows) and Replace (swap in a
+// rebuilt column set, cheap for many rows). Clone produces the deep
+// copies the transaction layer uses as undo images.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	cols   []Column
+	// sortKey records the column indexes the table data is ordered by,
+	// if any (a Vertica-style sorted projection). Empty means unsorted.
+	sortKey []int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{name: name, schema: schema, cols: make([]Column, schema.Len())}
+	for i, c := range schema.Cols {
+		t.cols[i] = NewColumn(c.Type, 0)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// SortKey returns the declared sort order (column indexes), if any.
+func (t *Table) SortKey() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]int(nil), t.sortKey...)
+}
+
+// SetSortKey declares the sort order of the table's data. It is the
+// caller's responsibility that the data actually is sorted (the engine
+// sorts on load for declared projections).
+func (t *Table) SetSortKey(cols []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sortKey = append([]int(nil), cols...)
+}
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// AppendRow appends one row, enforcing NOT NULL constraints.
+func (t *Table) AppendRow(vals ...Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.appendRowLocked(vals)
+}
+
+func (t *Table) appendRowLocked(vals []Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("storage: table %s has %d columns, row has %d values", t.name, len(t.cols), len(vals))
+	}
+	for j, v := range vals {
+		if t.schema.Cols[j].NotNull && v.Null {
+			return fmt.Errorf("storage: NOT NULL constraint violated on %s.%s", t.name, t.schema.Cols[j].Name)
+		}
+	}
+	for j, v := range vals {
+		if err := t.cols[j].Append(v); err != nil {
+			return fmt.Errorf("storage: %s.%s: %w", t.name, t.schema.Cols[j].Name, err)
+		}
+	}
+	return nil
+}
+
+// AppendBatch appends all rows of the batch.
+func (t *Table) AppendBatch(b *Batch) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(b.Cols) != len(t.cols) {
+		return fmt.Errorf("storage: table %s has %d columns, batch has %d", t.name, len(t.cols), len(b.Cols))
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if err := t.appendRowLocked(b.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Data returns the table contents as a batch sharing the table's column
+// storage. Callers must treat it as read-only; the engine serializes
+// readers and writers at the statement level.
+func (t *Table) Data() *Batch {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Batch{Schema: t.schema, Cols: append([]Column(nil), t.cols...)}
+}
+
+// Column returns column i (shared storage, read-only by convention).
+func (t *Table) Column(i int) Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[i]
+}
+
+// Replace swaps in an entirely new column set. This is the "replace"
+// arm of the paper's Update-vs-Replace optimization: the coordinator
+// builds the next-superstep vertex/message table by a left join and
+// swaps it in, instead of updating tuples in place.
+func (t *Table) Replace(b *Batch) error {
+	if len(b.Cols) != t.schema.Len() {
+		return fmt.Errorf("storage: replace arity mismatch on %s", t.name)
+	}
+	for j, c := range b.Cols {
+		if c.Type() != t.schema.Cols[j].Type {
+			return fmt.Errorf("storage: replace type mismatch on %s.%s: %s vs %s",
+				t.name, t.schema.Cols[j].Name, c.Type(), t.schema.Cols[j].Type)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cols = append([]Column(nil), b.Cols...)
+	return nil
+}
+
+// UpdateInPlace sets cols[colIdx] = vals[k] for each row in rowIdx.
+// This is the "update" arm of Update-vs-Replace, used when the number
+// of changed tuples is below the threshold.
+func (t *Table) UpdateInPlace(rowIdx []int, colIdx int, vals []Value) error {
+	if len(rowIdx) != len(vals) {
+		return fmt.Errorf("storage: update arity mismatch on %s", t.name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, i := range rowIdx {
+		if err := SetValue(t.cols[colIdx], i, vals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteWhere removes the rows at the given indexes by rebuilding the
+// columns without them.
+func (t *Table) DeleteWhere(del []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(del) == 0 {
+		return
+	}
+	dead := make(map[int]bool, len(del))
+	for _, i := range del {
+		dead[i] = true
+	}
+	n := t.cols[0].Len()
+	keep := make([]int, 0, n-len(del))
+	for i := 0; i < n; i++ {
+		if !dead[i] {
+			keep = append(keep, i)
+		}
+	}
+	for j, c := range t.cols {
+		t.cols[j] = c.Gather(keep)
+	}
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, c := range t.schema.Cols {
+		t.cols[i] = NewColumn(c.Type, 0)
+	}
+}
+
+// Clone returns a deep copy of the table (used as a transaction undo
+// image and by temporal snapshots).
+func (t *Table) Clone() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := &Table{name: t.name, schema: t.schema.Clone(), cols: make([]Column, len(t.cols)), sortKey: append([]int(nil), t.sortKey...)}
+	for i, c := range t.cols {
+		out.cols[i] = c.Slice(0, c.Len())
+	}
+	return out
+}
+
+// RestoreFrom swaps this table's contents with those of the given clone.
+func (t *Table) RestoreFrom(src *Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	t.cols = append([]Column(nil), src.cols...)
+	t.sortKey = append([]int(nil), src.sortKey...)
+}
+
+// SetValue sets row i of column c to v (coerced to the column type).
+// It is a free function rather than a Column method so the read-mostly
+// Column interface stays minimal.
+func SetValue(c Column, i int, v Value) error {
+	if i < 0 || i >= c.Len() {
+		return fmt.Errorf("storage: set index %d out of range (%d rows)", i, c.Len())
+	}
+	cv, err := Coerce(v, c.Type())
+	if err != nil {
+		return err
+	}
+	switch col := c.(type) {
+	case *Int64Column:
+		if cv.Null {
+			if col.nulls == nil {
+				col.nulls = NewBitmap(len(col.vals))
+			}
+			col.nulls.Set(i)
+		} else {
+			col.vals[i] = cv.I
+			col.nulls.Clear(i)
+		}
+	case *Float64Column:
+		if cv.Null {
+			if col.nulls == nil {
+				col.nulls = NewBitmap(len(col.vals))
+			}
+			col.nulls.Set(i)
+		} else {
+			col.vals[i] = cv.F
+			col.nulls.Clear(i)
+		}
+	case *StringColumn:
+		if cv.Null {
+			if col.nulls == nil {
+				col.nulls = NewBitmap(len(col.vals))
+			}
+			col.nulls.Set(i)
+		} else {
+			col.vals[i] = cv.S
+			col.nulls.Clear(i)
+		}
+	case *BoolColumn:
+		if cv.Null {
+			if col.nulls == nil {
+				col.nulls = NewBitmap(len(col.vals))
+			}
+			col.nulls.Set(i)
+		} else {
+			col.vals[i] = cv.I != 0
+			col.nulls.Clear(i)
+		}
+	default:
+		return fmt.Errorf("storage: SetValue on unknown column type %T", c)
+	}
+	return nil
+}

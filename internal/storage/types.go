@@ -1,0 +1,233 @@
+// Package storage implements the column-oriented storage layer of the
+// relational engine that Vertexica runs on: typed values, null-aware
+// column vectors, record batches, lightweight column encodings (RLE,
+// dictionary, delta), in-memory tables with copy-on-write snapshots, and
+// hash partitioning used by the vertex-batching optimization.
+//
+// The design mirrors what the paper relies on from Vertica: columnar
+// layout, sorted runs, cheap UNION ALL, and hash partitioning on the
+// vertex id.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type enumerates the column types supported by the engine. The set is
+// deliberately small — it matches what the paper's three graph tables
+// (vertex, edge, message) and the metadata generator need.
+type Type uint8
+
+// Supported column types.
+const (
+	TypeInt64 Type = iota
+	TypeFloat64
+	TypeString
+	TypeBool
+)
+
+// String returns the SQL-facing name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt64:
+		return "INTEGER"
+	case TypeFloat64:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Numeric reports whether the type supports arithmetic.
+func (t Type) Numeric() bool { return t == TypeInt64 || t == TypeFloat64 }
+
+// Value is a dynamically typed scalar. It is the tuple-at-a-time
+// currency of the engine: expression evaluation and the vertex-compute
+// UDFs both traffic in Values. Booleans are stored in I (0 or 1).
+type Value struct {
+	Type Type
+	Null bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int64 returns a non-null INTEGER value.
+func Int64(v int64) Value { return Value{Type: TypeInt64, I: v} }
+
+// Float64 returns a non-null DOUBLE value.
+func Float64(v float64) Value { return Value{Type: TypeFloat64, F: v} }
+
+// Str returns a non-null VARCHAR value.
+func Str(v string) Value { return Value{Type: TypeString, S: v} }
+
+// Bool returns a non-null BOOLEAN value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Type: TypeBool, I: i}
+}
+
+// Null returns the NULL value of the given type.
+func Null(t Type) Value { return Value{Type: t, Null: true} }
+
+// IsTrue reports whether the value is a non-null true boolean.
+func (v Value) IsTrue() bool { return v.Type == TypeBool && !v.Null && v.I != 0 }
+
+// AsFloat converts a numeric value to float64. Strings and bools are not
+// converted; callers are expected to have type-checked already.
+func (v Value) AsFloat() float64 {
+	if v.Type == TypeInt64 {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	if v.Type == TypeFloat64 {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// Bool reports the boolean payload (false for nulls and non-booleans).
+func (v Value) Bool() bool { return v.Type == TypeBool && !v.Null && v.I != 0 }
+
+// String renders the value the way the engine prints result rows.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Type {
+	case TypeInt64:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values of the same type. NULL sorts before every
+// non-null value; two NULLs compare equal. It returns -1, 0 or +1.
+// Cross-numeric comparisons (INTEGER vs DOUBLE) are supported.
+func Compare(a, b Value) int {
+	if a.Null || b.Null {
+		switch {
+		case a.Null && b.Null:
+			return 0
+		case a.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Type.Numeric() && b.Type.Numeric() && a.Type != b.Type {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch a.Type {
+	case TypeInt64, TypeBool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+	case TypeFloat64:
+		switch {
+		case a.F < b.F || (math.IsNaN(a.F) && !math.IsNaN(b.F)):
+			return -1
+		case a.F > b.F || (!math.IsNaN(a.F) && math.IsNaN(b.F)):
+			return 1
+		}
+	case TypeString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal under Compare semantics
+// (NULL == NULL for grouping purposes).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Coerce converts v to type t where a lossless or standard SQL cast
+// exists. It returns an error for unsupported casts.
+func Coerce(v Value, t Type) (Value, error) {
+	if v.Null {
+		return Null(t), nil
+	}
+	if v.Type == t {
+		return v, nil
+	}
+	switch t {
+	case TypeInt64:
+		switch v.Type {
+		case TypeFloat64:
+			return Int64(int64(v.F)), nil
+		case TypeBool:
+			return Int64(v.I), nil
+		case TypeString:
+			i, err := strconv.ParseInt(v.S, 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("storage: cannot cast %q to INTEGER", v.S)
+			}
+			return Int64(i), nil
+		}
+	case TypeFloat64:
+		switch v.Type {
+		case TypeInt64:
+			return Float64(float64(v.I)), nil
+		case TypeBool:
+			return Float64(float64(v.I)), nil
+		case TypeString:
+			f, err := strconv.ParseFloat(v.S, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("storage: cannot cast %q to DOUBLE", v.S)
+			}
+			return Float64(f), nil
+		}
+	case TypeString:
+		return Str(v.String()), nil
+	case TypeBool:
+		switch v.Type {
+		case TypeInt64:
+			return Bool(v.I != 0), nil
+		case TypeString:
+			b, err := strconv.ParseBool(v.S)
+			if err != nil {
+				return Value{}, fmt.Errorf("storage: cannot cast %q to BOOLEAN", v.S)
+			}
+			return Bool(b), nil
+		}
+	}
+	return Value{}, fmt.Errorf("storage: unsupported cast %s -> %s", v.Type, t)
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		typ  Type
+		str  string
+		null bool
+	}{
+		{Int64(42), TypeInt64, "42", false},
+		{Int64(-7), TypeInt64, "-7", false},
+		{Float64(2.5), TypeFloat64, "2.5", false},
+		{Str("abc"), TypeString, "abc", false},
+		{Bool(true), TypeBool, "true", false},
+		{Bool(false), TypeBool, "false", false},
+		{Null(TypeInt64), TypeInt64, "NULL", true},
+		{Null(TypeString), TypeString, "NULL", true},
+	}
+	for _, c := range cases {
+		if c.v.Type != c.typ {
+			t.Errorf("%v: type = %v, want %v", c.v, c.v.Type, c.typ)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: String() = %q, want %q", c.v, c.v.String(), c.str)
+		}
+		if c.v.Null != c.null {
+			t.Errorf("%v: Null = %v, want %v", c.v, c.v.Null, c.null)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(1), 1},
+		{Int64(5), Int64(5), 0},
+		{Float64(1.5), Float64(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Bool(false), Bool(true), -1},
+		{Null(TypeInt64), Int64(-100), -1},
+		{Int64(-100), Null(TypeInt64), 1},
+		{Null(TypeInt64), Null(TypeInt64), 0},
+		{Int64(2), Float64(2.0), 0},
+		{Int64(2), Float64(2.5), -1},
+		{Float64(2.5), Int64(2), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int64(a), Int64(b)) == -Compare(Int64(b), Int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(Str(a), Str(b)) == -Compare(Str(b), Str(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		in   Value
+		to   Type
+		want Value
+		err  bool
+	}{
+		{Int64(3), TypeFloat64, Float64(3), false},
+		{Float64(3.7), TypeInt64, Int64(3), false},
+		{Str("12"), TypeInt64, Int64(12), false},
+		{Str("2.5"), TypeFloat64, Float64(2.5), false},
+		{Str("true"), TypeBool, Bool(true), false},
+		{Int64(0), TypeBool, Bool(false), false},
+		{Int64(9), TypeString, Str("9"), false},
+		{Str("xyz"), TypeInt64, Value{}, true},
+		{Null(TypeString), TypeInt64, Null(TypeInt64), false},
+	}
+	for _, c := range cases {
+		got, err := Coerce(c.in, c.to)
+		if c.err {
+			if err == nil {
+				t.Errorf("Coerce(%v, %v): want error, got %v", c.in, c.to, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Coerce(%v, %v): %v", c.in, c.to, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.Null != c.want.Null {
+			t.Errorf("Coerce(%v, %v) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+}
+
+func TestCoerceRoundTripIntString(t *testing.T) {
+	f := func(v int64) bool {
+		s, err := Coerce(Int64(v), TypeString)
+		if err != nil {
+			return false
+		}
+		back, err := Coerce(s, TypeInt64)
+		return err == nil && back.I == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt64.String() != "INTEGER" || TypeFloat64.String() != "DOUBLE" ||
+		TypeString.String() != "VARCHAR" || TypeBool.String() != "BOOLEAN" {
+		t.Error("type names do not match SQL names")
+	}
+	if !TypeInt64.Numeric() || !TypeFloat64.Numeric() || TypeString.Numeric() || TypeBool.Numeric() {
+		t.Error("Numeric() misclassifies types")
+	}
+}

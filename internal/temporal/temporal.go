@@ -1,0 +1,184 @@
+// Package temporal implements the dynamic-graph analyses of §3.3:
+// as-of snapshots over the edge creation timestamps, time-series runs
+// of a graph algorithm across snapshots, continuous re-analysis after
+// mutations, and diffing of algorithm results across versions ("which
+// nodes' PageRanks changed over the last year", "which node pairs came
+// closer").
+package temporal
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Snapshot materializes the graph as of the given timestamp: edges with
+// created <= asOf, vertices as currently present. The snapshot is a
+// full graph (vertex/edge/message tables) named <name>.
+func Snapshot(g *core.Graph, name string, asOf int64) (*core.Graph, error) {
+	db := g.DB
+	if db.Catalog().Has(name + "_vertex") {
+		if err := core.DropGraph(db, name); err != nil {
+			return nil, err
+		}
+	}
+	snap, err := core.CreateGraph(db, name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(fmt.Sprintf(
+		"INSERT INTO %s SELECT src, dst, weight, etype, created FROM %s WHERE created <= %d",
+		snap.EdgeTable(), g.EdgeTable(), asOf)); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(fmt.Sprintf(
+		"INSERT INTO %s SELECT id, value, FALSE FROM %s",
+		snap.VertexTable(), g.VertexTable())); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Series is one time-series result: per snapshot timestamp, the scores
+// computed by the algorithm.
+type Series struct {
+	Times  []int64
+	Scores []map[int64]float64
+}
+
+// TimeSeries runs algo on a snapshot of the graph at every timestamp
+// (the demo's "time series run" mode). Snapshots are dropped afterward.
+func TimeSeries(ctx context.Context, g *core.Graph, times []int64,
+	algo func(context.Context, *core.Graph) (map[int64]float64, error)) (*Series, error) {
+
+	out := &Series{}
+	for i, ts := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%s_snap%d", g.Name, i)
+		snap, err := Snapshot(g, name, ts)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := algo(ctx, snap)
+		if err != nil {
+			_ = core.DropGraph(g.DB, name)
+			return nil, err
+		}
+		if err := core.DropGraph(g.DB, name); err != nil {
+			return nil, err
+		}
+		out.Times = append(out.Times, ts)
+		out.Scores = append(out.Scores, scores)
+	}
+	return out, nil
+}
+
+// Delta is one vertex's score change between two runs.
+type Delta struct {
+	ID       int64
+	Old, New float64
+}
+
+// Diff returns per-vertex changes between two score maps, largest
+// absolute change first — "the nodes whose PageRanks have changed over
+// the last one year" (§3.3). Vertices absent from a map count as 0.
+func Diff(old, new map[int64]float64) []Delta {
+	ids := make(map[int64]bool, len(old)+len(new))
+	for id := range old {
+		ids[id] = true
+	}
+	for id := range new {
+		ids[id] = true
+	}
+	out := make([]Delta, 0, len(ids))
+	for id := range ids {
+		d := Delta{ID: id, Old: old[id], New: new[id]}
+		if d.Old != d.New {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs(out[i].New-out[i].Old), abs(out[j].New-out[j].Old)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Closer returns vertex pairs whose distance shrank by at least
+// threshold between two SSSP result maps — "node-pairs whose shortest
+// paths have decreased" (§3.3). The source is implicit in the maps.
+func Closer(oldDist, newDist map[int64]float64, threshold float64) []Delta {
+	var out []Delta
+	for id, nd := range newDist {
+		od, ok := oldDist[id]
+		if !ok {
+			continue
+		}
+		if od-nd >= threshold {
+			out = append(out, Delta{ID: id, Old: od, New: nd})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Old-out[i].New, out[j].Old-out[j].New
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Monitor re-runs an analysis after every mutation batch — the demo's
+// "continuous run" mode (§4.2.3).
+type Monitor struct {
+	Graph *core.Graph
+	// Algo computes the monitored scores.
+	Algo func(context.Context, *core.Graph) (map[int64]float64, error)
+
+	last map[int64]float64
+}
+
+// Run computes the current scores and remembers them.
+func (m *Monitor) Run(ctx context.Context) (map[int64]float64, error) {
+	scores, err := m.Algo(ctx, m.Graph)
+	if err != nil {
+		return nil, err
+	}
+	m.last = scores
+	return scores, nil
+}
+
+// ApplyAndRerun executes mutation statements (SQL against the graph's
+// tables) and re-runs the analysis, returning the score deltas.
+func (m *Monitor) ApplyAndRerun(ctx context.Context, mutations ...string) ([]Delta, error) {
+	if m.last == nil {
+		if _, err := m.Run(ctx); err != nil {
+			return nil, err
+		}
+	}
+	prev := m.last
+	for _, stmt := range mutations {
+		if _, err := m.Graph.DB.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("temporal: mutation %q: %w", stmt, err)
+		}
+	}
+	cur, err := m.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return Diff(prev, cur), nil
+}

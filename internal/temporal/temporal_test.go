@@ -1,0 +1,148 @@
+package temporal
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// timedGraph: edges appear at t=100 (1↔2), t=200 (2↔3), t=300 (3↔4).
+func timedGraph(t *testing.T) *core.Graph {
+	t.Helper()
+	db := engine.New()
+	g, err := core.CreateGraph(db, "tg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(a, b int64, ts int64) []core.Edge {
+		return []core.Edge{
+			{Src: a, Dst: b, Weight: 1, Created: ts},
+			{Src: b, Dst: a, Weight: 1, Created: ts},
+		}
+	}
+	var edges []core.Edge
+	edges = append(edges, mk(1, 2, 100)...)
+	edges = append(edges, mk(2, 3, 200)...)
+	edges = append(edges, mk(3, 4, 300)...)
+	if err := g.BulkLoad(nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSnapshotFiltersEdgesByTime(t *testing.T) {
+	g := timedGraph(t)
+	snap, err := Snapshot(g, "asof150", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, _ := snap.NumEdges()
+	if ne != 2 {
+		t.Errorf("edges as of 150 = %d, want 2", ne)
+	}
+	nv, _ := snap.NumVertices()
+	if nv != 4 {
+		t.Errorf("snapshot keeps all vertices, got %d", nv)
+	}
+	// Re-snapshotting under the same name replaces.
+	snap2, err := Snapshot(g, "asof150", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne2, _ := snap2.NumEdges()
+	if ne2 != 4 {
+		t.Errorf("edges as of 250 = %d, want 4", ne2)
+	}
+}
+
+func ssspFrom1(ctx context.Context, g *core.Graph) (map[int64]float64, error) {
+	d, _, err := algorithms.RunSSSP(ctx, g, 1, true, core.Options{})
+	return d, err
+}
+
+func TestTimeSeriesDistancesShrink(t *testing.T) {
+	g := timedGraph(t)
+	series, err := TimeSeries(context.Background(), g, []int64{150, 350}, ssspFrom1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Scores) != 2 {
+		t.Fatalf("series length = %d", len(series.Scores))
+	}
+	early, late := series.Scores[0], series.Scores[1]
+	if !isInf(early[4]) {
+		t.Errorf("at t=150 vertex 4 should be unreachable, got %v", early[4])
+	}
+	if late[4] != 3 {
+		t.Errorf("at t=350 dist(4) = %v, want 3", late[4])
+	}
+	// Snapshots cleaned up.
+	for _, n := range g.DB.Catalog().Names() {
+		if len(n) > 7 && n[:7] == "tg_snap" {
+			t.Errorf("snapshot %s not dropped", n)
+		}
+	}
+}
+
+func isInf(f float64) bool { return f > 1e17 }
+
+func TestDiffOrdersByMagnitude(t *testing.T) {
+	old := map[int64]float64{1: 1.0, 2: 2.0, 3: 5.0}
+	new := map[int64]float64{1: 1.1, 2: 4.0, 3: 5.0, 4: 0.5}
+	d := Diff(old, new)
+	if len(d) != 3 {
+		t.Fatalf("deltas = %v", d)
+	}
+	if d[0].ID != 2 { // |4-2| = 2 is the biggest change
+		t.Errorf("largest delta first: %v", d)
+	}
+	for _, x := range d {
+		if x.ID == 3 {
+			t.Error("unchanged vertex must not appear")
+		}
+	}
+}
+
+func TestCloser(t *testing.T) {
+	old := map[int64]float64{2: 5, 3: 4, 4: 9}
+	new := map[int64]float64{2: 1, 3: 4, 4: 7}
+	got := Closer(old, new, 2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 4 {
+		t.Errorf("closer = %v", got)
+	}
+	if len(Closer(old, new, 5)) != 0 {
+		t.Error("threshold 5 should exclude all")
+	}
+}
+
+func TestMonitorContinuousMode(t *testing.T) {
+	g := timedGraph(t)
+	m := &Monitor{Graph: g, Algo: ssspFrom1}
+	base, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isInf(base[5]) && base[5] != 0 {
+		t.Logf("vertex 5 not present yet: %v", base[5])
+	}
+	// Mutate: connect 4→5 both ways (new vertex 5 via direct SQL).
+	deltas, err := m.ApplyAndRerun(context.Background(),
+		"INSERT INTO tg_vertex VALUES (5, '', FALSE)",
+		"INSERT INTO tg_edge VALUES (4, 5, 1.0, 'friend', 400), (5, 4, 1.0, 'friend', 400)",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range deltas {
+		if d.ID == 5 && d.New == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mutation should bring vertex 5 to distance 4: %v", deltas)
+	}
+}

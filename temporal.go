@@ -1,0 +1,79 @@
+package vertexica
+
+import (
+	"context"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+// Temporal / dynamic analysis facade (§3.3 of the paper).
+
+// Delta is one vertex's score change between two analysis runs.
+type Delta = temporal.Delta
+
+// Series is a time-series analysis result.
+type Series = temporal.Series
+
+// Snapshot materializes this graph as of a timestamp (edges with
+// created <= asOf) under the given name.
+func (g *Graph) Snapshot(name string, asOf int64) (*Graph, error) {
+	snap, err := temporal.Snapshot(g.g, name, asOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{e: g.e, g: snap}, nil
+}
+
+// PageRankTimeSeries runs PageRank over snapshots at each timestamp —
+// "how has the PageRank of a node changed over the last 5 years".
+func (g *Graph) PageRankTimeSeries(ctx context.Context, times []int64, iterations int) (*Series, error) {
+	return temporal.TimeSeries(ctx, g.g, times, func(ctx context.Context, cg *core.Graph) (map[int64]float64, error) {
+		r, _, err := algorithms.RunPageRank(ctx, cg, iterations, core.Options{})
+		return r, err
+	})
+}
+
+// ShortestPathTimeSeries runs SSSP from source over snapshots — "which
+// nodes have come closer in the last one year".
+func (g *Graph) ShortestPathTimeSeries(ctx context.Context, times []int64, source int64) (*Series, error) {
+	return temporal.TimeSeries(ctx, g.g, times, func(ctx context.Context, cg *core.Graph) (map[int64]float64, error) {
+		d, _, err := algorithms.RunSSSP(ctx, cg, source, true, core.Options{})
+		return d, err
+	})
+}
+
+// DiffScores ranks vertices by score change between two runs.
+func DiffScores(old, new map[int64]float64) []Delta { return temporal.Diff(old, new) }
+
+// CloserPairs returns vertices whose distance to the (implicit) source
+// shrank by at least threshold.
+func CloserPairs(oldDist, newDist map[int64]float64, threshold float64) []Delta {
+	return temporal.Closer(oldDist, newDist, threshold)
+}
+
+// Monitor re-runs an analysis after mutations (continuous mode,
+// §4.2.3).
+type Monitor struct {
+	m *temporal.Monitor
+}
+
+// NewPageRankMonitor monitors PageRank on this graph.
+func (g *Graph) NewPageRankMonitor(iterations int) *Monitor {
+	return &Monitor{m: &temporal.Monitor{
+		Graph: g.g,
+		Algo: func(ctx context.Context, cg *core.Graph) (map[int64]float64, error) {
+			r, _, err := algorithms.RunPageRank(ctx, cg, iterations, core.Options{})
+			return r, err
+		},
+	}}
+}
+
+// Run computes current scores.
+func (m *Monitor) Run(ctx context.Context) (map[int64]float64, error) { return m.m.Run(ctx) }
+
+// ApplyAndRerun executes mutation SQL and returns the score deltas.
+func (m *Monitor) ApplyAndRerun(ctx context.Context, mutations ...string) ([]Delta, error) {
+	return m.m.ApplyAndRerun(ctx, mutations...)
+}

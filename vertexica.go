@@ -1,0 +1,428 @@
+// Package vertexica is a Go reproduction of "Vertexica: Your Relational
+// Friend for Graph Analytics!" (Jindal et al., VLDB 2014): vertex-
+// centric (Pregel-style) graph analytics executed entirely on a
+// relational column-store engine, together with hand-tuned SQL graph
+// algorithms, hybrid 1-hop analyses, dynamic/temporal graph analysis,
+// and relational pre-/post-processing pipelines.
+//
+// The package is a facade over the internal subsystems:
+//
+//	engine     — embedded columnar SQL engine (the Vertica stand-in)
+//	core       — the vertex-centric coordinator/worker runtime
+//	algorithms — vertex programs (PageRank, SSSP, WCC, CF, RWR)
+//	sqlgraph   — the SQL implementations ("Vertexica (SQL)")
+//	pipeline   — dataflow composition (Figure 3)
+//	temporal   — snapshots, time series, continuous analysis (§3.3)
+//	dataset    — workload generators and SNAP I/O
+//
+// Quick start:
+//
+//	vx := vertexica.New()
+//	g, _ := vx.LoadDataset(vertexica.TwitterScale(0.05))
+//	ranks, _, _ := g.PageRank(context.Background(), 10)
+package vertexica
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlgraph"
+	"repro/internal/storage"
+)
+
+// Re-exported types so callers program against one package.
+type (
+	// Value is a dynamically typed SQL scalar.
+	Value = storage.Value
+	// Type is a SQL column type.
+	Type = storage.Type
+	// Rows is a materialized query result.
+	Rows = engine.Rows
+	// Edge is a graph edge with weight/type/created metadata.
+	Edge = core.Edge
+	// Message is a vertex-to-vertex message.
+	Message = core.Message
+	// VertexProgram is a user vertex computation (Pregel API).
+	VertexProgram = core.VertexProgram
+	// VertexContext is the per-vertex worker API.
+	VertexContext = core.VertexContext
+	// Options tunes a vertex-centric run (workers, batching,
+	// update-vs-replace threshold, union-vs-join input).
+	Options = core.Options
+	// RunStats profiles a vertex-centric run.
+	RunStats = core.RunStats
+	// ScalarFunc is a SQL scalar UDF.
+	ScalarFunc = expr.ScalarFunc
+	// Dataset is a generated or loaded graph workload.
+	Dataset = dataset.Graph
+	// OverlapPair is a strong-overlap result row.
+	OverlapPair = sqlgraph.OverlapPair
+	// WeakTie is a weak-ties result row.
+	WeakTie = sqlgraph.WeakTie
+)
+
+// Column types, re-exported for UDF signatures.
+const (
+	TypeInt64   = storage.TypeInt64
+	TypeFloat64 = storage.TypeFloat64
+	TypeString  = storage.TypeString
+	TypeBool    = storage.TypeBool
+)
+
+// Value constructors, re-exported for UDFs and direct row assembly.
+var (
+	Int64Value   = storage.Int64
+	Float64Value = storage.Float64
+	StringValue  = storage.Str
+	BoolValue    = storage.Bool
+	NullValue    = storage.Null
+)
+
+// Dataset generators (see internal/dataset for parameters).
+var (
+	// TwitterScale generates the Twitter-shaped dataset of Figure 2.
+	TwitterScale = dataset.TwitterScale
+	// GPlusScale generates the GPlus-shaped dataset of Figure 2.
+	GPlusScale = dataset.GPlusScale
+	// LiveJournalScale generates the LiveJournal-shaped dataset.
+	LiveJournalScale = dataset.LiveJournalScale
+	// ErdosRenyi generates a uniform random graph.
+	ErdosRenyi = dataset.ErdosRenyi
+	// PreferentialAttachment generates a power-law graph.
+	PreferentialAttachment = dataset.PreferentialAttachment
+	// RMAT generates a Kronecker-style graph.
+	RMAT = dataset.RMAT
+	// MakeUndirected symmetrizes a dataset's edges.
+	MakeUndirected = dataset.MakeUndirected
+)
+
+// Engine is a Vertexica instance: an embedded relational database with
+// the vertex-centric layer on top.
+type Engine struct {
+	db *engine.DB
+}
+
+// New returns an in-memory Vertexica engine.
+func New() *Engine { return &Engine{db: engine.New()} }
+
+// Open returns a persistent engine rooted at dir (snapshot + WAL
+// recovery happen here if files exist).
+func Open(dir string) (*Engine, error) {
+	db, err := engine.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db}, nil
+}
+
+// Close flushes and closes the engine.
+func (e *Engine) Close() error { return e.db.Close() }
+
+// Checkpoint makes all current table contents durable (persistent
+// engines only).
+func (e *Engine) Checkpoint() error { return e.db.Checkpoint() }
+
+// DB exposes the underlying relational engine for advanced use
+// (transactions, direct catalog access).
+func (e *Engine) DB() *engine.DB { return e.db }
+
+// SQL executes any SQL statement; SELECTs return rows, DML returns nil
+// rows with the affected count.
+func (e *Engine) SQL(query string) (*Rows, int, error) {
+	rows, err := e.db.Query(query)
+	if err == nil {
+		return rows, rows.Len(), nil
+	}
+	res, err2 := e.db.Exec(query)
+	if err2 != nil {
+		return nil, 0, err
+	}
+	return nil, res.RowsAffected, nil
+}
+
+// RegisterUDF installs a scalar SQL UDF.
+func (e *Engine) RegisterUDF(f *ScalarFunc) error { return e.db.RegisterUDF(f) }
+
+// Begin/Commit/Rollback expose statement-level transactions.
+func (e *Engine) Begin() error    { return e.db.Begin() }
+func (e *Engine) Commit() error   { return e.db.Commit() }
+func (e *Engine) Rollback() error { return e.db.Rollback() }
+
+// Graph is a handle to one graph's relational tables.
+type Graph struct {
+	e *Engine
+	g *core.Graph
+}
+
+// Name returns the graph name.
+func (g *Graph) Name() string { return g.g.Name }
+
+// Core exposes the internal graph handle (for pipeline/temporal
+// composition).
+func (g *Graph) Core() *core.Graph { return g.g }
+
+// CreateGraph creates an empty graph.
+func (e *Engine) CreateGraph(name string) (*Graph, error) {
+	cg, err := core.CreateGraph(e.db, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{e: e, g: cg}, nil
+}
+
+// OpenGraph binds to an existing graph.
+func (e *Engine) OpenGraph(name string) (*Graph, error) {
+	cg, err := core.OpenGraph(e.db, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{e: e, g: cg}, nil
+}
+
+// DropGraph removes a graph's tables.
+func (e *Engine) DropGraph(name string) error { return core.DropGraph(e.db, name) }
+
+// LoadDataset creates a graph named after the dataset and bulk-loads
+// its edges (vertices are created from edge endpoints).
+func (e *Engine) LoadDataset(ds *Dataset) (*Graph, error) {
+	g, err := e.CreateGraph(ds.Name)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]core.Edge, len(ds.Edges))
+	for i, de := range ds.Edges {
+		edges[i] = core.Edge{Src: de.Src, Dst: de.Dst, Weight: de.Weight, Type: de.Type, Created: de.Created}
+	}
+	vals := make(map[int64]string, ds.Nodes)
+	for v := int64(0); v < ds.Nodes; v++ {
+		vals[v] = ""
+	}
+	if err := g.g.BulkLoad(vals, edges); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadDatasetWithMetadata additionally generates the paper's §4 vertex
+// metadata table (<name>_vertex_meta).
+func (e *Engine) LoadDatasetWithMetadata(ds *Dataset, seed int64) (*Graph, error) {
+	g, err := e.LoadDataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, ds.Nodes)
+	for v := int64(0); v < ds.Nodes; v++ {
+		ids = append(ids, v)
+	}
+	if err := dataset.ApplyMetadata(e.db, ds.Name, ids, seed); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AddVertex inserts one vertex.
+func (g *Graph) AddVertex(id int64, value string) error { return g.g.AddVertex(id, value) }
+
+// AddVertexIfMissing inserts a vertex with an empty value unless it
+// already exists.
+func (g *Graph) AddVertexIfMissing(id int64) error {
+	v, err := g.e.db.QueryScalar(fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE id = %d", g.g.VertexTable(), id))
+	if err != nil {
+		return err
+	}
+	if v.I > 0 {
+		return nil
+	}
+	return g.g.AddVertex(id, "")
+}
+
+// AddEdge inserts one edge.
+func (g *Graph) AddEdge(src, dst int64, weight float64, etype string, created int64) error {
+	return g.g.AddEdge(src, dst, weight, etype, created)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() (int64, error) { return g.g.NumVertices() }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() (int64, error) { return g.g.NumEdges() }
+
+// VertexValues returns every vertex's current value string.
+func (g *Graph) VertexValues() (map[int64]string, error) { return g.g.VertexValues() }
+
+// RunProgram executes an arbitrary vertex program. initial (if non-nil)
+// resets vertex values first.
+func (g *Graph) RunProgram(ctx context.Context, prog VertexProgram, opts Options, initial func(id int64) string) (*RunStats, error) {
+	if initial != nil {
+		if err := g.g.ResetForRun(initial); err != nil {
+			return nil, err
+		}
+	}
+	return core.Run(ctx, g.g, prog, opts)
+}
+
+// --- vertex-centric algorithms (§3.1) ---
+
+// PageRank runs vertex-centric PageRank for the given iterations.
+func (g *Graph) PageRank(ctx context.Context, iterations int, opts ...Options) (map[int64]float64, *RunStats, error) {
+	return algorithms.RunPageRank(ctx, g.g, iterations, optOrDefault(opts))
+}
+
+// ShortestPaths runs vertex-centric SSSP from source.
+func (g *Graph) ShortestPaths(ctx context.Context, source int64, unitWeights bool, opts ...Options) (map[int64]float64, *RunStats, error) {
+	return algorithms.RunSSSP(ctx, g.g, source, unitWeights, optOrDefault(opts))
+}
+
+// ConnectedComponents labels each vertex with its component's min id.
+func (g *Graph) ConnectedComponents(ctx context.Context, opts ...Options) (map[int64]int64, *RunStats, error) {
+	return algorithms.RunConnectedComponents(ctx, g.g, optOrDefault(opts))
+}
+
+// CollaborativeFiltering trains latent vectors on a bipartite rating
+// graph and returns them per vertex.
+func (g *Graph) CollaborativeFiltering(ctx context.Context, dim, iterations int, opts ...Options) (map[int64][]float64, *RunStats, error) {
+	return algorithms.RunCollabFilter(ctx, g.g, algorithms.NewCollabFilter(dim, iterations), optOrDefault(opts))
+}
+
+// RandomWalkWithRestart computes personalized-PageRank scores from a
+// source vertex.
+func (g *Graph) RandomWalkWithRestart(ctx context.Context, source int64, iterations int, opts ...Options) (map[int64]float64, *RunStats, error) {
+	return algorithms.RunRandomWalkRestart(ctx, g.g, source, iterations, optOrDefault(opts))
+}
+
+// PredictRating is the collaborative-filtering dot-product predictor.
+func PredictRating(vectors map[int64][]float64, user, item int64) (float64, bool) {
+	return algorithms.Predict(vectors, user, item)
+}
+
+func optOrDefault(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
+
+// --- SQL algorithms ("Vertexica (SQL)") ---
+
+// PageRankSQL runs the hand-tuned SQL PageRank.
+func (g *Graph) PageRankSQL(iterations int) (map[int64]float64, error) {
+	return sqlgraph.PageRank(g.g, iterations, 0.85)
+}
+
+// ShortestPathsSQL runs the SQL SSSP (unreachable vertices absent).
+func (g *Graph) ShortestPathsSQL(source int64, unitWeights bool) (map[int64]float64, error) {
+	return sqlgraph.ShortestPaths(g.g, source, unitWeights)
+}
+
+// ConnectedComponentsSQL runs SQL label propagation.
+func (g *Graph) ConnectedComponentsSQL() (map[int64]int64, error) {
+	return sqlgraph.ConnectedComponents(g.g)
+}
+
+// TriangleCount counts distinct triangles (symmetrized graphs).
+func (g *Graph) TriangleCount() (int64, error) { return sqlgraph.TriangleCount(g.g) }
+
+// TriangleCountPerNode counts triangles per vertex.
+func (g *Graph) TriangleCountPerNode() (map[int64]int64, error) {
+	return sqlgraph.TriangleCountPerNode(g.g)
+}
+
+// StrongOverlap finds vertex pairs with >= minCommon shared neighbors.
+func (g *Graph) StrongOverlap(minCommon int64) ([]OverlapPair, error) {
+	return sqlgraph.StrongOverlap(g.g, minCommon)
+}
+
+// WeakTies finds bridge vertices with >= minPairs disconnected
+// neighbor pairs.
+func (g *Graph) WeakTies(minPairs int64) ([]WeakTie, error) {
+	return sqlgraph.WeakTies(g.g, minPairs)
+}
+
+// ClusteringCoefficients computes per-vertex local clustering.
+func (g *Graph) ClusteringCoefficients() (map[int64]float64, error) {
+	return sqlgraph.ClusteringCoefficients(g.g)
+}
+
+// GlobalClusteringCoefficient combines triangle counting with wedge
+// counting (§4.2.2's "combine triangle counting with weak ties").
+func (g *Graph) GlobalClusteringCoefficient() (float64, error) {
+	return sqlgraph.GlobalClusteringCoefficient(g.g)
+}
+
+// --- hybrid queries (§3.2) ---
+
+// ImportantBridges finds "sufficiently important nodes which act as
+// bridges": weak ties with at least minPairs open neighbor pairs whose
+// PageRank (iterations rounds) is at least rankThreshold.
+func (g *Graph) ImportantBridges(ctx context.Context, minPairs int64, rankThreshold float64, iterations int) ([]WeakTie, error) {
+	ranks, _, err := g.PageRank(ctx, iterations)
+	if err != nil {
+		return nil, err
+	}
+	ties, err := g.WeakTies(minPairs)
+	if err != nil {
+		return nil, err
+	}
+	out := ties[:0]
+	for _, t := range ties {
+		if ranks[t.ID] >= rankThreshold {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// ShortestPathsFromMostClustered runs SSSP with the source chosen as
+// the vertex with the maximum local clustering coefficient — the §3.2
+// hybrid example.
+func (g *Graph) ShortestPathsFromMostClustered(ctx context.Context, unitWeights bool) (source int64, dists map[int64]float64, err error) {
+	source, _, err = sqlgraph.MostClusteredVertex(g.g)
+	if err != nil {
+		return 0, nil, err
+	}
+	dists, _, err = g.ShortestPaths(ctx, source, unitWeights)
+	return source, dists, err
+}
+
+// NearOrImportant returns vertices that are either within maxDist of
+// source or have PageRank >= rankThreshold — the §4.2.2 "very near or
+// relatively very important" composition.
+func (g *Graph) NearOrImportant(ctx context.Context, source int64, maxDist, rankThreshold float64, iterations int) (map[int64]string, error) {
+	dists, _, err := g.ShortestPaths(ctx, source, true)
+	if err != nil {
+		return nil, err
+	}
+	ranks, _, err := g.PageRank(ctx, iterations)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]string)
+	for id, d := range dists {
+		if d <= maxDist {
+			out[id] = "near"
+		}
+	}
+	for id, r := range ranks {
+		if r >= rankThreshold {
+			if _, ok := out[id]; ok {
+				out[id] = "near+important"
+			} else {
+				out[id] = "important"
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders a short description of the graph.
+func (g *Graph) String() string {
+	nv, _ := g.NumVertices()
+	ne, _ := g.NumEdges()
+	return fmt.Sprintf("graph %s (%d vertices, %d edges)", g.g.Name, nv, ne)
+}

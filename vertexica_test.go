@@ -1,0 +1,327 @@
+package vertexica
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/giraph"
+	"repro/internal/graphdb"
+)
+
+func smallSocial(t *testing.T) (*Engine, *Graph) {
+	t.Helper()
+	vx := New()
+	ds := MakeUndirected(ErdosRenyi("social", 40, 120, 77))
+	g, err := vx.LoadDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vx, g
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	vx, g := smallSocial(t)
+	nv, _ := g.NumVertices()
+	if nv != 40 {
+		t.Fatalf("vertices = %d", nv)
+	}
+	ranks, stats, err := g.PageRank(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 40 || stats.Supersteps == 0 {
+		t.Fatal("pagerank did not run")
+	}
+	rows, n, err := vx.SQL("SELECT COUNT(*) FROM social_edge WHERE weight > 5.0")
+	if err != nil || n != 1 {
+		t.Fatalf("sql: %v", err)
+	}
+	if rows.Value(0, 0).I <= 0 {
+		t.Error("metadata weights missing")
+	}
+}
+
+// TestFourSystemAgreement is the reproduction's keystone: all four
+// Figure 2 systems compute the same PageRank and SSSP answers on the
+// same graph.
+func TestFourSystemAgreement(t *testing.T) {
+	ds := ErdosRenyi("agree", 60, 240, 123)
+	ctx := context.Background()
+
+	vx := New()
+	g, err := vx.LoadDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prVertex, _, err := g.PageRank(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prSQL, err := g.PageRankSQL(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ge := giraph.New(giraph.Config{SuperstepOverhead: -1})
+	for v := int64(0); v < ds.Nodes; v++ {
+		ge.AddVertex(v)
+	}
+	for _, e := range ds.Edges {
+		ge.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	prGiraph, _, err := giraph.PageRank(ge, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := graphdb.New()
+	rows := make([][3]float64, len(ds.Edges))
+	for i, e := range ds.Edges {
+		rows[i] = [3]float64{float64(e.Src), float64(e.Dst), e.Weight}
+	}
+	if err := store.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	prGDB, err := graphdb.PageRank(store, 8, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for id, want := range prVertex {
+		for sys, got := range map[string]float64{
+			"sql": prSQL[id], "giraph": prGiraph[id], "graphdb": prGDB[id],
+		} {
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("pagerank(%d) %s=%.12f vertex=%.12f", id, sys, got, want)
+			}
+		}
+	}
+
+	// SSSP agreement.
+	src := ds.MaxOutDegreeNode()
+	dVertex, _, err := g.ShortestPaths(ctx, src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSQL, err := g.ShortestPathsSQL(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dGiraph, _, err := giraph.SSSP(ge, src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dGDB, err := graphdb.ShortestPaths(store, src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range dVertex {
+		if math.IsInf(want, 1) {
+			if _, ok := dSQL[id]; ok {
+				t.Errorf("sssp(%d): sql should omit unreachable", id)
+			}
+			continue
+		}
+		if math.Abs(dSQL[id]-want) > 1e-9 || math.Abs(dGiraph[id]-want) > 1e-9 || math.Abs(dGDB[id]-want) > 1e-9 {
+			t.Errorf("sssp(%d): vertex=%v sql=%v giraph=%v graphdb=%v",
+				id, want, dSQL[id], dGiraph[id], dGDB[id])
+		}
+	}
+}
+
+func TestHybridQueries(t *testing.T) {
+	_, g := smallSocial(t)
+	ctx := context.Background()
+	bridges, err := g.ImportantBridges(ctx, 1, 0.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bridges) == 0 {
+		t.Error("random graph should have some bridges at threshold 0")
+	}
+	src, dists, err := g.ShortestPathsFromMostClustered(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[src] != 0 {
+		t.Errorf("source distance = %v", dists[src])
+	}
+	marks, err := g.NearOrImportant(ctx, src, 1, 0.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks[src] != "near+important" {
+		t.Errorf("source should be near+important, got %q", marks[src])
+	}
+}
+
+func TestTemporalFacade(t *testing.T) {
+	vx := New()
+	g, err := vx.CreateGraph("tg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][4]int64{{1, 2, 0, 100}, {2, 1, 0, 100}, {2, 3, 0, 200}, {3, 2, 0, 200}} {
+		if err := g.AddVertexIfMissing(row[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddVertexIfMissing(row[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(row[0], row[1], 1, "friend", row[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	series, err := g.ShortestPathTimeSeries(context.Background(), []int64{150, 250}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closer := CloserPairs(series.Scores[0], series.Scores[1], 1)
+	found := false
+	for _, d := range closer {
+		if d.ID == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vertex 3 should have come closer: %v", closer)
+	}
+
+	mon := g.NewPageRankMonitor(3)
+	if _, err := mon.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := mon.ApplyAndRerun(context.Background(),
+		"INSERT INTO tg_vertex VALUES (9, '', FALSE)",
+		"INSERT INTO tg_edge VALUES (3, 9, 1.0, 'friend', 300), (9, 3, 1.0, 'friend', 300)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) == 0 {
+		t.Error("mutation should change ranks")
+	}
+}
+
+func TestSnapshotFacade(t *testing.T) {
+	vx, g := smallSocial(t)
+	snap, err := g.Snapshot("asof", 1240768000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, _ := snap.NumEdges()
+	all, _ := g.NumEdges()
+	if ne >= all {
+		t.Errorf("snapshot should filter some edges: %d vs %d", ne, all)
+	}
+	if err := vx.DropGraph("asof"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransactionsFacade(t *testing.T) {
+	vx, g := smallSocial(t)
+	before, _ := g.NumEdges()
+	if err := vx.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vx.SQL("DELETE FROM social_edge"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := g.NumEdges()
+	if after != before {
+		t.Errorf("rollback lost edges: %d vs %d", after, before)
+	}
+}
+
+func TestCollaborativeFilteringFacade(t *testing.T) {
+	vx := New()
+	g, err := vx.CreateGraph("cf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{1, 2, 101, 102} {
+		if err := g.AddVertex(id, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs := [][3]float64{{1, 101, 5}, {1, 102, 1}, {2, 101, 4}}
+	for _, p := range pairs {
+		u, it, r := int64(p[0]), int64(p[1]), p[2]
+		if err := g.AddEdge(u, it, r, "rated", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(it, u, r, "rated", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecs, _, err := g.CollaborativeFiltering(context.Background(), 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := PredictRating(vecs, 1, 101)
+	lo, _ := PredictRating(vecs, 1, 102)
+	if hi <= lo {
+		t.Errorf("CF preference order lost: %.3f <= %.3f", hi, lo)
+	}
+}
+
+func TestFig2ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check runs all four systems")
+	}
+	rows, err := bench.RunFig2(context.Background(), "pagerank", bench.Fig2Config{
+		Scale:            0.004,
+		PageRankIters:    5,
+		GraphDBEdgeLimit: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bench.CheckFig2Shape(rows) {
+		t.Errorf("figure-2 shape violated: %s", v)
+	}
+}
+
+func TestMetadataLoad(t *testing.T) {
+	vx := New()
+	ds := ErdosRenyi("meta", 25, 50, 5)
+	if _, err := vx.LoadDatasetWithMetadata(ds, 42); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := vx.SQL("SELECT COUNT(*) FROM meta_vertex_meta WHERE z0 >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Value(0, 0).I != 25 {
+		t.Errorf("metadata rows = %v", rows.Value(0, 0))
+	}
+}
+
+func TestUDFFacade(t *testing.T) {
+	vx, _ := smallSocial(t)
+	err := vx.RegisterUDF(&ScalarFunc{
+		Name: "half", MinArgs: 1, MaxArgs: 1,
+		ReturnType: func(args []Type) (Type, error) { return TypeFloat64, nil },
+		Eval: func(a []Value) (Value, error) {
+			if a[0].Null {
+				return a[0], nil
+			}
+			return Float64Value(a[0].AsFloat() / 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := vx.SQL("SELECT HALF(8.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Value(0, 0).F != 4 {
+		t.Errorf("udf = %v", rows.Value(0, 0))
+	}
+}
