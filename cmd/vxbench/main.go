@@ -88,6 +88,11 @@ func runAblations(scale float64) {
 	} else {
 		fatal(err)
 	}
+	if rows, err := bench.AblationInputCache(scale, 5); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
 	if rows, err := bench.AblationBatching(scale, 5, []int{1, 4, 16, 64, 256}); err == nil {
 		bench.PrintAblation(os.Stdout, rows)
 	} else {

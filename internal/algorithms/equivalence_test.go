@@ -1,0 +1,89 @@
+package algorithms
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// loadDataset materializes a generated dataset into a fresh engine.
+func loadDataset(t *testing.T, ds *dataset.Graph) *core.Graph {
+	t.Helper()
+	db := engine.New()
+	g, err := core.CreateGraph(db, "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]core.Edge, len(ds.Edges))
+	for i, e := range ds.Edges {
+		edges[i] = core.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Type: e.Type, Created: e.Created}
+	}
+	if err := g.BulkLoad(nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCachedInputEquivalence asserts the superstep input cache is
+// invisible to results: for each algorithm, a cached run and a
+// DisableInputCache run over the same graph must produce byte-identical
+// vertex values.
+func TestCachedInputEquivalence(t *testing.T) {
+	ds := dataset.PreferentialAttachment("eq", 300, 3, 11)
+	algos := []struct {
+		name string
+		run  func(g *core.Graph, opts core.Options) (*core.RunStats, error)
+	}{
+		{"pagerank", func(g *core.Graph, opts core.Options) (*core.RunStats, error) {
+			_, stats, err := RunPageRank(context.Background(), g, 8, opts)
+			return stats, err
+		}},
+		{"sssp", func(g *core.Graph, opts core.Options) (*core.RunStats, error) {
+			_, stats, err := RunSSSP(context.Background(), g, 0, true, opts)
+			return stats, err
+		}},
+		{"connectedcomponents", func(g *core.Graph, opts core.Options) (*core.RunStats, error) {
+			_, stats, err := RunConnectedComponents(context.Background(), g, opts)
+			return stats, err
+		}},
+	}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			vals := make([]map[int64]string, 2)
+			steps := make([]int, 2)
+			for i, disable := range []bool{false, true} {
+				g := loadDataset(t, ds)
+				stats, err := a.run(g, core.Options{Workers: 2, Partitions: 8, DisableInputCache: disable})
+				if err != nil {
+					t.Fatalf("disable=%v: %v", disable, err)
+				}
+				vals[i], err = g.VertexValues()
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps[i] = stats.Supersteps
+			}
+			if steps[0] != steps[1] {
+				t.Errorf("supersteps differ: cached=%d uncached=%d", steps[0], steps[1])
+			}
+			if len(vals[0]) != len(vals[1]) {
+				t.Fatalf("vertex counts differ: %d vs %d", len(vals[0]), len(vals[1]))
+			}
+			diff := 0
+			for id, v := range vals[1] {
+				if vals[0][id] != v {
+					diff++
+					if diff <= 3 {
+						t.Errorf("vertex %d: cached=%q uncached=%q", id, vals[0][id], v)
+					}
+				}
+			}
+			if diff > 0 {
+				t.Fatalf("%d/%d vertex values differ between cached and uncached runs", diff, len(vals[1]))
+			}
+		})
+	}
+}

@@ -34,6 +34,11 @@ type Options struct {
 	UpdateThreshold float64
 	// DisableCombiner ignores the program's message combiner (ablation).
 	DisableCombiner bool
+	// DisableInputCache re-assembles the full three-table union every
+	// superstep instead of caching the immutable edge side once per run
+	// (ablation baseline for the superstep input cache). It also turns
+	// off active-partition skipping, which rides on the cached path.
+	DisableInputCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -54,13 +59,16 @@ func (o Options) withDefaults() Options {
 
 // SuperstepStats records one superstep's execution.
 type SuperstepStats struct {
-	Superstep   int
-	Computed    int  // vertices whose Compute ran
-	MessagesOut int  // messages emitted (after combining)
-	Updated     int  // vertex tuples changed
-	UsedReplace bool // replace (true) vs in-place update
-	InputRows   int  // rows fed to workers (union or join product)
-	Duration    time.Duration
+	Superstep    int
+	Computed     int  // vertices whose Compute ran
+	MessagesOut  int  // messages emitted (after combining)
+	Updated      int  // vertex tuples changed
+	UsedReplace  bool // replace (true) vs in-place update
+	InputRows    int  // rows fed to workers (union or join product)
+	CacheHit     bool // edge-side input cache reused without rebuild
+	SkippedParts int  // quiescent partitions not dispatched to workers
+	SkippedVerts int  // halted vertices inside skipped partitions
+	Duration     time.Duration
 }
 
 // RunStats summarizes a full run of a vertex program.
@@ -69,6 +77,10 @@ type RunStats struct {
 	TotalComputed    int64
 	TotalMessages    int64
 	DanglingMessages int64
+	CacheBuilds      int   // edge-side input cache (re)builds
+	CacheHits        int   // supersteps served from the cache
+	SkippedParts     int64 // quiescent partitions skipped across the run
+	SkippedVerts     int64 // halted vertices inside skipped partitions
 	Steps            []SuperstepStats
 	Duration         time.Duration
 }
@@ -124,18 +136,53 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 	}
 	aggPrev := make(map[string]float64)
 
+	// The edge side of the union input is immutable for the duration of
+	// a run, so it is partitioned and sorted once here and each
+	// superstep merges only the fresh vertex+message rows into it.
+	var cache *inputCache
+	useCache := !opts.UseJoinInput && !opts.DisableInputCache
+
 	for step := 0; step < opts.MaxSupersteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
 		stepStart := time.Now()
 
-		// 1. Assemble the superstep input (union or join ablation).
+		// 1. Assemble the superstep input: cached union (default),
+		// full union re-sort (ablation), or 3-way join (ablation).
 		var parts []*storage.Batch
-		if opts.UseJoinInput {
+		cacheHit := false
+		skippedParts, skippedVerts := 0, 0
+		switch {
+		case opts.UseJoinInput:
 			parts, err = buildJoinInput(g, opts.Partitions, opts.Workers)
-		} else {
+		case !useCache:
 			parts, err = buildUnionInput(g, opts.Partitions, opts.Workers)
+		default:
+			edgeVersion, verr := g.EdgeVersion()
+			if verr != nil {
+				return stats, verr
+			}
+			if cache == nil || cache.edgeVersion != edgeVersion {
+				if cache, err = buildEdgeCache(g, opts.Partitions, opts.Workers); err != nil {
+					return stats, err
+				}
+				stats.CacheBuilds++
+			} else {
+				cacheHit = true
+				stats.CacheHits++
+			}
+			var in *cachedInputResult
+			if in, err = buildCachedUnionInput(g, cache, step, opts.Workers); err == nil {
+				// Vertices inside skipped partitions are all halted and
+				// receive no messages, so they cannot affect the halt
+				// vote or emit anything — skipping them is lossless.
+				parts = in.parts
+				skippedParts = in.skippedParts
+				skippedVerts = in.skippedVerts
+				stats.SkippedParts += int64(skippedParts)
+				stats.SkippedVerts += int64(skippedVerts)
+			}
 		}
 		if err != nil {
 			return stats, err
@@ -146,7 +193,7 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 		}
 
 		// 2. Run workers in parallel over the partitions.
-		res, err := c.runWorkers(parts, step, numVerts, opts, aggPrev, aggKinds)
+		res, err := c.runWorkers(ctx, parts, step, numVerts, opts, aggPrev, aggKinds)
 		if err != nil {
 			return stats, err
 		}
@@ -173,13 +220,16 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 		aggPrev = mergeAggregates(res.aggs, aggKinds)
 
 		ss := SuperstepStats{
-			Superstep:   step,
-			Computed:    res.computed,
-			MessagesOut: len(outMsgs),
-			Updated:     updated,
-			UsedReplace: usedReplace,
-			InputRows:   inputRows,
-			Duration:    time.Since(stepStart),
+			Superstep:    step,
+			Computed:     res.computed,
+			MessagesOut:  len(outMsgs),
+			Updated:      updated,
+			UsedReplace:  usedReplace,
+			InputRows:    inputRows,
+			CacheHit:     cacheHit,
+			SkippedParts: skippedParts,
+			SkippedVerts: skippedVerts,
+			Duration:     time.Since(stepStart),
 		}
 		stats.Steps = append(stats.Steps, ss)
 		stats.Supersteps = step + 1
@@ -226,8 +276,11 @@ type mergedResult struct {
 
 // runWorkers fans the partitions out to opts.Workers goroutines and
 // merges their results at the synchronization barrier. A panic inside a
-// vertex program is recovered and surfaced as an error.
-func (c *Coordinator) runWorkers(parts []*storage.Batch, step int, numVerts int64,
+// vertex program is recovered and surfaced as an error. Workers observe
+// ctx between partitions (and periodically within one), so cancelling
+// mid-superstep aborts the superstep instead of running it to the
+// barrier.
+func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, step int, numVerts int64,
 	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind) (*mergedResult, error) {
 
 	partCh := make(chan *storage.Batch, len(parts))
@@ -251,7 +304,11 @@ func (c *Coordinator) runWorkers(parts []*storage.Batch, step int, numVerts int6
 			res := &workerResult{aggs: make(map[string]float64)}
 			results[w] = res
 			for part := range partCh {
-				if err := c.runPartition(part, step, numVerts, opts, aggPrev, aggKinds, res); err != nil {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := c.runPartition(ctx, part, step, numVerts, opts, aggPrev, aggKinds, res); err != nil {
 					errs[w] = err
 					return
 				}
@@ -284,9 +341,14 @@ func (c *Coordinator) runWorkers(parts []*storage.Batch, step int, numVerts int6
 	return merged, nil
 }
 
+// cancelCheckEvery is how many vertices a worker computes between
+// context checks inside one partition, balancing cancellation latency
+// against per-vertex overhead on the hot path.
+const cancelCheckEvery = 64
+
 // runPartition executes the vertex program serially over one partition
 // — the worker "UDF" of Figure 1.
-func (c *Coordinator) runPartition(part *storage.Batch, step int, numVerts int64,
+func (c *Coordinator) runPartition(ctx context.Context, part *storage.Batch, step int, numVerts int64,
 	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind, res *workerResult) error {
 
 	var units []workUnit
@@ -299,6 +361,11 @@ func (c *Coordinator) runPartition(part *storage.Batch, step int, numVerts int64
 	res.dangling += dangling
 
 	for i := range units {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		u := &units[i]
 		res.seen++
 		active := step == 0 || len(u.msgs) > 0 || !u.halted

@@ -190,6 +190,20 @@ func (g *Graph) BulkLoad(values map[int64]string, edges []Edge) error {
 	return et.AppendBatch(eb)
 }
 
+// EdgeVersion returns the edge table's mutation counter. The
+// coordinator's superstep input cache is keyed on it: edges are
+// expected to be immutable during a run, but if anything does mutate
+// the edge table mid-run (a concurrent load, a program reaching back
+// into the graph) the version moves and the cache is rebuilt rather
+// than serving stale edges.
+func (g *Graph) EdgeVersion() (uint64, error) {
+	t, err := g.DB.Catalog().Get(g.EdgeTable())
+	if err != nil {
+		return 0, err
+	}
+	return t.Version(), nil
+}
+
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() (int64, error) {
 	t, err := g.DB.Catalog().Get(g.VertexTable())

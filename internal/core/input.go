@@ -37,6 +37,10 @@ type workUnit struct {
 	edges  []Edge
 }
 
+// unionSortKeys is the (id, kind) ordering every union partition —
+// cached or not — is sorted on.
+var unionSortKeys = []storage.SortKey{{Col: 0}, {Col: 1}}
+
 // unionInputSQL renders the common-schema UNION ALL over the three
 // graph tables — the coordinator literally drives standard SQL, as in
 // the paper.
@@ -45,6 +49,130 @@ func unionInputSQL(g *Graph) string {
 UNION ALL SELECT src, 1, dst, weight, etype, created FROM %s
 UNION ALL SELECT dst, 2, COALESCE(src, -1), 0.0, value, 0 FROM %s`,
 		g.VertexTable(), g.EdgeTable(), g.MessageTable())
+}
+
+// edgeInputSQL renders just the edge branch of the union in the common
+// schema. The edge table is immutable for the duration of a run, so
+// the coordinator assembles this side once and caches it.
+func edgeInputSQL(g *Graph) string {
+	return fmt.Sprintf(`SELECT src AS id, 1 AS kind, dst AS i1, weight AS f1, etype AS s1, created AS i2 FROM %s`,
+		g.EdgeTable())
+}
+
+// vertexMessageInputSQL renders the two mutable branches of the union
+// (vertex state and in-flight messages) in the common schema — the only
+// rows that change between supersteps.
+func vertexMessageInputSQL(g *Graph) string {
+	return fmt.Sprintf(`SELECT id AS id, 0 AS kind, CASE WHEN halted THEN 1 ELSE 0 END AS i1, 0.0 AS f1, value AS s1, 0 AS i2 FROM %s
+UNION ALL SELECT dst, 2, COALESCE(src, -1), 0.0, value, 0 FROM %s`,
+		g.VertexTable(), g.MessageTable())
+}
+
+// inputCache holds the immutable edge side of the union input,
+// hash-partitioned on src and sorted on (id, kind), built once per run
+// in Coordinator.Run. parts is dense — one slot per partition, nil for
+// partitions with no edges — so a partition's cached edge run lines up
+// with the same partition of the per-superstep vertex+message run.
+type inputCache struct {
+	parts       []*storage.Batch
+	partitions  int
+	edgeVersion uint64 // edge-table version the cache was built against
+}
+
+// buildEdgeCache assembles the edge-side partitions. The version is
+// read before the scan, so a concurrent mutation at worst makes the
+// cache look stale and triggers a rebuild — never a silently stale hit.
+func buildEdgeCache(g *Graph, partitions, workers int) (*inputCache, error) {
+	version, err := g.EdgeVersion()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := g.DB.Query(edgeInputSQL(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: edge input: %w", err)
+	}
+	data := rows.Data
+	ids := data.Cols[0].(*storage.Int64Column).Int64s()
+	pidx := storage.PartitionInt64(ids, partitions)
+	cache := &inputCache{
+		parts:       make([]*storage.Batch, partitions),
+		partitions:  partitions,
+		edgeVersion: version,
+	}
+	var nonEmpty []int
+	for p, idx := range pidx {
+		if len(idx) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	forEachParallel(len(nonEmpty), workers, func(i int) {
+		p := nonEmpty[i]
+		cache.parts[p] = storage.SortBatch(data.Gather(pidx[p]), unionSortKeys)
+	})
+	return cache, nil
+}
+
+// cachedInputResult is what buildCachedUnionInput hands the coordinator
+// for one superstep.
+type cachedInputResult struct {
+	parts        []*storage.Batch // dispatched partitions, merged and sorted
+	skippedParts int              // quiescent partitions not dispatched
+	skippedVerts int              // halted vertices inside skipped partitions
+}
+
+// buildCachedUnionInput assembles one superstep's input on top of the
+// edge cache: only the vertex and message rows are scanned, partitioned
+// and sorted, then each small sorted run is merged into its partition's
+// cached edge run. Partitions with no incoming messages and no
+// non-halted vertices are skipped entirely — Pregel semantics guarantee
+// none of their vertices would compute (active-partition skipping).
+func buildCachedUnionInput(g *Graph, cache *inputCache, step, workers int) (*cachedInputResult, error) {
+	rows, err := g.DB.Query(vertexMessageInputSQL(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: vertex+message input: %w", err)
+	}
+	data := rows.Data
+	ids := data.Cols[0].(*storage.Int64Column).Int64s()
+	kinds := data.Cols[1].(*storage.Int64Column).Int64s()
+	i1 := data.Cols[2].(*storage.Int64Column).Int64s() // halted flag on vertex rows
+	pidx := storage.PartitionInt64(ids, cache.partitions)
+
+	res := &cachedInputResult{}
+	var active []int // partition numbers to dispatch
+	for p, idx := range pidx {
+		verts, live := 0, false
+		for _, r := range idx {
+			switch kinds[r] {
+			case kindVertex:
+				verts++
+				if i1[r] == 0 {
+					live = true
+				}
+			case kindMessage:
+				// A message reactivates its target even if halted.
+				live = true
+			}
+		}
+		if step == 0 && verts > 0 {
+			live = true // superstep 0 computes every vertex
+		}
+		if live {
+			active = append(active, p)
+			continue
+		}
+		if len(idx) > 0 || cache.parts[p] != nil {
+			res.skippedParts++
+			res.skippedVerts += verts
+		}
+	}
+
+	res.parts = make([]*storage.Batch, len(active))
+	forEachParallel(len(active), workers, func(i int) {
+		p := active[i]
+		vm := storage.SortBatch(data.Gather(pidx[p]), unionSortKeys)
+		res.parts[i] = storage.MergeSortedBatches(vm, cache.parts[p], unionSortKeys)
+	})
+	return res, nil
 }
 
 // buildUnionInput assembles, partitions and sorts the superstep input
@@ -107,15 +235,26 @@ func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, keys 
 		}
 	}
 	out := make([]*storage.Batch, len(nonEmpty))
-	if workers <= 1 || len(nonEmpty) <= 1 {
-		for i, idx := range nonEmpty {
-			out[i] = storage.SortBatch(data.Gather(idx), keys)
+	forEachParallel(len(nonEmpty), workers, func(i int) {
+		out[i] = storage.SortBatch(data.Gather(nonEmpty[i]), keys)
+	})
+	return out
+}
+
+// forEachParallel runs fn(0..n-1) on up to `workers` goroutines.
+func forEachParallel(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return out
+		return
+	}
+	if workers > n {
+		workers = n
 	}
 	var wg sync.WaitGroup
-	work := make(chan int, len(nonEmpty))
-	for i := range nonEmpty {
+	work := make(chan int, n)
+	for i := 0; i < n; i++ {
 		work <- i
 	}
 	close(work)
@@ -124,12 +263,11 @@ func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, keys 
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out[i] = storage.SortBatch(data.Gather(nonEmpty[i]), keys)
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // parseUnionPartition walks a sorted union partition and reassembles

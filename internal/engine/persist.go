@@ -332,7 +332,7 @@ func decodeColumn(r *bufio.Reader, typ storage.Type, n int) (storage.Column, err
 	case storage.TypeInt64:
 		var vals []int64
 		if len(payload) > 0 && storage.Encoding(payload[0]) == storage.EncRLE {
-			vals, err = storage.DecodeInt64RLE(payload)
+			vals, err = storage.DecodeInt64RLEMax(payload, n)
 		} else {
 			vals, err = storage.DecodeInt64Delta(payload)
 		}
@@ -356,7 +356,7 @@ func decodeColumn(r *bufio.Reader, typ storage.Type, n int) (storage.Column, err
 		}
 		col = storage.NewStringColumn(vals)
 	case storage.TypeBool:
-		ints, err := storage.DecodeInt64RLE(payload)
+		ints, err := storage.DecodeInt64RLEMax(payload, n)
 		if err != nil {
 			return nil, err
 		}

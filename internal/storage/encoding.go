@@ -65,16 +65,34 @@ func EncodeInt64RLE(vals []int64) []byte {
 	return buf
 }
 
-// DecodeInt64RLE reverses EncodeInt64RLE.
+// maxRLEElements bounds how many values DecodeInt64RLE will expand
+// when the caller does not know the expected row count. A single
+// corrupt (runLength, value) pair can claim a run of 2^63 rows from a
+// three-byte input; without a cap that is an allocation bomb. 2^24
+// values (128 MiB of int64s) is far beyond any segment this engine
+// writes while keeping the worst-case decode allocation modest.
+const maxRLEElements = 1 << 24
+
+// DecodeInt64RLE reverses EncodeInt64RLE. Output is capped at
+// maxRLEElements; callers that know the expected row count (or expect
+// columns above the cap) must use DecodeInt64RLEMax for a tight bound.
 func DecodeInt64RLE(data []byte) ([]int64, error) {
-	if len(data) == 0 || Encoding(data[0]) != EncRLE {
+	return DecodeInt64RLEMax(data, maxRLEElements)
+}
+
+// DecodeInt64RLEMax reverses EncodeInt64RLE, rejecting input that
+// expands to more than max values as corrupt. Run lengths are
+// validated against the remaining budget before any allocation grows,
+// so a hostile length header cannot OOM the decoder.
+func DecodeInt64RLEMax(data []byte, max int) ([]int64, error) {
+	if len(data) == 0 || Encoding(data[0]) != EncRLE || max < 0 {
 		return nil, errCorrupt
 	}
 	data = data[1:]
 	var out []int64
 	for len(data) > 0 {
 		run, n := binary.Uvarint(data)
-		if n <= 0 {
+		if n <= 0 || run == 0 {
 			return nil, errCorrupt
 		}
 		data = data[n:]
@@ -83,6 +101,9 @@ func DecodeInt64RLE(data []byte) ([]int64, error) {
 			return nil, errCorrupt
 		}
 		data = data[n:]
+		if run > uint64(max-len(out)) {
+			return nil, errCorrupt
+		}
 		for k := uint64(0); k < run; k++ {
 			out = append(out, v)
 		}
@@ -170,6 +191,12 @@ func DecodeStringDict(data []byte) ([]string, error) {
 		return nil, errCorrupt
 	}
 	data = data[n:]
+	// Every dictionary entry consumes at least one byte (its length
+	// varint), so a count exceeding the remaining input is corrupt —
+	// validate before allocating from the untrusted header.
+	if dn > uint64(len(data)) {
+		return nil, errCorrupt
+	}
 	dict := make([]string, dn)
 	for i := range dict {
 		sl, n := binary.Uvarint(data)
@@ -185,6 +212,11 @@ func DecodeStringDict(data []byte) ([]string, error) {
 		return nil, errCorrupt
 	}
 	data = data[n:]
+	// Each code is at least one byte; cap the allocation by what the
+	// remaining input could possibly hold.
+	if cn > uint64(len(data)) {
+		return nil, errCorrupt
+	}
 	out := make([]string, cn)
 	for i := range out {
 		c, n := binary.Uvarint(data)

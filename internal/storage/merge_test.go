@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mergeFixtureSchema() Schema {
+	return NewSchema(
+		NotNullCol("id", TypeInt64),
+		NotNullCol("kind", TypeInt64),
+		Col("payload", TypeString),
+		Col("weight", TypeFloat64),
+	)
+}
+
+func appendRows(t *testing.T, b *Batch, rows [][4]interface{}) {
+	t.Helper()
+	for _, r := range rows {
+		if err := b.AppendRow(Int64(int64(r[0].(int))), Int64(int64(r[1].(int))),
+			Str(r[2].(string)), Float64(r[3].(float64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMergeSortedBatches(t *testing.T) {
+	keys := []SortKey{{Col: 0}, {Col: 1}}
+	a := NewBatch(mergeFixtureSchema())
+	appendRows(t, a, [][4]interface{}{
+		{1, 0, "v1", 0.0}, {1, 2, "m", 0.0}, {3, 0, "v3", 0.0}, {7, 2, "m", 0.0},
+	})
+	b := NewBatch(mergeFixtureSchema())
+	appendRows(t, b, [][4]interface{}{
+		{1, 1, "e", 0.5}, {1, 1, "e", 1.5}, {3, 1, "e", 2.5}, {9, 1, "e", 3.5},
+	})
+	out := MergeSortedBatches(a, b, keys)
+	if out.Len() != 8 {
+		t.Fatalf("merged len = %d, want 8", out.Len())
+	}
+	wantIDs := []int64{1, 1, 1, 1, 3, 3, 7, 9}
+	wantKinds := []int64{0, 1, 1, 2, 0, 1, 2, 1}
+	ids := out.Cols[0].(*Int64Column).Int64s()
+	kinds := out.Cols[1].(*Int64Column).Int64s()
+	for i := range wantIDs {
+		if ids[i] != wantIDs[i] || kinds[i] != wantKinds[i] {
+			t.Fatalf("row %d = (%d,%d), want (%d,%d)", i, ids[i], kinds[i], wantIDs[i], wantKinds[i])
+		}
+	}
+}
+
+func TestMergeSortedBatchesEmptySides(t *testing.T) {
+	keys := []SortKey{{Col: 0}}
+	a := NewBatch(mergeFixtureSchema())
+	appendRows(t, a, [][4]interface{}{{2, 0, "x", 0.0}})
+	empty := NewBatch(mergeFixtureSchema())
+
+	if out := MergeSortedBatches(a, empty, keys); out.Len() != 1 {
+		t.Errorf("a+empty len = %d, want 1", out.Len())
+	}
+	if out := MergeSortedBatches(empty, a, keys); out.Len() != 1 {
+		t.Errorf("empty+a len = %d, want 1", out.Len())
+	}
+	if out := MergeSortedBatches(a, nil, keys); out.Len() != 1 {
+		t.Errorf("a+nil len = %d, want 1", out.Len())
+	}
+	if out := MergeSortedBatches(empty, empty, keys); out.Len() != 0 {
+		t.Errorf("empty+empty len = %d, want 0", out.Len())
+	}
+}
+
+func TestMergeSortedBatchesPreservesNulls(t *testing.T) {
+	s := NewSchema(NotNullCol("id", TypeInt64), Col("v", TypeString))
+	a := &Batch{Schema: s, Cols: []Column{NewColumn(TypeInt64, 0), NewColumn(TypeString, 0)}}
+	_ = a.Cols[0].Append(Int64(1))
+	a.Cols[1].AppendNull()
+	b := &Batch{Schema: s, Cols: []Column{NewColumn(TypeInt64, 0), NewColumn(TypeString, 0)}}
+	_ = b.Cols[0].Append(Int64(2))
+	_ = b.Cols[1].Append(Str("x"))
+
+	out := MergeSortedBatches(a, b, []SortKey{{Col: 0}})
+	if !out.Cols[1].IsNull(0) {
+		t.Error("null lost in merge")
+	}
+	if out.Cols[1].IsNull(1) || out.Cols[1].Value(1).S != "x" {
+		t.Error("non-null corrupted in merge")
+	}
+}
+
+// TestMergeSortedBatchesMatchesFullSort cross-checks the merge against
+// sorting the concatenation, on random pre-sorted inputs.
+func TestMergeSortedBatchesMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := []SortKey{{Col: 0}, {Col: 1}}
+	for trial := 0; trial < 20; trial++ {
+		a := NewBatch(mergeFixtureSchema())
+		b := NewBatch(mergeFixtureSchema())
+		for i := 0; i < rng.Intn(40); i++ {
+			appendRows(t, a, [][4]interface{}{{rng.Intn(10), rng.Intn(3), "a", float64(i)}})
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			appendRows(t, b, [][4]interface{}{{rng.Intn(10), rng.Intn(3), "b", float64(i)}})
+		}
+		sa, sb := SortBatch(a, keys), SortBatch(b, keys)
+		merged := MergeSortedBatches(sa, sb, keys)
+
+		all := NewBatch(mergeFixtureSchema())
+		if err := Concat(all, sa); err != nil {
+			t.Fatal(err)
+		}
+		if err := Concat(all, sb); err != nil {
+			t.Fatal(err)
+		}
+		want := SortBatch(all, keys)
+		if merged.Len() != want.Len() {
+			t.Fatalf("trial %d: len %d vs %d", trial, merged.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			mr, wr := merged.Row(i), want.Row(i)
+			for c := 0; c < 2; c++ { // key columns must agree exactly
+				if Compare(mr[c], wr[c]) != 0 {
+					t.Fatalf("trial %d row %d col %d: %v vs %v", trial, i, c, mr[c], wr[c])
+				}
+			}
+		}
+	}
+}
+
+func TestTableVersionBumpsOnMutation(t *testing.T) {
+	s := NewSchema(NotNullCol("id", TypeInt64), Col("v", TypeString))
+	tbl := NewTable("t", s)
+	v0 := tbl.Version()
+	if err := tbl.AppendRow(Int64(1), Str("a")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := tbl.Version()
+	if v1 == v0 {
+		t.Error("AppendRow did not bump version")
+	}
+	if err := tbl.UpdateInPlace([]int{0}, 1, []Value{Str("b")}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := tbl.Version()
+	if v2 == v1 {
+		t.Error("UpdateInPlace did not bump version")
+	}
+	b := NewBatch(s)
+	if err := b.AppendRow(Int64(2), Str("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Replace(b); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Version() == v2 {
+		t.Error("Replace did not bump version")
+	}
+	v3 := tbl.Version()
+	tbl.Truncate()
+	if tbl.Version() == v3 {
+		t.Error("Truncate did not bump version")
+	}
+	// Reads must not bump.
+	v4 := tbl.Version()
+	_ = tbl.Data()
+	_ = tbl.NumRows()
+	if tbl.Version() != v4 {
+		t.Error("reads bumped version")
+	}
+}

@@ -18,6 +18,19 @@ type Table struct {
 	// sortKey records the column indexes the table data is ordered by,
 	// if any (a Vertica-style sorted projection). Empty means unsorted.
 	sortKey []int
+	// version counts mutations. Caches keyed on table contents (the
+	// coordinator's superstep input cache) compare versions to detect
+	// staleness without diffing data.
+	version uint64
+}
+
+// Version returns the table's mutation counter. It increments on every
+// content-changing operation, so two equal versions imply unchanged
+// contents.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // NewTable creates an empty table with the given schema.
@@ -82,6 +95,7 @@ func (t *Table) appendRowLocked(vals []Value) error {
 			return fmt.Errorf("storage: %s.%s: %w", t.name, t.schema.Cols[j].Name, err)
 		}
 	}
+	t.version++
 	return nil
 }
 
@@ -134,6 +148,7 @@ func (t *Table) Replace(b *Batch) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.cols = append([]Column(nil), b.Cols...)
+	t.version++
 	return nil
 }
 
@@ -146,6 +161,9 @@ func (t *Table) UpdateInPlace(rowIdx []int, colIdx int, vals []Value) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if len(rowIdx) > 0 {
+		t.version++
+	}
 	for k, i := range rowIdx {
 		if err := SetValue(t.cols[colIdx], i, vals[k]); err != nil {
 			return err
@@ -176,6 +194,7 @@ func (t *Table) DeleteWhere(del []int) {
 	for j, c := range t.cols {
 		t.cols[j] = c.Gather(keep)
 	}
+	t.version++
 }
 
 // Truncate removes all rows.
@@ -185,6 +204,7 @@ func (t *Table) Truncate() {
 	for i, c := range t.schema.Cols {
 		t.cols[i] = NewColumn(c.Type, 0)
 	}
+	t.version++
 }
 
 // Clone returns a deep copy of the table (used as a transaction undo
@@ -207,6 +227,7 @@ func (t *Table) RestoreFrom(src *Table) {
 	defer src.mu.RUnlock()
 	t.cols = append([]Column(nil), src.cols...)
 	t.sortKey = append([]int(nil), src.sortKey...)
+	t.version++
 }
 
 // SetValue sets row i of column c to v (coerced to the column type).
