@@ -100,7 +100,7 @@ func benchPageRankSQL(b *testing.B, ds *dataset.Graph) {
 	g := loadVertexicaBench(b, ds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sqlgraph.PageRank(g, benchPRIters, 0.85); err != nil {
+		if _, err := sqlgraph.PageRank(context.Background(), g, benchPRIters, 0.85); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -169,7 +169,7 @@ func benchSSSPSQL(b *testing.B, ds *dataset.Graph) {
 	src := ds.MaxOutDegreeNode()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sqlgraph.ShortestPaths(g, src, false); err != nil {
+		if _, err := sqlgraph.ShortestPaths(context.Background(), g, src, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -206,7 +206,7 @@ func command(vx *vertexica.Engine, line string) (quit bool) {
 		if cmd == "\\pagerank" {
 			ranks, _, err = g.PageRank(ctx, iters)
 		} else {
-			ranks, err = g.PageRankSQL(iters)
+			ranks, err = g.PageRankSQL(ctx, iters)
 		}
 		if err != nil {
 			fmt.Println("error:", err)
@@ -226,7 +226,7 @@ func command(vx *vertexica.Engine, line string) (quit bool) {
 		if cmd == "\\sssp" {
 			dists, _, err = g.ShortestPaths(ctx, src, false)
 		} else {
-			dists, err = g.ShortestPathsSQL(src, false)
+			dists, err = g.ShortestPathsSQL(ctx, src, false)
 		}
 		if err != nil {
 			fmt.Println("error:", err)

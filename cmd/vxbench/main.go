@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -83,6 +84,18 @@ func main() {
 
 func runAblations(scale float64) {
 	fmt.Println("\n=== §2.3 optimization ablations (PageRank on twitter-s unless noted) ===")
+	workers := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		if n > 2 {
+			workers = append(workers, 2)
+		}
+		workers = append(workers, n)
+	}
+	if rows, err := bench.AblationSQLParallel(scale, 5, workers); err == nil {
+		bench.PrintAblation(os.Stdout, rows)
+	} else {
+		fatal(err)
+	}
 	if rows, err := bench.AblationUnionVsJoin(scale, 5); err == nil {
 		bench.PrintAblation(os.Stdout, rows)
 	} else {

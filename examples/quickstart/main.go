@@ -37,7 +37,7 @@ func main() {
 
 	// The same algorithm as hand-optimized SQL — the fast path of
 	// Figure 2.
-	sqlRanks, err := g.PageRankSQL(10)
+	sqlRanks, err := g.PageRankSQL(ctx, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

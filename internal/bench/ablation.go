@@ -9,6 +9,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/sqlgraph"
 )
 
 // Ablation studies for the §2.3 optimizations. Each returns rows
@@ -211,6 +212,73 @@ func AblationInputCache(scale float64, iters int) ([]AblationRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// AblationSQLParallel sweeps the relational executor's per-statement
+// worker budget over the hand-tuned SQL PageRank and SSSP drivers (the
+// morsel-parallel tentpole: parallel scans/filters/projections,
+// parallel hash-join probes, partitioned aggregation). The first entry
+// of `workers` is the baseline (use 1); every other variant's results
+// are checked byte-for-byte against it — the executor guarantees
+// identical results at every parallelism level — and Extra reports the
+// speedup.
+func AblationSQLParallel(scale float64, iters int, workers []int) ([]AblationRow, error) {
+	ds := dataset.TwitterScale(scale)
+	type algo struct {
+		name string
+		run  func(g *core.Graph) (map[int64]float64, error)
+	}
+	algos := []algo{
+		{"PageRank", func(g *core.Graph) (map[int64]float64, error) {
+			return sqlgraph.PageRank(context.Background(), g, iters, 0.85)
+		}},
+		{"SSSP", func(g *core.Graph) (map[int64]float64, error) {
+			return sqlgraph.ShortestPaths(context.Background(), g, 0, true)
+		}},
+	}
+	var rows []AblationRow
+	for _, a := range algos {
+		var baseline map[int64]float64
+		var baseSecs float64
+		for i, w := range workers {
+			g, err := loadVertexica(ds)
+			if err != nil {
+				return nil, err
+			}
+			g.DB.SetParallelism(w)
+			start := time.Now()
+			result, err := a.run(g)
+			if err != nil {
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			extra := fmt.Sprintf("%d edges", len(ds.Edges))
+			if i == 0 {
+				baseline, baseSecs = result, secs
+			} else {
+				extra = fmt.Sprintf("%.2fx vs %d worker(s), %s", baseSecs/secs, workers[0], identicalFloatMaps(result, baseline))
+			}
+			rows = append(rows, AblationRow{
+				Study:   fmt.Sprintf("P: morsel-parallel SQL (%s)", a.name),
+				Variant: fmt.Sprintf("%d workers", w), Seconds: secs, Extra: extra,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// identicalFloatMaps renders the byte-identity check for ablation rows.
+func identicalFloatMaps(a, b map[int64]float64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("RESULTS DIFFER (cardinality %d vs %d)", len(a), len(b))
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av != bv {
+			return fmt.Sprintf("RESULTS DIFFER at id %d", k)
+		}
+	}
+	return "results byte-identical"
 }
 
 // AblationCombiner compares runs with the message combiner enabled and

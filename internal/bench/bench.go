@@ -196,10 +196,10 @@ func RunFig2(ctx context.Context, panel string, cfg Fig2Config) ([]Row, error) {
 		// Vertexica SQL.
 		secs, err = timeIt(func() error {
 			if panel == "pagerank" {
-				_, err := sqlgraph.PageRank(vg, cfg.PageRankIters, 0.85)
+				_, err := sqlgraph.PageRank(ctx, vg, cfg.PageRankIters, 0.85)
 				return err
 			}
-			_, err := sqlgraph.ShortestPaths(vg, source, false)
+			_, err := sqlgraph.ShortestPaths(ctx, vg, source, false)
 			return err
 		})
 		if err != nil {

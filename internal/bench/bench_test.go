@@ -114,3 +114,21 @@ func TestAblationsTiny(t *testing.T) {
 		t.Error("ablation printer lost study headers")
 	}
 }
+
+func TestAblationSQLParallelTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full SQL analyses")
+	}
+	rows, err := AblationSQLParallel(0.001, 2, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 algorithms × 2 worker levels
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Extra, "RESULTS DIFFER") {
+			t.Errorf("parallel SQL diverged from serial: %+v", r)
+		}
+	}
+}

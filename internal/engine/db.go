@@ -6,7 +6,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -23,7 +25,7 @@ type DB struct {
 	mu      sync.Mutex // serializes statements (statement-level isolation)
 	cat     *catalog.Catalog
 	funcs   *expr.Registry
-	planner *plan.Planner
+	planner *plan.Planner // planner.Parallelism is guarded by mu
 
 	txn *txnState // non-nil while a transaction is open
 
@@ -35,7 +37,31 @@ type DB struct {
 func New() *DB {
 	cat := catalog.New()
 	funcs := expr.NewRegistry()
-	return &DB{cat: cat, funcs: funcs, planner: plan.New(cat, funcs)}
+	db := &DB{cat: cat, funcs: funcs, planner: plan.New(cat, funcs)}
+	db.planner.Parallelism = runtime.NumCPU()
+	return db
+}
+
+// SetParallelism sets how many worker goroutines one SQL statement may
+// use (morsel-parallel scans and filters, parallel hash-join probes,
+// partitioned aggregation). The default is runtime.NumCPU(); 1
+// restores fully serial execution (the ablation baseline); n <= 0
+// resets to the default. Results are identical — row for row, byte for
+// byte — at every setting.
+func (db *DB) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.planner.Parallelism = n
+}
+
+// Parallelism returns the current per-statement worker budget.
+func (db *DB) Parallelism() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.planner.Parallelism
 }
 
 // Catalog exposes the table namespace (used by the vertex runtime).
@@ -73,6 +99,13 @@ type Result struct {
 // Query parses, plans and executes a SELECT, returning materialized
 // rows.
 func (db *DB) Query(text string) (*Rows, error) {
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query with cancellation: ctx is checked before every
+// result batch, so a cancelled context aborts mid-scan rather than
+// after the statement completes.
+func (db *DB) QueryContext(ctx context.Context, text string) (*Rows, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -83,15 +116,15 @@ func (db *DB) Query(text string) (*Rows, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.querySelectLocked(sel)
+	return db.querySelectLocked(ctx, sel)
 }
 
-func (db *DB) querySelectLocked(sel *sql.SelectStmt) (*Rows, error) {
+func (db *DB) querySelectLocked(ctx context.Context, sel *sql.SelectStmt) (*Rows, error) {
 	op, err := db.planner.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.Drain(op)
+	data, err := exec.Drain(exec.WithContext(ctx, op))
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +133,12 @@ func (db *DB) querySelectLocked(sel *sql.SelectStmt) (*Rows, error) {
 
 // QueryScalar runs a query expected to produce exactly one value.
 func (db *DB) QueryScalar(text string) (storage.Value, error) {
-	rows, err := db.Query(text)
+	return db.QueryScalarContext(context.Background(), text)
+}
+
+// QueryScalarContext is QueryScalar with cancellation.
+func (db *DB) QueryScalarContext(ctx context.Context, text string) (storage.Value, error) {
+	rows, err := db.QueryContext(ctx, text)
 	if err != nil {
 		return storage.Value{}, err
 	}
@@ -112,13 +150,19 @@ func (db *DB) QueryScalar(text string) (storage.Value, error) {
 
 // Exec parses and executes a DML or DDL statement.
 func (db *DB) Exec(text string) (Result, error) {
+	return db.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec with cancellation; for INSERT ... SELECT the
+// context reaches the SELECT's executor.
+func (db *DB) ExecContext(ctx context.Context, text string) (Result, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return Result{}, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	res, err := db.execLocked(st)
+	res, err := db.execLocked(ctx, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -126,10 +170,13 @@ func (db *DB) Exec(text string) (Result, error) {
 	return res, nil
 }
 
-func (db *DB) execLocked(st sql.Statement) (Result, error) {
+func (db *DB) execLocked(ctx context.Context, st sql.Statement) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	switch s := st.(type) {
 	case *sql.SelectStmt:
-		rows, err := db.querySelectLocked(s)
+		rows, err := db.querySelectLocked(ctx, s)
 		if err != nil {
 			return Result{}, err
 		}
@@ -141,7 +188,7 @@ func (db *DB) execLocked(st sql.Statement) (Result, error) {
 	case *sql.TruncateStmt:
 		return db.execTruncate(s)
 	case *sql.InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(ctx, s)
 	case *sql.UpdateStmt:
 		return db.execUpdate(s)
 	case *sql.DeleteStmt:
@@ -210,7 +257,7 @@ func (db *DB) execTruncate(s *sql.TruncateStmt) (Result, error) {
 	return Result{RowsAffected: n}, nil
 }
 
-func (db *DB) execInsert(s *sql.InsertStmt) (Result, error) {
+func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error) {
 	t, err := db.cat.Get(s.Table)
 	if err != nil {
 		return Result{}, err
@@ -236,7 +283,7 @@ func (db *DB) execInsert(s *sql.InsertStmt) (Result, error) {
 
 	var input *storage.Batch
 	if s.Select != nil {
-		rows, err := db.querySelectLocked(s.Select)
+		rows, err := db.querySelectLocked(ctx, s.Select)
 		if err != nil {
 			return Result{}, err
 		}

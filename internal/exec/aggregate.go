@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/storage"
@@ -12,12 +13,30 @@ import (
 // columns followed by one column per aggregate. With no GroupBy
 // expressions it produces exactly one row (the SQL scalar-aggregate
 // case), even for empty input.
+//
+// With Workers > 1 a grouped aggregate runs in two parallel stages:
+// the group-key and aggregate-input expressions are evaluated per
+// batch on the worker pool, then the fold runs on partitioned maps —
+// each worker owns the hash partition of group keys assigned to it and
+// folds every input row of its groups, in global row order. Because a
+// group lives entirely inside one partition, per-group accumulation
+// order is identical to the serial fold, which keeps floating-point
+// SUM/AVG results byte-identical at any worker count; group output
+// order (first appearance) is restored by a final sort on each group's
+// first input row.
+//
+// The parallel fold buffers the whole input batch list first (the
+// serial fold streams with O(groups) state) — an extra O(input) copy,
+// acceptable while tables are in-memory; a streaming partitioned fold
+// is a ROADMAP item.
 type HashAggregate struct {
 	Input   Operator
 	GroupBy []expr.Expr
 	Aggs    []*expr.Aggregate
 	// Names provides output column names: len(GroupBy)+len(Aggs).
 	Names []string
+	// Workers caps fold parallelism; 0 or 1 folds serially.
+	Workers int
 
 	out    storage.Schema
 	result *storage.Batch
@@ -62,10 +81,41 @@ func (a *HashAggregate) fastKeyable() bool {
 	return true
 }
 
+// batchIter returns a next-func over a pre-collected batch list.
+func batchIter(batches []*storage.Batch) func() (*storage.Batch, error) {
+	i := 0
+	return func() (*storage.Batch, error) {
+		if i >= len(batches) {
+			return nil, nil
+		}
+		b := batches[i]
+		i++
+		return b, nil
+	}
+}
+
+// collectBatches drains an opened operator into a batch list without
+// concatenating.
+func collectBatches(in Operator) ([]*storage.Batch, error) {
+	var batches []*storage.Batch
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return batches, nil
+		}
+		if b.Len() > 0 {
+			batches = append(batches, b)
+		}
+	}
+}
+
 // openFast consumes the input with the vectorized path: the group key
 // and every aggregate input are evaluated as whole columns per batch,
 // and groups live in an int64-keyed map.
-func (a *HashAggregate) openFast() error {
+func (a *HashAggregate) openFast(next func() (*storage.Batch, error)) error {
 	type group struct {
 		key  int64
 		accs []*expr.Accumulator
@@ -73,7 +123,7 @@ func (a *HashAggregate) openFast() error {
 	groups := make(map[int64]*group)
 	var order []*group
 	for {
-		b, err := a.Input.Next()
+		b, err := next()
 		if err != nil {
 			return err
 		}
@@ -86,7 +136,7 @@ func (a *HashAggregate) openFast() error {
 		}
 		keys, ok := keyCol.(*storage.Int64Column)
 		if !ok || storage.NullsOf(keys).Any() {
-			return a.openSlowFrom(b, keyCol)
+			return errFastPathNulls
 		}
 		inputs := make([]storage.Column, len(a.Aggs))
 		for k, ag := range a.Aggs {
@@ -103,10 +153,7 @@ func (a *HashAggregate) openFast() error {
 		for i := range kv {
 			g := groups[kv[i]]
 			if g == nil {
-				g = &group{key: kv[i], accs: make([]*expr.Accumulator, len(a.Aggs))}
-				for k, ag := range a.Aggs {
-					g.accs[k] = ag.NewAccumulator()
-				}
+				g = &group{key: kv[i], accs: newAccumulators(a.Aggs)}
 				groups[kv[i]] = g
 				order = append(order, g)
 			}
@@ -133,10 +180,16 @@ func (a *HashAggregate) openFast() error {
 	return nil
 }
 
-// openSlowFrom exists for the rare case where the fast path discovers
-// NULL group keys mid-stream; it restarts with the generic path.
-func (a *HashAggregate) openSlowFrom(*storage.Batch, storage.Column) error {
-	return fmt.Errorf("exec: aggregate fast path hit NULL group keys; re-run without fast path")
+// errFastPathNulls aborts the fast path when it discovers NULL group
+// keys mid-stream; the caller restarts with the generic path.
+var errFastPathNulls = fmt.Errorf("exec: aggregate fast path hit NULL group keys; re-run without fast path")
+
+func newAccumulators(aggs []*expr.Aggregate) []*expr.Accumulator {
+	accs := make([]*expr.Accumulator, len(aggs))
+	for i, ag := range aggs {
+		accs[i] = ag.NewAccumulator()
+	}
+	return accs
 }
 
 // Open implements Operator: it consumes the whole input and builds the
@@ -149,11 +202,34 @@ func (a *HashAggregate) Open() error {
 	}
 	defer a.Input.Close()
 
+	if len(a.GroupBy) > 0 && a.Workers > 1 {
+		batches, err := collectBatches(a.Input)
+		if err != nil {
+			return err
+		}
+		rows := 0
+		for _, b := range batches {
+			rows += b.Len()
+		}
+		if w := splitParts(rows, a.Workers); w > 1 {
+			return a.openPartitioned(batches, w)
+		}
+		// Too small to parallelize; fold the collected batches serially.
+		if a.fastKeyable() {
+			if err := a.openFast(batchIter(batches)); err == nil {
+				return nil
+			} else if err != errFastPathNulls {
+				return err
+			}
+		}
+		return a.openSerial(batchIter(batches))
+	}
+
 	if a.fastKeyable() {
-		// Probe the key type on the first batch inside openFast; NULL
-		// keys abort to the generic path below via error.
-		if err := a.openFast(); err == nil {
+		if err := a.openFast(a.Input.Next); err == nil {
 			return nil
+		} else if err != errFastPathNulls {
+			return err
 		}
 		// Restart the input for the generic path.
 		if err := a.Input.Close(); err != nil {
@@ -163,15 +239,17 @@ func (a *HashAggregate) Open() error {
 			return err
 		}
 	}
+	return a.openSerial(a.Input.Next)
+}
 
+// openSerial is the generic fold: arbitrary key expressions, evaluated
+// row at a time.
+func (a *HashAggregate) openSerial(next func() (*storage.Batch, error)) error {
 	groups := make(map[uint64][]*aggGroup)
 	var order []*aggGroup // deterministic output order: first appearance
 
 	newGroup := func(keys []storage.Value) *aggGroup {
-		g := &aggGroup{keys: keys, accs: make([]*expr.Accumulator, len(a.Aggs))}
-		for i, ag := range a.Aggs {
-			g.accs[i] = ag.NewAccumulator()
-		}
+		g := &aggGroup{keys: keys, accs: newAccumulators(a.Aggs)}
 		order = append(order, g)
 		return g
 	}
@@ -181,7 +259,7 @@ func (a *HashAggregate) Open() error {
 	}
 
 	for {
-		b, err := a.Input.Next()
+		b, err := next()
 		if err != nil {
 			return err
 		}
@@ -214,18 +292,8 @@ func (a *HashAggregate) Open() error {
 					groups[h] = append(groups[h], g)
 				}
 			}
-			for k, ag := range a.Aggs {
-				var v storage.Value
-				if ag.Kind == expr.AggCountStar {
-					v = storage.Int64(1)
-				} else {
-					var err error
-					v, err = ag.Input.Eval(row)
-					if err != nil {
-						return err
-					}
-				}
-				g.accs[k].Add(v)
+			if err := foldRow(g.accs, a.Aggs, row); err != nil {
+				return err
 			}
 		}
 	}
@@ -242,6 +310,248 @@ func (a *HashAggregate) Open() error {
 		}
 	}
 	return nil
+}
+
+// foldRow folds one input row into a group's accumulators.
+func foldRow(accs []*expr.Accumulator, aggs []*expr.Aggregate, row expr.Row) error {
+	for k, ag := range aggs {
+		var v storage.Value
+		if ag.Kind == expr.AggCountStar {
+			v = storage.Int64(1)
+		} else {
+			var err error
+			v, err = ag.Input.Eval(row)
+			if err != nil {
+				return err
+			}
+		}
+		accs[k].Add(v)
+	}
+	return nil
+}
+
+// mergedGroup is one group's finished output row plus the global index
+// of its first input row, used to restore serial emission order.
+type mergedGroup struct {
+	first int
+	row   []storage.Value
+}
+
+// openPartitioned is the parallel grouped fold over pre-collected
+// batches: stage 1 evaluates key (and, on the fast path, aggregate
+// input) expressions per batch on the worker pool; stage 2 folds on w
+// partitioned maps, each worker visiting every row but claiming only
+// the keys that hash into its partition.
+func (a *HashAggregate) openPartitioned(batches []*storage.Batch, w int) error {
+	starts := make([]int, len(batches))
+	rows := 0
+	for i, b := range batches {
+		starts[i] = rows
+		rows += b.Len()
+	}
+
+	var merged []mergedGroup
+	var err error
+	if a.fastKeyable() {
+		merged, err = a.foldFastPartitioned(batches, starts, w)
+		if err == errFastPathNulls {
+			merged, err = a.foldSlowPartitioned(batches, starts, w)
+		}
+	} else {
+		merged, err = a.foldSlowPartitioned(batches, starts, w)
+	}
+	if err != nil {
+		return err
+	}
+
+	sort.Slice(merged, func(x, y int) bool { return merged[x].first < merged[y].first })
+	a.result = storage.NewBatch(a.out)
+	for _, g := range merged {
+		if err := a.result.AppendRow(g.row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldFastPartitioned is the int64-key parallel fold.
+func (a *HashAggregate) foldFastPartitioned(batches []*storage.Batch, starts []int, w int) ([]mergedGroup, error) {
+	type evalBatch struct {
+		keys   []int64
+		inputs []storage.Column
+	}
+	evals := make([]evalBatch, len(batches))
+	errs := make([]error, len(batches))
+	forEachWorker(len(batches), w, func(bi int) {
+		b := batches[bi]
+		keyCol, err := expr.EvalVector(a.GroupBy[0], b)
+		if err != nil {
+			errs[bi] = err
+			return
+		}
+		keys, ok := keyCol.(*storage.Int64Column)
+		if !ok || storage.NullsOf(keys).Any() {
+			errs[bi] = errFastPathNulls
+			return
+		}
+		ev := evalBatch{keys: keys.Int64s(), inputs: make([]storage.Column, len(a.Aggs))}
+		for k, ag := range a.Aggs {
+			if ag.Kind == expr.AggCountStar {
+				continue
+			}
+			col, err := expr.EvalVector(ag.Input, b)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			ev.inputs[k] = col
+		}
+		evals[bi] = ev
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type group struct {
+		key   int64
+		first int
+		accs  []*expr.Accumulator
+	}
+	parts := make([][]*group, w)
+	forEachWorker(w, w, func(p int) {
+		m := make(map[int64]*group)
+		var order []*group
+		for bi := range evals {
+			start := starts[bi]
+			for i, k := range evals[bi].keys {
+				if int(uint64(k)%uint64(w)) != p {
+					continue
+				}
+				g := m[k]
+				if g == nil {
+					g = &group{key: k, first: start + i, accs: newAccumulators(a.Aggs)}
+					m[k] = g
+					order = append(order, g)
+				}
+				for ai, ag := range a.Aggs {
+					if ag.Kind == expr.AggCountStar {
+						g.accs[ai].Add(storage.Int64(1))
+						continue
+					}
+					g.accs[ai].Add(evals[bi].inputs[ai].Value(i))
+				}
+			}
+		}
+		parts[p] = order
+	})
+
+	var merged []mergedGroup
+	for _, order := range parts {
+		for _, g := range order {
+			row := make([]storage.Value, 0, a.out.Len())
+			row = append(row, storage.Int64(g.key))
+			for _, acc := range g.accs {
+				row = append(row, acc.Result())
+			}
+			merged = append(merged, mergedGroup{first: g.first, row: row})
+		}
+	}
+	return merged, nil
+}
+
+// foldSlowPartitioned is the generic parallel fold: stage 1 computes
+// key values and hashes per row; stage 2 folds each hash partition on
+// its own worker, evaluating aggregate inputs only for owned rows.
+func (a *HashAggregate) foldSlowPartitioned(batches []*storage.Batch, starts []int, w int) ([]mergedGroup, error) {
+	type evalBatch struct {
+		keys   [][]storage.Value
+		hashes []uint64
+	}
+	evals := make([]evalBatch, len(batches))
+	errs := make([]error, len(batches))
+	forEachWorker(len(batches), w, func(bi int) {
+		b := batches[bi]
+		n := b.Len()
+		ev := evalBatch{keys: make([][]storage.Value, n), hashes: make([]uint64, n)}
+		for i := 0; i < n; i++ {
+			row := expr.Row{Batch: b, Idx: i}
+			keys := make([]storage.Value, len(a.GroupBy))
+			for k, ge := range a.GroupBy {
+				v, err := ge.Eval(row)
+				if err != nil {
+					errs[bi] = err
+					return
+				}
+				keys[k] = v
+			}
+			ev.keys[i] = keys
+			ev.hashes[i] = storage.HashRow(keys)
+		}
+		evals[bi] = ev
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type group struct {
+		keys  []storage.Value
+		first int
+		accs  []*expr.Accumulator
+	}
+	parts := make([][]*group, w)
+	perrs := make([]error, w)
+	forEachWorker(w, w, func(p int) {
+		m := make(map[uint64][]*group)
+		var order []*group
+		for bi := range evals {
+			b := batches[bi]
+			start := starts[bi]
+			for i, h := range evals[bi].hashes {
+				if int(h%uint64(w)) != p {
+					continue
+				}
+				var g *group
+				for _, cand := range m[h] {
+					if rowsEqual(cand.keys, evals[bi].keys[i]) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = &group{keys: evals[bi].keys[i], first: start + i, accs: newAccumulators(a.Aggs)}
+					m[h] = append(m[h], g)
+					order = append(order, g)
+				}
+				if err := foldRow(g.accs, a.Aggs, expr.Row{Batch: b, Idx: i}); err != nil {
+					perrs[p] = err
+					return
+				}
+			}
+		}
+		parts[p] = order
+	})
+	for _, err := range perrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var merged []mergedGroup
+	for _, order := range parts {
+		for _, g := range order {
+			row := make([]storage.Value, 0, a.out.Len())
+			row = append(row, g.keys...)
+			for _, acc := range g.accs {
+				row = append(row, acc.Result())
+			}
+			merged = append(merged, mergedGroup{first: g.first, row: row})
+		}
+	}
+	return merged, nil
 }
 
 // Next implements Operator.

@@ -36,6 +36,11 @@ type HashJoin struct {
 	// Residual, if non-nil, is evaluated over the combined row and must
 	// be TRUE for the match to survive (non-equi conjuncts of ON).
 	Residual expr.Expr
+	// Workers caps probe-side parallelism. The hash table is built
+	// once; probing splits the left input into contiguous morsels whose
+	// match lists are concatenated in morsel order, so the output is
+	// row-for-row identical to a serial probe. 0 or 1 probes serially.
+	Workers int
 
 	out    storage.Schema
 	built  map[uint64][]int
@@ -48,6 +53,12 @@ type HashJoin struct {
 	// single-int64-key path applies; fastPos tracks emission.
 	fast    *storage.Batch
 	fastPos int
+
+	// slowOut holds the materialized result when the generic probe ran
+	// in parallel (multi-key or residual joins); slowPos tracks
+	// emission.
+	slowOut []*storage.Batch
+	slowPos int
 }
 
 // Schema implements Operator.
@@ -65,6 +76,7 @@ func (j *HashJoin) Open() error {
 	}
 	j.Schema()
 	j.fast, j.fastPos = nil, 0
+	j.slowOut, j.slowPos = nil, 0
 	var err error
 	j.rdata, err = Drain(j.Right)
 	if err != nil {
@@ -90,6 +102,9 @@ func (j *HashJoin) Open() error {
 	j.rNulls = make([]storage.Value, rs.Len())
 	for i, c := range rs.Cols {
 		j.rNulls[i] = storage.Null(c.Type)
+	}
+	if w := splitParts(j.ldata.Len(), j.Workers); w > 1 {
+		return j.probeSlowParallel(w)
 	}
 	return nil
 }
@@ -117,12 +132,56 @@ func (j *HashJoin) tryFastPath() bool {
 		built[v] = append(built[v], int32(i))
 	}
 	lvals := lk.Int64s()
-	leftIdx := make([]int, 0, len(lvals))
-	rightIdx := make([]int, 0, len(lvals))
-	for i, v := range lvals {
-		matches := built[v]
+	var leftIdx, rightIdx []int
+	if w := splitParts(len(lvals), j.Workers); w > 1 {
+		// Parallel probe: each worker probes one contiguous morsel of
+		// the left input; the per-morsel match lists are concatenated
+		// in morsel order, reproducing the serial output exactly.
+		lefts := make([][]int, w)
+		rights := make([][]int, w)
+		forEachWorker(w, w, func(m int) {
+			lefts[m], rights[m] = probeFastRange(built, lvals,
+				m*len(lvals)/w, (m+1)*len(lvals)/w, j.Type)
+		})
+		total := 0
+		for _, l := range lefts {
+			total += len(l)
+		}
+		leftIdx = make([]int, 0, total)
+		rightIdx = make([]int, 0, total)
+		for m := range lefts {
+			leftIdx = append(leftIdx, lefts[m]...)
+			rightIdx = append(rightIdx, rights[m]...)
+		}
+	} else {
+		leftIdx, rightIdx = probeFastRange(built, lvals, 0, len(lvals), j.Type)
+	}
+	cols := make([]storage.Column, j.out.Len())
+	nl := len(j.ldata.Cols)
+	// Materializing the output is a per-column gather; columns are
+	// independent, so gather them on the worker budget too.
+	forEachWorker(j.out.Len(), j.Workers, func(k int) {
+		if k < nl {
+			cols[k] = j.ldata.Cols[k].Gather(leftIdx)
+		} else {
+			cols[k] = storage.GatherPad(j.rdata.Cols[k-nl], rightIdx)
+		}
+	})
+	j.fast = &storage.Batch{Schema: j.out, Cols: cols}
+	j.ldata, j.rdata = nil, nil
+	return true
+}
+
+// probeFastRange probes rows [lo, hi) of the left key column against
+// the build map, returning matched (left, right) index pairs; a right
+// index of -1 marks a NULL-padded row of a left join.
+func probeFastRange(built map[int64][]int32, lvals []int64, lo, hi int, jt JoinType) (leftIdx, rightIdx []int) {
+	leftIdx = make([]int, 0, hi-lo)
+	rightIdx = make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		matches := built[lvals[i]]
 		if len(matches) == 0 {
-			if j.Type == LeftJoin {
+			if jt == LeftJoin {
 				leftIdx = append(leftIdx, i)
 				rightIdx = append(rightIdx, -1)
 			}
@@ -133,16 +192,96 @@ func (j *HashJoin) tryFastPath() bool {
 			rightIdx = append(rightIdx, int(ri))
 		}
 	}
-	cols := make([]storage.Column, 0, j.out.Len())
-	for _, c := range j.ldata.Cols {
-		cols = append(cols, c.Gather(leftIdx))
+	return leftIdx, rightIdx
+}
+
+// probeSlowParallel runs the generic (multi-key / residual) probe over
+// w contiguous morsels of the left input concurrently. Each worker
+// emits its own batch list; lists are concatenated in morsel order, so
+// the output matches the serial probe row for row. The build map,
+// drained inputs and expression trees are all read-only during the
+// probe. Like the vectorized fast path, this materializes the whole
+// join result in Open — an early-exiting consumer (LIMIT) no longer
+// stops the probe partway, trading that for probe parallelism.
+func (j *HashJoin) probeSlowParallel(w int) error {
+	outs := make([][]*storage.Batch, w)
+	errs := make([]error, w)
+	n := j.ldata.Len()
+	forEachWorker(w, w, func(m int) {
+		outs[m], errs[m] = j.probeSlowRange(m*n/w, (m+1)*n/w)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	for _, c := range j.rdata.Cols {
-		cols = append(cols, storage.GatherPad(c, rightIdx))
+	// Non-nil even when empty: Next must serve the (empty) parallel
+	// result rather than falling back to a second, serial probe.
+	j.slowOut = make([]*storage.Batch, 0, len(outs))
+	for _, batches := range outs {
+		j.slowOut = append(j.slowOut, batches...)
 	}
-	j.fast = &storage.Batch{Schema: j.out, Cols: cols}
-	j.ldata, j.rdata = nil, nil
-	return true
+	j.slowPos = 0
+	return nil
+}
+
+// probeSlowRange probes left rows [lo, hi), returning the result
+// batches for that morsel.
+func (j *HashJoin) probeSlowRange(lo, hi int) ([]*storage.Batch, error) {
+	var batches []*storage.Batch
+	out := storage.NewBatch(j.out)
+	for i := lo; i < hi; i++ {
+		if out.Len() >= storage.BatchSize {
+			batches = append(batches, out)
+			out = storage.NewBatch(j.out)
+		}
+		matched, err := j.probeOne(i, out)
+		if err != nil {
+			return nil, err
+		}
+		if !matched && j.Type == LeftJoin {
+			combined := append(j.ldata.Row(i), j.rNulls...)
+			if err := out.AppendRow(combined...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if out.Len() > 0 {
+		batches = append(batches, out)
+	}
+	return batches, nil
+}
+
+// probeOne probes left row i, appending every surviving match to out.
+func (j *HashJoin) probeOne(i int, out *storage.Batch) (matched bool, err error) {
+	key, ok := j.keyOf(j.ldata, i, j.LeftKeys)
+	if !ok {
+		return false, nil
+	}
+	var lrow []storage.Value
+	for _, ri := range j.built[key] {
+		if !j.keysEqual(i, ri) {
+			continue // hash collision
+		}
+		if lrow == nil {
+			lrow = j.ldata.Row(i)
+		}
+		combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
+		if j.Residual != nil {
+			keep, err := j.evalResidual(combined)
+			if err != nil {
+				return matched, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		matched = true
+		if err := out.AppendRow(combined...); err != nil {
+			return matched, err
+		}
+	}
+	return matched, nil
 }
 
 func (j *HashJoin) keyOf(b *storage.Batch, row int, keys []int) (uint64, bool) {
@@ -187,6 +326,14 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 		j.fastPos = end
 		return b, nil
 	}
+	if j.slowOut != nil {
+		if j.slowPos >= len(j.slowOut) {
+			return nil, nil
+		}
+		b := j.slowOut[j.slowPos]
+		j.slowPos++
+		return b, nil
+	}
 	if j.ldata == nil {
 		return nil, nil
 	}
@@ -194,31 +341,12 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 	for out.Len() < storage.BatchSize && j.lpos < j.ldata.Len() {
 		i := j.lpos
 		j.lpos++
-		lrow := j.ldata.Row(i)
-		matched := false
-		if key, ok := j.keyOf(j.ldata, i, j.LeftKeys); ok {
-			for _, ri := range j.built[key] {
-				if !j.keysEqual(i, ri) {
-					continue // hash collision
-				}
-				combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
-				if j.Residual != nil {
-					keep, err := j.evalResidual(combined)
-					if err != nil {
-						return nil, err
-					}
-					if !keep {
-						continue
-					}
-				}
-				matched = true
-				if err := out.AppendRow(combined...); err != nil {
-					return nil, err
-				}
-			}
+		matched, err := j.probeOne(i, out)
+		if err != nil {
+			return nil, err
 		}
 		if !matched && j.Type == LeftJoin {
-			combined := append(append([]storage.Value{}, lrow...), j.rNulls...)
+			combined := append(j.ldata.Row(i), j.rNulls...)
 			if err := out.AppendRow(combined...); err != nil {
 				return nil, err
 			}
@@ -249,6 +377,7 @@ func (j *HashJoin) Close() error {
 	j.rdata = nil
 	j.ldata = nil
 	j.fast = nil
+	j.slowOut = nil
 	return nil
 }
 

@@ -49,15 +49,21 @@ func Drain(op Operator) (*storage.Batch, error) {
 	}
 }
 
-// TableScan reads a table's current contents in batches.
+// TableScan reads a table's current contents in batches. A scan may be
+// restricted to morsel `part` of `parts` (a contiguous fraction of the
+// row range, computed from the live row count at Open); the zero value
+// scans the whole table.
 type TableScan struct {
 	Table *storage.Table
 	// OutSchema optionally renames the scan's output columns (the
 	// planner uses this to apply alias qualifiers).
 	OutSchema storage.Schema
 
+	part, parts int
+
 	data *storage.Batch
 	pos  int
+	end  int
 }
 
 // NewTableScan returns a scan over the table with its own schema.
@@ -71,13 +77,18 @@ func (s *TableScan) Schema() storage.Schema { return s.OutSchema }
 // Open implements Operator.
 func (s *TableScan) Open() error {
 	s.data = s.Table.Data()
-	s.pos = 0
+	n := s.data.Len()
+	s.pos, s.end = 0, n
+	if s.parts > 1 {
+		s.pos = s.part * n / s.parts
+		s.end = (s.part + 1) * n / s.parts
+	}
 	return nil
 }
 
 // Next implements Operator.
 func (s *TableScan) Next() (*storage.Batch, error) {
-	n := s.data.Len()
+	n := s.end
 	if s.pos >= n {
 		return nil, nil
 	}
@@ -100,11 +111,15 @@ func (s *TableScan) Close() error {
 }
 
 // BatchSource serves a pre-materialized batch (used for VALUES, CTE
-// results and tests).
+// results and tests). Like TableScan it may be restricted to morsel
+// `part` of `parts`.
 type BatchSource struct {
 	Data *storage.Batch
-	pos  int
-	done bool
+
+	part, parts int
+
+	pos int
+	end int
 }
 
 // Schema implements Operator.
@@ -112,14 +127,18 @@ func (s *BatchSource) Schema() storage.Schema { return s.Data.Schema }
 
 // Open implements Operator.
 func (s *BatchSource) Open() error {
-	s.pos = 0
-	s.done = false
+	n := s.Data.Len()
+	s.pos, s.end = 0, n
+	if s.parts > 1 {
+		s.pos = s.part * n / s.parts
+		s.end = (s.part + 1) * n / s.parts
+	}
 	return nil
 }
 
 // Next implements Operator.
 func (s *BatchSource) Next() (*storage.Batch, error) {
-	n := s.Data.Len()
+	n := s.end
 	if s.pos >= n {
 		return nil, nil
 	}

@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Morsel-driven parallelism. A stateless pipeline fragment (a stack of
+// Filter/Project over a splittable source) is cloned once per worker,
+// each clone reading a disjoint contiguous row range ("morsel") of the
+// source; a Gather runs the fragments on goroutines and merges their
+// batches through bounded channels, emitting them in fragment order so
+// a parallel plan produces exactly the rows — in exactly the order — of
+// its serial counterpart. HashJoin and HashAggregate parallelize
+// internally (see join.go, aggregate.go); the planner decides where
+// fragments are inserted.
+
+// MinMorselRows is the row count below which splitting a source is not
+// worth the goroutine and channel overhead. A source is divided into at
+// most rows/MinMorselRows fragments. It is a variable so tests can
+// force parallel execution on small inputs.
+var MinMorselRows = 2048
+
+// gatherBuffer is the per-fragment bounded channel capacity, in
+// batches. Fragments run ahead of the consumer by at most this much.
+const gatherBuffer = 4
+
+// splitParts returns how many fragments to split `rows` rows into,
+// given a worker budget. A result below 2 means "do not split".
+func splitParts(rows, workers int) int {
+	if workers < 2 || rows < 2*MinMorselRows {
+		return 1
+	}
+	k := rows / MinMorselRows
+	if k > workers {
+		k = workers
+	}
+	return k
+}
+
+// forEachWorker runs fn(0..n-1) on up to `workers` goroutines and
+// waits for completion.
+func forEachWorker(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gatherItem is one message from a fragment goroutine to the Gather.
+type gatherItem struct {
+	batch *storage.Batch
+	err   error
+}
+
+// Gather runs its fragment operators concurrently, one goroutine per
+// fragment, and emits their batches in fragment order (fragment 0's
+// whole output, then fragment 1's, ...). Because the planner assigns
+// fragments contiguous, in-order morsels, this reproduces the serial
+// row order exactly — parallel execution is row-for-row deterministic.
+// Each fragment pushes through a bounded channel, so all fragments
+// compute ahead concurrently while the consumer drains them in order.
+type Gather struct {
+	Fragments []Operator
+
+	chans   []chan gatherItem
+	stop    chan struct{}
+	cur     int
+	wg      sync.WaitGroup
+	running bool
+}
+
+// Schema implements Operator.
+func (g *Gather) Schema() storage.Schema { return g.Fragments[0].Schema() }
+
+// Open implements Operator: it launches one goroutine per fragment.
+func (g *Gather) Open() error {
+	g.stop = make(chan struct{})
+	g.cur = 0
+	g.chans = make([]chan gatherItem, len(g.Fragments))
+	for i := range g.Fragments {
+		g.chans[i] = make(chan gatherItem, gatherBuffer)
+	}
+	g.running = true
+	g.wg.Add(len(g.Fragments))
+	for i := range g.Fragments {
+		go g.run(i)
+	}
+	return nil
+}
+
+// run drives one fragment, pushing its batches into the fragment's
+// channel. It aborts promptly when the Gather is closed.
+func (g *Gather) run(i int) {
+	defer g.wg.Done()
+	out := g.chans[i]
+	defer close(out)
+	send := func(it gatherItem) bool {
+		select {
+		case out <- it:
+			return true
+		case <-g.stop:
+			return false
+		}
+	}
+	frag := g.Fragments[i]
+	if err := frag.Open(); err != nil {
+		send(gatherItem{err: err})
+		return
+	}
+	defer frag.Close()
+	for {
+		b, err := frag.Next()
+		if err != nil {
+			send(gatherItem{err: err})
+			return
+		}
+		if b == nil {
+			return
+		}
+		if !send(gatherItem{batch: b}) {
+			return
+		}
+	}
+}
+
+// Next implements Operator.
+func (g *Gather) Next() (*storage.Batch, error) {
+	for g.cur < len(g.chans) {
+		it, ok := <-g.chans[g.cur]
+		if !ok {
+			g.cur++
+			continue
+		}
+		if it.err != nil {
+			return nil, it.err
+		}
+		return it.batch, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator: it signals all fragments to stop and
+// waits for their goroutines to exit.
+func (g *Gather) Close() error {
+	if !g.running {
+		return nil
+	}
+	g.running = false
+	close(g.stop)
+	g.wg.Wait()
+	g.chans = nil
+	g.stop = nil
+	return nil
+}
+
+// spool materializes an operator's output once and serves it to
+// several SpoolPart readers. It lets a Filter/Project stack run in
+// parallel over the output of an operator that cannot itself be split
+// (a join or an aggregate): the base runs once, its result is divided
+// into morsels. The first part to Open performs the drain; batches are
+// kept as produced (no concatenation), indexed by running row offsets.
+type spool struct {
+	input Operator
+
+	once    sync.Once
+	batches []*storage.Batch
+	starts  []int // starts[i] = global row offset of batches[i]
+	rows    int
+	err     error
+}
+
+func (s *spool) materialize() error {
+	s.once.Do(func() {
+		if s.err = s.input.Open(); s.err != nil {
+			return
+		}
+		defer s.input.Close()
+		for {
+			b, err := s.input.Next()
+			if err != nil {
+				s.err = err
+				return
+			}
+			if b == nil {
+				return
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			s.starts = append(s.starts, s.rows)
+			s.batches = append(s.batches, b)
+			s.rows += b.Len()
+		}
+	})
+	return s.err
+}
+
+// SpoolPart reads rows [part*rows/parts, (part+1)*rows/parts) of a
+// shared spool. Parts are safe to Open concurrently.
+type SpoolPart struct {
+	sp          *spool
+	schema      storage.Schema
+	part, parts int
+
+	lo, hi int // row range
+	cur    int // batch index
+}
+
+// Schema implements Operator.
+func (p *SpoolPart) Schema() storage.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *SpoolPart) Open() error {
+	if err := p.sp.materialize(); err != nil {
+		return err
+	}
+	n := p.sp.rows
+	p.lo = p.part * n / p.parts
+	p.hi = (p.part + 1) * n / p.parts
+	p.cur = 0
+	for p.cur < len(p.sp.batches) && p.sp.starts[p.cur]+p.sp.batches[p.cur].Len() <= p.lo {
+		p.cur++
+	}
+	return nil
+}
+
+// Next implements Operator: it emits the slices of the spooled batches
+// that overlap this part's row range, in order.
+func (p *SpoolPart) Next() (*storage.Batch, error) {
+	if p.lo >= p.hi || p.cur >= len(p.sp.batches) {
+		return nil, nil
+	}
+	b := p.sp.batches[p.cur]
+	start := p.sp.starts[p.cur]
+	if start >= p.hi {
+		return nil, nil
+	}
+	from, to := p.lo-start, p.hi-start
+	if from < 0 {
+		from = 0
+	}
+	if to > b.Len() {
+		to = b.Len()
+	}
+	p.lo = start + to
+	p.cur++
+	if from == 0 && to == b.Len() {
+		return b, nil
+	}
+	return b.Slice(from, to), nil
+}
+
+// Close implements Operator. The shared spool is not released: sibling
+// parts (and a re-Open) may still need it.
+func (p *SpoolPart) Close() error { return nil }
+
+// Parallelize rewrites op into a Gather over per-morsel fragment
+// clones when op is a stack of stateless operators (Filter, Project)
+// over a splittable source — a TableScan, a BatchSource, an existing
+// Gather (whose fragments are adopted and re-wrapped), or a join/
+// aggregate whose output is spooled. It returns op unchanged when
+// workers < 2 or no profitable split exists. The rewrite preserves row
+// order exactly (see Gather), so serial and parallel plans produce
+// identical results.
+func Parallelize(op Operator, workers int) Operator {
+	if workers < 2 {
+		return op
+	}
+	frags, ok := splitFragment(op, workers, 0)
+	if !ok || len(frags) < 2 {
+		return op
+	}
+	return &Gather{Fragments: frags}
+}
+
+// splitFragment clones the stateless operator stack rooted at op into
+// per-morsel fragments. depth counts the stateless operators above op:
+// a bare source with nothing to compute is not worth a Gather.
+func splitFragment(op Operator, workers, depth int) ([]Operator, bool) {
+	switch o := op.(type) {
+	case *TableScan:
+		if depth == 0 {
+			return nil, false
+		}
+		n := splitParts(o.Table.NumRows(), workers)
+		if n < 2 {
+			return nil, false
+		}
+		out := make([]Operator, n)
+		for i := range out {
+			out[i] = &TableScan{Table: o.Table, OutSchema: o.OutSchema, part: i, parts: n}
+		}
+		return out, true
+	case *BatchSource:
+		if depth == 0 {
+			return nil, false
+		}
+		n := splitParts(o.Data.Len(), workers)
+		if n < 2 {
+			return nil, false
+		}
+		out := make([]Operator, n)
+		for i := range out {
+			out[i] = &BatchSource{Data: o.Data, part: i, parts: n}
+		}
+		return out, true
+	case *Gather:
+		// Already parallel: adopt its fragments so the caller's
+		// stateless stack is fused into each of them.
+		return o.Fragments, true
+	case *Filter:
+		kids, ok := splitFragment(o.Input, workers, depth+1)
+		if !ok {
+			return nil, false
+		}
+		out := make([]Operator, len(kids))
+		for i, k := range kids {
+			out[i] = &Filter{Input: k, Pred: o.Pred}
+		}
+		return out, true
+	case *Project:
+		kids, ok := splitFragment(o.Input, workers, depth+1)
+		if !ok {
+			return nil, false
+		}
+		out := make([]Operator, len(kids))
+		for i, k := range kids {
+			out[i] = &Project{Input: k, Exprs: o.Exprs, Out: o.Out}
+		}
+		return out, true
+	case *HashJoin, *NestedLoopJoin, *HashAggregate:
+		// The base cannot be split, but its output can: run it once
+		// into a spool and divide the result into morsels, so the
+		// Filter/Project stack above still runs on all workers.
+		if depth == 0 {
+			return nil, false
+		}
+		sp := &spool{input: op}
+		out := make([]Operator, workers)
+		for i := range out {
+			out[i] = &SpoolPart{sp: sp, schema: op.Schema(), part: i, parts: workers}
+		}
+		return out, true
+	}
+	return nil, false
+}

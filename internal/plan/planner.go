@@ -15,6 +15,12 @@ import (
 type Planner struct {
 	Catalog *catalog.Catalog
 	Funcs   *expr.Registry
+	// Parallelism is the per-statement executor worker budget: the
+	// planner rewrites stateless scan→filter→project fragments into
+	// morsel-parallel Gather pipelines and sets the worker count on
+	// hash joins and aggregates (see internal/exec/parallel.go).
+	// 0 or 1 plans today's serial pipelines.
+	Parallelism int
 }
 
 // New returns a planner over the given catalog and function registry.
@@ -24,14 +30,15 @@ func New(cat *catalog.Catalog, funcs *expr.Registry) *Planner {
 
 // PlanSelect lowers a SELECT statement to an operator tree.
 func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
-	ctx := &planCtx{p: p, ctes: make(map[string]*storage.Batch)}
+	ctx := &planCtx{p: p, workers: p.Parallelism, ctes: make(map[string]*storage.Batch)}
 	return ctx.planSelect(st)
 }
 
 // planCtx carries per-statement state (materialized CTEs).
 type planCtx struct {
-	p    *Planner
-	ctes map[string]*storage.Batch
+	p       *Planner
+	workers int
+	ctes    map[string]*storage.Batch
 }
 
 func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
@@ -300,6 +307,7 @@ func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
 			Left: lop, Right: rop,
 			LeftKeys: lkeys, RightKeys: rkeys,
 			Type: jt, Residual: resExpr,
+			Workers: c.workers,
 		}, combined, nil
 	}
 	return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: jt, On: resExpr}, combined, nil
@@ -329,6 +337,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 		if err != nil {
 			return nil, nil, err
 		}
+		op = exec.Parallelize(op, c.workers)
 		for _, item := range core.From[1:] {
 			rop, rsc, err := c.planTableRef(item)
 			if err != nil {
@@ -338,6 +347,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if err != nil {
 				return nil, nil, err
 			}
+			rop = exec.Parallelize(rop, c.workers)
 			// Promote cross-scope equality conjuncts to hash-join keys.
 			var lkeys, rkeys []int
 			var rest []sql.Expr
@@ -353,7 +363,8 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			combined := Concat(sc, rsc)
 			if len(lkeys) > 0 {
 				op = &exec.HashJoin{Left: op, Right: rop,
-					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin}
+					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin,
+					Workers: c.workers}
 			} else {
 				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin}
 			}
@@ -463,7 +474,10 @@ func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCo
 	if err != nil {
 		return nil, nil, err
 	}
-	op = proj
+	// The projection is stateless: fuse it into its input's parallel
+	// fragments (or spool a join/aggregate input into morsels) so the
+	// expression evaluation runs on all workers.
+	op = exec.Parallelize(proj, c.workers)
 	if core.Distinct {
 		op = &exec.Distinct{Input: op}
 	}
@@ -530,7 +544,11 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 		ag.byString[a.String()] = &expr.ColumnRef{Name: name, Index: idx, Typ: rt}
 	}
 
-	op = &exec.HashAggregate{Input: op, GroupBy: groupExprs, Aggs: aggs, Names: names}
+	op = &exec.HashAggregate{
+		Input:   exec.Parallelize(op, c.workers),
+		GroupBy: groupExprs, Aggs: aggs, Names: names,
+		Workers: c.workers,
+	}
 	postScope := &Scope{Cols: postCols}
 
 	if core.Having != nil {

@@ -13,6 +13,7 @@
 package sqlgraph
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,7 +24,9 @@ import (
 // the relaxation joins NULL-free, which is both simpler and faster).
 const infDist = 1.0e18
 
-// cleanup drops scratch tables, ignoring errors for missing ones.
+// cleanup drops scratch tables, ignoring errors for missing ones. It
+// deliberately ignores the caller's context: scratch tables must go
+// away even when the run was cancelled.
 func cleanup(db *engine.DB, names ...string) {
 	for _, n := range names {
 		_, _ = db.Exec("DROP TABLE IF EXISTS " + n)
@@ -35,7 +38,9 @@ func cleanup(db *engine.DB, names ...string) {
 // along edges, left-joined back to the vertex set so rankless vertices
 // keep the teleport mass. Conventions match algorithms.PageRank exactly
 // (damping 0.85 unless overridden, no dangling redistribution).
-func PageRank(g *core.Graph, iterations int, damping float64) (map[int64]float64, error) {
+// Cancelling ctx aborts between statements and inside each statement's
+// executor (per result batch).
+func PageRank(ctx context.Context, g *core.Graph, iterations int, damping float64) (map[int64]float64, error) {
 	db := g.DB
 	if damping == 0 {
 		damping = 0.85
@@ -61,13 +66,16 @@ func PageRank(g *core.Graph, iterations int, damping float64) (map[int64]float64
 		fmt.Sprintf("INSERT INTO %s SELECT id, 1.0 / %d FROM %s", pra, n, g.VertexTable()),
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.ExecContext(ctx, s); err != nil {
 			return nil, fmt.Errorf("sqlgraph: pagerank setup: %w", err)
 		}
 	}
 
 	cur, next := pra, prb
 	for it := 0; it < iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := fmt.Sprintf(`INSERT INTO %[1]s
 			SELECT v.id, %[4]g / %[5]d + %[6]g * COALESCE(s.acc, 0.0)
 			FROM %[2]s AS v LEFT JOIN (
@@ -78,23 +86,24 @@ func PageRank(g *core.Graph, iterations int, damping float64) (map[int64]float64
 				GROUP BY e.dst
 			) AS s ON v.id = s.id`,
 			next, g.VertexTable(), g.EdgeTable(), 1-damping, n, damping, cur, deg)
-		if _, err := db.Exec(step); err != nil {
+		if _, err := db.ExecContext(ctx, step); err != nil {
 			return nil, fmt.Errorf("sqlgraph: pagerank iteration %d: %w", it, err)
 		}
-		if _, err := db.Exec("TRUNCATE " + cur); err != nil {
+		if _, err := db.ExecContext(ctx, "TRUNCATE "+cur); err != nil {
 			return nil, err
 		}
 		cur, next = next, cur
 	}
-	return readFloatMap(db, fmt.Sprintf("SELECT id, rank FROM %s", cur))
+	return readFloatMap(ctx, db, fmt.Sprintf("SELECT id, rank FROM %s", cur))
 }
 
 // ShortestPaths computes single-source shortest distances via iterated
 // SQL relaxation: each round joins the frontier distances with the edge
 // table, takes the per-destination MIN, and keeps the smaller of old
 // and new. It stops at the first round with no improvement. Unreachable
-// vertices are absent from the result map.
-func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]float64, error) {
+// vertices are absent from the result map. Cancelling ctx aborts
+// between and inside iterations.
+func ShortestPaths(ctx context.Context, g *core.Graph, source int64, unitWeights bool) (map[int64]float64, error) {
 	db := g.DB
 	da := g.Name + "_sqlsp_a"
 	dbl := g.Name + "_sqlsp_b"
@@ -113,7 +122,7 @@ func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]flo
 			da, source, infDist, g.VertexTable()),
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.ExecContext(ctx, s); err != nil {
 			return nil, fmt.Errorf("sqlgraph: sssp setup: %w", err)
 		}
 	}
@@ -124,6 +133,9 @@ func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]flo
 		return nil, err
 	}
 	for it := int64(0); it <= maxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := fmt.Sprintf(`INSERT INTO %[1]s
 			SELECT c.id, CASE WHEN m.nd IS NULL OR c.dist <= m.nd THEN c.dist ELSE m.nd END
 			FROM %[2]s AS c LEFT JOIN (
@@ -133,15 +145,15 @@ func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]flo
 				GROUP BY e.dst
 			) AS m ON c.id = m.id`,
 			next, cur, g.EdgeTable(), weightExpr, infDist)
-		if _, err := db.Exec(step); err != nil {
+		if _, err := db.ExecContext(ctx, step); err != nil {
 			return nil, fmt.Errorf("sqlgraph: sssp iteration %d: %w", it, err)
 		}
-		improved, err := db.QueryScalar(fmt.Sprintf(
+		improved, err := db.QueryScalarContext(ctx, fmt.Sprintf(
 			"SELECT COUNT(*) FROM %s AS n JOIN %s AS c ON n.id = c.id WHERE n.dist < c.dist", next, cur))
 		if err != nil {
 			return nil, err
 		}
-		if _, err := db.Exec("TRUNCATE " + cur); err != nil {
+		if _, err := db.ExecContext(ctx, "TRUNCATE "+cur); err != nil {
 			return nil, err
 		}
 		cur, next = next, cur
@@ -149,7 +161,7 @@ func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]flo
 			break
 		}
 	}
-	all, err := readFloatMap(db, fmt.Sprintf("SELECT id, dist FROM %s WHERE dist < %g", cur, infDist))
+	all, err := readFloatMap(ctx, db, fmt.Sprintf("SELECT id, dist FROM %s WHERE dist < %g", cur, infDist))
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +170,9 @@ func ShortestPaths(g *core.Graph, source int64, unitWeights bool) (map[int64]flo
 
 // ConnectedComponents labels vertices with the minimum reachable id via
 // iterated SQL label propagation (expects a symmetrized edge table for
-// weak connectivity, like the vertex-centric version).
-func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
+// weak connectivity, like the vertex-centric version). Cancelling ctx
+// aborts between and inside iterations.
+func ConnectedComponents(ctx context.Context, g *core.Graph) (map[int64]int64, error) {
 	db := g.DB
 	la := g.Name + "_sqlcc_a"
 	lb := g.Name + "_sqlcc_b"
@@ -172,7 +185,7 @@ func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
 		fmt.Sprintf("INSERT INTO %s SELECT id, id FROM %s", la, g.VertexTable()),
 	}
 	for _, s := range stmts {
-		if _, err := db.Exec(s); err != nil {
+		if _, err := db.ExecContext(ctx, s); err != nil {
 			return nil, fmt.Errorf("sqlgraph: wcc setup: %w", err)
 		}
 	}
@@ -182,6 +195,9 @@ func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
 		return nil, err
 	}
 	for it := int64(0); it <= maxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step := fmt.Sprintf(`INSERT INTO %[1]s
 			SELECT c.id, CASE WHEN m.nl IS NULL OR c.label <= m.nl THEN c.label ELSE m.nl END
 			FROM %[2]s AS c LEFT JOIN (
@@ -190,15 +206,15 @@ func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
 				GROUP BY e.dst
 			) AS m ON c.id = m.id`,
 			next, cur, g.EdgeTable())
-		if _, err := db.Exec(step); err != nil {
+		if _, err := db.ExecContext(ctx, step); err != nil {
 			return nil, fmt.Errorf("sqlgraph: wcc iteration %d: %w", it, err)
 		}
-		improved, err := db.QueryScalar(fmt.Sprintf(
+		improved, err := db.QueryScalarContext(ctx, fmt.Sprintf(
 			"SELECT COUNT(*) FROM %s AS n JOIN %s AS c ON n.id = c.id WHERE n.label < c.label", next, cur))
 		if err != nil {
 			return nil, err
 		}
-		if _, err := db.Exec("TRUNCATE " + cur); err != nil {
+		if _, err := db.ExecContext(ctx, "TRUNCATE "+cur); err != nil {
 			return nil, err
 		}
 		cur, next = next, cur
@@ -206,7 +222,7 @@ func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
 			break
 		}
 	}
-	rows, err := db.Query(fmt.Sprintf("SELECT id, label FROM %s", cur))
+	rows, err := db.QueryContext(ctx, fmt.Sprintf("SELECT id, label FROM %s", cur))
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +234,8 @@ func ConnectedComponents(g *core.Graph) (map[int64]int64, error) {
 }
 
 // readFloatMap materializes an (id, float) query into a map.
-func readFloatMap(db *engine.DB, q string) (map[int64]float64, error) {
-	rows, err := db.Query(q)
+func readFloatMap(ctx context.Context, db *engine.DB, q string) (map[int64]float64, error) {
+	rows, err := db.QueryContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

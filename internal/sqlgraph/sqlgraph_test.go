@@ -62,7 +62,7 @@ func TestSQLPageRankMatchesVertexCentric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := PageRank(g, 10, 0.85)
+	got, err := PageRank(context.Background(), g, 10, 0.85)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestSQLPageRankOnRandomGraphs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := PageRank(g, 6, 0.85)
+		got, err := PageRank(context.Background(), g, 6, 0.85)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestSQLShortestPathsMatchesVertexCentric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ShortestPaths(g, 1, unit)
+		got, err := ShortestPaths(context.Background(), g, 1, unit)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func TestSQLConnectedComponentsMatchesVertexCentric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ConnectedComponents(g)
+	got, err := ConnectedComponents(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestGlobalClusteringCoefficient(t *testing.T) {
 
 func TestSQLScratchTablesCleanedUp(t *testing.T) {
 	g := directedGraph(t)
-	if _, err := PageRank(g, 3, 0.85); err != nil {
+	if _, err := PageRank(context.Background(), g, 3, 0.85); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range g.DB.Catalog().Names() {

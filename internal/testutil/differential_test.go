@@ -1,0 +1,156 @@
+package testutil
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/sqlgraph"
+)
+
+// The differential harness: for seeded random graphs, the in-memory
+// reference, the vertex-centric runtime and the SQL path must agree on
+// PageRank / SSSP / connected components at several executor
+// parallelism levels (including 1, the serial baseline), and the SQL
+// path must be *byte-identical* across parallelism levels.
+
+var workerLevels = []int{1, 2, 8}
+
+// lowMorsels forces morsel splitting on test-sized inputs and restores
+// the default afterwards.
+func lowMorsels(t *testing.T) {
+	t.Helper()
+	old := exec.MinMorselRows
+	exec.MinMorselRows = 16
+	t.Cleanup(func() { exec.MinMorselRows = old })
+}
+
+func loadOrFatal(t *testing.T, g *RefGraph, workers int) *core.Graph {
+	t.Helper()
+	db := engine.New()
+	db.SetParallelism(workers)
+	cg, err := g.Load(db, "diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestDifferentialPageRank(t *testing.T) {
+	lowMorsels(t)
+	ctx := context.Background()
+	for _, seed := range []int64{1, 42} {
+		g := RandomGraph(seed, 80, 400)
+		ref := RefPageRank(g, 8, 0.85)
+		var serial map[int64]float64
+		for _, w := range workerLevels {
+			cg := loadOrFatal(t, g, w)
+			sqlRanks, err := sqlgraph.PageRank(ctx, cg, 8, 0.85)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if err := DiffFloatMaps("sql vs ref", sqlRanks, ref, 1e-9); err != nil {
+				t.Errorf("seed %d workers %d: %v", seed, w, err)
+			}
+			vxRanks, _, err := algorithms.RunPageRank(ctx, cg, 8, core.Options{Workers: w})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if err := DiffFloatMaps("vertex vs ref", vxRanks, ref, 1e-9); err != nil {
+				t.Errorf("seed %d workers %d: %v", seed, w, err)
+			}
+			if w == 1 {
+				serial = sqlRanks
+			} else if err := DiffFloatMaps("sql parallel vs serial", sqlRanks, serial, 0); err != nil {
+				t.Errorf("seed %d workers %d not byte-identical: %v", seed, w, err)
+			}
+		}
+	}
+}
+
+func TestDifferentialShortestPaths(t *testing.T) {
+	lowMorsels(t)
+	ctx := context.Background()
+	for _, unit := range []bool{true, false} {
+		g := RandomGraph(7, 70, 280)
+		source := int64(0)
+		ref := RefShortestPaths(g, source, unit)
+		var serial map[int64]float64
+		for _, w := range workerLevels {
+			cg := loadOrFatal(t, g, w)
+			sqlDist, err := sqlgraph.ShortestPaths(ctx, cg, source, unit)
+			if err != nil {
+				t.Fatalf("unit %v workers %d: %v", unit, w, err)
+			}
+			if err := DiffFloatMaps("sql vs ref", sqlDist, ref, 1e-12); err != nil {
+				t.Errorf("unit %v workers %d: %v", unit, w, err)
+			}
+			vxDist, _, err := algorithms.RunSSSP(ctx, cg, source, unit, core.Options{Workers: w})
+			if err != nil {
+				t.Fatalf("unit %v workers %d: %v", unit, w, err)
+			}
+			if err := DiffFloatMaps("vertex vs ref", DropInf(vxDist), ref, 1e-12); err != nil {
+				t.Errorf("unit %v workers %d: %v", unit, w, err)
+			}
+			if w == 1 {
+				serial = sqlDist
+			} else if err := DiffFloatMaps("sql parallel vs serial", sqlDist, serial, 0); err != nil {
+				t.Errorf("unit %v workers %d not byte-identical: %v", unit, w, err)
+			}
+		}
+	}
+}
+
+func TestDifferentialConnectedComponents(t *testing.T) {
+	lowMorsels(t)
+	ctx := context.Background()
+	// Sparse so the graph has several components.
+	g := RandomGraph(11, 90, 60).Symmetrized()
+	ref := RefComponents(g)
+	var serial map[int64]int64
+	for _, w := range workerLevels {
+		cg := loadOrFatal(t, g, w)
+		sqlLabels, err := sqlgraph.ConnectedComponents(ctx, cg)
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if err := DiffIntMaps("sql vs ref", sqlLabels, ref); err != nil {
+			t.Errorf("workers %d: %v", w, err)
+		}
+		vxLabels, _, err := algorithms.RunConnectedComponents(ctx, cg, core.Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if err := DiffIntMaps("vertex vs ref", vxLabels, ref); err != nil {
+			t.Errorf("workers %d: %v", w, err)
+		}
+		if w == 1 {
+			serial = sqlLabels
+		} else if err := DiffIntMaps("sql parallel vs serial", sqlLabels, serial); err != nil {
+			t.Errorf("workers %d not identical: %v", w, err)
+		}
+	}
+}
+
+// TestDifferentialCancellation asserts the plumbed-through context
+// actually stops the SQL drivers: a pre-cancelled context must surface
+// context.Canceled, not run to completion.
+func TestDifferentialCancellation(t *testing.T) {
+	g := RandomGraph(3, 40, 160)
+	cg := loadOrFatal(t, g, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sqlgraph.PageRank(ctx, cg, 5, 0.85); !errors.Is(err, context.Canceled) {
+		t.Errorf("PageRank with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := sqlgraph.ShortestPaths(ctx, cg, 0, true); !errors.Is(err, context.Canceled) {
+		t.Errorf("ShortestPaths with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := sqlgraph.ConnectedComponents(ctx, cg); !errors.Is(err, context.Canceled) {
+		t.Errorf("ConnectedComponents with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

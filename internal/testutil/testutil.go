@@ -1,0 +1,276 @@
+// Package testutil is the differential-testing harness: seeded random
+// graph generation, independent in-memory reference implementations of
+// PageRank / shortest paths / connected components, and map-comparison
+// helpers. Tests use it to assert that the vertex-centric runtime, the
+// hand-tuned SQL path and the reference all agree on the same graph —
+// at every engine parallelism level, including the serial baseline.
+//
+// The references deliberately share no code with either engine path:
+// they are straight adjacency-list loops over the generated edge list,
+// following the same conventions the engines use (PageRank: damping
+// 0.85, no dangling redistribution; SSSP: non-positive weights count
+// as 1; components: minimum reachable id on a symmetrized graph).
+package testutil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// RefGraph is a generated graph: `Nodes` vertices with ids 0..Nodes-1
+// and a directed multigraph edge list.
+type RefGraph struct {
+	Nodes int64
+	Edges []core.Edge
+}
+
+// RandomGraph generates a seeded random directed graph with `nodes`
+// vertices and `edges` edges (self loops excluded, parallel edges
+// allowed — both engine paths count them consistently). Weights are
+// uniform in [0.5, 2.5).
+func RandomGraph(seed int64, nodes, edges int) *RefGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &RefGraph{Nodes: int64(nodes)}
+	for len(g.Edges) < edges {
+		src, dst := int64(rng.Intn(nodes)), int64(rng.Intn(nodes))
+		if src == dst {
+			continue
+		}
+		g.Edges = append(g.Edges, core.Edge{
+			Src: src, Dst: dst,
+			Weight:  0.5 + 2*rng.Float64(),
+			Created: int64(len(g.Edges)),
+		})
+	}
+	return g
+}
+
+// Symmetrized returns a copy with every edge mirrored (the shape the
+// connected-components drivers expect).
+func (g *RefGraph) Symmetrized() *RefGraph {
+	out := &RefGraph{Nodes: g.Nodes, Edges: make([]core.Edge, 0, 2*len(g.Edges))}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, e,
+			core.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight, Created: e.Created})
+	}
+	return out
+}
+
+// Load materializes the graph into db under the given name, creating
+// every vertex 0..Nodes-1 (including isolated ones).
+func (g *RefGraph) Load(db *engine.DB, name string) (*core.Graph, error) {
+	cg, err := core.CreateGraph(db, name)
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[int64]string, g.Nodes)
+	for v := int64(0); v < g.Nodes; v++ {
+		vals[v] = ""
+	}
+	if err := cg.BulkLoad(vals, g.Edges); err != nil {
+		return nil, err
+	}
+	return cg, nil
+}
+
+// edgeWeight applies the shared weight convention: unit weights, or
+// the edge weight with non-positive values counting as 1.
+func edgeWeight(e core.Edge, unitWeights bool) float64 {
+	if unitWeights || e.Weight <= 0 {
+		return 1
+	}
+	return e.Weight
+}
+
+// RefPageRank is the reference PageRank: `iterations` synchronous
+// rounds of rank[v] = (1-d)/n + d·Σ rank[u]/outdeg[u] over in-edges,
+// from a uniform 1/n start, without dangling-mass redistribution —
+// the convention both engine paths implement.
+func RefPageRank(g *RefGraph, iterations int, damping float64) map[int64]float64 {
+	n := float64(g.Nodes)
+	if g.Nodes == 0 {
+		return map[int64]float64{}
+	}
+	outdeg := make(map[int64]int, g.Nodes)
+	for _, e := range g.Edges {
+		outdeg[e.Src]++
+	}
+	rank := make(map[int64]float64, g.Nodes)
+	for v := int64(0); v < g.Nodes; v++ {
+		rank[v] = 1 / n
+	}
+	for it := 0; it < iterations; it++ {
+		acc := make(map[int64]float64, g.Nodes)
+		for _, e := range g.Edges {
+			acc[e.Dst] += rank[e.Src] / float64(outdeg[e.Src])
+		}
+		next := make(map[int64]float64, g.Nodes)
+		for v := int64(0); v < g.Nodes; v++ {
+			next[v] = (1-damping)/n + damping*acc[v]
+		}
+		rank = next
+	}
+	return rank
+}
+
+// RefShortestPaths is the reference SSSP: Bellman-Ford iterated to a
+// fixpoint. Only reached vertices appear in the result.
+func RefShortestPaths(g *RefGraph, source int64, unitWeights bool) map[int64]float64 {
+	dist := map[int64]float64{source: 0}
+	for {
+		improved := false
+		for _, e := range g.Edges {
+			d, ok := dist[e.Src]
+			if !ok {
+				continue
+			}
+			nd := d + edgeWeight(e, unitWeights)
+			if cur, ok := dist[e.Dst]; !ok || nd < cur {
+				dist[e.Dst] = nd
+				improved = true
+			}
+		}
+		if !improved {
+			return dist
+		}
+	}
+}
+
+// RefComponents is the reference connected components: union-find over
+// the edges ignoring direction, labeling every vertex with the minimum
+// id of its component. On a symmetrized graph this equals the engines'
+// minimum-reachable-id propagation.
+func RefComponents(g *RefGraph) map[int64]int64 {
+	parent := make(map[int64]int64, g.Nodes)
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range g.Edges {
+		union(e.Src, e.Dst)
+	}
+	minID := make(map[int64]int64)
+	for v := int64(0); v < g.Nodes; v++ {
+		r := find(v)
+		if m, ok := minID[r]; !ok || v < m {
+			minID[r] = v
+		}
+	}
+	out := make(map[int64]int64, g.Nodes)
+	for v := int64(0); v < g.Nodes; v++ {
+		out[v] = minID[find(v)]
+	}
+	return out
+}
+
+// DropInf returns a copy of m without +Inf entries, normalizing the
+// vertex-centric SSSP convention (unreachable → +Inf) to the SQL one
+// (unreachable → absent).
+func DropInf(m map[int64]float64) map[int64]float64 {
+	out := make(map[int64]float64, len(m))
+	for k, v := range m {
+		if !math.IsInf(v, 1) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// DiffFloatMaps returns an error describing the first few differences
+// between got and want: missing/extra keys, or values further apart
+// than tol·max(1, |want|). tol 0 demands bit-exact equality.
+func DiffFloatMaps(name string, got, want map[int64]float64, tol float64) error {
+	var diffs []string
+	keys := unionKeys(len(got), len(want), func(add func(int64)) {
+		for k := range got {
+			add(k)
+		}
+		for k := range want {
+			add(k)
+		}
+	})
+	for _, k := range keys {
+		gv, gok := got[k]
+		wv, wok := want[k]
+		switch {
+		case !gok:
+			diffs = append(diffs, fmt.Sprintf("%d: missing (want %v)", k, wv))
+		case !wok:
+			diffs = append(diffs, fmt.Sprintf("%d: unexpected %v", k, gv))
+		case math.Abs(gv-wv) > tol*math.Max(1, math.Abs(wv)):
+			diffs = append(diffs, fmt.Sprintf("%d: got %.15g want %.15g", k, gv, wv))
+		}
+		if len(diffs) >= 5 {
+			break
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("%s: %d keys differ, first: %v", name, len(diffs), diffs)
+	}
+	return nil
+}
+
+// DiffIntMaps is DiffFloatMaps for exact integer labelings.
+func DiffIntMaps(name string, got, want map[int64]int64) error {
+	var diffs []string
+	keys := unionKeys(len(got), len(want), func(add func(int64)) {
+		for k := range got {
+			add(k)
+		}
+		for k := range want {
+			add(k)
+		}
+	})
+	for _, k := range keys {
+		gv, gok := got[k]
+		wv, wok := want[k]
+		switch {
+		case !gok:
+			diffs = append(diffs, fmt.Sprintf("%d: missing (want %d)", k, wv))
+		case !wok:
+			diffs = append(diffs, fmt.Sprintf("%d: unexpected %d", k, gv))
+		case gv != wv:
+			diffs = append(diffs, fmt.Sprintf("%d: got %d want %d", k, gv, wv))
+		}
+		if len(diffs) >= 5 {
+			break
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("%s: %d keys differ, first: %v", name, len(diffs), diffs)
+	}
+	return nil
+}
+
+// unionKeys collects and sorts the union of map keys so diff reports
+// are deterministic.
+func unionKeys(n1, n2 int, visit func(add func(int64))) []int64 {
+	seen := make(map[int64]bool, n1+n2)
+	var keys []int64
+	visit(func(k int64) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

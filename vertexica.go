@@ -131,6 +131,12 @@ func (e *Engine) Checkpoint() error { return e.db.Checkpoint() }
 // (transactions, direct catalog access).
 func (e *Engine) DB() *engine.DB { return e.db }
 
+// SetParallelism caps how many worker goroutines one SQL statement may
+// use (morsel-parallel scans/filters/projections, parallel hash-join
+// probes, partitioned aggregation). Default: runtime.NumCPU(). 1 runs
+// fully serial; results are byte-identical at every setting.
+func (e *Engine) SetParallelism(n int) { e.db.SetParallelism(n) }
+
 // SQL executes any SQL statement; SELECTs return rows, DML returns nil
 // rows with the affected count.
 func (e *Engine) SQL(query string) (*Rows, int, error) {
@@ -310,19 +316,20 @@ func optOrDefault(opts []Options) Options {
 
 // --- SQL algorithms ("Vertexica (SQL)") ---
 
-// PageRankSQL runs the hand-tuned SQL PageRank.
-func (g *Graph) PageRankSQL(iterations int) (map[int64]float64, error) {
-	return sqlgraph.PageRank(g.g, iterations, 0.85)
+// PageRankSQL runs the hand-tuned SQL PageRank. ctx cancels between
+// and inside SQL iterations.
+func (g *Graph) PageRankSQL(ctx context.Context, iterations int) (map[int64]float64, error) {
+	return sqlgraph.PageRank(ctx, g.g, iterations, 0.85)
 }
 
 // ShortestPathsSQL runs the SQL SSSP (unreachable vertices absent).
-func (g *Graph) ShortestPathsSQL(source int64, unitWeights bool) (map[int64]float64, error) {
-	return sqlgraph.ShortestPaths(g.g, source, unitWeights)
+func (g *Graph) ShortestPathsSQL(ctx context.Context, source int64, unitWeights bool) (map[int64]float64, error) {
+	return sqlgraph.ShortestPaths(ctx, g.g, source, unitWeights)
 }
 
 // ConnectedComponentsSQL runs SQL label propagation.
-func (g *Graph) ConnectedComponentsSQL() (map[int64]int64, error) {
-	return sqlgraph.ConnectedComponents(g.g)
+func (g *Graph) ConnectedComponentsSQL(ctx context.Context) (map[int64]int64, error) {
+	return sqlgraph.ConnectedComponents(ctx, g.g)
 }
 
 // TriangleCount counts distinct triangles (symmetrized graphs).

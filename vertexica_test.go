@@ -59,7 +59,7 @@ func TestFourSystemAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prSQL, err := g.PageRankSQL(8)
+	prSQL, err := g.PageRankSQL(ctx, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFourSystemAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dSQL, err := g.ShortestPathsSQL(src, false)
+	dSQL, err := g.ShortestPathsSQL(ctx, src, false)
 	if err != nil {
 		t.Fatal(err)
 	}
