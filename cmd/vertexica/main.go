@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	vertexica                 # in-memory
-//	vertexica -data ./vxdata  # persistent (snapshot + WAL)
+//	vertexica                        # in-memory
+//	vertexica -data ./vxdata         # persistent (snapshot + WAL)
+//	vertexica -connect 127.0.0.1:5433  # drive a remote vxserve
 //
 // Console commands (\help lists them):
 //
@@ -34,6 +35,7 @@ import (
 
 	"context"
 
+	"repro/internal/client"
 	"repro/internal/dataset"
 	"repro/internal/giraph"
 
@@ -42,7 +44,13 @@ import (
 
 func main() {
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
+	connect := flag.String("connect", "", "connect to a remote vxserve at host:port instead of running embedded")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteRepl(*connect)
+		return
+	}
 
 	var vx *vertexica.Engine
 	var err error
@@ -372,4 +380,155 @@ func printTop(scores map[int64]float64, k int) {
 	for _, e := range all {
 		fmt.Printf("  %8d  %.6f\n", e.id, e.v)
 	}
+}
+
+// --- remote mode (-connect): the same console over the wire protocol ---
+
+// remoteRepl drives a remote vxserve: SQL statements (including SET /
+// BEGIN / COMMIT / ROLLBACK session control) go through Query/Exec and
+// the graph commands become server-side verbs.
+func remoteRepl(addr string) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vertexica: connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("Vertexica console — connected to %s (session %d)\n", addr, c.SessionID())
+	fmt.Printf("server: %s\n", c.ServerInfo())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for {
+		fmt.Print("vertexica> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if quit := remoteCommand(c, line); quit {
+				return
+			}
+			continue
+		}
+		runRemoteSQL(c, line)
+	}
+}
+
+func runRemoteSQL(c *client.Conn, stmt string) {
+	start := time.Now()
+	rows, n, err := c.RunSQL(context.Background(), stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if rows == nil {
+		fmt.Printf("OK, %d rows affected (%v)\n", n, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	printRemoteRows(rows, start)
+}
+
+func printRemoteRows(rows *client.Rows, start time.Time) {
+	cols := rows.Columns()
+	fmt.Println(strings.Join(cols, " | "))
+	limit := rows.Len()
+	if limit > 25 {
+		limit = 25
+	}
+	for i := 0; i < limit; i++ {
+		parts := make([]string, len(cols))
+		for j := range cols {
+			parts[j] = rows.Value(i, j).String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if rows.Len() > limit {
+		fmt.Printf("... (%d rows total)\n", rows.Len())
+	}
+	fmt.Printf("%d rows (%v)\n", rows.Len(), time.Since(start).Round(time.Microsecond))
+}
+
+func remoteCommand(c *client.Conn, line string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	arg := func(i int, def string) string {
+		if len(fields) > i {
+			return fields[i]
+		}
+		return def
+	}
+	ctx := context.Background()
+
+	verb := ""
+	var args []string
+	switch cmd {
+	case "\\quit", "\\q":
+		return true
+	case "\\help":
+		fmt.Println(`remote commands (server-side verbs):
+  \load <twitter|gplus|livejournal> <scale>   load a paper-shaped graph on the server
+  \graphs                                     list server graphs
+  \pagerank <graph> [iters]                   vertex-centric PageRank (top 10)
+  \pagerank-sql <graph> [iters]               SQL PageRank (top 10)
+  \sssp <graph> <source>                      shortest paths
+  \sssp-sql <graph> <source>                  SQL shortest paths
+  \components <graph>                         connected components
+  \triangles <graph>                          triangle count
+  SET statement_timeout = <ms>                per-session statement timeout
+  SET parallelism = <n>                       per-session worker cap
+  BEGIN / COMMIT / ROLLBACK                   transaction control
+  <any SQL statement>                         run on the server`)
+		return false
+	case "\\load":
+		verb, args = "load", []string{arg(1, "twitter"), arg(2, "0.01")}
+	case "\\graphs":
+		verb = "graphs"
+	case "\\pagerank", "\\pagerank-sql":
+		verb, args = strings.TrimPrefix(cmd, "\\"), []string{arg(1, ""), arg(2, "10")}
+	case "\\sssp", "\\sssp-sql":
+		verb, args = strings.TrimPrefix(cmd, "\\"), []string{arg(1, ""), arg(2, "0")}
+	case "\\components":
+		verb, args = "components", []string{arg(1, "")}
+	case "\\triangles":
+		verb, args = "triangles", []string{arg(1, "")}
+	default:
+		fmt.Println("unknown remote command; \\help lists commands")
+		return false
+	}
+	start := time.Now()
+	rows, err := c.Graph(ctx, verb, args...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return false
+	}
+	switch verb {
+	case "pagerank", "pagerank-sql":
+		ranks := make(map[int64]float64, rows.Len())
+		for i := 0; i < rows.Len(); i++ {
+			ranks[rows.Value(i, 0).I] = rows.Value(i, 1).F
+		}
+		printTop(ranks, 10)
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+	case "sssp", "sssp-sql":
+		reach := 0
+		for i := 0; i < rows.Len(); i++ {
+			if rows.Value(i, 1).F < 1e17 {
+				reach++
+			}
+		}
+		fmt.Printf("%d vertices reachable from %s (%v)\n", reach, args[1], time.Since(start).Round(time.Millisecond))
+	case "components":
+		sizes := map[int64]int{}
+		for i := 0; i < rows.Len(); i++ {
+			sizes[rows.Value(i, 1).I]++
+		}
+		fmt.Printf("%d components\n", len(sizes))
+	default:
+		printRemoteRows(rows, start)
+	}
+	return false
 }

@@ -10,6 +10,7 @@
 //	vxbench -fig all -scale 0.01
 //	vxbench -fig 2a -scale 0.02 -iters 10
 //	vxbench -ablations -scale 0.01
+//	vxbench -serve -scale 0.01          # study S: serving throughput
 package main
 
 import (
@@ -21,14 +22,18 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/bench/serve"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: 2a, 2b, or all")
+	fig := flag.String("fig", "all", "which figure to reproduce: 2a, 2b, all, or none")
 	scale := flag.Float64("scale", 0.01, "dataset scale relative to the paper's sizes (1.0 = full)")
 	iters := flag.Int("iters", 10, "PageRank iterations (paper: 10)")
 	gdbLimit := flag.Int("gdb-limit", 60000, "edge count above which the graph-database baseline is skipped (0 = never skip)")
 	ablations := flag.Bool("ablations", false, "also run the §2.3 optimization ablations")
+	serveStudy := flag.Bool("serve", false, "run study S: concurrent-client serving throughput against an in-process vxserve")
+	serveOps := flag.Int("serve-ops", 40, "study S: queries per client")
+	serveBudget := flag.Int("serve-budget", runtime.NumCPU(), "study S: global worker budget")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -80,6 +85,24 @@ func main() {
 	if *ablations {
 		runAblations(*scale)
 	}
+	if *serveStudy {
+		runServeStudy(*scale, *serveOps, *serveBudget)
+	}
+}
+
+// runServeStudy reproduces the serving claim: queries/sec at 1, 4 and
+// 16 concurrent client connections against one engine, with the
+// global worker budget asserted never to overshoot.
+func runServeStudy(scale float64, ops, budget int) {
+	fmt.Printf("\n=== study S: serving throughput (budget=%d, %d ops/client) ===\n", budget, ops)
+	rows, err := serve.Throughput(scale, []int{1, 4, 16}, ops, budget)
+	if len(rows) > 0 {
+		bench.PrintAblation(os.Stdout, rows)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("budget check: PASS — budget gauge consistent (high-water ≤ capacity, slots drained)")
 }
 
 func runAblations(scale float64) {

@@ -1,0 +1,187 @@
+// Command vxserve is the Vertexica network server: it serves one
+// engine (in-memory or persistent) to many client sessions over the
+// wire protocol, with a global worker budget, bounded sessions, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	vxserve                                # in-memory on 127.0.0.1:5433
+//	vxserve -listen :5433 -data ./vxdata   # persistent
+//	vxserve -budget 8 -max-sessions 128    # serving knobs
+//	vxserve -preload twitter=0.01          # load a dataset at boot
+//	vxserve -smoke                         # boot, self-test, drain, exit
+//
+// Connect with `vertexica -connect host:port` or the Go client
+// package (internal/client).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	vertexica "repro"
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5433", "listen address")
+	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
+	budget := flag.Int("budget", server.DefaultWorkerBudget(), "global worker budget: max extra executor goroutines across all sessions (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 64, "admission control: max concurrent sessions")
+	maxStmtWorkers := flag.Int("max-stmt-workers", 0, "admission control: per-statement worker cap (0 = engine default)")
+	preload := flag.String("preload", "", "load a dataset at boot, e.g. twitter=0.01")
+	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown")
+	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, run a client self-test, drain, exit")
+	quiet := flag.Bool("quiet", false, "suppress per-session logs")
+	flag.Parse()
+
+	var eng *vertexica.Engine
+	var err error
+	if *dataDir != "" {
+		eng, err = vertexica.Open(*dataDir)
+	} else {
+		eng = vertexica.New()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	if *preload != "" {
+		if err := preloadDataset(eng, *preload); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := server.Config{
+		MaxSessions:    *maxSessions,
+		MaxStmtWorkers: *maxStmtWorkers,
+		WorkerBudget:   *budget,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(eng, cfg)
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fatal(err)
+		}
+		fmt.Println("vxserve: smoke test OK")
+		return
+	}
+
+	if err := srv.Listen(*listen); err != nil {
+		fatal(err)
+	}
+	log.Printf("vxserve: serving on %s (budget=%d, max sessions=%d)", srv.Addr(), *budget, *maxSessions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case s := <-sig:
+		log.Printf("vxserve: %v — draining (grace %v)", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("vxserve: forced drain: %v", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil && err != server.ErrServerClosed {
+			fatal(err)
+		}
+	}
+	log.Printf("vxserve: bye")
+}
+
+// preloadDataset parses kind=scale and loads the dataset.
+func preloadDataset(eng *vertexica.Engine, spec string) error {
+	kind, scaleStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("vxserve: -preload wants kind=scale, got %q", spec)
+	}
+	scale, err := strconv.ParseFloat(scaleStr, 64)
+	if err != nil {
+		return fmt.Errorf("vxserve: -preload scale: %w", err)
+	}
+	var ds *vertexica.Dataset
+	switch kind {
+	case "twitter":
+		ds = vertexica.TwitterScale(scale)
+	case "gplus":
+		ds = vertexica.GPlusScale(scale)
+	case "livejournal":
+		ds = vertexica.LiveJournalScale(scale)
+	default:
+		return fmt.Errorf("vxserve: unknown dataset kind %q", kind)
+	}
+	g, err := eng.LoadDatasetWithMetadata(ds, 42)
+	if err != nil {
+		return err
+	}
+	log.Printf("vxserve: preloaded %v", g)
+	return nil
+}
+
+// runSmoke boots the server on an ephemeral port, drives it through a
+// client (SQL, a prepared statement, a graph verb), and drains — the
+// CI boot check.
+func runSmoke(srv *server.Server) error {
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.DialContext(ctx, srv.Addr())
+	if err != nil {
+		return fmt.Errorf("smoke dial: %w", err)
+	}
+	if _, err := c.Exec(ctx, "CREATE TABLE smoke (x INTEGER)"); err != nil {
+		return fmt.Errorf("smoke create: %w", err)
+	}
+	if _, err := c.Exec(ctx, "INSERT INTO smoke VALUES (1), (2), (3)"); err != nil {
+		return fmt.Errorf("smoke insert: %w", err)
+	}
+	rows, err := c.Query(ctx, "SELECT COUNT(*) FROM smoke")
+	if err != nil || rows.Len() != 1 || rows.Value(0, 0).I != 3 {
+		return fmt.Errorf("smoke select: %v", err)
+	}
+	loaded, err := c.Graph(ctx, "load", "twitter", "0.002")
+	if err != nil || loaded.Len() != 1 {
+		return fmt.Errorf("smoke load verb: %w", err)
+	}
+	ranks, err := c.PageRank(ctx, loaded.Value(0, 0).S, 3)
+	if err != nil || len(ranks) == 0 {
+		return fmt.Errorf("smoke pagerank: %v (%d ranks)", err, len(ranks))
+	}
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("smoke close: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("smoke drain: %w", err)
+	}
+	if err := <-done; err != nil && err != server.ErrServerClosed {
+		return fmt.Errorf("smoke serve: %w", err)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vxserve:", err)
+	os.Exit(1)
+}

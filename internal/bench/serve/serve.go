@@ -1,0 +1,123 @@
+// Package serve holds benchmark study "S" (serving throughput). It
+// lives apart from internal/bench because it drives the full facade +
+// network stack, which the root package's own tests (importing
+// internal/bench) must not transitively depend on.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	vertexica "repro"
+	"repro/internal/bench"
+	"repro/internal/client"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// Study "S": serving throughput. Boots an in-process network server
+// over a Twitter-shaped graph and drives it with N concurrent client
+// connections issuing a mixed 1-hop / aggregate workload, reporting
+// queries/sec at each client count. The engine runs under a fixed
+// global worker budget; the study asserts the budget's high-water mark
+// never exceeds its capacity (no oversubscription, however many
+// clients pile on).
+
+// serveWorkload returns the mixed query set for one client: 1-hop
+// neighborhood joins keyed off a rotating vertex plus aggregate scans
+// — the short-request shape a serving tier sees.
+func serveWorkload(name string, v int64) []string {
+	e := name + "_edge"
+	return []string{
+		fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE src = %d", e, v),
+		fmt.Sprintf("SELECT e1.src, COUNT(*) FROM %s AS e1 JOIN %s AS e2 ON e1.dst = e2.src WHERE e1.src = %d GROUP BY e1.src", e, e, v),
+		fmt.Sprintf("SELECT COUNT(*), SUM(weight) FROM %s WHERE weight > 1.0", e),
+		fmt.Sprintf("SELECT dst, COUNT(*) FROM %s WHERE src < %d GROUP BY dst ORDER BY dst LIMIT 20", e, v%50+5),
+	}
+}
+
+// Throughput runs study "S" and returns printable rows.
+func Throughput(scale float64, clientCounts []int, opsPerClient int, budget int) ([]bench.AblationRow, error) {
+	eng := vertexica.New()
+	// Plan with several workers per statement even on small hosts: the
+	// point of the study is contention for the shared budget, not
+	// single-statement speed.
+	eng.SetParallelism(4)
+	ds := dataset.TwitterScale(scale)
+	if _, err := eng.LoadDataset(ds); err != nil {
+		return nil, err
+	}
+	srv := server.New(eng, server.Config{WorkerBudget: budget, MaxSessions: 64})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	b := eng.WorkerBudget()
+	var rows []bench.AblationRow
+	for _, nc := range clientCounts {
+		b.ResetHighWater()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, nc)
+		for c := 0; c < nc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				conn, err := client.Dial(srv.Addr())
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				defer conn.Close()
+				ctx := context.Background()
+				for op := 0; op < opsPerClient; op++ {
+					qs := serveWorkload(ds.Name, int64(c*opsPerClient+op))
+					q := qs[op%len(qs)]
+					if _, err := conn.Query(ctx, q); err != nil {
+						errs[c] = fmt.Errorf("client %d op %d: %w", c, op, err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		secs := time.Since(start).Seconds()
+		totalOps := nc * opsPerClient
+		hw := b.HighWater()
+		extra := fmt.Sprintf("%.0f q/s, budget high-water %d/%d", float64(totalOps)/secs, hw, budget)
+		// The semaphore clamps grants to capacity, so hw > budget means
+		// gauge corruption (double release / missed acquire) — and
+		// hw == 0 means no operator consulted the budget at all, which
+		// would make the "no oversubscription" claim vacuous. Both are
+		// reported. (Spawn paths that bypass the budget entirely are
+		// what the byte-identity differential tests and the -race
+		// acceptance test guard; a gauge cannot see them.)
+		if hw > budget {
+			extra += "  GAUGE CORRUPT"
+			rows = append(rows, bench.AblationRow{Study: "S: serving throughput",
+				Variant: fmt.Sprintf("%d clients", nc), Seconds: secs, Extra: extra})
+			return rows, fmt.Errorf("bench: budget gauge corrupt: high-water %d > capacity %d", hw, budget)
+		}
+		if hw == 0 {
+			extra += "  (budget never consulted — graph too small for parallel plans?)"
+		}
+		rows = append(rows, bench.AblationRow{Study: "S: serving throughput",
+			Variant: fmt.Sprintf("%d clients", nc), Seconds: secs, Extra: extra})
+	}
+	return rows, nil
+}

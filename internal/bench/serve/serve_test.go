@@ -1,0 +1,21 @@
+package serve
+
+import "testing"
+
+// TestThroughputSmoke runs study "S" at toy scale: the full
+// server+client stack must survive concurrent clients, and the budget
+// assertion inside Throughput must hold.
+func TestThroughputSmoke(t *testing.T) {
+	rows, err := Throughput(0.003, []int{1, 3}, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s %s: non-positive duration", r.Study, r.Variant)
+		}
+	}
+}

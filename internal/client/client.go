@@ -1,0 +1,388 @@
+// Package client is the Go client for the Vertexica wire protocol:
+// database/sql-style Query/Exec/Prepare over a TCP connection, plus
+// the graph-algorithm RPCs (\pagerank and friends as server verbs).
+// Results arrive as column-wise encoded batches and are materialized
+// into a storage.Batch, so a client-side result is byte-identical to
+// the in-process engine.Rows for the same statement — the
+// differential harness asserts exactly that.
+//
+// A Conn runs one statement at a time (like a SQL session). Cancel a
+// running statement through its context: the client sends a cancel
+// frame keyed by the statement id and the server aborts the statement
+// mid-execution, freeing its worker-budget slots.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Rows is a materialized query result.
+type Rows struct {
+	// Data holds all result rows; Schema gives names and types.
+	Data *storage.Batch
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.Data.Schema.Names() }
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return r.Data.Len() }
+
+// Value returns the value at (row, col).
+func (r *Rows) Value(row, col int) storage.Value { return r.Data.Cols[col].Value(row) }
+
+// ServerError is an error reported by the server for one statement.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Conn is one client connection (= one server session).
+type Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex // frame writes (cancel races the statement loop)
+	smu sync.Mutex // one statement at a time
+
+	nextStmt uint32
+	nextPrep uint32
+
+	sessionID  uint64
+	serverInfo string
+}
+
+// Dial connects and handshakes with the server at addr.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial with connect cancellation.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	d := net.Dialer{}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: nc, br: bufio.NewReader(nc)}
+	var hello wire.Buffer
+	hello.PutUvarint(wire.ProtocolVersion)
+	hello.PutString("vertexica-go-client")
+	if err := c.writeFrame(wire.FrameHello, hello.B); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		nc.SetReadDeadline(dl)
+		defer nc.SetReadDeadline(time.Time{})
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := &wire.Reader{B: payload}
+	switch typ {
+	case wire.FrameHelloOK:
+		c.sessionID = r.Uvarint()
+		c.serverInfo = r.String()
+		if r.Err != nil {
+			nc.Close()
+			return nil, r.Err
+		}
+		return c, nil
+	case wire.FrameError:
+		r.U32()
+		msg := r.String()
+		nc.Close()
+		return nil, &ServerError{Msg: msg}
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame %#x", typ)
+	}
+}
+
+// SessionID returns the server-assigned session id.
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// ServerInfo returns the server's handshake banner.
+func (c *Conn) ServerInfo() string { return c.serverInfo }
+
+// Close says goodbye and closes the connection. An open transaction
+// is rolled back server-side.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	wire.WriteFrame(c.conn, wire.FrameGoodbye, nil)
+	c.wmu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Conn) writeFrame(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.conn, typ, payload)
+}
+
+// RunSQL executes any statement in one round trip: SELECT/SHOW (and
+// graph-verb results) return rows with nil == no result set; DML and
+// session control return nil rows and the affected count. This is the
+// wire analogue of Engine.SQL.
+func (c *Conn) RunSQL(ctx context.Context, sqlText string) (*Rows, int, error) {
+	return c.roundTrip(ctx, func(id uint32) (byte, []byte) {
+		var b wire.Buffer
+		b.PutU32(id)
+		b.PutString(sqlText)
+		return wire.FrameQuery, b.B
+	})
+}
+
+// Query runs a statement expected to return rows (SELECT, SHOW, or a
+// graph verb result).
+func (c *Conn) Query(ctx context.Context, sqlText string) (*Rows, error) {
+	rows, _, err := c.RunSQL(ctx, sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, errors.New("client: statement returned no rows; use Exec")
+	}
+	return rows, nil
+}
+
+// Exec runs a statement for its effect, returning the affected row
+// count (SELECTs return their row count).
+func (c *Conn) Exec(ctx context.Context, sqlText string) (int, error) {
+	rows, affected, err := c.RunSQL(ctx, sqlText)
+	if err != nil {
+		return 0, err
+	}
+	if rows != nil {
+		return rows.Len(), nil
+	}
+	return affected, nil
+}
+
+// Graph invokes a server-side graph verb (pagerank, sssp, components,
+// triangles, load, graphs, ...) and returns its result rows.
+func (c *Conn) Graph(ctx context.Context, verb string, args ...string) (*Rows, error) {
+	rows, _, err := c.roundTrip(ctx, func(id uint32) (byte, []byte) {
+		var b wire.Buffer
+		b.PutU32(id)
+		b.PutString(verb)
+		b.PutUvarint(uint64(len(args)))
+		for _, a := range args {
+			b.PutString(a)
+		}
+		return wire.FrameGraph, b.B
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PageRank runs server-side PageRank and returns id→rank.
+func (c *Conn) PageRank(ctx context.Context, graph string, iters int) (map[int64]float64, error) {
+	rows, err := c.Graph(ctx, "pagerank", graph, fmt.Sprint(iters))
+	if err != nil {
+		return nil, err
+	}
+	return floatMap(rows)
+}
+
+// floatMap converts an (id, value) result into a map.
+func floatMap(rows *Rows) (map[int64]float64, error) {
+	if len(rows.Data.Cols) != 2 {
+		return nil, fmt.Errorf("client: expected (id, value) result, got %d columns", len(rows.Data.Cols))
+	}
+	out := make(map[int64]float64, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		out[rows.Value(i, 0).I] = rows.Value(i, 1).F
+	}
+	return out, nil
+}
+
+// Stmt is a prepared statement with $1..$n parameters.
+type Stmt struct {
+	c  *Conn
+	id uint32
+}
+
+// Prepare registers a parameterized statement on the server. If ctx
+// is cancelled while waiting for the server's acknowledgement, the
+// read is unblocked via a connection deadline and the context error
+// returned (the connection is no longer usable afterwards — a
+// half-read frame cannot be resynchronized).
+func (c *Conn) Prepare(ctx context.Context, sqlText string) (*Stmt, error) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.nextPrep++
+	id := c.nextPrep
+	var b wire.Buffer
+	b.PutU32(id)
+	b.PutString(sqlText)
+	if err := c.writeFrame(wire.FramePrepare, b.B); err != nil {
+		return nil, err
+	}
+	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
+	go func() {
+		defer close(watcherExited)
+		select {
+		case <-ctx.Done():
+			c.conn.SetReadDeadline(time.Now()) // unblock ReadFrame
+		case <-watchDone:
+		}
+	}()
+	// Stop the watcher BEFORE clearing the deadline: a context firing
+	// right as Prepare succeeds must not re-install a past deadline
+	// after the clear and poison every later read on this connection.
+	defer func() {
+		close(watchDone)
+		<-watcherExited
+		c.conn.SetReadDeadline(time.Time{})
+	}()
+	for {
+		typ, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
+		}
+		r := &wire.Reader{B: payload}
+		switch typ {
+		case wire.FramePrepareOK:
+			if r.U32() == id {
+				return &Stmt{c: c, id: id}, nil
+			}
+		case wire.FrameError:
+			r.U32()
+			return nil, &ServerError{Msg: r.String()}
+		}
+	}
+}
+
+// Query executes the prepared statement with args, returning rows.
+func (s *Stmt) Query(ctx context.Context, args ...storage.Value) (*Rows, error) {
+	rows, _, err := s.run(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, errors.New("client: statement returned no rows; use Exec")
+	}
+	return rows, nil
+}
+
+// Exec executes the prepared statement with args for its effect.
+func (s *Stmt) Exec(ctx context.Context, args ...storage.Value) (int, error) {
+	rows, affected, err := s.run(ctx, args)
+	if err != nil {
+		return 0, err
+	}
+	if rows != nil {
+		return rows.Len(), nil
+	}
+	return affected, nil
+}
+
+func (s *Stmt) run(ctx context.Context, args []storage.Value) (*Rows, int, error) {
+	return s.c.roundTrip(ctx, func(id uint32) (byte, []byte) {
+		var b wire.Buffer
+		b.PutU32(id)
+		b.PutU32(s.id)
+		b.PutUvarint(uint64(len(args)))
+		for _, a := range args {
+			b.PutValue(a)
+		}
+		return wire.FrameBindExec, b.B
+	})
+}
+
+// roundTrip runs one statement exchange: write the request frame,
+// watch ctx for cancellation (sending a cancel frame keyed by the
+// statement id), and read response frames until Done.
+func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byte)) (*Rows, int, error) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	c.nextStmt++
+	id := c.nextStmt
+	typ, payload := build(id)
+	if err := c.writeFrame(typ, payload); err != nil {
+		return nil, 0, err
+	}
+
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			var b wire.Buffer
+			b.PutU32(id)
+			c.writeFrame(wire.FrameCancel, b.B)
+		case <-watchDone:
+		}
+	}()
+
+	var rows *Rows
+	affected := 0
+	var stmtErr error
+	for {
+		ftyp, fpay, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := &wire.Reader{B: fpay}
+		fid := r.U32()
+		if fid != id {
+			continue // stale frame from an earlier, cancelled exchange
+		}
+		switch ftyp {
+		case wire.FrameRowsHeader:
+			schema, err := wire.ReadSchema(r)
+			if err != nil {
+				return nil, 0, err
+			}
+			rows = &Rows{Data: storage.NewBatch(schema)}
+		case wire.FrameRowsBatch:
+			if rows == nil {
+				return nil, 0, errors.New("client: rows batch before header")
+			}
+			part, err := wire.ReadBatch(r, rows.Data.Schema)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := storage.Concat(rows.Data, part); err != nil {
+				return nil, 0, err
+			}
+		case wire.FrameExecOK:
+			affected = int(r.Uvarint())
+		case wire.FrameError:
+			stmtErr = &ServerError{Msg: r.String()}
+		case wire.FrameDone:
+			if stmtErr != nil {
+				// Prefer the caller's cancellation cause when it fired.
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+				return nil, 0, stmtErr
+			}
+			return rows, affected, nil
+		}
+	}
+}

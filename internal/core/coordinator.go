@@ -111,17 +111,20 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 	}
 
 	// Row index of each vertex id; stays valid because both write-back
-	// paths preserve row order.
+	// paths preserve row order. Reading the table directly requires the
+	// engine's shared latch (concurrent SQL sessions may be writing).
 	vt, err := g.DB.Catalog().Get(g.VertexTable())
 	if err != nil {
 		return nil, err
 	}
 	rowOf := make(map[int64]int, numVerts)
 	{
+		g.DB.LockShared()
 		ids := vt.Data().Cols[0].(*storage.Int64Column).Int64s()
 		for i, id := range ids {
 			rowOf[id] = i
 		}
+		g.DB.UnlockShared()
 	}
 
 	var combiner Combiner
@@ -199,9 +202,14 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 		}
 		stats.DanglingMessages += int64(res.dangling)
 
-		// 3. Combine messages across workers.
+		// 3. Combine messages across workers. Combining folds float
+		// values, so the fold order must not depend on which worker
+		// produced which message: sort first, making the combined
+		// values — and therefore the whole run — bit-identical at any
+		// worker count or budget.
 		outMsgs := res.msgs
 		if combiner != nil {
+			sortMessages(outMsgs)
 			outMsgs = combineMessages(outMsgs, combiner)
 		}
 
@@ -253,11 +261,13 @@ type vertexUpdate struct {
 	changed bool // value or halted differs from the pre-superstep state
 }
 
-// workerResult accumulates one worker's outputs.
+// workerResult accumulates one worker's outputs. Aggregator values are
+// NOT folded here — they are recorded per partition (see runWorkers)
+// so the cross-partition float fold happens in partition order,
+// independent of which worker ran which partition.
 type workerResult struct {
 	updates  []vertexUpdate
 	msgs     []Message
-	aggs     map[string]float64
 	computed int
 	dangling int
 	halted   int
@@ -274,25 +284,49 @@ type mergedResult struct {
 	allHalted bool
 }
 
-// runWorkers fans the partitions out to opts.Workers goroutines and
-// merges their results at the synchronization barrier. A panic inside a
-// vertex program is recovered and surfaced as an error. Workers observe
-// ctx between partitions (and periodically within one), so cancelling
-// mid-superstep aborts the superstep instead of running it to the
-// barrier.
+// runWorkers fans the partitions out to a worker pool and merges the
+// results at the synchronization barrier. The pool keeps one worker as
+// the run's own entitlement and draws up to opts.Workers-1 extras from
+// the engine's global worker budget, so a vertex-centric run and
+// concurrent SQL statements share cores instead of oversubscribing
+// them; results are partition-deterministic, so the pool size never
+// changes the outcome. A panic inside a vertex program is recovered
+// and surfaced as an error. Workers observe ctx between partitions
+// (and periodically within one), so cancelling mid-superstep aborts
+// the superstep instead of running it to the barrier.
 func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, step int, numVerts int64,
 	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind) (*mergedResult, error) {
 
-	partCh := make(chan *storage.Batch, len(parts))
-	for _, p := range parts {
-		partCh <- p
+	type partWork struct {
+		idx  int
+		part *storage.Batch
+	}
+	partCh := make(chan partWork, len(parts))
+	for i, p := range parts {
+		partCh <- partWork{idx: i, part: p}
 	}
 	close(partCh)
 
-	results := make([]*workerResult, opts.Workers)
-	errs := make([]error, opts.Workers)
+	budget := c.Graph.DB.WorkerBudget()
+	want := opts.Workers
+	if want > len(parts) {
+		want = len(parts)
+	}
+	extra := 0
+	if want > 1 {
+		extra = budget.TryAcquire(want - 1)
+	}
+	defer budget.Release(extra)
+	pool := 1 + extra
+
+	// Aggregator values are recorded per partition (each slot written
+	// by exactly one worker) and merged in partition order below, so
+	// float aggregates are bit-identical at any pool size.
+	aggsByPart := make([]map[string]float64, len(parts))
+	results := make([]*workerResult, pool)
+	errs := make([]error, pool)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -301,16 +335,20 @@ func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, st
 					errs[w] = fmt.Errorf("core: worker %d: vertex program panicked: %v", w, r)
 				}
 			}()
-			res := &workerResult{aggs: make(map[string]float64)}
+			res := &workerResult{}
 			results[w] = res
-			for part := range partCh {
+			for pw := range partCh {
 				if err := ctx.Err(); err != nil {
 					errs[w] = err
 					return
 				}
-				if err := c.runPartition(ctx, part, step, numVerts, opts, aggPrev, aggKinds, res); err != nil {
+				aggs := make(map[string]float64)
+				if err := c.runPartition(ctx, pw.part, step, numVerts, opts, aggPrev, aggKinds, res, aggs); err != nil {
 					errs[w] = err
 					return
+				}
+				if len(aggs) > 0 {
+					aggsByPart[pw.idx] = aggs
 				}
 			}
 		}(w)
@@ -331,11 +369,15 @@ func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, st
 		}
 		merged.updates = append(merged.updates, r.updates...)
 		merged.msgs = append(merged.msgs, r.msgs...)
-		merged.aggs = append(merged.aggs, r.aggs)
 		merged.computed += r.computed
 		merged.dangling += r.dangling
 		haltedSeen += r.halted
 		totalSeen += r.seen
+	}
+	for _, aggs := range aggsByPart {
+		if aggs != nil {
+			merged.aggs = append(merged.aggs, aggs)
+		}
 	}
 	merged.allHalted = haltedSeen == totalSeen
 	return merged, nil
@@ -347,9 +389,11 @@ func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, st
 const cancelCheckEvery = 64
 
 // runPartition executes the vertex program serially over one partition
-// — the worker "UDF" of Figure 1.
+// — the worker "UDF" of Figure 1. Aggregator contributions fold into
+// aggs (the partition's own map, merged across partitions in
+// deterministic partition order by the caller).
 func (c *Coordinator) runPartition(ctx context.Context, part *storage.Batch, step int, numVerts int64,
-	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind, res *workerResult) error {
+	opts Options, aggPrev map[string]float64, aggKinds map[string]AggregatorKind, res *workerResult, aggs map[string]float64) error {
 
 	var units []workUnit
 	var dangling int
@@ -402,10 +446,10 @@ func (c *Coordinator) runPartition(ctx context.Context, part *storage.Batch, ste
 		})
 		res.msgs = append(res.msgs, vc.outbox...)
 		for name, v := range vc.aggCur {
-			if cur, ok := res.aggs[name]; ok {
-				res.aggs[name] = foldAggregate(aggKinds[name], cur, v)
+			if cur, ok := aggs[name]; ok {
+				aggs[name] = foldAggregate(aggKinds[name], cur, v)
 			} else {
-				res.aggs[name] = v
+				aggs[name] = v
 			}
 		}
 	}
@@ -472,6 +516,11 @@ func combineMessages(msgs []Message, combine Combiner) []Message {
 func (c *Coordinator) writeVertices(vt *storage.Table, rowOf map[int64]int,
 	updates []vertexUpdate, threshold float64) (changedCount int, usedReplace bool, err error) {
 
+	// Direct table mutation: hold the engine's exclusive latch so no
+	// concurrent SQL reader observes a half-applied superstep.
+	c.Graph.DB.LockExclusive()
+	defer c.Graph.DB.UnlockExclusive()
+
 	changed := updates[:0:0]
 	for _, u := range updates {
 		if u.changed {
@@ -532,13 +581,10 @@ func (c *Coordinator) writeVertices(vt *storage.Table, rowOf map[int64]int,
 	return len(changed), true, nil
 }
 
-// writeMessages replaces the message table contents with the new
-// superstep's messages (sorted for determinism).
-func (c *Coordinator) writeMessages(msgs []Message) error {
-	mt, err := c.Graph.DB.Catalog().Get(c.Graph.MessageTable())
-	if err != nil {
-		return err
-	}
+// sortMessages orders messages by (dst, src, value) — the canonical
+// order used both for the message table and for the pre-combine sort
+// that keeps float message combining deterministic.
+func sortMessages(msgs []Message) {
 	sort.Slice(msgs, func(i, j int) bool {
 		if msgs[i].Dst != msgs[j].Dst {
 			return msgs[i].Dst < msgs[j].Dst
@@ -548,12 +594,26 @@ func (c *Coordinator) writeMessages(msgs []Message) error {
 		}
 		return msgs[i].Value < msgs[j].Value
 	})
+}
+
+// writeMessages replaces the message table contents with the new
+// superstep's messages (sorted for determinism). Sorting and batch
+// assembly happen before the exclusive latch is taken, so concurrent
+// readers stall only for the table swap itself.
+func (c *Coordinator) writeMessages(msgs []Message) error {
+	mt, err := c.Graph.DB.Catalog().Get(c.Graph.MessageTable())
+	if err != nil {
+		return err
+	}
+	sortMessages(msgs)
 	b := storage.NewBatch(MessageSchema())
 	for _, m := range msgs {
 		if err := b.AppendRow(storage.Int64(m.Src), storage.Int64(m.Dst), storage.Str(m.Value)); err != nil {
 			return err
 		}
 	}
+	c.Graph.DB.LockExclusive()
+	defer c.Graph.DB.UnlockExclusive()
 	return mt.Replace(b)
 }
 

@@ -124,11 +124,21 @@ func DropGraph(db *engine.DB, name string) error {
 }
 
 // AddVertex inserts one vertex with an initial value.
+//
+// These helpers read and write the graph tables directly, bypassing
+// the SQL statement path, so each takes the engine's statement latch
+// (shared for reads, exclusive for writes) — a concurrent SQL
+// statement never observes a half-applied mutation. They do NOT take
+// the cross-session write gate: that is the caller's job (the facade's
+// gated wrappers, the coordinator's gated run), since several of these
+// run inside an already-gated scope and the gate is not reentrant.
 func (g *Graph) AddVertex(id int64, value string) error {
 	t, err := g.DB.Catalog().Get(g.VertexTable())
 	if err != nil {
 		return err
 	}
+	g.DB.LockExclusive()
+	defer g.DB.UnlockExclusive()
 	return t.AppendRow(storage.Int64(id), storage.Str(value), storage.Bool(false))
 }
 
@@ -138,6 +148,8 @@ func (g *Graph) AddEdge(src, dst int64, weight float64, etype string, created in
 	if err != nil {
 		return err
 	}
+	g.DB.LockExclusive()
+	defer g.DB.UnlockExclusive()
 	return t.AppendRow(storage.Int64(src), storage.Int64(dst),
 		storage.Float64(weight), storage.Str(etype), storage.Int64(created))
 }
@@ -146,6 +158,8 @@ func (g *Graph) AddEdge(src, dst int64, weight float64, etype string, created in
 // Vertices referenced by edges but absent from values are created with
 // the empty value.
 func (g *Graph) BulkLoad(values map[int64]string, edges []Edge) error {
+	g.DB.LockExclusive()
+	defer g.DB.UnlockExclusive()
 	seen := make(map[int64]bool, len(values))
 	vt, err := g.DB.Catalog().Get(g.VertexTable())
 	if err != nil {
@@ -201,6 +215,8 @@ func (g *Graph) EdgeVersion() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	g.DB.LockShared()
+	defer g.DB.UnlockShared()
 	return t.Version(), nil
 }
 
@@ -210,6 +226,8 @@ func (g *Graph) NumVertices() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	g.DB.LockShared()
+	defer g.DB.UnlockShared()
 	return int64(t.NumRows()), nil
 }
 
@@ -219,6 +237,8 @@ func (g *Graph) NumEdges() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	g.DB.LockShared()
+	defer g.DB.UnlockShared()
 	return int64(t.NumRows()), nil
 }
 
@@ -228,6 +248,8 @@ func (g *Graph) VertexValues() (map[int64]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.DB.LockShared()
+	defer g.DB.UnlockShared()
 	data := t.Data()
 	ids := data.Cols[0].(*storage.Int64Column).Int64s()
 	out := make(map[int64]string, len(ids))
@@ -261,6 +283,8 @@ func (g *Graph) SetVertexValues(vals map[int64]string) error {
 	if err != nil {
 		return err
 	}
+	g.DB.LockExclusive()
+	defer g.DB.UnlockExclusive()
 	data := t.Data()
 	ids := data.Cols[0].(*storage.Int64Column).Int64s()
 	var idx []int
@@ -277,6 +301,8 @@ func (g *Graph) SetVertexValues(vals map[int64]string) error {
 // ResetForRun resets halted flags, clears the message table, and sets
 // every vertex value to initial (if non-nil returns a value for the id).
 func (g *Graph) ResetForRun(initial func(id int64) string) error {
+	g.DB.LockExclusive()
+	defer g.DB.UnlockExclusive()
 	cat := g.DB.Catalog()
 	vt, err := cat.Get(g.VertexTable())
 	if err != nil {
@@ -319,6 +345,8 @@ func (g *Graph) OutEdges() (map[int64][]Edge, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.DB.LockShared()
+	defer g.DB.UnlockShared()
 	data := t.Data()
 	srcs := data.Cols[0].(*storage.Int64Column).Int64s()
 	dsts := data.Cols[1].(*storage.Int64Column).Int64s()

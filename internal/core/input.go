@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/exec"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -105,7 +105,7 @@ func buildEdgeCache(g *Graph, partitions, workers int) (*inputCache, error) {
 			nonEmpty = append(nonEmpty, p)
 		}
 	}
-	forEachParallel(len(nonEmpty), workers, func(i int) {
+	sched.ForEach(g.DB.WorkerBudget(), len(nonEmpty), workers, func(i int) {
 		p := nonEmpty[i]
 		cache.parts[p] = storage.SortBatch(data.Gather(pidx[p]), unionSortKeys)
 	})
@@ -167,7 +167,7 @@ func buildCachedUnionInput(g *Graph, cache *inputCache, step, workers int) (*cac
 	}
 
 	res.parts = make([]*storage.Batch, len(active))
-	forEachParallel(len(active), workers, func(i int) {
+	sched.ForEach(g.DB.WorkerBudget(), len(active), workers, func(i int) {
 		p := active[i]
 		vm := storage.SortBatch(data.Gather(pidx[p]), unionSortKeys)
 		res.parts[i] = storage.MergeSortedBatches(vm, cache.parts[p], unionSortKeys)
@@ -182,7 +182,7 @@ func buildUnionInput(g *Graph, partitions, workers int) ([]*storage.Batch, error
 	if err != nil {
 		return nil, fmt.Errorf("core: union input: %w", err)
 	}
-	return partitionAndSort(rows.Data, 0, partitions, workers, []storage.SortKey{{Col: 0}, {Col: 1}}), nil
+	return partitionAndSort(rows.Data, 0, partitions, workers, g.DB.WorkerBudget(), []storage.SortKey{{Col: 0}, {Col: 1}}), nil
 }
 
 // buildJoinInput assembles the superstep input via the 3-way-join path.
@@ -214,18 +214,24 @@ func buildJoinInput(g *Graph, partitions, workers int) ([]*storage.Batch, error)
 		LeftKeys: []int{0}, RightKeys: []int{0},
 		Type: exec.LeftJoin,
 	}
+	// These scans read the tables directly (not through the SQL
+	// statement path), so hold the engine's shared latch while they
+	// drain — a concurrent session's write statement must not mutate
+	// the tables mid-scan.
+	g.DB.LockShared()
 	data, err := exec.Drain(j2)
+	g.DB.UnlockShared()
 	if err != nil {
 		return nil, fmt.Errorf("core: join input: %w", err)
 	}
-	return partitionAndSort(data, 0, partitions, workers, []storage.SortKey{{Col: 0}}), nil
+	return partitionAndSort(data, 0, partitions, workers, g.DB.WorkerBudget(), []storage.SortKey{{Col: 0}}), nil
 }
 
 // partitionAndSort hash-partitions the batch on the given int64 column
 // and sorts each partition — the paper's Vertex Batching optimization.
 // Partition-local gather+sort runs on the worker pool, since in
 // Vertexica that work happens inside each worker UDF's input feed.
-func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, keys []storage.SortKey) []*storage.Batch {
+func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, budget *sched.Budget, keys []storage.SortKey) []*storage.Batch {
 	ids := data.Cols[idCol].(*storage.Int64Column).Int64s()
 	parts := storage.PartitionInt64(ids, partitions)
 	nonEmpty := make([][]int, 0, len(parts))
@@ -235,39 +241,10 @@ func partitionAndSort(data *storage.Batch, idCol, partitions, workers int, keys 
 		}
 	}
 	out := make([]*storage.Batch, len(nonEmpty))
-	forEachParallel(len(nonEmpty), workers, func(i int) {
+	sched.ForEach(budget, len(nonEmpty), workers, func(i int) {
 		out[i] = storage.SortBatch(data.Gather(nonEmpty[i]), keys)
 	})
 	return out
-}
-
-// forEachParallel runs fn(0..n-1) on up to `workers` goroutines.
-func forEachParallel(n, workers int, fn func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	work := make(chan int, n)
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // parseUnionPartition walks a sorted union partition and reassembles

@@ -103,5 +103,9 @@ func ApplyMetadata(db *engine.DB, graphName string, nodeIDs []int64, seed int64)
 			return err
 		}
 	}
+	// Direct table write: hold the engine's statement latch so a
+	// concurrent reader never observes a half-appended meta table.
+	db.LockExclusive()
+	defer db.UnlockExclusive()
 	return t.AppendBatch(batch)
 }

@@ -16,18 +16,35 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
 
 // DB is an embedded relational database instance.
+//
+// Concurrency model (multi-reader): read statements share mu.RLock and
+// run concurrently; write statements, DDL and transaction control take
+// mu.Lock and serialize. A reader therefore never observes a half-
+// applied statement, but between the statements of an open transaction
+// other sessions read uncommitted state (read-uncommitted isolation at
+// statement granularity). Cross-session write/transaction ordering is
+// the write gate's job — see AcquireWriteGate — which Sessions hold for
+// the duration of a transaction so a concurrent writer cannot interleave
+// with (and be clobbered by the rollback of) someone else's transaction.
 type DB struct {
-	mu      sync.Mutex // serializes statements (statement-level isolation)
+	mu      sync.RWMutex // readers share; writes/txns serialize
 	cat     *catalog.Catalog
 	funcs   *expr.Registry
 	planner *plan.Planner // planner.Parallelism is guarded by mu
 
-	txn *txnState // non-nil while a transaction is open
+	budget *sched.Budget // global worker budget (shared with the vertex runtime)
+
+	txnGate chan struct{} // cross-session write/txn token (capacity 1)
+	txn     *txnState     // non-nil while a transaction is open
+
+	execGateMu   sync.Mutex
+	execGateHeld bool // gate held by a DB-level ExecContext("BEGIN")
 
 	dir string // persistence directory; "" = in-memory only
 	wal *walWriter
@@ -37,8 +54,16 @@ type DB struct {
 func New() *DB {
 	cat := catalog.New()
 	funcs := expr.NewRegistry()
-	db := &DB{cat: cat, funcs: funcs, planner: plan.New(cat, funcs)}
+	db := &DB{
+		cat:     cat,
+		funcs:   funcs,
+		planner: plan.New(cat, funcs),
+		budget:  sched.NewBudget(0), // unlimited until SetWorkerBudget
+		txnGate: make(chan struct{}, 1),
+	}
+	db.txnGate <- struct{}{}
 	db.planner.Parallelism = runtime.NumCPU()
+	db.planner.Budget = db.budget
 	return db
 }
 
@@ -59,9 +84,78 @@ func (db *DB) SetParallelism(n int) {
 
 // Parallelism returns the current per-statement worker budget.
 func (db *DB) Parallelism() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.planner.Parallelism
+}
+
+// SetWorkerBudget caps the total number of extra worker goroutines the
+// engine may run at once, across all concurrent SQL statements and
+// vertex-centric runs. Every parallel construct keeps its calling
+// goroutine for free and draws extras from this shared budget, so at
+// budget n the process runs at most (concurrent statements + n)
+// executor workers and a statement always makes progress — under load
+// execution degrades toward serial instead of oversubscribing cores.
+// n <= 0 removes the cap (the default).
+func (db *DB) SetWorkerBudget(n int) { db.budget.Resize(n) }
+
+// WorkerBudget exposes the shared budget (the vertex coordinator draws
+// from it; benchmarks and tests read its gauges).
+func (db *DB) WorkerBudget() *sched.Budget { return db.budget }
+
+// LockShared takes the statement latch in shared (reader) mode.
+// Subsystems that read storage tables directly — bypassing the SQL
+// statement path, like the vertex coordinator's input assembly — hold
+// it so no write statement mutates a table mid-read. Do not call
+// Query/Exec while holding it.
+func (db *DB) LockShared() { db.mu.RLock() }
+
+// UnlockShared releases LockShared.
+func (db *DB) UnlockShared() { db.mu.RUnlock() }
+
+// LockExclusive takes the statement latch in exclusive (writer) mode,
+// blocking all SQL statements; the vertex coordinator holds it while
+// writing vertex/message tables back. Do not call Query/Exec while
+// holding it.
+func (db *DB) LockExclusive() { db.mu.Lock() }
+
+// UnlockExclusive releases LockExclusive.
+func (db *DB) UnlockExclusive() { db.mu.Unlock() }
+
+// AcquireWriteGate claims the cross-session write/transaction token,
+// blocking while another session holds it (i.e. has an open
+// transaction or is mid-write). Sessions hold the gate for a single
+// auto-commit write statement or from BEGIN to COMMIT/ROLLBACK, which
+// keeps concurrent writers out of each other's undo scopes.
+func (db *DB) AcquireWriteGate(ctx context.Context) error {
+	select {
+	case <-db.txnGate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReleaseWriteGate returns the token taken by AcquireWriteGate.
+func (db *DB) ReleaseWriteGate() { db.txnGate <- struct{}{} }
+
+// gateKey marks a context whose caller chain already holds the write
+// gate, so nested write statements (a graph driver's scratch-table
+// DDL, say) must not re-acquire it — the gate is not reentrant.
+type gateKey struct{}
+
+// WithGateHeld marks ctx as running under an already-acquired write
+// gate. The facade's graph-algorithm wrappers use it: they take the
+// gate once for a whole multi-statement run and every write statement
+// issued under that ctx skips the per-statement acquisition.
+func WithGateHeld(ctx context.Context) context.Context {
+	return context.WithValue(ctx, gateKey{}, true)
+}
+
+// GateHeld reports whether ctx carries the WithGateHeld marker.
+func GateHeld(ctx context.Context) bool {
+	held, _ := ctx.Value(gateKey{}).(bool)
+	return held
 }
 
 // Catalog exposes the table namespace (used by the vertex runtime).
@@ -104,8 +198,17 @@ func (db *DB) Query(text string) (*Rows, error) {
 
 // QueryContext is Query with cancellation: ctx is checked before every
 // result batch, so a cancelled context aborts mid-scan rather than
-// after the statement completes.
+// after the statement completes. Read statements share the latch, so
+// any number of QueryContext calls run concurrently.
 func (db *DB) QueryContext(ctx context.Context, text string) (*Rows, error) {
+	return db.QueryContextWorkers(ctx, text, 0)
+}
+
+// QueryContextWorkers is QueryContext with a per-statement worker
+// override: workers > 0 caps this one statement's parallelism below
+// the engine default (sessions use it for SET parallelism and the
+// server's per-statement cap). 0 means the engine default.
+func (db *DB) QueryContextWorkers(ctx context.Context, text string, workers int) (*Rows, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -114,13 +217,17 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires a SELECT; use Exec for %T", st)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.querySelectLocked(ctx, sel)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.querySelectLockedWorkers(ctx, sel, workers)
 }
 
 func (db *DB) querySelectLocked(ctx context.Context, sel *sql.SelectStmt) (*Rows, error) {
-	op, err := db.planner.PlanSelect(sel)
+	return db.querySelectLockedWorkers(ctx, sel, 0)
+}
+
+func (db *DB) querySelectLockedWorkers(ctx context.Context, sel *sql.SelectStmt, workers int) (*Rows, error) {
+	op, err := db.planner.PlanSelectWorkers(sel, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +261,91 @@ func (db *DB) Exec(text string) (Result, error) {
 }
 
 // ExecContext is Exec with cancellation; for INSERT ... SELECT the
-// context reaches the SELECT's executor.
+// context reaches the SELECT's executor. Transaction control parses
+// here too (BEGIN / COMMIT / ROLLBACK) so text-only embedded callers
+// can manage transactions; a DB-level BEGIN takes the cross-session
+// write gate exactly like a Session's BEGIN does, so it cannot
+// interleave with (or be clobbered by the rollback of) a concurrent
+// session's work. These statements are not WAL-logged (the WAL
+// records only committed data statements). SET/SHOW are
+// session-scoped and rejected at the DB layer; run them through a
+// Session.
 func (db *DB) ExecContext(ctx context.Context, text string) (Result, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return Result{}, err
 	}
+	switch st.(type) {
+	case *sql.BeginStmt:
+		if err := db.AcquireWriteGate(ctx); err != nil {
+			return Result{}, err
+		}
+		if err := db.Begin(); err != nil {
+			db.ReleaseWriteGate()
+			return Result{}, err
+		}
+		db.execGateMu.Lock()
+		db.execGateHeld = true
+		db.execGateMu.Unlock()
+		return Result{}, nil
+	case *sql.CommitStmt:
+		return Result{}, db.endExecTxn(db.Commit)
+	case *sql.RollbackStmt:
+		return Result{}, db.endExecTxn(db.Rollback)
+	case *sql.SetStmt, *sql.ShowStmt:
+		return Result{}, fmt.Errorf("engine: %s is a session statement; run it through a Session", st)
+	}
+	// A DB-level auto-commit write takes the gate for the statement —
+	// like a Session's — so another session's rollback cannot clobber
+	// it. Skipped when a DB-level ExecContext("BEGIN") transaction or
+	// a gate-holding caller chain (WithGateHeld) already owns the
+	// gate, and for plain SELECTs (reads never take the gate).
+	// execGateHeld is DB-global, so the DB-level transaction API
+	// assumes a single DB-level caller, exactly like db.Begin always
+	// has — concurrent writers must each use their own Session, whose
+	// gate ownership is per-session.
+	if _, isSelect := st.(*sql.SelectStmt); !isSelect && !GateHeld(ctx) {
+		db.execGateMu.Lock()
+		held := db.execGateHeld
+		db.execGateMu.Unlock()
+		if !held {
+			if err := db.AcquireWriteGate(ctx); err != nil {
+				return Result{}, err
+			}
+			defer db.ReleaseWriteGate()
+		}
+	}
+	return db.execParsed(ctx, st, text)
+}
+
+// endExecTxn finishes a transaction opened by ExecContext("BEGIN"),
+// releasing the write gate only if that path acquired it (a direct
+// db.Begin() caller never touched the gate and must not release it).
+func (db *DB) endExecTxn(end func() error) error {
+	err := end()
+	if err != nil {
+		return err
+	}
+	db.execGateMu.Lock()
+	held := db.execGateHeld
+	db.execGateHeld = false
+	db.execGateMu.Unlock()
+	if held {
+		db.ReleaseWriteGate()
+	}
+	return nil
+}
+
+// queryParsed runs an already-parsed SELECT under the shared latch.
+func (db *DB) queryParsed(ctx context.Context, sel *sql.SelectStmt, workers int) (*Rows, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.querySelectLockedWorkers(ctx, sel, workers)
+}
+
+// execParsed runs an already-parsed data statement under the exclusive
+// latch and WAL-logs it on success.
+func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string) (Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	res, err := db.execLocked(ctx, st)

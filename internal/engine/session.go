@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Session is one client's scope over a shared DB: session variables
+// (statement_timeout, parallelism), a transaction scope, and the
+// cross-session write gate. The network server gives every connection
+// its own Session; the embedded facade routes through a default one so
+// SET works identically in the REPL and over the wire.
+//
+// A session runs one statement at a time and is not safe for
+// concurrent use by multiple goroutines (cancel a running statement
+// through its context instead).
+type Session struct {
+	db *DB
+
+	// maxWorkers caps this session's per-statement parallelism
+	// (server-side admission control). 0 = no cap.
+	maxWorkers int
+
+	timeout  time.Duration // statement_timeout; 0 = disabled
+	workers  int           // SET parallelism; 0 = engine default
+	ownsGate bool          // this session holds the write gate (open txn)
+}
+
+// NewSession returns a fresh session over the database.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// NewSessionMaxWorkers returns a session whose per-statement
+// parallelism is capped at max (the server's per-statement worker
+// cap). max <= 0 means uncapped.
+func (db *DB) NewSessionMaxWorkers(max int) *Session {
+	if max < 0 {
+		max = 0
+	}
+	return &Session{db: db, maxWorkers: max}
+}
+
+// StatementTimeout returns the session's statement_timeout (0 =
+// disabled).
+func (s *Session) StatementTimeout() time.Duration { return s.timeout }
+
+// StatementContext applies the session's statement_timeout to a
+// statement context — the server's graph verbs run under it too, so
+// SET statement_timeout governs every statement type, not just SQL.
+func (s *Session) StatementContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return s.stmtCtx(ctx)
+}
+
+// EffectiveWorkers resolves the per-statement worker count (session
+// override, engine default, admission cap) — what SHOW parallelism
+// reports. The server passes it into graph-verb runs so the
+// per-statement cap holds for the heaviest statements as well.
+func (s *Session) EffectiveWorkers() int { return s.effectiveWorkers() }
+
+// InTransaction reports whether this session holds an open
+// transaction.
+func (s *Session) InTransaction() bool { return s.ownsGate }
+
+// Close releases the session's resources: an open transaction is
+// rolled back and the write gate returned.
+func (s *Session) Close() error {
+	if !s.ownsGate {
+		return nil
+	}
+	s.ownsGate = false
+	err := s.db.Rollback()
+	s.db.ReleaseWriteGate()
+	return err
+}
+
+// stmtCtx applies statement_timeout to a statement's context.
+func (s *Session) stmtCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, s.timeout)
+}
+
+// effectiveWorkers resolves the per-statement worker count from the
+// session override, the engine default, and the admission cap.
+func (s *Session) effectiveWorkers() int {
+	w := s.workers
+	if w == 0 {
+		w = s.db.Parallelism()
+	}
+	if s.maxWorkers > 0 && w > s.maxWorkers {
+		w = s.maxWorkers
+	}
+	return w
+}
+
+// Run executes one statement of any kind. SELECT and SHOW return rows
+// (and a Result whose RowsAffected is the row count); everything else
+// returns nil rows. This is the single entry point the wire server and
+// the REPL dispatch through.
+func (s *Session) Run(ctx context.Context, text string) (*Rows, Result, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	switch t := st.(type) {
+	case *sql.SetStmt:
+		return nil, Result{}, s.applySet(t)
+	case *sql.ShowStmt:
+		rows, err := s.show(t.Name)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		return rows, Result{RowsAffected: rows.Len()}, nil
+	case *sql.BeginStmt:
+		// BEGIN can block on the write gate, so statement_timeout
+		// governs it like any other statement.
+		bctx, cancel := s.stmtCtx(ctx)
+		defer cancel()
+		return nil, Result{}, s.begin(bctx)
+	case *sql.CommitStmt:
+		return nil, Result{}, s.endTxn(true)
+	case *sql.RollbackStmt:
+		return nil, Result{}, s.endTxn(false)
+	}
+
+	sctx, cancel := s.stmtCtx(ctx)
+	defer cancel()
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		rows, err := s.db.queryParsed(sctx, sel, s.effectiveWorkers())
+		if err != nil {
+			return nil, Result{}, err
+		}
+		return rows, Result{RowsAffected: rows.Len()}, nil
+	}
+
+	// Write statement. Outside a transaction it is an auto-commit
+	// write: hold the cross-session gate for just this statement so it
+	// cannot interleave with (and be undone by the rollback of)
+	// another session's transaction.
+	if !s.ownsGate {
+		if err := s.db.AcquireWriteGate(sctx); err != nil {
+			return nil, Result{}, err
+		}
+		defer s.db.ReleaseWriteGate()
+	}
+	res, err := s.db.execParsed(sctx, st, text)
+	return nil, res, err
+}
+
+// QueryContext runs a SELECT (or SHOW) through the session.
+func (s *Session) QueryContext(ctx context.Context, text string) (*Rows, error) {
+	rows, _, err := s.Run(ctx, text)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, fmt.Errorf("engine: statement returned no rows; use Exec")
+	}
+	return rows, nil
+}
+
+// ExecContext runs any non-SELECT statement through the session.
+func (s *Session) ExecContext(ctx context.Context, text string) (Result, error) {
+	_, res, err := s.Run(ctx, text)
+	return res, err
+}
+
+func (s *Session) begin(ctx context.Context) error {
+	if s.ownsGate {
+		return fmt.Errorf("engine: transaction already open in this session")
+	}
+	if err := s.db.AcquireWriteGate(ctx); err != nil {
+		return err
+	}
+	if err := s.db.Begin(); err != nil {
+		s.db.ReleaseWriteGate()
+		return err
+	}
+	s.ownsGate = true
+	return nil
+}
+
+func (s *Session) endTxn(commit bool) error {
+	if !s.ownsGate {
+		return fmt.Errorf("engine: no open transaction in this session")
+	}
+	var err error
+	if commit {
+		err = s.db.Commit()
+	} else {
+		err = s.db.Rollback()
+	}
+	if err != nil && s.db.InTransaction() {
+		// COMMIT failed with the transaction still open (e.g. a WAL
+		// write error): keep the gate and the session's ownership so
+		// the client can retry or ROLLBACK — releasing here would
+		// orphan an open undo scope that a later rollback could use
+		// to clobber other sessions' committed writes.
+		return err
+	}
+	s.ownsGate = false
+	s.db.ReleaseWriteGate()
+	return err
+}
+
+// Session variables.
+const (
+	varStatementTimeout = "statement_timeout"
+	varParallelism      = "parallelism"
+	varWorkerBudget     = "worker_budget"
+)
+
+// applySet assigns a session variable from SET <name> = <expr>.
+func (s *Session) applySet(st *sql.SetStmt) error {
+	v, err := evalConst(st.Value, s.db.Funcs())
+	if err != nil {
+		return fmt.Errorf("engine: SET %s: %w", st.Name, err)
+	}
+	switch strings.ToLower(st.Name) {
+	case varStatementTimeout:
+		ms := v.AsInt()
+		if v.Null || ms < 0 {
+			return fmt.Errorf("engine: SET statement_timeout wants milliseconds >= 0, got %s", v)
+		}
+		s.timeout = time.Duration(ms) * time.Millisecond
+		return nil
+	case varParallelism:
+		n := v.AsInt()
+		if v.Null || n < 0 {
+			return fmt.Errorf("engine: SET parallelism wants a worker count >= 0, got %s", v)
+		}
+		s.workers = int(n)
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown session variable %q", st.Name)
+	}
+}
+
+// show materializes a session variable as a one-row result.
+func (s *Session) show(name string) (*Rows, error) {
+	var v int64
+	switch strings.ToLower(name) {
+	case varStatementTimeout:
+		v = s.timeout.Milliseconds()
+	case varParallelism:
+		v = int64(s.effectiveWorkers())
+	case varWorkerBudget:
+		v = int64(s.db.budget.Capacity())
+	default:
+		return nil, fmt.Errorf("engine: unknown session variable %q", name)
+	}
+	b := storage.NewBatch(storage.NewSchema(storage.Col(strings.ToLower(name), storage.TypeInt64)))
+	if err := b.AppendRow(storage.Int64(v)); err != nil {
+		return nil, err
+	}
+	return &Rows{Data: b}, nil
+}
+
+// evalConst evaluates a constant expression (no column references)
+// against an empty scope — the same machinery INSERT VALUES rows use.
+func evalConst(e sql.Expr, funcs *expr.Registry) (storage.Value, error) {
+	bound, err := plan.BindExpr(e, &plan.Scope{}, funcs)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return bound.Eval(expr.Row{})
+}

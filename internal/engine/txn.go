@@ -30,8 +30,8 @@ func (db *DB) Begin() error {
 
 // InTransaction reports whether a transaction is open.
 func (db *DB) InTransaction() bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.txn != nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -37,6 +38,8 @@ type HashAggregate struct {
 	Names []string
 	// Workers caps fold parallelism; 0 or 1 folds serially.
 	Workers int
+	// Budget is the shared extra-worker budget (nil = unlimited).
+	Budget *sched.Budget
 
 	out    storage.Schema
 	result *storage.Batch
@@ -382,7 +385,7 @@ func (a *HashAggregate) foldFastPartitioned(batches []*storage.Batch, starts []i
 	}
 	evals := make([]evalBatch, len(batches))
 	errs := make([]error, len(batches))
-	forEachWorker(len(batches), w, func(bi int) {
+	sched.ForEach(a.Budget, len(batches), w, func(bi int) {
 		b := batches[bi]
 		keyCol, err := expr.EvalVector(a.GroupBy[0], b)
 		if err != nil {
@@ -420,7 +423,7 @@ func (a *HashAggregate) foldFastPartitioned(batches []*storage.Batch, starts []i
 		accs  []*expr.Accumulator
 	}
 	parts := make([][]*group, w)
-	forEachWorker(w, w, func(p int) {
+	sched.ForEach(a.Budget, w, w, func(p int) {
 		m := make(map[int64]*group)
 		var order []*group
 		for bi := range evals {
@@ -471,7 +474,7 @@ func (a *HashAggregate) foldSlowPartitioned(batches []*storage.Batch, starts []i
 	}
 	evals := make([]evalBatch, len(batches))
 	errs := make([]error, len(batches))
-	forEachWorker(len(batches), w, func(bi int) {
+	sched.ForEach(a.Budget, len(batches), w, func(bi int) {
 		b := batches[bi]
 		n := b.Len()
 		ev := evalBatch{keys: make([][]storage.Value, n), hashes: make([]uint64, n)}
@@ -504,7 +507,7 @@ func (a *HashAggregate) foldSlowPartitioned(batches []*storage.Batch, starts []i
 	}
 	parts := make([][]*group, w)
 	perrs := make([]error, w)
-	forEachWorker(w, w, func(p int) {
+	sched.ForEach(a.Budget, w, w, func(p int) {
 		m := make(map[uint64][]*group)
 		var order []*group
 		for bi := range evals {

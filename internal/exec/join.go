@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -41,6 +42,8 @@ type HashJoin struct {
 	// match lists are concatenated in morsel order, so the output is
 	// row-for-row identical to a serial probe. 0 or 1 probes serially.
 	Workers int
+	// Budget is the shared extra-worker budget (nil = unlimited).
+	Budget *sched.Budget
 
 	out    storage.Schema
 	built  map[uint64][]int
@@ -139,7 +142,7 @@ func (j *HashJoin) tryFastPath() bool {
 		// in morsel order, reproducing the serial output exactly.
 		lefts := make([][]int, w)
 		rights := make([][]int, w)
-		forEachWorker(w, w, func(m int) {
+		sched.ForEach(j.Budget, w, w, func(m int) {
 			lefts[m], rights[m] = probeFastRange(built, lvals,
 				m*len(lvals)/w, (m+1)*len(lvals)/w, j.Type)
 		})
@@ -160,7 +163,7 @@ func (j *HashJoin) tryFastPath() bool {
 	nl := len(j.ldata.Cols)
 	// Materializing the output is a per-column gather; columns are
 	// independent, so gather them on the worker budget too.
-	forEachWorker(j.out.Len(), j.Workers, func(k int) {
+	sched.ForEach(j.Budget, j.out.Len(), j.Workers, func(k int) {
 		if k < nl {
 			cols[k] = j.ldata.Cols[k].Gather(leftIdx)
 		} else {
@@ -207,7 +210,7 @@ func (j *HashJoin) probeSlowParallel(w int) error {
 	outs := make([][]*storage.Batch, w)
 	errs := make([]error, w)
 	n := j.ldata.Len()
-	forEachWorker(w, w, func(m int) {
+	sched.ForEach(j.Budget, w, w, func(m int) {
 		outs[m], errs[m] = j.probeSlowRange(m*n/w, (m+1)*n/w)
 	})
 	for _, err := range errs {

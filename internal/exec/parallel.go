@@ -2,7 +2,9 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -39,58 +41,36 @@ func splitParts(rows, workers int) int {
 	return k
 }
 
-// forEachWorker runs fn(0..n-1) on up to `workers` goroutines and
-// waits for completion.
-func forEachWorker(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // gatherItem is one message from a fragment goroutine to the Gather.
 type gatherItem struct {
 	batch *storage.Batch
 	err   error
 }
 
-// Gather runs its fragment operators concurrently, one goroutine per
-// fragment, and emits their batches in fragment order (fragment 0's
-// whole output, then fragment 1's, ...). Because the planner assigns
-// fragments contiguous, in-order morsels, this reproduces the serial
-// row order exactly — parallel execution is row-for-row deterministic.
-// Each fragment pushes through a bounded channel, so all fragments
-// compute ahead concurrently while the consumer drains them in order.
+// Gather runs its fragment operators concurrently on a worker pool and
+// emits their batches in fragment order (fragment 0's whole output,
+// then fragment 1's, ...). Because the planner assigns fragments
+// contiguous, in-order morsels, this reproduces the serial row order
+// exactly — parallel execution is row-for-row deterministic at ANY
+// pool size, so the global worker budget can shrink the pool under
+// load without changing results. Each fragment pushes through a
+// bounded channel, so fragments compute ahead concurrently while the
+// consumer drains them in order.
+//
+// Pool sizing: one goroutine is the statement's own entitlement; up to
+// len(Fragments)-1 extras come from Budget (nil = unlimited). Pool
+// workers claim fragment indexes in order, which keeps the assigned
+// set a contiguous prefix — the consumer can therefore never wait on a
+// fragment that no worker will reach (no deadlock at any pool size).
 type Gather struct {
 	Fragments []Operator
+	// Budget is the shared extra-worker budget (nil = unlimited).
+	Budget *sched.Budget
 
 	chans   []chan gatherItem
 	stop    chan struct{}
+	next    atomic.Int64 // next unclaimed fragment index
+	granted int          // budget slots held while running
 	cur     int
 	wg      sync.WaitGroup
 	running bool
@@ -99,26 +79,42 @@ type Gather struct {
 // Schema implements Operator.
 func (g *Gather) Schema() storage.Schema { return g.Fragments[0].Schema() }
 
-// Open implements Operator: it launches one goroutine per fragment.
+// Open implements Operator: it launches the fragment worker pool.
 func (g *Gather) Open() error {
 	g.stop = make(chan struct{})
 	g.cur = 0
+	g.next.Store(0)
 	g.chans = make([]chan gatherItem, len(g.Fragments))
 	for i := range g.Fragments {
 		g.chans[i] = make(chan gatherItem, gatherBuffer)
 	}
 	g.running = true
-	g.wg.Add(len(g.Fragments))
-	for i := range g.Fragments {
-		go g.run(i)
+	g.granted = g.Budget.TryAcquire(len(g.Fragments) - 1)
+	pool := 1 + g.granted
+	g.wg.Add(pool)
+	for w := 0; w < pool; w++ {
+		go func() {
+			defer g.wg.Done()
+			for {
+				select {
+				case <-g.stop:
+					return
+				default:
+				}
+				i := int(g.next.Add(1)) - 1
+				if i >= len(g.Fragments) {
+					return
+				}
+				g.run(i)
+			}
+		}()
 	}
 	return nil
 }
 
-// run drives one fragment, pushing its batches into the fragment's
-// channel. It aborts promptly when the Gather is closed.
+// run drives one fragment to completion, pushing its batches into the
+// fragment's channel. It aborts promptly when the Gather is closed.
 func (g *Gather) run(i int) {
-	defer g.wg.Done()
 	out := g.chans[i]
 	defer close(out)
 	send := func(it gatherItem) bool {
@@ -166,8 +162,8 @@ func (g *Gather) Next() (*storage.Batch, error) {
 	return nil, nil
 }
 
-// Close implements Operator: it signals all fragments to stop and
-// waits for their goroutines to exit.
+// Close implements Operator: it signals all fragments to stop, waits
+// for the pool to exit, and returns the borrowed budget slots.
 func (g *Gather) Close() error {
 	if !g.running {
 		return nil
@@ -175,6 +171,8 @@ func (g *Gather) Close() error {
 	g.running = false
 	close(g.stop)
 	g.wg.Wait()
+	g.Budget.Release(g.granted)
+	g.granted = 0
 	g.chans = nil
 	g.stop = nil
 	return nil
@@ -290,6 +288,12 @@ func (p *SpoolPart) Close() error { return nil }
 // order exactly (see Gather), so serial and parallel plans produce
 // identical results.
 func Parallelize(op Operator, workers int) Operator {
+	return ParallelizeBudget(op, workers, nil)
+}
+
+// ParallelizeBudget is Parallelize with a shared extra-worker budget
+// installed on the resulting Gather (nil = unlimited).
+func ParallelizeBudget(op Operator, workers int, budget *sched.Budget) Operator {
 	if workers < 2 {
 		return op
 	}
@@ -297,7 +301,7 @@ func Parallelize(op Operator, workers int) Operator {
 	if !ok || len(frags) < 2 {
 		return op
 	}
-	return &Gather{Fragments: frags}
+	return &Gather{Fragments: frags, Budget: budget}
 }
 
 // splitFragment clones the stateless operator stack rooted at op into

@@ -7,6 +7,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -21,6 +22,11 @@ type Planner struct {
 	// hash joins and aggregates (see internal/exec/parallel.go).
 	// 0 or 1 plans today's serial pipelines.
 	Parallelism int
+	// Budget is the process-wide extra-worker budget installed on every
+	// parallel operator this planner emits (nil = unlimited). Operators
+	// keep their caller's goroutine for free and draw extras from it,
+	// so concurrent statements share cores instead of oversubscribing.
+	Budget *sched.Budget
 }
 
 // New returns a planner over the given catalog and function registry.
@@ -30,7 +36,18 @@ func New(cat *catalog.Catalog, funcs *expr.Registry) *Planner {
 
 // PlanSelect lowers a SELECT statement to an operator tree.
 func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
-	ctx := &planCtx{p: p, workers: p.Parallelism, ctes: make(map[string]*storage.Batch)}
+	return p.PlanSelectWorkers(st, 0)
+}
+
+// PlanSelectWorkers is PlanSelect with a per-statement worker
+// override: workers > 0 replaces the planner's Parallelism for this
+// one statement (sessions use it for SET parallelism and the server's
+// per-statement cap). 0 means the planner default.
+func (p *Planner) PlanSelectWorkers(st *sql.SelectStmt, workers int) (exec.Operator, error) {
+	if workers <= 0 {
+		workers = p.Parallelism
+	}
+	ctx := &planCtx{p: p, workers: workers, ctes: make(map[string]*storage.Batch)}
 	return ctx.planSelect(st)
 }
 
@@ -337,7 +354,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 		if err != nil {
 			return nil, nil, err
 		}
-		op = exec.Parallelize(op, c.workers)
+		op = exec.ParallelizeBudget(op, c.workers, c.p.Budget)
 		for _, item := range core.From[1:] {
 			rop, rsc, err := c.planTableRef(item)
 			if err != nil {
@@ -347,7 +364,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if err != nil {
 				return nil, nil, err
 			}
-			rop = exec.Parallelize(rop, c.workers)
+			rop = exec.ParallelizeBudget(rop, c.workers, c.p.Budget)
 			// Promote cross-scope equality conjuncts to hash-join keys.
 			var lkeys, rkeys []int
 			var rest []sql.Expr
@@ -364,7 +381,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if len(lkeys) > 0 {
 				op = &exec.HashJoin{Left: op, Right: rop,
 					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin,
-					Workers: c.workers}
+					Workers: c.workers, Budget: c.p.Budget}
 			} else {
 				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin}
 			}
@@ -477,7 +494,7 @@ func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCo
 	// The projection is stateless: fuse it into its input's parallel
 	// fragments (or spool a join/aggregate input into morsels) so the
 	// expression evaluation runs on all workers.
-	op = exec.Parallelize(proj, c.workers)
+	op = exec.ParallelizeBudget(proj, c.workers, c.p.Budget)
 	if core.Distinct {
 		op = &exec.Distinct{Input: op}
 	}
@@ -545,9 +562,9 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 	}
 
 	op = &exec.HashAggregate{
-		Input:   exec.Parallelize(op, c.workers),
+		Input:   exec.ParallelizeBudget(op, c.workers, c.p.Budget),
 		GroupBy: groupExprs, Aggs: aggs, Names: names,
-		Workers: c.workers,
+		Workers: c.workers, Budget: c.p.Budget,
 	}
 	postScope := &Scope{Cols: postCols}
 

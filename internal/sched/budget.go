@@ -1,0 +1,184 @@
+// Package sched provides the global worker budget: a weighted
+// counting semaphore shared by every parallel construct in the process
+// — the SQL executor's Gather pools, hash-join probes and partitioned
+// aggregates, and the vertex-centric coordinator's worker pool. Each
+// construct is entitled to run on its caller's goroutine for free and
+// asks the budget for *extra* workers, so a statement always makes
+// progress even when the budget is exhausted: under load the system
+// degrades toward serial execution instead of oversubscribing cores.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Budget is a weighted semaphore over "extra worker" slots. The zero
+// capacity means unlimited (every request is granted in full), so an
+// embedded engine without an explicit budget behaves exactly as
+// before. All methods are safe for concurrent use.
+type Budget struct {
+	mu        sync.Mutex
+	capacity  int // 0 = unlimited
+	inUse     int
+	highWater int
+}
+
+// NewBudget returns a budget with the given capacity. capacity <= 0
+// means unlimited.
+func NewBudget(capacity int) *Budget {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Budget{capacity: capacity}
+}
+
+// TryAcquire grants up to max extra worker slots without blocking and
+// returns how many were granted (possibly 0). A nil budget grants
+// everything, so call sites need no nil checks.
+func (b *Budget) TryAcquire(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	if b == nil {
+		return max
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity == 0 {
+		b.inUse += max
+		if b.inUse > b.highWater {
+			b.highWater = b.inUse
+		}
+		return max
+	}
+	got := b.capacity - b.inUse
+	if got <= 0 {
+		return 0
+	}
+	if got > max {
+		got = max
+	}
+	b.inUse += got
+	if b.inUse > b.highWater {
+		b.highWater = b.inUse
+	}
+	return got
+}
+
+// Release returns n slots to the budget. Releasing more than acquired
+// is a programming error and clamps to zero rather than corrupting the
+// gauge.
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inUse -= n
+	if b.inUse < 0 {
+		b.inUse = 0
+	}
+}
+
+// Resize changes the capacity. Shrinking does not preempt slots
+// already granted; the budget simply grants nothing new until in-use
+// drops below the new capacity. n <= 0 means unlimited.
+func (b *Budget) Resize(n int) {
+	if b == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = n
+}
+
+// Capacity returns the current capacity (0 = unlimited).
+func (b *Budget) Capacity() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// InUse returns the number of slots currently granted.
+func (b *Budget) InUse() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// HighWater returns the maximum concurrent in-use slot count observed
+// since the last ResetHighWater.
+func (b *Budget) HighWater() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.highWater
+}
+
+// ResetHighWater clears the high-water mark (benchmarks reset it
+// between phases).
+func (b *Budget) ResetHighWater() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.highWater = b.inUse
+}
+
+// ForEach runs fn(0..n-1) on up to `workers` concurrent workers and
+// waits for completion. The calling goroutine always participates;
+// the extra workers (up to workers-1) are drawn from the budget, so
+// under a tight global budget the loop degrades gracefully toward
+// serial execution. A nil budget grants everything. This is the one
+// shared fan-out helper: the SQL executor's probe/fold loops and the
+// vertex runtime's input assembly all spawn through it, so budget
+// semantics live in exactly one place.
+func ForEach(b *Budget, n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	extra := 0
+	if workers > 1 {
+		extra = b.TryAcquire(workers - 1)
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	defer b.Release(extra)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetBasic(t *testing.T) {
+	b := NewBudget(4)
+	if got := b.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire(3) = %d, want 3", got)
+	}
+	if got := b.TryAcquire(3); got != 1 {
+		t.Fatalf("TryAcquire(3) at 3/4 = %d, want 1", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1) at 4/4 = %d, want 0", got)
+	}
+	if b.InUse() != 4 || b.HighWater() != 4 {
+		t.Fatalf("InUse=%d HighWater=%d, want 4/4", b.InUse(), b.HighWater())
+	}
+	b.Release(4)
+	if b.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", b.InUse())
+	}
+	if b.HighWater() != 4 {
+		t.Fatalf("HighWater after release = %d, want 4", b.HighWater())
+	}
+	b.ResetHighWater()
+	if b.HighWater() != 0 {
+		t.Fatalf("HighWater after reset = %d, want 0", b.HighWater())
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	if got := b.TryAcquire(1000); got != 1000 {
+		t.Fatalf("unlimited TryAcquire(1000) = %d", got)
+	}
+	b.Release(1000)
+
+	var nilB *Budget
+	if got := nilB.TryAcquire(7); got != 7 {
+		t.Fatalf("nil TryAcquire(7) = %d", got)
+	}
+	nilB.Release(7) // must not panic
+	if nilB.InUse() != 0 || nilB.Capacity() != 0 {
+		t.Fatal("nil budget gauges should read 0")
+	}
+}
+
+func TestBudgetResize(t *testing.T) {
+	b := NewBudget(2)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d", got)
+	}
+	b.Resize(1) // shrink below in-use: nothing new granted
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire after shrink = %d, want 0", got)
+	}
+	b.Release(2)
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) at capacity 1 = %d, want 1", got)
+	}
+	b.Release(1)
+}
+
+func TestBudgetReleaseClamp(t *testing.T) {
+	b := NewBudget(2)
+	b.Release(10)
+	if b.InUse() != 0 {
+		t.Fatalf("over-release corrupted gauge: InUse=%d", b.InUse())
+	}
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire after over-release = %d, want 2", got)
+	}
+}
+
+// TestBudgetNeverOvershoots hammers the budget from many goroutines
+// and asserts the high-water mark never exceeds capacity.
+func TestBudgetNeverOvershoots(t *testing.T) {
+	const cap = 5
+	b := NewBudget(cap)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				got := b.TryAcquire(3)
+				if in := b.InUse(); in > cap {
+					t.Errorf("in-use %d exceeds capacity %d", in, cap)
+				}
+				b.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if hw := b.HighWater(); hw > cap {
+		t.Fatalf("high water %d exceeds capacity %d", hw, cap)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("leaked slots: InUse=%d", b.InUse())
+	}
+}

@@ -1,0 +1,232 @@
+// Package server is the network serving layer: a TCP server speaking
+// the wire protocol (internal/wire) over a shared Vertexica engine.
+// It is the piece that turns the embedded reproduction into what the
+// paper actually describes — an RDBMS front end: many client
+// connections, each with its own session (transaction scope, session
+// variables, statement timeout), sharing one morsel-parallel executor
+// under a global worker budget with admission control, so a PageRank
+// run and a burst of SQL clients degrade predictably instead of
+// thrashing.
+//
+// Concurrency shape per connection: a reader goroutine parses frames
+// and enqueues statements; an executor goroutine runs them serially
+// against the connection's engine.Session (sessions are single-
+// statement-at-a-time, like a SQL connection); cancel frames bypass
+// the queue and cancel the in-flight statement's context immediately.
+// Frame writes are mutex-serialized.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	vertexica "repro"
+)
+
+// Config tunes the server.
+type Config struct {
+	// MaxSessions bounds concurrent client sessions (admission
+	// control); further connections are rejected at handshake.
+	// 0 means the default of 64.
+	MaxSessions int
+	// MaxStmtWorkers caps any single statement's parallelism
+	// regardless of session settings (admission control's second
+	// knob). 0 means uncapped.
+	MaxStmtWorkers int
+	// WorkerBudget, if > 0, installs a global worker budget of that
+	// many extra workers on the engine (see Engine.SetWorkerBudget).
+	// 0 leaves the engine's current budget untouched.
+	WorkerBudget int
+	// Logf, if non-nil, receives server logs.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	return c
+}
+
+// DefaultWorkerBudget is the vxserve default: one extra worker per
+// core beyond each statement's own goroutine.
+func DefaultWorkerBudget() int { return runtime.NumCPU() }
+
+// Server serves one engine to many network sessions.
+type Server struct {
+	eng *vertexica.Engine
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+
+	stmtWg sync.WaitGroup // in-flight statements (drain barrier)
+	connWg sync.WaitGroup // live connection handlers
+}
+
+// New returns a server over the engine.
+func New(eng *vertexica.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.WorkerBudget > 0 {
+		eng.SetWorkerBudget(cfg.WorkerBudget)
+	}
+	return &Server{eng: eng, cfg: cfg, sessions: make(map[uint64]*session)}
+}
+
+// Engine exposes the served engine (tests and vxserve preloading).
+func (s *Server) Engine() *vertexica.Engine { return s.eng }
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ErrServerClosed is returned by Serve after a graceful Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Listen starts listening on addr (e.g. "127.0.0.1:5433" or ":0")
+// without accepting yet; Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown. Call Listen first.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.connWg.Add(1)
+		go func() {
+			defer s.connWg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// beginStmt registers an in-flight statement with the drain barrier;
+// it fails once draining has started.
+func (s *Server) beginStmt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.stmtWg.Add(1)
+	return true
+}
+
+func (s *Server) endStmt() { s.stmtWg.Done() }
+
+// admit registers a new session, enforcing the session bound.
+func (s *Server) admit(ss *session) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, errors.New("server is shutting down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return 0, fmt.Errorf("too many sessions (limit %d)", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	id := s.nextID
+	s.sessions[id] = ss
+	return id, nil
+}
+
+func (s *Server) unadmit(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, id)
+}
+
+// Shutdown drains the server: stop accepting, reject new statements,
+// wait for in-flight statements to finish, then close every
+// connection. If ctx expires first, in-flight statements are
+// cancelled and connections closed immediately; Shutdown still waits
+// for the handlers to unwind before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.stmtWg.Wait()
+		close(drained)
+	}()
+	var errOut error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		errOut = ctx.Err()
+		for _, ss := range sessions {
+			ss.cancelInflight()
+		}
+	}
+	for _, ss := range sessions {
+		ss.conn.Close() // unblocks the reader; handler unwinds
+	}
+	s.connWg.Wait()
+	<-drained
+	s.logf("server: drained (%v)", errOut)
+	return errOut
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// maxStmtArgs bounds the argument count of one BindExec or Graph
+// frame: the reader pre-allocates an args slice from the client-
+// supplied count, so the count must be capped before allocation.
+const maxStmtArgs = 1 << 10
+
+// stmtKind discriminates queued statement requests.
+type stmtKind uint8
+
+const (
+	stmtSQL stmtKind = iota
+	stmtBindExec
+	stmtGraph
+)
+
+// stmtReq is one statement handed from the reader to the executor.
+type stmtReq struct {
+	kind stmtKind
+	id   uint32
+	sql  string          // stmtSQL
+	prep uint32          // stmtBindExec
+	args []storage.Value // stmtBindExec
+	verb string          // stmtGraph
+	argv []string        // stmtGraph
+}
+
+// session is one client connection's server-side state.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	es   *engine.Session
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	reqs chan stmtReq
+
+	prepMu   sync.Mutex
+	prepared map[uint32]string
+
+	inflightMu  sync.Mutex
+	inflightID  uint32
+	cancel      context.CancelFunc
+	lastStarted uint32          // highest statement id that has begun executing
+	cancelled   map[uint32]bool // cancels that arrived before their statement started
+}
+
+// handle runs one connection to completion.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	ss := &session{
+		srv:       s,
+		conn:      conn,
+		br:        bufio.NewReader(conn),
+		bw:        bufio.NewWriter(conn),
+		reqs:      make(chan stmtReq, 8),
+		prepared:  make(map[uint32]string),
+		cancelled: make(map[uint32]bool),
+	}
+
+	// Handshake.
+	typ, payload, err := wire.ReadFrame(ss.br)
+	if err != nil || typ != wire.FrameHello {
+		return
+	}
+	r := &wire.Reader{B: payload}
+	version := r.Uvarint()
+	clientName := r.String()
+	if r.Err != nil || version != wire.ProtocolVersion {
+		ss.writeError(0, fmt.Sprintf("unsupported protocol version %d (server speaks %d)", version, wire.ProtocolVersion))
+		return
+	}
+	id, err := s.admit(ss)
+	if err != nil {
+		ss.writeError(0, err.Error())
+		return
+	}
+	ss.id = id
+	defer s.unadmit(id)
+	ss.es = s.eng.DB().NewSessionMaxWorkers(s.cfg.MaxStmtWorkers)
+	defer ss.es.Close() // rolls back an abandoned transaction
+
+	var hello wire.Buffer
+	hello.PutUvarint(id)
+	hello.PutString(fmt.Sprintf("vertexica (budget=%d, max_sessions=%d)",
+		s.eng.WorkerBudget().Capacity(), s.cfg.MaxSessions))
+	if err := ss.writeFrame(wire.FrameHelloOK, hello.B); err != nil {
+		return
+	}
+	s.logf("session %d: connected (%s)", id, clientName)
+
+	// Executor goroutine: statements run serially per session.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for req := range ss.reqs {
+			ss.runStmt(req)
+		}
+	}()
+	ss.readLoop()
+	close(ss.reqs)
+	wg.Wait()
+	s.logf("session %d: disconnected", id)
+}
+
+// readLoop parses client frames until EOF/error. Cancel frames are
+// handled inline (they must overtake queued statements); everything
+// else is enqueued for the executor.
+func (ss *session) readLoop() {
+	for {
+		typ, payload, err := wire.ReadFrame(ss.br)
+		if err != nil {
+			return
+		}
+		r := &wire.Reader{B: payload}
+		switch typ {
+		case wire.FrameQuery:
+			id := r.U32()
+			sqlText := r.String()
+			if r.Err != nil {
+				return
+			}
+			ss.enqueue(stmtReq{kind: stmtSQL, id: id, sql: sqlText})
+		case wire.FramePrepare:
+			prep := r.U32()
+			sqlText := r.String()
+			if r.Err != nil {
+				return
+			}
+			ss.prepMu.Lock()
+			ss.prepared[prep] = sqlText
+			ss.prepMu.Unlock()
+			var b wire.Buffer
+			b.PutU32(prep)
+			ss.writeFrame(wire.FramePrepareOK, b.B)
+		case wire.FrameBindExec:
+			id := r.U32()
+			prep := r.U32()
+			nargs := r.Uvarint()
+			// Every encoded value takes >= 2 bytes, and no sane
+			// statement binds thousands of parameters: both bounds
+			// guard the pre-allocation against a hostile count (a
+			// 64 MiB payload must not demand a multi-GB slice).
+			if r.Err != nil || nargs > uint64(len(r.B))/2 || nargs > maxStmtArgs {
+				ss.writeError(id, "malformed bind: too many arguments")
+				ss.writeDone(id)
+				continue
+			}
+			args := make([]storage.Value, nargs)
+			for i := range args {
+				args[i] = r.Value()
+			}
+			if r.Err != nil {
+				return
+			}
+			ss.enqueue(stmtReq{kind: stmtBindExec, id: id, prep: prep, args: args})
+		case wire.FrameGraph:
+			id := r.U32()
+			verb := r.String()
+			nargs := r.Uvarint()
+			if r.Err != nil || nargs > uint64(len(r.B)) || nargs > maxStmtArgs {
+				ss.writeError(id, "malformed graph verb: too many arguments")
+				ss.writeDone(id)
+				continue
+			}
+			argv := make([]string, nargs)
+			for i := range argv {
+				argv[i] = r.String()
+			}
+			if r.Err != nil {
+				return
+			}
+			ss.enqueue(stmtReq{kind: stmtGraph, id: id, verb: verb, argv: argv})
+		case wire.FrameCancel:
+			ss.cancelStmt(r.U32())
+		case wire.FrameGoodbye:
+			return
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// enqueue hands a statement to the executor, rejecting instead of
+// blocking when the client has over-pipelined.
+func (ss *session) enqueue(req stmtReq) {
+	select {
+	case ss.reqs <- req:
+	default:
+		ss.writeError(req.id, "statement queue full (pipeline depth exceeded)")
+		ss.writeDone(req.id)
+	}
+}
+
+// setInflight installs the current statement's cancel hook. If a
+// cancel frame for this statement already arrived (cancel can overtake
+// the executor picking the statement off the queue), it fires
+// immediately — cancellation is sticky, never lost to that race.
+func (ss *session) setInflight(id uint32, cancel context.CancelFunc) {
+	ss.inflightMu.Lock()
+	ss.inflightID = id
+	ss.cancel = cancel
+	if cancel != nil {
+		if id > ss.lastStarted {
+			ss.lastStarted = id
+		}
+		if ss.cancelled[id] {
+			delete(ss.cancelled, id)
+			cancel()
+		}
+	}
+	ss.inflightMu.Unlock()
+}
+
+func (ss *session) clearInflight() { ss.setInflight(0, nil) }
+
+// cancelStmt cancels the statement with the given id: immediately if
+// it is in flight, or by marking it so it dies at start if it is still
+// queued. A cancel for a statement that already started AND finished
+// (the client's deadline losing the race with completion — the common
+// case for deadline-bounded queries) is dropped, keeping the pending
+// set bounded by the statement queue depth.
+func (ss *session) cancelStmt(id uint32) {
+	ss.inflightMu.Lock()
+	defer ss.inflightMu.Unlock()
+	if ss.cancel != nil && ss.inflightID == id {
+		ss.cancel()
+		return
+	}
+	if id <= ss.lastStarted {
+		return // already completed; nothing to cancel
+	}
+	ss.cancelled[id] = true
+}
+
+// cancelInflight force-cancels whatever runs now (forced shutdown).
+func (ss *session) cancelInflight() {
+	ss.inflightMu.Lock()
+	defer ss.inflightMu.Unlock()
+	if ss.cancel != nil {
+		ss.cancel()
+	}
+}
+
+// runStmt executes one statement and streams its response frames.
+func (ss *session) runStmt(req stmtReq) {
+	if !ss.srv.beginStmt() {
+		ss.writeError(req.id, "server is shutting down")
+		ss.writeDone(req.id)
+		return
+	}
+	defer ss.srv.endStmt()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ss.setInflight(req.id, cancel)
+	defer func() {
+		ss.clearInflight()
+		cancel()
+	}()
+
+	switch req.kind {
+	case stmtSQL:
+		ss.runSQL(ctx, req.id, req.sql)
+	case stmtBindExec:
+		ss.prepMu.Lock()
+		text, ok := ss.prepared[req.prep]
+		ss.prepMu.Unlock()
+		if !ok {
+			ss.writeError(req.id, fmt.Sprintf("unknown prepared statement %d", req.prep))
+			ss.writeDone(req.id)
+			return
+		}
+		bound, err := SubstituteParams(text, req.args)
+		if err != nil {
+			ss.writeError(req.id, err.Error())
+			ss.writeDone(req.id)
+			return
+		}
+		ss.runSQL(ctx, req.id, bound)
+	case stmtGraph:
+		// Graph verbs honor the session's statement_timeout like any
+		// SQL statement (the parallelism cap is applied inside the
+		// verb via EffectiveWorkers).
+		gctx, gcancel := ss.es.StatementContext(ctx)
+		batch, err := ss.runGraphVerb(gctx, req.verb, req.argv)
+		gcancel()
+		if err != nil {
+			ss.writeError(req.id, err.Error())
+			ss.writeDone(req.id)
+			return
+		}
+		ss.writeRows(req.id, &engine.Rows{Data: batch})
+	}
+}
+
+// runSQL executes one SQL statement through the engine session and
+// writes its result frames.
+func (ss *session) runSQL(ctx context.Context, id uint32, text string) {
+	rows, res, err := ss.es.Run(ctx, text)
+	if err != nil {
+		ss.writeError(id, err.Error())
+		ss.writeDone(id)
+		return
+	}
+	if rows != nil {
+		ss.writeRows(id, rows)
+		return
+	}
+	var b wire.Buffer
+	b.PutU32(id)
+	b.PutUvarint(uint64(res.RowsAffected))
+	ss.writeFrame(wire.FrameExecOK, b.B)
+	ss.writeDone(id)
+}
+
+// writeRows streams a materialized result: header, column-wise
+// batches of at most storage.BatchSize rows, then Done.
+func (ss *session) writeRows(id uint32, rows *engine.Rows) {
+	var hdr wire.Buffer
+	hdr.PutU32(id)
+	wire.AppendSchema(&hdr, rows.Data.Schema)
+	if err := ss.writeFrame(wire.FrameRowsHeader, hdr.B); err != nil {
+		return
+	}
+	n := rows.Data.Len()
+	for lo := 0; lo < n; lo += storage.BatchSize {
+		hi := lo + storage.BatchSize
+		if hi > n {
+			hi = n
+		}
+		var b wire.Buffer
+		b.PutU32(id)
+		part := rows.Data
+		if lo != 0 || hi != n {
+			part = rows.Data.Slice(lo, hi)
+		}
+		if err := wire.AppendBatch(&b, part); err != nil {
+			ss.writeError(id, err.Error())
+			break
+		}
+		if err := ss.writeFrame(wire.FrameRowsBatch, b.B); err != nil {
+			return
+		}
+	}
+	ss.writeDone(id)
+}
+
+func (ss *session) writeFrame(typ byte, payload []byte) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	if err := wire.WriteFrame(ss.bw, typ, payload); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}
+
+func (ss *session) writeError(id uint32, msg string) {
+	var b wire.Buffer
+	b.PutU32(id)
+	b.PutString(msg)
+	ss.writeFrame(wire.FrameError, b.B)
+}
+
+func (ss *session) writeDone(id uint32) {
+	var b wire.Buffer
+	b.PutU32(id)
+	ss.writeFrame(wire.FrameDone, b.B)
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+
+	vertexica "repro"
+	"repro/internal/storage"
+)
+
+// Graph-algorithm RPCs: the REPL's \pagerank-style commands become
+// server-side verbs so a thin client can drive vertex-centric and SQL
+// graph algorithms remotely. Every verb returns a result batch
+// (sorted by vertex id where applicable), reusing the row-streaming
+// path of ordinary queries.
+//
+// Graph runs mutate the graph's relational tables (reset, supersteps,
+// iteration scratch tables); the facade methods they dispatch to take
+// the engine's cross-session write gate for the whole run, so two
+// sessions' runs serialize instead of corrupting each other. A verb
+// is refused while this session holds an open transaction — the
+// session owns the gate then, and the run would deadlock against
+// itself (and bypass the transaction's undo scope anyway).
+func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string) (*storage.Batch, error) {
+	if ss.es.InTransaction() {
+		return nil, fmt.Errorf("server: cannot run graph verb %q inside a transaction", verb)
+	}
+	eng := ss.srv.eng
+	// The session's per-statement worker cap applies to vertex-centric
+	// runs via Options.Workers. (SQL-flavored verbs plan with the
+	// engine default; their extra workers still come from the global
+	// budget, so the process-wide bound holds regardless.)
+	workers := ss.es.EffectiveWorkers()
+	argN := func(i int, def int64) int64 {
+		if i < len(args) {
+			if v, err := strconv.ParseInt(args[i], 10, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch verb {
+	case "graphs":
+		names := []string{}
+		for _, n := range eng.DB().Catalog().Names() {
+			const suf = "_vertex"
+			if len(n) > len(suf) && n[len(n)-len(suf):] == suf {
+				names = append(names, n[:len(n)-len(suf)])
+			}
+		}
+		b := storage.NewBatch(storage.NewSchema(storage.Col("graph", storage.TypeString)))
+		for _, n := range names {
+			if err := b.AppendRow(storage.Str(n)); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+
+	case "load":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("server: load wants <twitter|gplus|livejournal> <scale>")
+		}
+		scale, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: load scale: %w", err)
+		}
+		var ds *vertexica.Dataset
+		switch args[0] {
+		case "twitter":
+			ds = vertexica.TwitterScale(scale)
+		case "gplus":
+			ds = vertexica.GPlusScale(scale)
+		case "livejournal":
+			ds = vertexica.LiveJournalScale(scale)
+		default:
+			return nil, fmt.Errorf("server: unknown dataset kind %q", args[0])
+		}
+		g, err := eng.LoadDatasetWithMetadata(ds, 42)
+		if err != nil {
+			return nil, err
+		}
+		nv, _ := g.NumVertices()
+		ne, _ := g.NumEdges()
+		b := storage.NewBatch(storage.NewSchema(
+			storage.Col("graph", storage.TypeString),
+			storage.Col("vertices", storage.TypeInt64),
+			storage.Col("edges", storage.TypeInt64),
+		))
+		if err := b.AppendRow(storage.Str(g.Name()), storage.Int64(nv), storage.Int64(ne)); err != nil {
+			return nil, err
+		}
+		return b, nil
+
+	case "pagerank", "pagerank-sql":
+		g, err := openVerbGraph(eng, args)
+		if err != nil {
+			return nil, err
+		}
+		iters := int(argN(1, 10))
+		var ranks map[int64]float64
+		if verb == "pagerank" {
+			ranks, _, err = g.PageRank(ctx, iters, vertexica.Options{Workers: workers})
+		} else {
+			ranks, err = g.PageRankSQL(ctx, iters)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return floatMapBatch("rank", ranks)
+
+	case "sssp", "sssp-sql":
+		g, err := openVerbGraph(eng, args)
+		if err != nil {
+			return nil, err
+		}
+		source := argN(1, 0)
+		unit := argN(2, 0) != 0
+		var dists map[int64]float64
+		if verb == "sssp" {
+			dists, _, err = g.ShortestPaths(ctx, source, unit, vertexica.Options{Workers: workers})
+		} else {
+			dists, err = g.ShortestPathsSQL(ctx, source, unit)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return floatMapBatch("dist", dists)
+
+	case "components", "components-sql":
+		g, err := openVerbGraph(eng, args)
+		if err != nil {
+			return nil, err
+		}
+		var labels map[int64]int64
+		if verb == "components" {
+			labels, _, err = g.ConnectedComponents(ctx, vertexica.Options{Workers: workers})
+		} else {
+			labels, err = g.ConnectedComponentsSQL(ctx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return intMapBatch("component", labels)
+
+	case "triangles":
+		g, err := openVerbGraph(eng, args)
+		if err != nil {
+			return nil, err
+		}
+		n, err := g.TriangleCount()
+		if err != nil {
+			return nil, err
+		}
+		b := storage.NewBatch(storage.NewSchema(storage.Col("triangles", storage.TypeInt64)))
+		if err := b.AppendRow(storage.Int64(n)); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("server: unknown graph verb %q", verb)
+}
+
+func openVerbGraph(eng *vertexica.Engine, args []string) (*vertexica.Graph, error) {
+	if len(args) < 1 || args[0] == "" {
+		return nil, fmt.Errorf("server: graph verb wants a graph name")
+	}
+	return eng.OpenGraph(args[0])
+}
+
+// floatMapBatch materializes an id→float map sorted by id.
+func floatMapBatch(col string, m map[int64]float64) (*storage.Batch, error) {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := storage.NewBatch(storage.NewSchema(
+		storage.Col("id", storage.TypeInt64),
+		storage.Col(col, storage.TypeFloat64),
+	))
+	for _, id := range ids {
+		if err := b.AppendRow(storage.Int64(id), storage.Float64(m[id])); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// intMapBatch materializes an id→int map sorted by id.
+func intMapBatch(col string, m map[int64]int64) (*storage.Batch, error) {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b := storage.NewBatch(storage.NewSchema(
+		storage.Col("id", storage.TypeInt64),
+		storage.Col(col, storage.TypeInt64),
+	))
+	for _, id := range ids {
+		if err := b.AppendRow(storage.Int64(id), storage.Int64(m[id])); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

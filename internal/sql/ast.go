@@ -597,3 +597,52 @@ func (*TruncateStmt) stmt() {}
 
 // String implements Statement.
 func (s *TruncateStmt) String() string { return "TRUNCATE " + s.Name }
+
+// --- session control ---
+
+// BeginStmt opens a transaction.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// String implements Statement.
+func (*BeginStmt) String() string { return "BEGIN" }
+
+// CommitStmt commits the open transaction.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// String implements Statement.
+func (*CommitStmt) String() string { return "COMMIT" }
+
+// RollbackStmt rolls back the open transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
+// String implements Statement.
+func (*RollbackStmt) String() string { return "ROLLBACK" }
+
+// SetStmt assigns a session variable (SET statement_timeout = 500).
+// The value is an expression so numeric and string settings parse
+// uniformly; sessions evaluate it against an empty scope.
+type SetStmt struct {
+	Name  string
+	Value Expr
+}
+
+func (*SetStmt) stmt() {}
+
+// String implements Statement.
+func (s *SetStmt) String() string { return "SET " + s.Name + " = " + s.Value.String() }
+
+// ShowStmt reads a session variable (SHOW statement_timeout).
+type ShowStmt struct {
+	Name string
+}
+
+func (*ShowStmt) stmt() {}
+
+// String implements Statement.
+func (s *ShowStmt) String() string { return "SHOW " + s.Name }

@@ -130,9 +130,53 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDropTable()
 	case "TRUNCATE":
 		return p.parseTruncate()
+	case "BEGIN":
+		p.next()
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.next()
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.next()
+		return &RollbackStmt{}, nil
+	case "SET":
+		return p.parseSet()
+	case "SHOW":
+		return p.parseShow()
 	default:
 		return nil, p.errf("unsupported statement %s", t.Text)
 	}
+}
+
+// parseSet parses SET <var> = <expr> (session variables; UPDATE's SET
+// clause is handled inside parseUpdate).
+func (p *Parser) parseSet() (Statement, error) {
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &SetStmt{Name: name, Value: e}, nil
+}
+
+func (p *Parser) parseShow() (Statement, error) {
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ShowStmt{Name: name}, nil
 }
 
 // --- SELECT ---

@@ -299,3 +299,29 @@ func TestSemicolonTolerated(t *testing.T) {
 		t.Errorf("trailing semicolon should parse: %v", err)
 	}
 }
+
+func TestParseSessionControl(t *testing.T) {
+	if _, ok := roundTrip(t, "BEGIN").(*BeginStmt); !ok {
+		t.Error("BEGIN not parsed")
+	}
+	if _, ok := roundTrip(t, "commit;").(*CommitStmt); !ok {
+		t.Error("COMMIT not parsed")
+	}
+	if _, ok := roundTrip(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Error("ROLLBACK not parsed")
+	}
+	set := roundTrip(t, "SET statement_timeout = 250").(*SetStmt)
+	if set.Name != "statement_timeout" {
+		t.Errorf("SET name = %q", set.Name)
+	}
+	if lit, ok := set.Value.(*IntLit); !ok || lit.V != 250 {
+		t.Errorf("SET value = %#v", set.Value)
+	}
+	show := roundTrip(t, "SHOW parallelism").(*ShowStmt)
+	if show.Name != "parallelism" {
+		t.Errorf("SHOW name = %q", show.Name)
+	}
+	if _, err := Parse("SET = 3"); err == nil {
+		t.Error("SET without a variable name should fail")
+	}
+}

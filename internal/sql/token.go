@@ -6,7 +6,9 @@
 // Supported statements: SELECT (joins, comma cross-joins, WHERE,
 // GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET, DISTINCT, UNION ALL, WITH
 // CTEs, derived tables), INSERT (VALUES and SELECT forms), UPDATE,
-// DELETE, CREATE TABLE, DROP TABLE and TRUNCATE.
+// DELETE, CREATE TABLE, DROP TABLE, TRUNCATE, and the session-control
+// statements BEGIN / COMMIT / ROLLBACK / SET <var> = <expr> /
+// SHOW <var>.
 package sql
 
 import "fmt"
@@ -60,7 +62,8 @@ var keywords = map[string]bool{
 	"DELETE": true, "CREATE": true, "TABLE": true, "DROP": true, "IF": true,
 	"EXISTS": true, "TRUNCATE": true, "INTEGER": true, "BIGINT": true,
 	"DOUBLE": true, "FLOAT": true, "VARCHAR": true, "TEXT": true,
-	"BOOLEAN": true, "PRECISION": true,
+	"BOOLEAN": true, "PRECISION": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "SHOW": true,
 }
 
 // symbols lists multi-char symbols first so the lexer prefers the

@@ -25,11 +25,14 @@ import (
 const infDist = 1.0e18
 
 // cleanup drops scratch tables, ignoring errors for missing ones. It
-// deliberately ignores the caller's context: scratch tables must go
-// away even when the run was cancelled.
-func cleanup(db *engine.DB, names ...string) {
+// survives the caller's cancellation (scratch tables must go away even
+// when the run was cancelled) but keeps the context's values — in
+// particular the write-gate marker, so a cleanup issued under the
+// facade's gate does not try to re-acquire it.
+func cleanup(ctx context.Context, db *engine.DB, names ...string) {
+	ctx = context.WithoutCancel(ctx)
 	for _, n := range names {
-		_, _ = db.Exec("DROP TABLE IF EXISTS " + n)
+		_, _ = db.ExecContext(ctx, "DROP TABLE IF EXISTS "+n)
 	}
 }
 
@@ -55,8 +58,8 @@ func PageRank(ctx context.Context, g *core.Graph, iterations int, damping float6
 	pra := g.Name + "_sqlpr_a"
 	prb := g.Name + "_sqlpr_b"
 	deg := g.Name + "_sqlpr_deg"
-	cleanup(db, pra, prb, deg)
-	defer cleanup(db, pra, prb, deg)
+	cleanup(ctx, db, pra, prb, deg)
+	defer cleanup(ctx, db, pra, prb, deg)
 
 	stmts := []string{
 		fmt.Sprintf("CREATE TABLE %s (id INTEGER NOT NULL, rank DOUBLE NOT NULL)", pra),
@@ -107,8 +110,8 @@ func ShortestPaths(ctx context.Context, g *core.Graph, source int64, unitWeights
 	db := g.DB
 	da := g.Name + "_sqlsp_a"
 	dbl := g.Name + "_sqlsp_b"
-	cleanup(db, da, dbl)
-	defer cleanup(db, da, dbl)
+	cleanup(ctx, db, da, dbl)
+	defer cleanup(ctx, db, da, dbl)
 
 	weightExpr := "CASE WHEN e.weight IS NULL OR e.weight <= 0.0 THEN 1.0 ELSE e.weight END"
 	if unitWeights {
@@ -176,8 +179,8 @@ func ConnectedComponents(ctx context.Context, g *core.Graph) (map[int64]int64, e
 	db := g.DB
 	la := g.Name + "_sqlcc_a"
 	lb := g.Name + "_sqlcc_b"
-	cleanup(db, la, lb)
-	defer cleanup(db, la, lb)
+	cleanup(ctx, db, la, lb)
+	defer cleanup(ctx, db, la, lb)
 
 	stmts := []string{
 		fmt.Sprintf("CREATE TABLE %s (id INTEGER NOT NULL, label INTEGER NOT NULL)", la),

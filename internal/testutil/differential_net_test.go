@@ -1,0 +1,178 @@
+package testutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	vertexica "repro"
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The network differential harness: the same seeded-graph corpus runs
+// through the wire client against an in-process server, and every
+// result — SQL result sets and graph-algorithm outputs — must be
+// byte-identical to the in-process path. This pins down the whole
+// serving stack: session dispatch, the column-wise batch codec, and
+// the budget-bounded executor may not change a single bit.
+
+func startDiffServer(t *testing.T, eng *vertexica.Engine) string {
+	t.Helper()
+	srv := server.New(eng, server.Config{WorkerBudget: 2})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil && !errors.Is(err, server.ErrServerClosed) {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv.Addr()
+}
+
+func TestDifferentialNetworkSQL(t *testing.T) {
+	lowMorsels(t)
+	queries := []string{
+		"SELECT src, dst, weight, etype, created FROM net_edge ORDER BY src, dst, created",
+		"SELECT src, COUNT(*), SUM(weight), MIN(weight), MAX(weight) FROM net_edge GROUP BY src ORDER BY src",
+		"SELECT e1.src, e2.dst FROM net_edge AS e1 JOIN net_edge AS e2 ON e1.dst = e2.src WHERE e1.src < 5 ORDER BY e1.src, e2.dst, e1.created, e2.created",
+		"SELECT COUNT(*) FROM net_edge WHERE weight > 1.5",
+		"SELECT DISTINCT etype FROM net_edge",
+		"SELECT id, halted FROM net_vertex ORDER BY id LIMIT 40 OFFSET 5",
+	}
+	for _, seed := range []int64{3, 19} {
+		eng := vertexica.New()
+		eng.SetParallelism(4)
+		g := RandomGraph(seed, 60, 300)
+		if _, err := g.Load(eng.DB(), "net"); err != nil {
+			t.Fatal(err)
+		}
+		addr := startDiffServer(t, eng)
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, q := range queries {
+			local, err := eng.DB().Query(q)
+			if err != nil {
+				t.Fatalf("seed %d local %q: %v", seed, q, err)
+			}
+			remote, err := c.Query(ctx, q)
+			if err != nil {
+				t.Fatalf("seed %d remote %q: %v", seed, q, err)
+			}
+			if !wire.EqualBatches(remote.Data, local.Data) {
+				t.Errorf("seed %d: network result differs from in-process for %q", seed, q)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestDifferentialNetworkAlgorithms(t *testing.T) {
+	lowMorsels(t)
+	eng := vertexica.New()
+	eng.SetParallelism(2)
+	ref := RandomGraph(23, 80, 400)
+	if _, err := ref.Load(eng.DB(), "net"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := eng.OpenGraph("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startDiffServer(t, eng)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// PageRank: wire vs in-process vs independent reference.
+	localRanks, _, err := g.PageRank(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireRanks, err := c.PageRank(ctx, "net", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffFloatMaps("pagerank wire vs local", wireRanks, localRanks, 0); err != nil {
+		t.Error(err)
+	}
+	if err := DiffFloatMaps("pagerank wire vs ref", wireRanks, RefPageRank(ref, 8, 0.85), 1e-9); err != nil {
+		t.Error(err)
+	}
+
+	// SSSP via verb (unit weights so the reference applies).
+	rows, err := c.Graph(ctx, "sssp", "net", "0", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireDist := make(map[int64]float64, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		wireDist[rows.Value(i, 0).I] = rows.Value(i, 1).F
+	}
+	localDist, _, err := g.ShortestPaths(ctx, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffFloatMaps("sssp wire vs local", wireDist, localDist, 0); err != nil {
+		t.Error(err)
+	}
+	if err := DiffFloatMaps("sssp wire vs ref", DropInf(wireDist), RefShortestPaths(ref, 0, true), 1e-12); err != nil {
+		t.Error(err)
+	}
+
+	// Components (SQL flavor) via verb.
+	rows, err = c.Graph(ctx, "components-sql", "net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireLabels := make(map[int64]int64, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		wireLabels[rows.Value(i, 0).I] = rows.Value(i, 1).I
+	}
+	localLabels, err := g.ConnectedComponentsSQL(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffIntMaps("components wire vs local", wireLabels, localLabels); err != nil {
+		t.Error(err)
+	}
+
+	// Prepared statements bind the same values the literal form does.
+	st, err := c.Prepare(ctx, "SELECT COUNT(*) FROM net_edge WHERE src = $1 AND weight > $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := int64(0); src < 5; src++ {
+		prows, err := st.Query(ctx, vertexica.Int64Value(src), vertexica.Float64Value(1.0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := eng.DB().Query(fmt.Sprintf(
+			"SELECT COUNT(*) FROM net_edge WHERE src = %d AND weight > 1", src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prows.Value(0, 0).I != local.Value(0, 0).I {
+			t.Errorf("prepared count for src %d: wire %d local %d", src, prows.Value(0, 0).I, local.Value(0, 0).I)
+		}
+	}
+
+	if hw, cap := eng.WorkerBudget().HighWater(), eng.WorkerBudget().Capacity(); hw > cap {
+		t.Errorf("budget overshot during differential run: %d > %d", hw, cap)
+	}
+}

@@ -46,7 +46,7 @@ func TestDifferentialPageRank(t *testing.T) {
 	for _, seed := range []int64{1, 42} {
 		g := RandomGraph(seed, 80, 400)
 		ref := RefPageRank(g, 8, 0.85)
-		var serial map[int64]float64
+		var serial, serialVx map[int64]float64
 		for _, w := range workerLevels {
 			cg := loadOrFatal(t, g, w)
 			sqlRanks, err := sqlgraph.PageRank(ctx, cg, 8, 0.85)
@@ -65,8 +65,18 @@ func TestDifferentialPageRank(t *testing.T) {
 			}
 			if w == 1 {
 				serial = sqlRanks
-			} else if err := DiffFloatMaps("sql parallel vs serial", sqlRanks, serial, 0); err != nil {
+				serialVx = vxRanks
+				continue
+			}
+			if err := DiffFloatMaps("sql parallel vs serial", sqlRanks, serial, 0); err != nil {
 				t.Errorf("seed %d workers %d not byte-identical: %v", seed, w, err)
+			}
+			// The vertex runtime sorts messages before float combining
+			// and folds aggregators in partition order, so it too is
+			// bit-identical at any worker count (the serving layer's
+			// budget can shrink the pool without changing results).
+			if err := DiffFloatMaps("vertex parallel vs serial", vxRanks, serialVx, 0); err != nil {
+				t.Errorf("seed %d workers %d vertex run not byte-identical: %v", seed, w, err)
 			}
 		}
 	}

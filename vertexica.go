@@ -25,12 +25,14 @@ package vertexica
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/sqlgraph"
 	"repro/internal/storage"
 )
@@ -104,11 +106,16 @@ var (
 // Engine is a Vertexica instance: an embedded relational database with
 // the vertex-centric layer on top.
 type Engine struct {
-	db *engine.DB
+	db        *engine.DB
+	sessionMu sync.Mutex      // sessions run one statement at a time; keep the facade goroutine-safe
+	session   *engine.Session // default session (REPL / embedded SQL)
 }
 
 // New returns an in-memory Vertexica engine.
-func New() *Engine { return &Engine{db: engine.New()} }
+func New() *Engine {
+	db := engine.New()
+	return &Engine{db: db, session: db.NewSession()}
+}
 
 // Open returns a persistent engine rooted at dir (snapshot + WAL
 // recovery happen here if files exist).
@@ -117,7 +124,7 @@ func Open(dir string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db}, nil
+	return &Engine{db: db, session: db.NewSession()}, nil
 }
 
 // Close flushes and closes the engine.
@@ -137,27 +144,58 @@ func (e *Engine) DB() *engine.DB { return e.db }
 // fully serial; results are byte-identical at every setting.
 func (e *Engine) SetParallelism(n int) { e.db.SetParallelism(n) }
 
-// SQL executes any SQL statement; SELECTs return rows, DML returns nil
-// rows with the affected count.
+// SetWorkerBudget caps the total extra worker goroutines across every
+// concurrent SQL statement AND vertex-centric run sharing this engine
+// — the global budget that keeps a PageRank run and a burst of SQL
+// sessions from oversubscribing cores. Each parallel construct keeps
+// its calling goroutine for free and draws extras from the budget, so
+// execution degrades toward serial under load instead of thrashing;
+// results are byte-identical at every budget. n <= 0 removes the cap
+// (the default).
+func (e *Engine) SetWorkerBudget(n int) { e.db.SetWorkerBudget(n) }
+
+// WorkerBudget exposes the shared budget's gauges (capacity, in-use,
+// high-water) for benchmarks and serving dashboards.
+func (e *Engine) WorkerBudget() *sched.Budget { return e.db.WorkerBudget() }
+
+// Session returns the engine's default session (session variables such
+// as statement_timeout, SET/SHOW, transaction scope). The network
+// server gives every connection its own session; embedded callers
+// share this one through SQL/Begin/Commit/Rollback, which serialize on
+// it. Callers that want concurrent statements should create their own
+// sessions with DB().NewSession() instead of driving this one from
+// several goroutines.
+func (e *Engine) Session() *engine.Session { return e.session }
+
+// runDefault executes one statement on the default session. Sessions
+// run one statement at a time, so the facade serializes here — Engine
+// stays safe for concurrent use, exactly like before the serving
+// layer existed.
+func (e *Engine) runDefault(query string) (*Rows, engine.Result, error) {
+	e.sessionMu.Lock()
+	defer e.sessionMu.Unlock()
+	return e.session.Run(context.Background(), query)
+}
+
+// SQL executes any SQL statement through the default session; SELECTs
+// (and SHOW) return rows, DML returns nil rows with the affected
+// count, and SET/BEGIN/COMMIT/ROLLBACK manage the session.
 func (e *Engine) SQL(query string) (*Rows, int, error) {
-	rows, err := e.db.Query(query)
-	if err == nil {
-		return rows, rows.Len(), nil
-	}
-	res, err2 := e.db.Exec(query)
-	if err2 != nil {
+	rows, res, err := e.runDefault(query)
+	if err != nil {
 		return nil, 0, err
 	}
-	return nil, res.RowsAffected, nil
+	return rows, res.RowsAffected, nil
 }
 
 // RegisterUDF installs a scalar SQL UDF.
 func (e *Engine) RegisterUDF(f *ScalarFunc) error { return e.db.RegisterUDF(f) }
 
-// Begin/Commit/Rollback expose statement-level transactions.
-func (e *Engine) Begin() error    { return e.db.Begin() }
-func (e *Engine) Commit() error   { return e.db.Commit() }
-func (e *Engine) Rollback() error { return e.db.Rollback() }
+// Begin/Commit/Rollback expose statement-level transactions (scoped to
+// the default session, like SQL("BEGIN")).
+func (e *Engine) Begin() error    { _, _, err := e.runDefault("BEGIN"); return err }
+func (e *Engine) Commit() error   { _, _, err := e.runDefault("COMMIT"); return err }
+func (e *Engine) Rollback() error { _, _, err := e.runDefault("ROLLBACK"); return err }
 
 // Graph is a handle to one graph's relational tables.
 type Graph struct {
@@ -194,8 +232,18 @@ func (e *Engine) OpenGraph(name string) (*Graph, error) {
 func (e *Engine) DropGraph(name string) error { return core.DropGraph(e.db, name) }
 
 // LoadDataset creates a graph named after the dataset and bulk-loads
-// its edges (vertices are created from edge endpoints).
-func (e *Engine) LoadDataset(ds *Dataset) (*Graph, error) {
+// its edges (vertices are created from edge endpoints). The load is a
+// multi-statement writer, so it runs under the cross-session write
+// gate like a transaction.
+func (e *Engine) LoadDataset(ds *Dataset) (g *Graph, err error) {
+	err = e.runGated(context.Background(), func(context.Context) error {
+		g, err = e.loadDataset(ds)
+		return err
+	})
+	return g, err
+}
+
+func (e *Engine) loadDataset(ds *Dataset) (*Graph, error) {
 	g, err := e.CreateGraph(ds.Name)
 	if err != nil {
 		return nil, err
@@ -216,23 +264,29 @@ func (e *Engine) LoadDataset(ds *Dataset) (*Graph, error) {
 
 // LoadDatasetWithMetadata additionally generates the paper's §4 vertex
 // metadata table (<name>_vertex_meta).
-func (e *Engine) LoadDatasetWithMetadata(ds *Dataset, seed int64) (*Graph, error) {
-	g, err := e.LoadDataset(ds)
-	if err != nil {
-		return nil, err
-	}
-	ids := make([]int64, 0, ds.Nodes)
-	for v := int64(0); v < ds.Nodes; v++ {
-		ids = append(ids, v)
-	}
-	if err := dataset.ApplyMetadata(e.db, ds.Name, ids, seed); err != nil {
-		return nil, err
-	}
-	return g, nil
+func (e *Engine) LoadDatasetWithMetadata(ds *Dataset, seed int64) (g *Graph, err error) {
+	err = e.runGated(context.Background(), func(context.Context) error {
+		g, err = e.loadDataset(ds)
+		if err != nil {
+			return err
+		}
+		ids := make([]int64, 0, ds.Nodes)
+		for v := int64(0); v < ds.Nodes; v++ {
+			ids = append(ids, v)
+		}
+		return dataset.ApplyMetadata(e.db, ds.Name, ids, seed)
+	})
+	return g, err
 }
 
-// AddVertex inserts one vertex.
-func (g *Graph) AddVertex(id int64, value string) error { return g.g.AddVertex(id, value) }
+// AddVertex inserts one vertex. Like an auto-commit write statement it
+// takes the cross-session write gate, so another session's rollback
+// can never clobber it.
+func (g *Graph) AddVertex(id int64, value string) error {
+	return g.e.runGated(context.Background(), func(context.Context) error {
+		return g.g.AddVertex(id, value)
+	})
+}
 
 // AddVertexIfMissing inserts a vertex with an empty value unless it
 // already exists.
@@ -245,12 +299,14 @@ func (g *Graph) AddVertexIfMissing(id int64) error {
 	if v.I > 0 {
 		return nil
 	}
-	return g.g.AddVertex(id, "")
+	return g.AddVertex(id, "")
 }
 
-// AddEdge inserts one edge.
+// AddEdge inserts one edge (gated like AddVertex).
 func (g *Graph) AddEdge(src, dst int64, weight float64, etype string, created int64) error {
-	return g.g.AddEdge(src, dst, weight, etype, created)
+	return g.e.runGated(context.Background(), func(context.Context) error {
+		return g.g.AddEdge(src, dst, weight, etype, created)
+	})
 }
 
 // NumVertices returns the vertex count.
@@ -262,44 +318,100 @@ func (g *Graph) NumEdges() (int64, error) { return g.g.NumEdges() }
 // VertexValues returns every vertex's current value string.
 func (g *Graph) VertexValues() (map[int64]string, error) { return g.g.VertexValues() }
 
+// runGated executes a whole graph-algorithm run under the engine's
+// cross-session write gate: the run mutates graph tables across many
+// statements and supersteps, so it must serialize with other writers
+// the way a transaction does — otherwise a concurrent session's write
+// could shift vertex rows under the coordinator (or a rollback could
+// clobber the run's write-back). The gate is marked on the context so
+// nested write statements (a SQL driver's scratch-table DDL) skip the
+// per-statement acquisition instead of deadlocking.
+func (e *Engine) runGated(ctx context.Context, fn func(ctx context.Context) error) error {
+	if engine.GateHeld(ctx) {
+		return fn(ctx)
+	}
+	e.sessionMu.Lock()
+	inTxn := e.session.InTransaction()
+	e.sessionMu.Unlock()
+	if inTxn {
+		return fmt.Errorf("vertexica: cannot run a graph algorithm while the default session has an open transaction")
+	}
+	if err := e.db.AcquireWriteGate(ctx); err != nil {
+		return err
+	}
+	defer e.db.ReleaseWriteGate()
+	return fn(engine.WithGateHeld(ctx))
+}
+
 // RunProgram executes an arbitrary vertex program. initial (if non-nil)
 // resets vertex values first.
 func (g *Graph) RunProgram(ctx context.Context, prog VertexProgram, opts Options, initial func(id int64) string) (*RunStats, error) {
-	if initial != nil {
-		if err := g.g.ResetForRun(initial); err != nil {
-			return nil, err
+	var stats *RunStats
+	err := g.e.runGated(ctx, func(ctx context.Context) error {
+		if initial != nil {
+			if err := g.g.ResetForRun(initial); err != nil {
+				return err
+			}
 		}
-	}
-	return core.Run(ctx, g.g, prog, opts)
+		var err error
+		stats, err = core.Run(ctx, g.g, prog, opts)
+		return err
+	})
+	return stats, err
 }
 
 // --- vertex-centric algorithms (§3.1) ---
 
 // PageRank runs vertex-centric PageRank for the given iterations.
-func (g *Graph) PageRank(ctx context.Context, iterations int, opts ...Options) (map[int64]float64, *RunStats, error) {
-	return algorithms.RunPageRank(ctx, g.g, iterations, optOrDefault(opts))
+func (g *Graph) PageRank(ctx context.Context, iterations int, opts ...Options) (ranks map[int64]float64, stats *RunStats, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		ranks, stats, err = algorithms.RunPageRank(ctx, g.g, iterations, optOrDefault(opts))
+		return err
+	})
+	return ranks, stats, err
 }
 
 // ShortestPaths runs vertex-centric SSSP from source.
-func (g *Graph) ShortestPaths(ctx context.Context, source int64, unitWeights bool, opts ...Options) (map[int64]float64, *RunStats, error) {
-	return algorithms.RunSSSP(ctx, g.g, source, unitWeights, optOrDefault(opts))
+func (g *Graph) ShortestPaths(ctx context.Context, source int64, unitWeights bool, opts ...Options) (dists map[int64]float64, stats *RunStats, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		dists, stats, err = algorithms.RunSSSP(ctx, g.g, source, unitWeights, optOrDefault(opts))
+		return err
+	})
+	return dists, stats, err
 }
 
 // ConnectedComponents labels each vertex with its component's min id.
-func (g *Graph) ConnectedComponents(ctx context.Context, opts ...Options) (map[int64]int64, *RunStats, error) {
-	return algorithms.RunConnectedComponents(ctx, g.g, optOrDefault(opts))
+func (g *Graph) ConnectedComponents(ctx context.Context, opts ...Options) (labels map[int64]int64, stats *RunStats, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		labels, stats, err = algorithms.RunConnectedComponents(ctx, g.g, optOrDefault(opts))
+		return err
+	})
+	return labels, stats, err
 }
 
 // CollaborativeFiltering trains latent vectors on a bipartite rating
 // graph and returns them per vertex.
-func (g *Graph) CollaborativeFiltering(ctx context.Context, dim, iterations int, opts ...Options) (map[int64][]float64, *RunStats, error) {
-	return algorithms.RunCollabFilter(ctx, g.g, algorithms.NewCollabFilter(dim, iterations), optOrDefault(opts))
+func (g *Graph) CollaborativeFiltering(ctx context.Context, dim, iterations int, opts ...Options) (vecs map[int64][]float64, stats *RunStats, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		vecs, stats, err = algorithms.RunCollabFilter(ctx, g.g, algorithms.NewCollabFilter(dim, iterations), optOrDefault(opts))
+		return err
+	})
+	return vecs, stats, err
 }
 
 // RandomWalkWithRestart computes personalized-PageRank scores from a
 // source vertex.
-func (g *Graph) RandomWalkWithRestart(ctx context.Context, source int64, iterations int, opts ...Options) (map[int64]float64, *RunStats, error) {
-	return algorithms.RunRandomWalkRestart(ctx, g.g, source, iterations, optOrDefault(opts))
+func (g *Graph) RandomWalkWithRestart(ctx context.Context, source int64, iterations int, opts ...Options) (scores map[int64]float64, stats *RunStats, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		scores, stats, err = algorithms.RunRandomWalkRestart(ctx, g.g, source, iterations, optOrDefault(opts))
+		return err
+	})
+	return scores, stats, err
 }
 
 // PredictRating is the collaborative-filtering dot-product predictor.
@@ -318,18 +430,33 @@ func optOrDefault(opts []Options) Options {
 
 // PageRankSQL runs the hand-tuned SQL PageRank. ctx cancels between
 // and inside SQL iterations.
-func (g *Graph) PageRankSQL(ctx context.Context, iterations int) (map[int64]float64, error) {
-	return sqlgraph.PageRank(ctx, g.g, iterations, 0.85)
+func (g *Graph) PageRankSQL(ctx context.Context, iterations int) (ranks map[int64]float64, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		ranks, err = sqlgraph.PageRank(ctx, g.g, iterations, 0.85)
+		return err
+	})
+	return ranks, err
 }
 
 // ShortestPathsSQL runs the SQL SSSP (unreachable vertices absent).
-func (g *Graph) ShortestPathsSQL(ctx context.Context, source int64, unitWeights bool) (map[int64]float64, error) {
-	return sqlgraph.ShortestPaths(ctx, g.g, source, unitWeights)
+func (g *Graph) ShortestPathsSQL(ctx context.Context, source int64, unitWeights bool) (dists map[int64]float64, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		dists, err = sqlgraph.ShortestPaths(ctx, g.g, source, unitWeights)
+		return err
+	})
+	return dists, err
 }
 
 // ConnectedComponentsSQL runs SQL label propagation.
-func (g *Graph) ConnectedComponentsSQL(ctx context.Context) (map[int64]int64, error) {
-	return sqlgraph.ConnectedComponents(ctx, g.g)
+func (g *Graph) ConnectedComponentsSQL(ctx context.Context) (labels map[int64]int64, err error) {
+	err = g.e.runGated(ctx, func(ctx context.Context) error {
+		var err error
+		labels, err = sqlgraph.ConnectedComponents(ctx, g.g)
+		return err
+	})
+	return labels, err
 }
 
 // TriangleCount counts distinct triangles (symmetrized graphs).

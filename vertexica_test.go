@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/giraph"
@@ -323,5 +324,46 @@ func TestUDFFacade(t *testing.T) {
 	}
 	if rows.Value(0, 0).F != 4 {
 		t.Errorf("udf = %v", rows.Value(0, 0))
+	}
+}
+
+// TestGraphRunGatedAgainstTxn: a graph-algorithm run is a
+// multi-statement writer, so it must serialize with transactions via
+// the cross-session write gate — and refuse to run inside the default
+// session's own transaction (self-deadlock otherwise).
+func TestGraphRunGatedAgainstTxn(t *testing.T) {
+	vx, g := smallSocial(t)
+	ctx := context.Background()
+
+	if err := vx.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PageRank(ctx, 2); err == nil {
+		t.Fatal("graph run allowed inside the default session's transaction")
+	}
+	if err := vx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another session's open transaction blocks the run until COMMIT.
+	s := vx.DB().NewSession()
+	if _, _, err := s.Run(ctx, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := g.PageRank(cctx, 2); err == nil {
+		t.Fatal("graph run slipped past another session's open transaction")
+	}
+	if _, _, err := s.Run(ctx, "COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PageRank(ctx, 2); err != nil {
+		t.Fatalf("graph run failed after the transaction committed: %v", err)
+	}
+	// SQL-flavored runs take the same gate (their scratch-table DDL
+	// must not deadlock against it).
+	if _, err := g.PageRankSQL(ctx, 2); err != nil {
+		t.Fatalf("SQL graph run under the gate: %v", err)
 	}
 }
