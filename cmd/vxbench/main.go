@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/bench/serve"
+	"repro/internal/bench/stream"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	serveStudy := flag.Bool("serve", false, "run study S: concurrent-client serving throughput against an in-process vxserve")
 	serveOps := flag.Int("serve-ops", 40, "study S: queries per client")
 	serveBudget := flag.Int("serve-budget", runtime.NumCPU(), "study S: global worker budget")
+	streamStudy := flag.Bool("stream", false, "run study T: first-row latency + allocation, materialized vs streamed execution")
+	streamOut := flag.String("stream-out", "BENCH_stream.json", "study T: JSON trajectory file path (empty = don't write)")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -87,6 +90,23 @@ func main() {
 	}
 	if *serveStudy {
 		runServeStudy(*scale, *serveOps, *serveBudget)
+	}
+	if *streamStudy {
+		runStreamStudy(*scale, *streamOut)
+	}
+}
+
+// runStreamStudy measures materialized vs streamed result delivery
+// and records the trajectory in BENCH_stream.json.
+func runStreamStudy(scale float64, out string) {
+	fmt.Printf("\n=== study T: streaming execution (scale=%.4f) ===\n", scale)
+	rows, err := stream.Study(scale, out)
+	if err != nil {
+		fatal(err)
+	}
+	bench.PrintAblation(os.Stdout, rows)
+	if out != "" {
+		fmt.Printf("trajectory written to %s\n", out)
 	}
 }
 

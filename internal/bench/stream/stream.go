@@ -1,0 +1,202 @@
+// Package stream holds the streaming-execution study: it measures
+// what the iterator-based result path buys over full materialization —
+// first-row latency and allocation volume for a big scan — and writes
+// the numbers to a JSON trajectory file (BENCH_stream.json) so the
+// gain is tracked across revisions. Serial (materialized) execution
+// drains the whole result before the first row is visible; streamed
+// execution hands the first batch over as soon as the executor
+// produces it.
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Variant is one measured execution mode.
+type Variant struct {
+	Name string `json:"name"`
+	// FirstRowMicros is the latency until the first result row is
+	// available to the consumer.
+	FirstRowMicros int64 `json:"first_row_us"`
+	// TotalMicros is the latency until the result is fully consumed.
+	TotalMicros int64 `json:"total_us"`
+	// AllocBytes is the total allocation volume of the run
+	// (runtime.MemStats.TotalAlloc delta).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// HeapPeakBytes is the highest HeapAlloc sample observed during
+	// the run.
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+	Rows          int    `json:"rows"`
+}
+
+// Report is the JSON document written to the trajectory file.
+type Report struct {
+	Study    string    `json:"study"`
+	Scale    float64   `json:"scale"`
+	Rows     int       `json:"table_rows"`
+	Variants []Variant `json:"variants"`
+}
+
+// buildDB seeds a table with n rows of (id INTEGER, w DOUBLE).
+func buildDB(n int) (*engine.DB, error) {
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE stream_t (id INTEGER NOT NULL, w DOUBLE)"); err != nil {
+		return nil, err
+	}
+	tb, err := db.Catalog().Get("stream_t")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow(storage.Int64(int64(i)), storage.Float64(float64(i)*0.5)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// measure runs fn under allocation accounting. fn reports first-row
+// and completion timestamps relative to its own start.
+func measure(name string, rows int, fn func() (first, total time.Duration, n int, err error)) (Variant, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				// Final sample: short runs may finish between ticks.
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+				peakCh <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	first, total, n, err := fn()
+	close(stop)
+	peak := <-peakCh
+	if err != nil {
+		return Variant{}, err
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return Variant{
+		Name:           name,
+		FirstRowMicros: first.Microseconds(),
+		TotalMicros:    total.Microseconds(),
+		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		HeapPeakBytes:  peak,
+		Rows:           n,
+	}, nil
+}
+
+// Study measures materialized vs streamed execution of a full-table
+// scan-filter at the given scale and writes the report to outPath
+// (skipped when outPath is empty). It returns printable rows.
+func Study(scale float64, outPath string) ([]bench.AblationRow, error) {
+	rows := int(2_000_000 * scale)
+	if rows < 20_000 {
+		rows = 20_000
+	}
+	db, err := buildDB(rows)
+	if err != nil {
+		return nil, err
+	}
+	const query = "SELECT id, w FROM stream_t WHERE w >= 0.0"
+	ctx := context.Background()
+
+	materialized, err := measure("materialized", rows, func() (time.Duration, time.Duration, int, error) {
+		start := time.Now()
+		res, err := db.QueryContext(ctx, query)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// The first row is reachable only after the full drain.
+		n := res.Len()
+		first := time.Since(start)
+		return first, time.Since(start), n, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	streamed, err := measure("streamed", rows, func() (time.Duration, time.Duration, int, error) {
+		start := time.Now()
+		res, err := db.QueryStream(ctx, query)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer res.Close()
+		var first time.Duration
+		n := 0
+		for {
+			b, err := res.Next()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if b == nil {
+				break
+			}
+			if n == 0 {
+				first = time.Since(start)
+			}
+			n += b.Len()
+		}
+		return first, time.Since(start), n, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if streamed.Rows != materialized.Rows {
+		return nil, fmt.Errorf("stream: row mismatch: streamed %d vs materialized %d", streamed.Rows, materialized.Rows)
+	}
+
+	report := Report{Study: "stream", Scale: scale, Rows: rows, Variants: []Variant{materialized, streamed}}
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bench.AblationRow, 0, len(report.Variants))
+	for _, v := range report.Variants {
+		out = append(out, bench.AblationRow{
+			Study:   "T: streaming execution (first-row latency + alloc)",
+			Variant: v.Name,
+			Seconds: float64(v.TotalMicros) / 1e6,
+			Extra: fmt.Sprintf("first row %.3fms, %d rows, %.1f MB alloc, %.1f MB heap peak",
+				float64(v.FirstRowMicros)/1e3, v.Rows,
+				float64(v.AllocBytes)/(1<<20), float64(v.HeapPeakBytes)/(1<<20)),
+		})
+	}
+	return out, nil
+}

@@ -341,7 +341,6 @@ func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byt
 
 	var rows *Rows
 	affected := 0
-	var stmtErr error
 	for {
 		ftyp, fpay, err := wire.ReadFrame(c.br)
 		if err != nil {
@@ -373,15 +372,15 @@ func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byt
 		case wire.FrameExecOK:
 			affected = int(r.Uvarint())
 		case wire.FrameError:
-			stmtErr = &ServerError{Msg: r.String()}
-		case wire.FrameDone:
-			if stmtErr != nil {
-				// Prefer the caller's cancellation cause when it fired.
-				if err := ctx.Err(); err != nil {
-					return nil, 0, err
-				}
-				return nil, 0, stmtErr
+			// Error is terminal: the server streams results, so rows
+			// may already have arrived — discard them and surface only
+			// the error (preferring the caller's cancellation cause).
+			msg := r.String()
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
 			}
+			return nil, 0, &ServerError{Msg: msg}
+		case wire.FrameDone:
 			return rows, affected, nil
 		}
 	}

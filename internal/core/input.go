@@ -91,7 +91,10 @@ func buildEdgeCache(g *Graph, partitions, workers int) (*inputCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: edge input: %w", err)
 	}
-	data := rows.Data
+	data, err := rows.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("core: edge input: %w", err)
+	}
 	ids := data.Cols[0].(*storage.Int64Column).Int64s()
 	pidx := storage.PartitionInt64(ids, partitions)
 	cache := &inputCache{
@@ -131,7 +134,10 @@ func buildCachedUnionInput(g *Graph, cache *inputCache, step, workers int) (*cac
 	if err != nil {
 		return nil, fmt.Errorf("core: vertex+message input: %w", err)
 	}
-	data := rows.Data
+	data, err := rows.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("core: vertex+message input: %w", err)
+	}
 	ids := data.Cols[0].(*storage.Int64Column).Int64s()
 	kinds := data.Cols[1].(*storage.Int64Column).Int64s()
 	i1 := data.Cols[2].(*storage.Int64Column).Int64s() // halted flag on vertex rows
@@ -182,7 +188,11 @@ func buildUnionInput(g *Graph, partitions, workers int) ([]*storage.Batch, error
 	if err != nil {
 		return nil, fmt.Errorf("core: union input: %w", err)
 	}
-	return partitionAndSort(rows.Data, 0, partitions, workers, g.DB.WorkerBudget(), []storage.SortKey{{Col: 0}, {Col: 1}}), nil
+	data, err := rows.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("core: union input: %w", err)
+	}
+	return partitionAndSort(data, 0, partitions, workers, g.DB.WorkerBudget(), []storage.SortKey{{Col: 0}, {Col: 1}}), nil
 }
 
 // buildJoinInput assembles the superstep input via the 3-way-join path.

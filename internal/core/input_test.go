@@ -152,8 +152,12 @@ func TestPartitionAndSortParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := partitionAndSort(rows.Data, 0, 4, 1, nil, []storage.SortKey{{Col: 0}, {Col: 1}})
-	parallel := partitionAndSort(rows.Data, 0, 4, 8, nil, []storage.SortKey{{Col: 0}, {Col: 1}})
+	data, err := rows.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := partitionAndSort(data, 0, 4, 1, nil, []storage.SortKey{{Col: 0}, {Col: 1}})
+	parallel := partitionAndSort(data, 0, 4, 8, nil, []storage.SortKey{{Col: 0}, {Col: 1}})
 	if len(serial) != len(parallel) {
 		t.Fatalf("partition counts differ: %d vs %d", len(serial), len(parallel))
 	}

@@ -167,23 +167,153 @@ func (db *DB) Funcs() *expr.Registry { return db.funcs }
 // RegisterUDF registers a scalar user-defined function usable from SQL.
 func (db *DB) RegisterUDF(f *expr.ScalarFunc) error { return db.funcs.Register(f) }
 
-// Rows is a fully materialized query result.
+// Rows is a query result: an iterator over result batches. Streaming
+// rows (from QueryStream / Session.RunStream) yield batches as the
+// executor produces them and hold the database read latch plus the
+// open operator tree until the stream finishes — call Close (or drain
+// to nil) promptly. Materialized rows (from Query / Session.Run, or
+// MaterializedRows) hold everything in memory and keep the historical
+// random-access API: Len, Row, Value.
+//
+// Materialize drains whatever remains of the stream into one batch —
+// the shim existing batch-at-once callers use. Do not mix Next with
+// the random-access methods on the same Rows.
 type Rows struct {
-	// Data holds the result batch; Schema gives column names and types.
-	Data *storage.Batch
+	schema  storage.Schema
+	op      exec.Operator // non-nil while streaming
+	cleanup []func()      // run once, in reverse, when the stream finishes
+	err     error
+
+	data *storage.Batch // result batch once materialized
+	pos  int            // Next cursor over data
 }
 
-// Columns returns the result column names.
-func (r *Rows) Columns() []string { return r.Data.Schema.Names() }
+// MaterializedRows wraps a finished batch as a result (session
+// variables, graph verbs, tests).
+func MaterializedRows(b *storage.Batch) *Rows {
+	return &Rows{schema: b.Schema, data: b}
+}
 
-// Len returns the number of result rows.
-func (r *Rows) Len() int { return r.Data.Len() }
+// OperatorRows streams an operator's output as a result: the operator
+// is opened immediately and closed (with any extra cleanup functions,
+// last-added-first) when the stream ends. Subsystems that feed
+// operator output straight to a consumer — the wire server, tests —
+// use it; SQL callers go through QueryStream.
+func OperatorRows(op exec.Operator, cleanup ...func()) (*Rows, error) {
+	r := &Rows{schema: op.Schema(), op: op, cleanup: cleanup}
+	r.cleanup = append(r.cleanup, func() { op.Close() })
+	if err := op.Open(); err != nil {
+		r.finish()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Schema returns the result schema (available before the first batch).
+func (r *Rows) Schema() storage.Schema { return r.schema }
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.schema.Names() }
+
+// Next returns the next result batch, or nil at end of stream. On a
+// streaming result the executor produces the batch on demand; the
+// latch and operator tree are released when the stream ends (nil or
+// error). On a materialized result the batch is a storage.BatchSize
+// slice of the data.
+func (r *Rows) Next() (*storage.Batch, error) {
+	if r.op != nil {
+		b, err := r.op.Next()
+		if err != nil {
+			r.err = err
+			r.finish()
+			return nil, err
+		}
+		if b == nil {
+			r.finish()
+			return nil, nil
+		}
+		return b, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.data == nil {
+		return nil, nil
+	}
+	return exec.NextChunk(r.data, &r.pos, r.data.Len()), nil
+}
+
+// Close releases a streaming result's latch and operators; it is a
+// no-op once the stream has finished (or on materialized rows). It is
+// safe to call multiple times.
+func (r *Rows) Close() error {
+	r.finish()
+	return nil
+}
+
+// finish runs the cleanup chain exactly once, newest first.
+func (r *Rows) finish() {
+	r.op = nil
+	for i := len(r.cleanup) - 1; i >= 0; i-- {
+		r.cleanup[i]()
+	}
+	r.cleanup = nil
+}
+
+// Materialize drains the remaining stream into a single batch and
+// returns it (releasing the latch), or returns the already-
+// materialized batch. This is the shim for callers that want the
+// whole result at once.
+func (r *Rows) Materialize() (*storage.Batch, error) {
+	if r.data != nil {
+		return r.data, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := storage.NewBatch(r.schema)
+	for {
+		b, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := storage.Concat(out, b); err != nil {
+			r.err = err
+			r.finish()
+			return nil, err
+		}
+	}
+	r.data = out
+	r.pos = 0 // data holds only unconsumed batches; Next serves them
+	return out, nil
+}
+
+// mustData returns the materialized batch, materializing a stream on
+// first use. The random-access accessors funnel through it; an
+// iteration error surfaces as an empty result with Err set.
+func (r *Rows) mustData() *storage.Batch {
+	if r.data == nil {
+		if _, err := r.Materialize(); err != nil {
+			return storage.NewBatch(r.schema)
+		}
+	}
+	return r.data
+}
+
+// Err returns the error that terminated the stream, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Len returns the number of result rows (materializing a stream).
+func (r *Rows) Len() int { return r.mustData().Len() }
 
 // Row materializes row i.
-func (r *Rows) Row(i int) []storage.Value { return r.Data.Row(i) }
+func (r *Rows) Row(i int) []storage.Value { return r.mustData().Row(i) }
 
 // Value returns the value at (row, col).
-func (r *Rows) Value(row, col int) storage.Value { return r.Data.Cols[col].Value(row) }
+func (r *Rows) Value(row, col int) storage.Value { return r.mustData().Cols[col].Value(row) }
 
 // Result reports the effect of a DML/DDL statement.
 type Result struct {
@@ -235,7 +365,42 @@ func (db *DB) querySelectLockedWorkers(ctx context.Context, sel *sql.SelectStmt,
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Data: data}, nil
+	return MaterializedRows(data), nil
+}
+
+// QueryStream parses, plans and executes a SELECT, returning a
+// streaming result: batches are produced on demand and the read latch
+// is held until the stream finishes, so the caller must drain or Close
+// the rows. This is the serving layer's hot path — first-batch latency
+// is O(first batch), not O(result) — while Query keeps the
+// materialized contract for embedded callers.
+func (db *DB) QueryStream(ctx context.Context, text string) (*Rows, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryStream requires a SELECT; use Exec for %T", st)
+	}
+	return db.queryStreamParsed(ctx, sel, 0)
+}
+
+// queryStreamParsed plans an already-parsed SELECT under the shared
+// read latch and returns streaming rows that hold the latch (and the
+// open operator tree) until drained or closed.
+func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, workers int) (*Rows, error) {
+	db.mu.RLock()
+	op, err := db.planner.PlanSelectWorkers(sel, workers)
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	rows, err := OperatorRows(exec.WithContext(ctx, op), db.mu.RUnlock)
+	if err != nil {
+		return nil, err // OperatorRows already ran the cleanup chain
+	}
+	return rows, nil
 }
 
 // QueryScalar runs a query expected to produce exactly one value.
@@ -249,8 +414,8 @@ func (db *DB) QueryScalarContext(ctx context.Context, text string) (storage.Valu
 	if err != nil {
 		return storage.Value{}, err
 	}
-	if rows.Len() != 1 || len(rows.Data.Cols) != 1 {
-		return storage.Value{}, fmt.Errorf("engine: scalar query returned %dx%d result", rows.Len(), len(rows.Data.Cols))
+	if rows.Len() != 1 || rows.schema.Len() != 1 {
+		return storage.Value{}, fmt.Errorf("engine: scalar query returned %dx%d result", rows.Len(), rows.schema.Len())
 	}
 	return rows.Value(0, 0), nil
 }
@@ -473,7 +638,10 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 		if err != nil {
 			return Result{}, err
 		}
-		input = rows.Data
+		input, err = rows.Materialize()
+		if err != nil {
+			return Result{}, err
+		}
 	} else {
 		defs := make([]storage.ColumnDef, len(colIdx))
 		for i, j := range colIdx {

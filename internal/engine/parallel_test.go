@@ -142,7 +142,7 @@ func diffRows(q string, a, b *Rows) error {
 		return fmt.Errorf("%s: row count %d vs %d", q, a.Len(), b.Len())
 	}
 	for i := 0; i < a.Len(); i++ {
-		for j := range a.Data.Cols {
+		for j := 0; j < len(a.Columns()); j++ {
 			av, bv := a.Value(i, j), b.Value(i, j)
 			if av.Null != bv.Null {
 				return fmt.Errorf("%s: row %d col %d: NULL mismatch (%v vs %v)", q, i, j, av, bv)

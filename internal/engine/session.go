@@ -100,11 +100,32 @@ func (s *Session) effectiveWorkers() int {
 	return w
 }
 
-// Run executes one statement of any kind. SELECT and SHOW return rows
-// (and a Result whose RowsAffected is the row count); everything else
-// returns nil rows. This is the single entry point the wire server and
-// the REPL dispatch through.
+// Run executes one statement of any kind. SELECT and SHOW return
+// materialized rows (and a Result whose RowsAffected is the row
+// count); everything else returns nil rows. Embedded callers and the
+// REPL dispatch through it; the wire server uses RunStream to avoid
+// materializing results it is about to serialize.
 func (s *Session) Run(ctx context.Context, text string) (*Rows, Result, error) {
+	rows, res, err := s.RunStream(ctx, text)
+	if err != nil || rows == nil {
+		return rows, res, err
+	}
+	if _, err := rows.Materialize(); err != nil {
+		rows.Close()
+		return nil, Result{}, err
+	}
+	return rows, Result{RowsAffected: rows.Len()}, nil
+}
+
+// RunStream executes one statement of any kind without materializing
+// its result: a SELECT returns streaming rows whose batches are
+// produced as the caller pulls them (the read latch, operator tree
+// and statement timeout live until the rows are drained or closed), so
+// the first batch is available in O(first batch) time, not O(result).
+// SHOW returns (small) materialized rows; everything else returns nil
+// rows and runs to completion before returning. The returned Result's
+// RowsAffected is meaningful only for non-SELECT statements.
+func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, Result{}, err
@@ -130,16 +151,21 @@ func (s *Session) Run(ctx context.Context, text string) (*Rows, Result, error) {
 		return nil, Result{}, s.endTxn(false)
 	}
 
-	sctx, cancel := s.stmtCtx(ctx)
-	defer cancel()
 	if sel, ok := st.(*sql.SelectStmt); ok {
-		rows, err := s.db.queryParsed(sctx, sel, s.effectiveWorkers())
+		// The timeout context must outlive this call: it governs the
+		// whole stream, so its cancel runs when the rows finish.
+		sctx, cancel := s.stmtCtx(ctx)
+		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers())
 		if err != nil {
+			cancel()
 			return nil, Result{}, err
 		}
-		return rows, Result{RowsAffected: rows.Len()}, nil
+		rows.cleanup = append(rows.cleanup, cancel)
+		return rows, Result{}, nil
 	}
 
+	sctx, cancel := s.stmtCtx(ctx)
+	defer cancel()
 	// Write statement. Outside a transaction it is an auto-commit
 	// write: hold the cross-session gate for just this statement so it
 	// cannot interleave with (and be undone by the rollback of)
@@ -260,7 +286,7 @@ func (s *Session) show(name string) (*Rows, error) {
 	if err := b.AppendRow(storage.Int64(v)); err != nil {
 		return nil, err
 	}
-	return &Rows{Data: b}, nil
+	return MaterializedRows(b), nil
 }
 
 // evalConst evaluates a constant expression (no column references)

@@ -26,10 +26,12 @@ import (
 // order (first appearance) is restored by a final sort on each group's
 // first input row.
 //
-// The parallel fold buffers the whole input batch list first (the
-// serial fold streams with O(groups) state) — an extra O(input) copy,
-// acceptable while tables are in-memory; a streaming partitioned fold
-// is a ROADMAP item.
+// The parallel fold buffers at most aggWindowBatches input batches at
+// a time (the serial fold streams with O(groups) state): inputs that
+// fit in one window use the one-shot partitioned fold; larger inputs
+// run the windowed fold, which consumes the input window by window
+// into persistent partitioned group state — O(window + groups) memory
+// instead of O(input).
 type HashAggregate struct {
 	Input   Operator
 	GroupBy []expr.Expr
@@ -43,8 +45,13 @@ type HashAggregate struct {
 
 	out    storage.Schema
 	result *storage.Batch
-	sent   bool
+	pos    int
 }
+
+// aggWindowBatches bounds how many input batches the parallel grouped
+// fold buffers at once. It is a variable so tests can exercise the
+// windowed path on small inputs.
+var aggWindowBatches = 64
 
 // Schema implements Operator.
 func (a *HashAggregate) Schema() storage.Schema {
@@ -97,22 +104,31 @@ func batchIter(batches []*storage.Batch) func() (*storage.Batch, error) {
 	}
 }
 
-// collectBatches drains an opened operator into a batch list without
-// concatenating.
-func collectBatches(in Operator) ([]*storage.Batch, error) {
-	var batches []*storage.Batch
-	for {
+// collectUpTo drains at most max non-empty batches from an opened
+// operator. more reports whether the cap was hit (the input may hold
+// further batches).
+func collectUpTo(in Operator, max int) (batches []*storage.Batch, more bool, err error) {
+	for len(batches) < max {
 		b, err := in.Next()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if b == nil {
-			return batches, nil
+			return batches, false, nil
 		}
 		if b.Len() > 0 {
 			batches = append(batches, b)
 		}
 	}
+	return batches, true, nil
+}
+
+func rowsOf(batches []*storage.Batch) int {
+	rows := 0
+	for _, b := range batches {
+		rows += b.Len()
+	}
+	return rows
 }
 
 // openFast consumes the input with the vectorized path: the group key
@@ -199,22 +215,23 @@ func newAccumulators(aggs []*expr.Aggregate) []*expr.Accumulator {
 // grouped result.
 func (a *HashAggregate) Open() error {
 	a.Schema()
-	a.sent = false
+	a.pos = 0
 	if err := a.Input.Open(); err != nil {
 		return err
 	}
 	defer a.Input.Close()
 
 	if len(a.GroupBy) > 0 && a.Workers > 1 {
-		batches, err := collectBatches(a.Input)
+		batches, more, err := collectUpTo(a.Input, aggWindowBatches)
 		if err != nil {
 			return err
 		}
-		rows := 0
-		for _, b := range batches {
-			rows += b.Len()
+		if more {
+			// The input exceeds one window: fold it window by window
+			// so buffering stays bounded.
+			return a.openWindowed(batches)
 		}
-		if w := splitParts(rows, a.Workers); w > 1 {
+		if w := splitParts(rowsOf(batches), a.Workers); w > 1 {
 			return a.openPartitioned(batches, w)
 		}
 		// Too small to parallelize; fold the collected batches serially.
@@ -557,13 +574,279 @@ func (a *HashAggregate) foldSlowPartitioned(batches []*storage.Batch, starts []i
 	return merged, nil
 }
 
-// Next implements Operator.
+// pgroup is one group's persistent fold state in the windowed
+// partitioned fold. A group starts on the int64 fast path (keys nil)
+// and may migrate to the generic representation mid-stream.
+type pgroup struct {
+	key   int64           // fast-path key (single non-null INTEGER)
+	keys  []storage.Value // generic keys; nil while on the fast path
+	hash  uint64          // HashRow(keys), valid once keys is set
+	first int             // global index of the group's first input row
+	accs  []*expr.Accumulator
+}
+
+// openWindowed is the bounded-buffering parallel grouped fold: the
+// input is consumed in windows of at most aggWindowBatches batches,
+// each window running the two parallel stages (expression eval per
+// batch, then a fold on w hash partitions) into group state that
+// persists across windows. Every group is folded in global row order
+// regardless of w, and output order is restored by each group's first
+// input row, so results stay byte-identical at any worker count. The
+// fold starts on the vectorized int64-key path when the shape allows
+// and migrates all groups to the generic path if a NULL or non-integer
+// key appears mid-stream — accumulated state carries over, so no input
+// is re-read.
+func (a *HashAggregate) openWindowed(window []*storage.Batch) error {
+	w := splitParts(rowsOf(window), a.Workers)
+	if w < 1 {
+		w = 1
+	}
+	fast := a.fastKeyable()
+	fastParts := make([]map[int64]*pgroup, w)
+	slowParts := make([]map[uint64][]*pgroup, w)
+	lists := make([][]*pgroup, w)
+	for p := 0; p < w; p++ {
+		fastParts[p] = make(map[int64]*pgroup)
+		slowParts[p] = make(map[uint64][]*pgroup)
+	}
+
+	offset := 0
+	for len(window) > 0 {
+		if fast {
+			err := a.foldWindowFast(window, offset, w, fastParts, lists)
+			if err == errFastPathNulls {
+				// Stage 1 rejected the window before any row of it was
+				// folded: migrate every group to the generic path and
+				// re-fold this window there.
+				fast = false
+				migrateGroups(fastParts, slowParts, lists, w)
+			} else if err != nil {
+				return err
+			}
+		}
+		if !fast {
+			if err := a.foldWindowSlow(window, offset, w, slowParts, lists); err != nil {
+				return err
+			}
+		}
+		offset += rowsOf(window)
+		var err error
+		window, _, err = collectUpTo(a.Input, aggWindowBatches)
+		if err != nil {
+			return err
+		}
+	}
+
+	var merged []mergedGroup
+	for _, list := range lists {
+		for _, g := range list {
+			row := make([]storage.Value, 0, a.out.Len())
+			if g.keys != nil {
+				row = append(row, g.keys...)
+			} else {
+				row = append(row, storage.Int64(g.key))
+			}
+			for _, acc := range g.accs {
+				row = append(row, acc.Result())
+			}
+			merged = append(merged, mergedGroup{first: g.first, row: row})
+		}
+	}
+	sort.Slice(merged, func(x, y int) bool { return merged[x].first < merged[y].first })
+	a.result = storage.NewBatch(a.out)
+	for _, g := range merged {
+		if err := a.result.AppendRow(g.row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateGroups moves every fast-path group to the generic
+// representation, re-routing it to the partition its row hash selects
+// so future generic folds find it.
+func migrateGroups(fastParts []map[int64]*pgroup, slowParts []map[uint64][]*pgroup, lists [][]*pgroup, w int) {
+	newLists := make([][]*pgroup, w)
+	for p, list := range lists {
+		for _, g := range list {
+			g.keys = []storage.Value{storage.Int64(g.key)}
+			g.hash = storage.HashRow(g.keys)
+			np := int(g.hash % uint64(w))
+			slowParts[np][g.hash] = append(slowParts[np][g.hash], g)
+			newLists[np] = append(newLists[np], g)
+		}
+		fastParts[p] = nil
+	}
+	copy(lists, newLists)
+}
+
+// foldWindowFast folds one window on the int64-key path. It returns
+// errFastPathNulls — with no rows of the window folded — when a NULL
+// or non-integer key appears.
+func (a *HashAggregate) foldWindowFast(window []*storage.Batch, offset, w int, parts []map[int64]*pgroup, lists [][]*pgroup) error {
+	type evalBatch struct {
+		keys   []int64
+		inputs []storage.Column
+	}
+	evals := make([]evalBatch, len(window))
+	errs := make([]error, len(window))
+	sched.ForEach(a.Budget, len(window), a.Workers, func(bi int) {
+		b := window[bi]
+		keyCol, err := expr.EvalVector(a.GroupBy[0], b)
+		if err != nil {
+			errs[bi] = err
+			return
+		}
+		keys, ok := keyCol.(*storage.Int64Column)
+		if !ok || storage.NullsOf(keys).Any() {
+			errs[bi] = errFastPathNulls
+			return
+		}
+		ev := evalBatch{keys: keys.Int64s(), inputs: make([]storage.Column, len(a.Aggs))}
+		for k, ag := range a.Aggs {
+			if ag.Kind == expr.AggCountStar {
+				continue
+			}
+			col, err := expr.EvalVector(ag.Input, b)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			ev.inputs[k] = col
+		}
+		evals[bi] = ev
+	})
+	sawNulls := false
+	for _, err := range errs {
+		if err == errFastPathNulls {
+			sawNulls = true
+		} else if err != nil {
+			return err
+		}
+	}
+	if sawNulls {
+		return errFastPathNulls
+	}
+
+	starts := windowStarts(window, offset)
+	sched.ForEach(a.Budget, w, a.Workers, func(p int) {
+		m := parts[p]
+		for bi := range evals {
+			start := starts[bi]
+			for i, k := range evals[bi].keys {
+				if int(uint64(k)%uint64(w)) != p {
+					continue
+				}
+				g := m[k]
+				if g == nil {
+					g = &pgroup{key: k, first: start + i, accs: newAccumulators(a.Aggs)}
+					m[k] = g
+					lists[p] = append(lists[p], g)
+				}
+				for ai, ag := range a.Aggs {
+					if ag.Kind == expr.AggCountStar {
+						g.accs[ai].Add(storage.Int64(1))
+						continue
+					}
+					g.accs[ai].Add(evals[bi].inputs[ai].Value(i))
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// foldWindowSlow folds one window on the generic path: stage 1
+// computes key values and hashes per row in parallel; stage 2 folds
+// each hash partition on its own worker.
+func (a *HashAggregate) foldWindowSlow(window []*storage.Batch, offset, w int, parts []map[uint64][]*pgroup, lists [][]*pgroup) error {
+	type evalBatch struct {
+		keys   [][]storage.Value
+		hashes []uint64
+	}
+	evals := make([]evalBatch, len(window))
+	errs := make([]error, len(window))
+	sched.ForEach(a.Budget, len(window), a.Workers, func(bi int) {
+		b := window[bi]
+		n := b.Len()
+		ev := evalBatch{keys: make([][]storage.Value, n), hashes: make([]uint64, n)}
+		for i := 0; i < n; i++ {
+			row := expr.Row{Batch: b, Idx: i}
+			keys := make([]storage.Value, len(a.GroupBy))
+			for k, ge := range a.GroupBy {
+				v, err := ge.Eval(row)
+				if err != nil {
+					errs[bi] = err
+					return
+				}
+				keys[k] = v
+			}
+			ev.keys[i] = keys
+			ev.hashes[i] = storage.HashRow(keys)
+		}
+		evals[bi] = ev
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	starts := windowStarts(window, offset)
+	perrs := make([]error, w)
+	sched.ForEach(a.Budget, w, a.Workers, func(p int) {
+		m := parts[p]
+		for bi := range evals {
+			b := window[bi]
+			start := starts[bi]
+			for i, h := range evals[bi].hashes {
+				if int(h%uint64(w)) != p {
+					continue
+				}
+				var g *pgroup
+				for _, cand := range m[h] {
+					if rowsEqual(cand.keys, evals[bi].keys[i]) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = &pgroup{keys: evals[bi].keys[i], hash: h, first: start + i, accs: newAccumulators(a.Aggs)}
+					m[h] = append(m[h], g)
+					lists[p] = append(lists[p], g)
+				}
+				if err := foldRow(g.accs, a.Aggs, expr.Row{Batch: b, Idx: i}); err != nil {
+					perrs[p] = err
+					return
+				}
+			}
+		}
+	})
+	for _, err := range perrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowStarts computes each window batch's global row offset.
+func windowStarts(window []*storage.Batch, offset int) []int {
+	starts := make([]int, len(window))
+	for i, b := range window {
+		starts[i] = offset
+		offset += b.Len()
+	}
+	return starts
+}
+
+// Next implements Operator: the grouped result streams out in
+// storage.BatchSize batches.
 func (a *HashAggregate) Next() (*storage.Batch, error) {
-	if a.sent || a.result == nil || a.result.Len() == 0 {
+	if a.result == nil {
 		return nil, nil
 	}
-	a.sent = true
-	return a.result, nil
+	return NextChunk(a.result, &a.pos, a.result.Len()), nil
 }
 
 // Close implements Operator.

@@ -44,12 +44,21 @@ type HashJoin struct {
 	Workers int
 	// Budget is the shared extra-worker budget (nil = unlimited).
 	Budget *sched.Budget
+	// Streaming makes Open build only the right side and pull the
+	// probe (left) side batch by batch in Next — O(batch) probe memory
+	// and true early exit for a LIMIT above the join, at the cost of
+	// the vectorized fast path and the parallel probe. The planner
+	// sets it on joins planned under a LIMIT. Row order is identical
+	// to the materialized probe.
+	Streaming bool
 
 	out    storage.Schema
 	built  map[uint64][]int
 	rdata  *storage.Batch
 	ldata  *storage.Batch
 	lpos   int
+	lopen  bool // Streaming: left operator is open
+	ldone  bool // Streaming: left exhausted
 	rNulls []storage.Value
 
 	// fast holds the fully materialized result when the vectorized
@@ -80,10 +89,20 @@ func (j *HashJoin) Open() error {
 	j.Schema()
 	j.fast, j.fastPos = nil, 0
 	j.slowOut, j.slowPos = nil, 0
+	j.lopen, j.ldone = false, false
 	var err error
 	j.rdata, err = Drain(j.Right)
 	if err != nil {
 		return err
+	}
+	if j.Streaming {
+		j.buildTable()
+		if err := j.Left.Open(); err != nil {
+			return err
+		}
+		j.lopen = true
+		j.ldata, j.lpos = nil, 0
+		return nil
 	}
 	j.ldata, err = Drain(j.Left)
 	if err != nil {
@@ -93,6 +112,16 @@ func (j *HashJoin) Open() error {
 	if j.tryFastPath() {
 		return nil
 	}
+	j.buildTable()
+	if w := splitParts(j.ldata.Len(), j.Workers); w > 1 {
+		return j.probeSlowParallel(w)
+	}
+	return nil
+}
+
+// buildTable hashes the drained right side and prepares the NULL pad
+// row for left joins.
+func (j *HashJoin) buildTable() {
 	j.built = make(map[uint64][]int, j.rdata.Len())
 	for i := 0; i < j.rdata.Len(); i++ {
 		key, ok := j.keyOf(j.rdata, i, j.RightKeys)
@@ -106,10 +135,6 @@ func (j *HashJoin) Open() error {
 	for i, c := range rs.Cols {
 		j.rNulls[i] = storage.Null(c.Type)
 	}
-	if w := splitParts(j.ldata.Len(), j.Workers); w > 1 {
-		return j.probeSlowParallel(w)
-	}
-	return nil
 }
 
 // tryFastPath materializes the join result vectorized when both key
@@ -313,21 +338,7 @@ func (j *HashJoin) keysEqual(lrow, rrow int) bool {
 // Next implements Operator.
 func (j *HashJoin) Next() (*storage.Batch, error) {
 	if j.fast != nil {
-		if j.fastPos >= j.fast.Len() {
-			return nil, nil
-		}
-		end := j.fastPos + storage.BatchSize
-		if end > j.fast.Len() {
-			end = j.fast.Len()
-		}
-		// Slice-free emission: share the materialized columns once.
-		if j.fastPos == 0 && end == j.fast.Len() {
-			j.fastPos = end
-			return j.fast, nil
-		}
-		b := j.fast.Slice(j.fastPos, end)
-		j.fastPos = end
-		return b, nil
+		return NextChunk(j.fast, &j.fastPos, j.fast.Len()), nil
 	}
 	if j.slowOut != nil {
 		if j.slowPos >= len(j.slowOut) {
@@ -337,11 +348,29 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 		j.slowPos++
 		return b, nil
 	}
-	if j.ldata == nil {
+	if j.ldata == nil && !j.Streaming {
 		return nil, nil
 	}
 	out := storage.NewBatch(j.out)
-	for out.Len() < storage.BatchSize && j.lpos < j.ldata.Len() {
+	for out.Len() < storage.BatchSize {
+		if j.ldata == nil || j.lpos >= j.ldata.Len() {
+			if !j.Streaming {
+				break
+			}
+			if j.ldone {
+				break
+			}
+			b, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				j.ldone = true
+				break
+			}
+			j.ldata, j.lpos = b, 0
+			continue
+		}
 		i := j.lpos
 		j.lpos++
 		matched, err := j.probeOne(i, out)
@@ -381,12 +410,18 @@ func (j *HashJoin) Close() error {
 	j.ldata = nil
 	j.fast = nil
 	j.slowOut = nil
+	if j.lopen {
+		j.lopen = false
+		return j.Left.Close()
+	}
 	return nil
 }
 
 // NestedLoopJoin handles cross joins and joins with arbitrary (non-equi)
 // predicates. It is also the oracle the property tests compare HashJoin
-// against.
+// against. The right side is materialized once; the left side streams
+// batch by batch, so probe-side memory is O(batch) and a LIMIT above
+// the join stops pulling from the left source early.
 type NestedLoopJoin struct {
 	Left, Right Operator
 	Type        JoinType
@@ -396,6 +431,8 @@ type NestedLoopJoin struct {
 	rdata *storage.Batch
 	ldata *storage.Batch
 	lpos  int
+	lopen bool
+	ldone bool
 }
 
 // Schema implements Operator.
@@ -414,21 +451,36 @@ func (j *NestedLoopJoin) Open() error {
 	if err != nil {
 		return err
 	}
-	j.ldata, err = Drain(j.Left)
-	if err != nil {
+	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	j.lpos = 0
+	j.lopen, j.ldone = true, false
+	j.ldata, j.lpos = nil, 0
 	return nil
 }
 
 // Next implements Operator.
 func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
-	if j.ldata == nil {
+	if j.rdata == nil {
 		return nil, nil
 	}
 	out := storage.NewBatch(j.out)
-	for out.Len() < storage.BatchSize && j.lpos < j.ldata.Len() {
+	for out.Len() < storage.BatchSize {
+		if j.ldata == nil || j.lpos >= j.ldata.Len() {
+			if j.ldone {
+				break
+			}
+			b, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				j.ldone = true
+				break
+			}
+			j.ldata, j.lpos = b, 0
+			continue
+		}
 		i := j.lpos
 		j.lpos++
 		lrow := j.ldata.Row(i)
@@ -470,5 +522,9 @@ func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
 func (j *NestedLoopJoin) Close() error {
 	j.rdata = nil
 	j.ldata = nil
+	if j.lopen {
+		j.lopen = false
+		return j.Left.Close()
+	}
 	return nil
 }

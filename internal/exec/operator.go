@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/sched"
 	"repro/internal/storage"
 )
 
@@ -25,6 +26,27 @@ type Operator interface {
 	Next() (*storage.Batch, error)
 	// Close releases resources.
 	Close() error
+}
+
+// NextChunk emits rows [*pos, min(*pos+BatchSize, hi)) of b and
+// advances *pos — the shared cursor behind every operator that streams
+// a materialized batch in bounded pieces. It returns b itself (no
+// copy) when the chunk covers the whole batch, and nil once *pos
+// reaches hi.
+func NextChunk(b *storage.Batch, pos *int, hi int) *storage.Batch {
+	if *pos >= hi {
+		return nil
+	}
+	end := *pos + storage.BatchSize
+	if end > hi {
+		end = hi
+	}
+	out := b
+	if *pos != 0 || end != b.Len() {
+		out = b.Slice(*pos, end)
+	}
+	*pos = end
+	return out
 }
 
 // Drain pulls every batch from op into one concatenated batch. The
@@ -138,17 +160,7 @@ func (s *BatchSource) Open() error {
 
 // Next implements Operator.
 func (s *BatchSource) Next() (*storage.Batch, error) {
-	n := s.end
-	if s.pos >= n {
-		return nil, nil
-	}
-	end := s.pos + storage.BatchSize
-	if end > n {
-		end = n
-	}
-	b := s.Data.Slice(s.pos, end)
-	s.pos = end
-	return b, nil
+	return NextChunk(s.Data, &s.pos, s.end), nil
 }
 
 // Close implements Operator.
@@ -302,17 +314,23 @@ func (l *Limit) Close() error { return l.Input.Close() }
 // compatible schemas (same arity and types); the output uses the first
 // input's column names. This operator is the heart of the paper's
 // Table-Unions optimization.
+//
+// Inputs open lazily: input i+1 is opened only once input i is
+// exhausted, so N blocking inputs (per-superstep Sorts, say) never
+// materialize simultaneously — peak memory is one input, not N.
 type UnionAll struct {
 	Inputs []Operator
 	cur    int
+	opened int // inputs [0, opened) have been opened
 }
 
 // Schema implements Operator.
 func (u *UnionAll) Schema() storage.Schema { return u.Inputs[0].Schema() }
 
-// Open implements Operator.
+// Open implements Operator: it validates schemas but defers opening
+// each input until iteration reaches it.
 func (u *UnionAll) Open() error {
-	u.cur = 0
+	u.cur, u.opened = 0, 0
 	first := u.Inputs[0].Schema()
 	for _, in := range u.Inputs[1:] {
 		s := in.Schema()
@@ -326,17 +344,18 @@ func (u *UnionAll) Open() error {
 			}
 		}
 	}
-	for _, in := range u.Inputs {
-		if err := in.Open(); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
 // Next implements Operator.
 func (u *UnionAll) Next() (*storage.Batch, error) {
 	for u.cur < len(u.Inputs) {
+		if u.cur >= u.opened {
+			if err := u.Inputs[u.cur].Open(); err != nil {
+				return nil, err
+			}
+			u.opened = u.cur + 1
+		}
 		b, err := u.Inputs[u.cur].Next()
 		if err != nil {
 			return nil, err
@@ -352,24 +371,37 @@ func (u *UnionAll) Next() (*storage.Batch, error) {
 	return nil, nil
 }
 
-// Close implements Operator.
+// Close implements Operator: only inputs that were actually opened are
+// closed.
 func (u *UnionAll) Close() error {
 	var first error
-	for _, in := range u.Inputs {
+	for _, in := range u.Inputs[:u.opened] {
 		if err := in.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	u.opened = 0
 	return first
 }
 
-// Sort fully materializes its input and emits it ordered by Keys.
+// Sort materializes its input and emits it ordered by Keys in
+// storage.BatchSize batches (a sort is inherently blocking, but its
+// consumers stream). With Workers > 1 the input is divided into
+// contiguous morsels, each stably sorted on its own worker, and the
+// sorted runs are merged pairwise — also in parallel — via
+// storage.MergeSortedBatches. Both the per-morsel sort and the merge
+// are stable with earlier input preferred on ties, so the result is
+// row-for-row identical to the serial sort at any worker count.
 type Sort struct {
 	Input Operator
 	Keys  []storage.SortKey
+	// Workers caps sort/merge parallelism; 0 or 1 sorts serially.
+	Workers int
+	// Budget is the shared extra-worker budget (nil = unlimited).
+	Budget *sched.Budget
 
-	out  *storage.Batch
-	sent bool
+	out *storage.Batch
+	pos int
 }
 
 // Schema implements Operator.
@@ -377,22 +409,39 @@ func (s *Sort) Schema() storage.Schema { return s.Input.Schema() }
 
 // Open implements Operator.
 func (s *Sort) Open() error {
-	s.sent = false
+	s.pos = 0
 	all, err := Drain(s.Input)
 	if err != nil {
 		return err
 	}
-	s.out = storage.SortBatch(all, s.Keys)
+	n := all.Len()
+	m := splitParts(n, s.Workers)
+	if m < 2 {
+		s.out = storage.SortBatch(all, s.Keys)
+		return nil
+	}
+	runs := make([]*storage.Batch, m)
+	sched.ForEach(s.Budget, m, s.Workers, func(i int) {
+		runs[i] = storage.SortBatch(all.Slice(i*n/m, (i+1)*n/m), s.Keys)
+	})
+	for len(runs) > 1 {
+		next := make([]*storage.Batch, (len(runs)+1)/2)
+		sched.ForEach(s.Budget, len(next), s.Workers, func(i int) {
+			if 2*i+1 < len(runs) {
+				next[i] = storage.MergeSortedBatches(runs[2*i], runs[2*i+1], s.Keys)
+			} else {
+				next[i] = runs[2*i]
+			}
+		})
+		runs = next
+	}
+	s.out = runs[0]
 	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator: sorted rows stream out in bounded batches.
 func (s *Sort) Next() (*storage.Batch, error) {
-	if s.sent || s.out.Len() == 0 {
-		return nil, nil
-	}
-	s.sent = true
-	return s.out, nil
+	return NextChunk(s.out, &s.pos, s.out.Len()), nil
 }
 
 // Close implements Operator.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,11 @@ type Gather struct {
 	// Budget is the shared extra-worker budget (nil = unlimited).
 	Budget *sched.Budget
 
+	// spools are the shared incremental spools feeding SpoolPart
+	// fragments; Close aborts them so blocked parts (and the spool
+	// producer goroutine) unwind before the pool is joined.
+	spools []*spool
+
 	chans   []chan gatherItem
 	stop    chan struct{}
 	next    atomic.Int64 // next unclaimed fragment index
@@ -81,6 +87,9 @@ func (g *Gather) Schema() storage.Schema { return g.Fragments[0].Schema() }
 
 // Open implements Operator: it launches the fragment worker pool.
 func (g *Gather) Open() error {
+	for _, sp := range g.spools {
+		sp.rearm() // clear a prior Close's abort before workers start
+	}
 	g.stop = make(chan struct{})
 	g.cur = 0
 	g.next.Store(0)
@@ -162,14 +171,18 @@ func (g *Gather) Next() (*storage.Batch, error) {
 	return nil, nil
 }
 
-// Close implements Operator: it signals all fragments to stop, waits
-// for the pool to exit, and returns the borrowed budget slots.
+// Close implements Operator: it signals all fragments to stop, aborts
+// any shared spools (waking parts blocked on them), waits for the pool
+// to exit, and returns the borrowed budget slots.
 func (g *Gather) Close() error {
 	if !g.running {
 		return nil
 	}
 	g.running = false
 	close(g.stop)
+	for _, sp := range g.spools {
+		sp.abort()
+	}
 	g.wg.Wait()
 	g.Budget.Release(g.granted)
 	g.granted = 0
@@ -178,57 +191,166 @@ func (g *Gather) Close() error {
 	return nil
 }
 
-// spool materializes an operator's output once and serves it to
-// several SpoolPart readers. It lets a Filter/Project stack run in
-// parallel over the output of an operator that cannot itself be split
-// (a join or an aggregate): the base runs once, its result is divided
-// into morsels. The first part to Open performs the drain; batches are
-// kept as produced (no concatenation), indexed by running row offsets.
+// spoolLeadRows bounds how far the spool producer runs ahead of what
+// part 0's reader has consumed, in rows. Combined with part 0 being
+// the first fragment the Gather consumer drains, this keeps the base
+// operator's un-consumed output O(batch) instead of O(result): an
+// early-exiting consumer (LIMIT) stalls the producer after a bounded
+// overshoot instead of paying for a full drain.
+var spoolLeadRows = gatherBuffer * storage.BatchSize
+
+// errSpoolAborted unwinds SpoolPart readers when their Gather closes
+// mid-stream; the Gather drops the error on the floor (its stop
+// channel is already closed).
+var errSpoolAborted = fmt.Errorf("exec: spool aborted")
+
+// spool runs an operator that cannot itself be split (a join or an
+// aggregate) once, incrementally, and serves its output to several
+// SpoolPart readers so a Filter/Project stack above it still runs in
+// parallel. The base drains on a dedicated producer goroutine into a
+// shared batch list; part 0 — the first fragment the Gather consumer
+// reads — streams rows as soon as their final part assignment is
+// certain (row r belongs to part 0 for any final total once
+// r·parts < rows seen), while later parts wait for the drain to finish
+// before their row range [part·n/parts, (part+1)·n/parts) is known.
+// The producer blocks once it runs spoolLeadRows ahead of part 0's
+// reader, so an abandoned statement stops pulling from the base after
+// a bounded overshoot.
 type spool struct {
 	input Operator
+	parts int
 
-	once    sync.Once
-	batches []*storage.Batch
-	starts  []int // starts[i] = global row offset of batches[i]
-	rows    int
-	err     error
+	mu        sync.Mutex
+	cond      *sync.Cond
+	started   bool // producer launched for the current pass
+	producing bool // producer goroutine still running
+	done      bool // base fully drained without error
+	aborted   bool
+	err       error
+	batches   []*storage.Batch
+	starts    []int // starts[i] = global row offset of batches[i]
+	rows      int
+	consumed0 int // rows part 0 has emitted (producer backpressure gauge)
 }
 
-func (s *spool) materialize() error {
-	s.once.Do(func() {
-		if s.err = s.input.Open(); s.err != nil {
-			return
+// activate ensures the producer goroutine is running (or the data is
+// already complete). On an aborted spool it does nothing: abort is
+// sticky until the owning Gather re-arms the spool in its next Open,
+// so a straggler pool worker that claims a fragment while Close is in
+// flight cannot revive the producer.
+func (s *spool) activate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	if !s.aborted && !s.started {
+		s.started = true
+		s.producing = true
+		go s.produce()
+	}
+}
+
+// rearm clears an abort before a fresh Gather.Open: a completed drain
+// is kept and served from memory; an interrupted one is discarded so
+// the next activate replays the base from scratch. Only the Gather
+// consumer calls it, strictly before any pool worker runs.
+func (s *spool) rearm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.aborted {
+		return
+	}
+	if s.done {
+		s.aborted = false // data complete; serve from memory
+		return
+	}
+	for s.producing {
+		s.cond.Wait()
+	}
+	s.batches, s.starts, s.rows, s.consumed0 = nil, nil, 0, 0
+	s.started, s.aborted, s.err = false, false, nil
+}
+
+// abort stops the producer and wakes every blocked reader. It is
+// sticky: until rearm, parts neither block nor restart the producer —
+// they fail fast with errSpoolAborted.
+func (s *spool) abort() {
+	s.mu.Lock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	s.aborted = true
+	s.cond.Broadcast()
+	for s.producing {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// produce drains the base operator, appending batches under the lock
+// and blocking while more than spoolLeadRows of part 0's share sit
+// unconsumed. The base is fully closed before endProduce publishes
+// completion, so abort/activate never overlap an in-flight Close.
+func (s *spool) produce() {
+	if err := s.input.Open(); err != nil {
+		s.endProduce(err)
+		return
+	}
+	var ferr error
+	for {
+		s.mu.Lock()
+		for !s.aborted && s.rows/s.parts-s.consumed0 >= spoolLeadRows {
+			s.cond.Wait()
 		}
-		defer s.input.Close()
-		for {
-			b, err := s.input.Next()
-			if err != nil {
-				s.err = err
-				return
-			}
-			if b == nil {
-				return
-			}
-			if b.Len() == 0 {
-				continue
-			}
-			s.starts = append(s.starts, s.rows)
-			s.batches = append(s.batches, b)
-			s.rows += b.Len()
+		aborted := s.aborted
+		s.mu.Unlock()
+		if aborted {
+			break
 		}
-	})
-	return s.err
+		b, err := s.input.Next()
+		if err != nil || b == nil {
+			ferr = err
+			break
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		s.mu.Lock()
+		s.starts = append(s.starts, s.rows)
+		s.batches = append(s.batches, b)
+		s.rows += b.Len()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	s.input.Close()
+	s.endProduce(ferr)
+}
+
+// endProduce publishes the producer's exit: the error (if any), the
+// completion flag, and the wake-up for every blocked reader.
+func (s *spool) endProduce(err error) {
+	s.mu.Lock()
+	if err != nil {
+		s.err = err
+	} else if !s.aborted {
+		s.done = true
+	}
+	s.producing = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // SpoolPart reads rows [part*rows/parts, (part+1)*rows/parts) of a
-// shared spool. Parts are safe to Open concurrently.
+// shared spool. Parts are safe to Open and iterate concurrently; part
+// 0 streams while the base is still producing.
 type SpoolPart struct {
 	sp          *spool
 	schema      storage.Schema
 	part, parts int
 
-	lo, hi int // row range
-	cur    int // batch index
+	pos int // next global row to emit (-1 = range not yet known)
+	cur int // batch index hint
 }
 
 // Schema implements Operator.
@@ -236,47 +358,70 @@ func (p *SpoolPart) Schema() storage.Schema { return p.schema }
 
 // Open implements Operator.
 func (p *SpoolPart) Open() error {
-	if err := p.sp.materialize(); err != nil {
-		return err
-	}
-	n := p.sp.rows
-	p.lo = p.part * n / p.parts
-	p.hi = (p.part + 1) * n / p.parts
-	p.cur = 0
-	for p.cur < len(p.sp.batches) && p.sp.starts[p.cur]+p.sp.batches[p.cur].Len() <= p.lo {
-		p.cur++
+	p.sp.activate()
+	p.pos, p.cur = -1, 0
+	if p.part == 0 {
+		p.pos = 0
 	}
 	return nil
 }
 
 // Next implements Operator: it emits the slices of the spooled batches
-// that overlap this part's row range, in order.
+// that overlap this part's row range, in order, blocking until the
+// next slice is certain to belong to this part.
 func (p *SpoolPart) Next() (*storage.Batch, error) {
-	if p.lo >= p.hi || p.cur >= len(p.sp.batches) {
-		return nil, nil
+	s := p.sp
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.aborted {
+			return nil, errSpoolAborted
+		}
+		var hi int
+		switch {
+		case s.done:
+			if p.pos < 0 {
+				p.pos = p.part * s.rows / p.parts
+			}
+			hi = (p.part + 1) * s.rows / p.parts
+		case p.part == 0:
+			hi = s.rows / p.parts // certain prefix of part 0
+		default:
+			s.cond.Wait() // later parts wait for the final row count
+			continue
+		}
+		if p.pos >= hi {
+			if s.done {
+				return nil, nil
+			}
+			s.cond.Wait()
+			continue
+		}
+		for p.cur < len(s.batches) && s.starts[p.cur]+s.batches[p.cur].Len() <= p.pos {
+			p.cur++
+		}
+		b, start := s.batches[p.cur], s.starts[p.cur]
+		from, to := p.pos-start, hi-start
+		if to > b.Len() {
+			to = b.Len()
+		}
+		p.pos = start + to
+		if p.part == 0 && p.pos > s.consumed0 {
+			s.consumed0 = p.pos
+			s.cond.Broadcast() // wake the producer past the lead window
+		}
+		if from == 0 && to == b.Len() {
+			return b, nil
+		}
+		return b.Slice(from, to), nil
 	}
-	b := p.sp.batches[p.cur]
-	start := p.sp.starts[p.cur]
-	if start >= p.hi {
-		return nil, nil
-	}
-	from, to := p.lo-start, p.hi-start
-	if from < 0 {
-		from = 0
-	}
-	if to > b.Len() {
-		to = b.Len()
-	}
-	p.lo = start + to
-	p.cur++
-	if from == 0 && to == b.Len() {
-		return b, nil
-	}
-	return b.Slice(from, to), nil
 }
 
 // Close implements Operator. The shared spool is not released: sibling
-// parts (and a re-Open) may still need it.
+// parts (and a re-Open) may still need it; the owning Gather aborts it.
 func (p *SpoolPart) Close() error { return nil }
 
 // Parallelize rewrites op into a Gather over per-morsel fragment
@@ -297,17 +442,20 @@ func ParallelizeBudget(op Operator, workers int, budget *sched.Budget) Operator 
 	if workers < 2 {
 		return op
 	}
-	frags, ok := splitFragment(op, workers, 0)
+	var spools []*spool
+	frags, ok := splitFragment(op, workers, 0, &spools)
 	if !ok || len(frags) < 2 {
 		return op
 	}
-	return &Gather{Fragments: frags, Budget: budget}
+	return &Gather{Fragments: frags, Budget: budget, spools: spools}
 }
 
 // splitFragment clones the stateless operator stack rooted at op into
-// per-morsel fragments. depth counts the stateless operators above op:
-// a bare source with nothing to compute is not worth a Gather.
-func splitFragment(op Operator, workers, depth int) ([]Operator, bool) {
+// per-morsel fragments, recording any shared spools it creates (or
+// adopts) in *spools so the owning Gather can abort them on Close.
+// depth counts the stateless operators above op: a bare source with
+// nothing to compute is not worth a Gather.
+func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operator, bool) {
 	switch o := op.(type) {
 	case *TableScan:
 		if depth == 0 {
@@ -336,11 +484,12 @@ func splitFragment(op Operator, workers, depth int) ([]Operator, bool) {
 		}
 		return out, true
 	case *Gather:
-		// Already parallel: adopt its fragments so the caller's
-		// stateless stack is fused into each of them.
+		// Already parallel: adopt its fragments (and spools) so the
+		// caller's stateless stack is fused into each of them.
+		*spools = append(*spools, o.spools...)
 		return o.Fragments, true
 	case *Filter:
-		kids, ok := splitFragment(o.Input, workers, depth+1)
+		kids, ok := splitFragment(o.Input, workers, depth+1, spools)
 		if !ok {
 			return nil, false
 		}
@@ -350,7 +499,7 @@ func splitFragment(op Operator, workers, depth int) ([]Operator, bool) {
 		}
 		return out, true
 	case *Project:
-		kids, ok := splitFragment(o.Input, workers, depth+1)
+		kids, ok := splitFragment(o.Input, workers, depth+1, spools)
 		if !ok {
 			return nil, false
 		}
@@ -366,7 +515,8 @@ func splitFragment(op Operator, workers, depth int) ([]Operator, bool) {
 		if depth == 0 {
 			return nil, false
 		}
-		sp := &spool{input: op}
+		sp := &spool{input: op, parts: workers}
+		*spools = append(*spools, sp)
 		out := make([]Operator, workers)
 		for i := range out {
 			out[i] = &SpoolPart{sp: sp, schema: op.Schema(), part: i, parts: workers}

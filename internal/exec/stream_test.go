@@ -1,0 +1,438 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// countingSource is a splittable batch source that counts every row it
+// hands out through a shared counter — the instrument behind the
+// LIMIT-short-circuit assertions: an early-exiting plan must stop
+// pulling from its sources after O(limit) rows, at any worker count.
+type countingSource struct {
+	data        *storage.Batch
+	part, parts int
+	count       *atomic.Int64
+
+	pos, end int
+}
+
+func (s *countingSource) Schema() storage.Schema { return s.data.Schema }
+
+func (s *countingSource) Open() error {
+	n := s.data.Len()
+	s.pos, s.end = 0, n
+	if s.parts > 1 {
+		s.pos = s.part * n / s.parts
+		s.end = (s.part + 1) * n / s.parts
+	}
+	return nil
+}
+
+func (s *countingSource) Next() (*storage.Batch, error) {
+	if s.pos >= s.end {
+		return nil, nil
+	}
+	end := s.pos + storage.BatchSize
+	if end > s.end {
+		end = s.end
+	}
+	b := s.data.Slice(s.pos, end)
+	s.pos = end
+	s.count.Add(int64(b.Len()))
+	return b, nil
+}
+
+func (s *countingSource) Close() error { return nil }
+
+// streamData builds an n-row batch (id INTEGER, k INTEGER, val DOUBLE)
+// with k = id % 50.
+func streamData(t *testing.T, n int) *storage.Batch {
+	t.Helper()
+	b := storage.NewBatch(storage.NewSchema(
+		storage.NotNullCol("id", storage.TypeInt64),
+		storage.NotNullCol("k", storage.TypeInt64),
+		storage.Col("val", storage.TypeFloat64),
+	))
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(storage.Int64(int64(i)), storage.Int64(int64(i%50)),
+			storage.Float64(float64(i)*0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func alwaysTrue(s storage.Schema) expr.Expr {
+	return gt(&expr.ColumnRef{Name: "val", Index: s.IndexOf("val"), Typ: storage.TypeFloat64}, -1)
+}
+
+// TestLimitShortCircuitParallelScan asserts that a LIMIT above a
+// Gather of scan fragments stops pulling from the source after a
+// bounded number of rows: each fragment runs at most gatherBuffer
+// batches ahead, so total source reads are O(limit + workers·buffer),
+// not O(table).
+func TestLimitShortCircuitParallelScan(t *testing.T) {
+	const totalBatches = 300
+	data := streamData(t, totalBatches*storage.BatchSize)
+	for _, workers := range []int{1, 2, 8} {
+		var count atomic.Int64
+		frags := make([]Operator, workers)
+		for i := range frags {
+			frags[i] = &Filter{
+				Input: &countingSource{data: data, part: i, parts: workers, count: &count},
+				Pred:  alwaysTrue(data.Schema),
+			}
+		}
+		lim := &Limit{Input: &Gather{Fragments: frags}, N: 10, Offset: 0}
+		got := mustDrain(t, lim)
+		if got.Len() != 10 {
+			t.Fatalf("workers=%d: got %d rows, want 10", workers, got.Len())
+		}
+		bound := int64(workers*(gatherBuffer+4)) * storage.BatchSize
+		if c := count.Load(); c > bound {
+			t.Fatalf("workers=%d: LIMIT 10 pulled %d source rows, want <= %d (total %d)",
+				workers, c, bound, data.Len())
+		}
+	}
+}
+
+// TestLimitStreamingHashJoin asserts the streaming probe pulls O(limit)
+// rows from the probe side and produces exactly the rows of the
+// materialized serial probe.
+func TestLimitStreamingHashJoin(t *testing.T) {
+	data := streamData(t, 200*storage.BatchSize)
+	right := streamData(t, 50) // k column matches ids 0..49
+	build := func(streaming bool, count *atomic.Int64) Operator {
+		var left Operator = &countingSource{data: data, parts: 1, count: count}
+		return &Limit{N: 10, Input: &HashJoin{
+			Left: left, Right: &BatchSource{Data: right},
+			LeftKeys: []int{1}, RightKeys: []int{0},
+			Type: InnerJoin, Streaming: streaming,
+		}}
+	}
+	var scount, mcount atomic.Int64
+	got := mustDrain(t, build(true, &scount))
+	want := mustDrain(t, build(false, &mcount))
+	sameBatches(t, "streaming vs materialized", got, want)
+	if got.Len() != 10 {
+		t.Fatalf("got %d rows, want 10", got.Len())
+	}
+	if c := scount.Load(); c > 2*storage.BatchSize {
+		t.Fatalf("streaming probe pulled %d rows for LIMIT 10, want <= %d", c, 2*storage.BatchSize)
+	}
+	if c := mcount.Load(); c != int64(data.Len()) {
+		t.Fatalf("materialized probe read %d rows, expected full drain %d", c, data.Len())
+	}
+}
+
+// TestStreamingJoinFullParity drains streaming and materialized joins
+// completely — inner and left, nullable multi-type keys — and demands
+// byte-identical results.
+func TestStreamingJoinFullParity(t *testing.T) {
+	left := testTable(t, "l", 700, 21)
+	right := testTable(t, "r", 90, 22)
+	for _, jt := range []JoinType{InnerJoin, LeftJoin} {
+		build := func(streaming bool) Operator {
+			return &HashJoin{
+				Left: NewTableScan(left), Right: NewTableScan(right),
+				LeftKeys: []int{1}, RightKeys: []int{1}, // grp: nullable key
+				Type: jt, Streaming: streaming,
+			}
+		}
+		sameBatches(t, fmt.Sprintf("join type %d", jt),
+			mustDrain(t, build(true)), mustDrain(t, build(false)))
+	}
+}
+
+// TestSpoolStreamsAndBoundsProduction drives a Gather over SpoolParts
+// whose base is a counting source: a LIMIT above the Gather must stop
+// the spool producer after a bounded overshoot (part 0 streams rows as
+// they become certain; the producer blocks past its lead window), and
+// a full drain must reproduce the base row for row.
+func TestSpoolStreamsAndBoundsProduction(t *testing.T) {
+	const totalBatches = 300
+	data := streamData(t, totalBatches*storage.BatchSize)
+	build := func(parts int, count *atomic.Int64, n int64) Operator {
+		sp := &spool{input: &countingSource{data: data, parts: 1, count: count}, parts: parts}
+		frags := make([]Operator, parts)
+		for i := range frags {
+			frags[i] = &Filter{
+				Input: &SpoolPart{sp: sp, schema: data.Schema, part: i, parts: parts},
+				Pred:  alwaysTrue(data.Schema),
+			}
+		}
+		g := &Gather{Fragments: frags, spools: []*spool{sp}}
+		if n > 0 {
+			return &Limit{Input: g, N: n}
+		}
+		return g
+	}
+
+	for _, parts := range []int{2, 4, 8} {
+		// Early exit: bounded production.
+		var count atomic.Int64
+		got := mustDrain(t, build(parts, &count, 10))
+		if got.Len() != 10 {
+			t.Fatalf("parts=%d: got %d rows, want 10", parts, got.Len())
+		}
+		// Part 0 must see ~limit rows; the base over-produces by the
+		// parts factor plus the lead window and channel buffers.
+		bound := int64(parts) * int64((gatherBuffer+2)*storage.BatchSize+spoolLeadRows+storage.BatchSize)
+		if c := count.Load(); c > bound {
+			t.Fatalf("parts=%d: LIMIT 10 made the spool produce %d rows, want <= %d (total %d)",
+				parts, c, bound, data.Len())
+		}
+
+		// Full drain: row-for-row identical to the base.
+		var full atomic.Int64
+		sameBatches(t, fmt.Sprintf("parts=%d full drain", parts),
+			mustDrain(t, build(parts, &full, 0)), data)
+	}
+}
+
+// TestLimitUnderAggregate asserts a LIMIT inside an aggregate's input
+// (SELECT agg FROM (... LIMIT 10)) bounds source reads: the aggregate
+// consumes 10 rows, so the scan reads one batch.
+func TestLimitUnderAggregate(t *testing.T) {
+	data := streamData(t, 200*storage.BatchSize)
+	var count atomic.Int64
+	agg := &HashAggregate{
+		Input: &Limit{Input: &countingSource{data: data, parts: 1, count: &count}, N: 10},
+		GroupBy: []expr.Expr{
+			&expr.ColumnRef{Name: "k", Index: 1, Typ: storage.TypeInt64},
+		},
+		Aggs:  []*expr.Aggregate{{Kind: expr.AggCountStar}},
+		Names: []string{"k", "n"},
+	}
+	got := mustDrain(t, agg)
+	if got.Len() != 10 { // ids 0..9 → 10 distinct k values
+		t.Fatalf("got %d groups, want 10", got.Len())
+	}
+	if c := count.Load(); c > 2*storage.BatchSize {
+		t.Fatalf("aggregate over LIMIT 10 pulled %d source rows, want <= %d", c, 2*storage.BatchSize)
+	}
+}
+
+// TestSortParallelMatchesSerial checks the per-morsel parallel sort +
+// pairwise merge is byte-identical to the serial stable sort (ties
+// carry rows with distinct ids, so instability would reorder them) and
+// that sorted output streams in bounded batches.
+func TestSortParallelMatchesSerial(t *testing.T) {
+	lowMorselRows(t)
+	tb := testTable(t, "t", 3000, 31)
+	keys := []storage.SortKey{{Col: 1}, {Col: 3, Desc: true}} // grp ASC, tag DESC: many ties
+	want := mustDrain(t, &Sort{Input: NewTableScan(tb), Keys: keys})
+	for _, workers := range []int{2, 3, 8} {
+		s := &Sort{Input: NewTableScan(tb), Keys: keys, Workers: workers}
+		if err := s.Open(); err != nil {
+			t.Fatal(err)
+		}
+		got := storage.NewBatch(s.Schema())
+		for {
+			b, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if b.Len() > storage.BatchSize {
+				t.Fatalf("workers=%d: sort emitted a %d-row batch, want <= %d",
+					workers, b.Len(), storage.BatchSize)
+			}
+			if err := storage.Concat(got, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		sameBatches(t, fmt.Sprintf("workers=%d", workers), got, want)
+	}
+}
+
+// openTracker records when an operator is opened.
+type openTracker struct {
+	Operator
+	opened *bool
+}
+
+func (o *openTracker) Open() error {
+	*o.opened = true
+	return o.Operator.Open()
+}
+
+// TestUnionAllOpensInputsLazily asserts input i+1 is not opened until
+// input i is exhausted, bounding peak memory when inputs are blocking
+// (per-superstep Sorts in the table-union path).
+func TestUnionAllOpensInputsLazily(t *testing.T) {
+	a := streamData(t, 8)
+	b := streamData(t, 4)
+	var aOpened, bOpened bool
+	u := &UnionAll{Inputs: []Operator{
+		&openTracker{Operator: &BatchSource{Data: a}, opened: &aOpened},
+		&openTracker{Operator: &Sort{Input: &BatchSource{Data: b}, Keys: []storage.SortKey{{Col: 0}}}, opened: &bOpened},
+	}}
+	if err := u.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if bOpened {
+		t.Fatal("UnionAll.Open eagerly opened input 1")
+	}
+	first, err := u.Next()
+	if err != nil || first == nil {
+		t.Fatalf("first batch: %v %v", first, err)
+	}
+	if !aOpened {
+		t.Fatal("input 0 should be open after the first batch")
+	}
+	if bOpened {
+		t.Fatal("input 1 opened before input 0 was exhausted")
+	}
+	rows := first.Len()
+	for {
+		nb, err := u.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb == nil {
+			break
+		}
+		rows += nb.Len()
+	}
+	if !bOpened {
+		t.Fatal("input 1 never opened")
+	}
+	if rows != a.Len()+b.Len() {
+		t.Fatalf("got %d rows, want %d", rows, a.Len()+b.Len())
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lowAggWindow shrinks the aggregate fold window so test-sized inputs
+// exercise the windowed path.
+func lowAggWindow(t *testing.T) {
+	t.Helper()
+	old := aggWindowBatches
+	aggWindowBatches = 2
+	t.Cleanup(func() { aggWindowBatches = old })
+}
+
+// TestAggregateWindowedMatchesSerial drives the bounded-window
+// partitioned fold (input ≫ window) against the serial fold for the
+// fast path, the generic path, and the mid-stream fast→generic
+// migration, at several worker counts.
+func TestAggregateWindowedMatchesSerial(t *testing.T) {
+	lowMorselRows(t)
+	lowAggWindow(t)
+
+	t.Run("fast path", func(t *testing.T) {
+		tb := testTable(t, "t", 6000, 41)
+		s := tb.Schema()
+		group := []expr.Expr{colRef(s, "id")} // NOT NULL int key
+		aggs := []*expr.Aggregate{{Kind: expr.AggCountStar}, {Kind: expr.AggSum, Input: colRef(s, "val")}}
+		names := []string{"id", "c", "s"}
+		want := mustDrain(t, makeAgg(tb, group, aggs, names, 0))
+		for _, workers := range []int{2, 8} {
+			got := mustDrain(t, makeAgg(tb, group, aggs, names, workers))
+			sameBatches(t, fmt.Sprintf("workers=%d", workers), got, want)
+		}
+	})
+
+	t.Run("generic path", func(t *testing.T) {
+		tb := testTable(t, "t", 6000, 42)
+		s := tb.Schema()
+		group := []expr.Expr{colRef(s, "tag"), colRef(s, "grp")}
+		aggs := []*expr.Aggregate{
+			{Kind: expr.AggCount, Input: colRef(s, "id"), Distinct: true},
+			{Kind: expr.AggAvg, Input: colRef(s, "val")},
+		}
+		names := []string{"tag", "grp", "dc", "a"}
+		want := mustDrain(t, makeAgg(tb, group, aggs, names, 0))
+		for _, workers := range []int{2, 8} {
+			got := mustDrain(t, makeAgg(tb, group, aggs, names, workers))
+			sameBatches(t, fmt.Sprintf("workers=%d", workers), got, want)
+		}
+	})
+
+	t.Run("late null migrates fast to generic", func(t *testing.T) {
+		// NULL keys appear only in the last batch: the windowed fold
+		// starts on the int64 fast path and must migrate every group's
+		// accumulated state mid-stream.
+		tb := storage.NewTable("m", storage.NewSchema(
+			storage.Col("g", storage.TypeInt64),
+			storage.Col("v", storage.TypeFloat64),
+		))
+		n := 6 * storage.BatchSize
+		for i := 0; i < n; i++ {
+			g := storage.Int64(int64(i % 97))
+			if i >= n-100 && i%3 == 0 {
+				g = storage.Null(storage.TypeInt64)
+			}
+			if err := tb.AppendRow(g, storage.Float64(float64(i)*0.25)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := tb.Schema()
+		group := []expr.Expr{colRef(s, "g")}
+		aggs := []*expr.Aggregate{{Kind: expr.AggSum, Input: colRef(s, "v")}, {Kind: expr.AggCountStar}}
+		names := []string{"g", "s", "c"}
+		want := mustDrain(t, makeAgg(tb, group, aggs, names, 0))
+		for _, workers := range []int{2, 8} {
+			got := mustDrain(t, makeAgg(tb, group, aggs, names, workers))
+			sameBatches(t, fmt.Sprintf("workers=%d", workers), got, want)
+		}
+	})
+}
+
+// TestCancelMidStreamReleasesBudget cancels parallel plans mid-stream
+// and asserts every borrowed worker-budget slot is returned — both for
+// a plain Gather and for a Gather over a spooled join.
+func TestCancelMidStreamReleasesBudget(t *testing.T) {
+	lowMorselRows(t)
+	tb := testTable(t, "t", 4000, 51)
+	right := testTable(t, "r", 60, 52)
+
+	plans := map[string]func(budget *sched.Budget) Operator{
+		"scan": func(budget *sched.Budget) Operator {
+			return ParallelizeBudget(pipeline(tb), 8, budget)
+		},
+		"spooled join": func(budget *sched.Budget) Operator {
+			j := &HashJoin{Left: NewTableScan(tb), Right: NewTableScan(right),
+				LeftKeys: []int{0}, RightKeys: []int{1}, Type: InnerJoin}
+			f := &Filter{Input: j, Pred: gt(&expr.ColumnRef{Name: "val", Index: 2, Typ: storage.TypeFloat64}, -2)}
+			return ParallelizeBudget(f, 8, budget)
+		},
+	}
+	for name, build := range plans {
+		budget := sched.NewBudget(4)
+		ctx, cancel := context.WithCancel(context.Background())
+		op := WithContext(ctx, build(budget))
+		if err := op.Open(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := op.Next(); err != nil {
+			t.Fatalf("%s: first batch: %v", name, err)
+		}
+		cancel()
+		for {
+			b, err := op.Next()
+			if err != nil || b == nil {
+				break // cancellation landed (or the stream ended)
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if inUse := budget.InUse(); inUse != 0 {
+			t.Fatalf("%s: %d budget slots leaked after cancel", name, inUse)
+		}
+	}
+}

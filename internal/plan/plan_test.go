@@ -249,3 +249,136 @@ func TestHiddenColumnsInvisible(t *testing.T) {
 		t.Errorf("Visible = %v", got)
 	}
 }
+
+// walkOps visits every operator in a plan tree.
+func walkOps(op exec.Operator, visit func(exec.Operator)) {
+	visit(op)
+	switch o := op.(type) {
+	case *exec.Filter:
+		walkOps(o.Input, visit)
+	case *exec.Project:
+		walkOps(o.Input, visit)
+	case *exec.Limit:
+		walkOps(o.Input, visit)
+	case *exec.Sort:
+		walkOps(o.Input, visit)
+	case *exec.Distinct:
+		walkOps(o.Input, visit)
+	case *exec.HashAggregate:
+		walkOps(o.Input, visit)
+	case *exec.HashJoin:
+		walkOps(o.Left, visit)
+		walkOps(o.Right, visit)
+	case *exec.NestedLoopJoin:
+		walkOps(o.Left, visit)
+		walkOps(o.Right, visit)
+	case *exec.UnionAll:
+		for _, in := range o.Inputs {
+			walkOps(in, visit)
+		}
+	case *exec.Gather:
+		for _, f := range o.Fragments {
+			walkOps(f, visit)
+		}
+	}
+}
+
+// TestLimitKeepsPlanSerial asserts the planner's early-exit rule: a
+// LIMIT (without ORDER BY) plans its whole subtree serial and
+// streaming — no Gathers, and streaming joins — while the same query
+// without LIMIT (or with ORDER BY, whose sort drains anyway) stays
+// parallel.
+func TestLimitKeepsPlanSerial(t *testing.T) {
+	oldMorsel := exec.MinMorselRows
+	exec.MinMorselRows = 4
+	defer func() { exec.MinMorselRows = oldMorsel }()
+
+	cat := catalog.New()
+	big, err := cat.Create("big", storage.NewSchema(
+		storage.Col("id", storage.TypeInt64),
+		storage.Col("w", storage.TypeFloat64),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := big.AppendRow(storage.Int64(i), storage.Float64(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plan := func(q string) exec.Operator {
+		t.Helper()
+		st, err := sql.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := New(cat, expr.NewRegistry())
+		p.Parallelism = 8
+		op, err := p.PlanSelect(st.(*sql.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+	countGathers := func(op exec.Operator) int {
+		n := 0
+		walkOps(op, func(o exec.Operator) {
+			if _, ok := o.(*exec.Gather); ok {
+				n++
+			}
+		})
+		return n
+	}
+
+	if n := countGathers(plan("SELECT id FROM big WHERE w > 10.0")); n == 0 {
+		t.Fatal("parallel query without LIMIT should contain a Gather")
+	}
+	if n := countGathers(plan("SELECT id FROM big WHERE w > 10.0 LIMIT 5")); n != 0 {
+		t.Fatalf("plan under LIMIT contains %d Gathers, want 0 (serial streaming)", n)
+	}
+	if n := countGathers(plan("SELECT id FROM big WHERE w > 10.0 ORDER BY id LIMIT 5")); n == 0 {
+		t.Fatal("ORDER BY LIMIT must stay parallel (the sort drains its input anyway)")
+	}
+
+	// Joins under a LIMIT stream their probe side.
+	op := plan("SELECT a.id FROM big a JOIN big b ON a.id = b.id LIMIT 5")
+	streaming := 0
+	walkOps(op, func(o exec.Operator) {
+		if j, ok := o.(*exec.HashJoin); ok && j.Streaming {
+			streaming++
+		}
+	})
+	if streaming == 0 {
+		t.Fatal("hash join under LIMIT should be planned streaming")
+	}
+
+	// Blocking aggregates cannot short-circuit: LIMIT over GROUP BY
+	// keeps the parallel plan (a Gather over the aggregate's spooled
+	// output and/or its input).
+	if n := countGathers(plan("SELECT id, COUNT(*) FROM big GROUP BY id LIMIT 5")); n == 0 {
+		t.Fatal("aggregate under LIMIT planned fully serial; blocking fold should keep parallelism")
+	}
+	// Same through a derived table: the aggregating subquery gets the
+	// full budget back even inside a serialized outer LIMIT.
+	if n := countGathers(plan("SELECT t.id FROM (SELECT id, COUNT(*) AS c FROM big GROUP BY id) AS t LIMIT 5")); n == 0 {
+		t.Fatal("aggregating subquery under LIMIT planned fully serial; blocking fold should keep parallelism")
+	}
+	// And for a sorting subquery: its blocking Sort drains its input
+	// no matter what, so it keeps the full budget too.
+	if n := countGathers(plan("SELECT t.id FROM (SELECT id FROM big ORDER BY w) AS t LIMIT 5")); n == 0 {
+		t.Fatal("sorting subquery under LIMIT planned fully serial; blocking sort should keep parallelism")
+	}
+
+	// A LIMIT too large to benefit from early exit keeps the parallel
+	// plan.
+	oldMax := SerialLimitMax
+	SerialLimitMax = 100
+	defer func() { SerialLimitMax = oldMax }()
+	if n := countGathers(plan("SELECT id FROM big WHERE w > 10.0 LIMIT 101")); n == 0 {
+		t.Fatal("LIMIT above SerialLimitMax should keep the parallel plan")
+	}
+	if n := countGathers(plan("SELECT id FROM big WHERE w > 10.0 LIMIT 100")); n != 0 {
+		t.Fatal("LIMIT at SerialLimitMax should plan serial")
+	}
+}

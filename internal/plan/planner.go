@@ -34,6 +34,13 @@ func New(cat *catalog.Catalog, funcs *expr.Registry) *Planner {
 	return &Planner{Catalog: cat, Funcs: funcs}
 }
 
+// SerialLimitMax is the largest LIMIT+OFFSET the planner keeps serial
+// and streaming for early exit. A limit needing at most this many rows
+// reads O(limit) from its sources on one worker; a larger limit keeps
+// the parallel (materializing) plan, whose fan-out amortizes over the
+// bigger result.
+var SerialLimitMax = int64(8 * 1024)
+
 // PlanSelect lowers a SELECT statement to an operator tree.
 func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
 	return p.PlanSelectWorkers(st, 0)
@@ -47,7 +54,7 @@ func (p *Planner) PlanSelectWorkers(st *sql.SelectStmt, workers int) (exec.Opera
 	if workers <= 0 {
 		workers = p.Parallelism
 	}
-	ctx := &planCtx{p: p, workers: workers, ctes: make(map[string]*storage.Batch)}
+	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch)}
 	return ctx.planSelect(st)
 }
 
@@ -55,7 +62,38 @@ func (p *Planner) PlanSelectWorkers(st *sql.SelectStmt, workers int) (exec.Opera
 type planCtx struct {
 	p       *Planner
 	workers int
-	ctes    map[string]*storage.Batch
+	// fullWorkers remembers the statement's configured parallelism so
+	// a blocking subtree under a serialized LIMIT can get it back.
+	fullWorkers int
+	ctes        map[string]*storage.Batch
+	// serial marks the subtree under a LIMIT (with no blocking ORDER
+	// BY): operators there are planned serial and streaming — no
+	// Gathers, spools or materializing probes — so the LIMIT pulls
+	// O(limit) rows from the sources instead of paying for a full
+	// parallel drain. Early exit beats parallelism there.
+	serial bool
+}
+
+// selectAggregates reports whether any core of the statement groups or
+// aggregates — a blocking shape that must consume its whole input, so
+// a LIMIT above it cannot short-circuit the sources.
+func selectAggregates(st *sql.SelectStmt) bool {
+	for _, core := range st.Cores {
+		if len(core.GroupBy) > 0 || core.Having != nil {
+			return true
+		}
+		var aggs []*sql.FuncExpr
+		seen := make(map[string]bool)
+		for _, it := range core.Items {
+			if !it.Star {
+				collectAggs(it.E, &aggs, seen)
+			}
+		}
+		if len(aggs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
@@ -76,6 +114,35 @@ func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
 			return nil, fmt.Errorf("plan: CTE %s: %w", cte.Name, err)
 		}
 		c.ctes[strings.ToLower(cte.Name)] = data
+	}
+
+	// A small LIMIT without a blocking shape beneath it restores the
+	// early-exit contract: everything beneath it is planned serial so
+	// the limit stops pulling from the sources after O(limit) rows.
+	// Blocking shapes are exempt — an ORDER BY's sort and a GROUP
+	// BY's aggregate must consume their whole input no matter what,
+	// so serializing them buys no early exit and costs all the
+	// parallelism — and past SerialLimitMax rows the saved source
+	// reads no longer outweigh losing fan-out either.
+	blocking := selectAggregates(st) || len(st.OrderBy) > 0
+	if st.Limit != nil && !blocking {
+		need := *st.Limit
+		if st.Offset != nil {
+			need += *st.Offset
+		}
+		if need >= 0 && need <= SerialLimitMax {
+			savedWorkers, savedSerial := c.workers, c.serial
+			c.workers, c.serial = 1, true
+			defer func() { c.workers, c.serial = savedWorkers, savedSerial }()
+		}
+	} else if c.serial && blocking {
+		// A blocking subquery (aggregate fold or sort) inherited a
+		// serialized context from an outer LIMIT; it must consume its
+		// whole input regardless, so give the subtree the statement's
+		// full worker budget back.
+		savedWorkers, savedSerial := c.workers, c.serial
+		c.workers, c.serial = c.fullWorkers, false
+		defer func() { c.workers, c.serial = savedWorkers, savedSerial }()
 	}
 
 	var op exec.Operator
@@ -110,7 +177,7 @@ func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
 			}
 			op = op2
 		} else {
-			op = &exec.Sort{Input: op, Keys: keys}
+			op = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget}
 		}
 	}
 	if st.Limit != nil || st.Offset != nil {
@@ -151,7 +218,7 @@ func (c *planCtx) planWithHiddenSortColumns(st *sql.SelectStmt) (exec.Operator, 
 	for i := range st.OrderBy {
 		keys[i] = storage.SortKey{Col: visible + i, Desc: st.OrderBy[i].Desc}
 	}
-	var sorted exec.Operator = &exec.Sort{Input: op, Keys: keys}
+	var sorted exec.Operator = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget}
 	exprs := make([]expr.Expr, visible)
 	names := make([]string, visible)
 	for i := 0; i < visible; i++ {
@@ -324,7 +391,8 @@ func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
 			Left: lop, Right: rop,
 			LeftKeys: lkeys, RightKeys: rkeys,
 			Type: jt, Residual: resExpr,
-			Workers: c.workers,
+			Workers: c.workers, Budget: c.p.Budget,
+			Streaming: c.serial,
 		}, combined, nil
 	}
 	return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: jt, On: resExpr}, combined, nil
@@ -381,7 +449,8 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if len(lkeys) > 0 {
 				op = &exec.HashJoin{Left: op, Right: rop,
 					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin,
-					Workers: c.workers, Budget: c.p.Budget}
+					Workers: c.workers, Budget: c.p.Budget,
+					Streaming: c.serial}
 			} else {
 				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin}
 			}

@@ -23,6 +23,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	vertexica "repro"
 )
@@ -41,6 +42,13 @@ type Config struct {
 	// many extra workers on the engine (see Engine.SetWorkerBudget).
 	// 0 leaves the engine's current budget untouched.
 	WorkerBudget int
+	// WriteTimeout bounds each response frame write. Results stream
+	// while the statement holds the engine's read latch, so a client
+	// that stops draining its socket would otherwise hold that latch
+	// (and stall writers) indefinitely; past the deadline the write
+	// fails, the statement's stream is released and the connection is
+	// dropped. 0 means the default of 30s; negative disables it.
+	WriteTimeout time.Duration
 	// Logf, if non-nil, receives server logs.
 	Logf func(format string, args ...interface{})
 }
@@ -48,6 +56,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 	return c
 }

@@ -81,7 +81,11 @@ func TestServerBasicSQL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !wire.EqualBatches(rows.Data, local.Data) {
+	localData, err := local.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.EqualBatches(rows.Data, localData) {
 		t.Fatal("wire result differs from in-process result")
 	}
 
@@ -470,7 +474,10 @@ func TestServerConcurrentSessions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("baseline %q: %v", q, err)
 		}
-		wantRead[i] = rows.Data
+		wantRead[i], err = rows.Materialize()
+		if err != nil {
+			t.Fatalf("baseline %q: %v", q, err)
+		}
 	}
 	wantRanks, _, err := g.PageRank(context.Background(), 6)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/storage"
@@ -159,7 +160,6 @@ func (ss *session) readLoop() {
 			// 64 MiB payload must not demand a multi-GB slice).
 			if r.Err != nil || nargs > uint64(len(r.B))/2 || nargs > maxStmtArgs {
 				ss.writeError(id, "malformed bind: too many arguments")
-				ss.writeDone(id)
 				continue
 			}
 			args := make([]storage.Value, nargs)
@@ -176,7 +176,6 @@ func (ss *session) readLoop() {
 			nargs := r.Uvarint()
 			if r.Err != nil || nargs > uint64(len(r.B)) || nargs > maxStmtArgs {
 				ss.writeError(id, "malformed graph verb: too many arguments")
-				ss.writeDone(id)
 				continue
 			}
 			argv := make([]string, nargs)
@@ -204,7 +203,6 @@ func (ss *session) enqueue(req stmtReq) {
 	case ss.reqs <- req:
 	default:
 		ss.writeError(req.id, "statement queue full (pipeline depth exceeded)")
-		ss.writeDone(req.id)
 	}
 }
 
@@ -262,7 +260,6 @@ func (ss *session) cancelInflight() {
 func (ss *session) runStmt(req stmtReq) {
 	if !ss.srv.beginStmt() {
 		ss.writeError(req.id, "server is shutting down")
-		ss.writeDone(req.id)
 		return
 	}
 	defer ss.srv.endStmt()
@@ -283,13 +280,11 @@ func (ss *session) runStmt(req stmtReq) {
 		ss.prepMu.Unlock()
 		if !ok {
 			ss.writeError(req.id, fmt.Sprintf("unknown prepared statement %d", req.prep))
-			ss.writeDone(req.id)
 			return
 		}
 		bound, err := SubstituteParams(text, req.args)
 		if err != nil {
 			ss.writeError(req.id, err.Error())
-			ss.writeDone(req.id)
 			return
 		}
 		ss.runSQL(ctx, req.id, bound)
@@ -302,20 +297,19 @@ func (ss *session) runStmt(req stmtReq) {
 		gcancel()
 		if err != nil {
 			ss.writeError(req.id, err.Error())
-			ss.writeDone(req.id)
 			return
 		}
-		ss.writeRows(req.id, &engine.Rows{Data: batch})
+		ss.writeRows(req.id, engine.MaterializedRows(batch))
 	}
 }
 
 // runSQL executes one SQL statement through the engine session and
-// writes its result frames.
+// writes its result frames. SELECT results stream: the executor
+// produces batches while earlier ones are already on the wire.
 func (ss *session) runSQL(ctx context.Context, id uint32, text string) {
-	rows, res, err := ss.es.Run(ctx, text)
+	rows, res, err := ss.es.RunStream(ctx, text)
 	if err != nil {
 		ss.writeError(id, err.Error())
-		ss.writeDone(id)
 		return
 	}
 	if rows != nil {
@@ -329,33 +323,49 @@ func (ss *session) runSQL(ctx context.Context, id uint32, text string) {
 	ss.writeDone(id)
 }
 
-// writeRows streams a materialized result: header, column-wise
-// batches of at most storage.BatchSize rows, then Done.
+// writeRows streams a result: header, then column-wise batches of at
+// most storage.BatchSize rows as the iterator yields them, then Done.
+// The first RowsBatch frame ships before the executor has finished —
+// first-row latency for a big scan is O(first batch), not O(result).
+// A mid-stream failure (executor error, encoder error) terminates the
+// statement with a FrameError and nothing after it: the client
+// discards any rows already received and surfaces only the error.
 func (ss *session) writeRows(id uint32, rows *engine.Rows) {
+	defer rows.Close()
 	var hdr wire.Buffer
 	hdr.PutU32(id)
-	wire.AppendSchema(&hdr, rows.Data.Schema)
+	wire.AppendSchema(&hdr, rows.Schema())
 	if err := ss.writeFrame(wire.FrameRowsHeader, hdr.B); err != nil {
 		return
 	}
-	n := rows.Data.Len()
-	for lo := 0; lo < n; lo += storage.BatchSize {
-		hi := lo + storage.BatchSize
-		if hi > n {
-			hi = n
-		}
-		var b wire.Buffer
-		b.PutU32(id)
-		part := rows.Data
-		if lo != 0 || hi != n {
-			part = rows.Data.Slice(lo, hi)
-		}
-		if err := wire.AppendBatch(&b, part); err != nil {
+	for {
+		batch, err := rows.Next()
+		if err != nil {
 			ss.writeError(id, err.Error())
+			return
+		}
+		if batch == nil {
 			break
 		}
-		if err := ss.writeFrame(wire.FrameRowsBatch, b.B); err != nil {
-			return
+		n := batch.Len()
+		for lo := 0; lo < n; lo += storage.BatchSize {
+			hi := lo + storage.BatchSize
+			if hi > n {
+				hi = n
+			}
+			var b wire.Buffer
+			b.PutU32(id)
+			part := batch
+			if lo != 0 || hi != n {
+				part = batch.Slice(lo, hi)
+			}
+			if err := wire.AppendBatch(&b, part); err != nil {
+				ss.writeError(id, err.Error())
+				return
+			}
+			if err := ss.writeFrame(wire.FrameRowsBatch, b.B); err != nil {
+				return
+			}
 		}
 	}
 	ss.writeDone(id)
@@ -364,10 +374,23 @@ func (ss *session) writeRows(id uint32, rows *engine.Rows) {
 func (ss *session) writeFrame(typ byte, payload []byte) error {
 	ss.wmu.Lock()
 	defer ss.wmu.Unlock()
+	// Bound the write: a result stream holds the engine's read latch,
+	// so a client that stops draining its socket must not hold it
+	// (and stall writers) forever. Past the deadline the connection
+	// is effectively dead and the statement's stream unwinds.
+	if ss.srv != nil && ss.srv.cfg.WriteTimeout > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+		defer ss.conn.SetWriteDeadline(time.Time{})
+	}
 	if err := wire.WriteFrame(ss.bw, typ, payload); err != nil {
+		ss.conn.Close() // possibly truncated frame: the protocol state is unrecoverable
 		return err
 	}
-	return ss.bw.Flush()
+	if err := ss.bw.Flush(); err != nil {
+		ss.conn.Close()
+		return err
+	}
+	return nil
 }
 
 func (ss *session) writeError(id uint32, msg string) {

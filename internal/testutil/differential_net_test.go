@@ -71,7 +71,11 @@ func TestDifferentialNetworkSQL(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d remote %q: %v", seed, q, err)
 			}
-			if !wire.EqualBatches(remote.Data, local.Data) {
+			localData, err := local.Materialize()
+			if err != nil {
+				t.Fatalf("seed %d local %q: %v", seed, q, err)
+			}
+			if !wire.EqualBatches(remote.Data, localData) {
 				t.Errorf("seed %d: network result differs from in-process for %q", seed, q)
 			}
 		}

@@ -11,8 +11,8 @@
 //
 // A conversation is strictly request/response per statement, keyed by
 // a client-assigned statement id, except FrameCancel, which the client
-// may send while a statement is in flight; the server then finishes
-// that statement with FrameError("statement cancelled") + FrameDone.
+// may send while a statement is in flight; the server then terminates
+// that statement with FrameError("statement cancelled").
 //
 //	client → server                      server → client
 //	-------------------                  -------------------
@@ -24,8 +24,12 @@
 //	Cancel{stmt}                         Done{stmt}
 //	Goodbye{}                            PrepareOK{prep}
 //
-// Every statement exchange ends with Done (after RowsBatch stream,
-// ExecOK, or Error), so clients can resynchronize unconditionally.
+// A statement exchange ends with exactly one terminal frame: Done on
+// success (after the RowsBatch stream or ExecOK) or Error on failure.
+// Results stream, so an Error may arrive after RowsBatch frames have
+// already shipped (an executor or encoder failure mid-result); no Done
+// follows an Error, and the client must discard the partial rows and
+// surface only the error.
 package wire
 
 import (
@@ -38,8 +42,10 @@ import (
 	"repro/internal/storage"
 )
 
-// ProtocolVersion is negotiated in Hello/HelloOK.
-const ProtocolVersion = 1
+// ProtocolVersion is negotiated in Hello/HelloOK. Version 2 made
+// FrameError terminal: a failed statement is no longer followed by
+// FrameDone.
+const ProtocolVersion = 2
 
 // MaxFrameSize caps a frame payload (64 MiB): a corrupt or hostile
 // length header must not become an allocation bomb.

@@ -43,7 +43,9 @@ type (
 	Value = storage.Value
 	// Type is a SQL column type.
 	Type = storage.Type
-	// Rows is a materialized query result.
+	// Rows is a query result: facade entry points return it
+	// materialized (random access via Len/Row/Value); streaming
+	// consumers use engine.Session.RunStream and iterate with Next.
 	Rows = engine.Rows
 	// Edge is a graph edge with weight/type/created metadata.
 	Edge = core.Edge
