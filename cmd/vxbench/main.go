@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	mvccbench "repro/internal/bench/mvcc"
 	"repro/internal/bench/serve"
 	"repro/internal/bench/stream"
 )
@@ -37,6 +38,10 @@ func main() {
 	serveBudget := flag.Int("serve-budget", runtime.NumCPU(), "study S: global worker budget")
 	streamStudy := flag.Bool("stream", false, "run study T: first-row latency + allocation, materialized vs streamed execution")
 	streamOut := flag.String("stream-out", "BENCH_stream.json", "study T: JSON trajectory file path (empty = don't write)")
+	mvccStudy := flag.Bool("mvcc", false, "run study C: mixed-workload throughput, latch-based vs snapshot-based reads")
+	mvccOut := flag.String("mvcc-out", "BENCH_mvcc.json", "study C: JSON trajectory file path (empty = don't write)")
+	mvccReaders := flag.Int("mvcc-readers", 4, "study C: concurrent streaming readers")
+	mvccWindow := flag.Duration("mvcc-window", 500*time.Millisecond, "study C: measured interval per variant")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -93,6 +98,24 @@ func main() {
 	}
 	if *streamStudy {
 		runStreamStudy(*scale, *streamOut)
+	}
+	if *mvccStudy {
+		runMvccStudy(*scale, *mvccReaders, *mvccWindow, *mvccOut)
+	}
+}
+
+// runMvccStudy measures mixed-workload throughput — N streaming
+// readers plus one writer loop — with latch-coupled reads versus
+// MVCC snapshot reads, recording the trajectory in BENCH_mvcc.json.
+func runMvccStudy(scale float64, readers int, window time.Duration, out string) {
+	fmt.Printf("\n=== study C: mvcc mixed workload (scale=%.4f, %d readers, %v/variant) ===\n", scale, readers, window)
+	rows, err := mvccbench.Study(scale, readers, window, out)
+	if err != nil {
+		fatal(err)
+	}
+	bench.PrintAblation(os.Stdout, rows)
+	if out != "" {
+		fmt.Printf("trajectory written to %s\n", out)
 	}
 }
 

@@ -1,0 +1,212 @@
+// Package mvcc holds study C: mixed-workload throughput under
+// concurrent readers and a writer — the workload the MVCC version
+// store exists for. N clients stream a full-table SELECT in a loop
+// (consuming batch by batch, like wire clients) while one writer
+// commits INSERTs as fast as the engine admits them. The study runs
+// the same workload twice — latch-based reads (the legacy coupling,
+// SetSnapshotReads(false)) versus snapshot-based reads — and records
+// read and write throughput plus the writer's worst stall in a JSON
+// trajectory file (BENCH_mvcc.json) so the decoupling is tracked
+// across revisions.
+package mvcc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Variant is one measured concurrency mode.
+type Variant struct {
+	Name string `json:"name"`
+	// ReaderStreams counts complete SELECT drains across all readers.
+	ReaderStreams int64 `json:"reader_streams"`
+	// ReaderRows counts rows consumed across all readers.
+	ReaderRows int64 `json:"reader_rows"`
+	// WriterCommits counts committed INSERT statements.
+	WriterCommits int64 `json:"writer_commits"`
+	// WriterMaxStallMicros is the slowest single INSERT — the writer
+	// stall the latch coupling causes and snapshots remove.
+	WriterMaxStallMicros int64 `json:"writer_max_stall_us"`
+	// DurationMicros is the measured wall-clock window.
+	DurationMicros int64 `json:"duration_us"`
+	// PeakPinnedReaders is the MVCC manager's reader high-water mark.
+	PeakPinnedReaders int `json:"peak_pinned_readers"`
+}
+
+// Report is the JSON document written to the trajectory file.
+type Report struct {
+	Study    string    `json:"study"`
+	Scale    float64   `json:"scale"`
+	Rows     int       `json:"table_rows"`
+	Readers  int       `json:"readers"`
+	Variants []Variant `json:"variants"`
+}
+
+// seedDB builds a table of n rows of (id INTEGER, w DOUBLE).
+func seedDB(n int) (*engine.DB, error) {
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE mvcc_t (id INTEGER NOT NULL, w DOUBLE)"); err != nil {
+		return nil, err
+	}
+	tb, err := db.Catalog().Get("mvcc_t")
+	if err != nil {
+		return nil, err
+	}
+	b := storage.NewBatch(tb.Schema())
+	for i := 0; i < n; i++ {
+		if err := b.AppendRow(storage.Int64(int64(i)), storage.Float64(float64(i)*0.5)); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.AppendBatch(b); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// run executes the mixed workload for the window with snapshot reads
+// on or off.
+func run(name string, snapshots bool, rows, readers int, window time.Duration) (Variant, error) {
+	db, err := seedDB(rows)
+	if err != nil {
+		return Variant{}, err
+	}
+	db.SetSnapshotReads(snapshots)
+
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	start := time.Now()
+
+	var streams, rowsRead, commits, maxStall atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) {
+		if err != nil && ctx.Err() == nil {
+			firstErr.CompareAndSwap(nil, err)
+			cancel()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				rs, err := db.QueryStream(ctx, "SELECT id, w FROM mvcc_t WHERE w >= 0.0")
+				if err != nil {
+					fail(err)
+					return
+				}
+				for {
+					b, err := rs.Next()
+					if err != nil {
+						fail(err)
+						rs.Close()
+						return
+					}
+					if b == nil {
+						break
+					}
+					rowsRead.Add(int64(b.Len()))
+				}
+				streams.Add(1)
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			stmt := fmt.Sprintf("INSERT INTO mvcc_t VALUES (%d, 1.0)", rows+i)
+			t0 := time.Now()
+			if _, err := db.ExecContext(ctx, stmt); err != nil {
+				fail(err)
+				return
+			}
+			stall := time.Since(t0).Microseconds()
+			for {
+				cur := maxStall.Load()
+				if stall <= cur || maxStall.CompareAndSwap(cur, stall) {
+					break
+				}
+			}
+			commits.Add(1)
+		}
+	}()
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Variant{}, err
+	}
+
+	return Variant{
+		Name:                 name,
+		ReaderStreams:        streams.Load(),
+		ReaderRows:           rowsRead.Load(),
+		WriterCommits:        commits.Load(),
+		WriterMaxStallMicros: maxStall.Load(),
+		DurationMicros:       time.Since(start).Microseconds(),
+		PeakPinnedReaders:    db.MVCC().PeakReaders(),
+	}, nil
+}
+
+// Study runs the mixed workload at the given scale (table rows =
+// 2M × scale, min 20k) in both modes and writes the report to outPath
+// (skipped when empty). window is the measured interval per variant
+// (0 means 500ms — CI smoke uses the default). It returns printable
+// rows.
+func Study(scale float64, readers int, window time.Duration, outPath string) ([]bench.AblationRow, error) {
+	rows := int(2_000_000 * scale)
+	if rows < 20_000 {
+		rows = 20_000
+	}
+	if readers <= 0 {
+		readers = 4
+	}
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+
+	latch, err := run("latch-based reads", false, rows, readers, window)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := run("snapshot-based reads", true, rows, readers, window)
+	if err != nil {
+		return nil, err
+	}
+
+	report := Report{Study: "mvcc", Scale: scale, Rows: rows, Readers: readers, Variants: []Variant{latch, snap}}
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bench.AblationRow, 0, len(report.Variants))
+	for _, v := range report.Variants {
+		secs := float64(v.DurationMicros) / 1e6
+		out = append(out, bench.AblationRow{
+			Study:   fmt.Sprintf("C: mixed workload (%d streaming readers + 1 writer)", readers),
+			Variant: v.Name,
+			Seconds: secs,
+			Extra: fmt.Sprintf("%.0f commits/s, %.1f Mrows/s read, writer max stall %.2fms, peak pins %d",
+				float64(v.WriterCommits)/secs, float64(v.ReaderRows)/secs/1e6,
+				float64(v.WriterMaxStallMicros)/1e3, v.PeakPinnedReaders),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package mvcc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStudySmoke runs a tiny window of both variants and checks the
+// trajectory file shape — the same invocation CI smoke uses.
+func TestStudySmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_mvcc.json")
+	rows, err := Study(0.001, 2, 120*time.Millisecond, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d printable rows, want 2 variants", len(rows))
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Study != "mvcc" || len(rep.Variants) != 2 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	for _, v := range rep.Variants {
+		if v.WriterCommits == 0 {
+			t.Errorf("%s: writer made no progress", v.Name)
+		}
+		if v.ReaderRows == 0 {
+			t.Errorf("%s: readers made no progress", v.Name)
+		}
+	}
+}

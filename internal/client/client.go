@@ -1,10 +1,13 @@
 // Package client is the Go client for the Vertexica wire protocol:
 // database/sql-style Query/Exec/Prepare over a TCP connection, plus
 // the graph-algorithm RPCs (\pagerank and friends as server verbs).
-// Results arrive as column-wise encoded batches and are materialized
-// into a storage.Batch, so a client-side result is byte-identical to
-// the in-process engine.Rows for the same statement — the
-// differential harness asserts exactly that.
+// Results arrive as column-wise encoded batches; Query materializes
+// them into a storage.Batch, so a client-side result is byte-identical
+// to the in-process engine.Rows for the same statement — the
+// differential harness asserts exactly that — while QueryStream
+// extends the server's streaming execution to the last hop: Rows.Next
+// decodes one frame at a time on demand, so the first batch is usable
+// while the server is still producing the rest.
 //
 // A Conn runs one statement at a time (like a SQL session). Cancel a
 // running statement through its context: the client sends a cancel
@@ -25,20 +28,175 @@ import (
 	"repro/internal/wire"
 )
 
-// Rows is a materialized query result.
+// Rows is a query result. From Query it is materialized (Data holds
+// every row, the random-access API works immediately). From
+// QueryStream it is an iterator: Next decodes one RowsBatch frame on
+// demand; the connection's statement slot stays occupied until the
+// stream finishes, so drain to nil or Close promptly. Materialize is
+// the compatibility shim that drains whatever remains into Data.
 type Rows struct {
-	// Data holds all result rows; Schema gives names and types.
+	// Data holds all result rows once materialized (nil while
+	// streaming); Schema gives names and types.
 	Data *storage.Batch
+
+	c      *Conn
+	ctx    context.Context
+	id     uint32
+	schema storage.Schema
+	done   bool
+	err    error
+	finish func() // idempotent: stop the cancel watcher, free the statement slot
+	pos    int    // Next cursor over materialized Data
 }
 
+// Schema returns the result schema (available before the first batch).
+func (r *Rows) Schema() storage.Schema { return r.schema }
+
 // Columns returns the result column names.
-func (r *Rows) Columns() []string { return r.Data.Schema.Names() }
+func (r *Rows) Columns() []string { return r.schema.Names() }
 
-// Len returns the number of rows.
-func (r *Rows) Len() int { return r.Data.Len() }
+// Next returns the next batch of rows, or nil at end of stream. On a
+// streaming result it decodes the next frame from the wire — the
+// server may still be executing the statement. On a materialized
+// result it serves storage.BatchSize slices of Data.
+func (r *Rows) Next() (*storage.Batch, error) {
+	if r.Data != nil {
+		n := r.Data.Len()
+		if r.pos >= n {
+			return nil, nil
+		}
+		end := r.pos + storage.BatchSize
+		if end > n {
+			end = n
+		}
+		b := r.Data
+		if r.pos != 0 || end != n {
+			b = r.Data.Slice(r.pos, end)
+		}
+		r.pos = end
+		return b, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.done {
+		return nil, nil
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(r.c.br)
+		if err != nil {
+			r.fail(err)
+			return nil, r.err
+		}
+		rd := &wire.Reader{B: payload}
+		if rd.U32() != r.id {
+			continue // stale frame from an earlier, cancelled exchange
+		}
+		switch typ {
+		case wire.FrameRowsBatch:
+			b, err := wire.ReadBatch(rd, r.schema)
+			if err != nil {
+				r.fail(err)
+				return nil, r.err
+			}
+			return b, nil
+		case wire.FrameError:
+			// Error is terminal: no Done follows it. Prefer the
+			// caller's cancellation cause, like the materialized path.
+			msg := rd.String()
+			if cerr := r.ctx.Err(); cerr != nil {
+				r.fail(cerr)
+			} else {
+				r.fail(&ServerError{Msg: msg})
+			}
+			return nil, r.err
+		case wire.FrameDone:
+			r.done = true
+			r.finish()
+			return nil, nil
+		}
+	}
+}
 
-// Value returns the value at (row, col).
-func (r *Rows) Value(row, col int) storage.Value { return r.Data.Cols[col].Value(row) }
+// fail terminates the stream with err and frees the statement slot.
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.finish()
+}
+
+// Err returns the error that terminated the stream, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close finishes a streaming result early: it asks the server to
+// cancel the statement, drains the remaining frames (the statement
+// slot is unusable until the server's terminal frame arrives), and
+// frees the slot. It is a no-op on a finished or materialized result
+// and safe to call multiple times.
+func (r *Rows) Close() error {
+	if r.c == nil || r.done || r.err != nil || r.Data != nil {
+		return nil
+	}
+	// Best-effort cancel so a big remaining result dies server-side
+	// instead of being shipped just to be discarded.
+	var b wire.Buffer
+	b.PutU32(r.id)
+	r.c.writeFrame(wire.FrameCancel, b.B)
+	for {
+		batch, err := r.Next()
+		if err != nil {
+			return nil // terminal: the slot is already freed
+		}
+		if batch == nil {
+			return nil
+		}
+	}
+}
+
+// Materialize drains whatever remains of the stream into Data and
+// returns it — the compatibility shim for batch-at-once callers. On an
+// already-materialized result it returns Data unchanged.
+func (r *Rows) Materialize() (*storage.Batch, error) {
+	if r.Data != nil {
+		return r.Data, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := storage.NewBatch(r.schema)
+	for {
+		b, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := storage.Concat(out, b); err != nil {
+			r.fail(err)
+			return nil, err
+		}
+	}
+	r.Data = out
+	r.pos = 0 // Data holds only unconsumed batches; Next serves them
+	return out, nil
+}
+
+// mustData returns the materialized batch, draining a stream on first
+// use (errors surface as an empty result with Err set).
+func (r *Rows) mustData() *storage.Batch {
+	if r.Data == nil {
+		if _, err := r.Materialize(); err != nil {
+			return storage.NewBatch(r.schema)
+		}
+	}
+	return r.Data
+}
+
+// Len returns the number of rows (materializing a stream).
+func (r *Rows) Len() int { return r.mustData().Len() }
+
+// Value returns the value at (row, col) (materializing a stream).
+func (r *Rows) Value(row, col int) storage.Value { return r.mustData().Cols[col].Value(row) }
 
 // ServerError is an error reported by the server for one statement.
 type ServerError struct{ Msg string }
@@ -145,9 +303,32 @@ func (c *Conn) RunSQL(ctx context.Context, sqlText string) (*Rows, int, error) {
 }
 
 // Query runs a statement expected to return rows (SELECT, SHOW, or a
-// graph verb result).
+// graph verb result), materialized.
 func (c *Conn) Query(ctx context.Context, sqlText string) (*Rows, error) {
 	rows, _, err := c.RunSQL(ctx, sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, errors.New("client: statement returned no rows; use Exec")
+	}
+	return rows, nil
+}
+
+// QueryStream runs a SELECT and returns an iterator over its result:
+// Rows.Next decodes one batch frame at a time as the server ships it,
+// so the first rows are usable in O(first batch) — streaming all the
+// way from the executor to this process. The connection runs one
+// statement at a time, so drain the rows to nil or Close them before
+// issuing the next statement. ctx governs the whole stream: cancelling
+// it aborts the statement server-side mid-drain.
+func (c *Conn) QueryStream(ctx context.Context, sqlText string) (*Rows, error) {
+	rows, _, err := c.startStmt(ctx, true, func(id uint32) (byte, []byte) {
+		var b wire.Buffer
+		b.PutU32(id)
+		b.PutString(sqlText)
+		return wire.FrameQuery, b.B
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -311,24 +492,42 @@ func (s *Stmt) run(ctx context.Context, args []storage.Value) (*Rows, int, error
 	})
 }
 
-// roundTrip runs one statement exchange: write the request frame,
-// watch ctx for cancellation (sending a cancel frame keyed by the
-// statement id), and read response frames until Done.
+// roundTrip runs one materialized statement exchange: write the
+// request frame, watch ctx for cancellation (sending a cancel frame
+// keyed by the statement id), and read response frames until Done.
 func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byte)) (*Rows, int, error) {
+	return c.startStmt(ctx, false, build)
+}
+
+// startStmt is the shared statement machinery behind roundTrip and
+// QueryStream. With stream set, it returns as soon as the result
+// header arrives: the statement slot (smu) and the cancellation
+// watcher stay alive, owned by the returned Rows, until the stream's
+// terminal frame; without it, the result is drained and everything
+// released before returning.
+func (c *Conn) startStmt(ctx context.Context, stream bool, build func(id uint32) (byte, []byte)) (*Rows, int, error) {
 	c.smu.Lock()
-	defer c.smu.Unlock()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			c.smu.Unlock()
+		}
+	}
 	if err := ctx.Err(); err != nil {
+		release()
 		return nil, 0, err
 	}
 	c.nextStmt++
 	id := c.nextStmt
 	typ, payload := build(id)
 	if err := c.writeFrame(typ, payload); err != nil {
+		release()
 		return nil, 0, err
 	}
 
 	watchDone := make(chan struct{})
-	defer close(watchDone)
+	watchStopped := false
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -338,12 +537,19 @@ func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byt
 		case <-watchDone:
 		}
 	}()
+	finish := func() {
+		if !watchStopped {
+			watchStopped = true
+			close(watchDone)
+		}
+		release()
+	}
 
-	var rows *Rows
 	affected := 0
 	for {
 		ftyp, fpay, err := wire.ReadFrame(c.br)
 		if err != nil {
+			finish()
 			return nil, 0, err
 		}
 		r := &wire.Reader{B: fpay}
@@ -355,33 +561,33 @@ func (c *Conn) roundTrip(ctx context.Context, build func(id uint32) (byte, []byt
 		case wire.FrameRowsHeader:
 			schema, err := wire.ReadSchema(r)
 			if err != nil {
+				finish()
 				return nil, 0, err
 			}
-			rows = &Rows{Data: storage.NewBatch(schema)}
-		case wire.FrameRowsBatch:
-			if rows == nil {
-				return nil, 0, errors.New("client: rows batch before header")
+			rows := &Rows{c: c, ctx: ctx, id: id, schema: schema, finish: finish}
+			if stream {
+				// The caller iterates; finish runs at the terminal
+				// frame (Done, Error, or a read failure).
+				return rows, 0, nil
 			}
-			part, err := wire.ReadBatch(r, rows.Data.Schema)
-			if err != nil {
-				return nil, 0, err
+			if _, err := rows.Materialize(); err != nil {
+				return nil, 0, err // Materialize already finished the stream
 			}
-			if err := storage.Concat(rows.Data, part); err != nil {
-				return nil, 0, err
-			}
+			return rows, 0, nil
 		case wire.FrameExecOK:
 			affected = int(r.Uvarint())
 		case wire.FrameError:
-			// Error is terminal: the server streams results, so rows
-			// may already have arrived — discard them and surface only
-			// the error (preferring the caller's cancellation cause).
+			// Error is terminal: no Done follows it. Surface the
+			// caller's cancellation cause when there is one.
 			msg := r.String()
+			finish()
 			if err := ctx.Err(); err != nil {
 				return nil, 0, err
 			}
 			return nil, 0, &ServerError{Msg: msg}
 		case wire.FrameDone:
-			return rows, affected, nil
+			finish()
+			return nil, affected, nil
 		}
 	}
 }

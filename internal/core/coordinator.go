@@ -111,20 +111,29 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 	}
 
 	// Row index of each vertex id; stays valid because both write-back
-	// paths preserve row order. Reading the table directly requires the
-	// engine's shared latch (concurrent SQL sessions may be writing).
+	// paths preserve row order. Reading the table directly goes through
+	// a pinned MVCC snapshot (concurrent SQL sessions may be writing),
+	// so the iteration holds no engine latch.
 	vt, err := g.DB.Catalog().Get(g.VertexTable())
 	if err != nil {
 		return nil, err
 	}
 	rowOf := make(map[int64]int, numVerts)
 	{
-		g.DB.LockShared()
-		ids := vt.Data().Cols[0].(*storage.Int64Column).Int64s()
+		snap, err := g.DB.AcquireSnapshot(g.VertexTable())
+		if err != nil {
+			return nil, err
+		}
+		vtd, err := snap.Table(g.VertexTable())
+		if err != nil {
+			snap.Release()
+			return nil, err
+		}
+		ids := vtd.Data().Cols[0].(*storage.Int64Column).Int64s()
 		for i, id := range ids {
 			rowOf[id] = i
 		}
-		g.DB.UnlockShared()
+		snap.Release()
 	}
 
 	var combiner Combiner
@@ -146,7 +155,7 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 	useCache := !opts.UseJoinInput && !opts.DisableInputCache
 
 	for step := 0; step < opts.MaxSupersteps; step++ {
-		if err := ctx.Err(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return stats, err
 		}
 		stepStart := time.Now()
@@ -381,6 +390,20 @@ func (c *Coordinator) runWorkers(ctx context.Context, parts []*storage.Batch, st
 	}
 	merged.allHalted = haltedSeen == totalSeen
 	return merged, nil
+}
+
+// ctxErr reports ctx cancellation, also honoring an already-expired
+// deadline whose timer has not fired yet: under heavy load the runtime
+// can deliver timer callbacks late, and a statement_timeout must bound
+// a vertex run deterministically rather than at the timer's mercy.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // cancelCheckEvery is how many vertices a worker computes between

@@ -242,14 +242,18 @@ func (g *Graph) NumEdges() (int64, error) {
 	return int64(t.NumRows()), nil
 }
 
-// VertexValues returns every vertex's current value.
+// VertexValues returns every vertex's current value. The iteration
+// runs over a pinned MVCC snapshot, holding no engine latch.
 func (g *Graph) VertexValues() (map[int64]string, error) {
-	t, err := g.DB.Catalog().Get(g.VertexTable())
+	snap, err := g.DB.AcquireSnapshot(g.VertexTable())
 	if err != nil {
 		return nil, err
 	}
-	g.DB.LockShared()
-	defer g.DB.UnlockShared()
+	defer snap.Release()
+	t, err := snap.Table(g.VertexTable())
+	if err != nil {
+		return nil, err
+	}
 	data := t.Data()
 	ids := data.Cols[0].(*storage.Int64Column).Int64s()
 	out := make(map[int64]string, len(ids))
@@ -341,12 +345,15 @@ func (g *Graph) ResetForRun(initial func(id int64) string) error {
 // baselines and tests; the runtime itself reads edges through the
 // table-union input path).
 func (g *Graph) OutEdges() (map[int64][]Edge, error) {
-	t, err := g.DB.Catalog().Get(g.EdgeTable())
+	snap, err := g.DB.AcquireSnapshot(g.EdgeTable())
 	if err != nil {
 		return nil, err
 	}
-	g.DB.LockShared()
-	defer g.DB.UnlockShared()
+	defer snap.Release()
+	t, err := snap.Table(g.EdgeTable())
+	if err != nil {
+		return nil, err
+	}
 	data := t.Data()
 	srcs := data.Cols[0].(*storage.Int64Column).Int64s()
 	dsts := data.Cols[1].(*storage.Int64Column).Int64s()

@@ -197,16 +197,25 @@ func buildUnionInput(g *Graph, partitions, workers int) ([]*storage.Batch, error
 
 // buildJoinInput assembles the superstep input via the 3-way-join path.
 func buildJoinInput(g *Graph, partitions, workers int) ([]*storage.Batch, error) {
-	cat := g.DB.Catalog()
-	vt, err := cat.Get(g.VertexTable())
+	// These scans read the tables directly (not through the SQL
+	// statement path), so pin one consistent MVCC snapshot of all
+	// three tables for the superstep batch — the drain below then runs
+	// with no engine latch held, and a concurrent session's write
+	// statement neither blocks on it nor mutates what it reads.
+	snap, err := g.DB.AcquireSnapshot(g.VertexTable(), g.MessageTable(), g.EdgeTable())
 	if err != nil {
 		return nil, err
 	}
-	mt, err := cat.Get(g.MessageTable())
+	defer snap.Release()
+	vt, err := snap.Table(g.VertexTable())
 	if err != nil {
 		return nil, err
 	}
-	et, err := cat.Get(g.EdgeTable())
+	mt, err := snap.Table(g.MessageTable())
+	if err != nil {
+		return nil, err
+	}
+	et, err := snap.Table(g.EdgeTable())
 	if err != nil {
 		return nil, err
 	}
@@ -224,13 +233,7 @@ func buildJoinInput(g *Graph, partitions, workers int) ([]*storage.Batch, error)
 		LeftKeys: []int{0}, RightKeys: []int{0},
 		Type: exec.LeftJoin,
 	}
-	// These scans read the tables directly (not through the SQL
-	// statement path), so hold the engine's shared latch while they
-	// drain — a concurrent session's write statement must not mutate
-	// the tables mid-scan.
-	g.DB.LockShared()
 	data, err := exec.Drain(j2)
-	g.DB.UnlockShared()
 	if err != nil {
 		return nil, fmt.Errorf("core: join input: %w", err)
 	}

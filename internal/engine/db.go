@@ -15,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/mvcc"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sql"
@@ -23,15 +24,21 @@ import (
 
 // DB is an embedded relational database instance.
 //
-// Concurrency model (multi-reader): read statements share mu.RLock and
-// run concurrently; write statements, DDL and transaction control take
-// mu.Lock and serialize. A reader therefore never observes a half-
-// applied statement, but between the statements of an open transaction
-// other sessions read uncommitted state (read-uncommitted isolation at
-// statement granularity). Cross-session write/transaction ordering is
-// the write gate's job — see AcquireWriteGate — which Sessions hold for
-// the duration of a transaction so a concurrent writer cannot interleave
-// with (and be clobbered by the rollback of) someone else's transaction.
+// Concurrency model (snapshot isolation): a read statement briefly
+// takes mu.RLock to plan, pins an immutable MVCC snapshot of every
+// table it reads (internal/mvcc; copy-on-write at the column level),
+// then releases the latch and drains the snapshot latch-free — a slow
+// or stalled reader never blocks a writer. Write statements, DDL and
+// transaction control take mu.Lock and serialize; an open
+// transaction's writes stay invisible to other sessions until COMMIT
+// publishes the new table versions (readers resolve staged tables to
+// their pre-commit snapshots). Cross-session write/transaction
+// ordering is the write gate's job — see AcquireWriteGate — which
+// Sessions hold for the duration of a transaction so concurrent
+// writers do not interleave undo scopes (per-table write locks are the
+// roadmap follow-up). SetSnapshotReads(false) restores the legacy
+// latch-coupled read path (the ablation baseline vxbench study C
+// measures against).
 type DB struct {
 	mu      sync.RWMutex // readers share; writes/txns serialize
 	cat     *catalog.Catalog
@@ -39,9 +46,18 @@ type DB struct {
 	planner *plan.Planner // planner.Parallelism is guarded by mu
 
 	budget *sched.Budget // global worker budget (shared with the vertex runtime)
+	mvcc   *mvcc.Manager // version store: reader snapshots + txn pre-images
+
+	snapshotReads bool // guarded by mu; false = legacy latch-coupled reads
 
 	txnGate chan struct{} // cross-session write/txn token (capacity 1)
 	txn     *txnState     // non-nil while a transaction is open
+	// txnSessionOwned marks the open transaction as belonging to a
+	// Session (whose own reads then resolve staged tables live). A
+	// DB-level transaction (db.Begin / ExecContext BEGIN) is owned by
+	// "the embedded caller": DB-level reads see its uncommitted state,
+	// matching that API's documented single-caller assumption.
+	txnSessionOwned bool
 
 	execGateMu   sync.Mutex
 	execGateHeld bool // gate held by a DB-level ExecContext("BEGIN")
@@ -55,11 +71,13 @@ func New() *DB {
 	cat := catalog.New()
 	funcs := expr.NewRegistry()
 	db := &DB{
-		cat:     cat,
-		funcs:   funcs,
-		planner: plan.New(cat, funcs),
-		budget:  sched.NewBudget(0), // unlimited until SetWorkerBudget
-		txnGate: make(chan struct{}, 1),
+		cat:           cat,
+		funcs:         funcs,
+		planner:       plan.New(cat, funcs),
+		budget:        sched.NewBudget(0), // unlimited until SetWorkerBudget
+		mvcc:          mvcc.NewManager(cat),
+		snapshotReads: true,
+		txnGate:       make(chan struct{}, 1),
 	}
 	db.txnGate <- struct{}{}
 	db.planner.Parallelism = runtime.NumCPU()
@@ -104,10 +122,12 @@ func (db *DB) SetWorkerBudget(n int) { db.budget.Resize(n) }
 func (db *DB) WorkerBudget() *sched.Budget { return db.budget }
 
 // LockShared takes the statement latch in shared (reader) mode.
-// Subsystems that read storage tables directly — bypassing the SQL
-// statement path, like the vertex coordinator's input assembly — hold
-// it so no write statement mutates a table mid-read. Do not call
-// Query/Exec while holding it.
+// Subsystems that read storage tables directly — bypassing both the
+// SQL statement path and snapshot pinning, like the graph layer's
+// small metadata reads — hold it briefly so no write statement
+// mutates a table mid-read; bulk direct reads should pin a snapshot
+// via AcquireSnapshot instead. Do not call Query/Exec while holding
+// it.
 func (db *DB) LockShared() { db.mu.RLock() }
 
 // UnlockShared releases LockShared.
@@ -158,6 +178,46 @@ func GateHeld(ctx context.Context) bool {
 	return held
 }
 
+// MVCC exposes the version-store manager (reader gauges, tests, the
+// mixed-workload benchmark).
+func (db *DB) MVCC() *mvcc.Manager { return db.mvcc }
+
+// SetSnapshotReads toggles MVCC snapshot isolation for read
+// statements. It is on by default; off restores the legacy
+// latch-coupled path — readers hold the shared statement latch for the
+// lifetime of their result stream and see live (possibly uncommitted)
+// table state — which survives as the ablation baseline for vxbench
+// study C. Transaction undo always uses version swap regardless.
+func (db *DB) SetSnapshotReads(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.snapshotReads = on
+}
+
+// SnapshotReads reports whether reads run against pinned snapshots.
+func (db *DB) SnapshotReads() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.snapshotReads
+}
+
+// AcquireSnapshot pins a consistent committed snapshot of the named
+// tables and seals it: the caller reads the returned handle's tables
+// with no engine latch held, and must Release it when done. Subsystems
+// that read storage directly — the vertex coordinator's input
+// assembly — use it where they used to hold LockShared for the whole
+// read.
+func (db *DB) AcquireSnapshot(names ...string) (*mvcc.Snapshot, error) {
+	db.mu.RLock()
+	snap, err := db.mvcc.Acquire(names...)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	snap.Seal()
+	return snap, nil
+}
+
 // Catalog exposes the table namespace (used by the vertex runtime).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
@@ -169,11 +229,12 @@ func (db *DB) RegisterUDF(f *expr.ScalarFunc) error { return db.funcs.Register(f
 
 // Rows is a query result: an iterator over result batches. Streaming
 // rows (from QueryStream / Session.RunStream) yield batches as the
-// executor produces them and hold the database read latch plus the
-// open operator tree until the stream finishes — call Close (or drain
-// to nil) promptly. Materialized rows (from Query / Session.Run, or
-// MaterializedRows) hold everything in memory and keep the historical
-// random-access API: Len, Row, Value.
+// executor produces them and hold the statement's MVCC snapshot pin
+// plus the open operator tree until the stream finishes — call Close
+// (or drain to nil) when done; an unfinished stream wastes the pinned
+// versions' memory but blocks no writer. Materialized rows (from
+// Query / Session.Run, or MaterializedRows) hold everything in memory
+// and keep the historical random-access API: Len, Row, Value.
 //
 // Materialize drains whatever remains of the stream into one batch —
 // the shim existing batch-at-once callers use. Do not mix Next with
@@ -347,9 +408,73 @@ func (db *DB) QueryContextWorkers(ctx context.Context, text string, workers int)
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires a SELECT; use Exec for %T", st)
 	}
+	return db.queryMaterializedParsed(ctx, sel, workers, readerDBLevel)
+}
+
+// readerKind identifies who is asking for a read snapshot, which
+// decides whether an open transaction's staged writes are visible.
+type readerKind int
+
+const (
+	// readerDBLevel: a DB-level entry point (Query/QueryStream). Sees
+	// a DB-level transaction's staged writes — that API assumes one
+	// embedded caller — but never a Session-owned transaction's.
+	readerDBLevel readerKind = iota
+	// readerSession: a Session that does NOT own the open transaction.
+	// Always reads committed versions.
+	readerSession
+	// readerTxnOwner: the Session that owns the open transaction.
+	// Reads its own staged writes.
+	readerTxnOwner
+)
+
+// queryMaterializedParsed runs a parsed SELECT to a materialized
+// result. Under snapshot isolation the shared latch is held only while
+// planning pins the statement's snapshot; the drain runs latch-free.
+func (db *DB) queryMaterializedParsed(ctx context.Context, sel *sql.SelectStmt, workers int, kind readerKind) (*Rows, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.querySelectLockedWorkers(ctx, sel, workers)
+	if !db.snapshotReads {
+		defer db.mu.RUnlock()
+		return db.querySelectLockedWorkers(ctx, sel, workers)
+	}
+	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Release()
+	data, err := exec.Drain(exec.WithContext(ctx, op))
+	if err != nil {
+		return nil, err
+	}
+	return MaterializedRows(data), nil
+}
+
+// planSnapshotLocked pins a fresh MVCC snapshot and plans the SELECT
+// against it. Callers hold (at least) the shared latch; on success
+// they own the sealed snapshot and must Release it when the statement
+// finishes. The snapshot resolves staged (uncommitted) tables live
+// only for the transaction's owner: the Session that opened it, or a
+// DB-level read during a DB-level transaction. A session that does
+// not own the transaction always reads committed versions.
+func (db *DB) planSnapshotLocked(sel *sql.SelectStmt, workers int, kind readerKind) (exec.Operator, *mvcc.Snapshot, error) {
+	own := kind == readerTxnOwner ||
+		(kind == readerDBLevel && db.txn != nil && !db.txnSessionOwned)
+	acquire := db.mvcc.Acquire
+	if own {
+		acquire = db.mvcc.AcquireOwn
+	}
+	snap, err := acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err := db.planner.PlanSelectSource(sel, workers, snap)
+	snap.Seal()
+	if err != nil {
+		snap.Release()
+		return nil, nil, err
+	}
+	return op, snap, nil
 }
 
 func (db *DB) querySelectLocked(ctx context.Context, sel *sql.SelectStmt) (*Rows, error) {
@@ -369,11 +494,14 @@ func (db *DB) querySelectLockedWorkers(ctx context.Context, sel *sql.SelectStmt,
 }
 
 // QueryStream parses, plans and executes a SELECT, returning a
-// streaming result: batches are produced on demand and the read latch
-// is held until the stream finishes, so the caller must drain or Close
-// the rows. This is the serving layer's hot path — first-batch latency
-// is O(first batch), not O(result) — while Query keeps the
-// materialized contract for embedded callers.
+// streaming result: batches are produced on demand from the
+// statement's pinned snapshot, with no engine latch held — a stalled
+// consumer delays no writer, and the stream still yields exactly the
+// version set it pinned at plan time. The caller must drain or Close
+// the rows (that releases the snapshot pin). This is the serving
+// layer's hot path — first-batch latency is O(first batch), not
+// O(result) — while Query keeps the materialized contract for embedded
+// callers.
 func (db *DB) QueryStream(ctx context.Context, text string) (*Rows, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
@@ -383,20 +511,35 @@ func (db *DB) QueryStream(ctx context.Context, text string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: QueryStream requires a SELECT; use Exec for %T", st)
 	}
-	return db.queryStreamParsed(ctx, sel, 0)
+	return db.queryStreamParsed(ctx, sel, 0, readerDBLevel)
 }
 
-// queryStreamParsed plans an already-parsed SELECT under the shared
-// read latch and returns streaming rows that hold the latch (and the
-// open operator tree) until drained or closed.
-func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, workers int) (*Rows, error) {
+// queryStreamParsed plans an already-parsed SELECT and returns
+// streaming rows. Under snapshot isolation the shared latch is
+// released as soon as planning has pinned the snapshot; the rows hold
+// only the snapshot pin (released when the stream finishes). With
+// SetSnapshotReads(false) the legacy behavior applies: the latch is
+// held until the stream is drained or closed.
+func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, workers int, kind readerKind) (*Rows, error) {
 	db.mu.RLock()
-	op, err := db.planner.PlanSelectWorkers(sel, workers)
+	if !db.snapshotReads {
+		op, err := db.planner.PlanSelectWorkers(sel, workers)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		rows, err := OperatorRows(exec.WithContext(ctx, op), db.mu.RUnlock)
+		if err != nil {
+			return nil, err // OperatorRows already ran the cleanup chain
+		}
+		return rows, nil
+	}
+	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	db.mu.RUnlock()
 	if err != nil {
-		db.mu.RUnlock()
 		return nil, err
 	}
-	rows, err := OperatorRows(exec.WithContext(ctx, op), db.mu.RUnlock)
+	rows, err := OperatorRows(exec.WithContext(ctx, op), snap.Release)
 	if err != nil {
 		return nil, err // OperatorRows already ran the cleanup chain
 	}
@@ -501,15 +644,10 @@ func (db *DB) endExecTxn(end func() error) error {
 	return nil
 }
 
-// queryParsed runs an already-parsed SELECT under the shared latch.
-func (db *DB) queryParsed(ctx context.Context, sel *sql.SelectStmt, workers int) (*Rows, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.querySelectLockedWorkers(ctx, sel, workers)
-}
-
 // execParsed runs an already-parsed data statement under the exclusive
-// latch and WAL-logs it on success.
+// latch and WAL-logs it on success. An auto-commit statement (no open
+// transaction) publishes its table versions immediately; inside a
+// transaction, publication waits for COMMIT.
 func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string) (Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -518,6 +656,9 @@ func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string) (Re
 		return Result{}, err
 	}
 	db.logStatement(text)
+	if db.txn == nil {
+		db.mvcc.Publish()
+	}
 	return res, nil
 }
 

@@ -153,9 +153,15 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 
 	if sel, ok := st.(*sql.SelectStmt); ok {
 		// The timeout context must outlive this call: it governs the
-		// whole stream, so its cancel runs when the rows finish.
+		// whole stream, so its cancel runs when the rows finish. A
+		// session reading inside its own transaction sees its staged
+		// writes; everyone else reads committed snapshots.
+		kind := readerSession
+		if s.ownsGate {
+			kind = readerTxnOwner
+		}
 		sctx, cancel := s.stmtCtx(ctx)
-		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers())
+		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers(), kind)
 		if err != nil {
 			cancel()
 			return nil, Result{}, err
@@ -205,7 +211,7 @@ func (s *Session) begin(ctx context.Context) error {
 	if err := s.db.AcquireWriteGate(ctx); err != nil {
 		return err
 	}
-	if err := s.db.Begin(); err != nil {
+	if err := s.db.beginSession(); err != nil {
 		s.db.ReleaseWriteGate()
 		return err
 	}

@@ -59,10 +59,13 @@ func TestOffsetWithoutLimitAndLimitZero(t *testing.T) {
 }
 
 // TestQueryStreamYieldsBeforeDrain asserts the streaming result
-// produces its first batch while the statement is still running: the
-// read latch is held (a writer blocks) until the rows are closed.
+// produces its first batch while the statement is still running, and
+// that under snapshot isolation an open stream blocks no writer: the
+// INSERT commits mid-drain and the stream still yields exactly its
+// pinned version.
 func TestQueryStreamYieldsBeforeDrain(t *testing.T) {
-	db := bigTable(t, 5000)
+	const rowsSeeded = 5000
+	db := bigTable(t, rowsSeeded)
 	rows, err := db.QueryStream(context.Background(), "SELECT id, w FROM big WHERE w > 0.0")
 	if err != nil {
 		t.Fatal(err)
@@ -71,8 +74,10 @@ func TestQueryStreamYieldsBeforeDrain(t *testing.T) {
 	if err != nil || first == nil || first.Len() == 0 {
 		t.Fatalf("first batch: %v %v", first, err)
 	}
+	got := first.Len()
 
-	// A write must block while the stream holds the read latch.
+	// A write commits immediately while the stream is mid-drain — the
+	// reader holds a snapshot pin, not the engine latch.
 	done := make(chan struct{})
 	go func() {
 		mustExec(t, db, "INSERT INTO big VALUES (99999, 1.0)")
@@ -80,16 +85,38 @@ func TestQueryStreamYieldsBeforeDrain(t *testing.T) {
 	}()
 	select {
 	case <-done:
-		t.Fatal("write completed while a result stream held the read latch")
-	case <-time.After(50 * time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked behind an open result stream")
 	}
-	if err := rows.Close(); err != nil {
+
+	// The stream keeps yielding its pinned version: the committed row
+	// must not appear, and the total matches the pre-insert count.
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		ids := b.Cols[0]
+		for i := 0; i < b.Len(); i++ {
+			if ids.Value(i).I == 99999 {
+				t.Fatal("stream observed a row committed after its snapshot was pinned")
+			}
+		}
+		got += b.Len()
+	}
+	if got != rowsSeeded {
+		t.Fatalf("stream yielded %d rows, want the pinned version's %d", got, rowsSeeded)
+	}
+	// A fresh statement sees the committed write.
+	n, err := db.QueryScalar("SELECT COUNT(*) FROM big")
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("write still blocked after the stream was closed")
+	if n.I != rowsSeeded+1 {
+		t.Fatalf("post-commit count %d, want %d", n.I, rowsSeeded+1)
 	}
 }
 

@@ -6,25 +6,39 @@ import (
 	"repro/internal/storage"
 )
 
-// txnState tracks undo information for an open transaction. The engine
-// uses table-level undo images: the first write to a table inside the
-// transaction clones it; rollback restores the clones, drops tables
-// created by the transaction, and re-registers tables it dropped.
+// txnState tracks the statements of an open transaction for WAL
+// replay. Undo lives in the MVCC manager now: the first write to a
+// table stages an O(columns) copy-on-write pre-image snapshot there
+// (replacing the old deep-copy undo clones), commit publishes the new
+// table versions by discarding the overlay, and rollback restores the
+// pre-images with a version swap. Readers resolve staged tables to
+// their pre-images, so an open transaction's writes are invisible to
+// other sessions until commit.
 type txnState struct {
-	undo    map[string]*storage.Table // pre-image clones, keyed by name
-	created []string                  // tables created in this txn
-	dropped []*storage.Table          // table objects dropped in this txn
-	log     []string                  // statements to WAL on commit
+	log []string // statements to WAL on commit
 }
 
-// Begin starts a transaction. Nested transactions are not supported.
-func (db *DB) Begin() error {
+// Begin starts a DB-level transaction (the embedded single-caller
+// API: DB-level reads see its uncommitted state). Nested transactions
+// are not supported.
+func (db *DB) Begin() error { return db.begin(false) }
+
+// beginSession starts a transaction owned by a Session: only that
+// session's reads see the staged writes; every other reader keeps the
+// committed versions.
+func (db *DB) beginSession() error { return db.begin(true) }
+
+func (db *DB) begin(sessionOwned bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.txn != nil {
 		return fmt.Errorf("engine: transaction already open")
 	}
-	db.txn = &txnState{undo: make(map[string]*storage.Table)}
+	if err := db.mvcc.Begin(); err != nil {
+		return err
+	}
+	db.txn = &txnState{}
+	db.txnSessionOwned = sessionOwned
 	return nil
 }
 
@@ -36,7 +50,9 @@ func (db *DB) InTransaction() bool {
 }
 
 // Commit makes the transaction's changes durable (appending its
-// statements to the WAL when persistence is enabled).
+// statements to the WAL when persistence is enabled) and publishes the
+// new table versions: from this point snapshots resolve the live
+// tables again.
 func (db *DB) Commit() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -51,52 +67,28 @@ func (db *DB) Commit() error {
 		}
 	}
 	db.txn = nil
-	return nil
+	return db.mvcc.Commit()
 }
 
-// Rollback undoes every change made since Begin.
+// Rollback undoes every change made since Begin by restoring the MVCC
+// pre-image snapshots — a version swap per touched table.
 func (db *DB) Rollback() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.txn == nil {
 		return fmt.Errorf("engine: no open transaction")
 	}
-	t := db.txn
 	db.txn = nil
-	// Undo writes.
-	for name, pre := range t.undo {
-		cur, err := db.cat.Get(name)
-		if err == nil {
-			cur.RestoreFrom(pre)
-		} else {
-			// Table was dropped after being written; restore the clone.
-			db.cat.Put(pre)
-		}
-	}
-	// Drop tables created inside the transaction.
-	for _, name := range t.created {
-		_ = db.cat.Drop(name)
-	}
-	// Restore tables dropped inside the transaction (unless a write
-	// clone already restored them).
-	for _, tb := range t.dropped {
-		if !db.cat.Has(tb.Name()) {
-			db.cat.Put(tb)
-		}
-	}
-	return nil
+	return db.mvcc.Rollback()
 }
 
-// noteWrite records an undo image for a table about to be mutated.
+// noteWrite stages a pre-image for a table about to be mutated.
 // Callers must hold db.mu.
 func (db *DB) noteWrite(t *storage.Table) {
 	if db.txn == nil {
 		return
 	}
-	key := t.Name()
-	if _, ok := db.txn.undo[key]; !ok {
-		db.txn.undo[key] = t.Clone()
-	}
+	db.mvcc.StageWrite(t)
 }
 
 // noteCreate records a table created during the transaction.
@@ -104,7 +96,7 @@ func (db *DB) noteCreate(name string) {
 	if db.txn == nil {
 		return
 	}
-	db.txn.created = append(db.txn.created, name)
+	db.mvcc.StageCreate(name)
 }
 
 // noteDrop records a dropped table for potential restore.
@@ -112,7 +104,7 @@ func (db *DB) noteDrop(t *storage.Table) {
 	if db.txn == nil {
 		return
 	}
-	db.txn.dropped = append(db.txn.dropped, t)
+	db.mvcc.StageDrop(t)
 }
 
 // logStatement routes a successfully executed statement either into the

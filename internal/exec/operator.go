@@ -71,12 +71,14 @@ func Drain(op Operator) (*storage.Batch, error) {
 	}
 }
 
-// TableScan reads a table's current contents in batches. A scan may be
-// restricted to morsel `part` of `parts` (a contiguous fraction of the
-// row range, computed from the live row count at Open); the zero value
-// scans the whole table.
+// TableScan reads a table's current contents in batches. The source is
+// any storage.TableData: a live *storage.Table (reads are then the
+// caller's latch discipline) or an immutable *storage.Snapshot (MVCC
+// readers — no latch at all). A scan may be restricted to morsel
+// `part` of `parts` (a contiguous fraction of the row range, computed
+// from the row count at Open); the zero value scans the whole table.
 type TableScan struct {
-	Table *storage.Table
+	Table storage.TableData
 	// OutSchema optionally renames the scan's output columns (the
 	// planner uses this to apply alias qualifiers).
 	OutSchema storage.Schema
@@ -88,8 +90,9 @@ type TableScan struct {
 	end  int
 }
 
-// NewTableScan returns a scan over the table with its own schema.
-func NewTableScan(t *storage.Table) *TableScan {
+// NewTableScan returns a scan over the table (or snapshot) with its
+// own schema.
+func NewTableScan(t storage.TableData) *TableScan {
 	return &TableScan{Table: t, OutSchema: t.Schema()}
 }
 

@@ -1,0 +1,352 @@
+// Package mvcc is the version-store subsystem that unhooks readers
+// from writers: every read statement (and every vertex-centric
+// superstep batch) pins an immutable Snapshot of the catalog's tables
+// and drains it with no engine latch held, while writers keep mutating
+// the live tables — copy-on-write at the column level (see
+// storage.Table.Snapshot) guarantees a pinned snapshot never changes.
+// This is the reproduction's analogue of Vertica running queries
+// against consistent snapshots, which the paper leans on to mix graph
+// analytics with continuous updates.
+//
+// The Manager also owns transaction visibility: an open transaction
+// stages a pre-image snapshot of every table it touches (version swap,
+// replacing the old deep-copy undo images), readers resolve staged
+// tables to their pre-images so uncommitted work is invisible
+// (snapshot isolation, not read-uncommitted), commit publishes the new
+// versions atomically by discarding the overlay and bumping the
+// epoch, and rollback restores the pre-images — an O(columns) pointer
+// swap per table, not an O(rows) copy.
+//
+// Locking contract: Begin/Stage*/Commit/Rollback run on the writer
+// path and must be called under the engine's exclusive latch;
+// Acquire's table resolution must complete under (at least) the shared
+// latch — the engine resolves during planning and then Seals the
+// handle before releasing the latch. Release and the gauges are
+// latch-free. The Manager carries its own internal locks as well, so
+// misuse degrades to stale reads, never to data races.
+package mvcc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// Manager hands out per-statement snapshots over a catalog, tracks
+// live readers, and stages transaction pre-images.
+type Manager struct {
+	cat *catalog.Catalog
+
+	// latch guards the overlay. The engine's statement latch already
+	// serializes stagers against resolvers; this inner lock keeps the
+	// Manager self-consistent even without it.
+	latch   sync.RWMutex
+	txnOpen bool
+	// overlay maps (lower-cased) table names touched by the open
+	// transaction to their committed pre-image. A nil value records
+	// that the table did not exist when the transaction first touched
+	// the name (it was created inside the transaction).
+	overlay map[string]*storage.Snapshot
+
+	mu      sync.Mutex // guards the reader/epoch bookkeeping below
+	epoch   uint64     // bumped on every publish (commit or auto-commit write)
+	readers map[uint64]int
+	live    int
+	peak    int
+}
+
+// NewManager returns a manager over the catalog.
+func NewManager(cat *catalog.Catalog) *Manager {
+	return &Manager{cat: cat, readers: make(map[uint64]int)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Begin opens a transaction scope. Nested transactions are rejected.
+func (m *Manager) Begin() error {
+	m.latch.Lock()
+	defer m.latch.Unlock()
+	if m.txnOpen {
+		return fmt.Errorf("mvcc: transaction already open")
+	}
+	m.txnOpen = true
+	m.overlay = make(map[string]*storage.Snapshot)
+	return nil
+}
+
+// InTransaction reports whether a transaction scope is open.
+func (m *Manager) InTransaction() bool {
+	m.latch.RLock()
+	defer m.latch.RUnlock()
+	return m.txnOpen
+}
+
+// StageWrite records the pre-image of a table about to be mutated
+// inside the open transaction (first touch only — O(columns), the
+// copy-on-write machinery does the rest). A no-op outside a
+// transaction: auto-commit statements publish directly.
+func (m *Manager) StageWrite(t *storage.Table) {
+	m.latch.Lock()
+	defer m.latch.Unlock()
+	if !m.txnOpen {
+		return
+	}
+	k := key(t.Name())
+	if _, ok := m.overlay[k]; !ok {
+		m.overlay[k] = t.Snapshot()
+	}
+}
+
+// StageCreate records that the named table is being created inside the
+// open transaction: readers must not see it, and rollback drops it.
+func (m *Manager) StageCreate(name string) {
+	m.latch.Lock()
+	defer m.latch.Unlock()
+	if !m.txnOpen {
+		return
+	}
+	k := key(name)
+	if _, ok := m.overlay[k]; !ok {
+		m.overlay[k] = nil // did not exist at first touch
+	}
+}
+
+// StageDrop records the pre-image of a table being dropped inside the
+// open transaction: readers keep seeing it, and rollback re-registers
+// it.
+func (m *Manager) StageDrop(t *storage.Table) {
+	m.StageWrite(t)
+}
+
+// Commit publishes the transaction's versions atomically: the overlay
+// is discarded (readers now resolve the live tables) and the epoch
+// advances. Callers hold the engine's exclusive latch, so no reader
+// can be mid-resolution.
+func (m *Manager) Commit() error {
+	m.latch.Lock()
+	if !m.txnOpen {
+		m.latch.Unlock()
+		return fmt.Errorf("mvcc: no open transaction")
+	}
+	m.txnOpen = false
+	m.overlay = nil
+	m.latch.Unlock()
+	m.Publish()
+	return nil
+}
+
+// Rollback restores every staged table to its pre-image: a version
+// swap per table (RestoreSnapshot / TableFromSnapshot), not a data
+// copy. Tables created inside the transaction are dropped; tables
+// dropped inside it are re-registered.
+func (m *Manager) Rollback() error {
+	m.latch.Lock()
+	defer m.latch.Unlock()
+	if !m.txnOpen {
+		return fmt.Errorf("mvcc: no open transaction")
+	}
+	for k, pre := range m.overlay {
+		if pre == nil {
+			// Created inside the transaction: remove (it may already be
+			// gone if the transaction also dropped it).
+			if m.cat.Has(k) {
+				_ = m.cat.Drop(k)
+			}
+			continue
+		}
+		if t, err := m.cat.Get(k); err == nil && t.Schema().Equal(pre.Schema()) {
+			t.RestoreSnapshot(pre)
+		} else {
+			// Dropped (or recreated with another shape) inside the
+			// transaction: reinstall a table built from the pre-image.
+			m.cat.Put(storage.TableFromSnapshot(pre))
+		}
+	}
+	m.txnOpen = false
+	m.overlay = nil
+	return nil
+}
+
+// Publish advances the commit epoch — called after every auto-commit
+// write statement (Commit calls it itself). The epoch labels reader
+// pins; it is bookkeeping for the garbage-collection follow-up, not a
+// correctness input.
+func (m *Manager) Publish() {
+	m.mu.Lock()
+	m.epoch++
+	m.mu.Unlock()
+}
+
+// Acquire pins a new reader snapshot at the current epoch and eagerly
+// resolves the given table names (callers that resolve lazily during
+// planning pass none). Resolution must finish under the engine's
+// shared latch; Seal the handle when the latch is released.
+func (m *Manager) Acquire(names ...string) (*Snapshot, error) {
+	return m.acquire(false, names)
+}
+
+// AcquireOwn is Acquire for the transaction owner's own reads: staged
+// tables resolve to their live (uncommitted) contents instead of their
+// pre-images, so a transaction reads its own writes while everyone
+// else keeps reading the committed versions.
+func (m *Manager) AcquireOwn(names ...string) (*Snapshot, error) {
+	return m.acquire(true, names)
+}
+
+func (m *Manager) acquire(own bool, names []string) (*Snapshot, error) {
+	m.mu.Lock()
+	m.live++
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+	m.readers[m.epoch]++
+	s := &Snapshot{m: m, epoch: m.epoch, own: own, tables: make(map[string]*storage.Snapshot)}
+	m.mu.Unlock()
+	for _, n := range names {
+		if _, err := s.Table(n); err != nil {
+			s.Release()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// resolve returns the committed view of a table: the open
+// transaction's pre-image if the table is staged, otherwise a fresh
+// copy-on-write snapshot of the live table. With own set, the overlay
+// is skipped — the transaction owner reads its own writes.
+func (m *Manager) resolve(name string, own bool) (*storage.Snapshot, error) {
+	if !own {
+		m.latch.RLock()
+		pre, staged := m.overlay[key(name)]
+		m.latch.RUnlock()
+		if staged {
+			if pre == nil {
+				return nil, fmt.Errorf("mvcc: no table %q", name)
+			}
+			return pre, nil
+		}
+	}
+	t, err := m.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Snapshot(), nil
+}
+
+// release returns a reader pin.
+func (m *Manager) release(epoch uint64) {
+	m.mu.Lock()
+	m.live--
+	if m.readers[epoch]--; m.readers[epoch] <= 0 {
+		delete(m.readers, epoch)
+	}
+	m.mu.Unlock()
+}
+
+// Epoch returns the current commit epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// LiveReaders returns the number of currently pinned snapshots.
+func (m *Manager) LiveReaders() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live
+}
+
+// PeakReaders returns the high-water mark of concurrently pinned
+// snapshots.
+func (m *Manager) PeakReaders() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// OldestPinnedEpoch returns the lowest epoch any live reader is pinned
+// at (ok == false when no reader is live) — the input a future
+// version-garbage collector needs.
+func (m *Manager) OldestPinnedEpoch() (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var min uint64
+	found := false
+	for e := range m.readers {
+		if !found || e < min {
+			min, found = e, true
+		}
+	}
+	return min, found
+}
+
+// Snapshot is one reader's pinned, consistent view. Table resolution
+// caches per handle, so a statement that references a table twice sees
+// the same version; after Seal, unresolved names are errors rather
+// than racy live reads.
+//
+// A Snapshot is resolved by one goroutine (the planner) but may be
+// read by many executor workers afterwards; the internal lock covers
+// the resolution cache only.
+type Snapshot struct {
+	m     *Manager
+	epoch uint64
+	own   bool // transaction owner: resolve staged tables live
+
+	mu       sync.Mutex
+	tables   map[string]*storage.Snapshot
+	sealed   bool
+	released bool
+}
+
+// Table resolves the committed view of a table, caching the result so
+// repeated references agree. On a sealed handle only cached entries
+// are served — resolution requires the engine latch the sealer has
+// already given up.
+func (s *Snapshot) Table(name string) (storage.TableData, error) {
+	k := key(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[k]; ok {
+		return t, nil
+	}
+	if s.sealed {
+		return nil, fmt.Errorf("mvcc: table %q not pinned by this snapshot", name)
+	}
+	t, err := s.m.resolve(name, s.own)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[k] = t
+	return t, nil
+}
+
+// Seal freezes the handle's table set. The engine calls it when the
+// shared latch is released: everything the statement reads is resolved
+// by then, and any later (buggy) resolution attempt fails loudly
+// instead of reading a torn live table.
+func (s *Snapshot) Seal() {
+	s.mu.Lock()
+	s.sealed = true
+	s.mu.Unlock()
+}
+
+// Epoch returns the commit epoch the snapshot is pinned at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Release unpins the snapshot (idempotent, latch-free). Streaming
+// results call it when the stream finishes.
+func (s *Snapshot) Release() {
+	s.mu.Lock()
+	done := s.released
+	s.released = true
+	s.mu.Unlock()
+	if !done {
+		s.m.release(s.epoch)
+	}
+}

@@ -41,6 +41,14 @@ func New(cat *catalog.Catalog, funcs *expr.Registry) *Planner {
 // bigger result.
 var SerialLimitMax = int64(8 * 1024)
 
+// TableSource resolves the column set a statement reads for each table
+// name — the MVCC seam. nil means live catalog tables (the writer-side
+// and legacy-latch paths); the engine passes a pinned mvcc snapshot so
+// every scan in the plan reads one immutable version set.
+type TableSource interface {
+	Table(name string) (storage.TableData, error)
+}
+
 // PlanSelect lowers a SELECT statement to an operator tree.
 func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
 	return p.PlanSelectWorkers(st, 0)
@@ -51,16 +59,25 @@ func (p *Planner) PlanSelect(st *sql.SelectStmt) (exec.Operator, error) {
 // one statement (sessions use it for SET parallelism and the server's
 // per-statement cap). 0 means the planner default.
 func (p *Planner) PlanSelectWorkers(st *sql.SelectStmt, workers int) (exec.Operator, error) {
+	return p.PlanSelectSource(st, workers, nil)
+}
+
+// PlanSelectSource is PlanSelectWorkers with an explicit table source:
+// every base-table scan in the plan reads through src instead of the
+// live catalog, so the whole statement sees one consistent version set
+// (src == nil restores live-catalog resolution).
+func (p *Planner) PlanSelectSource(st *sql.SelectStmt, workers int, src TableSource) (exec.Operator, error) {
 	if workers <= 0 {
 		workers = p.Parallelism
 	}
-	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch)}
+	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch), src: src}
 	return ctx.planSelect(st)
 }
 
 // planCtx carries per-statement state (materialized CTEs).
 type planCtx struct {
 	p       *Planner
+	src     TableSource // non-nil: resolve base tables through it
 	workers int
 	// fullWorkers remembers the statement's configured parallelism so
 	// a blocking subtree under a serialized LIMIT can get it back.
@@ -330,6 +347,13 @@ func (c *planCtx) planTableRef(ref sql.TableRef) (exec.Operator, *Scope, error) 
 		}
 		if data, ok := c.ctes[strings.ToLower(t.Name)]; ok {
 			return &exec.BatchSource{Data: data}, NewScope(qual, data.Schema), nil
+		}
+		if c.src != nil {
+			td, err := c.src.Table(t.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			return exec.NewTableScan(td), NewScope(qual, td.Schema()), nil
 		}
 		tb, err := c.p.Catalog.Get(t.Name)
 		if err != nil {

@@ -31,9 +31,21 @@ import (
 // Config tunes the server.
 type Config struct {
 	// MaxSessions bounds concurrent client sessions (admission
-	// control); further connections are rejected at handshake.
-	// 0 means the default of 64.
+	// control); further handshakes wait in the admission queue (see
+	// AdmitQueue) or are rejected. 0 means the default of 64.
 	MaxSessions int
+	// AdmitQueue bounds how many handshakes may wait for a session
+	// slot when the server is full: slots freed by departing sessions
+	// are granted strictly FIFO, smoothing bursty fleets instead of
+	// bouncing them. Beyond the bound (or past AdmitWait) the
+	// connection is rejected at handshake. 0 means the default of 16;
+	// negative disables queueing (immediate rejection).
+	AdmitQueue int
+	// AdmitWait bounds how long one queued handshake waits before
+	// being rejected — the backpressure valve that keeps a saturated
+	// server from accumulating clients forever. 0 means the default
+	// of 10s.
+	AdmitWait time.Duration
 	// MaxStmtWorkers caps any single statement's parallelism
 	// regardless of session settings (admission control's second
 	// knob). 0 means uncapped.
@@ -42,12 +54,13 @@ type Config struct {
 	// many extra workers on the engine (see Engine.SetWorkerBudget).
 	// 0 leaves the engine's current budget untouched.
 	WorkerBudget int
-	// WriteTimeout bounds each response frame write. Results stream
-	// while the statement holds the engine's read latch, so a client
-	// that stops draining its socket would otherwise hold that latch
-	// (and stall writers) indefinitely; past the deadline the write
-	// fails, the statement's stream is released and the connection is
-	// dropped. 0 means the default of 30s; negative disables it.
+	// WriteTimeout bounds each response frame write. A result stream
+	// pins its MVCC snapshot (not an engine latch — writers proceed
+	// regardless), so a client that stops draining its socket wastes a
+	// session slot and the pinned versions' memory; past the deadline
+	// the write fails, the statement's stream is released and the
+	// connection is dropped. 0 means the default of 30s; negative
+	// disables it.
 	WriteTimeout time.Duration
 	// Logf, if non-nil, receives server logs.
 	Logf func(format string, args ...interface{})
@@ -56,6 +69,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
+	}
+	if c.AdmitQueue == 0 {
+		c.AdmitQueue = 16
+	}
+	if c.AdmitWait <= 0 {
+		c.AdmitWait = 10 * time.Second
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
@@ -75,11 +94,22 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[uint64]*session
+	admitQ   []*admitWaiter // FIFO handshakes waiting for a session slot
 	nextID   uint64
 	draining bool
 
+	drainCh chan struct{} // closed when Shutdown begins (wakes queued handshakes)
+
 	stmtWg sync.WaitGroup // in-flight statements (drain barrier)
 	connWg sync.WaitGroup // live connection handlers
+}
+
+// admitWaiter is one queued handshake. The grant channel is buffered
+// so a granter never blocks on a waiter that just gave up; the waiter
+// drains it after withdrawing to never lose a granted slot.
+type admitWaiter struct {
+	ss    *session
+	grant chan uint64
 }
 
 // New returns a server over the engine.
@@ -88,7 +118,12 @@ func New(eng *vertexica.Engine, cfg Config) *Server {
 	if cfg.WorkerBudget > 0 {
 		eng.SetWorkerBudget(cfg.WorkerBudget)
 	}
-	return &Server{eng: eng, cfg: cfg, sessions: make(map[uint64]*session)}
+	return &Server{
+		eng:      eng,
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		drainCh:  make(chan struct{}),
+	}
 }
 
 // Engine exposes the served engine (tests and vxserve preloading).
@@ -179,26 +214,89 @@ func (s *Server) beginStmt() bool {
 
 func (s *Server) endStmt() { s.stmtWg.Done() }
 
-// admit registers a new session, enforcing the session bound.
-func (s *Server) admit(ss *session) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return 0, errors.New("server is shutting down")
-	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		return 0, fmt.Errorf("too many sessions (limit %d)", s.cfg.MaxSessions)
-	}
+// registerLocked installs a session under a fresh id. Callers hold
+// s.mu.
+func (s *Server) registerLocked(ss *session) uint64 {
 	s.nextID++
 	id := s.nextID
 	s.sessions[id] = ss
-	return id, nil
+	return id
 }
 
+// admit registers a new session, enforcing the session bound. When the
+// server is full the handshake joins a bounded FIFO wait list instead
+// of being rejected: a slot freed by a departing session goes to the
+// oldest waiter. Waiters past the queue bound, past AdmitWait, or
+// caught by a shutdown are rejected — queue, don't hoard.
+func (s *Server) admit(ss *session) (uint64, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return 0, errors.New("server is shutting down")
+	}
+	if len(s.sessions) < s.cfg.MaxSessions {
+		id := s.registerLocked(ss)
+		s.mu.Unlock()
+		return id, nil
+	}
+	if s.cfg.AdmitQueue < 0 || len(s.admitQ) >= s.cfg.AdmitQueue {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("too many sessions (limit %d, admission queue full)", s.cfg.MaxSessions)
+	}
+	w := &admitWaiter{ss: ss, grant: make(chan uint64, 1)}
+	s.admitQ = append(s.admitQ, w)
+	waiting := len(s.admitQ)
+	s.mu.Unlock()
+	s.logf("admission: queued handshake (%d waiting)", waiting)
+
+	timer := time.NewTimer(s.cfg.AdmitWait)
+	defer timer.Stop()
+	select {
+	case id := <-w.grant:
+		return id, nil
+	case <-timer.C:
+	case <-s.drainCh:
+	}
+	// Timed out or draining: withdraw from the queue. A grant may have
+	// raced with the decision — the buffered channel keeps it, and a
+	// granted slot is never thrown away.
+	s.mu.Lock()
+	for i, q := range s.admitQ {
+		if q == w {
+			s.admitQ = append(s.admitQ[:i], s.admitQ[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case id := <-w.grant:
+		return id, nil
+	default:
+	}
+	if s.isDraining() {
+		return 0, errors.New("server is shutting down")
+	}
+	return 0, fmt.Errorf("too many sessions (limit %d, queued %v without a free slot)",
+		s.cfg.MaxSessions, s.cfg.AdmitWait)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// unadmit removes a departing session and hands its slot to the oldest
+// queued handshake (FIFO grant).
 func (s *Server) unadmit(id uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.sessions, id)
+	for len(s.admitQ) > 0 && len(s.sessions) < s.cfg.MaxSessions && !s.draining {
+		w := s.admitQ[0]
+		s.admitQ = s.admitQ[1:]
+		w.grant <- s.registerLocked(w.ss)
+	}
 }
 
 // Shutdown drains the server: stop accepting, reject new statements,
@@ -208,6 +306,7 @@ func (s *Server) unadmit(id uint64) {
 // for the handlers to unwind before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	wasDraining := s.draining
 	s.draining = true
 	ln := s.ln
 	sessions := make([]*session, 0, len(s.sessions))
@@ -215,6 +314,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sessions = append(sessions, ss)
 	}
 	s.mu.Unlock()
+	if !wasDraining {
+		close(s.drainCh) // reject queued handshakes immediately
+	}
 	if ln != nil {
 		ln.Close()
 	}

@@ -209,7 +209,9 @@ func TestServerSessionVariables(t *testing.T) {
 
 func TestServerAdmissionControl(t *testing.T) {
 	eng := vertexica.New()
-	_, addr := startServer(t, eng, Config{MaxSessions: 2})
+	// AdmitQueue < 0 restores unqueued admission: the (N+1)th
+	// handshake is rejected immediately.
+	_, addr := startServer(t, eng, Config{MaxSessions: 2, AdmitQueue: -1})
 	c1 := dialT(t, addr)
 	c2 := dialT(t, addr)
 	_ = c2

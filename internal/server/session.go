@@ -374,10 +374,11 @@ func (ss *session) writeRows(id uint32, rows *engine.Rows) {
 func (ss *session) writeFrame(typ byte, payload []byte) error {
 	ss.wmu.Lock()
 	defer ss.wmu.Unlock()
-	// Bound the write: a result stream holds the engine's read latch,
-	// so a client that stops draining its socket must not hold it
-	// (and stall writers) forever. Past the deadline the connection
-	// is effectively dead and the statement's stream unwinds.
+	// Bound the write: a result stream pins its MVCC snapshot and a
+	// session slot, so a client that stops draining its socket must
+	// not hold them forever (writers are unaffected either way). Past
+	// the deadline the connection is effectively dead and the
+	// statement's stream unwinds.
 	if ss.srv != nil && ss.srv.cfg.WriteTimeout > 0 {
 		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
 		defer ss.conn.SetWriteDeadline(time.Time{})

@@ -171,10 +171,12 @@ func TestMidStreamEncodeErrorTerminatesStatement(t *testing.T) {
 }
 
 // TestStalledClientReleasesReadLatch locks in the availability
-// contract of streaming results: a client that stops draining its
-// socket mid-result holds the engine's read latch only until the
-// server's per-frame write deadline fires, after which writers
-// proceed.
+// contract of streaming results. Historically a stalled client held
+// the engine's read latch until the per-frame write deadline fired;
+// under MVCC it holds only a snapshot pin and writers proceed at once
+// (TestStalledClientNoLongerBlocksWriters asserts that directly).
+// WriteTimeout still matters: it reaps the dead connection so the
+// pinned snapshot and session slot are reclaimed.
 func TestStalledClientReleasesReadLatch(t *testing.T) {
 	eng := vertexica.New()
 	if _, err := eng.DB().Exec("CREATE TABLE big (id INTEGER NOT NULL, w DOUBLE)"); err != nil {

@@ -1,0 +1,93 @@
+package storage
+
+// TableData is the read surface shared by live tables and immutable
+// snapshots: everything a scan (or the vertex runtime's input
+// assembly) needs to read a column set. *Table implements it for
+// latch-disciplined live reads; *Snapshot implements it for MVCC
+// readers that hold no latch at all.
+type TableData interface {
+	// Name returns the table name.
+	Name() string
+	// Schema returns the column definitions.
+	Schema() Schema
+	// NumRows returns the row count.
+	NumRows() int
+	// Version returns the mutation counter of the contents.
+	Version() uint64
+	// SortKey returns the declared sort order, if any.
+	SortKey() []int
+	// Column returns column i.
+	Column(i int) Column
+	// Data returns the contents as one batch sharing column storage.
+	Data() *Batch
+}
+
+var (
+	_ TableData = (*Table)(nil)
+	_ TableData = (*Snapshot)(nil)
+)
+
+// Snapshot is an immutable copy-on-write view of a table's contents at
+// a single version. It shares the column storage with the table it was
+// taken from: taking one is O(columns), not O(rows). The table marks
+// those columns shared, and its next in-place mutation copies the
+// columns it touches first (see Table.Snapshot), so a snapshot's
+// contents never change — readers iterate it with no lock whatsoever.
+type Snapshot struct {
+	name    string
+	schema  Schema
+	cols    []Column
+	sortKey []int
+	version uint64
+}
+
+// Name implements TableData.
+func (s *Snapshot) Name() string { return s.name }
+
+// Schema implements TableData.
+func (s *Snapshot) Schema() Schema { return s.schema }
+
+// NumRows implements TableData.
+func (s *Snapshot) NumRows() int {
+	if len(s.cols) == 0 {
+		return 0
+	}
+	return s.cols[0].Len()
+}
+
+// Version implements TableData.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// SortKey implements TableData.
+func (s *Snapshot) SortKey() []int { return append([]int(nil), s.sortKey...) }
+
+// Column implements TableData.
+func (s *Snapshot) Column(i int) Column { return s.cols[i] }
+
+// Data implements TableData. The batch shares the snapshot's (frozen)
+// column storage.
+func (s *Snapshot) Data() *Batch {
+	return &Batch{Schema: s.schema, Cols: append([]Column(nil), s.cols...)}
+}
+
+// TableFromSnapshot materializes a snapshot back into a table object —
+// the transaction layer uses it to re-register a table that was
+// dropped (or recreated with another shape) inside a rolled-back
+// transaction. The table gets re-frozen copies of the snapshot's
+// columns, never the snapshot's own objects: the snapshot may still
+// be pinned by readers, and appends mutate a column object in place.
+// The shared flag makes in-place updates copy the value arrays.
+func TableFromSnapshot(s *Snapshot) *Table {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		cols[i] = freezeColumn(c)
+	}
+	return &Table{
+		name:    s.name,
+		schema:  s.schema.Clone(),
+		cols:    cols,
+		sortKey: append([]int(nil), s.sortKey...),
+		version: s.version + 1,
+		shared:  true,
+	}
+}

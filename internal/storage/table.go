@@ -8,8 +8,8 @@ import (
 // Table is an in-memory columnar table. Appends mutate in place under a
 // write lock; the Update-vs-Replace optimization from the paper is
 // exposed as UpdateInPlace (cheap for few rows) and Replace (swap in a
-// rebuilt column set, cheap for many rows). Clone produces the deep
-// copies the transaction layer uses as undo images.
+// rebuilt column set, cheap for many rows). Snapshot produces the
+// immutable copy-on-write views the MVCC layer hands to readers.
 type Table struct {
 	mu     sync.RWMutex
 	name   string
@@ -22,6 +22,18 @@ type Table struct {
 	// coordinator's superstep input cache) compare versions to detect
 	// staleness without diffing data.
 	version uint64
+	// shared marks the current columns' value arrays as referenced by
+	// at least one Snapshot. In-place mutators (UpdateInPlace) must
+	// detach — copy the columns — before writing; appends never need
+	// to (they only touch rows past every snapshot's length), and
+	// column-swapping mutators only replace the slice header, which
+	// snapshots never share.
+	shared bool
+	// frozen caches the snapshot taken at frozenVersion: repeated
+	// Snapshot() calls on an unchanged table return the same immutable
+	// view for free instead of re-freezing the columns.
+	frozen        *Snapshot
+	frozenVersion uint64
 }
 
 // Version returns the table's mutation counter. It increments on every
@@ -45,6 +57,99 @@ func NewTable(name string, schema Schema) *Table {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
+// Snapshot freezes the table's current contents as an immutable view.
+// The view's value arrays share the table's backing storage with
+// capacity clamped to the frozen length — later appends either write
+// past every view's reach or reallocate, so they cost the writer
+// nothing — while the null bitmaps are copied (appends mutate their
+// trailing word in place). In-place updates copy-on-write the columns
+// first (see detachLocked), so the view's contents never change no
+// matter what later statements do to the table. The snapshot for a
+// given version is cached: re-snapshotting an unchanged table is
+// O(1), and the version counter does not move — the contents are, by
+// construction, identical.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen != nil && t.frozenVersion == t.version {
+		return t.frozen
+	}
+	cols := make([]Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = freezeColumn(c)
+	}
+	t.shared = true
+	s := &Snapshot{
+		name:    t.name,
+		schema:  t.schema,
+		cols:    cols,
+		sortKey: append([]int(nil), t.sortKey...),
+		version: t.version,
+	}
+	t.frozen, t.frozenVersion = s, t.version
+	return s
+}
+
+// freezeColumn returns a read-only view of the column's current rows
+// that stays valid while the original keeps appending: the value
+// slice header is capped at the current length (appends to the
+// original grow past the cap or reallocate, never into the view) and
+// the null bitmap is copied (its trailing word mutates on append).
+func freezeColumn(c Column) Column {
+	switch col := c.(type) {
+	case *Int64Column:
+		n := len(col.vals)
+		return &Int64Column{vals: col.vals[:n:n], nulls: col.nulls.Clone()}
+	case *Float64Column:
+		n := len(col.vals)
+		return &Float64Column{vals: col.vals[:n:n], nulls: col.nulls.Clone()}
+	case *StringColumn:
+		n := len(col.vals)
+		return &StringColumn{vals: col.vals[:n:n], nulls: col.nulls.Clone()}
+	case *BoolColumn:
+		n := len(col.vals)
+		return &BoolColumn{vals: col.vals[:n:n], nulls: col.nulls.Clone()}
+	default:
+		// Unknown column type: fall back to a full copy.
+		return c.Slice(0, c.Len())
+	}
+}
+
+// detachLocked copies the column objects if any snapshot may still
+// reference their value arrays, so an in-place element write cannot
+// be observed by a pinned reader. Callers must hold t.mu. The copy
+// preserves contents, so the version counter is untouched.
+func (t *Table) detachLocked() {
+	if !t.shared {
+		return
+	}
+	for i, c := range t.cols {
+		t.cols[i] = c.Slice(0, c.Len())
+	}
+	t.shared = false
+}
+
+// RestoreSnapshot swaps the snapshot's column set back into the table
+// — the MVCC rollback path (version swap instead of a deep-copy undo
+// image). The snapshot may still be pinned by readers, so the table
+// must NOT adopt the snapshot's own Column objects (appends mutate a
+// column object in place, and appends skip copy-on-write by design):
+// it installs re-frozen copies, whose capped value slices force the
+// first append to reallocate and whose null bitmaps are private. The
+// shared flag still makes in-place updates copy the value arrays.
+func (t *Table) RestoreSnapshot(s *Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cols = make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		t.cols[i] = freezeColumn(c)
+	}
+	t.sortKey = append([]int(nil), s.sortKey...)
+	t.shared = true
+	t.version++
+	t.frozen = nil
+}
+
 // Schema returns the table schema.
 func (t *Table) Schema() Schema { return t.schema }
 
@@ -62,6 +167,7 @@ func (t *Table) SetSortKey(cols []int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.sortKey = append([]int(nil), cols...)
+	t.frozen = nil // the cached snapshot carries the old sort key
 }
 
 // NumRows returns the current row count.
@@ -90,12 +196,15 @@ func (t *Table) appendRowLocked(vals []Value) error {
 			return fmt.Errorf("storage: NOT NULL constraint violated on %s.%s", t.name, t.schema.Cols[j].Name)
 		}
 	}
+	// Appends need no copy-on-write: frozen snapshots clamp their view
+	// to the pre-append length and own their null bitmaps.
 	for j, v := range vals {
 		if err := t.cols[j].Append(v); err != nil {
 			return fmt.Errorf("storage: %s.%s: %w", t.name, t.schema.Cols[j].Name, err)
 		}
 	}
 	t.version++
+	t.frozen = nil
 	return nil
 }
 
@@ -148,7 +257,12 @@ func (t *Table) Replace(b *Batch) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.cols = append([]Column(nil), b.Cols...)
+	// The batch's columns may share storage with whatever produced them
+	// (an operator can pass a snapshot's column through untouched), so
+	// treat them as shared until the first in-place write copies.
+	t.shared = true
 	t.version++
+	t.frozen = nil
 	return nil
 }
 
@@ -162,7 +276,9 @@ func (t *Table) UpdateInPlace(rowIdx []int, colIdx int, vals []Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(rowIdx) > 0 {
+		t.detachLocked()
 		t.version++
+		t.frozen = nil
 	}
 	for k, i := range rowIdx {
 		if err := SetValue(t.cols[colIdx], i, vals[k]); err != nil {
@@ -194,7 +310,9 @@ func (t *Table) DeleteWhere(del []int) {
 	for j, c := range t.cols {
 		t.cols[j] = c.Gather(keep)
 	}
+	t.shared = false // Gather built fresh columns
 	t.version++
+	t.frozen = nil
 }
 
 // Truncate removes all rows.
@@ -204,30 +322,9 @@ func (t *Table) Truncate() {
 	for i, c := range t.schema.Cols {
 		t.cols[i] = NewColumn(c.Type, 0)
 	}
+	t.shared = false // fresh empty columns
 	t.version++
-}
-
-// Clone returns a deep copy of the table (used as a transaction undo
-// image and by temporal snapshots).
-func (t *Table) Clone() *Table {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := &Table{name: t.name, schema: t.schema.Clone(), cols: make([]Column, len(t.cols)), sortKey: append([]int(nil), t.sortKey...)}
-	for i, c := range t.cols {
-		out.cols[i] = c.Slice(0, c.Len())
-	}
-	return out
-}
-
-// RestoreFrom swaps this table's contents with those of the given clone.
-func (t *Table) RestoreFrom(src *Table) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	src.mu.RLock()
-	defer src.mu.RUnlock()
-	t.cols = append([]Column(nil), src.cols...)
-	t.sortKey = append([]int(nil), src.sortKey...)
-	t.version++
+	t.frozen = nil
 }
 
 // SetValue sets row i of column c to v (coerced to the column type).

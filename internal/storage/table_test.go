@@ -100,19 +100,28 @@ func TestTableDeleteWhere(t *testing.T) {
 	}
 }
 
-func TestTableCloneIsDeep(t *testing.T) {
+func TestTableSnapshotRestore(t *testing.T) {
 	tb := NewTable("vertex", vertexSchema())
 	_ = tb.AppendRow(Int64(1), Str("a"), Bool(false))
-	cl := tb.Clone()
+	snap := tb.Snapshot()
 	if err := tb.UpdateInPlace([]int{0}, 1, []Value{Str("mutated")}); err != nil {
 		t.Fatal(err)
 	}
-	if cl.Data().Row(0)[1].S != "a" {
-		t.Error("clone shares storage with original")
+	if snap.Data().Row(0)[1].S != "a" {
+		t.Error("snapshot observed an in-place update")
 	}
-	tb.RestoreFrom(cl)
+	tb.RestoreSnapshot(snap)
 	if tb.Data().Row(0)[1].S != "a" {
-		t.Error("RestoreFrom did not restore pre-image")
+		t.Error("RestoreSnapshot did not restore the pre-image")
+	}
+	// The restored table must not adopt the snapshot's column objects:
+	// later appends and updates stay invisible to the pinned view.
+	_ = tb.AppendRow(Int64(2), Str("b"), Bool(false))
+	if err := tb.UpdateInPlace([]int{0}, 1, []Value{Str("again")}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumRows() != 1 || snap.Data().Row(0)[1].S != "a" {
+		t.Error("pinned snapshot drifted after restore + writes")
 	}
 }
 
