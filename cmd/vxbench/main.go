@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	mvccbench "repro/internal/bench/mvcc"
 	"repro/internal/bench/serve"
+	shardbench "repro/internal/bench/shard"
 	"repro/internal/bench/stream"
 )
 
@@ -42,6 +43,9 @@ func main() {
 	mvccOut := flag.String("mvcc-out", "BENCH_mvcc.json", "study C: JSON trajectory file path (empty = don't write)")
 	mvccReaders := flag.Int("mvcc-readers", 4, "study C: concurrent streaming readers")
 	mvccWindow := flag.Duration("mvcc-window", 500*time.Millisecond, "study C: measured interval per variant")
+	shardStudy := flag.Bool("shard", false, "run study P: disjoint-shard multi-writer commit throughput, sharded vs global write gate")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "study P: JSON trajectory file path (empty = don't write)")
+	shardWindow := flag.Duration("shard-window", 300*time.Millisecond, "study P: measured interval per cell")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -101,6 +105,25 @@ func main() {
 	}
 	if *mvccStudy {
 		runMvccStudy(*scale, *mvccReaders, *mvccWindow, *mvccOut)
+	}
+	if *shardStudy {
+		runShardStudy(*shardWindow, *shardOut)
+	}
+}
+
+// runShardStudy measures commits/s for 1, 2 and 4 writers committing
+// multi-row INSERTs to disjoint shards of one table, under the sharded
+// write path versus the forced global gate, recording the trajectory
+// in BENCH_shard.json.
+func runShardStudy(window time.Duration, out string) {
+	fmt.Printf("\n=== study P: disjoint-shard writers (%v/cell) ===\n", window)
+	rows, err := shardbench.Study(nil, window, out)
+	if err != nil {
+		fatal(err)
+	}
+	bench.PrintAblation(os.Stdout, rows)
+	if out != "" {
+		fmt.Printf("trajectory written to %s\n", out)
 	}
 }
 

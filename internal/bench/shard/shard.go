@@ -1,0 +1,211 @@
+// Package shard holds study P: disjoint-shard multi-writer commit
+// throughput — the workload storage-layer sharding exists for. W
+// sessions each commit durable multi-row INSERTs whose rows all hash
+// to the writer's own shard of one partitioned table, so under the
+// sharded write path (shared gate + per-shard statement locks) the
+// writers never contend on data: their statement bodies overlap and
+// their WAL syncs group-commit. Under the forced global gate (the
+// ablation baseline, SetFastPathWrites(false)) every commit serializes
+// end to end — statement body AND fsync — because the exclusive gate
+// is held across both. The study measures commits/s at 1, 2 and 4
+// writers in both modes and records the trajectory in a JSON file
+// (BENCH_shard.json) so the scaling is tracked across revisions.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// tableShards is the partition count of the bench table: comfortably
+// more shards than writers, so disjoint keys are easy to find.
+const tableShards = 16
+
+// rowsPerStmt fattens each INSERT so the measured statement body
+// (bind + eval + append) dominates the fixed gate/latch cost.
+const rowsPerStmt = 16
+
+// Variant is one measured (mode, writers) cell.
+type Variant struct {
+	Name    string `json:"name"`
+	Writers int    `json:"writers"`
+	// Commits counts committed INSERT statements across all writers.
+	Commits int64 `json:"commits"`
+	// MaxStallMicros is the slowest single INSERT across all writers.
+	MaxStallMicros int64 `json:"max_stall_us"`
+	// DurationMicros is the measured wall-clock window.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// CommitsPerSec is the variant's headline rate.
+func (v Variant) CommitsPerSec() float64 {
+	return float64(v.Commits) / (float64(v.DurationMicros) / 1e6)
+}
+
+// Report is the JSON document written to the trajectory file.
+type Report struct {
+	Study    string    `json:"study"`
+	Shards   int       `json:"shards"`
+	Variants []Variant `json:"variants"`
+	// SpeedupAt4 is sharded commits/s over global-gate commits/s at the
+	// highest writer count — the headline scaling number.
+	SpeedupAt4 float64 `json:"speedup_at_4_writers"`
+}
+
+// disjointKeys returns `n` int64 keys that hash to n distinct shards
+// of a tableShards-way partitioned table.
+func disjointKeys(n int) []int64 {
+	keys := make([]int64, 0, n)
+	seen := make(map[uint64]bool)
+	for k := int64(0); len(keys) < n; k++ {
+		s := storage.HashValue(storage.Int64(k)) % uint64(tableShards)
+		if !seen[s] {
+			seen[s] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// run measures one (mode, writers) cell over the window against a
+// durable (WAL-backed) database in a scratch directory, so each commit
+// carries its real fsync cost.
+func run(name string, fastPath bool, writers int, window time.Duration) (Variant, error) {
+	dir, err := os.MkdirTemp("", "vxshard-*")
+	if err != nil {
+		return Variant{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.Open(dir)
+	if err != nil {
+		return Variant{}, err
+	}
+	defer db.Close()
+	db.SetFastPathWrites(fastPath)
+	stmt := fmt.Sprintf("CREATE TABLE shard_t (id INTEGER NOT NULL, seq INTEGER) PARTITION BY HASH(id) SHARDS %d", tableShards)
+	if _, err := db.Exec(stmt); err != nil {
+		return Variant{}, err
+	}
+	keys := disjointKeys(writers)
+
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	start := time.Now()
+
+	var commits, maxStall atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(key int64) {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; ctx.Err() == nil; i++ {
+				q := "INSERT INTO shard_t VALUES "
+				for r := 0; r < rowsPerStmt; r++ {
+					if r > 0 {
+						q += ", "
+					}
+					q += fmt.Sprintf("(%d, %d)", key, i*rowsPerStmt+r)
+				}
+				t0 := time.Now()
+				if _, err := sess.ExecContext(ctx, q); err != nil {
+					if ctx.Err() == nil {
+						firstErr.CompareAndSwap(nil, err)
+						cancel()
+					}
+					return
+				}
+				stall := time.Since(t0).Microseconds()
+				for {
+					cur := maxStall.Load()
+					if stall <= cur || maxStall.CompareAndSwap(cur, stall) {
+						break
+					}
+				}
+				commits.Add(1)
+			}
+		}(keys[w])
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Variant{}, err
+	}
+	return Variant{
+		Name:           name,
+		Writers:        writers,
+		Commits:        commits.Load(),
+		MaxStallMicros: maxStall.Load(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}, nil
+}
+
+// Study measures commits/s at the given writer counts (nil means
+// 1, 2, 4) under the sharded write path and under the forced global
+// gate, writes the report to outPath (skipped when empty), and returns
+// printable rows. window is the measured interval per cell (0 means
+// 300ms — CI smoke passes a smaller one).
+func Study(writerCounts []int, window time.Duration, outPath string) ([]bench.AblationRow, error) {
+	if len(writerCounts) == 0 {
+		writerCounts = []int{1, 2, 4}
+	}
+	if window <= 0 {
+		window = 300 * time.Millisecond
+	}
+
+	report := Report{Study: "shard", Shards: tableShards}
+	var shardedLast, globalLast Variant
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"global gate", false}, {"sharded gate", true}} {
+		for _, wc := range writerCounts {
+			v, err := run(mode.name, mode.fast, wc, window)
+			if err != nil {
+				return nil, err
+			}
+			report.Variants = append(report.Variants, v)
+			if mode.fast {
+				shardedLast = v
+			} else {
+				globalLast = v
+			}
+		}
+	}
+	if globalLast.Commits > 0 {
+		report.SpeedupAt4 = shardedLast.CommitsPerSec() / globalLast.CommitsPerSec()
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bench.AblationRow, 0, len(report.Variants))
+	for _, v := range report.Variants {
+		secs := float64(v.DurationMicros) / 1e6
+		out = append(out, bench.AblationRow{
+			Study:   "P: disjoint-shard writers (commits/s)",
+			Variant: fmt.Sprintf("%s, %d writer(s)", v.Name, v.Writers),
+			Seconds: secs,
+			Extra: fmt.Sprintf("%.0f commits/s, max stall %.2fms",
+				v.CommitsPerSec(), float64(v.MaxStallMicros)/1e3),
+		})
+	}
+	return out, nil
+}

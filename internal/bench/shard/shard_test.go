@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStudySmoke runs a tiny window of the full (mode, writers) grid
+// and checks the trajectory file shape — the same invocation CI smoke
+// uses.
+func TestStudySmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	rows, err := Study([]int{1, 2}, 60*time.Millisecond, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d printable rows, want 4 (2 modes x 2 writer counts)", len(rows))
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Study != "shard" || len(rep.Variants) != 4 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	for _, v := range rep.Variants {
+		if v.Commits == 0 {
+			t.Errorf("%s at %d writers: no commits", v.Name, v.Writers)
+		}
+	}
+	if rep.SpeedupAt4 <= 0 {
+		t.Errorf("speedup not computed: %+v", rep)
+	}
+}

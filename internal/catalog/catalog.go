@@ -26,15 +26,26 @@ func New() *Catalog {
 
 func key(name string) string { return strings.ToLower(name) }
 
-// Create adds a new table. It fails if the name is taken.
+// Create adds a new single-shard table. It fails if the name is taken.
 func (c *Catalog) Create(name string, schema storage.Schema) (*storage.Table, error) {
+	return c.CreateSharded(name, schema, -1, 1)
+}
+
+// CreateSharded adds a new table hash-partitioned on column keyCol
+// into shards partitions (shards <= 1 with keyCol -1 creates a plain
+// single-shard table). It fails if the name is taken or the partition
+// column is invalid.
+func (c *Catalog) CreateSharded(name string, schema storage.Schema, keyCol, shards int) (*storage.Table, error) {
+	if shards > 1 && (keyCol < 0 || keyCol >= schema.Len()) {
+		return nil, fmt.Errorf("catalog: table %q: partition column index %d out of range", name, keyCol)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
 	if _, ok := c.tables[k]; ok {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
-	t := storage.NewTable(name, schema)
+	t := storage.NewShardedTable(name, schema, keyCol, shards)
 	c.tables[k] = t
 	return t, nil
 }

@@ -41,12 +41,25 @@ type Options struct {
 	DisableInputCache bool
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() Options { return o.withDefaultsSharded(1) }
+
+// withDefaultsSharded resolves defaults knowing the graph's shard count
+// (the vertex table's; CreateGraphSharded gives all three tables the
+// same). A defaulted partition count is rounded up to a multiple of the
+// shard count: input partitioning and table sharding use the same hash
+// (storage.HashInt64), so when partitions = k·shards every input
+// partition draws its rows from exactly one shard of each graph table —
+// partition-local work stays shard-local, and the per-partition gathers
+// read contiguous shard-major runs of the assembled input.
+func (o Options) withDefaultsSharded(shards int) Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
 	if o.Partitions <= 0 {
 		o.Partitions = o.Workers * 4
+		if shards > 1 {
+			o.Partitions = ((o.Partitions + shards - 1) / shards) * shards
+		}
 	}
 	if o.MaxSupersteps <= 0 {
 		o.MaxSupersteps = 500
@@ -97,7 +110,6 @@ type Coordinator struct {
 // Run executes the program until every vertex has halted and no
 // messages remain, or MaxSupersteps is reached.
 func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
-	opts := c.Opts.withDefaults()
 	start := time.Now()
 	stats := &RunStats{}
 
@@ -118,6 +130,8 @@ func (c *Coordinator) Run(ctx context.Context) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Align defaulted input partitioning with the graph's shard layout.
+	opts := c.Opts.withDefaultsSharded(vt.NumShards())
 	rowOf := make(map[int64]int, numVerts)
 	{
 		snap, err := g.DB.AcquireSnapshot(g.VertexTable())

@@ -76,23 +76,49 @@ func validName(name string) bool {
 	return true
 }
 
-// CreateGraph creates the three tables for a new graph.
+// CreateGraph creates the three tables for a new graph, single-shard
+// (the historical layout). Use CreateGraphSharded to hash-partition
+// the tables for parallel superstep input assembly and writeback.
 func CreateGraph(db *engine.DB, name string) (*Graph, error) {
+	return CreateGraphSharded(db, name, 1)
+}
+
+// CreateGraphSharded creates the three tables for a new graph with
+// each table hash-partitioned into the given number of shards, along
+// the column the vertex runtime partitions work by: the vertex table
+// by id, the edge table by src (out-edges of a vertex land in one
+// shard), and the message table by dst (a vertex's inbox lands in one
+// shard). All three use the same hash (storage.HashValue), so shard i
+// of each table holds exactly the rows of the vertices the coordinator
+// assigns to partition i when the partition count matches the shard
+// count. shards <= 1 degenerates to the single-shard layout.
+func CreateGraphSharded(db *engine.DB, name string, shards int) (*Graph, error) {
 	if !validName(name) {
 		return nil, fmt.Errorf("core: graph name %q is not a valid SQL identifier (letters, digits, underscores)", name)
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	g := &Graph{DB: db, Name: name}
 	cat := db.Catalog()
 	if cat.Has(g.VertexTable()) {
 		return nil, fmt.Errorf("core: graph %q already exists", name)
 	}
-	if _, err := cat.Create(g.VertexTable(), VertexSchema()); err != nil {
+	create := func(tn string, schema storage.Schema, keyName string) error {
+		key := -1
+		if shards > 1 {
+			key = schema.IndexOf(keyName)
+		}
+		_, err := cat.CreateSharded(tn, schema, key, shards)
+		return err
+	}
+	if err := create(g.VertexTable(), VertexSchema(), "id"); err != nil {
 		return nil, err
 	}
-	if _, err := cat.Create(g.EdgeTable(), EdgeSchema()); err != nil {
+	if err := create(g.EdgeTable(), EdgeSchema(), "src"); err != nil {
 		return nil, err
 	}
-	if _, err := cat.Create(g.MessageTable(), MessageSchema()); err != nil {
+	if err := create(g.MessageTable(), MessageSchema(), "dst"); err != nil {
 		return nil, err
 	}
 	return g, nil

@@ -49,9 +49,21 @@ type DB struct {
 	mvcc   *mvcc.Manager // version store: reader snapshots + txn pre-images
 
 	snapshotReads bool // guarded by mu; false = legacy latch-coupled reads
+	noFastWrites  bool // guarded by mu; true forces every write through the exclusive gate
 
-	txnGate chan struct{} // cross-session write/txn token (capacity 1)
-	txn     *txnState     // non-nil while a transaction is open
+	// The write gate is a two-channel reader/writer lock over the
+	// cross-session write path. Exclusive mode (transactions, DDL, any
+	// statement outside the sharded fast path) drains every slot, so it
+	// sees no concurrent writer at all — the historical serialized
+	// behavior. Shared mode (the auto-commit sharded-DML fast path)
+	// holds one slot; disjoint-shard writers proceed in parallel and
+	// conflicts are resolved by the per-shard statement locks
+	// (storage.ShardedTable.LockShards). Shared acquisition briefly
+	// takes the exclusive token, giving a waiting exclusive acquirer
+	// preference over new shared entrants.
+	gateExcl  chan struct{} // capacity 1: exclusive token / shared entry ticket
+	gateSlots chan struct{} // capacity gateSlotCount: shared-mode slots
+	txn       *txnState     // non-nil while a transaction is open
 	// txnSessionOwned marks the open transaction as belonging to a
 	// Session (whose own reads then resolve staged tables live). A
 	// DB-level transaction (db.Begin / ExecContext BEGIN) is owned by
@@ -77,9 +89,13 @@ func New() *DB {
 		budget:        sched.NewBudget(0), // unlimited until SetWorkerBudget
 		mvcc:          mvcc.NewManager(cat),
 		snapshotReads: true,
-		txnGate:       make(chan struct{}, 1),
+		gateExcl:      make(chan struct{}, 1),
+		gateSlots:     make(chan struct{}, gateSlotCount),
 	}
-	db.txnGate <- struct{}{}
+	db.gateExcl <- struct{}{}
+	for i := 0; i < gateSlotCount; i++ {
+		db.gateSlots <- struct{}{}
+	}
 	db.planner.Parallelism = runtime.NumCPU()
 	db.planner.Budget = db.budget
 	return db
@@ -142,22 +158,70 @@ func (db *DB) LockExclusive() { db.mu.Lock() }
 // UnlockExclusive releases LockExclusive.
 func (db *DB) UnlockExclusive() { db.mu.Unlock() }
 
-// AcquireWriteGate claims the cross-session write/transaction token,
-// blocking while another session holds it (i.e. has an open
-// transaction or is mid-write). Sessions hold the gate for a single
-// auto-commit write statement or from BEGIN to COMMIT/ROLLBACK, which
-// keeps concurrent writers out of each other's undo scopes.
+// gateSlotCount bounds how many shared-mode (fast path) writers run at
+// once; an exclusive acquirer drains all of them. 64 comfortably
+// exceeds any realistic session count while keeping the drain cheap.
+const gateSlotCount = 64
+
+// AcquireWriteGate claims the cross-session write gate in exclusive
+// mode, blocking while another session holds it exclusively (an open
+// transaction or a serialized write) and draining every shared-mode
+// slot, so no fast-path writer is in flight once it returns. Sessions
+// hold it for a single serialized auto-commit write statement or from
+// BEGIN to COMMIT/ROLLBACK, which keeps concurrent writers out of each
+// other's undo scopes.
 func (db *DB) AcquireWriteGate(ctx context.Context) error {
 	select {
-	case <-db.txnGate:
-		return nil
+	case <-db.gateExcl:
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	for i := 0; i < gateSlotCount; i++ {
+		select {
+		case <-db.gateSlots:
+		case <-ctx.Done():
+			// Undo: return the slots taken so far, then the token.
+			for ; i > 0; i-- {
+				db.gateSlots <- struct{}{}
+			}
+			db.gateExcl <- struct{}{}
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
-// ReleaseWriteGate returns the token taken by AcquireWriteGate.
-func (db *DB) ReleaseWriteGate() { db.txnGate <- struct{}{} }
+// ReleaseWriteGate returns the exclusive gate taken by
+// AcquireWriteGate.
+func (db *DB) ReleaseWriteGate() {
+	for i := 0; i < gateSlotCount; i++ {
+		db.gateSlots <- struct{}{}
+	}
+	db.gateExcl <- struct{}{}
+}
+
+// acquireSharedGate claims one shared-mode slot of the write gate (the
+// sharded fast path's admission). It briefly holds the exclusive token
+// while taking the slot so a waiting exclusive acquirer is not starved
+// by a stream of new shared entrants.
+func (db *DB) acquireSharedGate(ctx context.Context) error {
+	select {
+	case <-db.gateExcl:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-db.gateSlots:
+	case <-ctx.Done():
+		db.gateExcl <- struct{}{}
+		return ctx.Err()
+	}
+	db.gateExcl <- struct{}{}
+	return nil
+}
+
+// releaseSharedGate returns the slot taken by acquireSharedGate.
+func (db *DB) releaseSharedGate() { db.gateSlots <- struct{}{} }
 
 // gateKey marks a context whose caller chain already holds the write
 // gate, so nested write statements (a graph driver's scratch-table
@@ -192,6 +256,17 @@ func (db *DB) SetSnapshotReads(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.snapshotReads = on
+}
+
+// SetFastPathWrites toggles the sharded auto-commit write fast path
+// (on by default). Off forces every write statement through the
+// exclusive write gate — the fully serialized historical behavior,
+// kept as the ablation baseline the vxbench shard study measures
+// against.
+func (db *DB) SetFastPathWrites(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noFastWrites = !on
 }
 
 // SnapshotReads reports whether reads run against pinned snapshots.
@@ -617,6 +692,12 @@ func (db *DB) ExecContext(ctx context.Context, text string) (Result, error) {
 		held := db.execGateHeld
 		db.execGateMu.Unlock()
 		if !held {
+			// Eligible auto-commit DML takes the sharded fast path:
+			// shared gate + per-shard statement locks instead of the
+			// exclusive gate + exclusive latch.
+			if res, handled, err := db.tryFastWrite(ctx, st, text); handled {
+				return res, err
+			}
 			if err := db.AcquireWriteGate(ctx); err != nil {
 				return Result{}, err
 			}
@@ -690,6 +771,13 @@ func (db *DB) execLocked(ctx context.Context, st sql.Statement) (Result, error) 
 	}
 }
 
+// DefaultShards is the shard count a PARTITION BY HASH table gets when
+// the statement omits the SHARDS clause. It is a fixed constant — not
+// NumCPU — so the same DDL produces the same physical layout (and the
+// same row order) on every machine, which the differential tests and
+// snapshot round-trips rely on.
+const DefaultShards = 8
+
 func (db *DB) execCreate(s *sql.CreateTableStmt) (Result, error) {
 	if db.cat.Has(s.Name) {
 		if s.IfNotExists {
@@ -705,7 +793,19 @@ func (db *DB) execCreate(s *sql.CreateTableStmt) (Result, error) {
 		}
 		cols[i] = storage.ColumnDef{Name: c.Name, Type: t, NotNull: c.NotNull}
 	}
-	if _, err := db.cat.Create(s.Name, storage.NewSchema(cols...)); err != nil {
+	schema := storage.NewSchema(cols...)
+	keyCol, shards := -1, 1
+	if s.PartitionBy != "" {
+		keyCol = schema.IndexOf(s.PartitionBy)
+		if keyCol < 0 {
+			return Result{}, fmt.Errorf("engine: PARTITION BY column %q is not a column of %s", s.PartitionBy, s.Name)
+		}
+		shards = s.Shards
+		if shards <= 0 {
+			shards = DefaultShards
+		}
+	}
+	if _, err := db.cat.CreateSharded(s.Name, schema, keyCol, shards); err != nil {
 		return Result{}, err
 	}
 	db.noteCreate(s.Name)
@@ -754,9 +854,26 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	colIdx, input, err := db.buildInsertInput(ctx, s, t)
+	if err != nil {
+		return Result{}, err
+	}
+	db.noteWrite(t)
+	n, err := appendInsertRows(t, colIdx, input)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+// buildInsertInput maps the statement's column list to table positions
+// and evaluates the source rows (VALUES expressions or the SELECT) into
+// a batch whose columns line up with colIdx. It only reads — safe under
+// the shared latch — so both the serialized path and the sharded fast
+// path use it.
+func (db *DB) buildInsertInput(ctx context.Context, s *sql.InsertStmt, t *storage.Table) (colIdx []int, input *storage.Batch, err error) {
 	schema := t.Schema()
 	// Map statement columns to table positions.
-	var colIdx []int
 	if len(s.Columns) == 0 {
 		colIdx = make([]int, schema.Len())
 		for i := range colIdx {
@@ -767,21 +884,20 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 		for i, name := range s.Columns {
 			j := schema.IndexOf(name)
 			if j < 0 {
-				return Result{}, fmt.Errorf("engine: table %s has no column %q", s.Table, name)
+				return nil, nil, fmt.Errorf("engine: table %s has no column %q", s.Table, name)
 			}
 			colIdx[i] = j
 		}
 	}
 
-	var input *storage.Batch
 	if s.Select != nil {
 		rows, err := db.querySelectLocked(ctx, s.Select)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		input, err = rows.Materialize()
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 	} else {
 		defs := make([]storage.ColumnDef, len(colIdx))
@@ -793,30 +909,37 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 		emptyScope := &plan.Scope{}
 		for _, astRow := range s.Rows {
 			if len(astRow) != len(colIdx) {
-				return Result{}, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(astRow), len(colIdx))
+				return nil, nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(astRow), len(colIdx))
 			}
 			vals := make([]storage.Value, len(astRow))
 			for i, e := range astRow {
 				bound, err := plan.BindExpr(e, emptyScope, db.funcs)
 				if err != nil {
-					return Result{}, err
+					return nil, nil, err
 				}
 				v, err := bound.Eval(expr.Row{})
 				if err != nil {
-					return Result{}, err
+					return nil, nil, err
 				}
 				vals[i] = v
 			}
 			if err := input.AppendRow(vals...); err != nil {
-				return Result{}, err
+				return nil, nil, err
 			}
 		}
 	}
 
 	if len(input.Cols) != len(colIdx) {
-		return Result{}, fmt.Errorf("engine: INSERT source has %d columns, expected %d", len(input.Cols), len(colIdx))
+		return nil, nil, fmt.Errorf("engine: INSERT source has %d columns, expected %d", len(input.Cols), len(colIdx))
 	}
-	db.noteWrite(t)
+	return colIdx, input, nil
+}
+
+// appendInsertRows assembles full-width rows from the evaluated input
+// batch (unspecified columns become NULL) and appends them to the
+// table, which routes each row to its shard. Returns the row count.
+func appendInsertRows(t *storage.Table, colIdx []int, input *storage.Batch) (int, error) {
+	schema := t.Schema()
 	n := input.Len()
 	for i := 0; i < n; i++ {
 		row := make([]storage.Value, schema.Len())
@@ -827,10 +950,10 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 			row[j] = input.Cols[k].Value(i)
 		}
 		if err := t.AppendRow(row...); err != nil {
-			return Result{}, err
+			return 0, err
 		}
 	}
-	return Result{RowsAffected: n}, nil
+	return n, nil
 }
 
 // matchRows returns the indexes of rows matching the WHERE clause (all

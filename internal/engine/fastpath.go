@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// The sharded write fast path: an eligible auto-commit DML statement
+// runs under the SHARED write gate and the SHARED engine latch,
+// serializing against other writers only through the per-shard
+// statement locks of the table it touches. Writers on disjoint shards
+// of the same table — or on different tables — proceed in parallel,
+// which is the point of partitioning the storage layer; the exclusive
+// gate survives for transactions, DDL, and every statement shape the
+// fast path declines.
+//
+// Eligibility: snapshot reads are on, no transaction is open, and the
+// statement is a single-table INSERT ... VALUES (locks just the shards
+// its rows hash to), UPDATE, or DELETE (lock every shard of the table:
+// their WHERE footprint is unknown before evaluation, and the
+// read-match-then-mutate sequence must be atomic against concurrent
+// writers). Readers never block on any of this: they pin MVCC
+// snapshots, and ShardedTable.SnapshotShard's brief statement-lock
+// acquisition guarantees each shard is captured whole — never mid-
+// statement. Atomicity ACROSS shards is the per-shard-lock tradeoff:
+// a reader pinning its snapshot while a fast-path statement is in
+// flight may see some shards before and some after that statement
+// (each shard internally consistent). Transactions keep full
+// whole-database atomicity via the exclusive gate.
+//
+// WAL ordering: two concurrent fast-path statements append to the log
+// in whatever order they finish. That is sound because they commute —
+// overlapping footprints are serialized by the shard statement locks,
+// so concurrent statements touch disjoint rows and replay in either
+// order yields the same state.
+
+// tryFastWrite attempts the fast path for st. It returns handled=false
+// (and no error) when the statement is ineligible — the caller then
+// falls back to the exclusive gate and serialized execution. When
+// handled, the statement ran to completion (res/err are final).
+func (db *DB) tryFastWrite(ctx context.Context, st sql.Statement, text string) (Result, bool, error) {
+	switch s := st.(type) {
+	case *sql.InsertStmt:
+		if s.Select != nil {
+			// INSERT ... SELECT may read the target table; keep it on
+			// the serialized path.
+			return Result{}, false, nil
+		}
+	case *sql.UpdateStmt, *sql.DeleteStmt:
+	default:
+		return Result{}, false, nil
+	}
+	if err := db.acquireSharedGate(ctx); err != nil {
+		return Result{}, false, err
+	}
+	db.mu.RLock()
+	if !db.snapshotReads || db.noFastWrites || db.txn != nil {
+		// Legacy read mode wants the exclusive latch; an open DB-level
+		// transaction must stage pre-images under db.mu. Fall back.
+		db.mu.RUnlock()
+		db.releaseSharedGate()
+		return Result{}, false, nil
+	}
+	var res Result
+	var err error
+	switch s := st.(type) {
+	case *sql.InsertStmt:
+		res, err = db.fastInsert(ctx, s)
+	case *sql.UpdateStmt:
+		res, err = db.fastUpdate(s)
+	case *sql.DeleteStmt:
+		res, err = db.fastDelete(s)
+	}
+	if err == nil {
+		db.logStatement(text) // txn is nil: appends straight to the WAL
+		db.mvcc.Publish()
+	}
+	db.mu.RUnlock()
+	db.releaseSharedGate()
+	return res, true, err
+}
+
+// fastInsert evaluates the VALUES rows, computes the set of shards they
+// hash to, and appends under just those shards' statement locks.
+func (db *DB) fastInsert(ctx context.Context, s *sql.InsertStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	colIdx, input, err := db.buildInsertInput(ctx, s, t)
+	if err != nil {
+		return Result{}, err
+	}
+	shards := insertShardSet(t, colIdx, input)
+	t.LockShards(shards)
+	defer t.UnlockShards(shards)
+	n, err := appendInsertRows(t, colIdx, input)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: n}, nil
+}
+
+// insertShardSet returns the shards the input rows route to: the
+// statement's write footprint, locked for its duration.
+func insertShardSet(t *storage.Table, colIdx []int, input *storage.Batch) []int {
+	if t.NumShards() == 1 {
+		return []int{0}
+	}
+	key := t.ShardKey()
+	kpos := -1
+	for k, j := range colIdx {
+		if j == key {
+			kpos = k
+		}
+	}
+	seen := make(map[int]bool)
+	var shards []int
+	nullKey := storage.Null(t.Schema().Cols[key].Type)
+	for i := 0; i < input.Len(); i++ {
+		v := nullKey // key column unspecified: the row carries NULL
+		if kpos >= 0 {
+			v = input.Cols[kpos].Value(i)
+		}
+		sh, err := t.ShardOf(v)
+		if err != nil {
+			// Uncoercible key: AppendRow will route it to shard 0 (and
+			// likely fail); lock shard 0 so the failure is serialized.
+			sh = 0
+		}
+		if !seen[sh] {
+			seen[sh] = true
+			shards = append(shards, sh)
+		}
+	}
+	if len(shards) == 0 {
+		shards = []int{0} // zero rows: lock something so the path is uniform
+	}
+	return shards
+}
+
+// fastUpdate runs UPDATE under every shard's statement lock: the WHERE
+// clause's footprint is unknown until evaluated, and match + mutate
+// must be atomic against other writers of the table.
+func (db *DB) fastUpdate(s *sql.UpdateStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	all := t.AllShards()
+	t.LockShards(all)
+	defer t.UnlockShards(all)
+	return db.execUpdate(s)
+}
+
+// fastDelete mirrors fastUpdate for DELETE.
+func (db *DB) fastDelete(s *sql.DeleteStmt) (Result, error) {
+	t, err := db.cat.Get(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	all := t.AllShards()
+	t.LockShards(all)
+	defer t.UnlockShards(all)
+	return db.execDelete(s)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -19,9 +20,10 @@ import (
 // a reason to keep graphs in the RDBMS.
 
 const (
-	snapshotFile  = "snapshot.vxc"
-	walFile       = "wal.sql"
-	snapshotMagic = uint32(0x56585831) // "VXX1"
+	snapshotFile    = "snapshot.vxc"
+	walFile         = "wal.sql"
+	snapshotMagicV1 = uint32(0x56585831) // "VXX1": no partition metadata
+	snapshotMagicV2 = uint32(0x56585832) // "VXX2": + per-table shard count and key
 )
 
 // Open returns a database persisted under dir, creating it if empty and
@@ -125,7 +127,7 @@ func writeString(w io.Writer, s string) error { return writeBytes(w, []byte(s)) 
 
 func (db *DB) encodeSnapshot(w io.Writer) error {
 	var magic [4]byte
-	binary.LittleEndian.PutUint32(magic[:], snapshotMagic)
+	binary.LittleEndian.PutUint32(magic[:], snapshotMagicV2)
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
@@ -164,6 +166,13 @@ func encodeTable(w io.Writer, t *storage.Table) error {
 		if err := writeUvarint(w, flags); err != nil {
 			return err
 		}
+	}
+	// V2: partition metadata. keyCol is stored +1 so 0 means "none".
+	if err := writeUvarint(w, uint64(t.NumShards())); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(t.ShardKey()+1)); err != nil {
+		return err
 	}
 	data := t.Data()
 	n := data.Len()
@@ -249,7 +258,13 @@ func (db *DB) loadSnapshot(path string) error {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return err
 	}
-	if binary.LittleEndian.Uint32(magic[:]) != snapshotMagic {
+	var version int
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case snapshotMagicV1:
+		version = 1 // pre-sharding snapshot: every table single-shard
+	case snapshotMagicV2:
+		version = 2
+	default:
 		return fmt.Errorf("bad snapshot magic")
 	}
 	nt, err := readUvarint(r)
@@ -257,14 +272,14 @@ func (db *DB) loadSnapshot(path string) error {
 		return err
 	}
 	for i := uint64(0); i < nt; i++ {
-		if err := db.decodeTable(r); err != nil {
+		if err := db.decodeTable(r, version); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (db *DB) decodeTable(r *bufio.Reader) error {
+func (db *DB) decodeTable(r *bufio.Reader, version int) error {
 	name, err := readString(r)
 	if err != nil {
 		return err
@@ -285,6 +300,24 @@ func (db *DB) decodeTable(r *bufio.Reader) error {
 		}
 		cols[i] = storage.ColumnDef{Name: cname, Type: storage.Type(flags >> 1), NotNull: flags&1 != 0}
 	}
+	nShards, keyCol := 1, -1
+	if version >= 2 {
+		ns, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		kc, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		nShards, keyCol = int(ns), int(kc)-1
+		if nShards < 1 || nShards > 1<<16 {
+			return fmt.Errorf("table %s: bad shard count %d", name, nShards)
+		}
+		if nShards > 1 && (keyCol < 0 || keyCol >= int(nc)) {
+			return fmt.Errorf("table %s: bad partition column %d", name, keyCol)
+		}
+	}
 	n, err := readUvarint(r)
 	if err != nil {
 		return err
@@ -298,7 +331,10 @@ func (db *DB) decodeTable(r *bufio.Reader) error {
 		}
 		batch.Cols[i] = col
 	}
-	t := storage.NewTable(name, schema)
+	// Replace re-partitions the concatenated rows by the same hash that
+	// produced them, so the rebuilt table has the identical per-shard
+	// layout (and therefore identical scan order) as before the save.
+	t := storage.NewShardedTable(name, schema, keyCol, nShards)
 	if err := t.Replace(batch); err != nil {
 		return err
 	}
@@ -379,10 +415,28 @@ func decodeColumn(r *bufio.Reader, typ storage.Type, n int) (storage.Column, err
 
 // --- WAL ---
 
-// walWriter appends length-prefixed SQL statements to the log.
+// walWriter appends length-prefixed SQL statements to the log. It has
+// its own mutex because sharded fast-path statements append while
+// holding only the shared engine latch — concurrent appends must not
+// interleave their length prefix and payload.
+//
+// Durability uses group commit: the record is written to the OS page
+// cache under the lock (cheap), then one caller syncs the file on
+// behalf of every record written so far while later arrivals wait for
+// a sync generation covering theirs. Concurrent fast-path commits —
+// the sharded write path lets several run at once — thereby amortize
+// one fsync over a batch of statements instead of queueing a sync per
+// statement behind the lock. A lone writer degenerates to write+sync,
+// exactly the old behavior.
 type walWriter struct {
-	path string
-	f    *os.File
+	mu        sync.Mutex
+	syncDone  *sync.Cond // broadcast when an in-flight sync finishes
+	path      string
+	f         *os.File
+	writeGen  uint64 // generation of the latest appended record
+	syncedGen uint64 // latest generation covered by a finished sync
+	syncing   bool
+	err       error // sticky: a failed sync poisons the log
 }
 
 func newWALWriter(path string) (*walWriter, error) {
@@ -390,10 +444,17 @@ func newWALWriter(path string) (*walWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &walWriter{path: path, f: f}, nil
+	w := &walWriter{path: path, f: f}
+	w.syncDone = sync.NewCond(&w.mu)
+	return w, nil
 }
 
 func (w *walWriter) append(stmt string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(stmt)))
 	if _, err := w.f.Write(buf[:n]); err != nil {
@@ -402,10 +463,41 @@ func (w *walWriter) append(stmt string) error {
 	if _, err := w.f.Write([]byte(stmt)); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	w.writeGen++
+	gen := w.writeGen
+	for w.syncedGen < gen {
+		if w.err != nil {
+			return w.err
+		}
+		if w.syncing {
+			w.syncDone.Wait()
+			continue
+		}
+		// Become the syncer for everything appended so far. The lock is
+		// released during the fsync, so more records land in the page
+		// cache meanwhile; their writers wait for the next sync round.
+		w.syncing = true
+		target := w.writeGen
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = err
+		} else if w.syncedGen < target {
+			w.syncedGen = target
+		}
+		w.syncDone.Broadcast()
+	}
+	return nil
 }
 
 func (w *walWriter) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.syncDone.Wait()
+	}
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -414,10 +506,19 @@ func (w *walWriter) truncate() error {
 		return err
 	}
 	w.f = f
+	w.err = nil
+	w.syncedGen = w.writeGen // fresh log: nothing pending
 	return nil
 }
 
-func (w *walWriter) close() error { return w.f.Close() }
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.syncDone.Wait()
+	}
+	return w.f.Close()
+}
 
 // replayWAL re-executes logged statements against the recovered
 // snapshot. A truncated trailing record (torn write) ends replay

@@ -177,6 +177,12 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 	// cannot interleave with (and be undone by the rollback of)
 	// another session's transaction.
 	if !s.ownsGate {
+		// Eligible auto-commit DML takes the sharded fast path: shared
+		// gate + per-shard statement locks, so sessions writing disjoint
+		// shards commit in parallel.
+		if res, handled, err := s.db.tryFastWrite(sctx, st, text); handled {
+			return nil, res, err
+		}
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
 			return nil, Result{}, err
 		}

@@ -52,14 +52,20 @@ type HashJoin struct {
 	// to the materialized probe.
 	Streaming bool
 
-	out    storage.Schema
-	built  map[uint64][]int
-	rdata  *storage.Batch
-	ldata  *storage.Batch
-	lpos   int
-	lopen  bool // Streaming: left operator is open
-	ldone  bool // Streaming: left exhausted
-	rNulls []storage.Value
+	out   storage.Schema
+	built map[uint64][]int
+	// buildOffs holds the shard boundaries of rdata when the build side
+	// is a whole-table scan of a sharded table keyed on its partition
+	// column: buildOffs[s]..buildOffs[s+1] is shard s's index range.
+	// The fast path then builds one hash map per shard concurrently —
+	// no single global build map, no barrier between shard builds.
+	buildOffs []int
+	rdata     *storage.Batch
+	ldata     *storage.Batch
+	lpos      int
+	lopen     bool // Streaming: left operator is open
+	ldone     bool // Streaming: left exhausted
+	rNulls    []storage.Value
 
 	// fast holds the fully materialized result when the vectorized
 	// single-int64-key path applies; fastPos tracks emission.
@@ -95,6 +101,7 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
+	j.buildOffs = j.shardBuildOffsets()
 	if j.Streaming {
 		j.buildTable()
 		if err := j.Left.Open(); err != nil {
@@ -117,6 +124,34 @@ func (j *HashJoin) Open() error {
 		return j.probeSlowParallel(w)
 	}
 	return nil
+}
+
+// shardBuildOffsets detects a shard-aligned build side: the right
+// input is a whole-table scan of a multi-shard table and the single
+// join key IS the partition key, so every row of the drained build
+// side sits in the shard its key hashes to. It returns the shard
+// boundaries within rdata (shard-major drain order), or nil when the
+// build is not shard-aligned.
+func (j *HashJoin) shardBuildOffsets() []int {
+	if len(j.RightKeys) != 1 || j.Residual != nil {
+		return nil
+	}
+	ts, ok := j.Right.(*TableScan)
+	if !ok || ts.Shard != 0 || ts.parts > 1 {
+		return nil
+	}
+	sh, ok := ts.Table.(storage.Sharded)
+	if !ok || sh.NumShards() < 2 || sh.ShardKey() != j.RightKeys[0] {
+		return nil
+	}
+	offs := make([]int, sh.NumShards()+1)
+	for s := 0; s < sh.NumShards(); s++ {
+		offs[s+1] = offs[s] + sh.ShardRows(s)
+	}
+	if offs[len(offs)-1] != j.rdata.Len() {
+		return nil // shard layout moved under a live scan; fall back
+	}
+	return offs
 }
 
 // buildTable hashes the drained right side and prepares the NULL pad
@@ -155,11 +190,38 @@ func (j *HashJoin) tryFastPath() bool {
 		return false
 	}
 	rvals := rk.Int64s()
-	built := make(map[int64][]int32, len(rvals))
-	for i, v := range rvals {
-		built[v] = append(built[v], int32(i))
-	}
 	lvals := lk.Int64s()
+	var probe func(lo, hi int) ([]int, []int)
+	if offs := j.buildOffs; offs != nil {
+		// Partitioned build: one hash map per shard, built concurrently
+		// over that shard's contiguous slice of the drained build side.
+		// The partition invariant (every row lives in the shard its key
+		// hashes to) means a probe key can only match inside its owning
+		// shard, so the per-shard maps need no merge — shard-local
+		// builds, no global build barrier — and the match lists still
+		// come out in ascending build order, byte-identical to the
+		// single-map path.
+		nShards := len(offs) - 1
+		builtShards := make([]map[int64][]int32, nShards)
+		sched.ForEach(j.Budget, nShards, j.Workers, func(s int) {
+			m := make(map[int64][]int32, offs[s+1]-offs[s])
+			for i := offs[s]; i < offs[s+1]; i++ {
+				m[rvals[i]] = append(m[rvals[i]], int32(i))
+			}
+			builtShards[s] = m
+		})
+		probe = func(lo, hi int) ([]int, []int) {
+			return probeFastShardRange(builtShards, lvals, lo, hi, j.Type)
+		}
+	} else {
+		built := make(map[int64][]int32, len(rvals))
+		for i, v := range rvals {
+			built[v] = append(built[v], int32(i))
+		}
+		probe = func(lo, hi int) ([]int, []int) {
+			return probeFastRange(built, lvals, lo, hi, j.Type)
+		}
+	}
 	var leftIdx, rightIdx []int
 	if w := splitParts(len(lvals), j.Workers); w > 1 {
 		// Parallel probe: each worker probes one contiguous morsel of
@@ -168,8 +230,7 @@ func (j *HashJoin) tryFastPath() bool {
 		lefts := make([][]int, w)
 		rights := make([][]int, w)
 		sched.ForEach(j.Budget, w, w, func(m int) {
-			lefts[m], rights[m] = probeFastRange(built, lvals,
-				m*len(lvals)/w, (m+1)*len(lvals)/w, j.Type)
+			lefts[m], rights[m] = probe(m*len(lvals)/w, (m+1)*len(lvals)/w)
 		})
 		total := 0
 		for _, l := range lefts {
@@ -182,7 +243,7 @@ func (j *HashJoin) tryFastPath() bool {
 			rightIdx = append(rightIdx, rights[m]...)
 		}
 	} else {
-		leftIdx, rightIdx = probeFastRange(built, lvals, 0, len(lvals), j.Type)
+		leftIdx, rightIdx = probe(0, len(lvals))
 	}
 	cols := make([]storage.Column, j.out.Len())
 	nl := len(j.ldata.Cols)
@@ -208,6 +269,30 @@ func probeFastRange(built map[int64][]int32, lvals []int64, lo, hi int, jt JoinT
 	rightIdx = make([]int, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		matches := built[lvals[i]]
+		if len(matches) == 0 {
+			if jt == LeftJoin {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		for _, ri := range matches {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, int(ri))
+		}
+	}
+	return leftIdx, rightIdx
+}
+
+// probeFastShardRange is probeFastRange against a partitioned build:
+// each probe key is routed to its owning shard's map by the same FNV
+// hash that placed the build rows there.
+func probeFastShardRange(builtShards []map[int64][]int32, lvals []int64, lo, hi int, jt JoinType) (leftIdx, rightIdx []int) {
+	n := uint64(len(builtShards))
+	leftIdx = make([]int, 0, hi-lo)
+	rightIdx = make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		matches := builtShards[storage.HashInt64(lvals[i])%n][lvals[i]]
 		if len(matches) == 0 {
 			if jt == LeftJoin {
 				leftIdx = append(leftIdx, i)

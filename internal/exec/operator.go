@@ -71,23 +71,31 @@ func Drain(op Operator) (*storage.Batch, error) {
 	}
 }
 
-// TableScan reads a table's current contents in batches. The source is
-// any storage.TableData: a live *storage.Table (reads are then the
-// caller's latch discipline) or an immutable *storage.Snapshot (MVCC
-// readers — no latch at all). A scan may be restricted to morsel
-// `part` of `parts` (a contiguous fraction of the row range, computed
-// from the row count at Open); the zero value scans the whole table.
+// TableScan reads a table's current contents in batches, shard by
+// shard in shard-major order. The source is any storage.TableData: a
+// live *storage.Table (reads are then the caller's latch discipline)
+// or an immutable *storage.Snapshot (MVCC readers — no latch at all).
+// A scan may be restricted to one hash shard (Shard, 1-based) and/or
+// to morsel `part` of `parts` (a contiguous fraction of the selected
+// row range, computed from the row counts at Open); the zero value
+// scans the whole table. Each morsel carries its own cursor — there is
+// no shared scan state between fragments.
 type TableScan struct {
 	Table storage.TableData
 	// OutSchema optionally renames the scan's output columns (the
 	// planner uses this to apply alias qualifiers).
 	OutSchema storage.Schema
+	// Shard restricts the scan to one hash shard (1-based; 0 scans
+	// every shard). The planner sets it when a point predicate on the
+	// partition key routes a lookup to the owning shard.
+	Shard int
 
 	part, parts int
 
-	data *storage.Batch
-	pos  int
-	end  int
+	segs []*storage.Batch // shard-major segments of the selected row space
+	seg  int              // current segment
+	pos  int              // cursor within the current segment
+	left int              // rows remaining in this morsel
 }
 
 // NewTableScan returns a scan over the table (or snapshot) with its
@@ -101,37 +109,67 @@ func (s *TableScan) Schema() storage.Schema { return s.OutSchema }
 
 // Open implements Operator.
 func (s *TableScan) Open() error {
-	s.data = s.Table.Data()
-	n := s.data.Len()
-	s.pos, s.end = 0, n
-	if s.parts > 1 {
-		s.pos = s.part * n / s.parts
-		s.end = (s.part + 1) * n / s.parts
+	if sh, ok := s.Table.(storage.Sharded); ok && (sh.NumShards() > 1 || s.Shard > 0) {
+		if s.Shard > 0 {
+			s.segs = []*storage.Batch{sh.ShardBatch(s.Shard - 1)}
+		} else {
+			s.segs = make([]*storage.Batch, sh.NumShards())
+			for i := range s.segs {
+				s.segs[i] = sh.ShardBatch(i)
+			}
+		}
+	} else {
+		s.segs = []*storage.Batch{s.Table.Data()}
 	}
+	n := 0
+	for _, b := range s.segs {
+		n += b.Len()
+	}
+	lo, hi := 0, n
+	if s.parts > 1 {
+		lo = s.part * n / s.parts
+		hi = (s.part + 1) * n / s.parts
+	}
+	// Seek the cursor to global row lo (skipping empty segments).
+	s.seg, s.pos = 0, lo
+	for s.seg < len(s.segs) && s.pos >= s.segs[s.seg].Len() {
+		s.pos -= s.segs[s.seg].Len()
+		s.seg++
+	}
+	s.left = hi - lo
 	return nil
 }
 
 // Next implements Operator.
 func (s *TableScan) Next() (*storage.Batch, error) {
-	n := s.end
-	if s.pos >= n {
-		return nil, nil
+	for s.left > 0 && s.seg < len(s.segs) {
+		cur := s.segs[s.seg]
+		if s.pos >= cur.Len() {
+			s.seg++
+			s.pos = 0
+			continue
+		}
+		end := s.pos + storage.BatchSize
+		if end > cur.Len() {
+			end = cur.Len()
+		}
+		if end-s.pos > s.left {
+			end = s.pos + s.left
+		}
+		out := &storage.Batch{Schema: s.OutSchema, Cols: make([]storage.Column, len(cur.Cols))}
+		for i, c := range cur.Cols {
+			out.Cols[i] = c.Slice(s.pos, end)
+		}
+		s.left -= end - s.pos
+		s.pos = end
+		return out, nil
 	}
-	end := s.pos + storage.BatchSize
-	if end > n {
-		end = n
-	}
-	out := &storage.Batch{Schema: s.OutSchema, Cols: make([]storage.Column, len(s.data.Cols))}
-	for i, c := range s.data.Cols {
-		out.Cols[i] = c.Slice(s.pos, end)
-	}
-	s.pos = end
-	return out, nil
+	return nil, nil
 }
 
 // Close implements Operator.
 func (s *TableScan) Close() error {
-	s.data = nil
+	s.segs = nil
 	return nil
 }
 

@@ -461,13 +461,47 @@ func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operato
 		if depth == 0 {
 			return nil, false
 		}
-		n := splitParts(o.Table.NumRows(), workers)
+		// Shard-wise morselization: a scan over a multi-shard table is
+		// split along shard boundaries first — every morsel stays inside
+		// one shard and carries its own cursor, so fragments share no
+		// scan state (and, later, no process). Large shards split
+		// further into contiguous morsels; fragment order is shard-major
+		// to preserve the serial scan's row order through Gather.
+		if sh, ok := o.Table.(storage.Sharded); ok && sh.NumShards() > 1 && o.Shard == 0 {
+			if splitParts(o.Table.NumRows(), workers) < 2 {
+				return nil, false
+			}
+			var out []Operator
+			for s := 0; s < sh.NumShards(); s++ {
+				rows := sh.ShardRows(s)
+				if rows == 0 {
+					continue
+				}
+				k := splitParts(rows, workers)
+				if k < 2 {
+					out = append(out, &TableScan{Table: o.Table, OutSchema: o.OutSchema, Shard: s + 1})
+					continue
+				}
+				for i := 0; i < k; i++ {
+					out = append(out, &TableScan{Table: o.Table, OutSchema: o.OutSchema, Shard: s + 1, part: i, parts: k})
+				}
+			}
+			if len(out) < 2 {
+				return nil, false
+			}
+			return out, true
+		}
+		rows := o.Table.NumRows()
+		if sh, ok := o.Table.(storage.Sharded); ok && o.Shard > 0 {
+			rows = sh.ShardRows(o.Shard - 1)
+		}
+		n := splitParts(rows, workers)
 		if n < 2 {
 			return nil, false
 		}
 		out := make([]Operator, n)
 		for i := range out {
-			out[i] = &TableScan{Table: o.Table, OutSchema: o.OutSchema, part: i, parts: n}
+			out[i] = &TableScan{Table: o.Table, OutSchema: o.OutSchema, Shard: o.Shard, part: i, parts: n}
 		}
 		return out, true
 	case *BatchSource:

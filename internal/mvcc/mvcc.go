@@ -46,10 +46,10 @@ type Manager struct {
 	latch   sync.RWMutex
 	txnOpen bool
 	// overlay maps (lower-cased) table names touched by the open
-	// transaction to their committed pre-image. A nil value records
+	// transaction to their per-shard pre-images. A nil value records
 	// that the table did not exist when the transaction first touched
 	// the name (it was created inside the transaction).
-	overlay map[string]*storage.Snapshot
+	overlay map[string]*preImage
 
 	mu      sync.Mutex // guards the reader/epoch bookkeeping below
 	epoch   uint64     // bumped on every publish (commit or auto-commit write)
@@ -65,6 +65,44 @@ func NewManager(cat *catalog.Catalog) *Manager {
 
 func key(name string) string { return strings.ToLower(name) }
 
+// preImage is the staged pre-image of one table: the shape captured at
+// first touch plus one frozen view per shard, staged lazily — a
+// shard's slot stays nil until the transaction first touches that
+// shard. Rollback restores (and resolve composes) shard by shard.
+type preImage struct {
+	name    string // original-cased table name
+	schema  storage.Schema
+	keyCol  int
+	nShards int
+	sortKey []int
+	views   []*storage.ShardView
+}
+
+// staged reports whether every shard has a staged view.
+func (p *preImage) full() bool {
+	for _, v := range p.views {
+		if v == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot composes the pre-image into a whole-table snapshot, filling
+// unstaged shard slots from the live table (an unstaged shard is by
+// definition untouched by the transaction, so its live view IS the
+// pre-transaction view). t may be nil only when the image is full.
+func (p *preImage) snapshot(t *storage.Table) *storage.Snapshot {
+	views := make([]*storage.ShardView, len(p.views))
+	for i, v := range p.views {
+		if v == nil {
+			v = t.SnapshotShard(i)
+		}
+		views[i] = v
+	}
+	return storage.NewSnapshotFromViews(p.name, p.schema, p.keyCol, p.sortKey, views)
+}
+
 // Begin opens a transaction scope. Nested transactions are rejected.
 func (m *Manager) Begin() error {
 	m.latch.Lock()
@@ -73,7 +111,7 @@ func (m *Manager) Begin() error {
 		return fmt.Errorf("mvcc: transaction already open")
 	}
 	m.txnOpen = true
-	m.overlay = make(map[string]*storage.Snapshot)
+	m.overlay = make(map[string]*preImage)
 	return nil
 }
 
@@ -85,18 +123,59 @@ func (m *Manager) InTransaction() bool {
 }
 
 // StageWrite records the pre-image of a table about to be mutated
-// inside the open transaction (first touch only — O(columns), the
+// inside the open transaction: every not-yet-staged shard gets its
+// frozen view staged (first touch per shard only — O(columns), the
 // copy-on-write machinery does the rest). A no-op outside a
 // transaction: auto-commit statements publish directly.
 func (m *Manager) StageWrite(t *storage.Table) {
+	m.StageWriteShards(t, nil)
+}
+
+// StageWriteShards stages pre-images for just the given shards of a
+// table the open transaction is about to mutate (nil means all
+// shards). Statements whose shard footprint is known — a point UPDATE
+// on the partition key — stage only what they touch; later statements
+// widen the staged set incrementally.
+func (m *Manager) StageWriteShards(t *storage.Table, shards []int) {
 	m.latch.Lock()
 	defer m.latch.Unlock()
 	if !m.txnOpen {
 		return
 	}
 	k := key(t.Name())
-	if _, ok := m.overlay[k]; !ok {
-		m.overlay[k] = t.Snapshot()
+	pre, ok := m.overlay[k]
+	if ok && pre == nil {
+		// Created inside the transaction: there is no pre-image to stage.
+		return
+	}
+	if !ok {
+		pre = &preImage{
+			name:    t.Name(),
+			schema:  t.Schema(),
+			keyCol:  t.ShardKey(),
+			nShards: t.NumShards(),
+			sortKey: t.SortKey(),
+			views:   make([]*storage.ShardView, t.NumShards()),
+		}
+		m.overlay[k] = pre
+	}
+	if pre.nShards != t.NumShards() || !pre.schema.Equal(t.Schema()) {
+		// The name was dropped and recreated with another shape inside
+		// the transaction; the original (fully staged) pre-image stands.
+		return
+	}
+	if shards == nil {
+		for i := range pre.views {
+			if pre.views[i] == nil {
+				pre.views[i] = t.SnapshotShard(i)
+			}
+		}
+		return
+	}
+	for _, i := range shards {
+		if i >= 0 && i < len(pre.views) && pre.views[i] == nil {
+			pre.views[i] = t.SnapshotShard(i)
+		}
 	}
 }
 
@@ -138,10 +217,11 @@ func (m *Manager) Commit() error {
 	return nil
 }
 
-// Rollback restores every staged table to its pre-image: a version
-// swap per table (RestoreSnapshot / TableFromSnapshot), not a data
-// copy. Tables created inside the transaction are dropped; tables
-// dropped inside it are re-registered.
+// Rollback restores every staged table to its pre-image shard by
+// shard: a version swap per touched shard (RestoreShard /
+// TableFromSnapshot), not a data copy — shards whose version counter
+// never moved are skipped entirely. Tables created inside the
+// transaction are dropped; tables dropped inside it are re-registered.
 func (m *Manager) Rollback() error {
 	m.latch.Lock()
 	defer m.latch.Unlock()
@@ -157,13 +237,20 @@ func (m *Manager) Rollback() error {
 			}
 			continue
 		}
-		if t, err := m.cat.Get(k); err == nil && t.Schema().Equal(pre.Schema()) {
-			t.RestoreSnapshot(pre)
-		} else {
-			// Dropped (or recreated with another shape) inside the
-			// transaction: reinstall a table built from the pre-image.
-			m.cat.Put(storage.TableFromSnapshot(pre))
+		t, err := m.cat.Get(k)
+		if err == nil && t.Schema().Equal(pre.schema) &&
+			t.NumShards() == pre.nShards && t.ShardKey() == pre.keyCol {
+			for i, v := range pre.views {
+				if v != nil && t.ShardVersion(i) != v.Version() {
+					t.RestoreShard(i, v)
+				}
+			}
+			continue
 		}
+		// Dropped (or recreated with another shape) inside the
+		// transaction: reinstall a table built from the pre-image. DDL
+		// stages every shard, so the image is full here.
+		m.cat.Put(storage.TableFromSnapshot(pre.snapshot(nil)))
 	}
 	m.txnOpen = false
 	m.overlay = nil
@@ -214,10 +301,12 @@ func (m *Manager) acquire(own bool, names []string) (*Snapshot, error) {
 	return s, nil
 }
 
-// resolve returns the committed view of a table: the open
-// transaction's pre-image if the table is staged, otherwise a fresh
-// copy-on-write snapshot of the live table. With own set, the overlay
-// is skipped — the transaction owner reads its own writes.
+// resolve returns the committed view of a table: a composition of the
+// open transaction's staged per-shard pre-images (unstaged shards fall
+// through to their live views — they are untouched by definition) if
+// the table is staged, otherwise a fresh copy-on-write snapshot of the
+// live table. With own set, the overlay is skipped — the transaction
+// owner reads its own writes.
 func (m *Manager) resolve(name string, own bool) (*storage.Snapshot, error) {
 	if !own {
 		m.latch.RLock()
@@ -227,7 +316,14 @@ func (m *Manager) resolve(name string, own bool) (*storage.Snapshot, error) {
 			if pre == nil {
 				return nil, fmt.Errorf("mvcc: no table %q", name)
 			}
-			return pre, nil
+			if pre.full() {
+				return pre.snapshot(nil), nil
+			}
+			t, err := m.cat.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			return pre.snapshot(t), nil
 		}
 	}
 	t, err := m.cat.Get(name)

@@ -522,6 +522,12 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 
 // pushDown applies every pending conjunct that binds on the given scope
 // as a filter, returning the filtered operator and the remaining list.
+// When the operator is a scan of a hash-partitioned table and one of
+// the applicable conjuncts is a point predicate on the partition key,
+// the scan is routed to the owning shard: the filter still runs (it
+// keeps the semantics exact), but only one shard is read — point
+// lookups, and any aggregate sitting above such a filter, become
+// shard-local.
 func (c *planCtx) pushDown(op exec.Operator, sc *Scope, pending []sql.Expr) (exec.Operator, []sql.Expr, error) {
 	var applicable []sql.Expr
 	var rest []sql.Expr
@@ -530,6 +536,16 @@ func (c *planCtx) pushDown(op exec.Operator, sc *Scope, pending []sql.Expr) (exe
 			applicable = append(applicable, cj)
 		} else {
 			rest = append(rest, cj)
+		}
+	}
+	if ts, ok := op.(*exec.TableScan); ok && ts.Shard == 0 {
+		if sh, ok := ts.Table.(storage.Sharded); ok && sh.NumShards() > 1 && sh.ShardKey() >= 0 {
+			for _, cj := range applicable {
+				if s, ok := shardForConjunct(cj, sc, sh); ok {
+					ts.Shard = s + 1
+					break
+				}
+			}
 		}
 	}
 	if pred := andAll(applicable); pred != nil {
@@ -543,6 +559,60 @@ func (c *planCtx) pushDown(op exec.Operator, sc *Scope, pending []sql.Expr) (exe
 		op = &exec.Filter{Input: op, Pred: bound}
 	}
 	return op, rest, nil
+}
+
+// shardForConjunct recognizes `key = literal` (either operand order)
+// where key resolves to the table's partition column, and returns the
+// owning shard. Only literals whose natural type matches the key
+// column (plus the safe INTEGER→DOUBLE widening, which HashValue
+// hashes identically) qualify — cross-type comparisons fall back to a
+// full scan rather than risk a coercion mismatch.
+func shardForConjunct(e sql.Expr, sc *Scope, sh storage.Sharded) (int, bool) {
+	b, ok := e.(*sql.BinExpr)
+	if !ok || b.Op != "=" {
+		return 0, false
+	}
+	try := func(idExpr, litExpr sql.Expr) (int, bool) {
+		i, ok := identIn(idExpr, sc)
+		if !ok || i != sh.ShardKey() {
+			return 0, false
+		}
+		kt := sh.Schema().Cols[sh.ShardKey()].Type
+		var v storage.Value
+		switch l := litExpr.(type) {
+		case *sql.IntLit:
+			if kt != storage.TypeInt64 && kt != storage.TypeFloat64 {
+				return 0, false
+			}
+			v = storage.Int64(l.V)
+		case *sql.FloatLit:
+			if kt != storage.TypeFloat64 {
+				return 0, false
+			}
+			v = storage.Float64(l.V)
+		case *sql.StringLit:
+			if kt != storage.TypeString {
+				return 0, false
+			}
+			v = storage.Str(l.V)
+		case *sql.BoolLit:
+			if kt != storage.TypeBool {
+				return 0, false
+			}
+			v = storage.Bool(l.V)
+		default:
+			return 0, false
+		}
+		cv, err := storage.Coerce(v, kt)
+		if err != nil {
+			return 0, false
+		}
+		return int(storage.HashValue(cv) % uint64(sh.NumShards())), true
+	}
+	if s, ok := try(b.L, b.R); ok {
+		return s, true
+	}
+	return try(b.R, b.L)
 }
 
 // planProjection binds the select items over the (possibly post-

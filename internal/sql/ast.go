@@ -542,11 +542,15 @@ type ColumnSpec struct {
 	NotNull  bool
 }
 
-// CreateTableStmt creates a table.
+// CreateTableStmt creates a table. PartitionBy names the hash-partition
+// column when the statement carries a PARTITION BY HASH(col) clause;
+// Shards is the requested shard count (0 = engine default).
 type CreateTableStmt struct {
 	Name        string
 	IfNotExists bool
 	Cols        []ColumnSpec
+	PartitionBy string
+	Shards      int
 }
 
 func (*CreateTableStmt) stmt() {}
@@ -569,6 +573,12 @@ func (s *CreateTableStmt) String() string {
 		}
 	}
 	b.WriteString(")")
+	if s.PartitionBy != "" {
+		b.WriteString(" PARTITION BY HASH(" + s.PartitionBy + ")")
+		if s.Shards > 0 {
+			b.WriteString(" SHARDS " + strconv.Itoa(s.Shards))
+		}
+	}
 	return b.String()
 }
 

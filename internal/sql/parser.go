@@ -632,6 +632,35 @@ func (p *Parser) parseCreateTable() (Statement, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
+	if p.matchKeyword("PARTITION") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("HASH"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.PartitionBy = col
+		if p.matchKeyword("SHARDS") {
+			n, err := p.parseIntToken()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 || n > 1<<16 {
+				return nil, p.errf("SHARDS must be between 1 and 65536, got %d", n)
+			}
+			st.Shards = int(n)
+		}
+	}
 	return st, nil
 }
 

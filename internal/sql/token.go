@@ -63,7 +63,8 @@ var keywords = map[string]bool{
 	"EXISTS": true, "TRUNCATE": true, "INTEGER": true, "BIGINT": true,
 	"DOUBLE": true, "FLOAT": true, "VARCHAR": true, "TEXT": true,
 	"BOOLEAN": true, "PRECISION": true, "BEGIN": true, "COMMIT": true,
-	"ROLLBACK": true, "SHOW": true,
+	"ROLLBACK": true, "SHOW": true, "PARTITION": true, "HASH": true,
+	"SHARDS": true,
 }
 
 // symbols lists multi-char symbols first so the lexer prefers the

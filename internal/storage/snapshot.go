@@ -1,5 +1,7 @@
 package storage
 
+import "sync"
+
 // TableData is the read surface shared by live tables and immutable
 // snapshots: everything a scan (or the vertex runtime's input
 // assembly) needs to read a column set. *Table implements it for
@@ -18,27 +20,84 @@ type TableData interface {
 	SortKey() []int
 	// Column returns column i.
 	Column(i int) Column
-	// Data returns the contents as one batch sharing column storage.
+	// Data returns the contents as one batch in shard-major row order.
 	Data() *Batch
+}
+
+// Sharded is the partition-aware extension of TableData. Both *Table
+// and *Snapshot implement it (an unpartitioned table is the one-shard
+// case); the executor asserts it to morselize scans shard by shard and
+// partition hash-join builds, and the planner to route point lookups
+// to the owning shard.
+type Sharded interface {
+	TableData
+	// NumShards returns the number of hash partitions (>= 1).
+	NumShards() int
+	// ShardKey returns the partition key column index, or -1.
+	ShardKey() int
+	// ShardRows returns the row count of shard i.
+	ShardRows(i int) int
+	// ShardBatch returns shard i's contents sharing column storage.
+	ShardBatch(i int) *Batch
 }
 
 var (
 	_ TableData = (*Table)(nil)
 	_ TableData = (*Snapshot)(nil)
+	_ Sharded   = (*Table)(nil)
+	_ Sharded   = (*Snapshot)(nil)
 )
 
-// Snapshot is an immutable copy-on-write view of a table's contents at
-// a single version. It shares the column storage with the table it was
-// taken from: taking one is O(columns), not O(rows). The table marks
-// those columns shared, and its next in-place mutation copies the
-// columns it touches first (see Table.Snapshot), so a snapshot's
-// contents never change — readers iterate it with no lock whatsoever.
+// ShardView is the immutable copy-on-write view of a single shard's
+// contents at one shard version. It shares the value arrays with the
+// shard it was taken from — freezing is O(columns), not O(rows) — and
+// the shard's next in-place mutation copies the columns it touches
+// first (see ShardedTable.SnapshotShard), so a view's contents never
+// change. The MVCC layer stages ShardViews as per-shard transaction
+// pre-images.
+type ShardView struct {
+	cols    []Column
+	version uint64
+}
+
+// Version returns the shard version the view was frozen at.
+func (v *ShardView) Version() uint64 { return v.version }
+
+// NumRows returns the view's row count.
+func (v *ShardView) NumRows() int {
+	if len(v.cols) == 0 {
+		return 0
+	}
+	return v.cols[0].Len()
+}
+
+// Snapshot is an immutable view of a whole table at a single point:
+// one frozen ShardView per shard. Readers iterate it with no lock
+// whatsoever.
 type Snapshot struct {
 	name    string
 	schema  Schema
-	cols    []Column
+	keyCol  int
 	sortKey []int
-	version uint64
+	views   []*ShardView
+
+	// dataOnce caches the shard-major concatenation for multi-shard
+	// snapshots; the single-shard case shares columns directly.
+	dataOnce sync.Once
+	data     *Batch
+}
+
+// NewSnapshotFromViews assembles a snapshot from per-shard views — the
+// MVCC layer uses it to compose a transaction pre-image from staged
+// shard views plus live views of untouched shards.
+func NewSnapshotFromViews(name string, schema Schema, keyCol int, sortKey []int, views []*ShardView) *Snapshot {
+	return &Snapshot{
+		name:    name,
+		schema:  schema,
+		keyCol:  keyCol,
+		sortKey: append([]int(nil), sortKey...),
+		views:   views,
+	}
 }
 
 // Name implements TableData.
@@ -49,45 +108,91 @@ func (s *Snapshot) Schema() Schema { return s.schema }
 
 // NumRows implements TableData.
 func (s *Snapshot) NumRows() int {
-	if len(s.cols) == 0 {
-		return 0
+	n := 0
+	for _, v := range s.views {
+		n += v.NumRows()
 	}
-	return s.cols[0].Len()
+	return n
 }
 
-// Version implements TableData.
-func (s *Snapshot) Version() uint64 { return s.version }
+// Version implements TableData: the sum of the frozen shard versions
+// (matching ShardedTable.Version).
+func (s *Snapshot) Version() uint64 {
+	var sum uint64
+	for _, v := range s.views {
+		sum += v.version
+	}
+	return sum
+}
 
 // SortKey implements TableData.
 func (s *Snapshot) SortKey() []int { return append([]int(nil), s.sortKey...) }
 
-// Column implements TableData.
-func (s *Snapshot) Column(i int) Column { return s.cols[i] }
-
-// Data implements TableData. The batch shares the snapshot's (frozen)
-// column storage.
-func (s *Snapshot) Data() *Batch {
-	return &Batch{Schema: s.schema, Cols: append([]Column(nil), s.cols...)}
+// Column implements TableData (shard-major concatenation).
+func (s *Snapshot) Column(i int) Column {
+	if len(s.views) == 1 {
+		return s.views[0].cols[i]
+	}
+	return s.Data().Cols[i]
 }
+
+// Data implements TableData. For a single-shard snapshot the batch
+// shares the frozen column storage; multi-shard snapshots concatenate
+// once and cache.
+func (s *Snapshot) Data() *Batch {
+	if len(s.views) == 1 {
+		return &Batch{Schema: s.schema, Cols: append([]Column(nil), s.views[0].cols...)}
+	}
+	s.dataOnce.Do(func() {
+		cols := make([]Column, s.schema.Len())
+		for j := range cols {
+			parts := make([]Column, len(s.views))
+			for i, v := range s.views {
+				parts[i] = v.cols[j]
+			}
+			cols[j] = concatColumns(parts)
+		}
+		s.data = &Batch{Schema: s.schema, Cols: cols}
+	})
+	return s.data
+}
+
+// NumShards implements Sharded.
+func (s *Snapshot) NumShards() int { return len(s.views) }
+
+// ShardKey implements Sharded.
+func (s *Snapshot) ShardKey() int { return s.keyCol }
+
+// ShardRows implements Sharded.
+func (s *Snapshot) ShardRows(i int) int { return s.views[i].NumRows() }
+
+// ShardBatch implements Sharded; the batch shares the frozen columns.
+func (s *Snapshot) ShardBatch(i int) *Batch {
+	return &Batch{Schema: s.schema, Cols: append([]Column(nil), s.views[i].cols...)}
+}
+
+// View returns the frozen view of shard i.
+func (s *Snapshot) View(i int) *ShardView { return s.views[i] }
 
 // TableFromSnapshot materializes a snapshot back into a table object —
 // the transaction layer uses it to re-register a table that was
 // dropped (or recreated with another shape) inside a rolled-back
-// transaction. The table gets re-frozen copies of the snapshot's
-// columns, never the snapshot's own objects: the snapshot may still
-// be pinned by readers, and appends mutate a column object in place.
-// The shared flag makes in-place updates copy the value arrays.
+// transaction. The table keeps the snapshot's shard layout and gets
+// re-frozen copies of each view's columns, never the views' own
+// objects: the snapshot may still be pinned by readers, and appends
+// mutate a column object in place. The shared flags make in-place
+// updates copy the value arrays.
 func TableFromSnapshot(s *Snapshot) *Table {
-	cols := make([]Column, len(s.cols))
-	for i, c := range s.cols {
-		cols[i] = freezeColumn(c)
+	t := NewShardedTable(s.name, s.schema.Clone(), s.keyCol, len(s.views))
+	t.sortKey = append([]int(nil), s.sortKey...)
+	for i, v := range s.views {
+		sh := t.shards[i]
+		sh.cols = make([]Column, len(v.cols))
+		for j, c := range v.cols {
+			sh.cols[j] = freezeColumn(c)
+			sh.shared[j] = true
+		}
+		sh.version = v.version + 1
 	}
-	return &Table{
-		name:    s.name,
-		schema:  s.schema.Clone(),
-		cols:    cols,
-		sortKey: append([]int(nil), s.sortKey...),
-		version: s.version + 1,
-		shared:  true,
-	}
+	return t
 }

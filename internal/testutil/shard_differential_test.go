@@ -1,0 +1,165 @@
+package testutil
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlgraph"
+)
+
+// Sharded differential matrix: the same graph loaded at SHARDS 1, 4
+// and 16 must produce correct results at every worker level, and at a
+// fixed shard layout the results must be *byte-identical* across
+// worker levels — partitioned scans, shard-local morsels and the
+// partitioned join build may change scheduling but never the answer.
+//
+// Across shard counts the SQL path is compared within float tolerance,
+// not byte-for-byte: sharding permutes physical row order (shard-major)
+// and float aggregation folds in row order. The vertex runtime, which
+// sorts its inputs and messages, is byte-identical across shard counts
+// too when the partition count is pinned.
+
+var shardLevels = []int{1, 4, 16}
+
+func TestShardDifferentialPageRank(t *testing.T) {
+	lowMorsels(t)
+	ctx := context.Background()
+	g := RandomGraph(42, 80, 400)
+	ref := RefPageRank(g, 8, 0.85)
+
+	// Vertex-runtime baseline: pinned partition count makes the run
+	// layout-independent, so it must be byte-identical across EVERY
+	// (shards, workers) cell.
+	var vxBase map[int64]float64
+
+	for _, shards := range shardLevels {
+		var serial map[int64]float64 // SQL baseline for this shard layout
+		for _, w := range workerLevels {
+			db := engine.New()
+			db.SetParallelism(w)
+			cg, err := g.LoadSharded(db, "diff", shards)
+			if err != nil {
+				t.Fatalf("shards %d: %v", shards, err)
+			}
+			sqlRanks, err := sqlgraph.PageRank(ctx, cg, 8, 0.85)
+			if err != nil {
+				t.Fatalf("shards %d workers %d: %v", shards, w, err)
+			}
+			if err := DiffFloatMaps("sql vs ref", sqlRanks, ref, 1e-9); err != nil {
+				t.Errorf("shards %d workers %d: %v", shards, w, err)
+			}
+			if serial == nil {
+				serial = sqlRanks
+			} else if err := DiffFloatMaps("sql parallel vs serial", sqlRanks, serial, 0); err != nil {
+				t.Errorf("shards %d workers %d not byte-identical: %v", shards, w, err)
+			}
+
+			vxRanks, _, err := algorithms.RunPageRank(ctx, cg, 8, core.Options{Workers: w, Partitions: 16})
+			if err != nil {
+				t.Fatalf("shards %d workers %d: %v", shards, w, err)
+			}
+			if vxBase == nil {
+				vxBase = vxRanks
+				if err := DiffFloatMaps("vertex vs ref", vxRanks, ref, 1e-9); err != nil {
+					t.Errorf("shards %d workers %d: %v", shards, w, err)
+				}
+			} else if err := DiffFloatMaps("vertex vs baseline", vxRanks, vxBase, 0); err != nil {
+				t.Errorf("shards %d workers %d vertex run not byte-identical: %v", shards, w, err)
+			}
+		}
+	}
+}
+
+func TestShardDifferentialComponents(t *testing.T) {
+	lowMorsels(t)
+	ctx := context.Background()
+	g := RandomGraph(11, 90, 60).Symmetrized()
+	ref := RefComponents(g)
+	for _, shards := range shardLevels {
+		for _, w := range workerLevels {
+			db := engine.New()
+			db.SetParallelism(w)
+			cg, err := g.LoadSharded(db, "diff", shards)
+			if err != nil {
+				t.Fatalf("shards %d: %v", shards, err)
+			}
+			sqlLabels, err := sqlgraph.ConnectedComponents(ctx, cg)
+			if err != nil {
+				t.Fatalf("shards %d workers %d: %v", shards, w, err)
+			}
+			// Integer labels: exact equality must hold across EVERY cell.
+			if err := DiffIntMaps("sql vs ref", sqlLabels, ref); err != nil {
+				t.Errorf("shards %d workers %d: %v", shards, w, err)
+			}
+			vxLabels, _, err := algorithms.RunConnectedComponents(ctx, cg, core.Options{Workers: w})
+			if err != nil {
+				t.Fatalf("shards %d workers %d: %v", shards, w, err)
+			}
+			if err := DiffIntMaps("vertex vs ref", vxLabels, ref); err != nil {
+				t.Errorf("shards %d workers %d: %v", shards, w, err)
+			}
+		}
+	}
+}
+
+// TestShardDifferentialSQL checks plain SQL statements — point lookups
+// (shard-routed by the planner), full scans, joins and aggregates —
+// return identical rows at every shard count.
+func TestShardDifferentialSQL(t *testing.T) {
+	lowMorsels(t)
+	queries := []string{
+		"SELECT id, value FROM diff_vertex WHERE id = 7",
+		"SELECT COUNT(*) FROM diff_edge",
+		"SELECT src, COUNT(*) AS deg FROM diff_edge GROUP BY src ORDER BY src",
+		"SELECT v.id, COUNT(e.dst) AS outdeg FROM diff_vertex v JOIN diff_edge e ON v.id = e.src GROUP BY v.id ORDER BY v.id",
+		"SELECT id FROM diff_vertex ORDER BY id LIMIT 10",
+	}
+	g := RandomGraph(5, 60, 300)
+	var base [][]string
+	for _, shards := range shardLevels {
+		for _, w := range workerLevels {
+			db := engine.New()
+			db.SetParallelism(w)
+			if _, err := g.LoadSharded(db, "diff", shards); err != nil {
+				t.Fatalf("shards %d: %v", shards, err)
+			}
+			var got [][]string
+			for _, q := range queries {
+				rows, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("shards %d workers %d %q: %v", shards, w, q, err)
+				}
+				var rendered []string
+				for i := 0; i < rows.Len(); i++ {
+					line := ""
+					for j, v := range rows.Row(i) {
+						if j > 0 {
+							line += "|"
+						}
+						line += v.String()
+					}
+					rendered = append(rendered, line)
+				}
+				got = append(got, rendered)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			for qi := range queries {
+				if len(got[qi]) != len(base[qi]) {
+					t.Errorf("shards %d workers %d %q: %d rows, want %d", shards, w, queries[qi], len(got[qi]), len(base[qi]))
+					continue
+				}
+				for ri := range got[qi] {
+					if got[qi][ri] != base[qi][ri] {
+						t.Errorf("shards %d workers %d %q row %d: got %s want %s", shards, w, queries[qi], ri, got[qi][ri], base[qi][ri])
+					}
+				}
+			}
+		}
+	}
+}

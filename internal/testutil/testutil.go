@@ -64,7 +64,13 @@ func (g *RefGraph) Symmetrized() *RefGraph {
 // Load materializes the graph into db under the given name, creating
 // every vertex 0..Nodes-1 (including isolated ones).
 func (g *RefGraph) Load(db *engine.DB, name string) (*core.Graph, error) {
-	cg, err := core.CreateGraph(db, name)
+	return g.LoadSharded(db, name, 1)
+}
+
+// LoadSharded is Load with the graph's tables hash-partitioned into
+// the given number of shards (1 = the historical single-shard layout).
+func (g *RefGraph) LoadSharded(db *engine.DB, name string, shards int) (*core.Graph, error) {
+	cg, err := core.CreateGraphSharded(db, name, shards)
 	if err != nil {
 		return nil, err
 	}

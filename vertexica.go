@@ -212,9 +212,24 @@ func (g *Graph) Name() string { return g.g.Name }
 // composition).
 func (g *Graph) Core() *core.Graph { return g.g }
 
-// CreateGraph creates an empty graph.
+// CreateGraph creates an empty graph (single-shard tables, the
+// historical layout).
 func (e *Engine) CreateGraph(name string) (*Graph, error) {
 	cg, err := core.CreateGraph(e.db, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{e: e, g: cg}, nil
+}
+
+// CreateGraphSharded creates an empty graph whose three tables are
+// hash-partitioned into the given number of shards (vertex by id, edge
+// by src, message by dst) — concurrent writers on disjoint shards
+// proceed in parallel and superstep input assembly aligns its
+// partitions with the shard layout. Algorithm results are byte-
+// identical to a single-shard graph at any shard count.
+func (e *Engine) CreateGraphSharded(name string, shards int) (*Graph, error) {
+	cg, err := core.CreateGraphSharded(e.db, name, shards)
 	if err != nil {
 		return nil, err
 	}
