@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	mvccbench "repro/internal/bench/mvcc"
+	preparebench "repro/internal/bench/prepare"
 	"repro/internal/bench/serve"
 	shardbench "repro/internal/bench/shard"
 	"repro/internal/bench/stream"
@@ -46,6 +47,9 @@ func main() {
 	shardStudy := flag.Bool("shard", false, "run study P: disjoint-shard multi-writer commit throughput, sharded vs global write gate")
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "study P: JSON trajectory file path (empty = don't write)")
 	shardWindow := flag.Duration("shard-window", 300*time.Millisecond, "study P: measured interval per cell")
+	prepareStudy := flag.Bool("prepare", false, "run study Q: prepared-execution throughput, cached plans vs re-parse-per-exec substitution")
+	prepareOut := flag.String("prepare-out", "BENCH_prepare.json", "study Q: JSON trajectory file path (empty = don't write)")
+	prepareWindow := flag.Duration("prepare-window", 300*time.Millisecond, "study Q: measured interval per cell")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -108,6 +112,25 @@ func main() {
 	}
 	if *shardStudy {
 		runShardStudy(*shardWindow, *shardOut)
+	}
+	if *prepareStudy {
+		runPrepareStudy(*prepareWindow, *prepareOut)
+	}
+}
+
+// runPrepareStudy measures queries/s for a point lookup and a 1-hop
+// neighbor join executed through the prepared-plan cache versus
+// re-parsed from substituted text on every execution, recording the
+// trajectory in BENCH_prepare.json.
+func runPrepareStudy(window time.Duration, out string) {
+	fmt.Printf("\n=== study Q: prepared execution (%v/cell) ===\n", window)
+	rows, err := preparebench.Study(window, out)
+	if err != nil {
+		fatal(err)
+	}
+	bench.PrintAblation(os.Stdout, rows)
+	if out != "" {
+		fmt.Printf("trajectory written to %s\n", out)
 	}
 }
 

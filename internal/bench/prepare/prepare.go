@@ -1,0 +1,241 @@
+// Package prepare holds study Q: prepared-execution throughput — the
+// workload the plan cache and real Param binding exist for. A client
+// re-issues the same two parameterized statements (a single-row point
+// lookup on the shard key, and a 1-hop neighbor join) with varying
+// arguments. Under the prepared path (Session.RunStreamBound) the
+// statement text is parsed and planned once; each execution only binds
+// arguments into the cached plan and, for the point lookup, routes the
+// scan to the one shard the bound key hashes to. Under the ablation
+// baseline — the legacy textual-substitution protocol — every execution
+// renders the arguments into the SQL text and re-parses and re-plans
+// the result from scratch. The study measures queries/s per (mode,
+// query) cell and records the trajectory in a JSON file
+// (BENCH_prepare.json) so the win is tracked across revisions.
+package prepare
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// tableShards partitions the edge table so the point lookup exercises
+// bind-time single-shard routing, not just cached planning.
+const tableShards = 8
+
+// Graph size: numSrc source vertices with outDegree edges each. Small
+// enough that per-query work is dominated by the fixed parse/plan/bind
+// cost the study isolates.
+const (
+	numSrc    = 64
+	outDegree = 8
+)
+
+// query is one of the two measured statements.
+type query struct {
+	Name string
+	Text string
+}
+
+func queries() []query {
+	return []query{
+		{"point lookup", "SELECT dst FROM qedges WHERE src = $1"},
+		{"1-hop neighbors", "SELECT n.label FROM qedges e JOIN qnodes n ON n.id = e.dst WHERE e.src = $1"},
+	}
+}
+
+// Variant is one measured (mode, query) cell.
+type Variant struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// Queries counts completed executions (drained result sets).
+	Queries int64 `json:"queries"`
+	// Rows counts result rows across all executions — a sanity check
+	// that both modes computed the same workload.
+	Rows int64 `json:"rows"`
+	// DurationMicros is the measured wall-clock window.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// QueriesPerSec is the variant's headline rate.
+func (v Variant) QueriesPerSec() float64 {
+	return float64(v.Queries) / (float64(v.DurationMicros) / 1e6)
+}
+
+// Report is the JSON document written to the trajectory file.
+type Report struct {
+	Study    string    `json:"study"`
+	Shards   int       `json:"shards"`
+	Variants []Variant `json:"variants"`
+	// SpeedupPoint is prepared queries/s over re-parse queries/s on the
+	// point lookup — the headline number.
+	SpeedupPoint float64 `json:"speedup_point_lookup"`
+	// SpeedupHop is the same ratio for the 1-hop neighbor join.
+	SpeedupHop float64 `json:"speedup_one_hop"`
+}
+
+// seed builds the in-memory graph both modes query. The study is
+// read-only, so no WAL directory is needed.
+func seed() (*engine.DB, error) {
+	db := engine.New()
+	stmts := []string{
+		fmt.Sprintf("CREATE TABLE qedges (src INTEGER NOT NULL, dst INTEGER NOT NULL) PARTITION BY HASH(src) SHARDS %d", tableShards),
+		"CREATE TABLE qnodes (id INTEGER NOT NULL, label TEXT)",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return nil, err
+		}
+	}
+	for src := 0; src < numSrc; src++ {
+		q := "INSERT INTO qedges VALUES "
+		for d := 0; d < outDegree; d++ {
+			if d > 0 {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, %d)", src, (src*outDegree+d)%numSrc)
+		}
+		if _, err := db.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	for id := 0; id < numSrc; id += 8 {
+		q := "INSERT INTO qnodes VALUES "
+		for j := 0; j < 8; j++ {
+			if j > 0 {
+				q += ", "
+			}
+			q += fmt.Sprintf("(%d, 'v%d')", id+j, id+j)
+		}
+		if _, err := db.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// exec runs one iteration of q in the given mode and returns the
+// result-row count.
+func exec(ctx context.Context, sess *engine.Session, q query, prepared bool, key int64) (int64, error) {
+	args := []storage.Value{storage.Int64(key)}
+	var rows *engine.Rows
+	var err error
+	if prepared {
+		rows, _, err = sess.RunStreamBound(ctx, q.Text, args)
+	} else {
+		// The legacy protocol: render the argument into the text and
+		// hand the engine a brand-new statement to parse and plan.
+		var bound string
+		bound, err = sql.SubstituteParams(q.Text, args)
+		if err == nil {
+			rows, _, err = sess.RunStream(ctx, bound)
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	batch, err := rows.Materialize()
+	if err != nil {
+		rows.Close()
+		return 0, err
+	}
+	n := int64(batch.Len())
+	return n, rows.Close()
+}
+
+// run measures one (mode, query) cell over the window.
+func run(db *engine.DB, name string, q query, prepared bool, window time.Duration) (Variant, error) {
+	sess := db.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Warm-up: populate the plan cache (prepared mode) and fault in the
+	// table so the first measured iteration is steady-state.
+	if _, err := exec(ctx, sess, q, prepared, 0); err != nil {
+		return Variant{}, err
+	}
+
+	start := time.Now()
+	var queries, rows int64
+	for i := int64(0); time.Since(start) < window; i++ {
+		n, err := exec(ctx, sess, q, prepared, i%numSrc)
+		if err != nil {
+			return Variant{}, err
+		}
+		queries++
+		rows += n
+	}
+	return Variant{
+		Name:           name,
+		Query:          q.Name,
+		Queries:        queries,
+		Rows:           rows,
+		DurationMicros: time.Since(start).Microseconds(),
+	}, nil
+}
+
+// Study measures queries/s for the point lookup and the 1-hop join
+// under the prepared-cached path and under re-parse-per-exec
+// substitution, writes the report to outPath (skipped when empty), and
+// returns printable rows. window is the measured interval per cell
+// (0 means 300ms — CI smoke passes a smaller one).
+func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
+	if window <= 0 {
+		window = 300 * time.Millisecond
+	}
+	db, err := seed()
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	report := Report{Study: "prepare", Shards: tableShards}
+	rates := map[string]float64{} // "mode/query" -> q/s
+	for _, mode := range []struct {
+		name     string
+		prepared bool
+	}{{"re-parse per exec", false}, {"prepared (cached)", true}} {
+		for _, q := range queries() {
+			v, err := run(db, mode.name, q, mode.prepared, window)
+			if err != nil {
+				return nil, err
+			}
+			report.Variants = append(report.Variants, v)
+			rates[fmt.Sprintf("%t/%s", mode.prepared, q.Name)] = v.QueriesPerSec()
+		}
+	}
+	if base := rates["false/point lookup"]; base > 0 {
+		report.SpeedupPoint = rates["true/point lookup"] / base
+	}
+	if base := rates["false/1-hop neighbors"]; base > 0 {
+		report.SpeedupHop = rates["true/1-hop neighbors"] / base
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bench.AblationRow, 0, len(report.Variants))
+	for _, v := range report.Variants {
+		out = append(out, bench.AblationRow{
+			Study:   "Q: prepared execution (queries/s)",
+			Variant: fmt.Sprintf("%s, %s", v.Name, v.Query),
+			Seconds: float64(v.DurationMicros) / 1e6,
+			Extra:   fmt.Sprintf("%.0f queries/s, %d rows", v.QueriesPerSec(), v.Rows),
+		})
+	}
+	return out, nil
+}

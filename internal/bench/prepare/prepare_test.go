@@ -1,0 +1,58 @@
+package prepare
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStudySmoke runs a tiny window of the full (mode, query) grid and
+// checks the trajectory file shape — the same invocation CI smoke uses.
+func TestStudySmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_prepare.json")
+	rows, err := Study(60*time.Millisecond, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d printable rows, want 4 (2 modes x 2 queries)", len(rows))
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Study != "prepare" || len(rep.Variants) != 4 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	for _, v := range rep.Variants {
+		if v.Queries == 0 {
+			t.Errorf("%s / %s: no queries completed", v.Name, v.Query)
+		}
+		if v.Rows == 0 {
+			t.Errorf("%s / %s: result sets were empty", v.Name, v.Query)
+		}
+	}
+	if rep.SpeedupPoint <= 0 || rep.SpeedupHop <= 0 {
+		t.Errorf("speedups not computed: %+v", rep)
+	}
+
+	// Both modes must compute identical workloads: same per-exec row
+	// yield for the same query.
+	perExec := map[string]float64{}
+	for _, v := range rep.Variants {
+		perExec[v.Name+"/"+v.Query] = float64(v.Rows) / float64(v.Queries)
+	}
+	for _, q := range queries() {
+		a := perExec["prepared (cached)/"+q.Name]
+		b := perExec["re-parse per exec/"+q.Name]
+		if a != b {
+			t.Errorf("%s: rows/exec differ between modes: prepared %.2f vs re-parse %.2f", q.Name, a, b)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -17,7 +18,14 @@ import (
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
+	// version counts namespace changes (create/drop/replace). Cached
+	// plans are keyed on it: any DDL bumps it, invalidating every plan
+	// prepared against the old namespace.
+	version atomic.Uint64
 }
+
+// Version returns the current namespace version.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -47,6 +55,7 @@ func (c *Catalog) CreateSharded(name string, schema storage.Schema, keyCol, shar
 	}
 	t := storage.NewShardedTable(name, schema, keyCol, shards)
 	c.tables[k] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -78,6 +87,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -88,6 +98,7 @@ func (c *Catalog) Put(t *storage.Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[key(t.Name())] = t
+	c.version.Add(1)
 }
 
 // Names lists table names in sorted order.

@@ -76,6 +76,8 @@ type DB struct {
 
 	dir string // persistence directory; "" = in-memory only
 	wal *walWriter
+
+	plans *planCache // prepared-statement AST + plan cache (self-locking)
 }
 
 // New returns an in-memory database.
@@ -91,6 +93,7 @@ func New() *DB {
 		snapshotReads: true,
 		gateExcl:      make(chan struct{}, 1),
 		gateSlots:     make(chan struct{}, gateSlotCount),
+		plans:         newPlanCache(preparedCacheSize),
 	}
 	db.gateExcl <- struct{}{}
 	for i := 0; i < gateSlotCount; i++ {
@@ -695,7 +698,7 @@ func (db *DB) ExecContext(ctx context.Context, text string) (Result, error) {
 			// Eligible auto-commit DML takes the sharded fast path:
 			// shared gate + per-shard statement locks instead of the
 			// exclusive gate + exclusive latch.
-			if res, handled, err := db.tryFastWrite(ctx, st, text); handled {
+			if res, handled, err := db.tryFastWrite(ctx, st, text, nil); handled {
 				return res, err
 			}
 			if err := db.AcquireWriteGate(ctx); err != nil {
@@ -704,7 +707,7 @@ func (db *DB) ExecContext(ctx context.Context, text string) (Result, error) {
 			defer db.ReleaseWriteGate()
 		}
 	}
-	return db.execParsed(ctx, st, text)
+	return db.execParsed(ctx, st, text, nil)
 }
 
 // endExecTxn finishes a transaction opened by ExecContext("BEGIN"),
@@ -728,11 +731,14 @@ func (db *DB) endExecTxn(end func() error) error {
 // execParsed runs an already-parsed data statement under the exclusive
 // latch and WAL-logs it on success. An auto-commit statement (no open
 // transaction) publishes its table versions immediately; inside a
-// transaction, publication waits for COMMIT.
-func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string) (Result, error) {
+// transaction, publication waits for COMMIT. ps carries bound
+// parameter values for a prepared execution (nil for plain text); text
+// must then be the substituted rendering, since the WAL replays text
+// without an argument stream.
+func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string, ps *plan.Params) (Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	res, err := db.execLocked(ctx, st)
+	res, err := db.execLocked(ctx, st, ps)
 	if err != nil {
 		return Result{}, err
 	}
@@ -743,7 +749,7 @@ func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string) (Re
 	return res, nil
 }
 
-func (db *DB) execLocked(ctx context.Context, st sql.Statement) (Result, error) {
+func (db *DB) execLocked(ctx context.Context, st sql.Statement, ps *plan.Params) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -761,11 +767,11 @@ func (db *DB) execLocked(ctx context.Context, st sql.Statement) (Result, error) 
 	case *sql.TruncateStmt:
 		return db.execTruncate(s)
 	case *sql.InsertStmt:
-		return db.execInsert(ctx, s)
+		return db.execInsert(ctx, s, ps)
 	case *sql.UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(s, ps)
 	case *sql.DeleteStmt:
-		return db.execDelete(s)
+		return db.execDelete(s, ps)
 	default:
 		return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
 	}
@@ -849,12 +855,12 @@ func (db *DB) execTruncate(s *sql.TruncateStmt) (Result, error) {
 	return Result{RowsAffected: n}, nil
 }
 
-func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error) {
+func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt, ps *plan.Params) (Result, error) {
 	t, err := db.cat.Get(s.Table)
 	if err != nil {
 		return Result{}, err
 	}
-	colIdx, input, err := db.buildInsertInput(ctx, s, t)
+	colIdx, input, err := db.buildInsertInput(ctx, s, t, ps)
 	if err != nil {
 		return Result{}, err
 	}
@@ -871,7 +877,7 @@ func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (Result, error)
 // a batch whose columns line up with colIdx. It only reads — safe under
 // the shared latch — so both the serialized path and the sharded fast
 // path use it.
-func (db *DB) buildInsertInput(ctx context.Context, s *sql.InsertStmt, t *storage.Table) (colIdx []int, input *storage.Batch, err error) {
+func (db *DB) buildInsertInput(ctx context.Context, s *sql.InsertStmt, t *storage.Table, ps *plan.Params) (colIdx []int, input *storage.Batch, err error) {
 	schema := t.Schema()
 	// Map statement columns to table positions.
 	if len(s.Columns) == 0 {
@@ -891,11 +897,11 @@ func (db *DB) buildInsertInput(ctx context.Context, s *sql.InsertStmt, t *storag
 	}
 
 	if s.Select != nil {
-		rows, err := db.querySelectLocked(ctx, s.Select)
+		op, err := db.planner.PlanSelectParams(s.Select, 0, nil, ps)
 		if err != nil {
 			return nil, nil, err
 		}
-		input, err = rows.Materialize()
+		input, err = exec.Drain(exec.WithContext(ctx, op))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -913,7 +919,7 @@ func (db *DB) buildInsertInput(ctx context.Context, s *sql.InsertStmt, t *storag
 			}
 			vals := make([]storage.Value, len(astRow))
 			for i, e := range astRow {
-				bound, err := plan.BindExpr(e, emptyScope, db.funcs)
+				bound, err := plan.BindExprParams(e, emptyScope, db.funcs, ps)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -958,7 +964,7 @@ func appendInsertRows(t *storage.Table, colIdx []int, input *storage.Batch) (int
 
 // matchRows returns the indexes of rows matching the WHERE clause (all
 // rows when where is nil).
-func (db *DB) matchRows(t *storage.Table, where sql.Expr) ([]int, error) {
+func (db *DB) matchRows(t *storage.Table, where sql.Expr, ps *plan.Params) ([]int, error) {
 	data := t.Data()
 	n := data.Len()
 	if where == nil {
@@ -969,7 +975,7 @@ func (db *DB) matchRows(t *storage.Table, where sql.Expr) ([]int, error) {
 		return idx, nil
 	}
 	sc := plan.NewScope(t.Name(), t.Schema())
-	pred, err := plan.BindExpr(where, sc, db.funcs)
+	pred, err := plan.BindExprParams(where, sc, db.funcs, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -989,13 +995,13 @@ func (db *DB) matchRows(t *storage.Table, where sql.Expr) ([]int, error) {
 	return idx, nil
 }
 
-func (db *DB) execUpdate(s *sql.UpdateStmt) (Result, error) {
+func (db *DB) execUpdate(s *sql.UpdateStmt, ps *plan.Params) (Result, error) {
 	t, err := db.cat.Get(s.Table)
 	if err != nil {
 		return Result{}, err
 	}
 	schema := t.Schema()
-	idx, err := db.matchRows(t, s.Where)
+	idx, err := db.matchRows(t, s.Where, ps)
 	if err != nil {
 		return Result{}, err
 	}
@@ -1014,7 +1020,7 @@ func (db *DB) execUpdate(s *sql.UpdateStmt) (Result, error) {
 		if j < 0 {
 			return Result{}, fmt.Errorf("engine: table %s has no column %q", s.Table, as.Column)
 		}
-		bound, err := plan.BindExpr(as.E, sc, db.funcs)
+		bound, err := plan.BindExprParams(as.E, sc, db.funcs, ps)
 		if err != nil {
 			return Result{}, err
 		}
@@ -1044,12 +1050,12 @@ func (db *DB) execUpdate(s *sql.UpdateStmt) (Result, error) {
 	return Result{RowsAffected: len(idx)}, nil
 }
 
-func (db *DB) execDelete(s *sql.DeleteStmt) (Result, error) {
+func (db *DB) execDelete(s *sql.DeleteStmt, ps *plan.Params) (Result, error) {
 	t, err := db.cat.Get(s.Table)
 	if err != nil {
 		return Result{}, err
 	}
-	idx, err := db.matchRows(t, s.Where)
+	idx, err := db.matchRows(t, s.Where, ps)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// preparedCacheSize bounds the prepared-plan cache. Entries are small
+// (an AST plus an operator tree), so the limit exists to cap pathological
+// workloads that generate unbounded distinct statement texts, not memory
+// in the steady state.
+const preparedCacheSize = 128
+
+// planCache is the bind-and-run statement cache: statement text (plus
+// the argument type signature — parameter types are frozen into a plan)
+// maps to a parsed AST and, for cacheable SELECTs, a prepared plan.
+// A prepared plan mutates shared state when bound (ParamSlot, scan
+// targets, context ref), so exactly one execution may hold it at a
+// time; concurrent executions of the same statement bypass the cache
+// with a fresh plan rather than queue.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // of *cacheEntry, front = most recently used
+	items map[string]*list.Element
+
+	parses   atomic.Uint64 // statements actually parsed
+	plans    atomic.Uint64 // SELECT plans actually built
+	hits     atomic.Uint64 // executions served by a cached plan
+	misses   atomic.Uint64 // plan lookups that found none (or a stale one)
+	bypasses atomic.Uint64 // cached plan busy; execution planned fresh
+}
+
+type cacheEntry struct {
+	key       string
+	st        sql.Statement
+	numParams int
+	// prep is nil for DML, for SELECTs whose first execution has not
+	// finished planning, and after invalidation (the parse is kept).
+	prep    *plan.Prepared
+	catVer  uint64 // catalog version prep was built against
+	workers int    // parallelism prep was built for
+	busy    bool   // prep checked out by a running execution
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, lru: list.New(), items: make(map[string]*list.Element)}
+}
+
+// cacheKey derives the cache key for one execution: the statement text
+// plus the argument type signature. Parameter types are taken from the
+// first execution's arguments and frozen into the plan, so the same
+// text bound with differently-typed arguments needs a separate entry.
+func cacheKey(text string, args []storage.Value) string {
+	if len(args) == 0 {
+		return text
+	}
+	b := make([]byte, 0, len(text)+1+len(args))
+	b = append(b, text...)
+	b = append(b, 0)
+	for _, a := range args {
+		b = append(b, byte(a.Type))
+	}
+	return string(b)
+}
+
+// parse returns the cached AST for key, parsing and caching text on a
+// miss. The AST is read-only and shared freely across executions.
+func (pc *planCache) parse(text, key string) (sql.Statement, int, error) {
+	pc.mu.Lock()
+	if el, ok := pc.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		pc.lru.MoveToFront(el)
+		st, n := e.st, e.numParams
+		pc.mu.Unlock()
+		return st, n, nil
+	}
+	pc.mu.Unlock()
+
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	pc.parses.Add(1)
+	n := sql.NumParams(st)
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[key]; ok { // a concurrent execution parsed first
+		e := el.Value.(*cacheEntry)
+		pc.lru.MoveToFront(el)
+		return e.st, e.numParams, nil
+	}
+	pc.items[key] = pc.lru.PushFront(&cacheEntry{key: key, st: st, numParams: n})
+	pc.evictLocked()
+	return st, n, nil
+}
+
+// checkoutPlan claims the cached prepared plan under key for exclusive
+// use by one execution. It returns nil when there is no plan yet, the
+// plan is stale (catalog version or worker count changed — the parse is
+// kept, the plan dropped), or another execution holds it (bypass).
+func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int) *cacheEntry {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[key]
+	if !ok {
+		pc.misses.Add(1)
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if e.prep == nil {
+		pc.misses.Add(1)
+		return nil
+	}
+	if e.busy {
+		pc.bypasses.Add(1)
+		return nil
+	}
+	if e.catVer != catVer || e.workers != workers {
+		e.prep = nil
+		pc.misses.Add(1)
+		return nil
+	}
+	e.busy = true
+	pc.lru.MoveToFront(el)
+	pc.hits.Add(1)
+	return e
+}
+
+// attach installs a freshly built plan on key's entry, checked out by
+// the calling execution (release it when the run ends). It returns nil —
+// and the plan stays single-use — when the entry was evicted since
+// parse or a concurrent execution already attached one.
+func (pc *planCache) attach(key string, prep *plan.Prepared, catVer uint64, workers int) *cacheEntry {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if e.busy || e.prep != nil {
+		return nil
+	}
+	e.prep, e.catVer, e.workers, e.busy = prep, catVer, workers, true
+	return e
+}
+
+// release returns a checked-out plan to the cache. The entry pointer
+// stays valid after eviction; releasing an evicted entry is a no-op.
+func (pc *planCache) release(e *cacheEntry) {
+	pc.mu.Lock()
+	e.busy = false
+	pc.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used entries over capacity, skipping
+// plans currently checked out.
+func (pc *planCache) evictLocked() {
+	for el := pc.lru.Back(); el != nil && pc.lru.Len() > pc.max; {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); !e.busy {
+			pc.lru.Remove(el)
+			delete(pc.items, e.key)
+		}
+		el = prev
+	}
+}
+
+// PreparedStats are cumulative plan-cache counters. A steady-state
+// prepared workload shows Hits advancing while Parses and Plans stand
+// still: repeated executions do no parse or plan work.
+type PreparedStats struct {
+	Parses   uint64
+	Plans    uint64
+	Hits     uint64
+	Misses   uint64
+	Bypasses uint64
+}
+
+// PreparedStats returns the plan-cache counters.
+func (db *DB) PreparedStats() PreparedStats {
+	return PreparedStats{
+		Parses:   db.plans.parses.Load(),
+		Plans:    db.plans.plans.Load(),
+		Hits:     db.plans.hits.Load(),
+		Misses:   db.plans.misses.Load(),
+		Bypasses: db.plans.bypasses.Load(),
+	}
+}
+
+// queryStreamBound streams a parameterized SELECT bind-and-run: under
+// snapshot reads a cached prepared plan is bound to this execution's
+// snapshot and arguments (zero parse/plan work on a hit); on a miss the
+// fresh plan is attached to the cache for the next execution. The
+// legacy latch-coupled mode plans fresh every time — its plans resolve
+// live catalog tables under the database latch and cannot be rebound.
+func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key string, args []storage.Value, workers int, kind readerKind) (*Rows, error) {
+	db.mu.RLock()
+	if !db.snapshotReads {
+		op, err := db.planner.PlanSelectParams(sel, workers, nil, plan.NewParams(args))
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		db.plans.plans.Add(1)
+		return OperatorRows(exec.WithContext(ctx, op), db.mu.RUnlock)
+	}
+
+	own := kind == readerTxnOwner || (kind == readerDBLevel && db.txn != nil && !db.txnSessionOwned)
+	acquire := db.mvcc.Acquire
+	if own {
+		acquire = db.mvcc.AcquireOwn
+	}
+	snap, err := acquire()
+	if err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	fail := func(err error) (*Rows, error) {
+		snap.Release()
+		db.mu.RUnlock()
+		return nil, err
+	}
+
+	catVer := db.cat.Version()
+	entry := db.plans.checkoutPlan(key, catVer, workers)
+	var prep *plan.Prepared
+	if entry != nil {
+		prep = entry.prep
+		// Repoint the cached scans at this snapshot's table versions.
+		// Snapshot resolution needs the engine latch, so Bind must run
+		// before Seal (a sealed snapshot serves only what it has pinned).
+		if err := prep.Bind(ctx, args, snap.Table); err != nil {
+			db.plans.release(entry)
+			return fail(err)
+		}
+	} else {
+		prep, err = db.planner.PrepareSelect(sel, workers, snap, plan.NewParams(args))
+		if err != nil {
+			return fail(err)
+		}
+		db.plans.plans.Add(1)
+		// Tables are already resolved (planned against snap); bind the
+		// context, the arguments and the parameter-keyed scan routes.
+		if err := prep.Bind(ctx, args, nil); err != nil {
+			return fail(err)
+		}
+		if prep.Cacheable {
+			entry = db.plans.attach(key, prep, catVer, workers)
+		}
+	}
+	snap.Seal()
+	db.mu.RUnlock()
+
+	cleanup := []func(){snap.Release}
+	if entry != nil {
+		e := entry
+		cleanup = append(cleanup, func() { db.plans.release(e) })
+	}
+	rows, err := OperatorRows(prep.Root, cleanup...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

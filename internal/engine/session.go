@@ -180,7 +180,7 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		// Eligible auto-commit DML takes the sharded fast path: shared
 		// gate + per-shard statement locks, so sessions writing disjoint
 		// shards commit in parallel.
-		if res, handled, err := s.db.tryFastWrite(sctx, st, text); handled {
+		if res, handled, err := s.db.tryFastWrite(sctx, st, text, nil); handled {
 			return nil, res, err
 		}
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
@@ -188,7 +188,73 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		}
 		defer s.db.ReleaseWriteGate()
 	}
-	res, err := s.db.execParsed(sctx, st, text)
+	res, err := s.db.execParsed(sctx, st, text, nil)
+	return nil, res, err
+}
+
+// RunStreamBound is RunStream for a prepared execution: text contains
+// $1..$n placeholders and args carries their values, which bind real
+// Param nodes instead of being substituted into the text. A statement
+// is parsed — and, for a cacheable SELECT, planned — at most once per
+// (text, argument-type signature) pair across the whole DB; repeated
+// executions just bind the arguments and run. Extra arguments beyond
+// the statement's highest $n are permitted (and ignored), matching the
+// substitution path.
+func (s *Session) RunStreamBound(ctx context.Context, text string, args []storage.Value) (*Rows, Result, error) {
+	key := cacheKey(text, args)
+	st, nParams, err := s.db.plans.parse(text, key)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if nParams > len(args) {
+		return nil, Result{}, fmt.Errorf("engine: statement wants %d arguments, got %d", nParams, len(args))
+	}
+
+	switch st.(type) {
+	case *sql.SetStmt, *sql.ShowStmt, *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
+		// Session-control statements take no parameters and are cheap;
+		// run them through the plain-text path.
+		return s.RunStream(ctx, text)
+	}
+
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		kind := readerSession
+		if s.ownsGate {
+			kind = readerTxnOwner
+		}
+		sctx, cancel := s.stmtCtx(ctx)
+		rows, err := s.db.queryStreamBound(sctx, sel, key, args, s.effectiveWorkers(), kind)
+		if err != nil {
+			cancel()
+			return nil, Result{}, err
+		}
+		rows.cleanup = append(rows.cleanup, cancel)
+		return rows, Result{}, nil
+	}
+
+	// Parameterized DML executes with bound Param nodes but WAL-logs the
+	// substituted rendering: replay reads text alone, with no argument
+	// stream alongside it.
+	ps := plan.NewParams(args)
+	walText := text
+	if nParams > 0 {
+		walText, err = sql.SubstituteParams(text, args)
+		if err != nil {
+			return nil, Result{}, err
+		}
+	}
+	sctx, cancel := s.stmtCtx(ctx)
+	defer cancel()
+	if !s.ownsGate {
+		if res, handled, err := s.db.tryFastWrite(sctx, st, walText, ps); handled {
+			return nil, res, err
+		}
+		if err := s.db.AcquireWriteGate(sctx); err != nil {
+			return nil, Result{}, err
+		}
+		defer s.db.ReleaseWriteGate()
+	}
+	res, err := s.db.execParsed(sctx, st, walText, ps)
 	return nil, res, err
 }
 

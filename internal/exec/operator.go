@@ -89,6 +89,13 @@ type TableScan struct {
 	// every shard). The planner sets it when a point predicate on the
 	// partition key routes a lookup to the owning shard.
 	Shard int
+	// NoSplit pins the scan to a single fragment. The planner sets it
+	// on scans whose Shard is routed at bind time (a point predicate on
+	// the partition key against a parameter): the target shard differs
+	// per execution, so the scan must stay one re-routable unit rather
+	// than be cloned into per-shard morsels whose assignment would be
+	// frozen into the cached plan.
+	NoSplit bool
 
 	part, parts int
 

@@ -458,7 +458,7 @@ func ParallelizeBudget(op Operator, workers int, budget *sched.Budget) Operator 
 func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operator, bool) {
 	switch o := op.(type) {
 	case *TableScan:
-		if depth == 0 {
+		if depth == 0 || o.NoSplit {
 			return nil, false
 		}
 		// Shard-wise morselization: a scan over a multi-shard table is
@@ -474,9 +474,10 @@ func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operato
 			var out []Operator
 			for s := 0; s < sh.NumShards(); s++ {
 				rows := sh.ShardRows(s)
-				if rows == 0 {
-					continue
-				}
+				// A shard that is empty now still gets one (unsplit)
+				// fragment: the morsel bounds are recomputed from live row
+				// counts at Open, and a cached plan may run again after
+				// rows land in a shard that was empty at plan time.
 				k := splitParts(rows, workers)
 				if k < 2 {
 					out = append(out, &TableScan{Table: o.Table, OutSchema: o.OutSchema, Shard: s + 1})

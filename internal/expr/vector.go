@@ -20,6 +20,12 @@ func EvalVector(e Expr, b *storage.Batch) (storage.Column, error) {
 		return b.Cols[node.Index], nil
 	case *Literal:
 		return constColumn(node.Val, n), nil
+	case *Param:
+		v, err := node.Value()
+		if err != nil {
+			return nil, err
+		}
+		return constColumn(v, n), nil
 	case *Cast:
 		in, err := EvalVector(node.Input, b)
 		if err != nil {

@@ -32,10 +32,41 @@ var binOps = map[string]expr.BinOp{
 	"OR": expr.OpOr, "||": expr.OpConcat,
 }
 
+// Params is the binding context for positional parameters ($1..$n).
+// Types records each parameter's storage type — taken from the first
+// execution's argument values, so a bound parameter behaves exactly
+// like the literal the legacy substitution path would have rendered —
+// and Slot is the shared cell all Param nodes of the plan read their
+// per-execution values from.
+type Params struct {
+	Slot  *expr.ParamSlot
+	Types []storage.Type
+}
+
+// NewParams returns a Params for arguments of the given values' types,
+// with the values already bound (planning evaluates parameterized CTEs
+// and VALUES eagerly, so the first execution's arguments must be
+// readable during binding).
+func NewParams(args []storage.Value) *Params {
+	slot := &expr.ParamSlot{}
+	slot.Bind(args)
+	types := make([]storage.Type, len(args))
+	for i, a := range args {
+		types[i] = a.Type
+	}
+	return &Params{Slot: slot, Types: types}
+}
+
 // BindExpr binds a scalar AST expression against the scope. Aggregate
 // calls are rejected here; the aggregate path binds through aggScope.
 func BindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry) (expr.Expr, error) {
-	return bindExpr(e, sc, funcs, nil)
+	return bindExpr(e, sc, funcs, nil, nil)
+}
+
+// BindExprParams is BindExpr with positional parameters in scope (the
+// engine's parameterized DML path).
+func BindExprParams(e sql.Expr, sc *Scope, funcs *expr.Registry, ps *Params) (expr.Expr, error) {
+	return bindExpr(e, sc, funcs, nil, ps)
 }
 
 // aggScope maps the printed form of group-by expressions and aggregate
@@ -44,7 +75,7 @@ type aggScope struct {
 	byString map[string]*expr.ColumnRef
 }
 
-func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.Expr, error) {
+func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope, ps *Params) (expr.Expr, error) {
 	// In post-aggregation binding, whole subtrees that match a group-by
 	// expression or an aggregate call resolve to agg output columns.
 	if ag != nil {
@@ -72,12 +103,20 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		return &expr.Literal{Val: storage.Bool(n.V)}, nil
 	case *sql.NullLit:
 		return &expr.Literal{Val: storage.Null(storage.TypeString)}, nil
+	case *sql.Param:
+		if ps == nil {
+			return nil, fmt.Errorf("plan: parameter $%d outside a prepared statement", n.N)
+		}
+		if n.N < 1 || n.N > len(ps.Types) {
+			return nil, fmt.Errorf("plan: parameter $%d out of range (%d arguments bound)", n.N, len(ps.Types))
+		}
+		return &expr.Param{N: n.N, Typ: ps.Types[n.N-1], Slot: ps.Slot}, nil
 	case *sql.BinExpr:
-		l, err := bindExpr(n.L, sc, funcs, ag)
+		l, err := bindExpr(n.L, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
-		r, err := bindExpr(n.R, sc, funcs, ag)
+		r, err := bindExpr(n.R, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +133,7 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		return expr.NewBinary(op, l, r)
 	case *sql.UnExpr:
-		in, err := bindExpr(n.E, sc, funcs, ag)
+		in, err := bindExpr(n.E, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -103,19 +142,19 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		return expr.NewNeg(in)
 	case *sql.IsNullExpr:
-		in, err := bindExpr(n.E, sc, funcs, ag)
+		in, err := bindExpr(n.E, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
 		return &expr.IsNull{Input: in, Negate: n.Not}, nil
 	case *sql.InExpr:
-		in, err := bindExpr(n.E, sc, funcs, ag)
+		in, err := bindExpr(n.E, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
 		list := make([]expr.Expr, len(n.List))
 		for i, le := range n.List {
-			b, err := bindExpr(le, sc, funcs, ag)
+			b, err := bindExpr(le, sc, funcs, ag, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -123,11 +162,11 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		return &expr.InList{Input: in, List: list, Negate: n.Not}, nil
 	case *sql.LikeExpr:
-		in, err := bindExpr(n.E, sc, funcs, ag)
+		in, err := bindExpr(n.E, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
-		pat, err := bindExpr(n.Pattern, sc, funcs, ag)
+		pat, err := bindExpr(n.Pattern, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +175,7 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		return &expr.Like{Input: in, Pattern: pat, Negate: n.Not}, nil
 	case *sql.CastExpr:
-		in, err := bindExpr(n.E, sc, funcs, ag)
+		in, err := bindExpr(n.E, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +185,7 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		return &expr.Cast{Input: in, To: t}, nil
 	case *sql.CaseExpr:
-		return bindCase(n, sc, funcs, ag)
+		return bindCase(n, sc, funcs, ag, ps)
 	case *sql.FuncExpr:
 		if _, isAgg := expr.AggKindByName(n.Name); isAgg {
 			return nil, fmt.Errorf("plan: aggregate %s not allowed here", strings.ToUpper(n.Name))
@@ -157,7 +196,7 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 		}
 		args := make([]expr.Expr, len(n.Args))
 		for i, a := range n.Args {
-			b, err := bindExpr(a, sc, funcs, ag)
+			b, err := bindExpr(a, sc, funcs, ag, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -169,18 +208,18 @@ func bindExpr(e sql.Expr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.E
 	}
 }
 
-func bindCase(n *sql.CaseExpr, sc *Scope, funcs *expr.Registry, ag *aggScope) (expr.Expr, error) {
+func bindCase(n *sql.CaseExpr, sc *Scope, funcs *expr.Registry, ag *aggScope, ps *Params) (expr.Expr, error) {
 	out := &expr.Case{}
 	var branches []expr.Expr
 	for _, w := range n.Whens {
-		cond, err := bindExpr(w.Cond, sc, funcs, ag)
+		cond, err := bindExpr(w.Cond, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
 		if cond.Type() != storage.TypeBool {
 			return nil, fmt.Errorf("plan: CASE WHEN condition must be boolean, got %s", cond.Type())
 		}
-		then, err := bindExpr(w.Then, sc, funcs, ag)
+		then, err := bindExpr(w.Then, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +227,7 @@ func bindCase(n *sql.CaseExpr, sc *Scope, funcs *expr.Registry, ag *aggScope) (e
 		branches = append(branches, then)
 	}
 	if n.Else != nil {
-		els, err := bindExpr(n.Else, sc, funcs, ag)
+		els, err := bindExpr(n.Else, sc, funcs, ag, ps)
 		if err != nil {
 			return nil, err
 		}

@@ -67,11 +67,26 @@ func (p *Planner) PlanSelectWorkers(st *sql.SelectStmt, workers int) (exec.Opera
 // live catalog, so the whole statement sees one consistent version set
 // (src == nil restores live-catalog resolution).
 func (p *Planner) PlanSelectSource(st *sql.SelectStmt, workers int, src TableSource) (exec.Operator, error) {
+	return p.PlanSelectParams(st, workers, src, nil)
+}
+
+// PlanSelectParams is PlanSelectSource with positional parameters in
+// scope — a one-shot parameterized plan (PrepareSelect builds the
+// reusable kind). ps, when non-nil, must already have its argument
+// values bound; parameter-keyed point scans are routed immediately.
+func (p *Planner) PlanSelectParams(st *sql.SelectStmt, workers int, src TableSource, ps *Params) (exec.Operator, error) {
 	if workers <= 0 {
 		workers = p.Parallelism
 	}
-	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch), src: src}
-	return ctx.planSelect(st)
+	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch), src: src, params: ps}
+	root, err := ctx.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	if ps != nil {
+		bindRoutes(ctx.routes, ps.Slot.Args())
+	}
+	return root, nil
 }
 
 // planCtx carries per-statement state (materialized CTEs).
@@ -83,6 +98,10 @@ type planCtx struct {
 	// a blocking subtree under a serialized LIMIT can get it back.
 	fullWorkers int
 	ctes        map[string]*storage.Batch
+	// params, when non-nil, puts positional parameters in scope and
+	// collects bind-time shard routes (see paramRouteFor).
+	params *Params
+	routes []Route
 	// serial marks the subtree under a LIMIT (with no blocking ORDER
 	// BY): operators there are planned serial and streaming — no
 	// Gathers, spools or materializing probes — so the LIMIT pulls
@@ -301,7 +320,7 @@ func andAll(conjuncts []sql.Expr) sql.Expr {
 
 // bindable reports whether e binds cleanly in the scope.
 func (c *planCtx) bindable(e sql.Expr, sc *Scope) bool {
-	_, err := bindExpr(e, sc, c.p.Funcs, nil)
+	_, err := bindExpr(e, sc, c.p.Funcs, nil, c.params)
 	return err == nil
 }
 
@@ -403,7 +422,7 @@ func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
 	}
 	var resExpr expr.Expr
 	if rest := andAll(residual); rest != nil {
-		resExpr, err = bindExpr(rest, combined, c.p.Funcs, nil)
+		resExpr, err = bindExpr(rest, combined, c.p.Funcs, nil, c.params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -489,7 +508,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 
 	// Whatever WHERE conjuncts remain must bind on the full scope.
 	if rest := andAll(pending); rest != nil {
-		pred, err := bindExpr(rest, sc, c.p.Funcs, nil)
+		pred, err := bindExpr(rest, sc, c.p.Funcs, nil, c.params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -538,18 +557,29 @@ func (c *planCtx) pushDown(op exec.Operator, sc *Scope, pending []sql.Expr) (exe
 			rest = append(rest, cj)
 		}
 	}
-	if ts, ok := op.(*exec.TableScan); ok && ts.Shard == 0 {
+	if ts, ok := op.(*exec.TableScan); ok && ts.Shard == 0 && !ts.NoSplit {
 		if sh, ok := ts.Table.(storage.Sharded); ok && sh.NumShards() > 1 && sh.ShardKey() >= 0 {
 			for _, cj := range applicable {
 				if s, ok := shardForConjunct(cj, sc, sh); ok {
 					ts.Shard = s + 1
 					break
 				}
+				// A point predicate against a parameter routes too, but
+				// the owning shard is only known at bind time: record a
+				// route and keep the scan a single re-routable fragment.
+				if n, ok := c.paramRouteFor(cj, sc, sh); ok {
+					ts.NoSplit = true
+					c.routes = append(c.routes, Route{
+						Scan: ts, N: n,
+						Key: sh.Schema().Cols[sh.ShardKey()].Type,
+					})
+					break
+				}
 			}
 		}
 	}
 	if pred := andAll(applicable); pred != nil {
-		bound, err := bindExpr(pred, sc, c.p.Funcs, nil)
+		bound, err := bindExpr(pred, sc, c.p.Funcs, nil, c.params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -615,6 +645,57 @@ func shardForConjunct(e sql.Expr, sc *Scope, sh storage.Sharded) (int, bool) {
 	return try(b.R, b.L)
 }
 
+// paramRouteFor recognizes `key = $n` (either operand order) where key
+// resolves to the table's partition column and the parameter's recorded
+// type matches the key column under the same rules shardForConjunct
+// applies to literals. It returns the 1-based parameter index; the
+// shard itself is computed per execution from the bound value.
+func (c *planCtx) paramRouteFor(e sql.Expr, sc *Scope, sh storage.Sharded) (int, bool) {
+	if c.params == nil {
+		return 0, false
+	}
+	b, ok := e.(*sql.BinExpr)
+	if !ok || b.Op != "=" {
+		return 0, false
+	}
+	try := func(idExpr, pExpr sql.Expr) (int, bool) {
+		i, ok := identIn(idExpr, sc)
+		if !ok || i != sh.ShardKey() {
+			return 0, false
+		}
+		p, ok := pExpr.(*sql.Param)
+		if !ok || p.N < 1 || p.N > len(c.params.Types) {
+			return 0, false
+		}
+		kt := sh.Schema().Cols[sh.ShardKey()].Type
+		switch c.params.Types[p.N-1] {
+		case storage.TypeInt64:
+			if kt != storage.TypeInt64 && kt != storage.TypeFloat64 {
+				return 0, false
+			}
+		case storage.TypeFloat64:
+			if kt != storage.TypeFloat64 {
+				return 0, false
+			}
+		case storage.TypeString:
+			if kt != storage.TypeString {
+				return 0, false
+			}
+		case storage.TypeBool:
+			if kt != storage.TypeBool {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+		return p.N, true
+	}
+	if n, ok := try(b.L, b.R); ok {
+		return n, true
+	}
+	return try(b.R, b.L)
+}
+
 // planProjection binds the select items over the (possibly post-
 // aggregate) scope and applies DISTINCT.
 func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCore, ag *aggScope) (exec.Operator, []string, error) {
@@ -634,7 +715,7 @@ func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCo
 			}
 			continue
 		}
-		bound, err := bindExpr(it.E, sc, c.p.Funcs, ag)
+		bound, err := bindExpr(it.E, sc, c.p.Funcs, ag, c.params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -672,7 +753,7 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 	ag := &aggScope{byString: make(map[string]*expr.ColumnRef)}
 
 	for i, g := range core.GroupBy {
-		bound, err := bindExpr(g, sc, c.p.Funcs, nil)
+		bound, err := bindExpr(g, sc, c.p.Funcs, nil, c.params)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -706,7 +787,7 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 			if len(a.Args) != 1 {
 				return nil, nil, fmt.Errorf("plan: %s takes exactly one argument", strings.ToUpper(a.Name))
 			}
-			in, err := bindExpr(a.Args[0], sc, c.p.Funcs, nil)
+			in, err := bindExpr(a.Args[0], sc, c.p.Funcs, nil, c.params)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -732,7 +813,7 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 	postScope := &Scope{Cols: postCols}
 
 	if core.Having != nil {
-		pred, err := bindExpr(core.Having, postScope, c.p.Funcs, ag)
+		pred, err := bindExpr(core.Having, postScope, c.p.Funcs, ag, c.params)
 		if err != nil {
 			return nil, nil, err
 		}

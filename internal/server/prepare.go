@@ -1,87 +1,25 @@
 package server
 
 import (
-	"fmt"
-	"math"
-	"strconv"
-	"strings"
-
+	"repro/internal/sql"
 	"repro/internal/storage"
 )
 
-// Prepared/parameterized statements. The engine's planner has no
-// placeholder nodes, so the server binds parameters the way simple
-// drivers do: the prepared text carries $1..$n references and
-// BindExec substitutes SQL literals — with full quoting — before the
-// statement enters the normal parse/plan/execute path. Substitution
-// is quote-aware: a $n inside a string literal is data, not a
-// parameter.
+// Legacy parameter binding. The primary prepared path ships raw args
+// into the engine and binds real Param nodes (engine.Session.
+// RunStreamBound); textual substitution survives only as the fallback
+// for sessions that opt out of bind-and-run (legacySubstitution) and
+// as the re-parse baseline in the prepare benchmark. The actual
+// quote-aware substitution lives in internal/sql so the engine's WAL
+// rendering shares one implementation.
 
 // SubstituteParams renders args into the $1..$n references of text.
 func SubstituteParams(text string, args []storage.Value) (string, error) {
-	var b strings.Builder
-	b.Grow(len(text) + 16*len(args))
-	inStr := false
-	for i := 0; i < len(text); i++ {
-		c := text[i]
-		if inStr {
-			b.WriteByte(c)
-			if c == '\'' {
-				inStr = false // '' escapes re-enter on the next quote
-			}
-			continue
-		}
-		switch {
-		case c == '\'':
-			inStr = true
-			b.WriteByte(c)
-		case c == '$' && i+1 < len(text) && text[i+1] >= '0' && text[i+1] <= '9':
-			j := i + 1
-			for j < len(text) && text[j] >= '0' && text[j] <= '9' {
-				j++
-			}
-			n, err := strconv.Atoi(text[i+1 : j])
-			if err != nil || n < 1 || n > len(args) {
-				return "", fmt.Errorf("server: parameter $%s out of range (%d arguments bound)", text[i+1:j], len(args))
-			}
-			lit, err := renderLiteral(args[n-1])
-			if err != nil {
-				return "", fmt.Errorf("server: parameter $%d: %w", n, err)
-			}
-			b.WriteString(lit)
-			i = j - 1
-		default:
-			b.WriteByte(c)
-		}
-	}
-	return b.String(), nil
+	return sql.SubstituteParams(text, args)
 }
 
-// renderLiteral formats a value as a SQL literal that parses back to
-// exactly the same value.
-func renderLiteral(v storage.Value) (string, error) {
-	if v.Null {
-		return "NULL", nil
-	}
-	switch v.Type {
-	case storage.TypeInt64:
-		return strconv.FormatInt(v.I, 10), nil
-	case storage.TypeFloat64:
-		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
-			return "", fmt.Errorf("%v has no SQL literal", v.F)
-		}
-		s := strconv.FormatFloat(v.F, 'g', -1, 64)
-		// The lexer reads numbers only with a leading digit; a bare
-		// negative or exponent form is fine, but ensure a decimal
-		// representation the parser accepts: -1e-07, 2.5, 3 all lex.
-		return s, nil
-	case storage.TypeString:
-		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'", nil
-	case storage.TypeBool:
-		if v.I != 0 {
-			return "TRUE", nil
-		}
-		return "FALSE", nil
-	}
-	return "", fmt.Errorf("unsupported parameter type %v", v.Type)
-}
+// legacySubstitution switches the prepared-execution path back to
+// textual substitution plus a full re-parse per execution. It exists
+// for ablation (the prepare benchmark measures both paths) and as an
+// escape hatch; bind-and-run is the default.
+var legacySubstitution = false

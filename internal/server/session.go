@@ -282,12 +282,16 @@ func (ss *session) runStmt(req stmtReq) {
 			ss.writeError(req.id, fmt.Sprintf("unknown prepared statement %d", req.prep))
 			return
 		}
-		bound, err := SubstituteParams(text, req.args)
-		if err != nil {
-			ss.writeError(req.id, err.Error())
+		if legacySubstitution {
+			bound, err := SubstituteParams(text, req.args)
+			if err != nil {
+				ss.writeError(req.id, err.Error())
+				return
+			}
+			ss.runSQL(ctx, req.id, bound)
 			return
 		}
-		ss.runSQL(ctx, req.id, bound)
+		ss.runBound(ctx, req.id, text, req.args)
 	case stmtGraph:
 		// Graph verbs honor the session's statement_timeout like any
 		// SQL statement (the parallelism cap is applied inside the
@@ -308,6 +312,20 @@ func (ss *session) runStmt(req stmtReq) {
 // produces batches while earlier ones are already on the wire.
 func (ss *session) runSQL(ctx context.Context, id uint32, text string) {
 	rows, res, err := ss.es.RunStream(ctx, text)
+	ss.writeResult(id, rows, res, err)
+}
+
+// runBound executes a prepared statement bind-and-run: the raw
+// argument values reach the engine, which binds them onto a cached
+// parameterized plan — no substitution, no re-parse on the hot path.
+func (ss *session) runBound(ctx context.Context, id uint32, text string, args []storage.Value) {
+	rows, res, err := ss.es.RunStreamBound(ctx, text, args)
+	ss.writeResult(id, rows, res, err)
+}
+
+// writeResult frames one statement outcome: an error, a row stream, or
+// an exec acknowledgement.
+func (ss *session) writeResult(id uint32, rows *engine.Rows, res engine.Result, err error) {
 	if err != nil {
 		ss.writeError(id, err.Error())
 		return

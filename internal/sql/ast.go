@@ -82,6 +82,15 @@ func (e *BoolLit) String() string {
 	return "FALSE"
 }
 
+// Param is a positional parameter placeholder ($1, $2, ...). N is
+// 1-based; the value arrives at bind time, after parsing and planning.
+type Param struct{ N int }
+
+func (*Param) expr() {}
+
+// String implements Expr.
+func (e *Param) String() string { return "$" + strconv.Itoa(e.N) }
+
 // NullLit is the NULL literal.
 type NullLit struct{}
 

@@ -166,6 +166,15 @@ func (l *Lexer) Next() (Token, error) {
 		return Token{Kind: TokString, Text: b.String(), Pos: start, Line: line, Col: col}, nil
 	}
 
+	// Positional parameters: $1, $2, ...
+	if c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+		l.advance(1)
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+		return Token{Kind: TokParam, Text: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
+	}
+
 	// Symbols, longest match first.
 	for _, s := range symbols {
 		if strings.HasPrefix(l.src[l.pos:], s) {

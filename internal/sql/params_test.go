@@ -1,0 +1,169 @@
+package sql
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestParamLexAndParse(t *testing.T) {
+	st, err := Parse("SELECT $1, $2 + $1 FROM t WHERE x = $3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(st); n != 3 {
+		t.Errorf("NumParams = %d, want 3", n)
+	}
+	if !HasParams(st) {
+		t.Error("HasParams = false")
+	}
+	sel := st.(*SelectStmt)
+	p, ok := sel.Cores[0].Items[0].E.(*Param)
+	if !ok || p.N != 1 {
+		t.Errorf("first item = %#v, want Param $1", sel.Cores[0].Items[0].E)
+	}
+
+	if _, err := Parse("SELECT $0"); err == nil {
+		t.Error("$0 accepted")
+	}
+	st, err = Parse("SELECT 'a $1 b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumParams(st) != 0 {
+		t.Error("$1 inside a string literal counted as a parameter")
+	}
+}
+
+// Regression: a single quote inside a double-quoted identifier must not
+// flip the in-string state, and a $n inside a quoted identifier is part
+// of the name, not a parameter.
+func TestSubstituteParamsQuoteTracking(t *testing.T) {
+	args := []storage.Value{storage.Int64(42)}
+
+	// The apostrophe in "it's" previously opened a phantom string
+	// region, so the $1 after it was treated as data and survived.
+	got, err := SubstituteParams(`SELECT "it's", $1 FROM t`, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `SELECT "it's", 42 FROM t`; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+
+	// A $1 inside a quoted identifier is part of the identifier.
+	got, err = SubstituteParams(`SELECT "a$1" FROM t WHERE x = $1`, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `SELECT "a$1" FROM t WHERE x = 42`; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+
+	// The two quoting forms nest through each other: a double quote
+	// inside a string is data, and vice versa.
+	got, err = SubstituteParams(`SELECT '"', $1, "x'y", $1`, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `SELECT '"', 42, "x'y", 42`; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// litFloat extracts the float a rendered literal parses back to,
+// folding the unary-minus path the parser uses for negative mantissas.
+func litFloat(t *testing.T, e Expr) float64 {
+	t.Helper()
+	switch x := e.(type) {
+	case *FloatLit:
+		return x.V
+	case *UnExpr:
+		if x.Op == "-" {
+			return -litFloat(t, x.E)
+		}
+	}
+	t.Fatalf("rendered float parsed to %#v, not a float literal", e)
+	return 0
+}
+
+// Property: every FormatFloat(…, 'g', -1, 64) form RenderLiteral emits
+// — negative mantissas, e+NN / e-NN exponents, integral values — must
+// lex and parse back to the bit-identical float64, and stay a FLOAT
+// (an integral float that rendered bare would come back as an INTEGER
+// and change the statement's types).
+func TestRenderLiteralFloatRoundTrip(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 5, -5, 1e21, -1e21, 1e-7, -1.5e-7,
+		6.25e22, -6.25e22, 1e300, -1e300, 5e-324, -5e-324,
+		math.MaxFloat64, -math.MaxFloat64, 0.1, -0.1, 3.14159265358979,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue // rejected by RenderLiteral, by design
+		}
+		cases = append(cases, f)
+	}
+	for _, f := range cases {
+		lit, err := RenderLiteral(storage.Float64(f))
+		if err != nil {
+			t.Fatalf("RenderLiteral(%g): %v", f, err)
+		}
+		st, err := Parse("SELECT " + lit)
+		if err != nil {
+			t.Fatalf("rendered %q does not parse: %v", lit, err)
+		}
+		got := litFloat(t, st.(*SelectStmt).Cores[0].Items[0].E)
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("round trip %g -> %q -> %g (bits %x != %x)",
+				f, lit, got, math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+
+	// NaN and infinities have no SQL literal; the renderer must refuse
+	// rather than emit text that fails to parse.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := RenderLiteral(storage.Float64(f)); err == nil {
+			t.Errorf("RenderLiteral(%g) accepted", f)
+		}
+	}
+}
+
+func TestRenderLiteralKinds(t *testing.T) {
+	for _, tc := range []struct {
+		v    storage.Value
+		want string
+	}{
+		{storage.Int64(-9), "-9"},
+		{storage.Null(storage.TypeString), "NULL"},
+		{storage.Str("it's"), "'it''s'"},
+		{storage.Bool(true), "TRUE"},
+		{storage.Bool(false), "FALSE"},
+		{storage.Float64(5), "5.0"},
+	} {
+		got, err := RenderLiteral(tc.v)
+		if err != nil {
+			t.Fatalf("RenderLiteral(%v): %v", tc.v, err)
+		}
+		if got != tc.want {
+			t.Errorf("RenderLiteral(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if !strings.Contains(mustSub(t, "SELECT $1", storage.Float64(5)), "5.0") {
+		t.Error("integral float substituted without a float marker")
+	}
+}
+
+func mustSub(t *testing.T, text string, args ...storage.Value) string {
+	t.Helper()
+	s, err := SubstituteParams(text, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

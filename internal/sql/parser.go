@@ -944,6 +944,13 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case TokString:
 		p.next()
 		return &StringLit{V: t.Text}, nil
+	case TokParam:
+		p.next()
+		n, err := strconv.Atoi(t.Text[1:])
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter %q", t.Text)
+		}
+		return &Param{N: n}, nil
 	case TokKeyword:
 		switch t.Text {
 		case "TRUE":

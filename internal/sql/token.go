@@ -24,6 +24,7 @@ const (
 	TokNumber
 	TokString
 	TokSymbol
+	TokParam // $1, $2, ... — positional parameter placeholder
 )
 
 // Token is one lexical token with its source position (1-based).

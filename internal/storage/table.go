@@ -701,6 +701,71 @@ func (t *ShardedTable) DeleteWhere(del []int) {
 	}
 }
 
+// UpdateShardInPlace is UpdateInPlace restricted to one shard: it sets
+// cols[colIdx] = vals[k] for each shard-local row index in localIdx.
+// The engine's shard-pruned fast path uses it so a point UPDATE whose
+// WHERE pins the partition key touches (and locks) only the owning
+// shard while the others stay open to concurrent writers.
+func (t *ShardedTable) UpdateShardInPlace(s int, localIdx []int, colIdx int, vals []Value) error {
+	if len(localIdx) != len(vals) {
+		return fmt.Errorf("storage: update arity mismatch on %s", t.name)
+	}
+	if len(localIdx) == 0 {
+		return nil
+	}
+	sh := t.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.rows()
+	for _, local := range localIdx {
+		if local < 0 || local >= n {
+			return fmt.Errorf("storage: set index %d out of range (shard %d has %d rows)", local, s, n)
+		}
+	}
+	if sh.shared[colIdx] {
+		c := sh.cols[colIdx]
+		sh.cols[colIdx] = c.Slice(0, c.Len())
+		sh.shared[colIdx] = false
+	}
+	sh.version++
+	sh.frozen = nil
+	for k, local := range localIdx {
+		if err := SetValue(sh.cols[colIdx], local, vals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteShardWhere is DeleteWhere restricted to one shard: it removes
+// the rows at the given shard-local indexes by rebuilding the shard's
+// columns without them.
+func (t *ShardedTable) DeleteShardWhere(s int, localIdx []int) {
+	if len(localIdx) == 0 {
+		return
+	}
+	dead := make(map[int]bool, len(localIdx))
+	for _, i := range localIdx {
+		dead[i] = true
+	}
+	sh := t.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.rows()
+	keep := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !dead[i] {
+			keep = append(keep, i)
+		}
+	}
+	for j, c := range sh.cols {
+		sh.cols[j] = c.Gather(keep)
+		sh.shared[j] = false // Gather built fresh columns
+	}
+	sh.version++
+	sh.frozen = nil
+}
+
 // Truncate removes all rows from every shard.
 func (t *ShardedTable) Truncate() {
 	for _, sh := range t.shards {
