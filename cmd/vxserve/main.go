@@ -10,6 +10,7 @@
 //	vxserve -budget 8 -max-sessions 128    # serving knobs
 //	vxserve -preload twitter=0.01          # load a dataset at boot
 //	vxserve -smoke                         # boot, self-test, drain, exit
+//	vxserve -debug-addr 127.0.0.1:6060     # pprof + expvar metrics endpoint
 //
 // Connect with `vertexica -connect host:port` or the Go client
 // package (internal/client).
@@ -17,9 +18,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +47,7 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "drain grace period on shutdown")
 	smoke := flag.Bool("smoke", false, "boot on an ephemeral port, run a client self-test, drain, exit")
 	quiet := flag.Bool("quiet", false, "suppress per-session logs")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar (engine metrics) on this address (empty = off)")
 	flag.Parse()
 
 	var eng *vertexica.Engine
@@ -72,8 +78,14 @@ func main() {
 	}
 	srv := server.New(eng, cfg)
 
+	if *debugAddr != "" {
+		if err := startDebugServer(*debugAddr, eng); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *smoke {
-		if err := runSmoke(srv); err != nil {
+		if err := runSmoke(srv, *debugAddr); err != nil {
 			fatal(err)
 		}
 		fmt.Println("vxserve: smoke test OK")
@@ -137,8 +149,9 @@ func preloadDataset(eng *vertexica.Engine, spec string) error {
 
 // runSmoke boots the server on an ephemeral port, drives it through a
 // client (SQL, a prepared statement, a graph verb), and drains — the
-// CI boot check.
-func runSmoke(srv *server.Server) error {
+// CI boot check. When a debug endpoint is up, it also checks that
+// /debug/vars serves the engine metrics.
+func runSmoke(srv *server.Server, debugAddr string) error {
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		return err
 	}
@@ -172,12 +185,60 @@ func runSmoke(srv *server.Server) error {
 	if err := c.Close(); err != nil {
 		return fmt.Errorf("smoke close: %w", err)
 	}
+	if debugAddr != "" {
+		if err := checkDebugVars(ctx, debugAddr); err != nil {
+			return err
+		}
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("smoke drain: %w", err)
 	}
 	if err := <-done; err != nil && err != server.ErrServerClosed {
 		return fmt.Errorf("smoke serve: %w", err)
 	}
+	return nil
+}
+
+// checkDebugVars fetches /debug/vars and verifies the engine registry
+// is published under the "vertexica" key.
+func checkDebugVars(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/debug/vars", nil)
+	if err != nil {
+		return fmt.Errorf("smoke debug: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("smoke debug: %w", err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Vertexica map[string]int64 `json:"vertexica"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return fmt.Errorf("smoke debug: decode /debug/vars: %w", err)
+	}
+	if len(vars.Vertexica) == 0 {
+		return fmt.Errorf("smoke debug: /debug/vars has no vertexica metrics")
+	}
+	return nil
+}
+
+// startDebugServer serves the stdlib debug mux (net/http/pprof under
+// /debug/pprof, expvar under /debug/vars) on addr, with the engine's
+// metrics registry published as the "vertexica" expvar map. Off by
+// default; bind to localhost — the endpoint is unauthenticated.
+func startDebugServer(addr string, eng *vertexica.Engine) error {
+	eng.DB().Stats().PublishExpvar("vertexica")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("vxserve: debug listener: %w", err)
+	}
+	log.Printf("vxserve: debug endpoint on http://%s/debug/pprof (metrics at /debug/vars)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("vxserve: debug server: %v", err)
+		}
+	}()
 	return nil
 }
 

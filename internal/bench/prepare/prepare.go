@@ -18,10 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	execpkg "repro/internal/exec"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -79,6 +81,11 @@ type Report struct {
 	SpeedupPoint float64 `json:"speedup_point_lookup"`
 	// SpeedupHop is the same ratio for the 1-hop neighbor join.
 	SpeedupHop float64 `json:"speedup_one_hop"`
+	// CounterOverheadPct is the throughput cost of the always-on
+	// operator counters on the prepared point lookup: (off − on) / off
+	// as a percentage. The study asserts it stays under
+	// maxCounterOverheadPct.
+	CounterOverheadPct float64 `json:"counter_overhead_pct"`
 }
 
 // seed builds the in-memory graph both modes query. The study is
@@ -181,6 +188,69 @@ func run(db *engine.DB, name string, q query, prepared bool, window time.Duratio
 	}, nil
 }
 
+// maxCounterOverheadPct is the acceptance bound on operator-counter
+// cost: the instrumentation exists to be always-on, so it must stay in
+// the noise of the cheapest workload we have (the prepared point
+// lookup).
+const maxCounterOverheadPct = 2.0
+
+// counterOverhead measures the throughput cost of operator counters on
+// the prepared point lookup. A sub-10µs query drifts ±8% window to
+// window (GC, frequency scaling, a 1-core scheduler), so coarse
+// off-window/on-window comparison is hopeless; instead the two modes
+// alternate in small blocks inside one loop — drift lands on both
+// sides equally — and each mode's cost is the trimmed mean (middle
+// 60%) of its block times, which ignores the GC-pause outliers.
+func counterOverhead(db *engine.DB, window time.Duration) (float64, error) {
+	defer execpkg.SetStatsEnabled(true)
+	q := queries()[0] // point lookup
+	sess := db.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+
+	total := 4 * window
+	if total < 600*time.Millisecond {
+		total = 600 * time.Millisecond
+	}
+	const block = 128
+	times := map[bool][]float64{}
+	// Warm-up: plan-cache fill and first-touch faults stay out of the
+	// measured blocks.
+	if _, err := exec(ctx, sess, q, true, 0); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := int64(0); time.Since(start) < total; i++ {
+		for _, on := range []bool{false, true} {
+			execpkg.SetStatsEnabled(on)
+			t0 := time.Now()
+			for j := int64(0); j < block; j++ {
+				if _, err := exec(ctx, sess, q, true, (i*block+j)%numSrc); err != nil {
+					return 0, err
+				}
+			}
+			times[on] = append(times[on], float64(time.Since(t0).Nanoseconds()))
+		}
+	}
+	trimmedMean := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		lo, hi := len(xs)/5, len(xs)*4/5
+		if hi <= lo {
+			lo, hi = 0, len(xs)
+		}
+		sum := 0.0
+		for _, x := range xs[lo:hi] {
+			sum += x
+		}
+		return sum / float64(hi-lo)
+	}
+	off, on := trimmedMean(times[false]), trimmedMean(times[true])
+	if off <= 0 {
+		return 0, fmt.Errorf("prepare: counter-overhead baseline measured zero time")
+	}
+	return (on - off) / off * 100, nil
+}
+
 // Study measures queries/s for the point lookup and the 1-hop join
 // under the prepared-cached path and under re-parse-per-exec
 // substitution, writes the report to outPath (skipped when empty), and
@@ -218,6 +288,24 @@ func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
 		report.SpeedupHop = rates["true/1-hop neighbors"] / base
 	}
 
+	// Counter-overhead assertion, with one retry: a single noisy window
+	// on a loaded machine must not fail the study, a reproducible
+	// regression must.
+	pct, err := counterOverhead(db, window)
+	if err != nil {
+		return nil, err
+	}
+	if pct > maxCounterOverheadPct {
+		if pct, err = counterOverhead(db, window); err != nil {
+			return nil, err
+		}
+	}
+	report.CounterOverheadPct = pct
+	if pct > maxCounterOverheadPct {
+		return nil, fmt.Errorf("prepare: operator counters cost %.2f%% on the point lookup (budget %.1f%%)",
+			pct, maxCounterOverheadPct)
+	}
+
 	if outPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -228,7 +316,7 @@ func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
 		}
 	}
 
-	out := make([]bench.AblationRow, 0, len(report.Variants))
+	out := make([]bench.AblationRow, 0, len(report.Variants)+1)
 	for _, v := range report.Variants {
 		out = append(out, bench.AblationRow{
 			Study:   "Q: prepared execution (queries/s)",
@@ -237,5 +325,11 @@ func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
 			Extra:   fmt.Sprintf("%.0f queries/s, %d rows", v.QueriesPerSec(), v.Rows),
 		})
 	}
+	out = append(out, bench.AblationRow{
+		Study:   "Q: prepared execution (queries/s)",
+		Variant: "operator-counter overhead, point lookup",
+		Seconds: window.Seconds(),
+		Extra:   fmt.Sprintf("%.2f%% (budget %.1f%%)", pct, maxCounterOverheadPct),
+	})
 	return out, nil
 }

@@ -39,6 +39,12 @@ type Rows struct {
 	// streaming); Schema gives names and types.
 	Data *storage.Batch
 
+	// Stats holds the Done frame's stats trailer, if the server sent
+	// one (graph verbs report their RunStats this way: supersteps,
+	// cache hits, skipped partitions, duration). Populated only once
+	// the stream has finished cleanly; nil otherwise.
+	Stats []wire.Stat
+
 	c      *Conn
 	ctx    context.Context
 	id     uint32
@@ -111,6 +117,7 @@ func (r *Rows) Next() (*storage.Batch, error) {
 			}
 			return nil, r.err
 		case wire.FrameDone:
+			r.Stats = rd.Stats()
 			r.done = true
 			r.finish()
 			return nil, nil

@@ -11,11 +11,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/sql"
@@ -78,6 +80,15 @@ type DB struct {
 	wal *walWriter
 
 	plans *planCache // prepared-statement AST + plan cache (self-locking)
+
+	obs *obs.Registry // engine-wide metrics (self-locking; see Stats)
+
+	// Slow-query log: statements slower than slowThreshold are reported
+	// to slowLog. Both fields are guarded by slowMu so the hot path pays
+	// one uncontended mutex probe only when a threshold is set.
+	slowMu        sync.Mutex
+	slowThreshold time.Duration
+	slowLog       func(SlowQuery)
 }
 
 // New returns an in-memory database.
@@ -101,8 +112,43 @@ func New() *DB {
 	}
 	db.planner.Parallelism = runtime.NumCPU()
 	db.planner.Budget = db.budget
+	db.obs = obs.New()
+	db.registerGauges()
 	return db
 }
+
+// registerGauges wires the pull-style gauges: subsystems that already
+// keep their own thread-safe counters (MVCC manager, plan cache, worker
+// budget) are read on demand at Snapshot time instead of double-counting
+// into the registry.
+func (db *DB) registerGauges() {
+	r, m, b, p := db.obs, db.mvcc, db.budget, db.plans
+	r.Gauge("mvcc.epoch", func() int64 { return int64(m.Epoch()) })
+	r.Gauge("mvcc.live_readers", func() int64 { return int64(m.LiveReaders()) })
+	r.Gauge("mvcc.peak_readers", func() int64 { return int64(m.PeakReaders()) })
+	r.Gauge("mvcc.snapshot_age_epochs", func() int64 {
+		oldest, ok := m.OldestPinnedEpoch()
+		if !ok {
+			return 0
+		}
+		return int64(m.Epoch() - oldest)
+	})
+	r.Gauge("sched.budget_capacity", func() int64 { return int64(b.Capacity()) })
+	r.Gauge("sched.budget_in_use", func() int64 { return int64(b.InUse()) })
+	r.Gauge("sched.budget_high_water", func() int64 { return int64(b.HighWater()) })
+	r.Gauge("sched.budget_waits", func() int64 { return int64(b.Waits()) })
+	r.Gauge("plancache.parses", func() int64 { return int64(p.parses.Load()) })
+	r.Gauge("plancache.plans", func() int64 { return int64(p.plans.Load()) })
+	r.Gauge("plancache.hits", func() int64 { return int64(p.hits.Load()) })
+	r.Gauge("plancache.misses", func() int64 { return int64(p.misses.Load()) })
+	r.Gauge("plancache.bypasses", func() int64 { return int64(p.bypasses.Load()) })
+}
+
+// Stats exposes the engine-wide metrics registry: statement counters,
+// fast-path admission, WAL group-commit behavior, MVCC reader gauges,
+// worker-budget pressure, and plan-cache effectiveness. SHOW STATS and
+// the server's debug endpoint render its Snapshot.
+func (db *DB) Stats() *obs.Registry { return db.obs }
 
 // SetParallelism sets how many worker goroutines one SQL statement may
 // use (morsel-parallel scans and filters, parallel hash-join probes,
@@ -320,6 +366,8 @@ func (db *DB) RegisterUDF(f *expr.ScalarFunc) error { return db.funcs.Register(f
 type Rows struct {
 	schema  storage.Schema
 	op      exec.Operator // non-nil while streaming
+	root    exec.Operator // the stream's operator tree; survives finish (slow-query log)
+	emitted int64         // rows yielded by the stream so far
 	cleanup []func()      // run once, in reverse, when the stream finishes
 	err     error
 
@@ -339,7 +387,7 @@ func MaterializedRows(b *storage.Batch) *Rows {
 // operator output straight to a consumer — the wire server, tests —
 // use it; SQL callers go through QueryStream.
 func OperatorRows(op exec.Operator, cleanup ...func()) (*Rows, error) {
-	r := &Rows{schema: op.Schema(), op: op, cleanup: cleanup}
+	r := &Rows{schema: op.Schema(), op: op, root: op, cleanup: cleanup}
 	r.cleanup = append(r.cleanup, func() { op.Close() })
 	if err := op.Open(); err != nil {
 		r.finish()
@@ -371,6 +419,7 @@ func (r *Rows) Next() (*storage.Batch, error) {
 			r.finish()
 			return nil, nil
 		}
+		r.emitted += int64(b.Len())
 		return b, nil
 	}
 	if r.err != nil {

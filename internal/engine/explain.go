@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// EXPLAIN [ANALYZE] execution. The result is a one-column VARCHAR
+// ("plan") stream, one row per rendered line, so it travels over the
+// wire protocol like any other SELECT result. Plain EXPLAIN plans the
+// statement (pinning and releasing a read snapshot) without running it;
+// ANALYZE runs it to completion and annotates every plan node with the
+// operator counters the executor accumulated.
+
+// runExplain dispatches EXPLAIN over the inner statement kind. text is
+// the full statement as the client sent it: the plan-cache probe wants
+// the inner statement's own fingerprint, which the canonical AST
+// rendering need not match.
+func (s *Session) runExplain(ctx context.Context, ex *sql.ExplainStmt, text string) (*Rows, error) {
+	var (
+		lines []string
+		err   error
+	)
+	switch inner := ex.Stmt.(type) {
+	case *sql.SelectStmt:
+		lines, err = s.explainSelect(ctx, inner, innerStatementKey(text), ex.Analyze)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
+		*sql.CreateTableStmt, *sql.DropTableStmt, *sql.TruncateStmt:
+		lines, err = s.explainWrite(ctx, ex)
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN does not support %T", ex.Stmt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := storage.NewBatch(storage.NewSchema(storage.Col("plan", storage.TypeString)))
+	for _, l := range lines {
+		if err := b.AppendRow(storage.Str(l)); err != nil {
+			return nil, err
+		}
+	}
+	return MaterializedRows(b), nil
+}
+
+// explainSelect plans (and for ANALYZE, executes) a SELECT and renders
+// its plan tree. The header line reports the planning context EXPLAIN
+// exists to surface: the worker count the plan was built for, the read
+// mode, and whether the plan cache holds a usable plan for this
+// statement's fingerprint.
+func (s *Session) explainSelect(ctx context.Context, sel *sql.SelectStmt, key string, analyze bool) ([]string, error) {
+	db := s.db
+	workers := s.effectiveWorkers()
+	kind := readerSession
+	if s.ownsGate {
+		kind = readerTxnOwner
+	}
+
+	db.mu.RLock()
+	mode := "snapshot"
+	cache := "miss"
+	if db.plans.peek(key, db.cat.Version(), workers) {
+		cache = "hit"
+	}
+	if !db.snapshotReads {
+		// Legacy latch-coupled mode: plans resolve live catalog tables
+		// under the latch and are never cached.
+		mode, cache = "legacy", "bypass"
+		op, err := db.planner.PlanSelectWorkers(sel, workers)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		if !analyze {
+			lines := explainHeader(workers, mode, cache)
+			lines = append(lines, exec.Explain(op, false)...)
+			db.mu.RUnlock()
+			return lines, nil
+		}
+		start := time.Now()
+		release := exec.EnableTiming()
+		wrapped := exec.WithContext(ctx, op)
+		data, err := exec.Drain(wrapped)
+		release()
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		lines := explainHeader(workers, mode, cache)
+		lines = append(lines, execedLine(data.Len(), time.Since(start)))
+		return append(lines, exec.Explain(wrapped, true)...), nil
+	}
+
+	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Release()
+
+	lines := explainHeader(workers, mode, cache)
+	if !analyze {
+		// The tree was never opened, so there is nothing to close: the
+		// plan holds only the snapshot pin released above.
+		return append(lines, exec.Explain(op, false)...), nil
+	}
+	start := time.Now()
+	release := exec.EnableTiming()
+	wrapped := exec.WithContext(ctx, op)
+	data, err := exec.Drain(wrapped)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	lines = append(lines, execedLine(data.Len(), time.Since(start)))
+	return append(lines, exec.Explain(wrapped, true)...), nil
+}
+
+// innerStatementKey fingerprints the statement EXPLAIN wraps: the full
+// text normalizes to "EXPLAIN [ANALYZE] <inner>", and stripping the
+// prefix of the normalized form leaves exactly cacheKey(inner, nil) —
+// the key an argument-less execution of the inner statement would use.
+func innerStatementKey(text string) string {
+	norm := strings.TrimPrefix(normalizeStatement(text), "EXPLAIN ")
+	return strings.TrimPrefix(norm, "ANALYZE ")
+}
+
+func explainHeader(workers int, mode, cache string) []string {
+	return []string{fmt.Sprintf("plan (workers=%d, mode=%s, plan-cache=%s)", workers, mode, cache)}
+}
+
+func execedLine(rows int, d time.Duration) string {
+	return fmt.Sprintf("executed: rows=%d time=%s", rows, d.Round(time.Microsecond))
+}
+
+// explainWrite describes how a write statement would be admitted —
+// sharded fast path versus the serialized exclusive gate — and under
+// ANALYZE actually runs it through the session's normal write path (the
+// statement commits; ANALYZE of a write is a real write, as in
+// PostgreSQL).
+func (s *Session) explainWrite(ctx context.Context, ex *sql.ExplainStmt) ([]string, error) {
+	st := ex.Stmt
+	db := s.db
+
+	route := "serialized (exclusive write gate)"
+	if fastWriteShapeEligible(st) {
+		db.mu.RLock()
+		blocked := !db.snapshotReads || db.noFastWrites || db.txn != nil
+		db.mu.RUnlock()
+		if s.ownsGate || blocked {
+			route = "fast-path shape, but serialized (transaction open or fast path disabled)"
+		} else {
+			route = "sharded fast path (shared gate + per-shard statement locks)"
+		}
+	}
+	lines := []string{fmt.Sprintf("write %s: %s", stmtKind(st), route)}
+	if !ex.Analyze {
+		return lines, nil
+	}
+
+	text := st.String()
+	start := time.Now()
+	if !s.ownsGate {
+		if res, handled, err := db.tryFastWrite(ctx, st, text, nil); handled {
+			if err != nil {
+				return nil, err
+			}
+			return append(lines, fmt.Sprintf("executed via fast path: rows=%d time=%s",
+				res.RowsAffected, time.Since(start).Round(time.Microsecond))), nil
+		}
+		if err := db.AcquireWriteGate(ctx); err != nil {
+			return nil, err
+		}
+		defer db.ReleaseWriteGate()
+	}
+	res, err := db.execParsed(ctx, st, text, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append(lines, fmt.Sprintf("executed serialized: rows=%d time=%s",
+		res.RowsAffected, time.Since(start).Round(time.Microsecond))), nil
+}
+
+// fastWriteShapeEligible mirrors tryFastWrite's statement-shape check:
+// INSERT ... VALUES, UPDATE and DELETE qualify; INSERT ... SELECT and
+// DDL never do.
+func fastWriteShapeEligible(st sql.Statement) bool {
+	switch s := st.(type) {
+	case *sql.InsertStmt:
+		return s.Select == nil
+	case *sql.UpdateStmt, *sql.DeleteStmt:
+		return true
+	}
+	return false
+}

@@ -55,6 +55,7 @@ func (db *DB) tryFastWrite(ctx context.Context, st sql.Statement, text string, p
 		if s.Select != nil {
 			// INSERT ... SELECT may read the target table; keep it on
 			// the serialized path.
+			db.obs.Counter("engine.fastpath.declined").Inc()
 			return Result{}, false, nil
 		}
 	case *sql.UpdateStmt, *sql.DeleteStmt:
@@ -76,6 +77,7 @@ func (db *DB) tryFastWrite(ctx context.Context, st sql.Statement, text string, p
 		// transaction must stage pre-images under db.mu. Fall back.
 		db.mu.RUnlock()
 		db.releaseSharedGate()
+		db.obs.Counter("engine.fastpath.declined").Inc()
 		return Result{}, false, nil
 	}
 	var res Result
@@ -94,6 +96,7 @@ func (db *DB) tryFastWrite(ctx context.Context, st sql.Statement, text string, p
 	}
 	db.mu.RUnlock()
 	db.releaseSharedGate()
+	db.obs.Counter("engine.fastpath.taken").Inc()
 	return res, true, err
 }
 

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -51,6 +52,8 @@ func Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.fsyncs = db.obs.Counter("wal.fsyncs")
+	w.syncedRecords = db.obs.Counter("wal.synced_records")
 	db.wal = w
 	return db, nil
 }
@@ -437,6 +440,12 @@ type walWriter struct {
 	syncedGen uint64 // latest generation covered by a finished sync
 	syncing   bool
 	err       error // sticky: a failed sync poisons the log
+
+	// Metrics (nil when the owning DB has no registry, e.g. in narrow
+	// tests): fsync count and total records covered by those fsyncs.
+	// synced_records / fsyncs is the average group-commit batch size.
+	fsyncs        *obs.Counter
+	syncedRecords *obs.Counter
 }
 
 func newWALWriter(path string) (*walWriter, error) {
@@ -484,8 +493,14 @@ func (w *walWriter) append(stmt string) error {
 		w.syncing = false
 		if err != nil {
 			w.err = err
-		} else if w.syncedGen < target {
-			w.syncedGen = target
+		} else {
+			if w.fsyncs != nil {
+				w.fsyncs.Inc()
+				w.syncedRecords.Add(target - w.syncedGen)
+			}
+			if w.syncedGen < target {
+				w.syncedGen = target
+			}
 		}
 		w.syncDone.Broadcast()
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"context"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -54,21 +55,115 @@ func newPlanCache(max int) *planCache {
 	return &planCache{max: max, lru: list.New(), items: make(map[string]*list.Element)}
 }
 
-// cacheKey derives the cache key for one execution: the statement text
-// plus the argument type signature. Parameter types are taken from the
-// first execution's arguments and frozen into the plan, so the same
-// text bound with differently-typed arguments needs a separate entry.
+// cacheKey derives the cache key for one execution: the normalized
+// statement fingerprint plus the argument type signature. Parameter
+// types are taken from the first execution's arguments and frozen into
+// the plan, so the same text bound with differently-typed arguments
+// needs a separate entry.
 func cacheKey(text string, args []storage.Value) string {
+	norm := normalizeStatement(text)
 	if len(args) == 0 {
-		return text
+		return norm
 	}
-	b := make([]byte, 0, len(text)+1+len(args))
-	b = append(b, text...)
+	b := make([]byte, 0, len(norm)+1+len(args))
+	b = append(b, norm...)
 	b = append(b, 0)
 	for _, a := range args {
 		b = append(b, byte(a.Type))
 	}
 	return string(b)
+}
+
+// normalizeStatement fingerprints statement text so trivially different
+// spellings share one cache entry: runs of whitespace and SQL comments
+// collapse to a single space, and bare words that are reserved words of
+// the dialect case-fold to upper case. Quoted regions — '...' string
+// literals (with ” escapes) and "..." identifiers — are copied
+// verbatim, so `select  1` and `SELECT 1` share an entry while the
+// literals 'a b' and 'a  b' stay distinct.
+func normalizeStatement(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	needSpace := false
+	i, n := 0, len(text)
+	for i < n {
+		c := text[i]
+		// Skippable regions: whitespace and comments become one space
+		// (emitted lazily, so leading/trailing runs vanish).
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f':
+			i++
+			needSpace = b.Len() > 0
+			continue
+		case c == '-' && i+1 < n && text[i+1] == '-':
+			for i < n && text[i] != '\n' {
+				i++
+			}
+			needSpace = b.Len() > 0
+			continue
+		case c == '/' && i+1 < n && text[i+1] == '*':
+			end := strings.Index(text[i+2:], "*/")
+			if end < 0 {
+				i = n // unterminated: the parse will reject it anyway
+			} else {
+				i += end + 4
+			}
+			needSpace = b.Len() > 0
+			continue
+		}
+		if needSpace {
+			b.WriteByte(' ')
+			needSpace = false
+		}
+		switch {
+		case c == '\'': // string literal; '' escapes a quote
+			j := i + 1
+			for j < n {
+				if text[j] == '\'' {
+					if j+1 < n && text[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			b.WriteString(text[i:j])
+			i = j
+		case c == '"': // quoted identifier, no escapes
+			j := i + 1
+			for j < n && text[j] != '"' {
+				j++
+			}
+			if j < n {
+				j++
+			}
+			b.WriteString(text[i:j])
+			i = j
+		case c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z'):
+			j := i
+			for j < n {
+				w := text[j]
+				if w == '_' || ('a' <= w && w <= 'z') || ('A' <= w && w <= 'Z') || ('0' <= w && w <= '9') {
+					j++
+					continue
+				}
+				break
+			}
+			word := text[i:j]
+			if up := strings.ToUpper(word); sql.IsKeyword(up) {
+				b.WriteString(up)
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
 }
 
 // parse returns the cached AST for key, parsing and caching text on a
@@ -133,6 +228,21 @@ func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int) *cache
 	pc.lru.MoveToFront(el)
 	pc.hits.Add(1)
 	return e
+}
+
+// peek reports whether a usable prepared plan is cached under key —
+// without touching the hit/miss counters, the LRU order, or the busy
+// flag. EXPLAIN uses it to report plan-cache state for a statement
+// while leaving the cache exactly as it found it.
+func (pc *planCache) peek(key string, catVer uint64, workers int) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	return e.prep != nil && e.catVer == catVer && e.workers == workers
 }
 
 // attach installs a freshly built plan on key's entry, checked out by

@@ -130,7 +130,16 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 	if err != nil {
 		return nil, Result{}, err
 	}
+	s.db.countStmt(st)
 	switch t := st.(type) {
+	case *sql.ExplainStmt:
+		sctx, cancel := s.stmtCtx(ctx)
+		defer cancel()
+		rows, err := s.runExplain(sctx, t, text)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		return rows, Result{RowsAffected: rows.Len()}, nil
 	case *sql.SetStmt:
 		return nil, Result{}, s.applySet(t)
 	case *sql.ShowStmt:
@@ -160,6 +169,7 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		if s.ownsGate {
 			kind = readerTxnOwner
 		}
+		start := time.Now()
 		sctx, cancel := s.stmtCtx(ctx)
 		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers(), kind)
 		if err != nil {
@@ -167,9 +177,11 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 			return nil, Result{}, err
 		}
 		rows.cleanup = append(rows.cleanup, cancel)
+		s.db.hookSlowQuery(rows, text, start)
 		return rows, Result{}, nil
 	}
 
+	start := time.Now()
 	sctx, cancel := s.stmtCtx(ctx)
 	defer cancel()
 	// Write statement. Outside a transaction it is an auto-commit
@@ -181,6 +193,7 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		// gate + per-shard statement locks, so sessions writing disjoint
 		// shards commit in parallel.
 		if res, handled, err := s.db.tryFastWrite(sctx, st, text, nil); handled {
+			s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st))
 			return nil, res, err
 		}
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
@@ -189,6 +202,7 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		defer s.db.ReleaseWriteGate()
 	}
 	res, err := s.db.execParsed(sctx, st, text, nil)
+	s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st))
 	return nil, res, err
 }
 
@@ -211,17 +225,20 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 	}
 
 	switch st.(type) {
-	case *sql.SetStmt, *sql.ShowStmt, *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt:
-		// Session-control statements take no parameters and are cheap;
-		// run them through the plain-text path.
+	case *sql.SetStmt, *sql.ShowStmt, *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt, *sql.ExplainStmt:
+		// Session-control statements take no parameters and are cheap,
+		// and EXPLAIN plans from scratch anyway; run them through the
+		// plain-text path (which also counts them).
 		return s.RunStream(ctx, text)
 	}
+	s.db.countStmt(st)
 
 	if sel, ok := st.(*sql.SelectStmt); ok {
 		kind := readerSession
 		if s.ownsGate {
 			kind = readerTxnOwner
 		}
+		start := time.Now()
 		sctx, cancel := s.stmtCtx(ctx)
 		rows, err := s.db.queryStreamBound(sctx, sel, key, args, s.effectiveWorkers(), kind)
 		if err != nil {
@@ -229,6 +246,7 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 			return nil, Result{}, err
 		}
 		rows.cleanup = append(rows.cleanup, cancel)
+		s.db.hookSlowQuery(rows, text, start)
 		return rows, Result{}, nil
 	}
 
@@ -243,10 +261,12 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 			return nil, Result{}, err
 		}
 	}
+	start := time.Now()
 	sctx, cancel := s.stmtCtx(ctx)
 	defer cancel()
 	if !s.ownsGate {
 		if res, handled, err := s.db.tryFastWrite(sctx, st, walText, ps); handled {
+			s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st))
 			return nil, res, err
 		}
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
@@ -255,6 +275,7 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 		defer s.db.ReleaseWriteGate()
 	}
 	res, err := s.db.execParsed(sctx, st, walText, ps)
+	s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st))
 	return nil, res, err
 }
 
@@ -347,8 +368,12 @@ func (s *Session) applySet(st *sql.SetStmt) error {
 	}
 }
 
-// show materializes a session variable as a one-row result.
+// show materializes a session variable as a one-row result, or the
+// whole metrics registry for SHOW STATS.
 func (s *Session) show(name string) (*Rows, error) {
+	if strings.EqualFold(name, "stats") {
+		return s.showStats()
+	}
 	var v int64
 	switch strings.ToLower(name) {
 	case varStatementTimeout:
@@ -363,6 +388,22 @@ func (s *Session) show(name string) (*Rows, error) {
 	b := storage.NewBatch(storage.NewSchema(storage.Col(strings.ToLower(name), storage.TypeInt64)))
 	if err := b.AppendRow(storage.Int64(v)); err != nil {
 		return nil, err
+	}
+	return MaterializedRows(b), nil
+}
+
+// showStats materializes the metrics registry as a two-column result
+// (name VARCHAR, value BIGINT), sorted by name — the SHOW STATS
+// statement every client sees over the wire.
+func (s *Session) showStats() (*Rows, error) {
+	b := storage.NewBatch(storage.NewSchema(
+		storage.Col("name", storage.TypeString),
+		storage.Col("value", storage.TypeInt64),
+	))
+	for _, st := range s.db.obs.Snapshot() {
+		if err := b.AppendRow(storage.Str(st.Name), storage.Int64(st.Value)); err != nil {
+			return nil, err
+		}
 	}
 	return MaterializedRows(b), nil
 }

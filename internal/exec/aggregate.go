@@ -46,7 +46,11 @@ type HashAggregate struct {
 	out    storage.Schema
 	result *storage.Batch
 	pos    int
+	stats  OpStats
 }
+
+// OpStats implements Instrumented.
+func (a *HashAggregate) OpStats() *OpStats { return &a.stats }
 
 // aggWindowBatches bounds how many input batches the parallel grouped
 // fold buffers at once. It is a variable so tests can exercise the
@@ -214,6 +218,13 @@ func newAccumulators(aggs []*expr.Aggregate) []*expr.Accumulator {
 // Open implements Operator: it consumes the whole input and builds the
 // grouped result.
 func (a *HashAggregate) Open() error {
+	t0 := a.stats.begin()
+	err := a.open()
+	a.stats.opened(t0)
+	return err
+}
+
+func (a *HashAggregate) open() error {
 	a.Schema()
 	a.pos = 0
 	if err := a.Input.Open(); err != nil {
@@ -843,14 +854,18 @@ func windowStarts(window []*storage.Batch, offset int) []int {
 // Next implements Operator: the grouped result streams out in
 // storage.BatchSize batches.
 func (a *HashAggregate) Next() (*storage.Batch, error) {
-	if a.result == nil {
-		return nil, nil
+	t0 := a.stats.begin()
+	var b *storage.Batch
+	if a.result != nil {
+		b = NextChunk(a.result, &a.pos, a.result.Len())
 	}
-	return NextChunk(a.result, &a.pos, a.result.Len()), nil
+	a.stats.record(t0, b)
+	return b, nil
 }
 
 // Close implements Operator.
 func (a *HashAggregate) Close() error {
+	a.stats.closed()
 	a.result = nil
 	return nil
 }

@@ -1,0 +1,348 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Plan-tree rendering for EXPLAIN / EXPLAIN ANALYZE.
+//
+// A parallel plan is a Gather over per-morsel clones of one logical
+// pipeline, so rendering the physical tree verbatim would print the
+// same Filter/Scan stack once per fragment. Explain instead walks SETS
+// of structurally identical clones: the Gather line reports the
+// fan-out, and each level below it is one line whose counters are the
+// sums across the clones — which makes ANALYZE row counts identical at
+// any worker count (the clones partition the same rows the serial plan
+// sees). SpoolPart clones dedupe to the one shared spooled operator,
+// and ctxOperator wrappers are transparent.
+
+// Explain renders the plan tree rooted at op, one node per line,
+// indented two spaces per level. With analyze, each line carries the
+// node's accumulated counters (rows, batches, operator wall time).
+func Explain(op Operator, analyze bool) []string {
+	var lines []string
+	explainSet([]Operator{op}, 0, analyze, &lines)
+	return lines
+}
+
+// explainSet renders one logical node (a set of physical clones) and
+// recurses into its children.
+func explainSet(ops []Operator, depth int, analyze bool, lines *[]string) {
+	ops = unwrapSet(ops)
+	if len(ops) == 0 {
+		return
+	}
+	line := strings.Repeat("  ", depth) + describeSet(ops)
+	if analyze {
+		line += statsSuffix(ops)
+	}
+	*lines = append(*lines, line)
+	for _, kids := range childSets(ops) {
+		explainSet(kids, depth+1, analyze, lines)
+	}
+}
+
+// unwrapSet strips ctxOperator wrappers (they carry no plan
+// information) without mutating the callers' slices.
+func unwrapSet(ops []Operator) []Operator {
+	out := make([]Operator, 0, len(ops))
+	for _, op := range ops {
+		for {
+			c, ok := op.(*ctxOperator)
+			if !ok {
+				break
+			}
+			op = c.input
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// childSets returns the child clone-sets of a logical node. Clone sets
+// are type-homogeneous by construction (splitFragment clones one
+// operator stack), so the children of a set are the matching child of
+// each member.
+func childSets(ops []Operator) [][]Operator {
+	switch ops[0].(type) {
+	case *Gather:
+		var frags []Operator
+		for _, op := range ops {
+			if g, ok := op.(*Gather); ok {
+				frags = append(frags, g.Fragments...)
+			}
+		}
+		return [][]Operator{frags}
+	case *SpoolPart:
+		// Sibling parts share one spool: descend into each distinct
+		// spooled operator exactly once.
+		seen := make(map[*spool]bool)
+		var sets [][]Operator
+		for _, op := range ops {
+			if p, ok := op.(*SpoolPart); ok && !seen[p.sp] {
+				seen[p.sp] = true
+				sets = append(sets, []Operator{p.sp.input})
+			}
+		}
+		return sets
+	case *UnionAll:
+		// Union inputs are positional: input i of every clone merges.
+		n := len(ops[0].(*UnionAll).Inputs)
+		sets := make([][]Operator, n)
+		for i := 0; i < n; i++ {
+			for _, op := range ops {
+				if u, ok := op.(*UnionAll); ok && i < len(u.Inputs) {
+					sets[i] = append(sets[i], u.Inputs[i])
+				}
+			}
+		}
+		return sets
+	case *HashJoin:
+		var lefts, rights []Operator
+		for _, op := range ops {
+			if j, ok := op.(*HashJoin); ok {
+				lefts = append(lefts, j.Left)
+				rights = append(rights, j.Right)
+			}
+		}
+		return [][]Operator{rights, lefts} // build side first, like the execution order
+	case *NestedLoopJoin:
+		var lefts, rights []Operator
+		for _, op := range ops {
+			if j, ok := op.(*NestedLoopJoin); ok {
+				lefts = append(lefts, j.Left)
+				rights = append(rights, j.Right)
+			}
+		}
+		return [][]Operator{rights, lefts}
+	}
+	var kids []Operator
+	for _, op := range ops {
+		switch o := op.(type) {
+		case *Filter:
+			kids = append(kids, o.Input)
+		case *Project:
+			kids = append(kids, o.Input)
+		case *Limit:
+			kids = append(kids, o.Input)
+		case *Distinct:
+			kids = append(kids, o.Input)
+		case *Sort:
+			kids = append(kids, o.Input)
+		case *Ordinal:
+			kids = append(kids, o.Input)
+		case *HashAggregate:
+			kids = append(kids, o.Input)
+		}
+	}
+	if len(kids) == 0 {
+		return nil
+	}
+	return [][]Operator{kids}
+}
+
+// describeSet returns the one-line label of a logical node: operator
+// name, its defining arguments, and the routing / execution-mode
+// annotations EXPLAIN exists to surface.
+func describeSet(ops []Operator) string {
+	switch o := ops[0].(type) {
+	case *TableScan:
+		return describeScan(ops)
+	case *BatchSource:
+		return fmt.Sprintf("Materialized (%d rows)", o.Data.Len())
+	case *OneRow:
+		return "OneRow"
+	case *Filter:
+		return fmt.Sprintf("Filter (%v)", o.Pred)
+	case *Project:
+		names := make([]string, len(o.Out.Cols))
+		for i, c := range o.Out.Cols {
+			names[i] = c.Name
+		}
+		return fmt.Sprintf("Project (%s)", strings.Join(names, ", "))
+	case *Limit:
+		if o.Offset > 0 {
+			return fmt.Sprintf("Limit %d offset %d", o.N, o.Offset)
+		}
+		return fmt.Sprintf("Limit %d", o.N)
+	case *Distinct:
+		return "Distinct"
+	case *Ordinal:
+		return fmt.Sprintf("Ordinal (%s)", o.Name)
+	case *Sort:
+		in := o.Input.Schema()
+		keys := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			keys[i] = in.Cols[k.Col].Name
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		return fmt.Sprintf("Sort (%s)%s", strings.Join(keys, ", "), workersNote(o.Workers))
+	case *HashAggregate:
+		return fmt.Sprintf("HashAggregate (%s)%s", strings.Join(o.Names, ", "), workersNote(o.Workers))
+	case *HashJoin:
+		ls, rs := o.Left.Schema(), o.Right.Schema()
+		conds := make([]string, len(o.LeftKeys))
+		for i := range o.LeftKeys {
+			conds[i] = ls.Cols[o.LeftKeys[i]].Name + " = " + rs.Cols[o.RightKeys[i]].Name
+		}
+		s := fmt.Sprintf("HashJoin %s (%s)", joinTypeName(o.Type), strings.Join(conds, ", "))
+		if o.Residual != nil {
+			s += fmt.Sprintf(" residual (%v)", o.Residual)
+		}
+		if o.Streaming {
+			s += " [streaming]"
+		}
+		return s + workersNote(o.Workers)
+	case *NestedLoopJoin:
+		s := "NestedLoopJoin " + joinTypeName(o.Type)
+		if o.On != nil {
+			s += fmt.Sprintf(" on (%v)", o.On)
+		}
+		return s
+	case *UnionAll:
+		return fmt.Sprintf("UnionAll (%d inputs)", len(o.Inputs))
+	case *Gather:
+		n := 0
+		for _, op := range ops {
+			if g, ok := op.(*Gather); ok {
+				n += len(g.Fragments)
+			}
+		}
+		return fmt.Sprintf("Gather (fragments=%d)", n)
+	case *SpoolPart:
+		return fmt.Sprintf("Spool (parts=%d)", len(ops))
+	}
+	return fmt.Sprintf("%T", ops[0])
+}
+
+// describeScan labels a scan clone-set with its shard routing: a
+// pinned single shard (point-predicate pruning), a bind-time routed
+// scan (parameterized point predicate), or a full scan over every
+// shard, plus the morsel fan-out when the set holds clones.
+func describeScan(ops []Operator) string {
+	s0 := ops[0].(*TableScan)
+	label := "Scan " + s0.Table.Name()
+	nShards := 1
+	if sh, ok := s0.Table.(storage.Sharded); ok {
+		nShards = sh.NumShards()
+	}
+	shards := make(map[int]bool)
+	for _, op := range ops {
+		if ts, ok := op.(*TableScan); ok && ts.Shard > 0 {
+			shards[ts.Shard] = true
+		}
+	}
+	switch {
+	case s0.NoSplit:
+		label += fmt.Sprintf(" [1 of %d shards, routed at bind]", nShards)
+	case len(ops) == 1 && s0.Shard > 0:
+		label += fmt.Sprintf(" [shard %d/%d]", s0.Shard, nShards)
+	case len(ops) == 1 && nShards > 1:
+		label += fmt.Sprintf(" [%d shards]", nShards)
+	case len(ops) > 1 && len(shards) > 1:
+		label += fmt.Sprintf(" [%d shards, %d morsels]", len(shards), len(ops))
+	case len(ops) > 1:
+		label += fmt.Sprintf(" [%d morsels]", len(ops))
+	}
+	return label
+}
+
+func joinTypeName(t JoinType) string {
+	switch t {
+	case InnerJoin:
+		return "inner"
+	case LeftJoin:
+		return "left"
+	case CrossJoin:
+		return "cross"
+	}
+	return fmt.Sprintf("JoinType(%d)", t)
+}
+
+func workersNote(w int) string {
+	if w > 1 {
+		return fmt.Sprintf(" [workers=%d]", w)
+	}
+	return ""
+}
+
+// statsSuffix sums the counters across a clone set — the rows of a
+// logical node are partitioned over its clones, so the sums match the
+// serial plan's counts exactly. Clone wall times also sum (total
+// operator time, which for concurrent clones legitimately exceeds the
+// statement's wall clock).
+func statsSuffix(ops []Operator) string {
+	var rows, batches, nanos int64
+	for _, op := range ops {
+		if st := StatsOf(op); st != nil {
+			rows += st.Rows.Load()
+			batches += st.Batches.Load()
+			nanos += st.Nanos.Load()
+		}
+	}
+	s := fmt.Sprintf(" (rows=%d batches=%d time=%s)",
+		rows, batches, time.Duration(nanos).Round(time.Microsecond))
+	if _, ok := ops[0].(*HashJoin); ok {
+		var build, probe int64
+		for _, op := range ops {
+			if jj, ok := op.(*HashJoin); ok {
+				b, p := jj.BuildProbeRows()
+				build += b
+				probe += p
+			}
+		}
+		s += fmt.Sprintf(" [build=%d probe=%d]", build, probe)
+	}
+	return s
+}
+
+// Summary is the compact single-line plan shape recorded by the
+// slow-query log: operator names with their child structure, no
+// predicates or counters.
+func Summary(op Operator) string {
+	switch o := op.(type) {
+	case *ctxOperator:
+		return Summary(o.input)
+	case *TableScan:
+		return "Scan(" + o.Table.Name() + ")"
+	case *BatchSource:
+		return "Materialized"
+	case *OneRow:
+		return "OneRow"
+	case *Filter:
+		return "Filter(" + Summary(o.Input) + ")"
+	case *Project:
+		return "Project(" + Summary(o.Input) + ")"
+	case *Limit:
+		return "Limit(" + Summary(o.Input) + ")"
+	case *Distinct:
+		return "Distinct(" + Summary(o.Input) + ")"
+	case *Sort:
+		return "Sort(" + Summary(o.Input) + ")"
+	case *Ordinal:
+		return "Ordinal(" + Summary(o.Input) + ")"
+	case *HashAggregate:
+		return "Agg(" + Summary(o.Input) + ")"
+	case *HashJoin:
+		return "HashJoin(" + Summary(o.Left) + "," + Summary(o.Right) + ")"
+	case *NestedLoopJoin:
+		return "NLJoin(" + Summary(o.Left) + "," + Summary(o.Right) + ")"
+	case *UnionAll:
+		parts := make([]string, len(o.Inputs))
+		for i, in := range o.Inputs {
+			parts[i] = Summary(in)
+		}
+		return "Union(" + strings.Join(parts, ",") + ")"
+	case *Gather:
+		return fmt.Sprintf("Gather[%d](%s)", len(o.Fragments), Summary(o.Fragments[0]))
+	case *SpoolPart:
+		return "Spool(" + Summary(o.sp.input) + ")"
+	}
+	return fmt.Sprintf("%T", op)
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/sched"
@@ -77,6 +78,24 @@ type HashJoin struct {
 	// emission.
 	slowOut []*storage.Batch
 	slowPos int
+
+	stats OpStats
+	// buildRows/probeRows split the join's input accounting between the
+	// hash-table build (right) and the probe (left) side; EXPLAIN
+	// ANALYZE reports them because the output row count alone says
+	// nothing about which side dominated. Captured before tryFastPath
+	// releases the drained inputs.
+	buildRows atomic.Int64
+	probeRows atomic.Int64
+}
+
+// OpStats implements Instrumented.
+func (j *HashJoin) OpStats() *OpStats { return &j.stats }
+
+// BuildProbeRows reports the build-side and probe-side input row counts
+// of the latest execution.
+func (j *HashJoin) BuildProbeRows() (build, probe int64) {
+	return j.buildRows.Load(), j.probeRows.Load()
 }
 
 // Schema implements Operator.
@@ -89,6 +108,13 @@ func (j *HashJoin) Schema() storage.Schema {
 
 // Open implements Operator.
 func (j *HashJoin) Open() error {
+	t0 := j.stats.begin()
+	err := j.open()
+	j.stats.opened(t0)
+	return err
+}
+
+func (j *HashJoin) open() error {
 	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
 		return fmt.Errorf("exec: hash join requires matching non-empty key lists")
 	}
@@ -101,6 +127,7 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
+	j.buildRows.Store(int64(j.rdata.Len()))
 	j.buildOffs = j.shardBuildOffsets()
 	if j.Streaming {
 		j.buildTable()
@@ -115,6 +142,7 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
+	j.probeRows.Store(int64(j.ldata.Len()))
 	j.lpos = 0
 	if j.tryFastPath() {
 		return nil
@@ -422,6 +450,13 @@ func (j *HashJoin) keysEqual(lrow, rrow int) bool {
 
 // Next implements Operator.
 func (j *HashJoin) Next() (*storage.Batch, error) {
+	t0 := j.stats.begin()
+	b, err := j.next()
+	j.stats.record(t0, b)
+	return b, err
+}
+
+func (j *HashJoin) next() (*storage.Batch, error) {
 	if j.fast != nil {
 		return NextChunk(j.fast, &j.fastPos, j.fast.Len()), nil
 	}
@@ -453,6 +488,7 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 				j.ldone = true
 				break
 			}
+			j.probeRows.Add(int64(b.Len()))
 			j.ldata, j.lpos = b, 0
 			continue
 		}
@@ -490,6 +526,7 @@ func evalPredOnRow(schema storage.Schema, pred expr.Expr, row []storage.Value) (
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
+	j.stats.closed()
 	j.built = nil
 	j.rdata = nil
 	j.ldata = nil
@@ -518,6 +555,7 @@ type NestedLoopJoin struct {
 	lpos  int
 	lopen bool
 	ldone bool
+	stats OpStats
 }
 
 // Schema implements Operator.
@@ -528,8 +566,18 @@ func (j *NestedLoopJoin) Schema() storage.Schema {
 	return j.out
 }
 
+// OpStats implements Instrumented.
+func (j *NestedLoopJoin) OpStats() *OpStats { return &j.stats }
+
 // Open implements Operator.
 func (j *NestedLoopJoin) Open() error {
+	t0 := j.stats.begin()
+	err := j.open()
+	j.stats.opened(t0)
+	return err
+}
+
+func (j *NestedLoopJoin) open() error {
 	j.Schema()
 	var err error
 	j.rdata, err = Drain(j.Right)
@@ -546,6 +594,13 @@ func (j *NestedLoopJoin) Open() error {
 
 // Next implements Operator.
 func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
+	t0 := j.stats.begin()
+	b, err := j.next()
+	j.stats.record(t0, b)
+	return b, err
+}
+
+func (j *NestedLoopJoin) next() (*storage.Batch, error) {
 	if j.rdata == nil {
 		return nil, nil
 	}
@@ -605,6 +660,7 @@ func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
+	j.stats.closed()
 	j.rdata = nil
 	j.ldata = nil
 	if j.lopen {

@@ -6,7 +6,8 @@ import "repro/internal/storage"
 // projects literal select items over it for FROM-less queries
 // (SELECT 1+1).
 type OneRow struct {
-	sent bool
+	sent  bool
+	stats OpStats
 }
 
 var oneRowSchema = storage.NewSchema(storage.Col("$one", storage.TypeInt64))
@@ -14,14 +15,26 @@ var oneRowSchema = storage.NewSchema(storage.Col("$one", storage.TypeInt64))
 // Schema implements Operator.
 func (o *OneRow) Schema() storage.Schema { return oneRowSchema }
 
+// OpStats implements Instrumented.
+func (o *OneRow) OpStats() *OpStats { return &o.stats }
+
 // Open implements Operator.
 func (o *OneRow) Open() error {
+	t0 := o.stats.begin()
 	o.sent = false
+	o.stats.opened(t0)
 	return nil
 }
 
 // Next implements Operator.
 func (o *OneRow) Next() (*storage.Batch, error) {
+	t0 := o.stats.begin()
+	b, err := o.next()
+	o.stats.record(t0, b)
+	return b, err
+}
+
+func (o *OneRow) next() (*storage.Batch, error) {
 	if o.sent {
 		return nil, nil
 	}
@@ -34,4 +47,7 @@ func (o *OneRow) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (o *OneRow) Close() error { return nil }
+func (o *OneRow) Close() error {
+	o.stats.closed()
+	return nil
+}

@@ -99,10 +99,11 @@ type TableScan struct {
 
 	part, parts int
 
-	segs []*storage.Batch // shard-major segments of the selected row space
-	seg  int              // current segment
-	pos  int              // cursor within the current segment
-	left int              // rows remaining in this morsel
+	segs  []*storage.Batch // shard-major segments of the selected row space
+	seg   int              // current segment
+	pos   int              // cursor within the current segment
+	left  int              // rows remaining in this morsel
+	stats OpStats
 }
 
 // NewTableScan returns a scan over the table (or snapshot) with its
@@ -114,8 +115,18 @@ func NewTableScan(t storage.TableData) *TableScan {
 // Schema implements Operator.
 func (s *TableScan) Schema() storage.Schema { return s.OutSchema }
 
+// OpStats implements Instrumented.
+func (s *TableScan) OpStats() *OpStats { return &s.stats }
+
 // Open implements Operator.
 func (s *TableScan) Open() error {
+	t0 := s.stats.begin()
+	err := s.open()
+	s.stats.opened(t0)
+	return err
+}
+
+func (s *TableScan) open() error {
 	if sh, ok := s.Table.(storage.Sharded); ok && (sh.NumShards() > 1 || s.Shard > 0) {
 		if s.Shard > 0 {
 			s.segs = []*storage.Batch{sh.ShardBatch(s.Shard - 1)}
@@ -149,6 +160,13 @@ func (s *TableScan) Open() error {
 
 // Next implements Operator.
 func (s *TableScan) Next() (*storage.Batch, error) {
+	t0 := s.stats.begin()
+	b, err := s.next()
+	s.stats.record(t0, b)
+	return b, err
+}
+
+func (s *TableScan) next() (*storage.Batch, error) {
 	for s.left > 0 && s.seg < len(s.segs) {
 		cur := s.segs[s.seg]
 		if s.pos >= cur.Len() {
@@ -177,6 +195,7 @@ func (s *TableScan) Next() (*storage.Batch, error) {
 // Close implements Operator.
 func (s *TableScan) Close() error {
 	s.segs = nil
+	s.stats.closed()
 	return nil
 }
 
@@ -188,47 +207,75 @@ type BatchSource struct {
 
 	part, parts int
 
-	pos int
-	end int
+	pos   int
+	end   int
+	stats OpStats
 }
 
 // Schema implements Operator.
 func (s *BatchSource) Schema() storage.Schema { return s.Data.Schema }
 
+// OpStats implements Instrumented.
+func (s *BatchSource) OpStats() *OpStats { return &s.stats }
+
 // Open implements Operator.
 func (s *BatchSource) Open() error {
+	t0 := s.stats.begin()
 	n := s.Data.Len()
 	s.pos, s.end = 0, n
 	if s.parts > 1 {
 		s.pos = s.part * n / s.parts
 		s.end = (s.part + 1) * n / s.parts
 	}
+	s.stats.opened(t0)
 	return nil
 }
 
 // Next implements Operator.
 func (s *BatchSource) Next() (*storage.Batch, error) {
-	return NextChunk(s.Data, &s.pos, s.end), nil
+	t0 := s.stats.begin()
+	b := NextChunk(s.Data, &s.pos, s.end)
+	s.stats.record(t0, b)
+	return b, nil
 }
 
 // Close implements Operator.
-func (s *BatchSource) Close() error { return nil }
+func (s *BatchSource) Close() error {
+	s.stats.closed()
+	return nil
+}
 
 // Filter passes through rows for which Pred evaluates to TRUE.
 type Filter struct {
 	Input Operator
 	Pred  expr.Expr
+	stats OpStats
 }
 
 // Schema implements Operator.
 func (f *Filter) Schema() storage.Schema { return f.Input.Schema() }
 
+// OpStats implements Instrumented.
+func (f *Filter) OpStats() *OpStats { return &f.stats }
+
 // Open implements Operator.
-func (f *Filter) Open() error { return f.Input.Open() }
+func (f *Filter) Open() error {
+	t0 := f.stats.begin()
+	err := f.Input.Open()
+	f.stats.opened(t0)
+	return err
+}
 
 // Next implements Operator. The predicate is evaluated vectorized over
 // the whole batch; rows where it is non-null TRUE survive.
 func (f *Filter) Next() (*storage.Batch, error) {
+	t0 := f.stats.begin()
+	b, err := f.next()
+	f.stats.record(t0, b)
+	return b, err
+}
+
+func (f *Filter) next() (*storage.Batch, error) {
 	for {
 		b, err := f.Input.Next()
 		if err != nil || b == nil {
@@ -256,13 +303,17 @@ func (f *Filter) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (f *Filter) Close() error { return f.Input.Close() }
+func (f *Filter) Close() error {
+	f.stats.closed()
+	return f.Input.Close()
+}
 
 // Project evaluates expressions per row, producing a new schema.
 type Project struct {
 	Input Operator
 	Exprs []expr.Expr
 	Out   storage.Schema
+	stats OpStats
 }
 
 // NewProject builds a projection with output column names.
@@ -280,13 +331,28 @@ func NewProject(in Operator, exprs []expr.Expr, names []string) (*Project, error
 // Schema implements Operator.
 func (p *Project) Schema() storage.Schema { return p.Out }
 
+// OpStats implements Instrumented.
+func (p *Project) OpStats() *OpStats { return &p.stats }
+
 // Open implements Operator.
-func (p *Project) Open() error { return p.Input.Open() }
+func (p *Project) Open() error {
+	t0 := p.stats.begin()
+	err := p.Input.Open()
+	p.stats.opened(t0)
+	return err
+}
 
 // Next implements Operator. Each output expression is evaluated
 // vectorized over the whole input batch; plain column references are
 // passed through without copying.
 func (p *Project) Next() (*storage.Batch, error) {
+	t0 := p.stats.begin()
+	b, err := p.next()
+	p.stats.record(t0, b)
+	return b, err
+}
+
+func (p *Project) next() (*storage.Batch, error) {
 	b, err := p.Input.Next()
 	if err != nil || b == nil {
 		return nil, err
@@ -303,7 +369,10 @@ func (p *Project) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (p *Project) Close() error { return p.Input.Close() }
+func (p *Project) Close() error {
+	p.stats.closed()
+	return p.Input.Close()
+}
 
 // Limit returns at most N rows after skipping Offset rows.
 type Limit struct {
@@ -312,19 +381,33 @@ type Limit struct {
 	Offset  int64
 	skipped int64
 	sent    int64
+	stats   OpStats
 }
 
 // Schema implements Operator.
 func (l *Limit) Schema() storage.Schema { return l.Input.Schema() }
 
+// OpStats implements Instrumented.
+func (l *Limit) OpStats() *OpStats { return &l.stats }
+
 // Open implements Operator.
 func (l *Limit) Open() error {
+	t0 := l.stats.begin()
 	l.skipped, l.sent = 0, 0
-	return l.Input.Open()
+	err := l.Input.Open()
+	l.stats.opened(t0)
+	return err
 }
 
 // Next implements Operator.
 func (l *Limit) Next() (*storage.Batch, error) {
+	t0 := l.stats.begin()
+	b, err := l.next()
+	l.stats.record(t0, b)
+	return b, err
+}
+
+func (l *Limit) next() (*storage.Batch, error) {
 	for {
 		if l.sent >= l.N {
 			return nil, nil
@@ -356,7 +439,10 @@ func (l *Limit) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (l *Limit) Close() error { return l.Input.Close() }
+func (l *Limit) Close() error {
+	l.stats.closed()
+	return l.Input.Close()
+}
 
 // UnionAll concatenates the outputs of its inputs. All inputs must have
 // compatible schemas (same arity and types); the output uses the first
@@ -370,14 +456,25 @@ type UnionAll struct {
 	Inputs []Operator
 	cur    int
 	opened int // inputs [0, opened) have been opened
+	stats  OpStats
 }
 
 // Schema implements Operator.
 func (u *UnionAll) Schema() storage.Schema { return u.Inputs[0].Schema() }
 
+// OpStats implements Instrumented.
+func (u *UnionAll) OpStats() *OpStats { return &u.stats }
+
 // Open implements Operator: it validates schemas but defers opening
 // each input until iteration reaches it.
 func (u *UnionAll) Open() error {
+	t0 := u.stats.begin()
+	err := u.open()
+	u.stats.opened(t0)
+	return err
+}
+
+func (u *UnionAll) open() error {
 	u.cur, u.opened = 0, 0
 	first := u.Inputs[0].Schema()
 	for _, in := range u.Inputs[1:] {
@@ -397,6 +494,13 @@ func (u *UnionAll) Open() error {
 
 // Next implements Operator.
 func (u *UnionAll) Next() (*storage.Batch, error) {
+	t0 := u.stats.begin()
+	b, err := u.next()
+	u.stats.record(t0, b)
+	return b, err
+}
+
+func (u *UnionAll) next() (*storage.Batch, error) {
 	for u.cur < len(u.Inputs) {
 		if u.cur >= u.opened {
 			if err := u.Inputs[u.cur].Open(); err != nil {
@@ -422,6 +526,7 @@ func (u *UnionAll) Next() (*storage.Batch, error) {
 // Close implements Operator: only inputs that were actually opened are
 // closed.
 func (u *UnionAll) Close() error {
+	u.stats.closed()
 	var first error
 	for _, in := range u.Inputs[:u.opened] {
 		if err := in.Close(); err != nil && first == nil {
@@ -448,15 +553,26 @@ type Sort struct {
 	// Budget is the shared extra-worker budget (nil = unlimited).
 	Budget *sched.Budget
 
-	out *storage.Batch
-	pos int
+	out   *storage.Batch
+	pos   int
+	stats OpStats
 }
 
 // Schema implements Operator.
 func (s *Sort) Schema() storage.Schema { return s.Input.Schema() }
 
+// OpStats implements Instrumented.
+func (s *Sort) OpStats() *OpStats { return &s.stats }
+
 // Open implements Operator.
 func (s *Sort) Open() error {
+	t0 := s.stats.begin()
+	err := s.open()
+	s.stats.opened(t0)
+	return err
+}
+
+func (s *Sort) open() error {
 	s.pos = 0
 	all, err := Drain(s.Input)
 	if err != nil {
@@ -489,12 +605,16 @@ func (s *Sort) Open() error {
 
 // Next implements Operator: sorted rows stream out in bounded batches.
 func (s *Sort) Next() (*storage.Batch, error) {
-	return NextChunk(s.out, &s.pos, s.out.Len()), nil
+	t0 := s.stats.begin()
+	b := NextChunk(s.out, &s.pos, s.out.Len())
+	s.stats.record(t0, b)
+	return b, nil
 }
 
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.out = nil
+	s.stats.closed()
 	return nil
 }
 
@@ -502,19 +622,33 @@ func (s *Sort) Close() error {
 type Distinct struct {
 	Input Operator
 	seen  map[uint64][][]storage.Value
+	stats OpStats
 }
 
 // Schema implements Operator.
 func (d *Distinct) Schema() storage.Schema { return d.Input.Schema() }
 
+// OpStats implements Instrumented.
+func (d *Distinct) OpStats() *OpStats { return &d.stats }
+
 // Open implements Operator.
 func (d *Distinct) Open() error {
+	t0 := d.stats.begin()
 	d.seen = make(map[uint64][][]storage.Value)
-	return d.Input.Open()
+	err := d.Input.Open()
+	d.stats.opened(t0)
+	return err
 }
 
 // Next implements Operator.
 func (d *Distinct) Next() (*storage.Batch, error) {
+	t0 := d.stats.begin()
+	b, err := d.next()
+	d.stats.record(t0, b)
+	return b, err
+}
+
+func (d *Distinct) next() (*storage.Batch, error) {
 	for {
 		b, err := d.Input.Next()
 		if err != nil || b == nil {
@@ -545,6 +679,7 @@ func (d *Distinct) Next() (*storage.Batch, error) {
 
 // Close implements Operator.
 func (d *Distinct) Close() error {
+	d.stats.closed()
 	d.seen = nil
 	return d.Input.Close()
 }

@@ -11,9 +11,13 @@ type Ordinal struct {
 	Input Operator
 	Name  string
 
-	out  storage.Schema
-	next int64
+	out   storage.Schema
+	next  int64
+	stats OpStats
 }
+
+// OpStats implements Instrumented.
+func (o *Ordinal) OpStats() *OpStats { return &o.stats }
 
 // Schema implements Operator.
 func (o *Ordinal) Schema() storage.Schema {
@@ -29,13 +33,23 @@ func (o *Ordinal) Schema() storage.Schema {
 
 // Open implements Operator.
 func (o *Ordinal) Open() error {
+	t0 := o.stats.begin()
 	o.Schema()
 	o.next = 0
-	return o.Input.Open()
+	err := o.Input.Open()
+	o.stats.opened(t0)
+	return err
 }
 
 // Next implements Operator.
 func (o *Ordinal) Next() (*storage.Batch, error) {
+	t0 := o.stats.begin()
+	b, err := o.nextBatch()
+	o.stats.record(t0, b)
+	return b, err
+}
+
+func (o *Ordinal) nextBatch() (*storage.Batch, error) {
 	b, err := o.Input.Next()
 	if err != nil || b == nil {
 		return nil, err
@@ -52,4 +66,7 @@ func (o *Ordinal) Next() (*storage.Batch, error) {
 }
 
 // Close implements Operator.
-func (o *Ordinal) Close() error { return o.Input.Close() }
+func (o *Ordinal) Close() error {
+	o.stats.closed()
+	return o.Input.Close()
+}

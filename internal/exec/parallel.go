@@ -80,13 +80,28 @@ type Gather struct {
 	cur     int
 	wg      sync.WaitGroup
 	running bool
+	stats   OpStats
 }
 
 // Schema implements Operator.
 func (g *Gather) Schema() storage.Schema { return g.Fragments[0].Schema() }
 
+// OpStats implements Instrumented.
+func (g *Gather) OpStats() *OpStats { return &g.stats }
+
+// PoolSize reports the worker-pool size of the latest Open (its own
+// entitlement plus whatever the budget granted).
+func (g *Gather) PoolSize() int { return 1 + g.granted }
+
 // Open implements Operator: it launches the fragment worker pool.
 func (g *Gather) Open() error {
+	t0 := g.stats.begin()
+	err := g.open()
+	g.stats.opened(t0)
+	return err
+}
+
+func (g *Gather) open() error {
 	for _, sp := range g.spools {
 		sp.rearm() // clear a prior Close's abort before workers start
 	}
@@ -157,6 +172,13 @@ func (g *Gather) run(i int) {
 
 // Next implements Operator.
 func (g *Gather) Next() (*storage.Batch, error) {
+	t0 := g.stats.begin()
+	b, err := g.nextBatch()
+	g.stats.record(t0, b)
+	return b, err
+}
+
+func (g *Gather) nextBatch() (*storage.Batch, error) {
 	for g.cur < len(g.chans) {
 		it, ok := <-g.chans[g.cur]
 		if !ok {
@@ -175,6 +197,7 @@ func (g *Gather) Next() (*storage.Batch, error) {
 // any shared spools (waking parts blocked on them), waits for the pool
 // to exit, and returns the borrowed budget slots.
 func (g *Gather) Close() error {
+	g.stats.closed()
 	if !g.running {
 		return nil
 	}
@@ -349,20 +372,30 @@ type SpoolPart struct {
 	schema      storage.Schema
 	part, parts int
 
-	pos int // next global row to emit (-1 = range not yet known)
-	cur int // batch index hint
+	pos   int // next global row to emit (-1 = range not yet known)
+	cur   int // batch index hint
+	stats OpStats
 }
 
 // Schema implements Operator.
 func (p *SpoolPart) Schema() storage.Schema { return p.schema }
 
+// OpStats implements Instrumented.
+func (p *SpoolPart) OpStats() *OpStats { return &p.stats }
+
+// Spooled returns the operator feeding this part's shared spool
+// (EXPLAIN descends through it).
+func (p *SpoolPart) Spooled() Operator { return p.sp.input }
+
 // Open implements Operator.
 func (p *SpoolPart) Open() error {
+	t0 := p.stats.begin()
 	p.sp.activate()
 	p.pos, p.cur = -1, 0
 	if p.part == 0 {
 		p.pos = 0
 	}
+	p.stats.opened(t0)
 	return nil
 }
 
@@ -370,6 +403,13 @@ func (p *SpoolPart) Open() error {
 // that overlap this part's row range, in order, blocking until the
 // next slice is certain to belong to this part.
 func (p *SpoolPart) Next() (*storage.Batch, error) {
+	t0 := p.stats.begin()
+	b, err := p.next()
+	p.stats.record(t0, b)
+	return b, err
+}
+
+func (p *SpoolPart) next() (*storage.Batch, error) {
 	s := p.sp
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -422,7 +462,10 @@ func (p *SpoolPart) Next() (*storage.Batch, error) {
 
 // Close implements Operator. The shared spool is not released: sibling
 // parts (and a re-Open) may still need it; the owning Gather aborts it.
-func (p *SpoolPart) Close() error { return nil }
+func (p *SpoolPart) Close() error {
+	p.stats.closed()
+	return nil
+}
 
 // Parallelize rewrites op into a Gather over per-morsel fragment
 // clones when op is a stack of stateless operators (Filter, Project)

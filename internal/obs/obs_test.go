@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if c2 := r.Counter("a.count"); c2 != c {
+		t.Fatal("same name must return the same counter")
+	}
+	v := int64(7)
+	r.Gauge("b.gauge", func() int64 { return v })
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot rows = %d, want 2", len(snap))
+	}
+	// Sorted by name: a.count before b.gauge.
+	if snap[0].Name != "a.count" || snap[0].Value != 5 {
+		t.Errorf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "b.gauge" || snap[1].Value != 7 {
+		t.Errorf("snap[1] = %+v", snap[1])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 0; i < 90; i++ {
+		h.Observe(80 * time.Microsecond) // bucket <=100µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40 * time.Millisecond) // bucket <=50ms
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.50); got != 100 {
+		t.Errorf("p50 = %dµs, want 100", got)
+	}
+	if got := h.Quantile(0.99); got != 50_000 {
+		t.Errorf("p99 = %dµs, want 50000", got)
+	}
+	snap := r.Snapshot()
+	want := []string{"lat.count", "lat.p50_us", "lat.p95_us", "lat.p99_us"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot rows = %d", len(snap))
+	}
+	for i, n := range want {
+		if snap[i].Name != n {
+			t.Errorf("snap[%d].Name = %s, want %s", i, snap[i].Name, n)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+}

@@ -22,6 +22,7 @@ type Budget struct {
 	capacity  int // 0 = unlimited
 	inUse     int
 	highWater int
+	waits     uint64 // requests granted zero slots while a cap was set
 }
 
 // NewBudget returns a budget with the given capacity. capacity <= 0
@@ -54,6 +55,7 @@ func (b *Budget) TryAcquire(max int) int {
 	}
 	got := b.capacity - b.inUse
 	if got <= 0 {
+		b.waits++
 		return 0
 	}
 	if got > max {
@@ -125,6 +127,18 @@ func (b *Budget) HighWater() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.highWater
+}
+
+// Waits returns how many acquisition attempts were turned away with
+// zero slots while a capacity cap was in force — the "statements
+// degraded to serial under load" counter the metrics registry exposes.
+func (b *Budget) Waits() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waits
 }
 
 // ResetHighWater clears the high-water mark (benchmarks reset it

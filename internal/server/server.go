@@ -118,12 +118,28 @@ func New(eng *vertexica.Engine, cfg Config) *Server {
 	if cfg.WorkerBudget > 0 {
 		eng.SetWorkerBudget(cfg.WorkerBudget)
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
 		drainCh:  make(chan struct{}),
 	}
+	// Server-level gauges in the engine registry, so SHOW STATS from
+	// any session also reports connection pressure. Gauges are pulled
+	// at snapshot time; re-registering (a second New over the same
+	// engine, as tests do) just repoints them at the newest server.
+	reg := eng.DB().Stats()
+	reg.Gauge("server.sessions", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.sessions))
+	})
+	reg.Gauge("server.admit_queue_depth", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.admitQ))
+	})
+	return s
 }
 
 // Engine exposes the served engine (tests and vxserve preloading).

@@ -647,3 +647,83 @@ func TestGraphVerbHonorsSessionKnobs(t *testing.T) {
 		t.Fatalf("graph verb after disabling timeout: %v", err)
 	}
 }
+
+// TestServerGraphVerbStatsTrailer asserts that vertex-centric verbs
+// ship their RunStats in the Done frame's stats trailer and that
+// SQL-flavored verbs (which have no Pregel run) ship none.
+func TestServerGraphVerbStatsTrailer(t *testing.T) {
+	eng := vertexica.New()
+	ref := testutil.RandomGraph(7, 120, 600)
+	if _, err := ref.Load(eng.DB(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, eng, Config{})
+	c := dialT(t, addr)
+	ctx := context.Background()
+
+	rows, err := c.Graph(ctx, "pagerank", "g", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]int64{}
+	for _, s := range rows.Stats {
+		stats[s.Name] = s.Value
+	}
+	if stats["supersteps"] < 3 {
+		t.Fatalf("supersteps=%d, want >=3 (stats: %v)", stats["supersteps"], rows.Stats)
+	}
+	if stats["total_computed"] == 0 {
+		t.Fatalf("total_computed missing (stats: %v)", rows.Stats)
+	}
+	if _, ok := stats["duration_us"]; !ok {
+		t.Fatalf("duration_us missing (stats: %v)", rows.Stats)
+	}
+
+	// SQL-flavored verbs compute via joins, not supersteps: no trailer.
+	rows, err = c.Graph(ctx, "components-sql", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Stats != nil {
+		t.Fatalf("components-sql shipped a stats trailer: %v", rows.Stats)
+	}
+}
+
+// TestServerShowStats runs SHOW STATS over the wire and checks that
+// the server's own gauges are visible alongside the engine counters.
+func TestServerShowStats(t *testing.T) {
+	eng := vertexica.New()
+	_, addr := startServer(t, eng, Config{})
+	c := dialT(t, addr)
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, "CREATE TABLE s (x INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "SELECT COUNT(*) FROM s"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, "SHOW STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for i := 0; i < rows.Len(); i++ {
+		got[rows.Value(i, 0).S] = rows.Value(i, 1).I
+	}
+	if got["server.sessions"] < 1 {
+		t.Fatalf("server.sessions=%d, want >=1 (our own connection)", got["server.sessions"])
+	}
+	if _, ok := got["server.admit_queue_depth"]; !ok {
+		t.Fatal("server.admit_queue_depth gauge missing")
+	}
+	if got["engine.statements.select"] < 1 {
+		t.Fatalf("engine.statements.select=%d, want >=1", got["engine.statements.select"])
+	}
+}

@@ -297,13 +297,13 @@ func (ss *session) runStmt(req stmtReq) {
 		// SQL statement (the parallelism cap is applied inside the
 		// verb via EffectiveWorkers).
 		gctx, gcancel := ss.es.StatementContext(ctx)
-		batch, err := ss.runGraphVerb(gctx, req.verb, req.argv)
+		batch, stats, err := ss.runGraphVerb(gctx, req.verb, req.argv)
 		gcancel()
 		if err != nil {
 			ss.writeError(req.id, err.Error())
 			return
 		}
-		ss.writeRows(req.id, engine.MaterializedRows(batch))
+		ss.writeRowsStats(req.id, engine.MaterializedRows(batch), stats)
 	}
 }
 
@@ -349,6 +349,12 @@ func (ss *session) writeResult(id uint32, rows *engine.Rows, res engine.Result, 
 // statement with a FrameError and nothing after it: the client
 // discards any rows already received and surfaces only the error.
 func (ss *session) writeRows(id uint32, rows *engine.Rows) {
+	ss.writeRowsStats(id, rows, nil)
+}
+
+// writeRowsStats is writeRows with an optional stats trailer on the
+// terminal Done frame (graph verbs ship their RunStats this way).
+func (ss *session) writeRowsStats(id uint32, rows *engine.Rows, stats []wire.Stat) {
 	defer rows.Close()
 	var hdr wire.Buffer
 	hdr.PutU32(id)
@@ -386,7 +392,7 @@ func (ss *session) writeRows(id uint32, rows *engine.Rows) {
 			}
 		}
 	}
-	ss.writeDone(id)
+	ss.writeDoneStats(id, stats)
 }
 
 func (ss *session) writeFrame(typ byte, payload []byte) error {
@@ -419,8 +425,11 @@ func (ss *session) writeError(id uint32, msg string) {
 	ss.writeFrame(wire.FrameError, b.B)
 }
 
-func (ss *session) writeDone(id uint32) {
+func (ss *session) writeDone(id uint32) { ss.writeDoneStats(id, nil) }
+
+func (ss *session) writeDoneStats(id uint32, stats []wire.Stat) {
 	var b wire.Buffer
 	b.PutU32(id)
+	b.PutStats(stats)
 	ss.writeFrame(wire.FrameDone, b.B)
 }

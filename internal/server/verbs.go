@@ -8,6 +8,7 @@ import (
 
 	vertexica "repro"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // Graph-algorithm RPCs: the REPL's \pagerank-style commands become
@@ -23,9 +24,13 @@ import (
 // is refused while this session holds an open transaction — the
 // session owns the gate then, and the run would deadlock against
 // itself (and bypass the transaction's undo scope anyway).
-func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string) (*storage.Batch, error) {
+// Vertex-centric verbs also return the run's RunStats (supersteps,
+// cache behavior, skipped partitions) as wire stats, which the session
+// ships to the client in the Done frame's stats trailer instead of
+// discarding them server-side.
+func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string) (*storage.Batch, []wire.Stat, error) {
 	if ss.es.InTransaction() {
-		return nil, fmt.Errorf("server: cannot run graph verb %q inside a transaction", verb)
+		return nil, nil, fmt.Errorf("server: cannot run graph verb %q inside a transaction", verb)
 	}
 	eng := ss.srv.eng
 	// The session's per-statement worker cap applies to vertex-centric
@@ -53,18 +58,18 @@ func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string)
 		b := storage.NewBatch(storage.NewSchema(storage.Col("graph", storage.TypeString)))
 		for _, n := range names {
 			if err := b.AppendRow(storage.Str(n)); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
-		return b, nil
+		return b, nil, nil
 
 	case "load":
 		if len(args) < 2 {
-			return nil, fmt.Errorf("server: load wants <twitter|gplus|livejournal> <scale>")
+			return nil, nil, fmt.Errorf("server: load wants <twitter|gplus|livejournal> <scale>")
 		}
 		scale, err := strconv.ParseFloat(args[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("server: load scale: %w", err)
+			return nil, nil, fmt.Errorf("server: load scale: %w", err)
 		}
 		var ds *vertexica.Dataset
 		switch args[0] {
@@ -75,11 +80,11 @@ func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string)
 		case "livejournal":
 			ds = vertexica.LiveJournalScale(scale)
 		default:
-			return nil, fmt.Errorf("server: unknown dataset kind %q", args[0])
+			return nil, nil, fmt.Errorf("server: unknown dataset kind %q", args[0])
 		}
 		g, err := eng.LoadDatasetWithMetadata(ds, 42)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nv, _ := g.NumVertices()
 		ne, _ := g.NumEdges()
@@ -89,77 +94,108 @@ func (ss *session) runGraphVerb(ctx context.Context, verb string, args []string)
 			storage.Col("edges", storage.TypeInt64),
 		))
 		if err := b.AppendRow(storage.Str(g.Name()), storage.Int64(nv), storage.Int64(ne)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return b, nil
+		return b, nil, nil
 
 	case "pagerank", "pagerank-sql":
 		g, err := openVerbGraph(eng, args)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		iters := int(argN(1, 10))
 		var ranks map[int64]float64
+		var stats []wire.Stat
 		if verb == "pagerank" {
-			ranks, _, err = g.PageRank(ctx, iters, vertexica.Options{Workers: workers})
+			var rs *vertexica.RunStats
+			ranks, rs, err = g.PageRank(ctx, iters, vertexica.Options{Workers: workers})
+			stats = runStatsWire(rs)
 		} else {
 			ranks, err = g.PageRankSQL(ctx, iters)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return floatMapBatch("rank", ranks)
+		b, err := floatMapBatch("rank", ranks)
+		return b, stats, err
 
 	case "sssp", "sssp-sql":
 		g, err := openVerbGraph(eng, args)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		source := argN(1, 0)
 		unit := argN(2, 0) != 0
 		var dists map[int64]float64
+		var stats []wire.Stat
 		if verb == "sssp" {
-			dists, _, err = g.ShortestPaths(ctx, source, unit, vertexica.Options{Workers: workers})
+			var rs *vertexica.RunStats
+			dists, rs, err = g.ShortestPaths(ctx, source, unit, vertexica.Options{Workers: workers})
+			stats = runStatsWire(rs)
 		} else {
 			dists, err = g.ShortestPathsSQL(ctx, source, unit)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return floatMapBatch("dist", dists)
+		b, err := floatMapBatch("dist", dists)
+		return b, stats, err
 
 	case "components", "components-sql":
 		g, err := openVerbGraph(eng, args)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var labels map[int64]int64
+		var stats []wire.Stat
 		if verb == "components" {
-			labels, _, err = g.ConnectedComponents(ctx, vertexica.Options{Workers: workers})
+			var rs *vertexica.RunStats
+			labels, rs, err = g.ConnectedComponents(ctx, vertexica.Options{Workers: workers})
+			stats = runStatsWire(rs)
 		} else {
 			labels, err = g.ConnectedComponentsSQL(ctx)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return intMapBatch("component", labels)
+		b, err := intMapBatch("component", labels)
+		return b, stats, err
 
 	case "triangles":
 		g, err := openVerbGraph(eng, args)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		n, err := g.TriangleCount()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b := storage.NewBatch(storage.NewSchema(storage.Col("triangles", storage.TypeInt64)))
 		if err := b.AppendRow(storage.Int64(n)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return b, nil
+		return b, nil, nil
 	}
-	return nil, fmt.Errorf("server: unknown graph verb %q", verb)
+	return nil, nil, fmt.Errorf("server: unknown graph verb %q", verb)
+}
+
+// runStatsWire flattens a vertex-centric run's RunStats into the named
+// int64 stats the Done-frame trailer carries.
+func runStatsWire(rs *vertexica.RunStats) []wire.Stat {
+	if rs == nil {
+		return nil
+	}
+	return []wire.Stat{
+		{Name: "supersteps", Value: int64(rs.Supersteps)},
+		{Name: "total_computed", Value: rs.TotalComputed},
+		{Name: "total_messages", Value: rs.TotalMessages},
+		{Name: "dangling_messages", Value: rs.DanglingMessages},
+		{Name: "cache_builds", Value: int64(rs.CacheBuilds)},
+		{Name: "cache_hits", Value: int64(rs.CacheHits)},
+		{Name: "skipped_partitions", Value: rs.SkippedParts},
+		{Name: "skipped_vertices", Value: rs.SkippedVerts},
+		{Name: "duration_us", Value: rs.Duration.Microseconds()},
+	}
 }
 
 func openVerbGraph(eng *vertexica.Engine, args []string) (*vertexica.Graph, error) {

@@ -665,3 +665,21 @@ func (*ShowStmt) stmt() {}
 
 // String implements Statement.
 func (s *ShowStmt) String() string { return "SHOW " + s.Name }
+
+// ExplainStmt renders a statement's plan (EXPLAIN <stmt>) or executes
+// the statement and annotates the plan with per-operator counters
+// (EXPLAIN ANALYZE <stmt>).
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
+// String implements Statement.
+func (s *ExplainStmt) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}

@@ -143,9 +143,29 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSet()
 	case "SHOW":
 		return p.parseShow()
+	case "EXPLAIN":
+		return p.parseExplain()
 	default:
 		return nil, p.errf("unsupported statement %s", t.Text)
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <statement>. Nesting EXPLAIN
+// inside EXPLAIN is rejected (the inner parse would accept it, but no
+// engine behavior is defined for it).
+func (p *Parser) parseExplain() (Statement, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.matchKeyword("ANALYZE")
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := inner.(*ExplainStmt); ok {
+		return nil, p.errf("EXPLAIN cannot be nested")
+	}
+	return &ExplainStmt{Analyze: analyze, Stmt: inner}, nil
 }
 
 // parseSet parses SET <var> = <expr> (session variables; UPDATE's SET

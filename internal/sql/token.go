@@ -6,9 +6,9 @@
 // Supported statements: SELECT (joins, comma cross-joins, WHERE,
 // GROUP BY/HAVING, ORDER BY, LIMIT/OFFSET, DISTINCT, UNION ALL, WITH
 // CTEs, derived tables), INSERT (VALUES and SELECT forms), UPDATE,
-// DELETE, CREATE TABLE, DROP TABLE, TRUNCATE, and the session-control
-// statements BEGIN / COMMIT / ROLLBACK / SET <var> = <expr> /
-// SHOW <var>.
+// DELETE, CREATE TABLE, DROP TABLE, TRUNCATE, EXPLAIN [ANALYZE]
+// <statement>, and the session-control statements BEGIN / COMMIT /
+// ROLLBACK / SET <var> = <expr> / SHOW <var>.
 package sql
 
 import "fmt"
@@ -65,8 +65,13 @@ var keywords = map[string]bool{
 	"DOUBLE": true, "FLOAT": true, "VARCHAR": true, "TEXT": true,
 	"BOOLEAN": true, "PRECISION": true, "BEGIN": true, "COMMIT": true,
 	"ROLLBACK": true, "SHOW": true, "PARTITION": true, "HASH": true,
-	"SHARDS": true,
+	"SHARDS": true, "EXPLAIN": true, "ANALYZE": true,
 }
+
+// IsKeyword reports whether word (already upper-cased) is a reserved
+// word of the dialect. The plan-cache fingerprint uses it to case-fold
+// keywords without touching identifiers or literals.
+func IsKeyword(upper string) bool { return keywords[upper] }
 
 // symbols lists multi-char symbols first so the lexer prefers the
 // longest match.

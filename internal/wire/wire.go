@@ -21,11 +21,13 @@
 //	Prepare{prep, sql}                     RowsBatch{stmt, batch}...
 //	BindExec{stmt, prep, args}           ExecOK{stmt, rowsAffected}
 //	Graph{stmt, verb, args}              Error{stmt, message}
-//	Cancel{stmt}                         Done{stmt}
+//	Cancel{stmt}                         Done{stmt[, stats]}
 //	Goodbye{}                            PrepareOK{prep}
 //
 // A statement exchange ends with exactly one terminal frame: Done on
 // success (after the RowsBatch stream or ExecOK) or Error on failure.
+// Done may carry an optional stats trailer (see PutStats) after the
+// statement id; clients that stop at the id ignore it.
 // Results stream, so an Error may arrive after RowsBatch frames have
 // already shipped (an executor or encoder failure mid-result); no Done
 // follows an Error, and the client must discard the partial rows and
@@ -240,3 +242,56 @@ func (r *Reader) Value() storage.Value {
 
 // Done reports whether the payload was fully and cleanly consumed.
 func (r *Reader) Done() bool { return r.Err == nil && len(r.B) == 0 }
+
+// Stat is one named counter in a Done-frame stats trailer.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// PutStats appends a stats trailer to a Done-frame payload: a pair
+// count followed by (name, signed varint) pairs. The trailer rides
+// after the statement id, where pre-trailer clients simply stop
+// reading, so it is wire-compatible with protocol version 2 — graph
+// verbs use it to ship their RunStats (supersteps, cache hits, skipped
+// partitions) without a schema change.
+func (b *Buffer) PutStats(stats []Stat) {
+	if len(stats) == 0 {
+		return
+	}
+	b.PutUvarint(uint64(len(stats)))
+	for _, s := range stats {
+		b.PutString(s.Name)
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(tmp[:], s.Value)
+		b.B = append(b.B, tmp[:n]...)
+	}
+}
+
+// Stats reads a Done-frame stats trailer; nil when the payload carries
+// none (an old server, or a statement with nothing to report).
+func (r *Reader) Stats() []Stat {
+	if r.Err != nil || len(r.B) == 0 {
+		return nil
+	}
+	n := r.Uvarint()
+	if r.Err != nil || n > uint64(len(r.B)) {
+		r.Err = ErrCorrupt
+		return nil
+	}
+	out := make([]Stat, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name := r.String()
+		if r.Err != nil {
+			return nil
+		}
+		v, vn := binary.Varint(r.B)
+		if vn <= 0 {
+			r.Err = ErrCorrupt
+			return nil
+		}
+		r.B = r.B[vn:]
+		out = append(out, Stat{Name: name, Value: v})
+	}
+	return out
+}

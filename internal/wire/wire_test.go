@@ -202,3 +202,60 @@ func TestBatchHostileNullBitmap(t *testing.T) {
 		t.Fatal("hostile null-bitmap word count accepted")
 	}
 }
+
+func TestStatsTrailerRoundTrip(t *testing.T) {
+	stats := []Stat{
+		{Name: "supersteps", Value: 9},
+		{Name: "dangling_messages", Value: 0},
+		{Name: "delta", Value: -17},
+	}
+	var b Buffer
+	b.PutU32(42) // statement id, as on a real Done frame
+	b.PutStats(stats)
+	r := &Reader{B: b.B}
+	if id := r.U32(); id != 42 {
+		t.Fatalf("stmt id: %d", id)
+	}
+	got := r.Stats()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(got) != len(stats) {
+		t.Fatalf("got %d stats, want %d", len(got), len(stats))
+	}
+	for i := range stats {
+		if got[i] != stats[i] {
+			t.Fatalf("stat %d: got %+v want %+v", i, got[i], stats[i])
+		}
+	}
+
+	// A bare Done payload (old server, or nothing to report) reads as a
+	// nil trailer, not an error.
+	var bare Buffer
+	bare.PutU32(7)
+	r = &Reader{B: bare.B}
+	r.U32()
+	if got := r.Stats(); got != nil || r.Err != nil {
+		t.Fatalf("bare payload: stats=%v err=%v", got, r.Err)
+	}
+
+	// Empty stat lists encode to nothing: pre-trailer clients see the
+	// exact old payload.
+	var empty Buffer
+	empty.PutU32(7)
+	empty.PutStats(nil)
+	if len(empty.B) != len(bare.B) {
+		t.Fatalf("PutStats(nil) grew the payload: %d vs %d bytes", len(empty.B), len(bare.B))
+	}
+
+	// A hostile count larger than the remaining payload must be rejected
+	// before allocation.
+	var hostile Buffer
+	hostile.PutU32(1)
+	hostile.PutUvarint(1 << 40)
+	r = &Reader{B: hostile.B}
+	r.U32()
+	if got := r.Stats(); got != nil || r.Err == nil {
+		t.Fatalf("hostile count accepted: stats=%v err=%v", got, r.Err)
+	}
+}
