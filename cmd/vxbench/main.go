@@ -26,6 +26,7 @@ import (
 	preparebench "repro/internal/bench/prepare"
 	"repro/internal/bench/serve"
 	shardbench "repro/internal/bench/shard"
+	spillbench "repro/internal/bench/spill"
 	"repro/internal/bench/stream"
 )
 
@@ -50,6 +51,9 @@ func main() {
 	prepareStudy := flag.Bool("prepare", false, "run study Q: prepared-execution throughput, cached plans vs re-parse-per-exec substitution")
 	prepareOut := flag.String("prepare-out", "BENCH_prepare.json", "study Q: JSON trajectory file path (empty = don't write)")
 	prepareWindow := flag.Duration("prepare-window", 300*time.Millisecond, "study Q: measured interval per cell")
+	spillStudy := flag.Bool("spill", false, "run study M: out-of-core sort/join/agg throughput under a 64KB grant, with a peak-heap bound")
+	spillOut := flag.String("spill-out", "BENCH_spill.json", "study M: JSON trajectory file path (empty = don't write)")
+	spillWindow := flag.Duration("spill-window", 500*time.Millisecond, "study M: measured interval per cell")
 	giraphOverhead := flag.Duration("giraph-overhead", 0, "modeled Giraph per-superstep coordination (0 = default 80ms, negative = off)")
 	flag.Parse()
 
@@ -115,6 +119,26 @@ func main() {
 	}
 	if *prepareStudy {
 		runPrepareStudy(*prepareWindow, *prepareOut)
+	}
+	if *spillStudy {
+		runSpillStudy(*scale, *spillWindow, *spillOut)
+	}
+}
+
+// runSpillStudy measures rows/s for a sort, a hash join and a hash
+// aggregate over a fact table several times a 64KB per-statement
+// grant, in memory versus forced out of core, asserting the budgeted
+// cells spill and stay under a peak-heap bound, recording the
+// trajectory in BENCH_spill.json.
+func runSpillStudy(scale float64, window time.Duration, out string) {
+	fmt.Printf("\n=== study M: out-of-core execution (scale=%.4f, %v/cell) ===\n", scale, window)
+	rows, err := spillbench.Study(scale, window, out)
+	if err != nil {
+		fatal(err)
+	}
+	bench.PrintAblation(os.Stdout, rows)
+	if out != "" {
+		fmt.Printf("trajectory written to %s\n", out)
 	}
 }
 

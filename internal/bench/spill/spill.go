@@ -1,0 +1,367 @@
+// Package spill holds study M: out-of-core execution. The three
+// blocking operator families — sort, hash join, hash aggregate — run
+// over a generated fact table whose working set is several times a
+// 64KB per-statement memory grant, once with unlimited memory and once
+// under the grant (forcing external merge sort, Grace partitioned
+// join, and aggregate spill-and-merge). The study measures rows/s per
+// (mode, query) cell, records the spill-run and spill-byte deltas so
+// the budgeted cells demonstrably went to disk, samples the Go heap
+// during each cell and asserts the budgeted runs stay under a peak
+// bound — the point of out-of-core execution is that peak memory does
+// not track input size — and writes the trajectory to a JSON file
+// (BENCH_spill.json) so the throughput cost of spilling is tracked
+// across revisions.
+package spill
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// grantBytes is the per-statement memory budget of the spilled cells —
+// the same 64KB the force-spill test matrix uses.
+const grantBytes = 64 << 10
+
+// dimRows is the small build side of the join cell.
+const dimRows = 500
+
+// query is one measured statement family.
+type query struct {
+	Name string
+	Text string
+}
+
+func queries() []query {
+	return []query{
+		{"sort", "SELECT id, tag FROM mfact ORDER BY tag, id"},
+		// The fact table sits on the build side so the join itself must
+		// go out of core, not just probe a small in-memory dim table.
+		{"join", "SELECT d.label, f.id FROM mdim d JOIN mfact f ON d.grp = f.grp"},
+		{"aggregate", "SELECT tag, COUNT(*) AS c, SUM(val) AS s FROM mfact GROUP BY tag"},
+	}
+}
+
+// Variant is one measured (mode, query) cell.
+type Variant struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	// Execs counts completed executions (fully drained result streams).
+	Execs int64 `json:"execs"`
+	// Rows counts result rows across all executions — a sanity check
+	// that both modes computed the same workload.
+	Rows int64 `json:"rows"`
+	// DurationMicros is the measured wall-clock window.
+	DurationMicros int64 `json:"duration_us"`
+	// SpillRuns / SpillBytes are the process spill-counter deltas over
+	// the cell: zero for in-memory, positive for budgeted cells.
+	SpillRuns  int64 `json:"spill_runs"`
+	SpillBytes int64 `json:"spill_bytes"`
+	// PeakHeapDeltaBytes is the sampled peak of Go heap allocation over
+	// the cell, relative to a post-GC baseline.
+	PeakHeapDeltaBytes int64 `json:"peak_heap_delta_bytes"`
+}
+
+// RowsPerSec is the variant's headline rate.
+func (v Variant) RowsPerSec() float64 {
+	return float64(v.Rows) / (float64(v.DurationMicros) / 1e6)
+}
+
+// Report is the JSON document written to the trajectory file.
+type Report struct {
+	Study string `json:"study"`
+	// GrantBytes is the per-statement budget of the spilled cells.
+	GrantBytes int64 `json:"grant_bytes"`
+	// InputBytes is the estimated resident footprint of the fact table.
+	InputBytes int64 `json:"input_bytes"`
+	// PeakBoundBytes is the asserted ceiling on the budgeted cells'
+	// PeakHeapDeltaBytes.
+	PeakBoundBytes int64     `json:"peak_bound_bytes"`
+	Variants       []Variant `json:"variants"`
+	// SlowdownSort etc. are budgeted rows/s over unlimited rows/s — the
+	// throughput price of going out of core (≤ 1 in the common case).
+	SlowdownSort      float64 `json:"throughput_ratio_sort"`
+	SlowdownJoin      float64 `json:"throughput_ratio_join"`
+	SlowdownAggregate float64 `json:"throughput_ratio_aggregate"`
+}
+
+// seed builds the fact and dimension tables. At scale 0.01 (CI smoke)
+// the fact table holds 20k rows — roughly 1MB resident, sixteen times
+// the grant; scale 1.0 is 2M rows.
+func seed(scale float64) (*engine.DB, int64, error) {
+	db := engine.New()
+	db.SetWorkMem(0) // the study controls grants per session, not via env
+	rows := int(2_000_000 * scale)
+	if rows < 8_000 {
+		rows = 8_000
+	}
+	stmts := []string{
+		"CREATE TABLE mfact (id INTEGER NOT NULL, grp INTEGER, val DOUBLE, tag VARCHAR)",
+		"CREATE TABLE mdim (grp INTEGER NOT NULL, label VARCHAR)",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return nil, 0, err
+		}
+	}
+	fact, err := db.Catalog().Get("mfact")
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := fact.AppendRow(
+			storage.Int64(int64(i)),
+			storage.Int64(int64((i*2654435761)%dimRows)),
+			storage.Float64(float64((i*7919)%10007)/7),
+			storage.Str(fmt.Sprintf("tag-%04d", (i*104729)%1500)),
+		); err != nil {
+			return nil, 0, err
+		}
+	}
+	dim, err := db.Catalog().Get("mdim")
+	if err != nil {
+		return nil, 0, err
+	}
+	for g := 0; g < dimRows; g++ {
+		if err := dim.AppendRow(storage.Int64(int64(g)), storage.Str(fmt.Sprintf("label-%03d", g%23))); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// Estimate the resident input footprint by draining one scan.
+	input, err := measureInput(db)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db, input, nil
+}
+
+func measureInput(db *engine.DB) (int64, error) {
+	rows, err := db.QueryStream(context.Background(), "SELECT id, grp, val, tag FROM mfact")
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var total int64
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			return 0, err
+		}
+		if b == nil {
+			return total, nil
+		}
+		total += storage.BatchBytes(b)
+	}
+}
+
+// heapSampler polls the Go heap on a short period and tracks the peak,
+// relative to a post-GC baseline taken at start.
+type heapSampler struct {
+	baseline uint64
+	peak     uint64
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &heapSampler{baseline: ms.HeapAlloc, peak: ms.HeapAlloc, stop: make(chan struct{})}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// finish stops sampling and returns the peak delta over the baseline.
+func (s *heapSampler) finish() int64 {
+	close(s.stop)
+	s.done.Wait()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	return int64(s.peak - s.baseline)
+}
+
+// drain streams one execution of q and returns its result-row count
+// without materializing — peak heap must reflect the executor, not a
+// buffered result set.
+func drain(ctx context.Context, sess *engine.Session, q query) (int64, error) {
+	rows, _, err := sess.RunStream(ctx, q.Text)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		b, err := rows.Next()
+		if err != nil {
+			rows.Close()
+			return 0, err
+		}
+		if b == nil {
+			return n, rows.Close()
+		}
+		n += int64(b.Len())
+	}
+}
+
+// run measures one (mode, query) cell over the window.
+func run(db *engine.DB, name string, q query, workMem int64, window time.Duration) (Variant, error) {
+	sess := db.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+	if _, _, err := sess.Run(ctx, fmt.Sprintf("SET work_mem = %d", workMem)); err != nil {
+		return Variant{}, err
+	}
+	// Warm-up: fault in the table and populate the plan cache so the
+	// first measured iteration is steady-state.
+	if _, err := drain(ctx, sess, q); err != nil {
+		return Variant{}, err
+	}
+
+	runs0, bytes0 := storage.SpillTotals()
+	sampler := startHeapSampler()
+	start := time.Now()
+	var execs, rows int64
+	for time.Since(start) < window {
+		n, err := drain(ctx, sess, q)
+		if err != nil {
+			return Variant{}, err
+		}
+		execs++
+		rows += n
+	}
+	elapsed := time.Since(start)
+	peak := sampler.finish()
+	runs1, bytes1 := storage.SpillTotals()
+	return Variant{
+		Name:               name,
+		Query:              q.Name,
+		Execs:              execs,
+		Rows:               rows,
+		DurationMicros:     elapsed.Microseconds(),
+		SpillRuns:          runs1 - runs0,
+		SpillBytes:         bytes1 - bytes0,
+		PeakHeapDeltaBytes: peak,
+	}, nil
+}
+
+// Study measures rows/s for sort, join and aggregate with unlimited
+// memory and under the 64KB grant, writes the report to outPath
+// (skipped when empty), and returns printable rows. window is the
+// measured interval per cell (0 means 500ms — CI smoke passes a
+// smaller one).
+func Study(scale float64, window time.Duration, outPath string) ([]bench.AblationRow, error) {
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	db, input, err := seed(scale)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if input < 4*grantBytes {
+		return nil, fmt.Errorf("spill: fixture too small to exceed the grant: input %d bytes, grant %d", input, grantBytes)
+	}
+
+	// The budgeted cells must not hold the input: allow the grant, the
+	// executor's working floor and allocator churn, but never a heap
+	// excursion proportional to a large input. The additive slack keeps
+	// CI smoke (tiny inputs, GC pacing noise) out of the failure zone;
+	// at full scale the input term dominates and the bound bites.
+	peakBound := input/2 + 48<<20
+
+	report := Report{Study: "spill", GrantBytes: grantBytes, InputBytes: input, PeakBoundBytes: peakBound}
+	rates := map[string]float64{} // "budgeted?/query" -> rows/s
+	rowsPerExec := map[string]float64{}
+	for _, mode := range []struct {
+		name    string
+		workMem int64
+	}{{"in-memory (unlimited)", 0}, {fmt.Sprintf("spilled (%dKB grant)", grantBytes>>10), grantBytes}} {
+		for _, q := range queries() {
+			v, err := run(db, mode.name, q, mode.workMem, window)
+			if err != nil {
+				return nil, err
+			}
+			budgeted := mode.workMem > 0
+			if budgeted && v.SpillRuns == 0 {
+				return nil, fmt.Errorf("spill: %s under the %d-byte grant never spilled", q.Name, grantBytes)
+			}
+			if budgeted && v.PeakHeapDeltaBytes > peakBound {
+				return nil, fmt.Errorf("spill: %s peaked at %d heap bytes under the grant (bound %d)",
+					q.Name, v.PeakHeapDeltaBytes, peakBound)
+			}
+			report.Variants = append(report.Variants, v)
+			key := fmt.Sprintf("%t/%s", budgeted, q.Name)
+			rates[key] = v.RowsPerSec()
+			rowsPerExec[key] = float64(v.Rows) / float64(v.Execs)
+		}
+	}
+	for _, q := range queries() {
+		// Both modes must compute the same workload.
+		if a, b := rowsPerExec["false/"+q.Name], rowsPerExec["true/"+q.Name]; a != b {
+			return nil, fmt.Errorf("spill: %s rows/exec differ between modes: %.2f vs %.2f", q.Name, a, b)
+		}
+	}
+	ratio := func(q string) float64 {
+		if base := rates["false/"+q]; base > 0 {
+			return rates["true/"+q] / base
+		}
+		return 0
+	}
+	report.SlowdownSort = ratio("sort")
+	report.SlowdownJoin = ratio("join")
+	report.SlowdownAggregate = ratio("aggregate")
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bench.AblationRow, 0, len(report.Variants))
+	for _, v := range report.Variants {
+		extra := fmt.Sprintf("%.0f rows/s, %d execs", v.RowsPerSec(), v.Execs)
+		if v.SpillRuns > 0 {
+			extra += fmt.Sprintf(", %d spill runs / %d bytes, peak heap +%dKB",
+				v.SpillRuns, v.SpillBytes, v.PeakHeapDeltaBytes>>10)
+		}
+		out = append(out, bench.AblationRow{
+			Study:   "M: out-of-core execution (rows/s)",
+			Variant: fmt.Sprintf("%s, %s", v.Name, v.Query),
+			Seconds: float64(v.DurationMicros) / 1e6,
+			Extra:   extra,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package spill
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStudySmoke runs a tiny window of the full (mode, query) grid and
+// checks the trajectory file shape — the same invocation CI smoke uses.
+func TestStudySmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_spill.json")
+	rows, err := Study(0.01, 60*time.Millisecond, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d printable rows, want 6 (2 modes x 3 queries)", len(rows))
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Study != "spill" || len(rep.Variants) != 6 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	if rep.InputBytes <= 4*rep.GrantBytes {
+		t.Fatalf("fixture does not exceed the grant: input=%d grant=%d", rep.InputBytes, rep.GrantBytes)
+	}
+	for _, v := range rep.Variants {
+		if v.Execs == 0 || v.Rows == 0 {
+			t.Errorf("%s / %s: empty cell (%d execs, %d rows)", v.Name, v.Query, v.Execs, v.Rows)
+		}
+	}
+	if rep.SlowdownSort <= 0 || rep.SlowdownJoin <= 0 || rep.SlowdownAggregate <= 0 {
+		t.Errorf("throughput ratios not computed: %+v", rep)
+	}
+}

@@ -8,7 +8,9 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,8 +49,9 @@ type DB struct {
 	funcs   *expr.Registry
 	planner *plan.Planner // planner.Parallelism is guarded by mu
 
-	budget *sched.Budget // global worker budget (shared with the vertex runtime)
-	mvcc   *mvcc.Manager // version store: reader snapshots + txn pre-images
+	budget  *sched.Budget    // global worker budget (shared with the vertex runtime)
+	memPool *sched.MemBudget // process-wide executor memory pool (0 = unlimited)
+	mvcc    *mvcc.Manager    // version store: reader snapshots + txn pre-images
 
 	snapshotReads bool // guarded by mu; false = legacy latch-coupled reads
 	noFastWrites  bool // guarded by mu; true forces every write through the exclusive gate
@@ -99,7 +102,8 @@ func New() *DB {
 		cat:           cat,
 		funcs:         funcs,
 		planner:       plan.New(cat, funcs),
-		budget:        sched.NewBudget(0), // unlimited until SetWorkerBudget
+		budget:        sched.NewBudget(0),    // unlimited until SetWorkerBudget
+		memPool:       sched.NewMemBudget(0), // unlimited until SetMemoryBudget
 		mvcc:          mvcc.NewManager(cat),
 		snapshotReads: true,
 		gateExcl:      make(chan struct{}, 1),
@@ -112,6 +116,13 @@ func New() *DB {
 	}
 	db.planner.Parallelism = runtime.NumCPU()
 	db.planner.Budget = db.budget
+	db.planner.Mem = db.memPool
+	// VXDB_WORK_MEM seeds the default per-statement memory grant, in
+	// bytes (0 or unset = unlimited). CI runs the suite under a tiny
+	// value to force every spill path.
+	if v, err := strconv.ParseInt(os.Getenv("VXDB_WORK_MEM"), 10, 64); err == nil && v > 0 {
+		db.planner.WorkMem = v
+	}
 	db.obs = obs.New()
 	db.registerGauges()
 	return db
@@ -137,6 +148,13 @@ func (db *DB) registerGauges() {
 	r.Gauge("sched.budget_in_use", func() int64 { return int64(b.InUse()) })
 	r.Gauge("sched.budget_high_water", func() int64 { return int64(b.HighWater()) })
 	r.Gauge("sched.budget_waits", func() int64 { return int64(b.Waits()) })
+	mp := db.memPool
+	r.Gauge("mem.pool_capacity", func() int64 { return mp.Capacity() })
+	r.Gauge("mem.pool_in_use", func() int64 { return mp.InUse() })
+	r.Gauge("mem.pool_high_water", func() int64 { return mp.HighWater() })
+	r.Gauge("mem.pool_denials", func() int64 { return int64(mp.Denials()) })
+	r.Gauge("spill.runs", func() int64 { n, _ := storage.SpillTotals(); return n })
+	r.Gauge("spill.bytes", func() int64 { _, b := storage.SpillTotals(); return b })
 	r.Gauge("plancache.parses", func() int64 { return int64(p.parses.Load()) })
 	r.Gauge("plancache.plans", func() int64 { return int64(p.plans.Load()) })
 	r.Gauge("plancache.hits", func() int64 { return int64(p.hits.Load()) })
@@ -185,6 +203,39 @@ func (db *DB) SetWorkerBudget(n int) { db.budget.Resize(n) }
 // WorkerBudget exposes the shared budget (the vertex coordinator draws
 // from it; benchmarks and tests read its gauges).
 func (db *DB) WorkerBudget() *sched.Budget { return db.budget }
+
+// SetMemoryBudget caps the total bytes the executor may hold in
+// blocking operators (sorts, hash tables, aggregate state, spools)
+// across all concurrent statements. Operators that would exceed it
+// spill to disk and produce byte-identical results; operators with no
+// spill path fail cleanly with an out-of-memory-budget error. n <= 0
+// removes the cap (the default).
+func (db *DB) SetMemoryBudget(n int64) { db.memPool.Resize(n) }
+
+// MemoryBudget exposes the executor memory pool (capacity, in-use and
+// high-water gauges, denial counts).
+func (db *DB) MemoryBudget() *sched.MemBudget { return db.memPool }
+
+// SetWorkMem sets the default per-statement memory grant in bytes:
+// each statement's blocking operators share at most this much memory
+// before spilling (and never more than the pool has free). n <= 0
+// means unlimited. Sessions override it with SET work_mem.
+func (db *DB) SetWorkMem(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.planner.WorkMem = n
+}
+
+// WorkMem returns the default per-statement memory grant (0 =
+// unlimited).
+func (db *DB) WorkMem() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planner.WorkMem
+}
 
 // LockShared takes the statement latch in shared (reader) mode.
 // Subsystems that read storage tables directly — bypassing both the
@@ -535,7 +586,7 @@ func (db *DB) QueryContextWorkers(ctx context.Context, text string, workers int)
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires a SELECT; use Exec for %T", st)
 	}
-	return db.queryMaterializedParsed(ctx, sel, workers, readerDBLevel)
+	return db.queryMaterializedParsed(ctx, sel, workers, -1, readerDBLevel)
 }
 
 // readerKind identifies who is asking for a read snapshot, which
@@ -558,13 +609,13 @@ const (
 // queryMaterializedParsed runs a parsed SELECT to a materialized
 // result. Under snapshot isolation the shared latch is held only while
 // planning pins the statement's snapshot; the drain runs latch-free.
-func (db *DB) queryMaterializedParsed(ctx context.Context, sel *sql.SelectStmt, workers int, kind readerKind) (*Rows, error) {
+func (db *DB) queryMaterializedParsed(ctx context.Context, sel *sql.SelectStmt, workers int, workMem int64, kind readerKind) (*Rows, error) {
 	db.mu.RLock()
 	if !db.snapshotReads {
 		defer db.mu.RUnlock()
 		return db.querySelectLockedWorkers(ctx, sel, workers)
 	}
-	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	op, snap, err := db.planSnapshotLocked(sel, workers, workMem, kind)
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -584,7 +635,7 @@ func (db *DB) queryMaterializedParsed(ctx context.Context, sel *sql.SelectStmt, 
 // only for the transaction's owner: the Session that opened it, or a
 // DB-level read during a DB-level transaction. A session that does
 // not own the transaction always reads committed versions.
-func (db *DB) planSnapshotLocked(sel *sql.SelectStmt, workers int, kind readerKind) (exec.Operator, *mvcc.Snapshot, error) {
+func (db *DB) planSnapshotLocked(sel *sql.SelectStmt, workers int, workMem int64, kind readerKind) (exec.Operator, *mvcc.Snapshot, error) {
 	own := kind == readerTxnOwner ||
 		(kind == readerDBLevel && db.txn != nil && !db.txnSessionOwned)
 	acquire := db.mvcc.Acquire
@@ -595,7 +646,7 @@ func (db *DB) planSnapshotLocked(sel *sql.SelectStmt, workers int, kind readerKi
 	if err != nil {
 		return nil, nil, err
 	}
-	op, err := db.planner.PlanSelectSource(sel, workers, snap)
+	op, err := db.planner.PlanSelectMem(sel, workers, workMem, snap, nil)
 	snap.Seal()
 	if err != nil {
 		snap.Release()
@@ -638,7 +689,7 @@ func (db *DB) QueryStream(ctx context.Context, text string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: QueryStream requires a SELECT; use Exec for %T", st)
 	}
-	return db.queryStreamParsed(ctx, sel, 0, readerDBLevel)
+	return db.queryStreamParsed(ctx, sel, 0, -1, readerDBLevel)
 }
 
 // queryStreamParsed plans an already-parsed SELECT and returns
@@ -647,7 +698,7 @@ func (db *DB) QueryStream(ctx context.Context, text string) (*Rows, error) {
 // only the snapshot pin (released when the stream finishes). With
 // SetSnapshotReads(false) the legacy behavior applies: the latch is
 // held until the stream is drained or closed.
-func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, workers int, kind readerKind) (*Rows, error) {
+func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, workers int, workMem int64, kind readerKind) (*Rows, error) {
 	db.mu.RLock()
 	if !db.snapshotReads {
 		op, err := db.planner.PlanSelectWorkers(sel, workers)
@@ -661,7 +712,7 @@ func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, worker
 		}
 		return rows, nil
 	}
-	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	op, snap, err := db.planSnapshotLocked(sel, workers, workMem, kind)
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, err

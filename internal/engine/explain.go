@@ -64,7 +64,7 @@ func (s *Session) explainSelect(ctx context.Context, sel *sql.SelectStmt, key st
 	db.mu.RLock()
 	mode := "snapshot"
 	cache := "miss"
-	if db.plans.peek(key, db.cat.Version(), workers) {
+	if db.plans.peek(key, db.cat.Version(), workers, s.effectiveWorkMem()) {
 		cache = "hit"
 	}
 	if !db.snapshotReads {
@@ -83,8 +83,8 @@ func (s *Session) explainSelect(ctx context.Context, sel *sql.SelectStmt, key st
 			return lines, nil
 		}
 		start := time.Now()
-		release := exec.EnableTiming()
 		wrapped := exec.WithContext(ctx, op)
+		release := exec.MarkTimed(wrapped)
 		data, err := exec.Drain(wrapped)
 		release()
 		db.mu.RUnlock()
@@ -96,7 +96,7 @@ func (s *Session) explainSelect(ctx context.Context, sel *sql.SelectStmt, key st
 		return append(lines, exec.Explain(wrapped, true)...), nil
 	}
 
-	op, snap, err := db.planSnapshotLocked(sel, workers, kind)
+	op, snap, err := db.planSnapshotLocked(sel, workers, s.effectiveWorkMem(), kind)
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -110,8 +110,8 @@ func (s *Session) explainSelect(ctx context.Context, sel *sql.SelectStmt, key st
 		return append(lines, exec.Explain(op, false)...), nil
 	}
 	start := time.Now()
-	release := exec.EnableTiming()
 	wrapped := exec.WithContext(ctx, op)
+	release := exec.MarkTimed(wrapped)
 	data, err := exec.Drain(wrapped)
 	release()
 	if err != nil {

@@ -216,7 +216,10 @@ func TestQueryContextCancellation(t *testing.T) {
 		t.Errorf("ExecContext after cancel: err = %v, want context.Canceled", err)
 	}
 	// A deadline that expires mid-statement must abort the cross join
-	// (600×3000 rows probed row-at-a-time) long before completion.
+	// (600×3000 rows probed row-at-a-time) long before completion. The
+	// join build must not be starved first by a VXDB_WORK_MEM seed — the
+	// test is about cancellation, not memory accounting.
+	db.SetWorkMem(0)
 	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel2()
 	start := time.Now()

@@ -48,6 +48,7 @@ type cacheEntry struct {
 	prep    *plan.Prepared
 	catVer  uint64 // catalog version prep was built against
 	workers int    // parallelism prep was built for
+	workMem int64  // per-statement memory grant frozen into prep
 	busy    bool   // prep checked out by a running execution
 }
 
@@ -200,9 +201,10 @@ func (pc *planCache) parse(text, key string) (sql.Statement, int, error) {
 
 // checkoutPlan claims the cached prepared plan under key for exclusive
 // use by one execution. It returns nil when there is no plan yet, the
-// plan is stale (catalog version or worker count changed — the parse is
-// kept, the plan dropped), or another execution holds it (bypass).
-func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int) *cacheEntry {
+// plan is stale (catalog version, worker count or work_mem changed —
+// the parse is kept, the plan dropped), or another execution holds it
+// (bypass).
+func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int, workMem int64) *cacheEntry {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	el, ok := pc.items[key]
@@ -219,7 +221,7 @@ func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int) *cache
 		pc.bypasses.Add(1)
 		return nil
 	}
-	if e.catVer != catVer || e.workers != workers {
+	if e.catVer != catVer || e.workers != workers || e.workMem != workMem {
 		e.prep = nil
 		pc.misses.Add(1)
 		return nil
@@ -234,7 +236,7 @@ func (pc *planCache) checkoutPlan(key string, catVer uint64, workers int) *cache
 // without touching the hit/miss counters, the LRU order, or the busy
 // flag. EXPLAIN uses it to report plan-cache state for a statement
 // while leaving the cache exactly as it found it.
-func (pc *planCache) peek(key string, catVer uint64, workers int) bool {
+func (pc *planCache) peek(key string, catVer uint64, workers int, workMem int64) bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	el, ok := pc.items[key]
@@ -242,14 +244,14 @@ func (pc *planCache) peek(key string, catVer uint64, workers int) bool {
 		return false
 	}
 	e := el.Value.(*cacheEntry)
-	return e.prep != nil && e.catVer == catVer && e.workers == workers
+	return e.prep != nil && e.catVer == catVer && e.workers == workers && e.workMem == workMem
 }
 
 // attach installs a freshly built plan on key's entry, checked out by
 // the calling execution (release it when the run ends). It returns nil —
 // and the plan stays single-use — when the entry was evicted since
 // parse or a concurrent execution already attached one.
-func (pc *planCache) attach(key string, prep *plan.Prepared, catVer uint64, workers int) *cacheEntry {
+func (pc *planCache) attach(key string, prep *plan.Prepared, catVer uint64, workers int, workMem int64) *cacheEntry {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	el, ok := pc.items[key]
@@ -260,7 +262,7 @@ func (pc *planCache) attach(key string, prep *plan.Prepared, catVer uint64, work
 	if e.busy || e.prep != nil {
 		return nil
 	}
-	e.prep, e.catVer, e.workers, e.busy = prep, catVer, workers, true
+	e.prep, e.catVer, e.workers, e.workMem, e.busy = prep, catVer, workers, workMem, true
 	return e
 }
 
@@ -313,10 +315,10 @@ func (db *DB) PreparedStats() PreparedStats {
 // fresh plan is attached to the cache for the next execution. The
 // legacy latch-coupled mode plans fresh every time — its plans resolve
 // live catalog tables under the database latch and cannot be rebound.
-func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key string, args []storage.Value, workers int, kind readerKind) (*Rows, error) {
+func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key string, args []storage.Value, workers int, workMem int64, kind readerKind) (*Rows, error) {
 	db.mu.RLock()
 	if !db.snapshotReads {
-		op, err := db.planner.PlanSelectParams(sel, workers, nil, plan.NewParams(args))
+		op, err := db.planner.PlanSelectMem(sel, workers, workMem, nil, plan.NewParams(args))
 		if err != nil {
 			db.mu.RUnlock()
 			return nil, err
@@ -342,7 +344,7 @@ func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key str
 	}
 
 	catVer := db.cat.Version()
-	entry := db.plans.checkoutPlan(key, catVer, workers)
+	entry := db.plans.checkoutPlan(key, catVer, workers, workMem)
 	var prep *plan.Prepared
 	if entry != nil {
 		prep = entry.prep
@@ -354,7 +356,7 @@ func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key str
 			return fail(err)
 		}
 	} else {
-		prep, err = db.planner.PrepareSelect(sel, workers, snap, plan.NewParams(args))
+		prep, err = db.planner.PrepareSelectMem(sel, workers, workMem, snap, plan.NewParams(args))
 		if err != nil {
 			return fail(err)
 		}
@@ -365,7 +367,7 @@ func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key str
 			return fail(err)
 		}
 		if prep.Cacheable {
-			entry = db.plans.attach(key, prep, catVer, workers)
+			entry = db.plans.attach(key, prep, catVer, workers, workMem)
 		}
 	}
 	snap.Seal()

@@ -30,6 +30,7 @@ type Session struct {
 
 	timeout  time.Duration // statement_timeout; 0 = disabled
 	workers  int           // SET parallelism; 0 = engine default
+	workMem  int64         // SET work_mem (bytes); 0 = engine default
 	ownsGate bool          // this session holds the write gate (open txn)
 }
 
@@ -85,6 +86,18 @@ func (s *Session) stmtCtx(ctx context.Context) (context.Context, context.CancelF
 		return context.WithCancel(ctx)
 	}
 	return context.WithTimeout(ctx, s.timeout)
+}
+
+// effectiveWorkMem resolves the per-statement memory grant in bytes
+// (session override or engine default; 0 = unlimited). The resolved
+// value — not the "default" sentinel — flows into planning and the
+// plan-cache key, so a SET work_mem on the engine default never
+// revives a plan whose frozen grant no longer matches.
+func (s *Session) effectiveWorkMem() int64 {
+	if s.workMem > 0 {
+		return s.workMem
+	}
+	return s.db.WorkMem()
 }
 
 // effectiveWorkers resolves the per-statement worker count from the
@@ -171,7 +184,7 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		}
 		start := time.Now()
 		sctx, cancel := s.stmtCtx(ctx)
-		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers(), kind)
+		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers(), s.effectiveWorkMem(), kind)
 		if err != nil {
 			cancel()
 			return nil, Result{}, err
@@ -240,7 +253,7 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 		}
 		start := time.Now()
 		sctx, cancel := s.stmtCtx(ctx)
-		rows, err := s.db.queryStreamBound(sctx, sel, key, args, s.effectiveWorkers(), kind)
+		rows, err := s.db.queryStreamBound(sctx, sel, key, args, s.effectiveWorkers(), s.effectiveWorkMem(), kind)
 		if err != nil {
 			cancel()
 			return nil, Result{}, err
@@ -340,6 +353,8 @@ const (
 	varStatementTimeout = "statement_timeout"
 	varParallelism      = "parallelism"
 	varWorkerBudget     = "worker_budget"
+	varWorkMem          = "work_mem"
+	varMemoryBudget     = "memory_budget"
 )
 
 // applySet assigns a session variable from SET <name> = <expr>.
@@ -363,6 +378,13 @@ func (s *Session) applySet(st *sql.SetStmt) error {
 		}
 		s.workers = int(n)
 		return nil
+	case varWorkMem:
+		n := v.AsInt()
+		if v.Null || n < 0 {
+			return fmt.Errorf("engine: SET work_mem wants bytes >= 0, got %s", v)
+		}
+		s.workMem = n // 0 restores the engine default
+		return nil
 	default:
 		return fmt.Errorf("engine: unknown session variable %q", st.Name)
 	}
@@ -382,6 +404,10 @@ func (s *Session) show(name string) (*Rows, error) {
 		v = int64(s.effectiveWorkers())
 	case varWorkerBudget:
 		v = int64(s.db.budget.Capacity())
+	case varWorkMem:
+		v = s.effectiveWorkMem()
+	case varMemoryBudget:
+		v = s.db.memPool.Capacity()
 	default:
 		return nil, fmt.Errorf("engine: unknown session variable %q", name)
 	}

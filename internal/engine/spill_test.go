@@ -1,0 +1,346 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Out-of-core acceptance tests: a 64KB per-statement memory grant over
+// inputs several times that size must complete every statement with
+// results byte-identical to unlimited memory at workers 1, 2 and 8,
+// surface per-node spill counters in EXPLAIN ANALYZE, and route budget
+// exhaustion on non-spillable operators to a clean error.
+
+const forceSpillWorkMem = 64 << 10
+
+// outOfCoreDB builds a database whose working sets are several times
+// the force-spill grant: ~20k-row fact table (~1MB resident) plus a
+// small dimension table to join against.
+func outOfCoreDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db,
+		"CREATE TABLE fact (id INTEGER NOT NULL, grp INTEGER, val DOUBLE, tag VARCHAR)",
+		"CREATE TABLE dim (grp INTEGER NOT NULL, label VARCHAR)",
+	)
+	fact, err := db.Catalog().Get("fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		grp := storage.Int64(int64(rng.Intn(500)))
+		if rng.Intn(60) == 0 {
+			grp = storage.Null(storage.TypeInt64)
+		}
+		if err := fact.AppendRow(
+			storage.Int64(int64(i)), grp,
+			storage.Float64(rng.NormFloat64()*100),
+			storage.Str(fmt.Sprintf("tag-%04d", rng.Intn(1500))),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dim, err := db.Catalog().Get("dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 500; g++ {
+		if err := dim.AppendRow(storage.Int64(int64(g)), storage.Str(fmt.Sprintf("label-%03d", g%23))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// sessionQuery runs q on a fresh session configured with the given
+// worker count and work_mem (0 = engine default/unlimited).
+func sessionQuery(t *testing.T, db *DB, q string, workers int, workMem int64) *Rows {
+	t.Helper()
+	s := db.NewSession()
+	defer s.Close()
+	mustSet(t, s, fmt.Sprintf("SET parallelism = %d", workers))
+	mustSet(t, s, fmt.Sprintf("SET work_mem = %d", workMem))
+	rows, err := s.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("workers=%d work_mem=%d %s: %v", workers, workMem, q, err)
+	}
+	return rows
+}
+
+func mustSet(t *testing.T, s *Session, stmt string) {
+	t.Helper()
+	if _, _, err := s.Run(context.Background(), stmt); err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+}
+
+func TestOutOfCoreAcceptance64KB(t *testing.T) {
+	oldMorsels := exec.MinMorselRows
+	exec.MinMorselRows = 64
+	defer func() { exec.MinMorselRows = oldMorsels }()
+	db := outOfCoreDB(t)
+
+	// ORDER BY + GROUP BY + join in one statement over inputs several
+	// times the 64KB grant.
+	q := `SELECT f.tag, d.label, COUNT(*) AS c, SUM(f.val) AS s
+		FROM fact f JOIN dim d ON f.grp = d.grp
+		GROUP BY f.tag, d.label
+		ORDER BY s, c DESC, f.tag`
+	want := sessionQuery(t, db, q, 1, 0)
+	if want.Len() < 1000 {
+		t.Fatalf("degenerate fixture: %d result rows", want.Len())
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := sessionQuery(t, db, q, workers, forceSpillWorkMem)
+		if err := diffRows(fmt.Sprintf("workers=%d", workers), got, want); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// The spill totals must have advanced, and SHOW STATS must carry
+	// them over the wire path.
+	runs, bytes := storage.SpillTotals()
+	if runs == 0 || bytes == 0 {
+		t.Fatalf("force-spill runs left no totals: runs=%d bytes=%d", runs, bytes)
+	}
+	s := db.NewSession()
+	defer s.Close()
+	stats, err := s.QueryContext(context.Background(), "SHOW STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]int64{}
+	for i := 0; i < stats.Len(); i++ {
+		found[stats.Value(i, 0).S] = stats.Value(i, 1).I
+	}
+	if found["spill.runs"] <= 0 || found["spill.bytes"] <= 0 {
+		t.Errorf("SHOW STATS spill counters = %d runs / %d bytes", found["spill.runs"], found["spill.bytes"])
+	}
+	if _, ok := found["mem.pool_capacity"]; !ok {
+		t.Error("SHOW STATS is missing the memory-pool gauges")
+	}
+}
+
+func TestExplainAnalyzeReportsSpill(t *testing.T) {
+	db := outOfCoreDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustSet(t, s, fmt.Sprintf("SET work_mem = %d", forceSpillWorkMem))
+	rows, err := s.QueryContext(context.Background(),
+		"EXPLAIN ANALYZE SELECT id, tag FROM fact ORDER BY tag, id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for i := 0; i < rows.Len(); i++ {
+		plan.WriteString(rows.Value(i, 0).S)
+		plan.WriteByte('\n')
+	}
+	if !strings.Contains(plan.String(), "spilled=") {
+		t.Fatalf("EXPLAIN ANALYZE under a 64KB grant shows no spilled= annotation:\n%s", plan.String())
+	}
+}
+
+// TestSpillDifferentialCorpus force-spills the whole parallel feature
+// corpus and compares byte-for-byte against unlimited memory at
+// workers 1, 2 and 8.
+func TestSpillDifferentialCorpus(t *testing.T) {
+	oldMorsels := exec.MinMorselRows
+	exec.MinMorselRows = 64
+	defer func() { exec.MinMorselRows = oldMorsels }()
+	db := corpusDB(t)
+	for _, q := range featureCorpus {
+		want := sessionQuery(t, db, q, 1, 0)
+		for _, workers := range []int{1, 2, 8} {
+			got := sessionQuery(t, db, q, workers, forceSpillWorkMem)
+			if err := diffRows(fmt.Sprintf("workers=%d %s", workers, q), got, want); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestOutOfMemoryBudgetError(t *testing.T) {
+	db := outOfCoreDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	// DISTINCT's seen-set has no spill path: a tiny grant must fail
+	// cleanly, not OOM or hang.
+	mustSet(t, s, "SET work_mem = 2048")
+	_, err := s.QueryContext(context.Background(), "SELECT DISTINCT id, tag FROM fact")
+	if !errors.Is(err, exec.ErrOutOfMemoryBudget) {
+		t.Fatalf("distinct under 2KB grant: %v", err)
+	}
+	// Raising work_mem on the same session recovers. Force the engine
+	// default to unlimited so a VXDB_WORK_MEM seed can't keep the grant tiny.
+	db.SetWorkMem(0)
+	mustSet(t, s, "SET work_mem = 0")
+	if _, err := s.QueryContext(context.Background(), "SELECT DISTINCT id, tag FROM fact LIMIT 5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessMemoryPoolBindsStatements(t *testing.T) {
+	db := outOfCoreDB(t)
+	db.SetMemoryBudget(2048)
+	defer db.SetMemoryBudget(0)
+	if _, err := db.Query("SELECT DISTINCT id, tag FROM fact"); !errors.Is(err, exec.ErrOutOfMemoryBudget) {
+		t.Fatalf("distinct under a 2KB process pool: %v", err)
+	}
+	// Spillable statements still complete under the same pool.
+	rows, err := db.Query("SELECT id FROM fact ORDER BY tag, id LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 10 {
+		t.Fatalf("sorted rows under tiny pool: %d", rows.Len())
+	}
+}
+
+func TestSetAndShowWorkMem(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	defer s.Close()
+	show := func(name string) int64 {
+		t.Helper()
+		rows, err := s.QueryContext(context.Background(), "SHOW "+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows.Value(0, 0).I
+	}
+	if got := show("work_mem"); got != db.WorkMem() {
+		// VXDB_WORK_MEM may seed a non-zero engine default; the session
+		// must report whatever the engine resolved.
+		t.Fatalf("default work_mem = %d, want engine default %d", got, db.WorkMem())
+	}
+	mustSet(t, s, "SET work_mem = 4096")
+	if got := show("work_mem"); got != 4096 {
+		t.Fatalf("work_mem after SET = %d", got)
+	}
+	db.SetWorkMem(1 << 20)
+	mustSet(t, s, "SET work_mem = 0") // back to the engine default
+	if got := show("work_mem"); got != 1<<20 {
+		t.Fatalf("work_mem after reset = %d, want engine default", got)
+	}
+	db.SetMemoryBudget(1 << 21)
+	if got := show("memory_budget"); got != 1<<21 {
+		t.Fatalf("memory_budget = %d", got)
+	}
+	if _, _, err := s.Run(context.Background(), "SET work_mem = -1"); err == nil {
+		t.Fatal("negative work_mem accepted")
+	}
+}
+
+// TestParallelPlanCacheHitWithSpool is the prepared-cache half of the
+// out-of-core work: a parallel plan whose join result rides a shared
+// spool must be cacheable — repeated bound executions hit the cache and
+// replay the spool against fresh bindings instead of serving stale
+// rows (or bypassing the cache entirely, as before).
+func TestParallelPlanCacheHitWithSpool(t *testing.T) {
+	oldMorsels := exec.MinMorselRows
+	exec.MinMorselRows = 64
+	defer func() { exec.MinMorselRows = oldMorsels }()
+	db := corpusDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustSet(t, s, "SET parallelism = 4")
+	ctx := context.Background()
+
+	// The projection over a join is the spool shape: the join runs once
+	// into a spool and the projection fans out over its parts.
+	q := "SELECT e.dst + $1 FROM edges e JOIN ranks r ON e.src = r.id"
+	explain, err := s.QueryContext(ctx, "EXPLAIN SELECT e.dst + 0 FROM edges e JOIN ranks r ON e.src = r.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for i := 0; i < explain.Len(); i++ {
+		plan.WriteString(explain.Value(i, 0).S)
+		plan.WriteByte('\n')
+	}
+	if !strings.Contains(plan.String(), "Spool") {
+		t.Fatalf("fixture no longer plans a spool at workers=4:\n%s", plan.String())
+	}
+
+	run := func(arg int64) *Rows {
+		t.Helper()
+		rows, _, err := s.RunStreamBound(ctx, q, vals(storage.Int64(arg)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rows.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	first := run(0)
+	hits0 := db.PreparedStats().Hits
+	second := run(0)
+	if db.PreparedStats().Hits <= hits0 {
+		t.Fatalf("second execution of a spooled parallel plan missed the cache: %+v", db.PreparedStats())
+	}
+	if err := diffRows(q, second, first); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh bindings must replay the base, not serve the spooled drain.
+	shifted := run(1000)
+	if shifted.Len() != first.Len() {
+		t.Fatalf("rebound run: %d rows, want %d", shifted.Len(), first.Len())
+	}
+	for i := 0; i < first.Len(); i++ {
+		if shifted.Value(i, 0).I != first.Value(i, 0).I+1000 {
+			t.Fatalf("row %d: %d, want %d", i, shifted.Value(i, 0).I, first.Value(i, 0).I+1000)
+		}
+	}
+}
+
+// TestPlanCacheKeysOnWorkMem: the statement grant's capacity is frozen
+// into the plan, so changing work_mem must invalidate instead of reuse.
+func TestPlanCacheKeysOnWorkMem(t *testing.T) {
+	db := corpusDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	ctx := context.Background()
+	q := "SELECT id FROM big WHERE id < $1 ORDER BY id"
+	run := func() *Rows {
+		t.Helper()
+		rows, _, err := s.RunStreamBound(ctx, q, vals(storage.Int64(50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rows.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	run()
+	hits0 := db.PreparedStats().Hits
+	run()
+	if db.PreparedStats().Hits <= hits0 {
+		t.Fatal("same work_mem did not hit the cache")
+	}
+	misses0 := db.PreparedStats().Misses
+	// Pick a grant guaranteed to differ from the current effective value
+	// (VXDB_WORK_MEM may already seed the engine default to forceSpillWorkMem).
+	newWM := int64(forceSpillWorkMem)
+	if newWM == db.WorkMem() {
+		newWM *= 2
+	}
+	mustSet(t, s, fmt.Sprintf("SET work_mem = %d", newWM))
+	want := run()
+	if db.PreparedStats().Misses <= misses0 {
+		t.Fatal("changed work_mem reused a plan with a stale memory grant")
+	}
+	if want.Len() != 50 {
+		t.Fatalf("rows after work_mem change: %d", want.Len())
+	}
+}

@@ -42,11 +42,31 @@ type HashAggregate struct {
 	Workers int
 	// Budget is the shared extra-worker budget (nil = unlimited).
 	Budget *sched.Budget
+	// Mem is the statement memory grant (nil = unlimited): buffered
+	// input batches and per-group state reserve against it, and a denial
+	// restarts the aggregate into the out-of-core partitioned fold. FS
+	// creates spill files (nil = the default temp-file filesystem).
+	Mem *sched.MemBudget
+	FS  storage.SpillFS
 
 	out    storage.Schema
 	result *storage.Batch
 	pos    int
-	stats  OpStats
+	// spilling marks the restarted out-of-core fold, which bounds its
+	// own memory and must not signal a spill again.
+	spilling bool
+	mt       memTracker
+	stats    OpStats
+}
+
+// errAggSpill aborts the in-memory fold when a reservation is denied;
+// open restarts the input into openSpilled.
+var errAggSpill = fmt.Errorf("exec: aggregate exceeded memory grant; restart with spill fold")
+
+// groupBytes estimates one group's resident state for accounting: map
+// slot, first-row bookkeeping, keys and accumulators.
+func (a *HashAggregate) groupBytes() int64 {
+	return 64 + 32*int64(len(a.GroupBy)) + 48*int64(len(a.Aggs))
 }
 
 // OpStats implements Instrumented.
@@ -127,6 +147,34 @@ func collectUpTo(in Operator, max int) (batches []*storage.Batch, more bool, err
 	return batches, true, nil
 }
 
+// collectWindow is collectUpTo against the aggregate's input with each
+// batch reserved against the memory grant; a denial aborts the
+// in-memory fold with errAggSpill (the spill fold re-reads the input,
+// so the partial window is simply dropped).
+func (a *HashAggregate) collectWindow(max int) (batches []*storage.Batch, more bool, reserved int64, err error) {
+	for len(batches) < max {
+		b, err := a.Input.Next()
+		if err != nil {
+			return nil, false, reserved, err
+		}
+		if b == nil {
+			return batches, false, reserved, nil
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if !a.spilling {
+			n := storage.BatchBytes(b)
+			if !a.mt.reserve(n) {
+				return nil, false, reserved, errAggSpill
+			}
+			reserved += n
+		}
+		batches = append(batches, b)
+	}
+	return batches, true, reserved, nil
+}
+
 func rowsOf(batches []*storage.Batch) int {
 	rows := 0
 	for _, b := range batches {
@@ -176,6 +224,9 @@ func (a *HashAggregate) openFast(next func() (*storage.Batch, error)) error {
 		for i := range kv {
 			g := groups[kv[i]]
 			if g == nil {
+				if !a.spilling && !a.mt.reserve(a.groupBytes()) {
+					return errAggSpill
+				}
 				g = &group{key: kv[i], accs: newAccumulators(a.Aggs)}
 				groups[kv[i]] = g
 				order = append(order, g)
@@ -227,20 +278,36 @@ func (a *HashAggregate) Open() error {
 func (a *HashAggregate) open() error {
 	a.Schema()
 	a.pos = 0
+	a.mt = memTracker{mem: a.Mem}
+	a.spilling = false
+	err := a.openBudgeted()
+	if err == errAggSpill {
+		// The working set outgrew the grant: drop everything buffered
+		// and restart the input into the out-of-core partitioned fold
+		// (the same restart precedent as the fast path's NULL bailout).
+		a.mt.releaseAll()
+		return a.openSpilled()
+	}
+	return err
+}
+
+// openBudgeted is the in-memory fold, aborting with errAggSpill when a
+// reservation is denied.
+func (a *HashAggregate) openBudgeted() error {
 	if err := a.Input.Open(); err != nil {
 		return err
 	}
 	defer a.Input.Close()
 
 	if len(a.GroupBy) > 0 && a.Workers > 1 {
-		batches, more, err := collectUpTo(a.Input, aggWindowBatches)
+		batches, more, reserved, err := a.collectWindow(aggWindowBatches)
 		if err != nil {
 			return err
 		}
 		if more {
 			// The input exceeds one window: fold it window by window
 			// so buffering stays bounded.
-			return a.openWindowed(batches)
+			return a.openWindowed(batches, reserved)
 		}
 		if w := splitParts(rowsOf(batches), a.Workers); w > 1 {
 			return a.openPartitioned(batches, w)
@@ -319,6 +386,9 @@ func (a *HashAggregate) openSerial(next func() (*storage.Batch, error)) error {
 					}
 				}
 				if g == nil {
+					if !a.spilling && !a.mt.reserve(a.groupBytes()) {
+						return errAggSpill
+					}
 					g = newGroup(keys)
 					groups[h] = append(groups[h], g)
 				}
@@ -607,7 +677,7 @@ type pgroup struct {
 // and migrates all groups to the generic path if a NULL or non-integer
 // key appears mid-stream — accumulated state carries over, so no input
 // is re-read.
-func (a *HashAggregate) openWindowed(window []*storage.Batch) error {
+func (a *HashAggregate) openWindowed(window []*storage.Batch, reserved int64) error {
 	w := splitParts(rowsOf(window), a.Workers)
 	if w < 1 {
 		w = 1
@@ -620,9 +690,17 @@ func (a *HashAggregate) openWindowed(window []*storage.Batch) error {
 		fastParts[p] = make(map[int64]*pgroup)
 		slowParts[p] = make(map[uint64][]*pgroup)
 	}
+	groupCount := func() int {
+		n := 0
+		for _, list := range lists {
+			n += len(list)
+		}
+		return n
+	}
 
 	offset := 0
 	for len(window) > 0 {
+		prevGroups := groupCount()
 		if fast {
 			err := a.foldWindowFast(window, offset, w, fastParts, lists)
 			if err == errFastPathNulls {
@@ -641,8 +719,14 @@ func (a *HashAggregate) openWindowed(window []*storage.Batch) error {
 			}
 		}
 		offset += rowsOf(window)
+		// The window is folded: trade its batch reservation for the
+		// group state it grew.
+		a.mt.release(reserved)
+		if !a.mt.reserve(int64(groupCount()-prevGroups) * a.groupBytes()) {
+			return errAggSpill
+		}
 		var err error
-		window, _, err = collectUpTo(a.Input, aggWindowBatches)
+		window, _, reserved, err = a.collectWindow(aggWindowBatches)
 		if err != nil {
 			return err
 		}
@@ -841,6 +925,195 @@ func (a *HashAggregate) foldWindowSlow(window []*storage.Batch, offset, w int, p
 	return nil
 }
 
+// aggSpillParts is the partition fan-out of the out-of-core fold.
+const aggSpillParts = 16
+
+// openSpilled is the out-of-core grouped fold: the input streams to
+// aggSpillParts hash-partitioned runs on disk — raw rows tagged with
+// their global index, not accumulator state, because float accumulation
+// order must match the serial fold — then each partition is folded
+// serially in row order. A group's rows all land in one partition and
+// stay in stream order there, so per-group accumulation order equals
+// the serial fold's; sorting finished groups by first-row index
+// restores the serial output order, making the result byte-identical
+// to the in-memory fold. Resident state is one partition's groups plus
+// a batch per partition — the aggregate's working floor.
+func (a *HashAggregate) openSpilled() error {
+	a.spilling = true
+	if err := a.Input.Open(); err != nil {
+		return err
+	}
+	defer a.Input.Close()
+	if len(a.GroupBy) == 0 {
+		// Scalar aggregates fold in O(1) state; stream serially.
+		return a.openSerial(a.Input.Next)
+	}
+	is := a.Input.Schema()
+	cols := make([]storage.ColumnDef, 0, is.Len()+1)
+	cols = append(cols, is.Cols...)
+	cols = append(cols, storage.Col("__idx", storage.TypeInt64))
+	ext := storage.NewSchema(cols...)
+	fs := a.FS
+	if fs == nil {
+		fs = storage.DefaultSpillFS
+	}
+	var ws [aggSpillParts]*storage.RunWriter
+	abort := func() {
+		for _, w := range ws {
+			if w != nil {
+				w.Abort()
+			}
+		}
+	}
+	var pend [aggSpillParts]*storage.Batch
+	write := func(k int) error {
+		if ws[k] == nil {
+			var err error
+			ws[k], err = storage.NewRunWriter(fs, ext)
+			if err != nil {
+				return err
+			}
+		}
+		err := ws[k].Write(pend[k])
+		pend[k] = nil
+		return err
+	}
+	idx := int64(0)
+	for {
+		b, err := a.Input.Next()
+		if err != nil {
+			abort()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := expr.Row{Batch: b, Idx: i}
+			keys := make([]storage.Value, len(a.GroupBy))
+			for k, ge := range a.GroupBy {
+				v, err := ge.Eval(row)
+				if err != nil {
+					abort()
+					return err
+				}
+				keys[k] = v
+			}
+			k := int(storage.HashRow(keys) % aggSpillParts)
+			if pend[k] == nil {
+				pend[k] = storage.NewBatch(ext)
+			}
+			if err := pend[k].AppendRow(append(b.Row(i), storage.Int64(idx))...); err != nil {
+				abort()
+				return err
+			}
+			idx++
+			if pend[k].Len() >= storage.BatchSize {
+				if err := write(k); err != nil {
+					abort()
+					return err
+				}
+			}
+		}
+	}
+	for k := range pend {
+		if pend[k] != nil && pend[k].Len() > 0 {
+			if err := write(k); err != nil {
+				abort()
+				return err
+			}
+		}
+	}
+	var merged []mergedGroup
+	for k := range ws {
+		if ws[k] == nil {
+			continue
+		}
+		run, err := ws[k].Finish()
+		ws[k] = nil
+		if err != nil {
+			abort()
+			return err
+		}
+		a.stats.spilled(run)
+		err = a.foldSpillRun(run, is, &merged)
+		run.Close()
+		if err != nil {
+			abort()
+			return err
+		}
+	}
+	sort.Slice(merged, func(x, y int) bool { return merged[x].first < merged[y].first })
+	a.result = storage.NewBatch(a.out)
+	for _, g := range merged {
+		if err := a.result.AppendRow(g.row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldSpillRun folds one partition run with the generic serial fold,
+// appending its finished groups to merged.
+func (a *HashAggregate) foldSpillRun(run *storage.SpillRun, is storage.Schema, merged *[]mergedGroup) error {
+	type sgroup struct {
+		keys  []storage.Value
+		first int
+		accs  []*expr.Accumulator
+	}
+	groups := make(map[uint64][]*sgroup)
+	var order []*sgroup
+	rr := run.Reader()
+	for {
+		b, err := rr.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		nc := len(b.Cols) - 1
+		core := &storage.Batch{Schema: is, Cols: b.Cols[:nc]}
+		idxs := b.Cols[nc].(*storage.Int64Column).Int64s()
+		for i := 0; i < b.Len(); i++ {
+			row := expr.Row{Batch: core, Idx: i}
+			keys := make([]storage.Value, len(a.GroupBy))
+			for k, ge := range a.GroupBy {
+				v, err := ge.Eval(row)
+				if err != nil {
+					return err
+				}
+				keys[k] = v
+			}
+			h := storage.HashRow(keys)
+			var g *sgroup
+			for _, cand := range groups[h] {
+				if rowsEqual(cand.keys, keys) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &sgroup{keys: keys, first: int(idxs[i]), accs: newAccumulators(a.Aggs)}
+				groups[h] = append(groups[h], g)
+				order = append(order, g)
+			}
+			if err := foldRow(g.accs, a.Aggs, row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range order {
+		row := make([]storage.Value, 0, a.out.Len())
+		row = append(row, g.keys...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		*merged = append(*merged, mergedGroup{first: g.first, row: row})
+	}
+	return nil
+}
+
 // windowStarts computes each window batch's global row offset.
 func windowStarts(window []*storage.Batch, offset int) []int {
 	starts := make([]int, len(window))
@@ -867,5 +1140,6 @@ func (a *HashAggregate) Next() (*storage.Batch, error) {
 func (a *HashAggregate) Close() error {
 	a.stats.closed()
 	a.result = nil
+	a.mt.releaseAll()
 	return nil
 }

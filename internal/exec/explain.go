@@ -278,16 +278,33 @@ func workersNote(w int) string {
 // operator time, which for concurrent clones legitimately exceeds the
 // statement's wall clock).
 func statsSuffix(ops []Operator) string {
-	var rows, batches, nanos int64
+	var rows, batches, nanos, spillBytes, spillRuns int64
 	for _, op := range ops {
 		if st := StatsOf(op); st != nil {
 			rows += st.Rows.Load()
 			batches += st.Batches.Load()
 			nanos += st.Nanos.Load()
+			spillBytes += st.SpillBytes.Load()
+			spillRuns += st.SpillRuns.Load()
+		}
+	}
+	if _, ok := ops[0].(*SpoolPart); ok {
+		// Sibling parts share one spool; count each spool's overflow once.
+		seen := make(map[*spool]bool)
+		for _, op := range ops {
+			if p, ok := op.(*SpoolPart); ok && !seen[p.sp] {
+				seen[p.sp] = true
+				b, r := p.SpillStats()
+				spillBytes += b
+				spillRuns += r
+			}
 		}
 	}
 	s := fmt.Sprintf(" (rows=%d batches=%d time=%s)",
 		rows, batches, time.Duration(nanos).Round(time.Microsecond))
+	if spillRuns > 0 {
+		s += fmt.Sprintf(" spilled=%dB/%druns", spillBytes, spillRuns)
+	}
 	if _, ok := ops[0].(*HashJoin); ok {
 		var build, probe int64
 		for _, op := range ops {

@@ -52,9 +52,18 @@ type HashJoin struct {
 	// sets it on joins planned under a LIMIT. Row order is identical
 	// to the materialized probe.
 	Streaming bool
+	// Mem is the statement memory grant (nil = unlimited). A build side
+	// that outgrows it switches the join to the Grace partitioned path;
+	// a probe side that outgrows it falls back to the streaming probe.
+	// FS creates spill files (nil = the default temp-file filesystem).
+	Mem *sched.MemBudget
+	FS  storage.SpillFS
 
 	out   storage.Schema
 	built map[uint64][]int
+	// builtParts is the partitioned generic build (Workers > 1): key
+	// hash modulo the partition count routes both build and lookup.
+	builtParts []map[uint64][]int
 	// buildOffs holds the shard boundaries of rdata when the build side
 	// is a whole-table scan of a sharded table keyed on its partition
 	// column: buildOffs[s]..buildOffs[s+1] is shard s's index range.
@@ -78,6 +87,13 @@ type HashJoin struct {
 	// emission.
 	slowOut []*storage.Batch
 	slowPos int
+
+	// grace is the K-way idx-merge over partition result runs when the
+	// build side spilled; streamSpill marks the streaming-probe fallback
+	// when only the probe side overflowed.
+	grace       *graceState
+	streamSpill bool
+	mt          memTracker
 
 	stats OpStats
 	// buildRows/probeRows split the join's input accounting between the
@@ -122,12 +138,22 @@ func (j *HashJoin) open() error {
 	j.fast, j.fastPos = nil, 0
 	j.slowOut, j.slowPos = nil, 0
 	j.lopen, j.ldone = false, false
-	var err error
-	j.rdata, err = Drain(j.Right)
+	j.grace, j.streamSpill = nil, false
+	j.mt = memTracker{mem: j.Mem}
+	j.buildRows.Store(0)
+	j.probeRows.Store(0)
+	j.prepareNulls()
+	rdata, rspill, err := j.drainAccounted(j.Right, &j.buildRows, &j.mt)
 	if err != nil {
 		return err
 	}
-	j.buildRows.Store(int64(j.rdata.Len()))
+	j.rdata = rdata
+	if rspill {
+		// The build side does not fit: Grace partitioned join. What is
+		// buffered plus the rest of both streams goes to hash-partition
+		// runs on disk, probed partition against partition.
+		return j.openGrace()
+	}
 	j.buildOffs = j.shardBuildOffsets()
 	if j.Streaming {
 		j.buildTable()
@@ -138,11 +164,35 @@ func (j *HashJoin) open() error {
 		j.ldata, j.lpos = nil, 0
 		return nil
 	}
-	j.ldata, err = Drain(j.Left)
+	var lmt memTracker
+	lmt.mem = j.Mem
+	ldata, lspill, err := j.drainAccounted(j.Left, &j.probeRows, &lmt)
 	if err != nil {
 		return err
 	}
-	j.probeRows.Store(int64(j.ldata.Len()))
+	if lspill {
+		// The build fits but the probe side does not. Drop the partial
+		// drain, restart the left input and probe batch by batch at
+		// O(batch) memory — the streaming probe visits left rows in
+		// input order, which IS the materialized probe's output order,
+		// so the result is byte-identical.
+		lmt.releaseAll()
+		if err := j.Left.Close(); err != nil {
+			return err
+		}
+		j.probeRows.Store(0)
+		j.buildTable()
+		if err := j.Left.Open(); err != nil {
+			return err
+		}
+		j.lopen = true
+		j.ldata, j.lpos = nil, 0
+		j.streamSpill = true
+		return nil
+	}
+	j.mt.held += lmt.held
+	lmt.held = 0
+	j.ldata = ldata
 	j.lpos = 0
 	if j.tryFastPath() {
 		return nil
@@ -152,6 +202,41 @@ func (j *HashJoin) open() error {
 		return j.probeSlowParallel(w)
 	}
 	return nil
+}
+
+// drainAccounted pulls every batch from op, reserving each batch's
+// footprint against the grant through mt. A denied reservation stops
+// the drain: the partial result is returned with spill=true and op
+// still open, so the caller can stream the remainder straight to disk.
+// On a full drain (or error) op is closed, matching Drain.
+func (j *HashJoin) drainAccounted(op Operator, rows *atomic.Int64, mt *memTracker) (*storage.Batch, bool, error) {
+	if err := op.Open(); err != nil {
+		return nil, false, err
+	}
+	out := storage.NewBatch(op.Schema())
+	for {
+		b, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, false, err
+		}
+		if b == nil {
+			break
+		}
+		rows.Add(int64(b.Len()))
+		spill := !mt.reserve(storage.BatchBytes(b)) && out.Len() > 0
+		if err := storage.Concat(out, b); err != nil {
+			op.Close()
+			return nil, false, err
+		}
+		if spill {
+			return out, true, nil
+		}
+	}
+	if err := op.Close(); err != nil {
+		return nil, false, err
+	}
+	return out, false, nil
 }
 
 // shardBuildOffsets detects a shard-aligned build side: the right
@@ -182,22 +267,62 @@ func (j *HashJoin) shardBuildOffsets() []int {
 	return offs
 }
 
-// buildTable hashes the drained right side and prepares the NULL pad
-// row for left joins.
+// prepareNulls builds the NULL pad row left joins append to unmatched
+// rows.
+func (j *HashJoin) prepareNulls() {
+	rs := j.Right.Schema()
+	j.rNulls = make([]storage.Value, rs.Len())
+	for i, c := range rs.Cols {
+		j.rNulls[i] = storage.Null(c.Type)
+	}
+}
+
+// buildTable hashes the drained right side. With Workers > 1 the build
+// itself is parallel in two stages: key hashes are computed over
+// contiguous morsels, then one map per hash partition is built
+// concurrently (each worker scans the key array claiming the hashes
+// that route to its partition — no locks, no merge). Match lists stay
+// in ascending build order either way, so probes see identical lists.
 func (j *HashJoin) buildTable() {
-	j.built = make(map[uint64][]int, j.rdata.Len())
-	for i := 0; i < j.rdata.Len(); i++ {
+	j.built, j.builtParts = nil, nil
+	n := j.rdata.Len()
+	if w := splitParts(n, j.Workers); w > 1 {
+		keys := make([]uint64, n)
+		oks := make([]bool, n)
+		sched.ForEach(j.Budget, w, j.Workers, func(m int) {
+			for i := m * n / w; i < (m+1)*n/w; i++ {
+				keys[i], oks[i] = j.keyOf(j.rdata, i, j.RightKeys)
+			}
+		})
+		parts := make([]map[uint64][]int, w)
+		sched.ForEach(j.Budget, w, j.Workers, func(p int) {
+			m := make(map[uint64][]int, n/w+1)
+			for i := 0; i < n; i++ {
+				if oks[i] && keys[i]%uint64(w) == uint64(p) {
+					m[keys[i]] = append(m[keys[i]], i)
+				}
+			}
+			parts[p] = m
+		})
+		j.builtParts = parts
+		return
+	}
+	j.built = make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
 		key, ok := j.keyOf(j.rdata, i, j.RightKeys)
 		if !ok {
 			continue // NULL key never matches
 		}
 		j.built[key] = append(j.built[key], i)
 	}
-	rs := j.Right.Schema()
-	j.rNulls = make([]storage.Value, rs.Len())
-	for i, c := range rs.Cols {
-		j.rNulls[i] = storage.Null(c.Type)
+}
+
+// lookup returns the build-side match list for a key hash.
+func (j *HashJoin) lookup(key uint64) []int {
+	if j.builtParts != nil {
+		return j.builtParts[key%uint64(len(j.builtParts))][key]
 	}
+	return j.built[key]
 }
 
 // tryFastPath materializes the join result vectorized when both key
@@ -400,7 +525,7 @@ func (j *HashJoin) probeOne(i int, out *storage.Batch) (matched bool, err error)
 		return false, nil
 	}
 	var lrow []storage.Value
-	for _, ri := range j.built[key] {
+	for _, ri := range j.lookup(key) {
 		if !j.keysEqual(i, ri) {
 			continue // hash collision
 		}
@@ -426,6 +551,12 @@ func (j *HashJoin) probeOne(i int, out *storage.Batch) (matched bool, err error)
 }
 
 func (j *HashJoin) keyOf(b *storage.Batch, row int, keys []int) (uint64, bool) {
+	return joinKeyOf(b, row, keys)
+}
+
+// joinKeyOf hashes the key columns of one row; ok is false when any key
+// is NULL (which never matches, per SQL).
+func joinKeyOf(b *storage.Batch, row int, keys []int) (uint64, bool) {
 	vals := make([]storage.Value, len(keys))
 	for k, c := range keys {
 		v := b.Cols[c].Value(row)
@@ -438,9 +569,15 @@ func (j *HashJoin) keyOf(b *storage.Batch, row int, keys []int) (uint64, bool) {
 }
 
 func (j *HashJoin) keysEqual(lrow, rrow int) bool {
-	for k := range j.LeftKeys {
-		lv := j.ldata.Cols[j.LeftKeys[k]].Value(lrow)
-		rv := j.rdata.Cols[j.RightKeys[k]].Value(rrow)
+	return joinKeysEqual(j.ldata, lrow, j.rdata, rrow, j.LeftKeys, j.RightKeys)
+}
+
+// joinKeysEqual compares the key columns of one left and one right row
+// (the hash-collision check behind every generic probe).
+func joinKeysEqual(lb *storage.Batch, lrow int, rb *storage.Batch, rrow int, lkeys, rkeys []int) bool {
+	for k := range lkeys {
+		lv := lb.Cols[lkeys[k]].Value(lrow)
+		rv := rb.Cols[rkeys[k]].Value(rrow)
 		if lv.Null || rv.Null || storage.Compare(lv, rv) != 0 {
 			return false
 		}
@@ -457,6 +594,9 @@ func (j *HashJoin) Next() (*storage.Batch, error) {
 }
 
 func (j *HashJoin) next() (*storage.Batch, error) {
+	if j.grace != nil {
+		return j.graceNextBatch()
+	}
 	if j.fast != nil {
 		return NextChunk(j.fast, &j.fastPos, j.fast.Len()), nil
 	}
@@ -468,13 +608,14 @@ func (j *HashJoin) next() (*storage.Batch, error) {
 		j.slowPos++
 		return b, nil
 	}
-	if j.ldata == nil && !j.Streaming {
+	streaming := j.Streaming || j.streamSpill
+	if j.ldata == nil && !streaming {
 		return nil, nil
 	}
 	out := storage.NewBatch(j.out)
 	for out.Len() < storage.BatchSize {
 		if j.ldata == nil || j.lpos >= j.ldata.Len() {
-			if !j.Streaming {
+			if !streaming {
 				break
 			}
 			if j.ldone {
@@ -528,10 +669,18 @@ func evalPredOnRow(schema storage.Schema, pred expr.Expr, row []storage.Value) (
 func (j *HashJoin) Close() error {
 	j.stats.closed()
 	j.built = nil
+	j.builtParts = nil
 	j.rdata = nil
 	j.ldata = nil
 	j.fast = nil
 	j.slowOut = nil
+	if j.grace != nil {
+		for _, r := range j.grace.runs {
+			r.Close()
+		}
+		j.grace = nil
+	}
+	j.mt.releaseAll()
 	if j.lopen {
 		j.lopen = false
 		return j.Left.Close()
@@ -544,18 +693,35 @@ func (j *HashJoin) Close() error {
 // against. The right side is materialized once; the left side streams
 // batch by batch, so probe-side memory is O(batch) and a LIMIT above
 // the join stops pulling from the left source early.
+//
+// With Workers > 1 the left side is materialized too and probed over
+// contiguous morsels whose outputs concatenate in morsel order —
+// byte-identical to the streamed probe. A probe side that outgrows the
+// memory grant falls back to the streamed serial probe; the build side
+// has no spill path (every probe row must see every build row under an
+// arbitrary predicate), so a build that outgrows the grant fails with
+// ErrOutOfMemoryBudget.
 type NestedLoopJoin struct {
 	Left, Right Operator
 	Type        JoinType
 	On          expr.Expr // nil means always-true (cross join)
+	// Workers caps probe-side parallelism; 0 or 1 probes serially.
+	Workers int
+	// Budget is the shared extra-worker budget (nil = unlimited).
+	Budget *sched.Budget
+	// Mem is the statement memory grant (nil = unlimited).
+	Mem *sched.MemBudget
 
-	out   storage.Schema
-	rdata *storage.Batch
-	ldata *storage.Batch
-	lpos  int
-	lopen bool
-	ldone bool
-	stats OpStats
+	out     storage.Schema
+	rdata   *storage.Batch
+	ldata   *storage.Batch
+	lpos    int
+	lopen   bool
+	ldone   bool
+	slowOut []*storage.Batch
+	slowPos int
+	mt      memTracker
+	stats   OpStats
 }
 
 // Schema implements Operator.
@@ -579,16 +745,147 @@ func (j *NestedLoopJoin) Open() error {
 
 func (j *NestedLoopJoin) open() error {
 	j.Schema()
+	j.mt = memTracker{mem: j.Mem}
+	j.slowOut, j.slowPos = nil, 0
+	j.lopen, j.ldone = false, false
+	j.ldata, j.lpos = nil, 0
 	var err error
 	j.rdata, err = Drain(j.Right)
 	if err != nil {
 		return err
+	}
+	if !j.mt.reserve(storage.BatchBytes(j.rdata)) {
+		return ErrOutOfMemoryBudget
+	}
+	if j.Workers > 1 {
+		if done, err := j.openParallel(); done || err != nil {
+			return err
+		}
+		// The probe side outgrew the grant: fall through to the streamed
+		// serial probe, restarting the left input from scratch.
 	}
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
 	j.lopen, j.ldone = true, false
 	j.ldata, j.lpos = nil, 0
+	return nil
+}
+
+// openParallel materializes the left side under the grant and probes it
+// over parallel morsels. done=false (with nil error) means the left
+// side did not fit and the caller should stream instead.
+func (j *NestedLoopJoin) openParallel() (done bool, err error) {
+	lmt := memTracker{mem: j.Mem}
+	if err := j.Left.Open(); err != nil {
+		return false, err
+	}
+	lall := storage.NewBatch(j.Left.Schema())
+	spill := false
+	for !spill {
+		b, err := j.Left.Next()
+		if err != nil {
+			j.Left.Close()
+			return false, err
+		}
+		if b == nil {
+			break
+		}
+		if !lmt.reserve(storage.BatchBytes(b)) {
+			spill = true
+			break
+		}
+		if err := storage.Concat(lall, b); err != nil {
+			j.Left.Close()
+			return false, err
+		}
+	}
+	if err := j.Left.Close(); err != nil {
+		return false, err
+	}
+	if spill {
+		lmt.releaseAll()
+		return false, nil
+	}
+	j.mt.held += lmt.held
+	lmt.held = 0
+	n := lall.Len()
+	w := splitParts(n, j.Workers)
+	if w < 2 {
+		// Too small to fan out: serve the materialized batch serially.
+		j.ldata, j.lpos = lall, 0
+		j.ldone = true
+		return true, nil
+	}
+	j.ldata = lall
+	outs := make([][]*storage.Batch, w)
+	errs := make([]error, w)
+	sched.ForEach(j.Budget, w, w, func(m int) {
+		outs[m], errs[m] = j.probeNLRange(m*n/w, (m+1)*n/w)
+	})
+	j.ldata = nil
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+	j.slowOut = make([]*storage.Batch, 0, w)
+	for _, bs := range outs {
+		j.slowOut = append(j.slowOut, bs...)
+	}
+	j.slowPos = 0
+	return true, nil
+}
+
+// probeNLRange probes left rows [lo, hi) of the materialized left side,
+// returning that morsel's result batches.
+func (j *NestedLoopJoin) probeNLRange(lo, hi int) ([]*storage.Batch, error) {
+	var batches []*storage.Batch
+	out := storage.NewBatch(j.out)
+	for i := lo; i < hi; i++ {
+		if out.Len() >= storage.BatchSize {
+			batches = append(batches, out)
+			out = storage.NewBatch(j.out)
+		}
+		if err := j.probeRow(j.ldata, i, out); err != nil {
+			return nil, err
+		}
+	}
+	if out.Len() > 0 {
+		batches = append(batches, out)
+	}
+	return batches, nil
+}
+
+// probeRow joins left row i of lb against the whole build side,
+// appending matches (or the left-join pad) to out.
+func (j *NestedLoopJoin) probeRow(lb *storage.Batch, i int, out *storage.Batch) error {
+	lrow := lb.Row(i)
+	matched := false
+	for ri := 0; ri < j.rdata.Len(); ri++ {
+		combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
+		if j.On != nil {
+			ok, err := evalPredOnRow(j.out, j.On, combined)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = true
+		if err := out.AppendRow(combined...); err != nil {
+			return err
+		}
+	}
+	if !matched && j.Type == LeftJoin {
+		rs := j.Right.Schema()
+		combined := append([]storage.Value{}, lrow...)
+		for _, c := range rs.Cols {
+			combined = append(combined, storage.Null(c.Type))
+		}
+		return out.AppendRow(combined...)
+	}
 	return nil
 }
 
@@ -601,6 +898,14 @@ func (j *NestedLoopJoin) Next() (*storage.Batch, error) {
 }
 
 func (j *NestedLoopJoin) next() (*storage.Batch, error) {
+	if j.slowOut != nil {
+		if j.slowPos >= len(j.slowOut) {
+			return nil, nil
+		}
+		b := j.slowOut[j.slowPos]
+		j.slowPos++
+		return b, nil
+	}
 	if j.rdata == nil {
 		return nil, nil
 	}
@@ -623,33 +928,8 @@ func (j *NestedLoopJoin) next() (*storage.Batch, error) {
 		}
 		i := j.lpos
 		j.lpos++
-		lrow := j.ldata.Row(i)
-		matched := false
-		for ri := 0; ri < j.rdata.Len(); ri++ {
-			combined := append(append([]storage.Value{}, lrow...), j.rdata.Row(ri)...)
-			if j.On != nil {
-				ok, err := evalPredOnRow(j.out, j.On, combined)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			matched = true
-			if err := out.AppendRow(combined...); err != nil {
-				return nil, err
-			}
-		}
-		if !matched && j.Type == LeftJoin {
-			rs := j.Right.Schema()
-			combined := lrow
-			for _, c := range rs.Cols {
-				combined = append(combined, storage.Null(c.Type))
-			}
-			if err := out.AppendRow(combined...); err != nil {
-				return nil, err
-			}
+		if err := j.probeRow(j.ldata, i, out); err != nil {
+			return nil, err
 		}
 	}
 	if out.Len() == 0 {
@@ -663,6 +943,8 @@ func (j *NestedLoopJoin) Close() error {
 	j.stats.closed()
 	j.rdata = nil
 	j.ldata = nil
+	j.slowOut = nil
+	j.mt.releaseAll()
 	if j.lopen {
 		j.lopen = false
 		return j.Left.Close()

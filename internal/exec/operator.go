@@ -545,6 +545,16 @@ func (u *UnionAll) Close() error {
 // storage.MergeSortedBatches. Both the per-morsel sort and the merge
 // are stable with earlier input preferred on ties, so the result is
 // row-for-row identical to the serial sort at any worker count.
+//
+// With a memory grant (Mem), Sort becomes an external merge sort: input
+// buffering reserves against the grant, and each denied reservation
+// cuts the buffered prefix into a sorted on-disk run. Runs are
+// contiguous input regions in input order, each stably sorted, and the
+// final pairwise ladder of storage.MergeSpillRuns is stable with the
+// earlier run preferred on ties — the composition is exactly the global
+// stable sort, so a 64KB budget and an unlimited one emit identical
+// bytes. When no reservation is denied the in-memory path runs
+// unchanged.
 type Sort struct {
 	Input Operator
 	Keys  []storage.SortKey
@@ -552,9 +562,17 @@ type Sort struct {
 	Workers int
 	// Budget is the shared extra-worker budget (nil = unlimited).
 	Budget *sched.Budget
+	// Mem is the statement memory grant (nil = unlimited); a denied
+	// reservation spills. FS creates spill files (nil = the default
+	// temp-file filesystem).
+	Mem *sched.MemBudget
+	FS  storage.SpillFS
 
 	out   *storage.Batch
 	pos   int
+	run   *storage.SpillRun // final merged run when the sort spilled
+	frame int               // next run frame to emit
+	mt    memTracker
 	stats OpStats
 }
 
@@ -573,16 +591,76 @@ func (s *Sort) Open() error {
 }
 
 func (s *Sort) open() error {
-	s.pos = 0
-	all, err := Drain(s.Input)
+	s.pos, s.frame = 0, 0
+	s.mt = memTracker{mem: s.Mem}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+	all := storage.NewBatch(s.Input.Schema())
+	var runs []*storage.SpillRun
+	closeRuns := func() {
+		for _, r := range runs {
+			r.Close()
+		}
+	}
+	for {
+		b, err := s.Input.Next()
+		if err != nil {
+			closeRuns()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if !s.mt.reserve(storage.BatchBytes(b)) && all.Len() > 0 {
+			run, err := s.spillRun(all)
+			if err != nil {
+				closeRuns()
+				return err
+			}
+			runs = append(runs, run)
+			s.mt.releaseAll()
+			all = storage.NewBatch(s.Input.Schema())
+			// Re-reserve against the fresh buffer; a denial here means
+			// even one batch exceeds the grant, and the one-batch working
+			// floor proceeds unreserved.
+			s.mt.reserve(storage.BatchBytes(b))
+		}
+		if err := storage.Concat(all, b); err != nil {
+			closeRuns()
+			return err
+		}
+	}
+	if len(runs) == 0 {
+		s.out = s.sortAll(all)
+		return nil
+	}
+	if all.Len() > 0 {
+		run, err := s.spillRun(all)
+		if err != nil {
+			closeRuns()
+			return err
+		}
+		runs = append(runs, run)
+	}
+	s.mt.releaseAll()
+	merged, err := s.mergeRuns(runs)
 	if err != nil {
 		return err
 	}
+	s.run = merged
+	return nil
+}
+
+// sortAll is the in-memory sort: per-morsel stable sorts merged by a
+// pairwise ladder, both parallel. It is also how each spill run is
+// ordered before it hits disk.
+func (s *Sort) sortAll(all *storage.Batch) *storage.Batch {
 	n := all.Len()
 	m := splitParts(n, s.Workers)
 	if m < 2 {
-		s.out = storage.SortBatch(all, s.Keys)
-		return nil
+		return storage.SortBatch(all, s.Keys)
 	}
 	runs := make([]*storage.Batch, m)
 	sched.ForEach(s.Budget, m, s.Workers, func(i int) {
@@ -599,29 +677,123 @@ func (s *Sort) open() error {
 		})
 		runs = next
 	}
-	s.out = runs[0]
-	return nil
+	return runs[0]
 }
 
-// Next implements Operator: sorted rows stream out in bounded batches.
+func (s *Sort) fs() storage.SpillFS {
+	if s.FS != nil {
+		return s.FS
+	}
+	return storage.DefaultSpillFS
+}
+
+// spillRun sorts the buffered prefix and writes it to disk as one run
+// in BatchSize frames.
+func (s *Sort) spillRun(all *storage.Batch) (*storage.SpillRun, error) {
+	sorted := s.sortAll(all)
+	w, err := storage.NewRunWriter(s.fs(), sorted.Schema)
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	for {
+		b := NextChunk(sorted, &pos, sorted.Len())
+		if b == nil {
+			break
+		}
+		if err := w.Write(b); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.stats.spilled(run)
+	return run, nil
+}
+
+// mergeRuns reduces the sorted runs to one by a parallel pairwise
+// ladder of streaming disk merges, closing inputs as they are consumed.
+// Earlier runs win ties at every rung, so the result is the global
+// stable sort.
+func (s *Sort) mergeRuns(runs []*storage.SpillRun) (*storage.SpillRun, error) {
+	for len(runs) > 1 {
+		next := make([]*storage.SpillRun, (len(runs)+1)/2)
+		errs := make([]error, len(next))
+		sched.ForEach(s.Budget, len(next), s.Workers, func(i int) {
+			if 2*i+1 < len(runs) {
+				m, err := storage.MergeSpillRuns(s.fs(), runs[2*i], runs[2*i+1], s.Keys)
+				runs[2*i].Close()
+				runs[2*i+1].Close()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				s.stats.spilled(m)
+				next[i] = m
+			} else {
+				next[i] = runs[2*i]
+			}
+		})
+		runs = next
+		for _, err := range errs {
+			if err != nil {
+				for _, r := range runs {
+					r.Close()
+				}
+				return nil, err
+			}
+		}
+	}
+	return runs[0], nil
+}
+
+// Next implements Operator: sorted rows stream out in bounded batches —
+// from memory, or frame by frame from the merged run when the sort
+// spilled.
 func (s *Sort) Next() (*storage.Batch, error) {
 	t0 := s.stats.begin()
-	b := NextChunk(s.out, &s.pos, s.out.Len())
+	b, err := s.next()
 	s.stats.record(t0, b)
-	return b, nil
+	return b, err
+}
+
+func (s *Sort) next() (*storage.Batch, error) {
+	if s.run != nil {
+		if s.frame >= s.run.Frames() {
+			return nil, nil
+		}
+		b, err := s.run.ReadFrame(s.frame)
+		if err != nil {
+			return nil, err
+		}
+		s.frame++
+		return b, nil
+	}
+	return NextChunk(s.out, &s.pos, s.out.Len()), nil
 }
 
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.out = nil
+	err := s.run.Close()
+	s.run = nil
+	s.mt.releaseAll()
 	s.stats.closed()
-	return nil
+	return err
 }
 
-// Distinct removes duplicate rows (full-row comparison).
+// Distinct removes duplicate rows (full-row comparison). Its seen-set
+// has no spill path: when the set's estimated footprint exceeds the
+// memory grant the statement fails with ErrOutOfMemoryBudget.
 type Distinct struct {
 	Input Operator
+	// Mem is the statement memory grant (nil = unlimited).
+	Mem   *sched.MemBudget
 	seen  map[uint64][][]storage.Value
+	mt    memTracker
 	stats OpStats
 }
 
@@ -635,6 +807,7 @@ func (d *Distinct) OpStats() *OpStats { return &d.stats }
 func (d *Distinct) Open() error {
 	t0 := d.stats.begin()
 	d.seen = make(map[uint64][][]storage.Value)
+	d.mt = memTracker{mem: d.Mem}
 	err := d.Input.Open()
 	d.stats.opened(t0)
 	return err
@@ -670,6 +843,12 @@ func (d *Distinct) next() (*storage.Batch, error) {
 				keep = append(keep, i)
 			}
 		}
+		// Charge the retained rows to the grant: ~64 bytes per Value
+		// (header, hash-bucket share, payload estimate). No spill path —
+		// a denial is a statement failure.
+		if !d.mt.reserve(int64(len(keep)) * 64 * int64(len(b.Cols))) {
+			return nil, ErrOutOfMemoryBudget
+		}
 		if len(keep) == 0 {
 			continue
 		}
@@ -681,6 +860,7 @@ func (d *Distinct) next() (*storage.Batch, error) {
 func (d *Distinct) Close() error {
 	d.stats.closed()
 	d.seen = nil
+	d.mt.releaseAll()
 	return d.Input.Close()
 }
 

@@ -239,9 +239,19 @@ var errSpoolAborted = fmt.Errorf("exec: spool aborted")
 // The producer blocks once it runs spoolLeadRows ahead of part 0's
 // reader, so an abandoned statement stops pulling from the base after
 // a bounded overshoot.
+//
+// The retained batch list is memory-accounted: each appended batch is
+// reserved against the statement grant, and the first denied
+// reservation freezes the in-memory prefix and routes every later
+// batch into a disk overflow run. Rows below memRows are served from
+// memory, rows at or above it are decoded from the run's frames — the
+// row numbering (and therefore every part's range and order) is
+// identical either way.
 type spool struct {
 	input Operator
 	parts int
+	mem   *sched.MemBudget
+	fs    storage.SpillFS
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -254,6 +264,34 @@ type spool struct {
 	starts    []int // starts[i] = global row offset of batches[i]
 	rows      int
 	consumed0 int // rows part 0 has emitted (producer backpressure gauge)
+
+	mt         memTracker
+	dw         *storage.RunWriter // disk overflow, while producing
+	drun       *storage.SpillRun  // sealed overflow, after the drain
+	memRows    int                // rows retained in memory; the rest are on disk
+	spillBytes int64
+	spillRuns  int64
+}
+
+// frameReader is the part of RunWriter and SpillRun the spool needs to
+// serve overflow rows: random access to sealed frames.
+type frameReader interface {
+	Frames() int
+	FrameRows(i int) int
+	FrameStart(i int) int64
+	ReadFrame(i int) (*storage.Batch, error)
+}
+
+// overflow returns the disk side of the spool, if any: the in-progress
+// writer while producing, the sealed run after. Callers hold s.mu.
+func (s *spool) overflow() frameReader {
+	if s.drun != nil {
+		return s.drun
+	}
+	if s.dw != nil {
+		return s.dw
+	}
+	return nil
 }
 
 // activate ensures the producer goroutine is running (or the data is
@@ -291,13 +329,18 @@ func (s *spool) rearm() {
 	for s.producing {
 		s.cond.Wait()
 	}
-	s.batches, s.starts, s.rows, s.consumed0 = nil, nil, 0, 0
+	s.drun.Close()
+	s.drun = nil
+	s.batches, s.starts, s.rows, s.consumed0, s.memRows = nil, nil, 0, 0, 0
 	s.started, s.aborted, s.err = false, false, nil
 }
 
 // abort stops the producer and wakes every blocked reader. It is
 // sticky: until rearm, parts neither block nor restart the producer —
-// they fail fast with errSpoolAborted.
+// they fail fast with errSpoolAborted. Memory reservations are
+// returned here (the statement's grant dies with the statement);
+// retained batches a later rearm keeps ride along unreserved, like
+// any other cached-plan state.
 func (s *spool) abort() {
 	s.mu.Lock()
 	if s.cond == nil {
@@ -308,7 +351,21 @@ func (s *spool) abort() {
 	for s.producing {
 		s.cond.Wait()
 	}
+	s.mt.releaseAll()
 	s.mu.Unlock()
+}
+
+// reset discards everything the spool retained — batches, overflow
+// run, completion state — so a cached plan checked out for a new
+// statement replays its base with fresh parameter bindings.
+func (s *spool) reset() {
+	s.abort()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drun.Close()
+	s.drun = nil
+	s.batches, s.starts, s.rows, s.consumed0, s.memRows = nil, nil, 0, 0, 0
+	s.started, s.done, s.err = false, false, nil
 }
 
 // produce drains the base operator, appending batches under the lock
@@ -339,21 +396,64 @@ func (s *spool) produce() {
 		if b.Len() == 0 {
 			continue
 		}
-		s.mu.Lock()
-		s.starts = append(s.starts, s.rows)
-		s.batches = append(s.batches, b)
-		s.rows += b.Len()
-		s.cond.Broadcast()
-		s.mu.Unlock()
+		if err := s.append(b); err != nil {
+			ferr = err
+			break
+		}
 	}
 	s.input.Close()
 	s.endProduce(ferr)
 }
 
+// append publishes one produced batch. It stays in memory while the
+// reservation succeeds; the first denial (with at least one batch
+// already retained — the working floor) freezes the in-memory prefix
+// and starts a disk overflow run that every later batch goes to.
+func (s *spool) append(b *storage.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dw == nil && !s.mt.reserve(storage.BatchBytes(b)) && s.rows > 0 {
+		w, err := storage.NewRunWriter(s.fs, b.Schema)
+		if err != nil {
+			return err
+		}
+		s.dw = w
+		s.memRows = s.rows
+	}
+	if s.dw != nil {
+		if err := s.dw.Write(b); err != nil {
+			return err
+		}
+	} else {
+		s.starts = append(s.starts, s.rows)
+		s.batches = append(s.batches, b)
+	}
+	s.rows += b.Len()
+	s.cond.Broadcast()
+	return nil
+}
+
 // endProduce publishes the producer's exit: the error (if any), the
-// completion flag, and the wake-up for every blocked reader.
+// completion flag, and the wake-up for every blocked reader. A clean
+// exit seals the overflow run so readers switch from the writer's
+// frames to the sealed run; any other exit discards it.
 func (s *spool) endProduce(err error) {
 	s.mu.Lock()
+	if s.dw != nil {
+		if err == nil && !s.aborted {
+			run, ferr := s.dw.Finish()
+			if ferr != nil {
+				err = ferr
+			} else {
+				s.drun = run
+				s.spillBytes += run.Bytes()
+				s.spillRuns++
+			}
+		} else {
+			s.dw.Abort()
+		}
+		s.dw = nil
+	}
 	if err != nil {
 		s.err = err
 	} else if !s.aborted {
@@ -373,9 +473,21 @@ type SpoolPart struct {
 	part, parts int
 
 	pos   int // next global row to emit (-1 = range not yet known)
-	cur   int // batch index hint
+	cur   int // in-memory batch index hint
+	dcur  int // overflow frame index hint
 	stats OpStats
 }
+
+// SpillStats reports the shared spool's overflow so far (bytes and
+// runs written to disk); EXPLAIN ANALYZE surfaces it on part 0.
+func (p *SpoolPart) SpillStats() (bytes, runs int64) {
+	p.sp.mu.Lock()
+	defer p.sp.mu.Unlock()
+	return p.sp.spillBytes, p.sp.spillRuns
+}
+
+// Part returns this part's index within the spool.
+func (p *SpoolPart) Part() int { return p.part }
 
 // Schema implements Operator.
 func (p *SpoolPart) Schema() storage.Schema { return p.schema }
@@ -391,7 +503,7 @@ func (p *SpoolPart) Spooled() Operator { return p.sp.input }
 func (p *SpoolPart) Open() error {
 	t0 := p.stats.begin()
 	p.sp.activate()
-	p.pos, p.cur = -1, 0
+	p.pos, p.cur, p.dcur = -1, 0, 0
 	if p.part == 0 {
 		p.pos = 0
 	}
@@ -440,10 +552,29 @@ func (p *SpoolPart) next() (*storage.Batch, error) {
 			s.cond.Wait()
 			continue
 		}
-		for p.cur < len(s.batches) && s.starts[p.cur]+s.batches[p.cur].Len() <= p.pos {
-			p.cur++
+		var (
+			b     *storage.Batch
+			start int
+		)
+		if fr := s.overflow(); fr != nil && p.pos >= s.memRows {
+			// Overflow rows: decode the frame holding p.pos. The frame
+			// exists — s.rows (and so hi) only advances after its batch
+			// is fully written.
+			rel := int64(p.pos - s.memRows)
+			for p.dcur < fr.Frames() && fr.FrameStart(p.dcur)+int64(fr.FrameRows(p.dcur)) <= rel {
+				p.dcur++
+			}
+			db, err := fr.ReadFrame(p.dcur)
+			if err != nil {
+				return nil, err
+			}
+			b, start = db, s.memRows+int(fr.FrameStart(p.dcur))
+		} else {
+			for p.cur < len(s.batches) && s.starts[p.cur]+s.batches[p.cur].Len() <= p.pos {
+				p.cur++
+			}
+			b, start = s.batches[p.cur], s.starts[p.cur]
 		}
-		b, start := s.batches[p.cur], s.starts[p.cur]
 		from, to := p.pos-start, hi-start
 		if to > b.Len() {
 			to = b.Len()
@@ -482,11 +613,19 @@ func Parallelize(op Operator, workers int) Operator {
 // ParallelizeBudget is Parallelize with a shared extra-worker budget
 // installed on the resulting Gather (nil = unlimited).
 func ParallelizeBudget(op Operator, workers int, budget *sched.Budget) Operator {
+	return ParallelizeMem(op, workers, budget, nil)
+}
+
+// ParallelizeMem is ParallelizeBudget with a statement memory grant
+// installed on any spools the rewrite creates, so a spooled join or
+// aggregate result overflows to disk instead of buffering without
+// bound (nil = unaccounted).
+func ParallelizeMem(op Operator, workers int, budget *sched.Budget, mem *sched.MemBudget) Operator {
 	if workers < 2 {
 		return op
 	}
 	var spools []*spool
-	frags, ok := splitFragment(op, workers, 0, &spools)
+	frags, ok := splitFragment(op, workers, 0, &spools, mem)
 	if !ok || len(frags) < 2 {
 		return op
 	}
@@ -498,7 +637,7 @@ func ParallelizeBudget(op Operator, workers int, budget *sched.Budget) Operator 
 // adopts) in *spools so the owning Gather can abort them on Close.
 // depth counts the stateless operators above op: a bare source with
 // nothing to compute is not worth a Gather.
-func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operator, bool) {
+func splitFragment(op Operator, workers, depth int, spools *[]*spool, mem *sched.MemBudget) ([]Operator, bool) {
 	switch o := op.(type) {
 	case *TableScan:
 		if depth == 0 || o.NoSplit {
@@ -567,7 +706,7 @@ func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operato
 		*spools = append(*spools, o.spools...)
 		return o.Fragments, true
 	case *Filter:
-		kids, ok := splitFragment(o.Input, workers, depth+1, spools)
+		kids, ok := splitFragment(o.Input, workers, depth+1, spools, mem)
 		if !ok {
 			return nil, false
 		}
@@ -577,7 +716,7 @@ func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operato
 		}
 		return out, true
 	case *Project:
-		kids, ok := splitFragment(o.Input, workers, depth+1, spools)
+		kids, ok := splitFragment(o.Input, workers, depth+1, spools, mem)
 		if !ok {
 			return nil, false
 		}
@@ -593,7 +732,7 @@ func splitFragment(op Operator, workers, depth int, spools *[]*spool) ([]Operato
 		if depth == 0 {
 			return nil, false
 		}
-		sp := &spool{input: op, parts: workers}
+		sp := &spool{input: op, parts: workers, mem: mem, mt: memTracker{mem: mem}}
 		*spools = append(*spools, sp)
 		out := make([]Operator, workers)
 		for i := range out {

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"errors"
+
+	"repro/internal/sched"
+)
+
+// Memory accounting for out-of-core execution. Every blocking operator
+// carries an optional *sched.MemBudget (the statement's grant from the
+// engine pool) and reserves through a memTracker before it buffers. A
+// denied reservation is the spill signal: Sort cuts a sorted run,
+// HashJoin switches to the Grace partitioned path, HashAggregate
+// restarts into its partitioned spill fold, and the spool overflows its
+// retained batch list to disk. Operators with no spill path (Distinct's
+// seen-set, NestedLoopJoin's build side) fail the statement with
+// ErrOutOfMemoryBudget instead — a clean error, not an OOM.
+//
+// Each spilling operator keeps a small working floor regardless of the
+// budget (one input batch, or one partition's build side at the deepest
+// Grace level): an operator that cannot hold even that makes no
+// progress, so the floor proceeds unreserved rather than deadlocking a
+// statement that a slightly larger grant would run.
+
+// ErrOutOfMemoryBudget fails a statement whose working set exceeds its
+// memory grant in an operator that has no spill path.
+var ErrOutOfMemoryBudget = errors.New("exec: out of memory budget")
+
+// memTracker accumulates one operator's reservations against a budget
+// so they can be returned in one Close. It is not goroutine-safe; each
+// operator uses it from its own open/next path (the spool guards its
+// tracker with the spool mutex).
+type memTracker struct {
+	mem  *sched.MemBudget
+	held int64
+}
+
+// reserve asks the budget for n more bytes; false means spill (or fail).
+func (t *memTracker) reserve(n int64) bool {
+	if !t.mem.Reserve(n) {
+		return false
+	}
+	t.held += n
+	return true
+}
+
+// release returns n of the held bytes (clamped to what is held).
+func (t *memTracker) release(n int64) {
+	if n > t.held {
+		n = t.held
+	}
+	t.mem.Release(n)
+	t.held -= n
+}
+
+// releaseAll returns every held byte.
+func (t *memTracker) releaseAll() {
+	t.mem.Release(t.held)
+	t.held = 0
+}

@@ -1,0 +1,368 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// Out-of-core executor tests: every spilling operator must produce
+// byte-identical results under a force-spill memory grant, at any
+// worker count, and report its spill activity through OpStats.
+
+const spillTestBudget = 64 << 10
+
+func bigTable(t *testing.T, rows int) *storage.Table {
+	t.Helper()
+	tb := storage.NewTable("big", storage.NewSchema(
+		storage.Col("k", storage.TypeInt64),
+		storage.Col("g", storage.TypeInt64),
+		storage.Col("s", storage.TypeString),
+	))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < rows; i++ {
+		if err := tb.AppendRow(
+			iv(rng.Int63n(int64(rows/3+1))),
+			iv(int64(i%97)),
+			sv(fmt.Sprintf("payload-%06d", rng.Intn(rows))),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func assertSameBatches(t *testing.T, label string, got, want *storage.Batch) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	for r := 0; r < want.Len(); r++ {
+		gr, wr := got.Row(r), want.Row(r)
+		for c := range wr {
+			g, w := gr[c], wr[c]
+			if g.Null != w.Null || g.I != w.I || g.F != w.F || g.S != w.S {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, r, c, g, w)
+			}
+		}
+	}
+}
+
+func TestSortSpillByteIdentical(t *testing.T) {
+	tb := bigTable(t, 20000)
+	keys := []storage.SortKey{{Col: 0}, {Col: 2, Desc: true}}
+	want, err := Drain(&Sort{Input: NewTableScan(tb), Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		s := &Sort{Input: NewTableScan(tb), Keys: keys, Workers: workers,
+			Mem: sched.NewMemBudget(spillTestBudget)}
+		got, err := Drain(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("sort workers=%d", workers), got, want)
+		if s.stats.SpillRuns.Load() == 0 {
+			t.Fatalf("workers=%d: 64KB sort of ~1MB input did not spill", workers)
+		}
+	}
+}
+
+func TestSortTinyGrantStillSorts(t *testing.T) {
+	// A grant too small for even one batch must degrade to runs-per-batch,
+	// not deadlock or error: the working floor keeps one batch unreserved.
+	tb := bigTable(t, 5000)
+	keys := []storage.SortKey{{Col: 0}}
+	want, err := Drain(&Sort{Input: NewTableScan(tb), Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(&Sort{Input: NewTableScan(tb), Keys: keys, Mem: sched.NewMemBudget(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBatches(t, "tiny-grant sort", got, want)
+}
+
+func joinInputs(t *testing.T, rows int) (*storage.Table, *storage.Table) {
+	t.Helper()
+	l := storage.NewTable("l", storage.NewSchema(intCol("lk"), intCol("lv")))
+	r := storage.NewTable("r", storage.NewSchema(intCol("rk"), storage.Col("rs", storage.TypeString)))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < rows; i++ {
+		if err := l.AppendRow(iv(rng.Int63n(int64(rows/4+1))), iv(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AppendRow(iv(rng.Int63n(int64(rows/4+1))), sv(fmt.Sprintf("r-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l, r
+}
+
+func TestHashJoinGraceByteIdentical(t *testing.T) {
+	l, r := joinInputs(t, 12000)
+	mk := func(workers int, mem *sched.MemBudget) *HashJoin {
+		return &HashJoin{
+			Left: NewTableScan(l), Right: NewTableScan(r),
+			LeftKeys: []int{0}, RightKeys: []int{0},
+			Type: InnerJoin, Workers: workers, Mem: mem,
+		}
+	}
+	want, err := Drain(mk(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("degenerate join fixture")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		j := mk(workers, sched.NewMemBudget(spillTestBudget))
+		got, err := Drain(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("grace join workers=%d", workers), got, want)
+		if j.stats.SpillRuns.Load() == 0 {
+			t.Fatalf("workers=%d: 64KB join did not partition to disk", workers)
+		}
+	}
+}
+
+func TestHashJoinGraceLeftJoinWithResidual(t *testing.T) {
+	l, r := joinInputs(t, 8000)
+	residual := func() expr.Expr {
+		// l.lv % 3 <> 0 over the combined row (col 1 is lv).
+		m, err := expr.NewBinary(expr.OpMod, &expr.ColumnRef{Name: "lv", Index: 1, Typ: storage.TypeInt64},
+			&expr.Literal{Val: iv(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ne, err := expr.NewBinary(expr.OpNe, m, &expr.Literal{Val: iv(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ne
+	}
+	mk := func(mem *sched.MemBudget) *HashJoin {
+		return &HashJoin{
+			Left: NewTableScan(l), Right: NewTableScan(r),
+			LeftKeys: []int{0}, RightKeys: []int{0},
+			Type: LeftJoin, Residual: residual(), Mem: mem,
+		}
+	}
+	want, err := Drain(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(mk(sched.NewMemBudget(spillTestBudget)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBatches(t, "grace left join", got, want)
+}
+
+func TestHashAggregateSpillByteIdentical(t *testing.T) {
+	tb := bigTable(t, 20000)
+	mk := func(workers int, mem *sched.MemBudget) (*HashAggregate, error) {
+		sc := NewTableScan(tb)
+		g := colRef(tb.Schema(), "s")
+		k := colRef(tb.Schema(), "k")
+		cnt := &expr.Aggregate{Kind: expr.AggCountStar}
+		sum := &expr.Aggregate{Kind: expr.AggSum, Input: k}
+		return &HashAggregate{
+			Input: sc, GroupBy: []expr.Expr{g}, Aggs: []*expr.Aggregate{cnt, sum},
+			Names: []string{"s", "c", "t"}, Workers: workers, Mem: mem,
+		}, nil
+	}
+	base, err := mk(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Drain(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		a, err := mk(workers, sched.NewMemBudget(spillTestBudget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Drain(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("agg workers=%d", workers), got, want)
+		if a.stats.SpillRuns.Load() == 0 {
+			t.Fatalf("workers=%d: 64KB aggregate did not spill", workers)
+		}
+	}
+}
+
+func TestSpoolOverflowByteIdentical(t *testing.T) {
+	l, r := joinInputs(t, 10000)
+	mkJoin := func(mem *sched.MemBudget) Operator {
+		j := &HashJoin{
+			Left: NewTableScan(l), Right: NewTableScan(r),
+			LeftKeys: []int{0}, RightKeys: []int{0}, Type: InnerJoin, Mem: mem,
+		}
+		p, err := NewProject(j, []expr.Expr{
+			&expr.ColumnRef{Name: "lv", Index: 1, Typ: storage.TypeInt64},
+			&expr.ColumnRef{Name: "rs", Index: 3, Typ: storage.TypeString},
+		}, []string{"lv", "rs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	want, err := Drain(mkJoin(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		mem := sched.NewMemBudget(spillTestBudget)
+		op := ParallelizeMem(mkJoin(mem), workers, nil, mem)
+		g, ok := op.(*Gather)
+		if !ok {
+			t.Fatalf("workers=%d: project-over-join did not parallelize (%T)", workers, op)
+		}
+		got, err := Drain(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("spool workers=%d", workers), got, want)
+		var spilled int64
+		for _, sp := range g.spools {
+			sp.mu.Lock()
+			spilled += sp.spillRuns
+			sp.mu.Unlock()
+		}
+		if spilled == 0 {
+			t.Fatalf("workers=%d: 64KB spool of a ~%d-row join result stayed in memory", workers, want.Len())
+		}
+	}
+}
+
+func TestSpoolReopenAfterOverflow(t *testing.T) {
+	// A Gather over a spilled spool must serve a second Open from the
+	// retained run without re-running the base operator.
+	l, r := joinInputs(t, 6000)
+	mem := sched.NewMemBudget(spillTestBudget)
+	j := &HashJoin{
+		Left: NewTableScan(l), Right: NewTableScan(r),
+		LeftKeys: []int{0}, RightKeys: []int{0}, Type: InnerJoin, Mem: mem,
+	}
+	p, err := NewProject(j, []expr.Expr{
+		&expr.ColumnRef{Name: "lv", Index: 1, Typ: storage.TypeInt64},
+	}, []string{"lv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ParallelizeMem(p, 4, nil, mem)
+	first, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBatches(t, "spool re-open", second, first)
+}
+
+func TestDistinctOutOfMemoryBudget(t *testing.T) {
+	tb := bigTable(t, 8000)
+	_, err := Drain(&Distinct{Input: NewTableScan(tb), Mem: sched.NewMemBudget(1 << 10)})
+	if !errors.Is(err, ErrOutOfMemoryBudget) {
+		t.Fatalf("distinct over budget: %v", err)
+	}
+	// Unlimited still works.
+	if _, err := Drain(&Distinct{Input: NewTableScan(tb)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedLoopJoinBuildOutOfMemoryBudget(t *testing.T) {
+	l, r := joinInputs(t, 4000)
+	_, err := Drain(&NestedLoopJoin{
+		Left: NewTableScan(l), Right: NewTableScan(r),
+		Type: InnerJoin, Mem: sched.NewMemBudget(1 << 10),
+	})
+	if !errors.Is(err, ErrOutOfMemoryBudget) {
+		t.Fatalf("NLJ build over budget: %v", err)
+	}
+}
+
+func TestNestedLoopJoinParallelByteIdentical(t *testing.T) {
+	l, r := joinInputs(t, 400)
+	on := func() expr.Expr {
+		lt, err := expr.NewBinary(expr.OpLt,
+			&expr.ColumnRef{Name: "lk", Index: 0, Typ: storage.TypeInt64},
+			&expr.ColumnRef{Name: "rk", Index: 2, Typ: storage.TypeInt64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lt
+	}
+	want, err := Drain(&NestedLoopJoin{Left: NewTableScan(l), Right: NewTableScan(r), Type: InnerJoin, On: on()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Drain(&NestedLoopJoin{
+			Left: NewTableScan(l), Right: NewTableScan(r),
+			Type: InnerJoin, On: on(), Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("parallel NLJ workers=%d", workers), got, want)
+	}
+}
+
+func TestHashJoinParallelBuildByteIdentical(t *testing.T) {
+	l, r := joinInputs(t, 12000)
+	want, err := Drain(&HashJoin{
+		Left: NewTableScan(l), Right: NewTableScan(r),
+		LeftKeys: []int{0}, RightKeys: []int{0}, Type: InnerJoin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Drain(&HashJoin{
+			Left: NewTableScan(l), Right: NewTableScan(r),
+			LeftKeys: []int{0}, RightKeys: []int{0}, Type: InnerJoin, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBatches(t, fmt.Sprintf("parallel build workers=%d", workers), got, want)
+	}
+}
+
+func TestMarkTimedScopesToOneTree(t *testing.T) {
+	tb := bigTable(t, 100)
+	timedOp := &Sort{Input: NewTableScan(tb), Keys: []storage.SortKey{{Col: 0}}}
+	coldOp := &Sort{Input: NewTableScan(tb), Keys: []storage.SortKey{{Col: 0}}}
+	release := MarkTimed(timedOp)
+	if _, err := Drain(timedOp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drain(coldOp); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if timedOp.stats.Nanos.Load() == 0 {
+		t.Fatal("marked tree recorded no timings")
+	}
+	if coldOp.stats.Nanos.Load() != 0 {
+		t.Fatal("unmarked concurrent tree paid for timings")
+	}
+}

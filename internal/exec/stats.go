@@ -28,6 +28,27 @@ type OpStats struct {
 	Nanos    atomic.Int64
 	OpenedNS atomic.Int64 // unix nanos of the latest Open
 	ClosedNS atomic.Int64 // unix nanos of the latest Close
+	// SpillBytes/SpillRuns count the operator's out-of-core activity:
+	// bytes written to spill runs (including re-spills during merges)
+	// and runs created. EXPLAIN ANALYZE renders them as spilled=.
+	SpillBytes atomic.Int64
+	SpillRuns  atomic.Int64
+
+	// timed scopes wall-clock timing to this operator's plan: MarkTimed
+	// sets it on every node of one tree before Open, so one EXPLAIN
+	// ANALYZE no longer makes concurrent statements pay clock reads. It
+	// is a plain bool because it is written only before the plan opens
+	// (and cleared after it closes) — never while worker goroutines run.
+	timed bool
+}
+
+// spilled credits one finished spill run to the operator's counters.
+func (s *OpStats) spilled(run *storage.SpillRun) {
+	if run == nil {
+		return
+	}
+	s.SpillRuns.Add(1)
+	s.SpillBytes.Add(run.Bytes())
 }
 
 // statsMode is the single flag the per-call hot path loads: -1 when
@@ -65,11 +86,70 @@ func SetStatsEnabled(on bool) {
 	recomputeStatsMode()
 }
 
+// MarkTimed turns on wall-clock operator timing for exactly the plan
+// rooted at op, until the returned release func is called. Unlike
+// EnableTiming it is scoped: concurrent statements keep the cheap
+// count-only path. Call it before the plan is opened and release after
+// it is closed — the flags are plain bools synchronized by the
+// goroutine spawn/join inside the plan's own Open/Close.
+func MarkTimed(op Operator) (release func()) {
+	forEachStats(op, func(s *OpStats) { s.timed = true })
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			forEachStats(op, func(s *OpStats) { s.timed = false })
+		})
+	}
+}
+
+// forEachStats visits the OpStats of every operator in the tree rooted
+// at op (shared spool inputs may be visited more than once; callers
+// must be idempotent).
+func forEachStats(op Operator, fn func(*OpStats)) {
+	if st := StatsOf(op); st != nil {
+		fn(st)
+	}
+	switch o := op.(type) {
+	case *ctxOperator:
+		forEachStats(o.input, fn)
+	case *Filter:
+		forEachStats(o.Input, fn)
+	case *Project:
+		forEachStats(o.Input, fn)
+	case *Limit:
+		forEachStats(o.Input, fn)
+	case *Distinct:
+		forEachStats(o.Input, fn)
+	case *Sort:
+		forEachStats(o.Input, fn)
+	case *Ordinal:
+		forEachStats(o.Input, fn)
+	case *HashAggregate:
+		forEachStats(o.Input, fn)
+	case *HashJoin:
+		forEachStats(o.Left, fn)
+		forEachStats(o.Right, fn)
+	case *NestedLoopJoin:
+		forEachStats(o.Left, fn)
+		forEachStats(o.Right, fn)
+	case *UnionAll:
+		for _, in := range o.Inputs {
+			forEachStats(in, fn)
+		}
+	case *Gather:
+		for _, f := range o.Fragments {
+			forEachStats(f, fn)
+		}
+	case *SpoolPart:
+		forEachStats(o.sp.input, fn)
+	}
+}
+
 // EnableTiming turns on wall-clock operator timing until the returned
 // release func is called. Enabling is process-wide (concurrent
 // untimed queries pay the clock cost for the duration — acceptable for
 // a diagnostic), and nests: timing stays on until every caller
-// releases.
+// releases. Prefer MarkTimed, which scopes the cost to one plan.
 func EnableTiming() (release func()) {
 	statsModeMu.Lock()
 	statsTimers++
@@ -100,7 +180,7 @@ func (s *OpStats) begin() int64 {
 	switch m := statsMode.Load(); {
 	case m < 0:
 		return statsSkip
-	case m == 0:
+	case m == 0 && !s.timed:
 		return statsCountOnly
 	}
 	return time.Now().UnixNano()
@@ -135,7 +215,7 @@ func (s *OpStats) opened(t0 int64) {
 // closed stamps the close time (timed executions only; an untimed
 // query has no open stamp to pair it with).
 func (s *OpStats) closed() {
-	if statsMode.Load() <= 0 {
+	if statsMode.Load() <= 0 && !s.timed {
 		return
 	}
 	s.ClosedNS.Store(time.Now().UnixNano())

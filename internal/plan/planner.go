@@ -27,6 +27,15 @@ type Planner struct {
 	// keep their caller's goroutine for free and draw extras from it,
 	// so concurrent statements share cores instead of oversubscribing.
 	Budget *sched.Budget
+	// Mem is the process-wide executor memory pool (nil = unlimited).
+	// Each statement plans against a child grant capped at its work_mem
+	// (WorkMem, or a per-statement override) that draws down this pool;
+	// blocking operators reserve from the grant and spill to disk when
+	// a reservation is denied.
+	Mem *sched.MemBudget
+	// WorkMem is the default per-statement memory grant in bytes
+	// (0 = unlimited). SET work_mem overrides it per statement.
+	WorkMem int64
 }
 
 // New returns a planner over the given catalog and function registry.
@@ -75,10 +84,18 @@ func (p *Planner) PlanSelectSource(st *sql.SelectStmt, workers int, src TableSou
 // reusable kind). ps, when non-nil, must already have its argument
 // values bound; parameter-keyed point scans are routed immediately.
 func (p *Planner) PlanSelectParams(st *sql.SelectStmt, workers int, src TableSource, ps *Params) (exec.Operator, error) {
+	return p.PlanSelectMem(st, workers, -1, src, ps)
+}
+
+// PlanSelectMem is PlanSelectParams with a per-statement work_mem
+// override: workMem >= 0 replaces the planner's WorkMem for this one
+// statement (0 = unlimited); a negative value means the planner
+// default. Sessions use it for SET work_mem.
+func (p *Planner) PlanSelectMem(st *sql.SelectStmt, workers int, workMem int64, src TableSource, ps *Params) (exec.Operator, error) {
 	if workers <= 0 {
 		workers = p.Parallelism
 	}
-	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch), src: src, params: ps}
+	ctx := &planCtx{p: p, workers: workers, fullWorkers: workers, mem: p.statementMem(workMem), ctes: make(map[string]*storage.Batch), src: src, params: ps}
 	root, err := ctx.planSelect(st)
 	if err != nil {
 		return nil, err
@@ -89,11 +106,26 @@ func (p *Planner) PlanSelectParams(st *sql.SelectStmt, workers int, src TableSou
 	return root, nil
 }
 
+// statementMem builds the statement's memory grant: a child of the
+// engine pool capped at the resolved work_mem. The grant is owned by
+// the plan — operators release every reservation when they close, so
+// a cached plan reuses it across executions without leaking pool
+// bytes.
+func (p *Planner) statementMem(workMem int64) *sched.MemBudget {
+	if workMem < 0 {
+		workMem = p.WorkMem
+	}
+	return sched.StatementMem(p.Mem, workMem)
+}
+
 // planCtx carries per-statement state (materialized CTEs).
 type planCtx struct {
 	p       *Planner
 	src     TableSource // non-nil: resolve base tables through it
 	workers int
+	// mem is the statement's memory grant, installed on every blocking
+	// operator (nil = unaccounted).
+	mem *sched.MemBudget
 	// fullWorkers remembers the statement's configured parallelism so
 	// a blocking subtree under a serialized LIMIT can get it back.
 	fullWorkers int
@@ -213,7 +245,7 @@ func (c *planCtx) planSelect(st *sql.SelectStmt) (exec.Operator, error) {
 			}
 			op = op2
 		} else {
-			op = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget}
+			op = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget, Mem: c.mem}
 		}
 	}
 	if st.Limit != nil || st.Offset != nil {
@@ -254,7 +286,7 @@ func (c *planCtx) planWithHiddenSortColumns(st *sql.SelectStmt) (exec.Operator, 
 	for i := range st.OrderBy {
 		keys[i] = storage.SortKey{Col: visible + i, Desc: st.OrderBy[i].Desc}
 	}
-	var sorted exec.Operator = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget}
+	var sorted exec.Operator = &exec.Sort{Input: op, Keys: keys, Workers: c.workers, Budget: c.p.Budget, Mem: c.mem}
 	exprs := make([]expr.Expr, visible)
 	names := make([]string, visible)
 	for i := 0; i < visible; i++ {
@@ -403,7 +435,7 @@ func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
 	}
 	combined := Concat(ls, rs)
 	if j.Kind == sql.JoinCross {
-		return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: exec.CrossJoin}, combined, nil
+		return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: exec.CrossJoin, Workers: c.workers, Budget: c.p.Budget, Mem: c.mem}, combined, nil
 	}
 	jt := exec.InnerJoin
 	if j.Kind == sql.JoinLeft {
@@ -434,11 +466,11 @@ func (c *planCtx) planJoin(j *sql.JoinTable) (exec.Operator, *Scope, error) {
 			Left: lop, Right: rop,
 			LeftKeys: lkeys, RightKeys: rkeys,
 			Type: jt, Residual: resExpr,
-			Workers: c.workers, Budget: c.p.Budget,
+			Workers: c.workers, Budget: c.p.Budget, Mem: c.mem,
 			Streaming: c.serial,
 		}, combined, nil
 	}
-	return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: jt, On: resExpr}, combined, nil
+	return &exec.NestedLoopJoin{Left: lop, Right: rop, Type: jt, On: resExpr, Workers: c.workers, Budget: c.p.Budget, Mem: c.mem}, combined, nil
 }
 
 // planCore lowers one SELECT core; it returns the operator and the
@@ -465,7 +497,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 		if err != nil {
 			return nil, nil, err
 		}
-		op = exec.ParallelizeBudget(op, c.workers, c.p.Budget)
+		op = exec.ParallelizeMem(op, c.workers, c.p.Budget, c.mem)
 		for _, item := range core.From[1:] {
 			rop, rsc, err := c.planTableRef(item)
 			if err != nil {
@@ -475,7 +507,7 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if err != nil {
 				return nil, nil, err
 			}
-			rop = exec.ParallelizeBudget(rop, c.workers, c.p.Budget)
+			rop = exec.ParallelizeMem(rop, c.workers, c.p.Budget, c.mem)
 			// Promote cross-scope equality conjuncts to hash-join keys.
 			var lkeys, rkeys []int
 			var rest []sql.Expr
@@ -492,10 +524,10 @@ func (c *planCtx) planCore(core *sql.SelectCore) (exec.Operator, []string, error
 			if len(lkeys) > 0 {
 				op = &exec.HashJoin{Left: op, Right: rop,
 					LeftKeys: lkeys, RightKeys: rkeys, Type: exec.InnerJoin,
-					Workers: c.workers, Budget: c.p.Budget,
+					Workers: c.workers, Budget: c.p.Budget, Mem: c.mem,
 					Streaming: c.serial}
 			} else {
-				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin}
+				op = &exec.NestedLoopJoin{Left: op, Right: rop, Type: exec.CrossJoin, Workers: c.workers, Budget: c.p.Budget, Mem: c.mem}
 			}
 			sc = combined
 			// Apply conjuncts that became bindable after this join.
@@ -738,9 +770,9 @@ func (c *planCtx) planProjection(op exec.Operator, sc *Scope, core *sql.SelectCo
 	// The projection is stateless: fuse it into its input's parallel
 	// fragments (or spool a join/aggregate input into morsels) so the
 	// expression evaluation runs on all workers.
-	op = exec.ParallelizeBudget(proj, c.workers, c.p.Budget)
+	op = exec.ParallelizeMem(proj, c.workers, c.p.Budget, c.mem)
 	if core.Distinct {
-		op = &exec.Distinct{Input: op}
+		op = &exec.Distinct{Input: op, Mem: c.mem}
 	}
 	return op, strs, nil
 }
@@ -806,9 +838,9 @@ func (c *planCtx) planAggregate(op exec.Operator, sc *Scope, core *sql.SelectCor
 	}
 
 	op = &exec.HashAggregate{
-		Input:   exec.ParallelizeBudget(op, c.workers, c.p.Budget),
+		Input:   exec.ParallelizeMem(op, c.workers, c.p.Budget, c.mem),
 		GroupBy: groupExprs, Aggs: aggs, Names: names,
-		Workers: c.workers, Budget: c.p.Budget,
+		Workers: c.workers, Budget: c.p.Budget, Mem: c.mem,
 	}
 	postScope := &Scope{Cols: postCols}
 

@@ -44,10 +44,18 @@ type Prepared struct {
 // at plan time and read them. src resolves the tables of this first
 // execution; later executions repoint the scans via Bind.
 func (p *Planner) PrepareSelect(st *sql.SelectStmt, workers int, src TableSource, ps *Params) (*Prepared, error) {
+	return p.PrepareSelectMem(st, workers, -1, src, ps)
+}
+
+// PrepareSelectMem is PrepareSelect with a per-statement work_mem
+// override (see PlanSelectMem). The statement's memory grant is built
+// into the plan, so a cached plan must only be reused by executions
+// with the same work_mem — the plan cache keys on it.
+func (p *Planner) PrepareSelectMem(st *sql.SelectStmt, workers int, workMem int64, src TableSource, ps *Params) (*Prepared, error) {
 	if workers <= 0 {
 		workers = p.Parallelism
 	}
-	c := &planCtx{p: p, workers: workers, fullWorkers: workers, ctes: make(map[string]*storage.Batch), src: src, params: ps}
+	c := &planCtx{p: p, workers: workers, fullWorkers: workers, mem: p.statementMem(workMem), ctes: make(map[string]*storage.Batch), src: src, params: ps}
 	root, err := c.planSelect(st)
 	if err != nil {
 		return nil, err

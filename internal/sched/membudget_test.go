@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemBudgetUnlimited(t *testing.T) {
+	m := NewMemBudget(0)
+	if !m.Reserve(1 << 40) {
+		t.Fatal("unlimited budget denied a reservation")
+	}
+	if m.InUse() != 1<<40 {
+		t.Fatalf("in-use = %d", m.InUse())
+	}
+	m.Release(1 << 40)
+	if m.InUse() != 0 {
+		t.Fatalf("in-use after release = %d", m.InUse())
+	}
+}
+
+func TestMemBudgetNilGrantsEverything(t *testing.T) {
+	var m *MemBudget
+	if !m.Reserve(1 << 50) {
+		t.Fatal("nil budget must grant")
+	}
+	m.Release(1) // must not panic
+	m.Resize(10)
+	if m.Capacity() != 0 || m.InUse() != 0 || m.HighWater() != 0 || m.Denials() != 0 {
+		t.Fatal("nil budget gauges must read zero")
+	}
+}
+
+func TestMemBudgetDenialAndHighWater(t *testing.T) {
+	m := NewMemBudget(100)
+	if !m.Reserve(60) || !m.Reserve(40) {
+		t.Fatal("reservations within capacity denied")
+	}
+	if m.Reserve(1) {
+		t.Fatal("over-capacity reservation granted")
+	}
+	if m.Denials() != 1 {
+		t.Fatalf("denials = %d", m.Denials())
+	}
+	m.Release(40)
+	if !m.Reserve(30) {
+		t.Fatal("reservation after release denied")
+	}
+	if m.HighWater() != 100 {
+		t.Fatalf("high water = %d", m.HighWater())
+	}
+	if m.InUse() != 90 {
+		t.Fatalf("in-use = %d", m.InUse())
+	}
+}
+
+func TestMemBudgetOverReleaseClamps(t *testing.T) {
+	m := NewMemBudget(10)
+	m.Reserve(5)
+	m.Release(50)
+	if m.InUse() != 0 {
+		t.Fatalf("in-use = %d, want clamped 0", m.InUse())
+	}
+}
+
+func TestMemBudgetResize(t *testing.T) {
+	m := NewMemBudget(10)
+	if m.Reserve(20) {
+		t.Fatal("over-capacity granted")
+	}
+	m.Resize(0) // unlimited
+	if !m.Reserve(20) {
+		t.Fatal("unlimited after resize still denies")
+	}
+	m.Resize(5) // shrink below in-use: no reclaim, but new reservations fail
+	if m.InUse() != 20 {
+		t.Fatalf("resize reclaimed bytes: in-use = %d", m.InUse())
+	}
+	if m.Reserve(1) {
+		t.Fatal("reservation above shrunk capacity granted")
+	}
+}
+
+func TestStatementMemDrawsFromPool(t *testing.T) {
+	pool := NewMemBudget(100)
+	a := StatementMem(pool, 80)
+	b := StatementMem(pool, 80)
+	if !a.Reserve(60) {
+		t.Fatal("first grant denied within both caps")
+	}
+	// b's own cap (80) has room, but the pool has only 40 left.
+	if b.Reserve(50) {
+		t.Fatal("pool exhaustion not enforced through the grant")
+	}
+	if b.Denials() != 1 {
+		t.Fatalf("grant denials = %d", b.Denials())
+	}
+	if !b.Reserve(40) {
+		t.Fatal("remaining pool capacity denied")
+	}
+	if pool.InUse() != 100 {
+		t.Fatalf("pool in-use = %d", pool.InUse())
+	}
+	a.Release(60)
+	if pool.InUse() != 40 {
+		t.Fatalf("release did not propagate to pool: %d", pool.InUse())
+	}
+}
+
+func TestStatementMemGrantCapBinds(t *testing.T) {
+	pool := NewMemBudget(0) // unlimited pool
+	g := StatementMem(pool, 10)
+	if g.Reserve(11) {
+		t.Fatal("grant cap not enforced")
+	}
+	if !g.Reserve(10) {
+		t.Fatal("exact-cap reservation denied")
+	}
+}
+
+func TestStatementMemFullyUnlimitedIsNil(t *testing.T) {
+	if StatementMem(nil, 0) != nil {
+		t.Fatal("unlimited statement over no pool should skip accounting")
+	}
+	if StatementMem(nil, -1) != nil {
+		t.Fatal("negative workMem normalizes to unlimited")
+	}
+	if StatementMem(NewMemBudget(5), 0) == nil {
+		t.Fatal("a pooled statement must account even with unlimited work_mem")
+	}
+	if StatementMem(nil, 5) == nil {
+		t.Fatal("a capped statement must account even without a pool")
+	}
+}
+
+func TestMemBudgetConcurrentNeverOversubscribes(t *testing.T) {
+	pool := NewMemBudget(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			grant := StatementMem(pool, 500)
+			held := int64(0)
+			for i := 0; i < 1000; i++ {
+				if grant.Reserve(7) {
+					held += 7
+				} else if held > 0 {
+					grant.Release(held)
+					held = 0
+				}
+			}
+			grant.Release(held)
+		}()
+	}
+	wg.Wait()
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leaked %d bytes", pool.InUse())
+	}
+	if pool.HighWater() > 1000 {
+		t.Fatalf("pool oversubscribed: high water %d", pool.HighWater())
+	}
+}

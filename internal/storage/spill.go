@@ -1,0 +1,677 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// Spill runs: the on-disk format for out-of-core execution. A run is a
+// sequence of frames, one encoded batch per frame, written through the
+// same RLE/delta/dict codecs that compress table segments — so the
+// spill path reuses their capped, fuzz-tested decoders instead of
+// growing a second serialization surface. Frame metadata (offsets, row
+// counts) lives in memory with the run handle; the file itself is just
+// concatenated length-prefixed frames, read back with pread so several
+// consumers can walk one run concurrently.
+//
+// Frame layout (after the uvarint payload-length prefix):
+//
+//	uvarint rows
+//	per column: uvarint segLen, seg bytes, uvarint nullsLen, nulls bytes
+//
+// int64 columns take the better of RLE/delta (the segment's leading tag
+// byte says which), float64 is plain fixed-width, strings are
+// dictionary-coded, bools ride as 0/1 int64 RLE, and null bitmaps as
+// 0/1 int64 RLE with zero length meaning "no nulls".
+
+// SpillFile is what a run writes to and reads from. *os.File satisfies
+// it; test filesystems return failing implementations to exercise the
+// error paths.
+type SpillFile interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Name() string
+}
+
+// SpillFS creates spill files. The default implementation hands out
+// anonymous temp files; tests inject failures or count creations.
+type SpillFS interface {
+	CreateTemp() (SpillFile, error)
+}
+
+// OSSpillFS spills to temp files under Dir ("" = the system temp dir).
+type OSSpillFS struct {
+	Dir string
+}
+
+type osSpillFile struct {
+	*os.File
+}
+
+// Close removes the file along with closing it: spill runs never
+// outlive the query that wrote them.
+func (f osSpillFile) Close() error {
+	err := f.File.Close()
+	if rmErr := os.Remove(f.File.Name()); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// CreateTemp implements SpillFS.
+func (fs OSSpillFS) CreateTemp() (SpillFile, error) {
+	f, err := os.CreateTemp(fs.Dir, "vx-spill-*.run")
+	if err != nil {
+		return nil, err
+	}
+	return osSpillFile{f}, nil
+}
+
+// DefaultSpillFS is where operators spill when the plan does not
+// inject a filesystem of its own.
+var DefaultSpillFS SpillFS = OSSpillFS{}
+
+// Engine-wide spill counters, surfaced as obs gauges / SHOW STATS.
+var (
+	spillRunsTotal  atomic.Int64
+	spillBytesTotal atomic.Int64
+)
+
+// SpillTotals reports cumulative finished spill runs and bytes written
+// since process start.
+func SpillTotals() (runs, bytes int64) {
+	return spillRunsTotal.Load(), spillBytesTotal.Load()
+}
+
+// BatchBytes estimates the in-memory footprint of a batch for memory
+// accounting: fixed-width columns at machine width, strings at header
+// plus payload. It deliberately overcounts a little (budget accounting
+// should err toward spilling early, not OOMing late).
+func BatchBytes(b *Batch) int64 {
+	if b == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range b.Cols {
+		n := int64(c.Len())
+		switch col := c.(type) {
+		case *Int64Column:
+			total += 8 * n
+		case *Float64Column:
+			total += 8 * n
+		case *BoolColumn:
+			total += n
+		case *StringColumn:
+			total += 16 * n
+			for _, s := range col.vals {
+				total += int64(len(s))
+			}
+		default:
+			total += 16 * n
+		}
+		if nulls := NullsOf(c); nulls != nil {
+			total += n / 8
+		}
+	}
+	return total
+}
+
+// EncodeSpillBatch encodes one batch as a spill frame payload (without
+// the outer length prefix the run writer adds).
+func EncodeSpillBatch(b *Batch) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 64)
+	n := binary.PutUvarint(tmp[:], uint64(b.Len()))
+	buf = append(buf, tmp[:n]...)
+	for _, c := range b.Cols {
+		seg := encodeSpillColumn(c)
+		n = binary.PutUvarint(tmp[:], uint64(len(seg)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, seg...)
+		nulls := encodeSpillNulls(c)
+		n = binary.PutUvarint(tmp[:], uint64(len(nulls)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, nulls...)
+	}
+	return buf
+}
+
+func encodeSpillColumn(c Column) []byte {
+	switch col := c.(type) {
+	case *Int64Column:
+		if enc, _ := CompressedSize(col.vals); enc == EncRLE {
+			return EncodeInt64RLE(col.vals)
+		}
+		return EncodeInt64Delta(col.vals)
+	case *Float64Column:
+		return EncodeFloat64Plain(col.vals)
+	case *StringColumn:
+		return EncodeStringDict(col.vals)
+	case *BoolColumn:
+		vals := make([]int64, len(col.vals))
+		for i, v := range col.vals {
+			if v {
+				vals[i] = 1
+			}
+		}
+		return EncodeInt64RLE(vals)
+	default:
+		panic(fmt.Sprintf("storage: cannot spill column type %T", c))
+	}
+}
+
+func encodeSpillNulls(c Column) []byte {
+	nulls := NullsOf(c)
+	if nulls == nil || !nulls.Any() {
+		return nil
+	}
+	vals := make([]int64, c.Len())
+	for i := range vals {
+		if nulls.Get(i) {
+			vals[i] = 1
+		}
+	}
+	return EncodeInt64RLE(vals)
+}
+
+// DecodeSpillBatch decodes a spill frame payload against the schema it
+// was written with. Every length is validated against the declared row
+// count before allocation, so truncated or hostile frames fail with
+// errCorrupt instead of over-allocating — the same contract as the
+// segment decoders underneath.
+func DecodeSpillBatch(data []byte, schema Schema) (*Batch, error) {
+	rows64, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errCorrupt
+	}
+	data = data[n:]
+	// A row consumes at least one encoded byte somewhere; a frame
+	// claiming more rows than bytes remaining is corrupt. Schemas with
+	// zero columns carry no evidence either way, so cap those too.
+	if rows64 > uint64(len(data))*8+1 || rows64 > maxRLEElements {
+		return nil, errCorrupt
+	}
+	rows := int(rows64)
+	out := &Batch{Schema: schema, Cols: make([]Column, schema.Len())}
+	for ci, sc := range schema.Cols {
+		seg, rest, err := spillSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		col, err := decodeSpillColumn(seg, sc.Type, rows)
+		if err != nil {
+			return nil, err
+		}
+		nullsSeg, rest, err := spillSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		if len(nullsSeg) > 0 {
+			flags, err := DecodeInt64RLEMax(nullsSeg, rows)
+			if err != nil {
+				return nil, err
+			}
+			if len(flags) != rows {
+				return nil, errCorrupt
+			}
+			bm := NewBitmap(rows)
+			any := false
+			for i, f := range flags {
+				switch f {
+				case 0:
+				case 1:
+					bm.Set(i)
+					any = true
+				default:
+					return nil, errCorrupt
+				}
+			}
+			if any {
+				SetNulls(col, bm)
+			}
+		}
+		out.Cols[ci] = col
+	}
+	if len(data) != 0 {
+		return nil, errCorrupt
+	}
+	return out, nil
+}
+
+// spillSegment splits one length-prefixed segment off data.
+func spillSegment(data []byte) (seg, rest []byte, err error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, nil, errCorrupt
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}
+
+func decodeSpillColumn(seg []byte, t Type, rows int) (Column, error) {
+	switch t {
+	case TypeInt64:
+		vals, err := decodeSpillInt64(seg, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Int64Column{vals: vals}, nil
+	case TypeFloat64:
+		vals, err := DecodeFloat64Plain(seg)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != rows {
+			return nil, errCorrupt
+		}
+		return &Float64Column{vals: vals}, nil
+	case TypeString:
+		vals, err := DecodeStringDict(seg)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != rows {
+			return nil, errCorrupt
+		}
+		return &StringColumn{vals: vals}, nil
+	case TypeBool:
+		raw, err := decodeSpillInt64(seg, rows)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]bool, len(raw))
+		for i, v := range raw {
+			switch v {
+			case 0:
+			case 1:
+				vals[i] = true
+			default:
+				return nil, errCorrupt
+			}
+		}
+		return &BoolColumn{vals: vals}, nil
+	default:
+		return nil, errCorrupt
+	}
+}
+
+func decodeSpillInt64(seg []byte, rows int) ([]int64, error) {
+	if len(seg) == 0 {
+		return nil, errCorrupt
+	}
+	var (
+		vals []int64
+		err  error
+	)
+	switch Encoding(seg[0]) {
+	case EncRLE:
+		vals, err = DecodeInt64RLEMax(seg, rows)
+	case EncDelta:
+		vals, err = DecodeInt64Delta(seg)
+	default:
+		return nil, errCorrupt
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != rows {
+		return nil, errCorrupt
+	}
+	return vals, nil
+}
+
+// frameMeta locates one frame inside a run file.
+type frameMeta struct {
+	off   int64 // payload offset (past the length prefix)
+	size  int64 // payload length
+	rows  int   // rows in the frame
+	start int64 // global row offset of the frame within the run
+}
+
+// RunWriter streams batches into a new spill run.
+type RunWriter struct {
+	f      SpillFile
+	schema Schema
+	off    int64
+	frames []frameMeta
+	rows   int64
+}
+
+// NewRunWriter opens a fresh run on fs for batches of the given schema.
+func NewRunWriter(fs SpillFS, schema Schema) (*RunWriter, error) {
+	if fs == nil {
+		fs = DefaultSpillFS
+	}
+	f, err := fs.CreateTemp()
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spill run: %w", err)
+	}
+	return &RunWriter{f: f, schema: schema}, nil
+}
+
+// Write appends one batch as a frame. Empty batches are skipped.
+func (w *RunWriter) Write(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	payload := EncodeSpillBatch(b)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	if _, err := w.f.Write(tmp[:n]); err != nil {
+		return fmt.Errorf("storage: write spill run: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("storage: write spill run: %w", err)
+	}
+	w.frames = append(w.frames, frameMeta{
+		off:   w.off + int64(n),
+		size:  int64(len(payload)),
+		rows:  b.Len(),
+		start: w.rows,
+	})
+	w.off += int64(n) + int64(len(payload))
+	w.rows += int64(b.Len())
+	return nil
+}
+
+// Frames returns the number of frames written so far.
+func (w *RunWriter) Frames() int { return len(w.frames) }
+
+// FrameRows returns the row count of written frame i.
+func (w *RunWriter) FrameRows(i int) int { return w.frames[i].rows }
+
+// FrameStart returns the global row offset of written frame i.
+func (w *RunWriter) FrameStart(i int) int64 { return w.frames[i].start }
+
+// Rows returns the rows written so far.
+func (w *RunWriter) Rows() int64 { return w.rows }
+
+// Bytes returns the bytes written so far.
+func (w *RunWriter) Bytes() int64 { return w.off }
+
+// ReadFrame decodes an already-written frame of the in-progress run.
+// Reads are positional, so a reader may consume sealed frames while the
+// writer keeps appending (the spool streams its disk overflow this
+// way); the caller serializes access to the frame metadata itself.
+func (w *RunWriter) ReadFrame(i int) (*Batch, error) {
+	fm := w.frames[i]
+	buf := make([]byte, fm.size)
+	if _, err := w.f.ReadAt(buf, fm.off); err != nil {
+		return nil, fmt.Errorf("storage: read spill run: %w", err)
+	}
+	b, err := DecodeSpillBatch(buf, w.schema)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read spill run: %w", err)
+	}
+	return b, nil
+}
+
+// Finish seals the run and returns its read handle. The writer must
+// not be used afterwards.
+func (w *RunWriter) Finish() (*SpillRun, error) {
+	run := &SpillRun{f: w.f, schema: w.schema, frames: w.frames, rows: w.rows, bytes: w.off}
+	spillRunsTotal.Add(1)
+	spillBytesTotal.Add(w.off)
+	return run, nil
+}
+
+// Abort discards a half-written run.
+func (w *RunWriter) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// SpillRun is a sealed on-disk run: encoded frames plus in-memory
+// metadata. Frames may be read in any order and from multiple
+// goroutines (reads are positional).
+type SpillRun struct {
+	f      SpillFile
+	schema Schema
+	frames []frameMeta
+	rows   int64
+	bytes  int64
+}
+
+// Rows returns the total row count of the run.
+func (r *SpillRun) Rows() int64 { return r.rows }
+
+// Bytes returns the encoded size of the run on disk.
+func (r *SpillRun) Bytes() int64 { return r.bytes }
+
+// Frames returns the number of frames in the run.
+func (r *SpillRun) Frames() int { return len(r.frames) }
+
+// FrameRows returns the row count of frame i.
+func (r *SpillRun) FrameRows(i int) int { return r.frames[i].rows }
+
+// FrameStart returns the global row offset of frame i within the run.
+func (r *SpillRun) FrameStart(i int) int64 { return r.frames[i].start }
+
+// Schema returns the schema the run was written with.
+func (r *SpillRun) Schema() Schema { return r.schema }
+
+// ReadFrame decodes frame i.
+func (r *SpillRun) ReadFrame(i int) (*Batch, error) {
+	fm := r.frames[i]
+	buf := make([]byte, fm.size)
+	if _, err := r.f.ReadAt(buf, fm.off); err != nil {
+		return nil, fmt.Errorf("storage: read spill run: %w", err)
+	}
+	b, err := DecodeSpillBatch(buf, r.schema)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read spill run: %w", err)
+	}
+	return b, nil
+}
+
+// Close releases the run's file (removing it, for the OS filesystem).
+func (r *SpillRun) Close() error {
+	if r == nil || r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// Reader returns a sequential frame iterator over the run.
+func (r *SpillRun) Reader() *RunReader { return &RunReader{run: r} }
+
+// RunReader iterates a run's frames in order.
+type RunReader struct {
+	run *SpillRun
+	i   int
+}
+
+// Next returns the next frame, or (nil, nil) at end of run.
+func (rr *RunReader) Next() (*Batch, error) {
+	if rr.i >= rr.run.Frames() {
+		return nil, nil
+	}
+	b, err := rr.run.ReadFrame(rr.i)
+	if err != nil {
+		return nil, err
+	}
+	rr.i++
+	return b, nil
+}
+
+// runChunker accumulates merge output and writes exact BatchSize-row
+// frames (plus one trailing partial), so external and in-memory sort
+// paths emit identically-shaped batches downstream.
+type runChunker struct {
+	w       *RunWriter
+	pending *Batch
+}
+
+func (c *runChunker) add(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	if c.pending != nil && c.pending.Len() > 0 {
+		need := BatchSize - c.pending.Len()
+		take := b.Len()
+		if take > need {
+			take = need
+		}
+		if err := Concat(c.pending, b.Slice(0, take)); err != nil {
+			return err
+		}
+		b = b.Slice(take, b.Len())
+		if c.pending.Len() == BatchSize {
+			if err := c.w.Write(c.pending); err != nil {
+				return err
+			}
+			c.pending = nil
+		}
+	}
+	for b.Len() >= BatchSize {
+		if err := c.w.Write(b.Slice(0, BatchSize)); err != nil {
+			return err
+		}
+		b = b.Slice(BatchSize, b.Len())
+	}
+	if b.Len() > 0 {
+		c.pending = b.Slice(0, b.Len())
+	}
+	return nil
+}
+
+func (c *runChunker) flush() error {
+	if c.pending != nil && c.pending.Len() > 0 {
+		if err := c.w.Write(c.pending); err != nil {
+			return err
+		}
+		c.pending = nil
+	}
+	return nil
+}
+
+// MergeSpillRuns streams two sorted runs into one sorted run, holding
+// only a few frames in memory. Stability matches MergeSortedBatches:
+// on equal keys, rows of a precede rows of b — so a ladder of pairwise
+// merges over runs cut from contiguous input regions reproduces the
+// in-memory stable sort byte for byte.
+//
+// Each iteration finalizes whichever buffered frame ends lower — only
+// its rows can have every interleaving partner in view. Rows of the
+// other frame at or above the finalized frame's last row are withheld:
+// a future row of the finalized side equal to them must still precede
+// (a wins ties).
+func MergeSpillRuns(fs SpillFS, a, b *SpillRun, keys []SortKey) (*SpillRun, error) {
+	w, err := NewRunWriter(fs, a.schema)
+	if err != nil {
+		return nil, err
+	}
+	out, err := mergeSpillRuns(w, a, b, keys)
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return out, nil
+}
+
+func mergeSpillRuns(w *RunWriter, a, b *SpillRun, keys []SortKey) (*SpillRun, error) {
+	ra, rb := a.Reader(), b.Reader()
+	ch := runChunker{w: w}
+	pa, err := ra.Next()
+	if err != nil {
+		return nil, err
+	}
+	pb, err := rb.Next()
+	if err != nil {
+		return nil, err
+	}
+	for pa != nil {
+		if pb == nil || pb.Len() == 0 {
+			if pb, err = rb.Next(); err != nil {
+				return nil, err
+			}
+			if pb == nil {
+				// b exhausted: the rest of a passes through.
+				for pa != nil {
+					if err := ch.add(pa); err != nil {
+						return nil, err
+					}
+					if pa, err = ra.Next(); err != nil {
+						return nil, err
+					}
+				}
+				break
+			}
+			continue
+		}
+		lastA, lastB := pa.Len()-1, pb.Len()-1
+		if compareRows(pa, lastA, pb, lastB, keys) <= 0 {
+			// a's frame ends lowest: every future b-row is at or above
+			// b's frame last, hence above a's last, so the whole a-frame
+			// finalizes now. Only the b-prefix strictly below a's last
+			// row joins it — a future a-row equal to a withheld b-row
+			// must still precede it.
+			cut := searchBatch(pb, func(i int) bool {
+				return compareRows(pb, i, pa, lastA, keys) >= 0
+			})
+			if err := ch.add(MergeSortedBatches(pa, pb.Slice(0, cut), keys)); err != nil {
+				return nil, err
+			}
+			pb = pb.Slice(cut, pb.Len())
+			if pa, err = ra.Next(); err != nil {
+				return nil, err
+			}
+		} else {
+			// b's frame ends lower: it finalizes, taking the a-prefix at
+			// or below its last row along (equal a-rows go now — a wins
+			// ties, so they cannot trail the b-rows they tie with).
+			cut := searchBatch(pa, func(i int) bool {
+				return compareRows(pa, i, pb, lastB, keys) > 0
+			})
+			if err := ch.add(MergeSortedBatches(pa.Slice(0, cut), pb, keys)); err != nil {
+				return nil, err
+			}
+			pa = pa.Slice(cut, pa.Len())
+			if pb, err = rb.Next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// a exhausted: flush the withheld tail of b.
+	for {
+		if pb != nil && pb.Len() > 0 {
+			if err := ch.add(pb); err != nil {
+				return nil, err
+			}
+		}
+		if pb, err = rb.Next(); err != nil {
+			return nil, err
+		}
+		if pb == nil {
+			break
+		}
+	}
+	if err := ch.flush(); err != nil {
+		return nil, err
+	}
+	return w.Finish()
+}
+
+// searchBatch is sort.Search over batch rows without importing sort's
+// closure allocation into the hot loop shape used above.
+func searchBatch(b *Batch, pred func(int) bool) int {
+	lo, hi := 0, b.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
