@@ -1,0 +1,187 @@
+package vertexica
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlgraph"
+)
+
+// explainGraphVerb is the hook the facade installs into the engine with
+// SetGraphExplainer: it gives `EXPLAIN [ANALYZE] pagerank g 10` a
+// renderer without the engine package importing the graph runtime. The
+// verb names and argv shape mirror the server's graph-verb RPC exactly
+// (server/verbs.go), so what EXPLAIN describes is what the wire verb
+// runs. ANALYZE executes the verb for real and folds the run's
+// statistics into the output.
+//
+// The hook is invoked from inside a session's statement execution —
+// possibly the facade's own default session, whose sessionMu the caller
+// already holds — so ANALYZE must not dispatch through the public Graph
+// methods (their runGated touches sessionMu and would self-deadlock).
+// It takes only the engine's cross-session write gate; the in-
+// transaction case is refused by the engine before the hook runs.
+func (e *Engine) explainGraphVerb(ctx context.Context, analyze bool, verb string, args []string, workers int) ([]string, error) {
+	argN := func(i int, def int64) int64 {
+		if i < len(args) {
+			if v, err := strconv.ParseInt(args[i], 10, 64); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	// SQL identifiers cannot contain "-", so the -sql verb variants are
+	// spelled with an underscore in EXPLAIN (EXPLAIN PAGERANK_SQL g);
+	// the wire RPC keeps its historical dashed names.
+	verb = strings.ReplaceAll(verb, "_", "-")
+	if len(args) < 1 || args[0] == "" {
+		return nil, fmt.Errorf("vertexica: EXPLAIN %s wants a graph name", verb)
+	}
+	g, err := core.OpenGraph(e.db, args[0])
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{Workers: workers}
+
+	// gated acquires the engine write gate for an ANALYZE run, exactly
+	// like runGated minus the default-session bookkeeping (see above).
+	gated := func(fn func(ctx context.Context) error) error {
+		if engine.GateHeld(ctx) {
+			return fn(ctx)
+		}
+		if err := e.db.AcquireWriteGate(ctx); err != nil {
+			return err
+		}
+		defer e.db.ReleaseWriteGate()
+		return fn(engine.WithGateHeld(ctx))
+	}
+
+	switch verb {
+	case "pagerank":
+		iters := int(argN(1, 10))
+		lines, err := core.ExplainRun(g, fmt.Sprintf("pagerank iterations=%d", iters), opts)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var ranks map[int64]float64
+		var rs *RunStats
+		if err := gated(func(ctx context.Context) error {
+			ranks, rs, err = algorithms.RunPageRank(ctx, g, iters, opts)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		lines = append(lines, core.ExplainStats(rs)...)
+		return append(lines, resultLine(len(ranks))), nil
+
+	case "sssp":
+		source, unit := argN(1, 0), argN(2, 0) != 0
+		lines, err := core.ExplainRun(g, fmt.Sprintf("sssp source=%d unit_weights=%v", source, unit), opts)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var dists map[int64]float64
+		var rs *RunStats
+		if err := gated(func(ctx context.Context) error {
+			dists, rs, err = algorithms.RunSSSP(ctx, g, source, unit, opts)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		lines = append(lines, core.ExplainStats(rs)...)
+		return append(lines, resultLine(len(dists))), nil
+
+	case "components":
+		lines, err := core.ExplainRun(g, "components", opts)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var labels map[int64]int64
+		var rs *RunStats
+		if err := gated(func(ctx context.Context) error {
+			labels, rs, err = algorithms.RunConnectedComponents(ctx, g, opts)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		lines = append(lines, core.ExplainStats(rs)...)
+		return append(lines, resultLine(len(labels))), nil
+
+	case "pagerank-sql":
+		iters := int(argN(1, 10))
+		lines, err := core.ExplainSQL(g, fmt.Sprintf("pagerank iterations=%d", iters), iters)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var ranks map[int64]float64
+		if err := gated(func(ctx context.Context) error {
+			ranks, err = sqlgraph.PageRank(ctx, g, iters, 0.85)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return append(lines, resultLine(len(ranks))), nil
+
+	case "sssp-sql":
+		source, unit := argN(1, 0), argN(2, 0) != 0
+		lines, err := core.ExplainSQL(g, fmt.Sprintf("sssp source=%d unit_weights=%v", source, unit), 0)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var dists map[int64]float64
+		if err := gated(func(ctx context.Context) error {
+			dists, err = sqlgraph.ShortestPaths(ctx, g, source, unit)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return append(lines, resultLine(len(dists))), nil
+
+	case "components-sql":
+		lines, err := core.ExplainSQL(g, "components", 0)
+		if err != nil || !analyze {
+			return lines, err
+		}
+		var labels map[int64]int64
+		if err := gated(func(ctx context.Context) error {
+			labels, err = sqlgraph.ConnectedComponents(ctx, g)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return append(lines, resultLine(len(labels))), nil
+
+	case "triangles":
+		nv, err := g.NumVertices()
+		if err != nil {
+			return nil, err
+		}
+		ne, err := g.NumEdges()
+		if err != nil {
+			return nil, err
+		}
+		lines := []string{
+			fmt.Sprintf("triangles on graph %q (one-shot SQL)", g.Name),
+			fmt.Sprintf("  graph: %d vertices, %d edges", nv, ne),
+			"  plan: self-join the edge table on shared endpoints, count closing edges",
+		}
+		if !analyze {
+			return lines, nil
+		}
+		n, err := sqlgraph.TriangleCount(g)
+		if err != nil {
+			return nil, err
+		}
+		return append(lines, fmt.Sprintf("  executed: triangles=%d", n)), nil
+	}
+	return nil, fmt.Errorf("vertexica: EXPLAIN does not support graph verb %q", verb)
+}
+
+func resultLine(rows int) string {
+	return fmt.Sprintf("  result: %d rows", rows)
+}

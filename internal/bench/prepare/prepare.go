@@ -86,6 +86,12 @@ type Report struct {
 	// as a percentage. The study asserts it stays under
 	// maxCounterOverheadPct.
 	CounterOverheadPct float64 `json:"counter_overhead_pct"`
+	// TraceOverheadPct is the cost of the disabled tracing fabric on
+	// the same lookup: sampling=0 blocks (hooks run, collector nil)
+	// versus blocks with the trace entry point skipped entirely — what
+	// an engine built without tracing would do. The study asserts it
+	// stays under maxTraceOverheadPct.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
 }
 
 // seed builds the in-memory graph both modes query. The study is
@@ -203,6 +209,14 @@ const maxCounterOverheadPct = 2.0
 // 60%) of its block times, which ignores the GC-pause outliers.
 func counterOverhead(db *engine.DB, window time.Duration) (float64, error) {
 	defer execpkg.SetStatsEnabled(true)
+	// Isolate the counters: with the lifecycle tracer sampling, the
+	// stats-on blocks would also pay for per-operator span recording
+	// (traces only attach op spans when counters run) and the
+	// measurement would charge tracing's cost to the counters.
+	tr := db.Tracer()
+	prev := tr.Sampling()
+	tr.SetSampling(0)
+	defer tr.SetSampling(prev)
 	q := queries()[0] // point lookup
 	sess := db.NewSession()
 	defer sess.Close()
@@ -232,23 +246,81 @@ func counterOverhead(db *engine.DB, window time.Duration) (float64, error) {
 			times[on] = append(times[on], float64(time.Since(t0).Nanoseconds()))
 		}
 	}
-	trimmedMean := func(xs []float64) float64 {
-		sort.Float64s(xs)
-		lo, hi := len(xs)/5, len(xs)*4/5
-		if hi <= lo {
-			lo, hi = 0, len(xs)
-		}
-		sum := 0.0
-		for _, x := range xs[lo:hi] {
-			sum += x
-		}
-		return sum / float64(hi-lo)
-	}
 	off, on := trimmedMean(times[false]), trimmedMean(times[true])
 	if off <= 0 {
 		return 0, fmt.Errorf("prepare: counter-overhead baseline measured zero time")
 	}
 	return (on - off) / off * 100, nil
+}
+
+// maxTraceOverheadPct bounds what disabled statement tracing costs on
+// the prepared point lookup. Full tracing (sampling every statement)
+// allocates a span buffer and stamps a dozen clock reads per statement
+// — real money on a microsecond-scale lookup, and exactly why the
+// sampling knob exists. The bound certifies the other side of that
+// bargain: with sampling off, the permanently-installed hooks and
+// nil-collector checks must stay in the noise.
+const maxTraceOverheadPct = 2.0
+
+// traceOverhead measures the disabled-tracing fabric with the same
+// alternating-block + trimmed-mean design as counterOverhead: blocks
+// with tracing disabled by the sampling knob (hooks run, collector
+// nil) interleave with blocks where engine.SetTraceHooks skips the
+// trace entry point entirely — the closest runtime stand-in for an
+// engine built without tracing.
+func traceOverhead(db *engine.DB, window time.Duration) (float64, error) {
+	tr := db.Tracer()
+	prev := tr.Sampling()
+	tr.SetSampling(0)
+	defer tr.SetSampling(prev)
+	defer engine.SetTraceHooks(true)
+	q := queries()[0] // point lookup
+	sess := db.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+
+	total := 4 * window
+	if total < 600*time.Millisecond {
+		total = 600 * time.Millisecond
+	}
+	const block = 128
+	times := map[bool][]float64{}
+	if _, err := exec(ctx, sess, q, true, 0); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := int64(0); time.Since(start) < total; i++ {
+		// on=false: hooks skipped (no-tracing baseline);
+		// on=true: hooks installed, sampling 0 (shipped disabled mode).
+		for _, on := range []bool{false, true} {
+			engine.SetTraceHooks(on)
+			t0 := time.Now()
+			for j := int64(0); j < block; j++ {
+				if _, err := exec(ctx, sess, q, true, (i*block+j)%numSrc); err != nil {
+					return 0, err
+				}
+			}
+			times[on] = append(times[on], float64(time.Since(t0).Nanoseconds()))
+		}
+	}
+	off, on := trimmedMean(times[false]), trimmedMean(times[true])
+	if off <= 0 {
+		return 0, fmt.Errorf("prepare: trace-overhead baseline measured zero time")
+	}
+	return (on - off) / off * 100, nil
+}
+
+func trimmedMean(xs []float64) float64 {
+	sort.Float64s(xs)
+	lo, hi := len(xs)/5, len(xs)*4/5
+	if hi <= lo {
+		lo, hi = 0, len(xs)
+	}
+	sum := 0.0
+	for _, x := range xs[lo:hi] {
+		sum += x
+	}
+	return sum / float64(hi-lo)
 }
 
 // Study measures queries/s for the point lookup and the 1-hop join
@@ -301,9 +373,25 @@ func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
 		}
 	}
 	report.CounterOverheadPct = pct
-	if pct > maxCounterOverheadPct {
+	if pct > maxCounterOverheadPct && !raceEnabled {
 		return nil, fmt.Errorf("prepare: operator counters cost %.2f%% on the point lookup (budget %.1f%%)",
 			pct, maxCounterOverheadPct)
+	}
+
+	// Trace-overhead assertion, same retry policy.
+	tpct, err := traceOverhead(db, window)
+	if err != nil {
+		return nil, err
+	}
+	if tpct > maxTraceOverheadPct {
+		if tpct, err = traceOverhead(db, window); err != nil {
+			return nil, err
+		}
+	}
+	report.TraceOverheadPct = tpct
+	if tpct > maxTraceOverheadPct && !raceEnabled {
+		return nil, fmt.Errorf("prepare: statement tracing cost %.2f%% on the point lookup (budget %.1f%%)",
+			tpct, maxTraceOverheadPct)
 	}
 
 	if outPath != "" {
@@ -330,6 +418,12 @@ func Study(window time.Duration, outPath string) ([]bench.AblationRow, error) {
 		Variant: "operator-counter overhead, point lookup",
 		Seconds: window.Seconds(),
 		Extra:   fmt.Sprintf("%.2f%% (budget %.1f%%)", pct, maxCounterOverheadPct),
+	})
+	out = append(out, bench.AblationRow{
+		Study:   "Q: prepared execution (queries/s)",
+		Variant: "statement-tracing overhead, point lookup",
+		Seconds: window.Seconds(),
+		Extra:   fmt.Sprintf("%.2f%% (budget %.1f%%)", tpct, maxTraceOverheadPct),
 	})
 	return out, nil
 }

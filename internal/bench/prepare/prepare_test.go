@@ -16,8 +16,8 @@ func TestStudySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("got %d printable rows, want 5 (2 modes x 2 queries + counter overhead)", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("got %d printable rows, want 6 (2 modes x 2 queries + counter and trace overhead)", len(rows))
 	}
 	data, err := os.ReadFile(out)
 	if err != nil {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package prepare
+
+// raceEnabled is false in plain builds; see race_on.go.
+const raceEnabled = false

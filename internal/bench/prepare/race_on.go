@@ -1,0 +1,11 @@
+//go:build race
+
+package prepare
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation inflates the very overheads the
+// study budgets (its atomics cost an order of magnitude more). The
+// study still measures and reports the percentages under race builds,
+// but does not enforce the budgets; real enforcement happens in the
+// plain-build test run and in vxbench -prepare.
+const raceEnabled = true

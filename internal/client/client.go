@@ -134,6 +134,35 @@ func (r *Rows) fail(err error) {
 // Err returns the error that terminated the stream, if any.
 func (r *Rows) Err() error { return r.err }
 
+// Stat returns the named stat from the Done frame's trailer. Valid only
+// after the stream finished cleanly (Stats is nil before that).
+func (r *Rows) Stat(name string) (int64, bool) {
+	for _, s := range r.Stats {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TraceID returns the server-assigned statement trace id, or 0 if the
+// statement was not traced (sampling off) or the stream has not
+// finished. The id joins against the server's vx$traces and
+// vx$trace_spans system tables and its slow-query log.
+func (r *Rows) TraceID() uint64 {
+	v, _ := r.Stat("trace_id")
+	return uint64(v)
+}
+
+// ServerTime returns the server-side elapsed time for the statement
+// (admission to final frame), or 0 if the server sent no timing. The
+// difference against the client's own measurement is time spent on the
+// wire.
+func (r *Rows) ServerTime() time.Duration {
+	v, _ := r.Stat("server_us")
+	return time.Duration(v) * time.Microsecond
+}
+
 // Close finishes a streaming result early: it asks the server to
 // cancel the statement, drains the remaining frames (the statement
 // slot is unusable until the server's terminal frame arrives), and

@@ -24,6 +24,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // DB is an embedded relational database instance.
@@ -86,6 +87,19 @@ type DB struct {
 
 	obs *obs.Registry // engine-wide metrics (self-locking; see Stats)
 
+	tracer *trace.Tracer // statement-lifecycle tracer (self-locking)
+
+	// Session registry (vx$sessions): every live Session's info row.
+	sessMu   sync.Mutex
+	sessSeq  uint64
+	sessions map[uint64]*sessionInfo
+
+	// graphExplainer renders EXPLAIN <graph verb> plans. The engine
+	// cannot import the vertex runtime (the dependency points the other
+	// way), so the facade that wires both installs this hook. Guarded by
+	// mu.
+	graphExplainer func(ctx context.Context, analyze bool, verb string, args []string, workers int) ([]string, error)
+
 	// Slow-query log: statements slower than slowThreshold are reported
 	// to slowLog. Both fields are guarded by slowMu so the hot path pays
 	// one uncontended mutex probe only when a threshold is set.
@@ -109,6 +123,8 @@ func New() *DB {
 		gateExcl:      make(chan struct{}, 1),
 		gateSlots:     make(chan struct{}, gateSlotCount),
 		plans:         newPlanCache(preparedCacheSize),
+		tracer:        trace.New(),
+		sessions:      make(map[uint64]*sessionInfo),
 	}
 	db.gateExcl <- struct{}{}
 	for i := 0; i < gateSlotCount; i++ {
@@ -123,7 +139,16 @@ func New() *DB {
 	if v, err := strconv.ParseInt(os.Getenv("VXDB_WORK_MEM"), 10, 64); err == nil && v > 0 {
 		db.planner.WorkMem = v
 	}
+	// VXDB_SPILL_DIR points spill files at a managed directory (the env
+	// form of SET temp_tablespace). The spill filesystem is process-wide,
+	// so the last engine to set it wins — in practice there is one.
+	if d := os.Getenv("VXDB_SPILL_DIR"); d != "" {
+		_ = storage.SetSpillDir(d)
+	}
 	db.obs = obs.New()
+	db.tracer.Started = db.obs.Counter("trace.started")
+	db.tracer.Retained = db.obs.Counter("trace.retained")
+	db.tracer.Dropped = db.obs.Counter("trace.dropped_spans")
 	db.registerGauges()
 	return db
 }
@@ -155,6 +180,12 @@ func (db *DB) registerGauges() {
 	r.Gauge("mem.pool_denials", func() int64 { return int64(mp.Denials()) })
 	r.Gauge("spill.runs", func() int64 { n, _ := storage.SpillTotals(); return n })
 	r.Gauge("spill.bytes", func() int64 { _, b := storage.SpillTotals(); return b })
+	r.Gauge("spill.dir_bytes", storage.SpillDirBytes)
+	r.Gauge("spill.disk_cap", storage.SpillDiskCap)
+	tr := db.tracer
+	r.Gauge("trace.ring_len", func() int64 { return int64(tr.RingLen()) })
+	r.Gauge("trace.active_statements", func() int64 { return int64(tr.ActiveLen()) })
+	r.Gauge("trace.sampling", tr.Sampling)
 	r.Gauge("plancache.parses", func() int64 { return int64(p.parses.Load()) })
 	r.Gauge("plancache.plans", func() int64 { return int64(p.plans.Load()) })
 	r.Gauge("plancache.hits", func() int64 { return int64(p.hits.Load()) })
@@ -167,6 +198,18 @@ func (db *DB) registerGauges() {
 // worker-budget pressure, and plan-cache effectiveness. SHOW STATS and
 // the server's debug endpoint render its Snapshot.
 func (db *DB) Stats() *obs.Registry { return db.obs }
+
+// SetGraphExplainer installs the renderer EXPLAIN <graph verb> calls:
+// given the verb, its arguments and the effective worker count, it
+// returns the plan lines (superstep schedule, input-cache decision,
+// partition layout; with analyze it runs the verb and folds in the run
+// statistics). The graph runtime's facade installs it — the engine
+// cannot depend on the vertex layer directly.
+func (db *DB) SetGraphExplainer(fn func(ctx context.Context, analyze bool, verb string, args []string, workers int) ([]string, error)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.graphExplainer = fn
+}
 
 // SetParallelism sets how many worker goroutines one SQL statement may
 // use (morsel-parallel scans and filters, parallel hash-join probes,
@@ -646,7 +689,7 @@ func (db *DB) planSnapshotLocked(sel *sql.SelectStmt, workers int, workMem int64
 	if err != nil {
 		return nil, nil, err
 	}
-	op, err := db.planner.PlanSelectMem(sel, workers, workMem, snap, nil)
+	op, err := db.planner.PlanSelectMem(sel, workers, workMem, sysSource{db: db, base: snap}, nil)
 	snap.Seal()
 	if err != nil {
 		snap.Release()
@@ -712,15 +755,25 @@ func (db *DB) queryStreamParsed(ctx context.Context, sel *sql.SelectStmt, worker
 		}
 		return rows, nil
 	}
+	tc := trace.FromContext(ctx)
+	endPlan := tc.Begin("plan")
 	op, snap, err := db.planSnapshotLocked(sel, workers, workMem, kind)
 	db.mu.RUnlock()
+	endPlan(fmt.Sprintf("workers=%d", workers))
 	if err != nil {
 		return nil, err
 	}
+	tc.Add("grant", time.Now(), 0, fmt.Sprintf("work_mem=%d pool %s", workMem, db.memPool.Describe()))
+	// Open is where pipeline-breaking operators (sort, aggregate) do
+	// their work — it gets its own lifecycle span so the trace covers
+	// eager execution, not just the drain.
+	endOpen := tc.Begin("open")
 	rows, err := OperatorRows(exec.WithContext(ctx, op), snap.Release)
 	if err != nil {
+		endOpen("failed")
 		return nil, err // OperatorRows already ran the cleanup chain
 	}
+	endOpen("operator tree opened")
 	return rows, nil
 }
 
@@ -842,7 +895,7 @@ func (db *DB) execParsed(ctx context.Context, st sql.Statement, text string, ps 
 	if err != nil {
 		return Result{}, err
 	}
-	db.logStatement(text)
+	db.logStatement(ctx, text)
 	if db.txn == nil {
 		db.mvcc.Publish()
 	}

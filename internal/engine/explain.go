@@ -33,6 +33,8 @@ func (s *Session) runExplain(ctx context.Context, ex *sql.ExplainStmt, text stri
 	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
 		*sql.CreateTableStmt, *sql.DropTableStmt, *sql.TruncateStmt:
 		lines, err = s.explainWrite(ctx, ex)
+	case *sql.GraphStmt:
+		lines, err = s.explainGraph(ctx, inner, ex.Analyze)
 	default:
 		return nil, fmt.Errorf("engine: EXPLAIN does not support %T", ex.Stmt)
 	}
@@ -184,6 +186,27 @@ func (s *Session) explainWrite(ctx context.Context, ex *sql.ExplainStmt) ([]stri
 	}
 	return append(lines, fmt.Sprintf("executed serialized: rows=%d time=%s",
 		res.RowsAffected, time.Since(start).Round(time.Microsecond))), nil
+}
+
+// explainGraph renders EXPLAIN for a graph verb (PAGERANK, SSSP, …)
+// through the hook the graph runtime installed with SetGraphExplainer:
+// superstep schedule, input-cache decision, and partition layout; with
+// ANALYZE the verb actually runs and the real run statistics fold in.
+func (s *Session) explainGraph(ctx context.Context, g *sql.GraphStmt, analyze bool) ([]string, error) {
+	s.db.mu.RLock()
+	fn := s.db.graphExplainer
+	s.db.mu.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("engine: EXPLAIN %s: no graph runtime attached", strings.ToUpper(g.Verb))
+	}
+	// ANALYZE runs the verb under the cross-session write gate; a
+	// session that already owns the gate (open transaction) would
+	// deadlock against itself, exactly like the wire server's graph
+	// verbs — refuse the same way.
+	if analyze && s.ownsGate {
+		return nil, fmt.Errorf("engine: cannot EXPLAIN ANALYZE %s inside a transaction", strings.ToUpper(g.Verb))
+	}
+	return fn(ctx, analyze, g.Verb, g.Args, s.EffectiveWorkers())
 }
 
 // fastWriteShapeEligible mirrors tryFastWrite's statement-shape check:

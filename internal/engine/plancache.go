@@ -3,14 +3,17 @@ package engine
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // preparedCacheSize bounds the prepared-plan cache. Entries are small
@@ -343,44 +346,60 @@ func (db *DB) queryStreamBound(ctx context.Context, sel *sql.SelectStmt, key str
 		return nil, err
 	}
 
+	tc := trace.FromContext(ctx)
 	catVer := db.cat.Version()
+	probe := time.Now()
 	entry := db.plans.checkoutPlan(key, catVer, workers, workMem)
 	var prep *plan.Prepared
 	if entry != nil {
+		tc.Add("plan_cache", probe, time.Since(probe), "hit")
 		prep = entry.prep
 		// Repoint the cached scans at this snapshot's table versions.
 		// Snapshot resolution needs the engine latch, so Bind must run
 		// before Seal (a sealed snapshot serves only what it has pinned).
-		if err := prep.Bind(ctx, args, snap.Table); err != nil {
+		// System tables (vx$…) resolve through the wrapper so a cached
+		// plan re-materializes them fresh on every execution.
+		endBind := tc.Begin("bind")
+		if err := prep.Bind(ctx, args, db.sysLookup(snap)); err != nil {
 			db.plans.release(entry)
 			return fail(err)
 		}
+		endBind("rebind cached plan")
 	} else {
-		prep, err = db.planner.PrepareSelectMem(sel, workers, workMem, snap, plan.NewParams(args))
+		tc.Add("plan_cache", probe, time.Since(probe), "miss")
+		endPlan := tc.Begin("plan")
+		prep, err = db.planner.PrepareSelectMem(sel, workers, workMem, sysSource{db: db, base: snap}, plan.NewParams(args))
+		endPlan(fmt.Sprintf("workers=%d", workers))
 		if err != nil {
 			return fail(err)
 		}
 		db.plans.plans.Add(1)
 		// Tables are already resolved (planned against snap); bind the
 		// context, the arguments and the parameter-keyed scan routes.
+		endBind := tc.Begin("bind")
 		if err := prep.Bind(ctx, args, nil); err != nil {
 			return fail(err)
 		}
+		endBind("bind fresh plan")
 		if prep.Cacheable {
 			entry = db.plans.attach(key, prep, catVer, workers, workMem)
 		}
 	}
 	snap.Seal()
 	db.mu.RUnlock()
+	tc.Add("grant", time.Now(), 0, fmt.Sprintf("work_mem=%d pool %s", workMem, db.memPool.Describe()))
 
 	cleanup := []func(){snap.Release}
 	if entry != nil {
 		e := entry
 		cleanup = append(cleanup, func() { db.plans.release(e) })
 	}
+	endOpen := tc.Begin("open")
 	rows, err := OperatorRows(prep.Root, cleanup...)
 	if err != nil {
+		endOpen("failed")
 		return nil, err
 	}
+	endOpen("operator tree opened")
 	return rows, nil
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Session is one client's scope over a shared DB: session variables
@@ -32,10 +34,20 @@ type Session struct {
 	workers  int           // SET parallelism; 0 = engine default
 	workMem  int64         // SET work_mem (bytes); 0 = engine default
 	ownsGate bool          // this session holds the write gate (open txn)
+
+	info *sessionInfo // registry row (vx$sessions)
+	// lastTrace and queueWait are atomics: a statement may run in one
+	// goroutine while another (the server's writer, or a concurrent
+	// caller blocked on the write gate) stamps the next statement's
+	// queue wait or reads SHOW TRACE state.
+	lastTrace atomic.Pointer[trace.Collector] // most recent traced statement (SHOW TRACE)
+	queueWait atomic.Int64                    // pending admission wait (ns) for the next statement
 }
 
 // NewSession returns a fresh session over the database.
-func (db *DB) NewSession() *Session { return &Session{db: db} }
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, info: db.registerSession(0)}
+}
 
 // NewSessionMaxWorkers returns a session whose per-statement
 // parallelism is capped at max (the server's per-statement worker
@@ -44,7 +56,7 @@ func (db *DB) NewSessionMaxWorkers(max int) *Session {
 	if max < 0 {
 		max = 0
 	}
-	return &Session{db: db, maxWorkers: max}
+	return &Session{db: db, maxWorkers: max, info: db.registerSession(max)}
 }
 
 // StatementTimeout returns the session's statement_timeout (0 =
@@ -69,8 +81,10 @@ func (s *Session) EffectiveWorkers() int { return s.effectiveWorkers() }
 func (s *Session) InTransaction() bool { return s.ownsGate }
 
 // Close releases the session's resources: an open transaction is
-// rolled back and the write gate returned.
+// rolled back, the write gate returned, and the session leaves the
+// vx$sessions registry.
 func (s *Session) Close() error {
+	s.db.unregisterSession(s.info.id)
 	if !s.ownsGate {
 		return nil
 	}
@@ -139,7 +153,9 @@ func (s *Session) Run(ctx context.Context, text string) (*Rows, Result, error) {
 // rows and runs to completion before returning. The returned Result's
 // RowsAffected is meaningful only for non-SELECT statements.
 func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, error) {
+	enter := time.Now()
 	st, err := sql.Parse(text)
+	parseDur := time.Since(enter)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -183,20 +199,26 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 			kind = readerTxnOwner
 		}
 		start := time.Now()
+		tc := s.startTrace(text, enter, parseDur)
 		sctx, cancel := s.stmtCtx(ctx)
+		sctx = trace.WithCollector(sctx, tc)
 		rows, err := s.db.queryStreamParsed(sctx, sel, s.effectiveWorkers(), s.effectiveWorkMem(), kind)
 		if err != nil {
 			cancel()
+			s.db.finishTrace(tc)
 			return nil, Result{}, err
 		}
 		rows.cleanup = append(rows.cleanup, cancel)
-		s.db.hookSlowQuery(rows, text, start)
+		s.db.hookSlowQuery(rows, text, start, tc)
 		return rows, Result{}, nil
 	}
 
 	start := time.Now()
+	tc := s.startTrace(text, enter, parseDur)
+	defer s.db.finishTrace(tc)
 	sctx, cancel := s.stmtCtx(ctx)
 	defer cancel()
+	sctx = trace.WithCollector(sctx, tc)
 	// Write statement. Outside a transaction it is an auto-commit
 	// write: hold the cross-session gate for just this statement so it
 	// cannot interleave with (and be undone by the rollback of)
@@ -206,16 +228,20 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 		// gate + per-shard statement locks, so sessions writing disjoint
 		// shards commit in parallel.
 		if res, handled, err := s.db.tryFastWrite(sctx, st, text, nil); handled {
-			s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st))
+			s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st), tc.ID())
 			return nil, res, err
 		}
+		endGate := tc.Begin("gate")
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
 			return nil, Result{}, err
 		}
+		endGate("exclusive write gate")
 		defer s.db.ReleaseWriteGate()
 	}
+	endExec := tc.Begin("exec")
 	res, err := s.db.execParsed(sctx, st, text, nil)
-	s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st))
+	endExec(fmt.Sprintf("rows=%d", res.RowsAffected))
+	s.db.observeStatement(text, time.Since(start), int64(res.RowsAffected), stmtKind(st), tc.ID())
 	return nil, res, err
 }
 
@@ -228,8 +254,10 @@ func (s *Session) RunStream(ctx context.Context, text string) (*Rows, Result, er
 // the statement's highest $n are permitted (and ignored), matching the
 // substitution path.
 func (s *Session) RunStreamBound(ctx context.Context, text string, args []storage.Value) (*Rows, Result, error) {
+	enter := time.Now()
 	key := cacheKey(text, args)
 	st, nParams, err := s.db.plans.parse(text, key)
+	parseDur := time.Since(enter)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -252,14 +280,17 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 			kind = readerTxnOwner
 		}
 		start := time.Now()
+		tc := s.startTrace(text, enter, parseDur)
 		sctx, cancel := s.stmtCtx(ctx)
+		sctx = trace.WithCollector(sctx, tc)
 		rows, err := s.db.queryStreamBound(sctx, sel, key, args, s.effectiveWorkers(), s.effectiveWorkMem(), kind)
 		if err != nil {
 			cancel()
+			s.db.finishTrace(tc)
 			return nil, Result{}, err
 		}
 		rows.cleanup = append(rows.cleanup, cancel)
-		s.db.hookSlowQuery(rows, text, start)
+		s.db.hookSlowQuery(rows, text, start, tc)
 		return rows, Result{}, nil
 	}
 
@@ -275,20 +306,27 @@ func (s *Session) RunStreamBound(ctx context.Context, text string, args []storag
 		}
 	}
 	start := time.Now()
+	tc := s.startTrace(walText, enter, parseDur)
+	defer s.db.finishTrace(tc)
 	sctx, cancel := s.stmtCtx(ctx)
 	defer cancel()
+	sctx = trace.WithCollector(sctx, tc)
 	if !s.ownsGate {
 		if res, handled, err := s.db.tryFastWrite(sctx, st, walText, ps); handled {
-			s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st))
+			s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st), tc.ID())
 			return nil, res, err
 		}
+		endGate := tc.Begin("gate")
 		if err := s.db.AcquireWriteGate(sctx); err != nil {
 			return nil, Result{}, err
 		}
+		endGate("exclusive write gate")
 		defer s.db.ReleaseWriteGate()
 	}
+	endExec := tc.Begin("exec")
 	res, err := s.db.execParsed(sctx, st, walText, ps)
-	s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st))
+	endExec(fmt.Sprintf("rows=%d", res.RowsAffected))
+	s.db.observeStatement(walText, time.Since(start), int64(res.RowsAffected), stmtKind(st), tc.ID())
 	return nil, res, err
 }
 
@@ -322,6 +360,7 @@ func (s *Session) begin(ctx context.Context) error {
 		return err
 	}
 	s.ownsGate = true
+	s.info.inTxn.Store(true)
 	return nil
 }
 
@@ -344,17 +383,24 @@ func (s *Session) endTxn(commit bool) error {
 		return err
 	}
 	s.ownsGate = false
+	s.info.inTxn.Store(false)
 	s.db.ReleaseWriteGate()
 	return err
 }
 
-// Session variables.
+// Session variables. temp_tablespace, temp_file_limit and trace_sample
+// configure engine-global state (spill placement is a process-wide
+// filesystem; the tracer is per-DB) but are set through the session
+// SET statement like everything else.
 const (
 	varStatementTimeout = "statement_timeout"
 	varParallelism      = "parallelism"
 	varWorkerBudget     = "worker_budget"
 	varWorkMem          = "work_mem"
 	varMemoryBudget     = "memory_budget"
+	varTempTablespace   = "temp_tablespace"
+	varTempFileLimit    = "temp_file_limit"
+	varTraceSample      = "trace_sample"
 )
 
 // applySet assigns a session variable from SET <name> = <expr>.
@@ -377,6 +423,7 @@ func (s *Session) applySet(st *sql.SetStmt) error {
 			return fmt.Errorf("engine: SET parallelism wants a worker count >= 0, got %s", v)
 		}
 		s.workers = int(n)
+		s.info.workers.Store(n)
 		return nil
 	case varWorkMem:
 		n := v.AsInt()
@@ -384,6 +431,26 @@ func (s *Session) applySet(st *sql.SetStmt) error {
 			return fmt.Errorf("engine: SET work_mem wants bytes >= 0, got %s", v)
 		}
 		s.workMem = n // 0 restores the engine default
+		s.info.workMem.Store(n)
+		return nil
+	case varTempTablespace:
+		if v.Type != storage.TypeString || v.Null {
+			return fmt.Errorf("engine: SET temp_tablespace wants a directory string, got %s", v)
+		}
+		return storage.SetSpillDir(v.S) // '' restores the system temp dir
+	case varTempFileLimit:
+		n := v.AsInt()
+		if v.Null || n < 0 {
+			return fmt.Errorf("engine: SET temp_file_limit wants bytes >= 0, got %s", v)
+		}
+		storage.SetSpillDiskCap(n) // 0 removes the cap
+		return nil
+	case varTraceSample:
+		n := v.AsInt()
+		if v.Null || n < 0 {
+			return fmt.Errorf("engine: SET trace_sample wants a stride >= 0, got %s", v)
+		}
+		s.db.tracer.SetSampling(n)
 		return nil
 	default:
 		return fmt.Errorf("engine: unknown session variable %q", st.Name)
@@ -395,6 +462,9 @@ func (s *Session) applySet(st *sql.SetStmt) error {
 func (s *Session) show(name string) (*Rows, error) {
 	if strings.EqualFold(name, "stats") {
 		return s.showStats()
+	}
+	if strings.EqualFold(name, "trace") {
+		return s.showTrace()
 	}
 	var v int64
 	switch strings.ToLower(name) {
@@ -408,12 +478,51 @@ func (s *Session) show(name string) (*Rows, error) {
 		v = s.effectiveWorkMem()
 	case varMemoryBudget:
 		v = s.db.memPool.Capacity()
+	case varTempFileLimit:
+		v = storage.SpillDiskCap()
+	case varTraceSample:
+		v = s.db.tracer.Sampling()
+	case varTempTablespace:
+		b := storage.NewBatch(storage.NewSchema(storage.Col(varTempTablespace, storage.TypeString)))
+		if err := b.AppendRow(storage.Str(storage.SpillDirPath())); err != nil {
+			return nil, err
+		}
+		return MaterializedRows(b), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown session variable %q", name)
 	}
 	b := storage.NewBatch(storage.NewSchema(storage.Col(strings.ToLower(name), storage.TypeInt64)))
 	if err := b.AppendRow(storage.Int64(v)); err != nil {
 		return nil, err
+	}
+	return MaterializedRows(b), nil
+}
+
+// showTrace renders the session's most recent traced statement, one
+// row per span in append order — the quick interactive view; the
+// vx$trace_spans system table serves the queryable form.
+func (s *Session) showTrace() (*Rows, error) {
+	b := storage.NewBatch(storage.NewSchema(
+		storage.Col("seq", storage.TypeInt64),
+		storage.Col("depth", storage.TypeInt64),
+		storage.Col("stage", storage.TypeString),
+		storage.Col("start_us", storage.TypeInt64),
+		storage.Col("dur_us", storage.TypeInt64),
+		storage.Col("detail", storage.TypeString),
+	))
+	if tc := s.lastTrace.Load(); tc != nil {
+		for i, sp := range tc.Spans() {
+			if err := b.AppendRow(
+				storage.Int64(int64(i)),
+				storage.Int64(int64(sp.Depth)),
+				storage.Str(sp.Stage),
+				storage.Int64(sp.StartNs/1e3),
+				storage.Int64(sp.DurNs/1e3),
+				storage.Str(sp.Detail),
+			); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return MaterializedRows(b), nil
 }

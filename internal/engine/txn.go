@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // txnState tracks the statements of an open transaction for WAL
@@ -109,13 +111,18 @@ func (db *DB) noteDrop(t *storage.Table) {
 
 // logStatement routes a successfully executed statement either into the
 // transaction's pending log or straight to the WAL. Callers must hold
-// db.mu.
-func (db *DB) logStatement(text string) {
+// db.mu. A traced statement (collector in ctx) gets a "wal" span
+// covering the group-commit append — the durability wait a client
+// experiences on an auto-commit write.
+func (db *DB) logStatement(ctx context.Context, text string) {
 	if db.txn != nil {
 		db.txn.log = append(db.txn.log, text)
 		return
 	}
-	if db.wal != nil {
-		_ = db.wal.append(text)
+	if db.wal == nil {
+		return
 	}
+	end := trace.FromContext(ctx).Begin("wal")
+	_ = db.wal.append(text)
+	end("group-commit append+fsync")
 }

@@ -319,6 +319,62 @@ func statsSuffix(ops []Operator) string {
 	return s
 }
 
+// OpReport is one logical plan node's accumulated counters, in
+// pre-order plan position — the structured form of EXPLAIN ANALYZE
+// that the statement tracer turns into per-operator spans. Nanos is
+// inclusive of child pulls (an operator's clock runs while it waits on
+// its input), so reports must not be summed across depths.
+type OpReport struct {
+	Name       string // the EXPLAIN describe line, without counters
+	Depth      int
+	Rows       int64
+	Batches    int64
+	Nanos      int64
+	SpillBytes int64
+	SpillRuns  int64
+}
+
+// StatsReport walks the plan like Explain does — clone sets collapse
+// to one logical node whose counters are the sums across clones — and
+// returns the per-node reports.
+func StatsReport(op Operator) []OpReport {
+	var out []OpReport
+	reportSet([]Operator{op}, 0, &out)
+	return out
+}
+
+func reportSet(ops []Operator, depth int, out *[]OpReport) {
+	ops = unwrapSet(ops)
+	if len(ops) == 0 {
+		return
+	}
+	r := OpReport{Name: describeSet(ops), Depth: depth}
+	for _, op := range ops {
+		if st := StatsOf(op); st != nil {
+			r.Rows += st.Rows.Load()
+			r.Batches += st.Batches.Load()
+			r.Nanos += st.Nanos.Load()
+			r.SpillBytes += st.SpillBytes.Load()
+			r.SpillRuns += st.SpillRuns.Load()
+		}
+	}
+	if _, ok := ops[0].(*SpoolPart); ok {
+		seen := make(map[*spool]bool)
+		for _, op := range ops {
+			if p, ok := op.(*SpoolPart); ok && !seen[p.sp] {
+				seen[p.sp] = true
+				b, rn := p.SpillStats()
+				r.SpillBytes += b
+				r.SpillRuns += rn
+			}
+		}
+	}
+	*out = append(*out, r)
+	for _, kids := range childSets(ops) {
+		reportSet(kids, depth+1, out)
+	}
+}
+
 // Summary is the compact single-line plan shape recorded by the
 // slow-query log: operator names with their child structure, no
 // predicates or counters.

@@ -352,6 +352,19 @@ func (s *spool) abort() {
 		s.cond.Wait()
 	}
 	s.mt.releaseAll()
+	if s.drun != nil {
+		// The overflow run is a spill file, and spill files must not
+		// outlive their statement: an idle cached plan holding a run
+		// would pin temp_file_limit budget and spill-dir bytes
+		// indefinitely. Dropping the disk tail leaves the retained
+		// pass incomplete, so all of it goes and the next Open
+		// replays the base — only in-memory completed drains are kept
+		// across checkouts.
+		s.drun.Close()
+		s.drun = nil
+		s.batches, s.starts, s.rows, s.consumed0, s.memRows = nil, nil, 0, 0, 0
+		s.started, s.done, s.err = false, false, nil
+	}
 	s.mu.Unlock()
 }
 

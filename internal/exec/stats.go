@@ -35,11 +35,12 @@ type OpStats struct {
 	SpillRuns  atomic.Int64
 
 	// timed scopes wall-clock timing to this operator's plan: MarkTimed
-	// sets it on every node of one tree before Open, so one EXPLAIN
-	// ANALYZE no longer makes concurrent statements pay clock reads. It
-	// is a plain bool because it is written only before the plan opens
-	// (and cleared after it closes) — never while worker goroutines run.
-	timed bool
+	// sets it on every node of one tree, so one EXPLAIN ANALYZE no
+	// longer makes concurrent statements pay clock reads. It is atomic
+	// because the trace hook marks a streaming plan that is already
+	// open, and on cancellation releases it while parallel fragment
+	// goroutines are still closing their operators.
+	timed atomic.Bool
 }
 
 // spilled credits one finished spill run to the operator's counters.
@@ -89,15 +90,15 @@ func SetStatsEnabled(on bool) {
 // MarkTimed turns on wall-clock operator timing for exactly the plan
 // rooted at op, until the returned release func is called. Unlike
 // EnableTiming it is scoped: concurrent statements keep the cheap
-// count-only path. Call it before the plan is opened and release after
-// it is closed — the flags are plain bools synchronized by the
-// goroutine spawn/join inside the plan's own Open/Close.
+// count-only path. Marking an already-open plan is allowed (the trace
+// hook does, for streaming SELECTs); timing simply starts with the
+// next instrumented call on each operator.
 func MarkTimed(op Operator) (release func()) {
-	forEachStats(op, func(s *OpStats) { s.timed = true })
+	forEachStats(op, func(s *OpStats) { s.timed.Store(true) })
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			forEachStats(op, func(s *OpStats) { s.timed = false })
+			forEachStats(op, func(s *OpStats) { s.timed.Store(false) })
 		})
 	}
 }
@@ -180,7 +181,7 @@ func (s *OpStats) begin() int64 {
 	switch m := statsMode.Load(); {
 	case m < 0:
 		return statsSkip
-	case m == 0 && !s.timed:
+	case m == 0 && !s.timed.Load():
 		return statsCountOnly
 	}
 	return time.Now().UnixNano()
@@ -215,7 +216,7 @@ func (s *OpStats) opened(t0 int64) {
 // closed stamps the close time (timed executions only; an untimed
 // query has no open stamp to pair it with).
 func (s *OpStats) closed() {
-	if statsMode.Load() <= 0 && !s.timed {
+	if statsMode.Load() <= 0 && !s.timed.Load() {
 		return
 	}
 	s.ClosedNS.Store(time.Now().UnixNano())

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrency hammers: every registry surface is documented as safe for
+// concurrent use, and the engine leans on that (statements observe
+// latencies while SHOW STATS snapshots the registry and vx$ scans read
+// gauges). These tests put that contract under the race detector.
+
+func TestHistogramConcurrentObserveQuantile(t *testing.T) {
+	h := &Histogram{}
+	const writers, readers, perG = 8, 4, 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(seed*perG+i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for _, q := range []float64{0.5, 0.95, 0.99} {
+					if v := h.Quantile(q); v < 0 {
+						t.Errorf("Quantile(%v) = %d", q, v)
+						return
+					}
+				}
+				_ = h.Count()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("count = %d, want %d", got, writers*perG)
+	}
+	if h.Quantile(0.99) <= 0 {
+		t.Fatal("p99 is zero after observations")
+	}
+}
+
+func TestRegistryConcurrentSnapshot(t *testing.T) {
+	r := New()
+	const workers, perG = 6, 1000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Mix registrations (new and re-fetched names) with writes
+			// while other goroutines snapshot.
+			c := r.Counter(fmt.Sprintf("c.%d", id%3))
+			h := r.Histogram(fmt.Sprintf("h.%d", id%3))
+			r.Gauge(fmt.Sprintf("g.%d", id), func() int64 { return int64(id) })
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i+1) * time.Microsecond)
+				if i%64 == 0 {
+					for _, st := range r.Snapshot() {
+						if st.Name == "" {
+							t.Error("snapshot produced an unnamed stat")
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, st := range r.Snapshot() {
+		if st.Name == "c.0" || st.Name == "c.1" || st.Name == "c.2" {
+			total += st.Value
+		}
+	}
+	if total != workers*perG {
+		t.Fatalf("counter sum = %d, want %d", total, workers*perG)
+	}
+}

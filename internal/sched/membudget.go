@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // MemBudget is a byte-granular memory budget, the accounting side of
 // out-of-core execution. The engine owns one pool-level budget (the
@@ -143,6 +146,22 @@ func (m *MemBudget) HighWater() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.highWater
+}
+
+// Describe renders the budget's state as one compact line — the
+// memory-grant span detail in statement traces.
+func (m *MemBudget) Describe() string {
+	if m == nil {
+		return "unlimited"
+	}
+	m.mu.Lock()
+	c, u, hw, d := m.capacity, m.inUse, m.highWater, m.denials
+	m.mu.Unlock()
+	cap := "unlimited"
+	if c > 0 {
+		cap = fmt.Sprintf("%d", c)
+	}
+	return fmt.Sprintf("cap=%s in_use=%d high_water=%d denials=%d", cap, u, hw, d)
 }
 
 // Denials returns how many reservations were turned away — each one a

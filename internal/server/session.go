@@ -31,6 +31,7 @@ const (
 type stmtReq struct {
 	kind stmtKind
 	id   uint32
+	enq  time.Time       // when the reader enqueued it (admission-queue wait)
 	sql  string          // stmtSQL
 	prep uint32          // stmtBindExec
 	args []storage.Value // stmtBindExec
@@ -199,6 +200,7 @@ func (ss *session) readLoop() {
 // enqueue hands a statement to the executor, rejecting instead of
 // blocking when the client has over-pipelined.
 func (ss *session) enqueue(req stmtReq) {
+	req.enq = time.Now()
 	select {
 	case ss.reqs <- req:
 	default:
@@ -271,6 +273,15 @@ func (ss *session) runStmt(req stmtReq) {
 		cancel()
 	}()
 
+	// The time between the reader enqueueing the statement and the
+	// executor picking it up is admission-queue wait (the session runs
+	// statements serially; a pipelined statement waits for its
+	// predecessors). The engine folds it into the statement's trace as
+	// the leading "admission" span.
+	if !req.enq.IsZero() {
+		ss.es.NoteQueueWait(time.Since(req.enq))
+	}
+
 	switch req.kind {
 	case stmtSQL:
 		ss.runSQL(ctx, req.id, req.sql)
@@ -311,34 +322,50 @@ func (ss *session) runStmt(req stmtReq) {
 // writes its result frames. SELECT results stream: the executor
 // produces batches while earlier ones are already on the wire.
 func (ss *session) runSQL(ctx context.Context, id uint32, text string) {
+	start := time.Now()
 	rows, res, err := ss.es.RunStream(ctx, text)
-	ss.writeResult(id, rows, res, err)
+	ss.writeResult(id, rows, res, err, start)
 }
 
 // runBound executes a prepared statement bind-and-run: the raw
 // argument values reach the engine, which binds them onto a cached
 // parameterized plan — no substitution, no re-parse on the hot path.
 func (ss *session) runBound(ctx context.Context, id uint32, text string, args []storage.Value) {
+	start := time.Now()
 	rows, res, err := ss.es.RunStreamBound(ctx, text, args)
-	ss.writeResult(id, rows, res, err)
+	ss.writeResult(id, rows, res, err, start)
+}
+
+// stmtStats builds the Done-frame trailer for a SQL statement: the
+// server-side elapsed time and — when the statement was traced — its
+// trace id, so a client can join its own latency observation against
+// vx$traces without a second round trip. Evaluated after the stream has
+// drained (the trace is finished by then).
+func (ss *session) stmtStats(start time.Time) []wire.Stat {
+	stats := []wire.Stat{{Name: "server_us", Value: time.Since(start).Microseconds()}}
+	if tid := ss.es.LastTraceID(); tid != 0 {
+		stats = append(stats, wire.Stat{Name: "trace_id", Value: int64(tid)})
+	}
+	return stats
 }
 
 // writeResult frames one statement outcome: an error, a row stream, or
-// an exec acknowledgement.
-func (ss *session) writeResult(id uint32, rows *engine.Rows, res engine.Result, err error) {
+// an exec acknowledgement. start anchors the Done trailer's server-side
+// timing.
+func (ss *session) writeResult(id uint32, rows *engine.Rows, res engine.Result, err error, start time.Time) {
 	if err != nil {
 		ss.writeError(id, err.Error())
 		return
 	}
 	if rows != nil {
-		ss.writeRows(id, rows)
+		ss.writeRowsTrailer(id, rows, func() []wire.Stat { return ss.stmtStats(start) })
 		return
 	}
 	var b wire.Buffer
 	b.PutU32(id)
 	b.PutUvarint(uint64(res.RowsAffected))
 	ss.writeFrame(wire.FrameExecOK, b.B)
-	ss.writeDone(id)
+	ss.writeDoneStats(id, ss.stmtStats(start))
 }
 
 // writeRows streams a result: header, then column-wise batches of at
@@ -349,12 +376,20 @@ func (ss *session) writeResult(id uint32, rows *engine.Rows, res engine.Result, 
 // statement with a FrameError and nothing after it: the client
 // discards any rows already received and surfaces only the error.
 func (ss *session) writeRows(id uint32, rows *engine.Rows) {
-	ss.writeRowsStats(id, rows, nil)
+	ss.writeRowsTrailer(id, rows, nil)
 }
 
-// writeRowsStats is writeRows with an optional stats trailer on the
+// writeRowsStats is writeRows with a fixed stats trailer on the
 // terminal Done frame (graph verbs ship their RunStats this way).
 func (ss *session) writeRowsStats(id uint32, rows *engine.Rows, stats []wire.Stat) {
+	ss.writeRowsTrailer(id, rows, func() []wire.Stat { return stats })
+}
+
+// writeRowsTrailer streams a result and writes the Done frame with the
+// trailer fn produces. fn runs after the stream has fully drained —
+// statement-lifecycle cleanup (trace publication, slow-query logging)
+// has already run, so a trailer may read the statement's trace id.
+func (ss *session) writeRowsTrailer(id uint32, rows *engine.Rows, fn func() []wire.Stat) {
 	defer rows.Close()
 	var hdr wire.Buffer
 	hdr.PutU32(id)
@@ -391,6 +426,10 @@ func (ss *session) writeRowsStats(id uint32, rows *engine.Rows, stats []wire.Sta
 				return
 			}
 		}
+	}
+	var stats []wire.Stat
+	if fn != nil {
+		stats = fn()
 	}
 	ss.writeDoneStats(id, stats)
 }

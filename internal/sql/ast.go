@@ -666,6 +666,27 @@ func (*ShowStmt) stmt() {}
 // String implements Statement.
 func (s *ShowStmt) String() string { return "SHOW " + s.Name }
 
+// GraphStmt is a graph-verb reference inside EXPLAIN (EXPLAIN
+// PAGERANK g 10): the verb name plus its space-separated arguments,
+// the same argv shape the server's graph RPC takes. It only parses as
+// the inner statement of EXPLAIN — graph verbs execute through the
+// wire protocol's Graph frames, not as SQL.
+type GraphStmt struct {
+	Verb string
+	Args []string
+}
+
+func (*GraphStmt) stmt() {}
+
+// String implements Statement.
+func (s *GraphStmt) String() string {
+	out := strings.ToUpper(s.Verb)
+	for _, a := range s.Args {
+		out += " " + a
+	}
+	return out
+}
+
 // ExplainStmt renders a statement's plan (EXPLAIN <stmt>) or executes
 // the statement and annotates the plan with per-operator counters
 // (EXPLAIN ANALYZE <stmt>).

@@ -71,7 +71,11 @@ func isIdentStart(c byte) bool {
 	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
 }
 
-func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+// isIdentPart admits '$' so system-table names like vx$traces lex as
+// one identifier. Positional parameters are unaffected: $N only lexes
+// as a parameter when '$' STARTS a token (see Next), and a '$' inside
+// an identifier never starts one.
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '$' }
 
 func isDigit(c byte) bool { return '0' <= c && c <= '9' }
 

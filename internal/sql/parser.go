@@ -150,14 +150,20 @@ func (p *Parser) parseStatement() (Statement, error) {
 	}
 }
 
-// parseExplain parses EXPLAIN [ANALYZE] <statement>. Nesting EXPLAIN
-// inside EXPLAIN is rejected (the inner parse would accept it, but no
-// engine behavior is defined for it).
+// parseExplain parses EXPLAIN [ANALYZE] <statement>, where the inner
+// statement may also be a graph verb (EXPLAIN PAGERANK g 10): graph
+// verbs are bare identifiers followed by space-separated arguments, so
+// an identifier in statement position after EXPLAIN is taken as a
+// verb. Nesting EXPLAIN inside EXPLAIN is rejected (the inner parse
+// would accept it, but no engine behavior is defined for it).
 func (p *Parser) parseExplain() (Statement, error) {
 	if err := p.expectKeyword("EXPLAIN"); err != nil {
 		return nil, err
 	}
 	analyze := p.matchKeyword("ANALYZE")
+	if p.peek().Kind == TokIdent {
+		return p.parseExplainGraphVerb(analyze)
+	}
 	inner, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -168,8 +174,40 @@ func (p *Parser) parseExplain() (Statement, error) {
 	return &ExplainStmt{Analyze: analyze, Stmt: inner}, nil
 }
 
-// parseSet parses SET <var> = <expr> (session variables; UPDATE's SET
-// clause is handled inside parseUpdate).
+// parseExplainGraphVerb parses the graph-verb form of EXPLAIN: a bare
+// verb identifier (pagerank, sssp, components, ...) followed by
+// space-separated arguments — identifiers, numbers, or string
+// literals, exactly the argv shape the server's graph-verb RPC takes.
+func (p *Parser) parseExplainGraphVerb(analyze bool) (Statement, error) {
+	verb := p.next().Text
+	st := &GraphStmt{Verb: strings.ToLower(verb)}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case TokIdent, TokString:
+			p.next()
+			st.Args = append(st.Args, t.Text)
+			continue
+		case TokNumber:
+			p.next()
+			st.Args = append(st.Args, t.Text)
+			continue
+		case TokSymbol:
+			if t.Text == "-" && p.peekAt(1).Kind == TokNumber {
+				p.next()
+				n := p.next()
+				st.Args = append(st.Args, "-"+n.Text)
+				continue
+			}
+		}
+		break
+	}
+	return &ExplainStmt{Analyze: analyze, Stmt: st}, nil
+}
+
+// parseSet parses SET <var> = <expr> and the SQL-flavored form without
+// the equals sign (SET temp_tablespace '/dir'); UPDATE's SET clause is
+// handled inside parseUpdate.
 func (p *Parser) parseSet() (Statement, error) {
 	if err := p.expectKeyword("SET"); err != nil {
 		return nil, err
@@ -178,9 +216,7 @@ func (p *Parser) parseSet() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.expectSymbol("="); err != nil {
-		return nil, err
-	}
+	p.matchSymbol("=") // optional: SET name value and SET name = value both parse
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err

@@ -72,8 +72,10 @@ func (fs OSSpillFS) CreateTemp() (SpillFile, error) {
 }
 
 // DefaultSpillFS is where operators spill when the plan does not
-// inject a filesystem of its own.
-var DefaultSpillFS SpillFS = OSSpillFS{}
+// inject a filesystem of its own: the managed spill directory
+// (SetSpillDir / SetSpillDiskCap), which accounts every live spill
+// byte and enforces the optional disk-usage cap.
+var DefaultSpillFS SpillFS = spillDir
 
 // Engine-wide spill counters, surfaced as obs gauges / SHOW STATS.
 var (

@@ -178,6 +178,8 @@ func TestMergeSpillRunsStable(t *testing.T) {
 	}
 	a := writeRun(0, []int64{1, 3, 3, 7})
 	b := writeRun(1, []int64{2, 3, 7, 9})
+	defer a.Close()
+	defer b.Close()
 	m, err := MergeSpillRuns(nil, a, b, []SortKey{{Col: 0}})
 	if err != nil {
 		t.Fatal(err)

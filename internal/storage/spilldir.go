@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Managed spill placement: the process-wide default spill filesystem
+// is a settable directory (SET temp_tablespace / VXDB_SPILL_DIR) with
+// byte accounting and an optional disk-usage cap. Every spill file
+// created through DefaultSpillFS counts its written bytes against the
+// directory total; a write that would cross the cap fails with
+// ErrSpillDiskCap before touching disk, which unwinds the operator's
+// reservation cleanly (RunWriter.Abort removes the partial run).
+
+// ErrSpillDiskCap reports a spill write refused by the disk-usage cap.
+var ErrSpillDiskCap = fmt.Errorf("storage: spill disk usage would exceed temp_file_limit")
+
+// spillDirFS is the managed SpillFS behind DefaultSpillFS.
+type spillDirFS struct {
+	mu   sync.RWMutex
+	dir  string // "" = system temp dir
+	cap  atomic.Int64
+	used atomic.Int64
+}
+
+var spillDir = &spillDirFS{}
+
+// SetSpillDir points the default spill filesystem at dir, creating it
+// if needed. An empty dir restores the system temp directory.
+func SetSpillDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("storage: temp_tablespace: %w", err)
+		}
+	}
+	spillDir.mu.Lock()
+	spillDir.dir = dir
+	spillDir.mu.Unlock()
+	return nil
+}
+
+// SpillDirPath returns the current spill directory ("" = system temp).
+func SpillDirPath() string {
+	spillDir.mu.RLock()
+	defer spillDir.mu.RUnlock()
+	return spillDir.dir
+}
+
+// SetSpillDiskCap bounds the bytes simultaneously resident in spill
+// files created through the default filesystem. 0 removes the cap.
+func SetSpillDiskCap(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	spillDir.cap.Store(n)
+}
+
+// SpillDiskCap returns the current cap (0 = unlimited).
+func SpillDiskCap() int64 { return spillDir.cap.Load() }
+
+// SpillDirBytes reports the bytes currently resident in live spill
+// files of the default filesystem (written minus closed), the
+// spill.dir_bytes gauge.
+func SpillDirBytes() int64 { return spillDir.used.Load() }
+
+// CreateTemp implements SpillFS: an accounted temp file in the managed
+// directory.
+func (fs *spillDirFS) CreateTemp() (SpillFile, error) {
+	fs.mu.RLock()
+	dir := fs.dir
+	fs.mu.RUnlock()
+	f, err := os.CreateTemp(dir, "vx-spill-*.run")
+	if err != nil {
+		return nil, err
+	}
+	return &accountedSpillFile{File: f, fs: fs}, nil
+}
+
+// accountedSpillFile charges writes against the directory budget and
+// refunds them when the run closes (spill files never outlive their
+// statement, so close == delete == refund).
+type accountedSpillFile struct {
+	*os.File
+	fs      *spillDirFS
+	written int64
+}
+
+// Write implements io.Writer with cap admission: the bytes are charged
+// before the write and refunded if the write fails or the cap refuses
+// it. Failing the write (not the file creation) is what lets the
+// operator's half-written run unwind through its normal Abort path.
+func (f *accountedSpillFile) Write(p []byte) (int, error) {
+	n := int64(len(p))
+	used := f.fs.used.Add(n)
+	if c := f.fs.cap.Load(); c > 0 && used > c {
+		f.fs.used.Add(-n)
+		return 0, fmt.Errorf("%w (in use %d + %d > cap %d)", ErrSpillDiskCap, used-n, n, c)
+	}
+	wrote, err := f.File.Write(p)
+	if int64(wrote) < n {
+		f.fs.used.Add(int64(wrote) - n) // refund the unwritten tail
+	}
+	f.written += int64(wrote)
+	return wrote, err
+}
+
+// Close removes the file and refunds its bytes.
+func (f *accountedSpillFile) Close() error {
+	err := f.File.Close()
+	if rmErr := os.Remove(f.File.Name()); err == nil {
+		err = rmErr
+	}
+	f.fs.used.Add(-f.written)
+	f.written = 0
+	return err
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// resetSpillDir restores process-global spill placement state.
+func resetSpillDir(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		SetSpillDir("")
+		SetSpillDiskCap(0)
+	})
+}
+
+func TestSpillDirPlacementAndAccounting(t *testing.T) {
+	resetSpillDir(t)
+	dir := t.TempDir()
+	if err := SetSpillDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := SpillDirPath(); got != dir {
+		t.Fatalf("SpillDirPath = %q, want %q", got, dir)
+	}
+	f, err := DefaultSpillFS.CreateTemp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(f.Name()) != dir {
+		t.Fatalf("spill file %q not under %q", f.Name(), dir)
+	}
+	payload := make([]byte, 1024)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := SpillDirBytes(); got != 1024 {
+		t.Fatalf("SpillDirBytes = %d, want 1024", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := SpillDirBytes(); got != 0 {
+		t.Fatalf("SpillDirBytes after close = %d, want 0 (refund)", got)
+	}
+	// Close removed the file.
+	if m, _ := filepath.Glob(filepath.Join(dir, "vx-spill-*")); len(m) != 0 {
+		t.Fatalf("spill files left behind: %v", m)
+	}
+}
+
+func TestSpillDiskCapFailsWriteCleanly(t *testing.T) {
+	resetSpillDir(t)
+	if err := SetSpillDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	SetSpillDiskCap(512)
+	f, err := DefaultSpillFS.CreateTemp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 256)); err != nil {
+		t.Fatalf("write under cap: %v", err)
+	}
+	_, err = f.Write(make([]byte, 512))
+	if !errors.Is(err, ErrSpillDiskCap) {
+		t.Fatalf("write over cap = %v, want ErrSpillDiskCap", err)
+	}
+	// The refused write must not leak accounted bytes.
+	if got := SpillDirBytes(); got != 256 {
+		t.Fatalf("SpillDirBytes after refusal = %d, want 256", got)
+	}
+	// Raising the cap unblocks the same file.
+	SetSpillDiskCap(0)
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		t.Fatalf("write after cap lift: %v", err)
+	}
+}
+
+func TestSpillRunThroughManagedDirRefundsOnClose(t *testing.T) {
+	resetSpillDir(t)
+	if err := SetSpillDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(NewSchema(Col("v", TypeInt64)))
+	for i := 0; i < 100; i++ {
+		if err := b.AppendRow(Int64(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := NewRunWriter(nil, b.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SpillDirBytes(); got <= 0 {
+		t.Fatalf("run bytes not accounted: %d", got)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := SpillDirBytes(); got != 0 {
+		t.Fatalf("SpillDirBytes after run close = %d, want 0", got)
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplingOffYieldsNilCollector(t *testing.T) {
+	tr := New()
+	tr.SetSampling(0)
+	c := tr.Start(1, "SELECT 1")
+	if c != nil {
+		t.Fatalf("sampling 0 must not allocate a collector, got %+v", c)
+	}
+	// Every collector method must be nil-safe.
+	c.Add("parse", time.Now(), time.Millisecond, "")
+	c.Begin("plan")("x")
+	c.AddSpan(Span{Stage: "x"})
+	if c.ID() != 0 || c.TotalNs() != 0 || c.Spans() != nil || c.Finished() || c.Slow() {
+		t.Fatal("nil collector accessors must return zero values")
+	}
+	tr.Finish(c, time.Second) // must not panic or publish
+	if got := tr.RingLen(); got != 0 {
+		t.Fatalf("ring length = %d, want 0", got)
+	}
+}
+
+func TestSpansRecordAndFinishPublishes(t *testing.T) {
+	tr := New()
+	c := tr.StartAt(7, "SELECT * FROM t", time.Now().Add(-time.Millisecond))
+	if c == nil {
+		t.Fatal("sampling 1 must trace")
+	}
+	if got := tr.ActiveLen(); got != 1 {
+		t.Fatalf("active = %d, want 1", got)
+	}
+	c.Add("admission", c.StartTime(), time.Millisecond, "")
+	done := c.Begin("parse")
+	done("ok")
+	c.AddSpan(Span{Stage: "op:Scan", Depth: 1, DurNs: 42})
+	tr.Finish(c, 3*time.Millisecond)
+	if !c.Finished() || c.TotalNs() != int64(3*time.Millisecond) {
+		t.Fatalf("finish did not stamp total: %v %d", c.Finished(), c.TotalNs())
+	}
+	if got := tr.ActiveLen(); got != 0 {
+		t.Fatalf("active after finish = %d, want 0", got)
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].ID() != c.ID() {
+		t.Fatalf("ring should hold the finished trace, got %d entries", len(recent))
+	}
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Stage != "admission" || spans[1].Stage != "parse" || spans[1].Detail != "ok" {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+	if spans[2].Depth != 1 {
+		t.Fatalf("per-op span depth = %d, want 1", spans[2].Depth)
+	}
+	// Double finish must not publish twice.
+	tr.Finish(c, time.Hour)
+	if got := tr.RingLen(); got != 1 {
+		t.Fatalf("double finish duplicated the ring entry: %d", got)
+	}
+	if c.TotalNs() != int64(3*time.Millisecond) {
+		t.Fatal("double finish overwrote the total")
+	}
+}
+
+func TestSamplingStrideRetainsOneInN(t *testing.T) {
+	tr := New()
+	tr.SetSampling(4)
+	for i := 0; i < 16; i++ {
+		c := tr.Start(1, "q")
+		tr.Finish(c, time.Microsecond)
+	}
+	if got := tr.RingLen(); got != 4 {
+		t.Fatalf("stride 4 over 16 statements retained %d, want 4", got)
+	}
+}
+
+func TestSlowCouplingOverridesStride(t *testing.T) {
+	tr := New()
+	tr.SetSampling(1000) // effectively never sampled in this test
+	tr.SetSlowThreshold(10 * time.Millisecond)
+	fast := tr.Start(1, "fast")
+	tr.Finish(fast, time.Millisecond)
+	slow := tr.Start(1, "slow")
+	tr.Finish(slow, 50*time.Millisecond)
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Text() != "slow" || !recent[0].Slow() {
+		t.Fatalf("slow coupling should retain exactly the slow trace, got %d", len(recent))
+	}
+}
+
+func TestRingWrapsNewestFirst(t *testing.T) {
+	tr := New()
+	n := DefaultRingSize + 10
+	for i := 0; i < n; i++ {
+		c := tr.Start(1, fmt.Sprintf("q%d", i))
+		tr.Finish(c, time.Duration(i))
+	}
+	recent := tr.Recent()
+	if len(recent) != DefaultRingSize {
+		t.Fatalf("ring holds %d, want %d", len(recent), DefaultRingSize)
+	}
+	if recent[0].Text() != fmt.Sprintf("q%d", n-1) {
+		t.Fatalf("newest first violated: got %q", recent[0].Text())
+	}
+	if last := recent[len(recent)-1].Text(); last != fmt.Sprintf("q%d", n-DefaultRingSize) {
+		t.Fatalf("oldest retained = %q", last)
+	}
+}
+
+func TestSpanOverflowCountsDrops(t *testing.T) {
+	tr := New()
+	c := tr.Start(1, "q")
+	for i := 0; i < MaxSpans+7; i++ {
+		c.AddSpan(Span{Stage: "s"})
+	}
+	if got := len(c.Spans()); got != MaxSpans {
+		t.Fatalf("spans = %d, want cap %d", got, MaxSpans)
+	}
+	if got := c.DroppedSpans(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	tr := New()
+	c := tr.Start(1, "q")
+	ctx := WithCollector(context.Background(), c)
+	if got := FromContext(ctx); got != c {
+		t.Fatal("FromContext lost the collector")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatal("empty context must yield nil")
+	}
+	if got := WithCollector(context.Background(), nil); got.Value(ctxKey{}) != nil {
+		t.Fatal("nil collector must not be attached")
+	}
+}
+
+// TestConcurrentAppendAndReaders hammers one collector from many
+// goroutines while readers snapshot it — the lock-free append path and
+// the ring/active views must be race-free (run under -race).
+func TestConcurrentAppendAndReaders(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := tr.Start(uint64(g), "q")
+				c.Add("parse", time.Now(), time.Microsecond, "")
+				c.AddSpan(Span{Stage: "op:Scan", Depth: 1})
+				tr.Finish(c, time.Microsecond)
+			}
+		}(g)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, c := range tr.Recent() {
+					_ = c.Spans()
+					_ = c.TotalNs()
+				}
+				for _, c := range tr.Active() {
+					_ = c.ElapsedNs()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.RingLen(); got > DefaultRingSize {
+		t.Fatalf("ring overflowed: %d", got)
+	}
+}

@@ -116,7 +116,9 @@ type Engine struct {
 // New returns an in-memory Vertexica engine.
 func New() *Engine {
 	db := engine.New()
-	return &Engine{db: db, session: db.NewSession()}
+	e := &Engine{db: db, session: db.NewSession()}
+	db.SetGraphExplainer(e.explainGraphVerb)
+	return e
 }
 
 // Open returns a persistent engine rooted at dir (snapshot + WAL
@@ -126,7 +128,9 @@ func Open(dir string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, session: db.NewSession()}, nil
+	e := &Engine{db: db, session: db.NewSession()}
+	db.SetGraphExplainer(e.explainGraphVerb)
+	return e, nil
 }
 
 // Close flushes and closes the engine.
